@@ -1,0 +1,120 @@
+/**
+ * @file
+ * ABL-1 (our ablation): gating-strategy comparison at matched
+ * overhead.
+ *
+ * demand-hitm (the paper) vs demand-oracle (a perfect sharing
+ * indicator: no W->R-only blindness, no eviction loss, no sampling)
+ * vs random window sampling with its rate tuned to roughly the same
+ * analyzed fraction as demand-hitm. The question the paper's design
+ * answers: is a *hardware-informed* trigger worth it over blind
+ * sampling, and how far is it from ideal?
+ */
+
+#include "bench_util.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::bench;
+using demand::Strategy;
+
+namespace
+{
+
+struct Row
+{
+    double slowdown = 0.0;
+    double analyzed = 0.0;
+    double found = 0.0;
+};
+
+Row
+runStrategy(const workloads::WorkloadInfo &info,
+            const workloads::WorkloadParams &params,
+            Strategy strategy, double sampling_rate, Cycle native)
+{
+    runtime::SimConfig config;
+    config.mode = instr::ToolMode::kDemand;
+    config.gating.strategy = strategy;
+    config.gating.sampling_rate = sampling_rate;
+    auto program = info.factory(params);
+    const auto injected = program->injectedRaces();
+    const auto r = runtime::Simulator::runWith(*program, config);
+    return Row{
+        .slowdown = static_cast<double>(r.wall_cycles)
+            / static_cast<double>(native),
+        .analyzed = r.analyzedFraction(),
+        .found = workloads::detectedFraction(injected, r.reports),
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = BenchOptions::parse(argc, argv, 0.3);
+    banner("ABL-1", "gating strategies at matched overhead", opt);
+
+    std::printf("%-28s %-16s %10s %11s %8s\n", "benchmark",
+                "strategy", "slowdown", "analyzed%", "found%");
+
+    std::vector<double> found_hitm, found_oracle, found_sampling,
+        found_cold;
+    for (const auto &info : opt.selected()) {
+        auto params = opt.params();
+        params.injected_races = 6;
+        params.race_repeats = 150;
+
+        runtime::SimConfig native_cfg;
+        native_cfg.mode = instr::ToolMode::kNative;
+        auto native_prog = info.factory(params);
+        const auto native =
+            runtime::Simulator::runWith(*native_prog, native_cfg);
+
+        const Row hitm =
+            runStrategy(info, params, Strategy::kDemandHitm, 0.0,
+                        native.wall_cycles);
+        const Row oracle =
+            runStrategy(info, params, Strategy::kDemandOracle, 0.0,
+                        native.wall_cycles);
+        // Match the sampling rate to demand-hitm's analyzed fraction.
+        const Row sampling = runStrategy(
+            info, params, Strategy::kRandomSampling,
+            std::max(hitm.analyzed, 0.001), native.wall_cycles);
+        const Row cold = runStrategy(info, params,
+                                     Strategy::kColdRegion, 0.0,
+                                     native.wall_cycles);
+
+        const auto print = [&](const char *strategy,
+                               const Row &row) {
+            std::printf("%-28s %-16s %9.1fx %10.2f%% %7.0f%%\n",
+                        info.name.c_str(), strategy, row.slowdown,
+                        100.0 * row.analyzed, 100.0 * row.found);
+        };
+        print("demand-hitm", hitm);
+        print("demand-oracle", oracle);
+        print("sampling@match", sampling);
+        print("cold-region", cold);
+        found_hitm.push_back(hitm.found);
+        found_oracle.push_back(oracle.found);
+        found_sampling.push_back(sampling.found);
+        found_cold.push_back(cold.found);
+    }
+
+    std::printf("\nmean races found: demand-hitm %.1f%%, "
+                "demand-oracle %.1f%%, matched sampling %.1f%%, "
+                "cold-region %.1f%%\n",
+                100.0 * mean(found_hitm), 100.0 * mean(found_oracle),
+                100.0 * mean(found_sampling),
+                100.0 * mean(found_cold));
+    std::printf("\nexpected shape: the hardware-informed trigger "
+                "tracks the oracle closely and beats blind sampling\n"
+                "at equal analyzed fractions, because sharing (and "
+                "racing) is bursty, not uniform. Cold-region\n"
+                "sampling aces *injected* races (fresh static sites "
+                "are exactly its hypothesis) at a higher analyzed\n"
+                "fraction, but loses hot-site races — see "
+                "ColdRegionSim.MissesHotSiteRaces.\n");
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ABL-2: google-benchmark microbenchmarks of the detector data
+ * structures — the per-access costs the instrumentation cost model
+ * abstracts, and the FastTrack-vs-naive representation gap that
+ * justifies Inspector-class tools' epoch optimizations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "detect/fasttrack.hh"
+#include "detect/naive_hb.hh"
+#include "detect/shadow.hh"
+
+using namespace hdrd;
+using namespace hdrd::detect;
+
+namespace
+{
+
+void
+BM_VectorClockJoin(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    VectorClock a(n), b(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        a.set(i, i * 3 + 1);
+        b.set(i, i * 5 + 2);
+    }
+    for (auto _ : state) {
+        a.join(b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_VectorClockJoin)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_VectorClockLeq(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    VectorClock a(n), b(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        a.set(i, i + 1);
+        b.set(i, i + 2);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.leq(b));
+}
+BENCHMARK(BM_VectorClockLeq)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_EpochLeq(benchmark::State &state)
+{
+    VectorClock vc(16);
+    vc.set(7, 100);
+    const Epoch e(7, 99);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(e.leq(vc));
+}
+BENCHMARK(BM_EpochLeq);
+
+void
+BM_ShadowLookupHot(benchmark::State &state)
+{
+    ShadowMemory shadow;
+    shadow.state(0x1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&shadow.state(0x1000));
+}
+BENCHMARK(BM_ShadowLookupHot);
+
+void
+BM_ShadowLookupSpread(benchmark::State &state)
+{
+    ShadowMemory shadow;
+    Rng rng(1);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back(rng.nextBounded(1 << 24) & ~7ULL);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            &shadow.state(addrs[i++ & 4095]));
+    }
+}
+BENCHMARK(BM_ShadowLookupSpread);
+
+/**
+ * Drive a detector with a pre-generated mixed access stream:
+ * thread-private majority plus lock-ordered sharing, the common case
+ * whose cost dominates continuous analysis.
+ */
+template <typename Detector>
+void
+detectorThroughput(benchmark::State &state)
+{
+    constexpr std::uint32_t kThreads = 4;
+    SyncClocks clocks(kThreads);
+    ReportSink sink;
+    Detector detector(clocks, sink, 3);
+
+    Rng rng(7);
+    struct Access
+    {
+        ThreadId tid;
+        Addr addr;
+        bool write;
+    };
+    std::vector<Access> stream;
+    for (int i = 0; i < 8192; ++i) {
+        const auto tid =
+            static_cast<ThreadId>(rng.nextBounded(kThreads));
+        const bool shared = rng.nextBool(0.1);
+        const Addr addr = shared
+            ? 0x9000 + rng.nextBounded(8) * 8
+            : 0x100000 * (tid + 1) + rng.nextBounded(512) * 8;
+        stream.push_back({tid, addr, rng.nextBool(0.3)});
+    }
+
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const Access &a = stream[i++ & 8191];
+        benchmark::DoNotOptimize(
+            detector.onAccess(a.tid, a.addr, a.write, 1));
+        if ((i & 1023) == 0) {
+            // Periodic lock churn keeps clocks moving (and race-free).
+            clocks.release(a.tid, 1);
+            clocks.acquire((a.tid + 1) % kThreads, 1);
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+
+void
+BM_FastTrackThroughput(benchmark::State &state)
+{
+    detectorThroughput<FastTrackDetector>(state);
+}
+BENCHMARK(BM_FastTrackThroughput);
+
+void
+BM_NaiveHbThroughput(benchmark::State &state)
+{
+    detectorThroughput<NaiveHbDetector>(state);
+}
+BENCHMARK(BM_NaiveHbThroughput);
+
+void
+BM_ReadSharedInflation(benchmark::State &state)
+{
+    // Worst case for FastTrack: a variable read by every thread each
+    // round (read vector clock path).
+    constexpr std::uint32_t kThreads = 8;
+    SyncClocks clocks(kThreads);
+    ReportSink sink;
+    FastTrackDetector detector(clocks, sink, 3);
+    ThreadId t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            detector.onAccess(t, 0x1000, false, 1));
+        t = (t + 1) % kThreads;
+    }
+}
+BENCHMARK(BM_ReadSharedInflation);
+
+} // namespace
+
+BENCHMARK_MAIN();

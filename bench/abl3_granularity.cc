@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ABL-3 (our ablation): detection granularity.
+ *
+ * Commercial detectors shadow machine words; shadowing whole cache
+ * lines would amortize metadata but conflate word-disjoint accesses —
+ * turning false *cache-line* sharing into false *race* reports. This
+ * sweep measures reports and overhead at byte / word / line granules
+ * on the false-sharing control and on genuinely racy workloads.
+ */
+
+#include "bench_util.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = BenchOptions::parse(argc, argv, 0.3);
+    banner("ABL-3", "detection granularity sweep", opt);
+
+    const char *subjects[] = {
+        "micro.false_sharing",  // zero word-level races
+        "micro.racy_counter",   // genuine word-level races
+        "phoenix.histogram",    // race-free application
+    };
+
+    std::printf("%-24s %10s %12s %12s %12s\n", "workload", "granule",
+                "mode", "reports", "slowdown");
+    for (const char *name : subjects) {
+        const auto *info = workloads::findWorkload(name);
+        auto params = opt.params();
+
+        runtime::SimConfig native_cfg;
+        native_cfg.mode = instr::ToolMode::kNative;
+        auto native_prog = info->factory(params);
+        const auto native =
+            runtime::Simulator::runWith(*native_prog, native_cfg);
+
+        for (std::uint32_t shift : {0u, 3u, 6u}) {
+            for (const auto mode : {instr::ToolMode::kContinuous,
+                                    instr::ToolMode::kDemand}) {
+                runtime::SimConfig config;
+                config.mode = mode;
+                config.granule_shift = shift;
+                auto program = info->factory(params);
+                const auto r =
+                    runtime::Simulator::runWith(*program, config);
+                const char *granule = shift == 0 ? "byte"
+                    : shift == 3                 ? "word"
+                                                 : "line";
+                std::printf("%-24s %10s %12s %12zu %11.1fx\n", name,
+                            granule, instr::toolModeName(mode),
+                            r.reports.uniqueCount(),
+                            static_cast<double>(r.wall_cycles)
+                                / static_cast<double>(
+                                    native.wall_cycles));
+            }
+        }
+        std::printf("\n");
+    }
+
+    std::printf("expected shape: word and byte granules agree on "
+                "every subject; line granules fabricate races on\n"
+                "false-sharing traffic — the reason detectors shadow "
+                "words even though the HITM *indicator* is\n"
+                "line-granular (spurious enables are cheap, spurious "
+                "reports are not).\n");
+    return 0;
+}

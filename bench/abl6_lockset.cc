@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ABL-6 (our ablation): happens-before vs lockset detection behind
+ * the same demand-driven gate.
+ *
+ * Lockset (Eraser) was the contemporary alternative to the paper's
+ * happens-before detector class. It is schedule-insensitive — good
+ * for catching races that didn't manifest in this interleaving — but
+ * fabricates reports on any non-lock synchronization. This harness
+ * measures both effects across the suites: true-race detection on
+ * injected races, and false positives on the race-free benchmarks
+ * (all of which use barriers and/or fork/join).
+ */
+
+#include "bench_util.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::bench;
+
+namespace
+{
+
+struct Row
+{
+    std::size_t reports = 0;
+    double found = 0.0;
+};
+
+Row
+runDetector(const workloads::WorkloadInfo &info,
+            const workloads::WorkloadParams &params,
+            runtime::DetectorKind kind, instr::ToolMode mode)
+{
+    runtime::SimConfig config;
+    config.mode = mode;
+    config.detector = kind;
+    auto program = info.factory(params);
+    const auto injected = program->injectedRaces();
+    const auto r = runtime::Simulator::runWith(*program, config);
+    return Row{
+        .reports = r.reports.uniqueCount(),
+        .found = workloads::detectedFraction(injected, r.reports),
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = BenchOptions::parse(argc, argv, 0.3);
+    banner("ABL-6", "FastTrack vs lockset behind the demand gate",
+           opt);
+
+    std::printf("-- race-free benchmarks under CONTINUOUS analysis: "
+                "any report is a false positive --\n");
+    std::printf("%-28s %12s %12s\n", "benchmark", "fasttrack",
+                "lockset");
+    std::uint64_t ft_fp = 0, ls_fp = 0;
+    for (const auto &info : opt.selected()) {
+        const auto params = opt.params();  // no injected races
+        const Row ft =
+            runDetector(info, params,
+                        runtime::DetectorKind::kFastTrack,
+                        instr::ToolMode::kContinuous);
+        const Row ls =
+            runDetector(info, params,
+                        runtime::DetectorKind::kLockset,
+                        instr::ToolMode::kContinuous);
+        std::printf("%-28s %12zu %12zu\n", info.name.c_str(),
+                    ft.reports, ls.reports);
+        ft_fp += ft.reports;
+        ls_fp += ls.reports;
+    }
+    std::printf("total false reports: fasttrack %llu, lockset %llu\n",
+                static_cast<unsigned long long>(ft_fp),
+                static_cast<unsigned long long>(ls_fp));
+
+    std::printf("\n-- 6 injected races per benchmark, demand-gated: "
+                "detection --\n");
+    std::printf("%-28s %12s %12s\n", "benchmark", "fasttrack",
+                "lockset");
+    std::vector<double> ft_found, ls_found;
+    for (const auto &info : opt.selected()) {
+        auto params = opt.params();
+        params.injected_races = 6;
+        params.race_repeats = 150;
+        const Row ft =
+            runDetector(info, params,
+                        runtime::DetectorKind::kFastTrack,
+                        instr::ToolMode::kDemand);
+        const Row ls =
+            runDetector(info, params,
+                        runtime::DetectorKind::kLockset,
+                        instr::ToolMode::kDemand);
+        std::printf("%-28s %11.0f%% %11.0f%%\n", info.name.c_str(),
+                    100.0 * ft.found, 100.0 * ls.found);
+        ft_found.push_back(ft.found);
+        ls_found.push_back(ls.found);
+    }
+    std::printf("mean found: fasttrack %.1f%%, lockset %.1f%%\n",
+                100.0 * mean(ft_found), 100.0 * mean(ls_found));
+
+    std::printf("\nexpected shape: comparable true-race detection, "
+                "but lockset pays with false positives on every\n"
+                "barrier-phased benchmark — why Inspector-class tools "
+                "(and the paper) build on happens-before.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * ABL-8 (our ablation): detection robustness across schedules.
+ *
+ * Races manifest interleaving-dependently. This harness re-runs racy
+ * workloads under randomized scheduling (seeded jitter) and reports,
+ * per regime, in how many of the schedules each detector found the
+ * races — separating "the race did not manifest" from "the detector
+ * was off when it manifested".
+ */
+
+#include "bench_util.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::bench;
+
+namespace
+{
+
+struct Outcome
+{
+    int found_runs = 0;
+    double mean_fraction = 0.0;
+};
+
+Outcome
+sweepSeeds(const workloads::WorkloadInfo &info,
+           const workloads::WorkloadParams &base,
+           instr::ToolMode mode, int nseeds)
+{
+    Outcome outcome;
+    double total = 0.0;
+    for (int s = 0; s < nseeds; ++s) {
+        auto params = base;
+        params.seed = 1000 + static_cast<std::uint64_t>(s) * 77;
+        runtime::SimConfig config;
+        config.mode = mode;
+        config.seed = params.seed;
+        config.sched_jitter = 0.3;  // randomized interleavings
+        auto program = info.factory(params);
+        const auto injected = program->injectedRaces();
+        const auto r = runtime::Simulator::runWith(*program, config);
+        const double f =
+            workloads::detectedFraction(injected, r.reports);
+        total += f;
+        outcome.found_runs += f >= 1.0;
+    }
+    outcome.mean_fraction = total / nseeds;
+    return outcome;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = BenchOptions::parse(argc, argv, 0.2);
+    banner("ABL-8", "detection robustness across schedules", opt);
+
+    constexpr int kSeeds = 10;
+    std::printf("%d randomized schedules per cell; 'all found' = "
+                "runs where every injected race was reported\n\n",
+                kSeeds);
+    std::printf("%-28s %-12s %12s %14s\n", "benchmark", "regime",
+                "all found", "mean found%");
+
+    const char *subjects[] = {
+        "phoenix.histogram",
+        "phoenix.kmeans",
+        "parsec.dedup",
+        "parsec.blackscholes",
+    };
+    for (const char *name : subjects) {
+        const auto *info = workloads::findWorkload(name);
+        auto params = opt.params();
+        params.injected_races = 4;
+        params.race_repeats = 150;
+        for (const auto mode : {instr::ToolMode::kContinuous,
+                                instr::ToolMode::kDemand}) {
+            const auto outcome =
+                sweepSeeds(*info, params, mode, kSeeds);
+            std::printf("%-28s %-12s %8d/%-3d %13.1f%%\n", name,
+                        instr::toolModeName(mode),
+                        outcome.found_runs, kSeeds,
+                        100.0 * outcome.mean_fraction);
+        }
+    }
+
+    std::printf("\nexpected shape: continuous analysis is limited "
+                "only by whether the schedule exposes the race;\n"
+                "demand-driven adds a second loss term (detector off "
+                "during the burst) that shows up as a small gap\n"
+                "that shrinks as races repeat.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * FIG-1 (reconstructed): motivation — the slowdown of continuous
+ * happens-before race detection on Phoenix and PARSEC.
+ *
+ * Paper claim (abstract): commercial continuous detectors commonly
+ * suffer slowdowns up to ~300x. This harness runs every benchmark
+ * model natively and under continuous analysis and reports the ratio.
+ */
+
+#include "bench_util.hh"
+
+using namespace hdrd;
+using namespace hdrd::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = BenchOptions::parse(argc, argv, 0.5);
+    banner("FIG-1", "slowdown of continuous race detection", opt);
+
+    std::printf("%-28s %14s %16s %10s\n", "benchmark", "native_cyc",
+                "continuous_cyc", "slowdown");
+
+    std::vector<double> phoenix, parsec;
+    for (const auto &info : opt.selected()) {
+        const auto params = opt.params();
+        runtime::SimConfig config;
+        const auto native =
+            runMode(info, params, config, instr::ToolMode::kNative);
+        const auto continuous = runMode(info, params, config,
+                                        instr::ToolMode::kContinuous);
+        const double slowdown =
+            static_cast<double>(continuous.wall_cycles)
+            / static_cast<double>(native.wall_cycles);
+        std::printf("%-28s %14llu %16llu %9.1fx\n", info.name.c_str(),
+                    static_cast<unsigned long long>(
+                        native.wall_cycles),
+                    static_cast<unsigned long long>(
+                        continuous.wall_cycles),
+                    slowdown);
+        (info.suite == "phoenix" ? phoenix : parsec)
+            .push_back(slowdown);
+    }
+
+    std::printf("\n");
+    if (!phoenix.empty())
+        std::printf("phoenix geomean slowdown: %.1fx (max %.1fx)\n",
+                    geomean(phoenix),
+                    *std::max_element(phoenix.begin(), phoenix.end()));
+    if (!parsec.empty())
+        std::printf("parsec  geomean slowdown: %.1fx (max %.1fx)\n",
+                    geomean(parsec),
+                    *std::max_element(parsec.begin(), parsec.end()));
+    std::printf("\npaper shape: continuous analysis costs tens to "
+                "hundreds of x (up to ~300x quoted).\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * FIG-2 (reconstructed): the fraction of dynamic memory accesses that
+ * participate in inter-thread sharing — the observation that makes
+ * demand-driven analysis worthwhile. Ground truth is tracked at word
+ * granularity by the simulator, independent of any cache effects.
+ */
+
+#include "bench_util.hh"
+
+using namespace hdrd;
+using namespace hdrd::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = BenchOptions::parse(argc, argv, 0.5);
+    banner("FIG-2", "fraction of accesses touching shared data", opt);
+
+    std::printf("%-28s %12s %12s %9s %9s %9s %9s\n", "benchmark",
+                "accesses", "shared", "share%", "W->R", "W->W",
+                "R->W");
+
+    std::vector<double> phoenix, parsec;
+    for (const auto &info : opt.selected()) {
+        runtime::SimConfig config;
+        config.track_ground_truth = true;
+        const auto r = runMode(info, opt.params(), config,
+                               instr::ToolMode::kNative);
+        const double pct = 100.0 * r.sharingFraction();
+        std::printf("%-28s %12llu %12llu %8.3f%% %9llu %9llu %9llu\n",
+                    info.name.c_str(),
+                    static_cast<unsigned long long>(r.mem_accesses),
+                    static_cast<unsigned long long>(
+                        r.gt.shared_accesses),
+                    pct,
+                    static_cast<unsigned long long>(r.gt.wr),
+                    static_cast<unsigned long long>(r.gt.ww),
+                    static_cast<unsigned long long>(r.gt.rw));
+        (info.suite == "phoenix" ? phoenix : parsec).push_back(pct);
+    }
+
+    std::printf("\n");
+    if (!phoenix.empty())
+        std::printf("phoenix mean sharing: %.3f%%\n", mean(phoenix));
+    if (!parsec.empty())
+        std::printf("parsec  mean sharing: %.3f%%\n", mean(parsec));
+    std::printf("\npaper shape: map-reduce (Phoenix) shares far less "
+                "than PARSEC; most accesses in both are unshared,\n"
+                "so analyzing every access is mostly wasted work.\n");
+    return 0;
+}

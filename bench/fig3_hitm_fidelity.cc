@@ -1,0 +1,78 @@
+/**
+ * @file
+ * FIG-3 (reconstructed): fidelity of the hardware sharing indicator.
+ *
+ * Compares what the PMU-visible HITM-load event sees against
+ * ground-truth inter-thread sharing for every benchmark:
+ *   - W->R sharing is the only flavour the event can observe;
+ *   - cache evictions hide W->R pairs whose modified line left the
+ *     writer's private cache first;
+ *   - false sharing produces spurious events (micro.false_sharing).
+ */
+
+#include "bench_util.hh"
+
+using namespace hdrd;
+using namespace hdrd::bench;
+
+namespace
+{
+
+void
+row(const char *name, const runtime::RunResult &r)
+{
+    const double visible = r.gt.wr == 0
+        ? 0.0
+        : 100.0 * static_cast<double>(r.hitm_loads)
+            / static_cast<double>(r.gt.wr);
+    std::printf("%-28s %10llu %10llu %10llu %10llu %9.1f%%\n", name,
+                static_cast<unsigned long long>(r.gt.wr),
+                static_cast<unsigned long long>(r.gt.ww + r.gt.rw),
+                static_cast<unsigned long long>(r.hitm_loads),
+                static_cast<unsigned long long>(r.hitm_transfers),
+                visible);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = BenchOptions::parse(argc, argv, 0.5);
+    banner("FIG-3", "HITM indicator vs ground-truth sharing", opt);
+
+    std::printf("%-28s %10s %10s %10s %10s %10s\n", "benchmark",
+                "gt_W->R", "gt_other", "hitm_ld", "hitm_any",
+                "visible");
+
+    for (const auto &info : opt.selected()) {
+        runtime::SimConfig config;
+        config.track_ground_truth = true;
+        const auto r = runMode(info, opt.params(), config,
+                               instr::ToolMode::kNative);
+        row(info.name.c_str(), r);
+    }
+
+    // The false-sharing micro-kernel: zero word-level sharing, yet
+    // the line-granular indicator fires constantly.
+    const auto *fs = workloads::findWorkload("micro.false_sharing");
+    runtime::SimConfig config;
+    config.track_ground_truth = true;
+    const auto r =
+        runMode(*fs, opt.params(), config, instr::ToolMode::kNative);
+    std::printf("\nfalse-sharing control (word-granular gt vs "
+                "line-granular HITM):\n");
+    row(fs->name.c_str(), r);
+
+    std::printf("\nnote: visible%% > 100%% means line-granular HITMs "
+                "outnumber word-granular W->R events (several hot\n"
+                "words per line, plus false sharing); visible%% << "
+                "100%% means evictions drained the writer's modified\n"
+                "lines before consumption (e.g. matrix_multiply's "
+                "init burst is fully eviction-lost).\n");
+    std::printf("\npaper shape: the indicator sees only W->R sharing "
+                "and loses events to evictions; false sharing adds\n"
+                "spurious events (a performance cost, never missed "
+                "races).\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * FIG-4 (reconstructed): how much of each benchmark the demand-driven
+ * detector actually analyzes — the fraction of data accesses run
+ * through the race detector, plus the enable/disable churn behind it.
+ */
+
+#include "bench_util.hh"
+
+using namespace hdrd;
+using namespace hdrd::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = BenchOptions::parse(argc, argv, 0.5);
+    banner("FIG-4", "fraction of execution with analysis enabled",
+           opt);
+
+    std::printf("%-28s %12s %12s %9s %9s %9s\n", "benchmark",
+                "accesses", "analyzed", "frac%", "enables",
+                "interrupts");
+
+    std::vector<double> phoenix, parsec;
+    for (const auto &info : opt.selected()) {
+        runtime::SimConfig config;
+        const auto r = runMode(info, opt.params(), config,
+                               instr::ToolMode::kDemand);
+        const double pct = 100.0 * r.analyzedFraction();
+        std::printf("%-28s %12llu %12llu %8.2f%% %9llu %9llu\n",
+                    info.name.c_str(),
+                    static_cast<unsigned long long>(r.mem_accesses),
+                    static_cast<unsigned long long>(
+                        r.analyzed_accesses),
+                    pct,
+                    static_cast<unsigned long long>(r.enables),
+                    static_cast<unsigned long long>(r.interrupts));
+        (info.suite == "phoenix" ? phoenix : parsec).push_back(pct);
+    }
+
+    std::printf("\n");
+    if (!phoenix.empty())
+        std::printf("phoenix mean analyzed fraction: %.2f%%\n",
+                    mean(phoenix));
+    if (!parsec.empty())
+        std::printf("parsec  mean analyzed fraction: %.2f%%\n",
+                    mean(parsec));
+    std::printf("\npaper shape: Phoenix stays almost entirely "
+                "un-analyzed; PARSEC's pipelines and iterative\n"
+                "sharers keep the detector on much longer.\n");
+    return 0;
+}

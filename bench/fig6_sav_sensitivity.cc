@@ -1,0 +1,82 @@
+/**
+ * @file
+ * FIG-6 (reconstructed): sensitivity to the PMU sample-after value.
+ *
+ * SAV=1 interrupts on every HITM load (highest accuracy, most
+ * interrupts); larger SAVs amortize interrupt cost but delay — or
+ * entirely miss — analysis enables. The sweep reports demand-driven
+ * overhead and injected-race detection across SAVs on a workload
+ * with moderately repeating sharing bursts.
+ */
+
+#include "bench_util.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = BenchOptions::parse(argc, argv, 0.5);
+    banner("FIG-6", "sample-after value sweep", opt);
+
+    auto make = [&] {
+        auto params = opt.params();
+        params.injected_races = 6;
+        params.race_repeats = 120;
+        return workloads::findWorkload("phoenix.kmeans")
+            ->factory(params);
+    };
+
+    // Reference points.
+    runtime::SimConfig native_cfg;
+    native_cfg.mode = instr::ToolMode::kNative;
+    auto native_prog = make();
+    const auto native =
+        runtime::Simulator::runWith(*native_prog, native_cfg);
+
+    runtime::SimConfig cont_cfg;
+    cont_cfg.mode = instr::ToolMode::kContinuous;
+    auto cont_prog = make();
+    const auto continuous =
+        runtime::Simulator::runWith(*cont_prog, cont_cfg);
+    const auto cont_found = workloads::detectedFraction(
+        cont_prog->injectedRaces(), continuous.reports);
+
+    std::printf("workload: phoenix.kmeans + 6 injected repeating "
+                "races\n");
+    std::printf("continuous: %.1fx slowdown, %.0f%% races found\n\n",
+                static_cast<double>(continuous.wall_cycles)
+                    / static_cast<double>(native.wall_cycles),
+                100.0 * cont_found);
+
+    std::printf("%10s %10s %10s %11s %10s %10s\n", "SAV",
+                "slowdown", "speedup", "interrupts", "analyzed%",
+                "found%");
+    for (std::uint64_t sav :
+         {1ULL, 10ULL, 100ULL, 1000ULL, 10000ULL, 100000ULL}) {
+        runtime::SimConfig config;
+        config.mode = instr::ToolMode::kDemand;
+        config.gating.hitm_counter.sample_after = sav;
+        auto program = make();
+        const auto injected = program->injectedRaces();
+        const auto r = runtime::Simulator::runWith(*program, config);
+        std::printf("%10llu %9.1fx %9.1fx %11llu %9.2f%% %9.0f%%\n",
+                    static_cast<unsigned long long>(sav),
+                    static_cast<double>(r.wall_cycles)
+                        / static_cast<double>(native.wall_cycles),
+                    static_cast<double>(continuous.wall_cycles)
+                        / static_cast<double>(r.wall_cycles),
+                    static_cast<unsigned long long>(r.interrupts),
+                    100.0 * r.analyzedFraction(),
+                    100.0
+                        * workloads::detectedFraction(injected,
+                                                      r.reports));
+    }
+
+    std::printf("\npaper shape: SAV=1 preserves accuracy; raising "
+                "the SAV sheds interrupts and overhead but starts\n"
+                "missing sharing bursts, and with them races.\n");
+    return 0;
+}

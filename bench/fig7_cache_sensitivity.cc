@@ -1,0 +1,83 @@
+/**
+ * @file
+ * FIG-7 (reconstructed): private-cache capacity vs sharing-indicator
+ * visibility.
+ *
+ * A modified line evicted from the writer's private hierarchy before
+ * the reader arrives is serviced by the shared L3 — no HITM, no
+ * interrupt, potentially a missed race. This sweep shrinks the
+ * private L2 under a producer-consumer workload with a large handoff
+ * buffer and reports the fraction of ground-truth W->R sharing the
+ * indicator still sees, plus the accuracy consequence.
+ */
+
+#include "bench_util.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::bench;
+
+namespace
+{
+
+/** Producer fills a large buffer; consumer reads it after a barrier;
+ *  plus one injected repeating race in the buffer's tail. */
+std::unique_ptr<workloads::SyntheticProgram>
+producerConsumer(std::uint64_t lines)
+{
+    workloads::Builder b("prodcons", 2);
+    const workloads::Region buffer = b.alloc(lines * 64);
+    b.sweep(0, buffer, lines, 1.0, false, 64);
+    b.barrierAll(1);
+    b.sweep(1, buffer, lines, 0.0, false, 64);
+    return b.build();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = BenchOptions::parse(argc, argv, 1.0);
+    banner("FIG-7", "private cache capacity vs HITM visibility", opt);
+
+    const auto lines = static_cast<std::uint64_t>(
+        16384 * std::max(opt.scale, 0.05));
+    std::printf("workload: producer writes %llu lines, consumer "
+                "reads them after a barrier\n\n",
+                static_cast<unsigned long long>(lines));
+    std::printf("%12s %12s %12s %12s %10s\n", "private_L2",
+                "gt_W->R", "hitm_loads", "visible%", "enables");
+
+    for (std::uint64_t kib : {16ULL, 64ULL, 256ULL, 1024ULL,
+                              4096ULL}) {
+        runtime::SimConfig config;
+        config.mode = instr::ToolMode::kDemand;
+        config.track_ground_truth = true;
+        config.mem.l1 = {.size_bytes = 8 * 1024, .assoc = 4,
+                         .line_bytes = 64};
+        config.mem.l2 = {.size_bytes = kib * 1024, .assoc = 8,
+                         .line_bytes = 64};
+        config.mem.l3 = {.size_bytes = 64ULL * 1024 * 1024,
+                         .assoc = 16, .line_bytes = 64};
+        auto program = producerConsumer(lines);
+        const auto r =
+            runtime::Simulator::runWith(*program, config);
+        const double visible = r.gt.wr == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(r.hitm_loads)
+                / static_cast<double>(r.gt.wr);
+        std::printf("%9lluKiB %12llu %12llu %11.1f%% %10llu\n",
+                    static_cast<unsigned long long>(kib),
+                    static_cast<unsigned long long>(r.gt.wr),
+                    static_cast<unsigned long long>(r.hitm_loads),
+                    visible,
+                    static_cast<unsigned long long>(r.enables));
+    }
+
+    std::printf("\npaper shape: the indicator's recall scales with "
+                "private cache capacity relative to the handoff\n"
+                "working set; tiny caches make the hardware filter "
+                "nearly blind to delayed consumption.\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * TAB-1 (reconstructed): detection accuracy of demand-driven analysis
+ * vs continuous analysis.
+ *
+ * Each benchmark model gets a set of injected races with known static
+ * site-pair ground truth (repeating races, the common case the paper
+ * targets). The table reports the fraction found per regime; the
+ * racy micro-kernels contribute the hard cases (one-shot races,
+ * W->W-only races) that demand-driven analysis is expected to miss.
+ */
+
+#include "bench_util.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::bench;
+
+namespace
+{
+
+double
+detected(const workloads::WorkloadInfo &info,
+         const workloads::WorkloadParams &params,
+         instr::ToolMode mode)
+{
+    runtime::SimConfig config;
+    config.mode = mode;
+    auto program = info.factory(params);
+    const auto injected = program->injectedRaces();
+    const auto result = runtime::Simulator::runWith(*program, config);
+    return workloads::detectedFraction(injected, result.reports);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = BenchOptions::parse(argc, argv, 0.3);
+    banner("TAB-1", "race detection accuracy (injected races)", opt);
+
+    constexpr std::uint32_t kRaces = 6;
+    std::printf("injected races per benchmark: %u (repeating, %llu "
+                "accesses/side)\n\n",
+                kRaces, 200ULL);
+    std::printf("%-28s %12s %12s\n", "benchmark", "continuous",
+                "demand-hitm");
+
+    std::vector<double> cont_all, demand_all;
+    for (const auto &info : opt.selected()) {
+        auto params = opt.params();
+        params.injected_races = kRaces;
+        params.race_repeats = 200;
+        const double c =
+            detected(info, params, instr::ToolMode::kContinuous);
+        const double d =
+            detected(info, params, instr::ToolMode::kDemand);
+        std::printf("%-28s %11.0f%% %11.0f%%\n", info.name.c_str(),
+                    100.0 * c, 100.0 * d);
+        cont_all.push_back(c);
+        demand_all.push_back(d);
+    }
+
+    std::printf("\nhard cases (micro-kernels, natural races):\n");
+    std::printf("%-28s %12s %12s\n", "benchmark", "continuous",
+                "demand-hitm");
+    for (const char *name :
+         {"micro.racy_counter", "micro.racy_once",
+          "micro.racy_burst", "micro.unsafe_publish"}) {
+        const auto *info = workloads::findWorkload(name);
+        const auto params = opt.params();
+        const double c =
+            detected(*info, params, instr::ToolMode::kContinuous);
+        const double d =
+            detected(*info, params, instr::ToolMode::kDemand);
+        std::printf("%-28s %11.0f%% %11.0f%%\n", name, 100.0 * c,
+                    100.0 * d);
+    }
+
+    std::printf("\nsuite mean: continuous %.1f%%, demand-driven "
+                "%.1f%%\n",
+                100.0 * mean(cont_all), 100.0 * mean(demand_all));
+    std::printf("\npaper shape: demand-driven detection matches "
+                "continuous on repeating races (\"without a large\n"
+                "loss of detection accuracy\"); one-shot and "
+                "write-only-sharing races are the known misses.\n");
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Phoenix-style scenario: a histogram map-reduce job whose reduction
+ * has a bug — one thread merges its bins without taking the lock.
+ *
+ * Demonstrates:
+ *   - building a realistic phase-structured workload with Builder;
+ *   - how the demand-driven detector stays off through the long
+ *     private map phase and wakes exactly at the buggy reduction;
+ *   - reading the analysis-enable timeline out of the RunResult.
+ */
+
+#include <cstdio>
+
+#include "instr/cost_model.hh"
+#include "runtime/simulator.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+
+namespace
+{
+
+constexpr std::uint32_t kThreads = 4;
+
+/** Histogram with a locking bug in thread 2's reduction. */
+std::unique_ptr<workloads::SyntheticProgram>
+buildBuggyHistogram()
+{
+    workloads::Builder b("histogram_race", kThreads);
+    const auto input = b.alloc(2 << 20);
+    const auto shared_hist = b.alloc(2048);
+    const auto merge_lock = b.newLock();
+
+    for (ThreadId t = 0; t < kThreads; ++t) {
+        const auto slice = input.slice(t, kThreads);
+        const auto local_hist = b.alloc(2048);
+        // Map phase: scan the private slice, bump private bins.
+        b.sweep(t, slice, 60000, 0.0);
+        b.sweep(t, local_hist, 15000, 0.6, /*random=*/true);
+    }
+    b.barrierAll(b.newBarrier());
+    // Reduce phase: merge local bins into the shared histogram.
+    for (ThreadId t = 0; t < kThreads; ++t) {
+        if (t == 2) {
+            // BUG: thread 2 forgot the lock. The merge still does
+            // per-bin work, so the racy window overlaps its peers'
+            // locked merges rather than blasting past them.
+            b.sweep(t, shared_hist, 512, 0.5, /*random=*/false,
+                    /*stride=*/8, /*interleave_work=*/250);
+        } else {
+            b.lockedRmw(t, shared_hist, 128, merge_lock);
+        }
+    }
+    b.barrierAll(b.newBarrier());
+    return b.build();
+}
+
+runtime::RunResult
+runAs(instr::ToolMode mode)
+{
+    runtime::SimConfig config;
+    config.mode = mode;
+    auto program = buildBuggyHistogram();
+    return runtime::Simulator::runWith(*program, config);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto native = runAs(instr::ToolMode::kNative);
+    const auto continuous = runAs(instr::ToolMode::kContinuous);
+    const auto demand = runAs(instr::ToolMode::kDemand);
+
+    std::printf("histogram with an unlocked reduction in thread 2\n\n");
+    std::printf("%-12s %12s %9s %7s %10s\n", "mode", "cycles",
+                "slowdown", "races", "analyzed%");
+    const auto print = [&](const char *mode,
+                           const runtime::RunResult &r) {
+        std::printf("%-12s %12llu %8.1fx %7zu %9.2f%%\n", mode,
+                    static_cast<unsigned long long>(r.wall_cycles),
+                    static_cast<double>(r.wall_cycles)
+                        / static_cast<double>(native.wall_cycles),
+                    r.reports.uniqueCount(),
+                    100.0 * r.analyzedFraction());
+    };
+    print("native", native);
+    print("continuous", continuous);
+    print("demand", demand);
+
+    std::printf("\nboth tools agree the bug involves thread 2:\n");
+    for (const auto &report : demand.reports.reports()) {
+        std::printf("  %s race: thread %u vs thread %u (sites %u/%u)\n",
+                    detect::raceTypeName(report.type),
+                    report.first_tid, report.second_tid,
+                    report.first_site, report.second_site);
+    }
+
+    std::printf("\ndemand-driven analysis woke up %llu time(s), "
+                "analyzed %.2f%% of accesses,\nand still caught the "
+                "reduction bug at %.1fx less overhead than "
+                "continuous.\n",
+                static_cast<unsigned long long>(demand.enables),
+                100.0 * demand.analyzedFraction(),
+                static_cast<double>(continuous.wall_cycles)
+                    / static_cast<double>(demand.wall_cycles));
+    return demand.reports.uniqueCount() > 0 ? 0 : 1;
+}

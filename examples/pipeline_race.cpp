@@ -1,0 +1,97 @@
+/**
+ * @file
+ * PARSEC-style scenario: a dedup/ferret-like pipeline whose stage
+ * handoffs keep the sharing indicator firing, rendered as an
+ * enable/disable timeline.
+ *
+ * Demonstrates:
+ *   - the transition history in RunResult (when analysis toggled,
+ *     measured in global access indices);
+ *   - why pipeline programs see small demand-driven speedups: the
+ *     detector is on for most of the run;
+ *   - the contrast with a phased program on the same plot.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "instr/cost_model.hh"
+#include "runtime/simulator.hh"
+#include "workloads/registry.hh"
+
+using namespace hdrd;
+
+namespace
+{
+
+/** Render the analysis timeline as a fixed-width on/off strip. */
+void
+timeline(const runtime::RunResult &r, const char *label)
+{
+    constexpr int kWidth = 64;
+    std::string strip(kWidth, '.');
+    bool on = false;
+    std::size_t next = 0;
+    const double per_cell =
+        static_cast<double>(r.mem_accesses) / kWidth;
+    for (int cell = 0; cell < kWidth; ++cell) {
+        const auto cell_start =
+            static_cast<std::uint64_t>(cell * per_cell);
+        while (next < r.transitions.size()
+               && r.transitions[next].at_access <= cell_start) {
+            on = r.transitions[next].to_enabled;
+            ++next;
+        }
+        strip[static_cast<std::size_t>(cell)] = on ? '#' : '.';
+    }
+    std::printf("  %-22s [%s]\n", label, strip.c_str());
+}
+
+runtime::RunResult
+runDemand(const char *workload, double scale)
+{
+    workloads::WorkloadParams params;
+    params.scale = scale;
+    auto program =
+        workloads::findWorkload(workload)->factory(params);
+    runtime::SimConfig config;
+    config.mode = instr::ToolMode::kDemand;
+    return runtime::Simulator::runWith(*program, config);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("analysis-enabled timeline over the run "
+                "('#' = race detector on):\n\n");
+
+    struct Case
+    {
+        const char *workload;
+        const char *why;
+    };
+    const Case cases[] = {
+        {"parsec.ferret",
+         "tight pipeline: handoffs every step keep analysis on"},
+        {"parsec.vips",
+         "coarse pipeline: stage-local work lets it switch off"},
+        {"phoenix.kmeans",
+         "iterative: one burst per iteration's centroid reread"},
+        {"phoenix.linear_regression",
+         "no sharing: the detector never wakes up"},
+    };
+
+    for (const auto &c : cases) {
+        const auto r = runDemand(c.workload, 0.3);
+        timeline(r, c.workload);
+        std::printf("  %-22s  %llu enables, %.1f%% analyzed — %s\n\n",
+                    "", static_cast<unsigned long long>(r.enables),
+                    100.0 * r.analyzedFraction(), c.why);
+    }
+
+    std::printf("the paper's economics in one picture: speedup comes "
+                "from the dots.\n");
+    return 0;
+}

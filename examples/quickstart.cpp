@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Quickstart: build a small racy program, run it under continuous and
+ * demand-driven race detection, and compare what each found and what
+ * each cost.
+ *
+ * This is the 60-second tour of the public API:
+ *   1. describe a multithreaded program (workloads::Builder),
+ *   2. pick an analysis regime (runtime::SimConfig),
+ *   3. run it (runtime::Simulator) and read the RunResult.
+ */
+
+#include <cstdio>
+
+#include "instr/cost_model.hh"
+#include "runtime/simulator.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+
+namespace
+{
+
+/** A 4-thread program: private work with one unlocked shared counter. */
+std::unique_ptr<workloads::SyntheticProgram>
+buildProgram()
+{
+    workloads::Builder b("quickstart", /*nthreads=*/4);
+    const workloads::Region scratch = b.alloc(1 << 20);
+    const workloads::Region counter = b.alloc(8);
+
+    for (ThreadId t = 0; t < 4; ++t) {
+        // Mostly private churn...
+        b.sweep(t, scratch.slice(t, 4), 40000, 0.3);
+        // ...but everyone bumps this counter with no lock: a data race.
+        b.sweep(t, counter, 500, 0.5);
+        b.sweep(t, scratch.slice(t, 4), 40000, 0.3);
+    }
+    return b.build();
+}
+
+runtime::RunResult
+runMode(instr::ToolMode mode)
+{
+    runtime::SimConfig config;
+    config.mode = mode;
+    auto program = buildProgram();
+    return runtime::Simulator::runWith(*program, config);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto native = runMode(instr::ToolMode::kNative);
+    const auto continuous = runMode(instr::ToolMode::kContinuous);
+    const auto demand = runMode(instr::ToolMode::kDemand);
+
+    const auto slowdown = [&](const runtime::RunResult &r) {
+        return static_cast<double>(r.wall_cycles)
+            / static_cast<double>(native.wall_cycles);
+    };
+
+    std::printf("quickstart: 4 threads, one unlocked shared counter\n");
+    std::printf("  %-12s %14s %10s %8s %s\n", "mode", "cycles",
+                "slowdown", "races", "analyzed");
+    std::printf("  %-12s %14llu %9.1fx %8zu %llu\n", "native",
+                static_cast<unsigned long long>(native.wall_cycles),
+                1.0, native.reports.uniqueCount(),
+                static_cast<unsigned long long>(
+                    native.analyzed_accesses));
+    std::printf("  %-12s %14llu %9.1fx %8zu %llu\n", "continuous",
+                static_cast<unsigned long long>(
+                    continuous.wall_cycles),
+                slowdown(continuous), continuous.reports.uniqueCount(),
+                static_cast<unsigned long long>(
+                    continuous.analyzed_accesses));
+    std::printf("  %-12s %14llu %9.1fx %8zu %llu\n", "demand",
+                static_cast<unsigned long long>(demand.wall_cycles),
+                slowdown(demand), demand.reports.uniqueCount(),
+                static_cast<unsigned long long>(
+                    demand.analyzed_accesses));
+
+    std::printf("\n  demand-driven speedup over continuous: %.1fx\n",
+                static_cast<double>(continuous.wall_cycles)
+                    / static_cast<double>(demand.wall_cycles));
+    std::printf("  demand transitions: %llu enables, %llu disables, "
+                "%llu HITM interrupts\n",
+                static_cast<unsigned long long>(demand.enables),
+                static_cast<unsigned long long>(demand.disables),
+                static_cast<unsigned long long>(demand.interrupts));
+
+    std::printf("\n  races reported by demand-driven analysis:\n");
+    for (const auto &report : demand.reports.reports()) {
+        std::printf("    thread %u (site %u) vs thread %u (site %u) "
+                    "at 0x%llx\n",
+                    report.first_tid, report.first_site,
+                    report.second_tid, report.second_site,
+                    static_cast<unsigned long long>(report.addr));
+    }
+    return demand.reports.uniqueCount() > 0 ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace hdrd
+{
+
+namespace
+{
+
+/** Bucket index: 0 for value 0, else 1 + floor(log2(value)). */
+std::size_t
+bucketIndex(std::uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    return static_cast<std::size_t>(std::bit_width(value));
+}
+
+} // namespace
+
+void
+Log2Histogram::add(std::uint64_t value)
+{
+    const std::size_t idx = bucketIndex(value);
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1, 0);
+    ++buckets_[idx];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Log2Histogram::mean() const
+{
+    return count_ == 0
+        ? 0.0
+        : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t
+Log2Histogram::bucket(std::size_t i) const
+{
+    return i < buckets_.size() ? buckets_[i] : 0;
+}
+
+double
+Log2Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const double target = p / 100.0 * static_cast<double>(count_);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double in_bucket = static_cast<double>(buckets_[i]);
+        if (in_bucket == 0.0)
+            continue;
+        if (seen + in_bucket >= target) {
+            if (i == 0)
+                return 0.0;
+            const double lo = static_cast<double>(1ULL << (i - 1));
+            const double hi = static_cast<double>(
+                i >= 64 ? ~0ULL : (1ULL << i));
+            const double frac = (target - seen) / in_bucket;
+            return lo + frac * (hi - lo);
+        }
+        seen += in_bucket;
+    }
+    return static_cast<double>(max_);
+}
+
+void
+Log2Histogram::reset()
+{
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~0ULL;
+    max_ = 0;
+}
+
+void
+Log2Histogram::dump(std::ostream &os, const char *label) const
+{
+    os << label << " count=" << count_ << " mean=" << mean()
+       << " min=" << min() << " max=" << max_ << '\n';
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        const std::uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1));
+        const std::uint64_t hi = i == 0 ? 1 : (1ULL << i);
+        os << label << "  [" << lo << ',' << hi << ") "
+           << buckets_[i] << '\n';
+    }
+}
+
+} // namespace hdrd

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Everything random in hdrd flows through Rng so that a (seed, program)
+ * pair fully determines an experiment. The generator is xoshiro256**,
+ * which is tiny, fast, and has far better statistical behaviour than
+ * std::minstd/rand while staying reproducible across platforms (unlike
+ * std::default_random_engine, whose meaning is implementation-defined).
+ */
+
+#ifndef HDRD_COMMON_RNG_HH
+#define HDRD_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace hdrd
+{
+
+/**
+ * xoshiro256** pseudo-random generator with SplitMix64 seeding.
+ *
+ * Not a std::uniform_random_bit_generator on purpose: the std
+ * distributions are implementation-defined, so we provide our own
+ * portable helpers instead.
+ */
+class Rng
+{
+  public:
+    /** Seed deterministically via SplitMix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw: true with probability @p p (clamped to [0,1]). */
+    bool nextBool(double p);
+
+    /**
+     * Geometric-ish burst length: 1 + number of successes before the
+     * first failure with continue-probability @p p. Used by workload
+     * models for bursty sharing phases.
+     */
+    std::uint64_t nextBurst(double p, std::uint64_t cap = 1 << 20);
+
+    /** Split off an independent generator (jump via reseed). */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace hdrd
+
+#endif // HDRD_COMMON_RNG_HH

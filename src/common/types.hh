@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every hdrd module.
+ *
+ * Keeping the aliases in one tiny header documents intent at use sites
+ * (an Addr is not a Cycle is not a ThreadId) without the cost of strong
+ * wrapper types on the simulator's hottest paths.
+ */
+
+#ifndef HDRD_COMMON_TYPES_HH
+#define HDRD_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace hdrd
+{
+
+/** Byte address in the simulated flat physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated processor cycles. */
+using Cycle = std::uint64_t;
+
+/** Simulated thread identifier (dense, 0-based). */
+using ThreadId = std::uint32_t;
+
+/** Physical core identifier (dense, 0-based). */
+using CoreId = std::uint32_t;
+
+/**
+ * Static program-site identifier.
+ *
+ * Workload operations carry a SiteId naming the static source location
+ * the operation models; race reports are deduplicated on unordered
+ * SiteId pairs, mirroring how real detectors report unique races per
+ * instruction pair rather than per dynamic occurrence.
+ */
+using SiteId = std::uint32_t;
+
+/** Sentinel for "no thread". */
+constexpr ThreadId kInvalidThread =
+    std::numeric_limits<ThreadId>::max();
+
+/** Sentinel for "no site". */
+constexpr SiteId kInvalidSite = std::numeric_limits<SiteId>::max();
+
+/** Sentinel address used by non-memory operations. */
+constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+} // namespace hdrd
+
+#endif // HDRD_COMMON_TYPES_HH

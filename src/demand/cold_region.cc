@@ -1,0 +1,38 @@
+#include "demand/cold_region.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hdrd::demand
+{
+
+ColdRegionSampler::ColdRegionSampler(double decay, double floor,
+                                     Rng rng)
+    : decay_(decay), floor_(floor), rng_(rng)
+{
+    hdrdAssert(decay > 0.0 && decay <= 1.0,
+               "cold-region decay must be in (0, 1]");
+    hdrdAssert(floor >= 0.0 && floor <= 1.0,
+               "cold-region floor must be in [0, 1]");
+}
+
+bool
+ColdRegionSampler::shouldAnalyze(SiteId site)
+{
+    auto [it, inserted] = rates_.try_emplace(site, 1.0);
+    double &rate = it->second;
+    if (!rng_.nextBool(rate))
+        return false;
+    rate = std::max(floor_, rate * decay_);
+    return true;
+}
+
+double
+ColdRegionSampler::rate(SiteId site) const
+{
+    auto it = rates_.find(site);
+    return it == rates_.end() ? 1.0 : it->second;
+}
+
+} // namespace hdrd::demand

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * LiteRace-style cold-region adaptive sampler.
+ *
+ * Hypothesis (LiteRace, PLDI'09): data races hide in rarely exercised
+ * code, so sample each static site aggressively while it is cold and
+ * back off as it gets hot. Each site starts at rate 1.0; every
+ * *sampled* execution multiplies its rate by the decay until the
+ * floor.
+ */
+
+#ifndef HDRD_DEMAND_COLD_REGION_HH
+#define HDRD_DEMAND_COLD_REGION_HH
+
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace hdrd::demand
+{
+
+/**
+ * Per-site decaying sampling rates.
+ */
+class ColdRegionSampler
+{
+  public:
+    /**
+     * @param decay multiplicative rate decay per sampled access
+     * @param floor minimum rate (keeps a trickle of hot-site checks)
+     * @param rng seeded generator for the sampling draws
+     */
+    ColdRegionSampler(double decay, double floor, Rng rng);
+
+    /**
+     * Decide whether this execution of @p site is analyzed; decays
+     * the site's rate when it is.
+     */
+    bool shouldAnalyze(SiteId site);
+
+    /** Current rate of @p site (1.0 if never seen). */
+    double rate(SiteId site) const;
+
+    /** Distinct sites tracked. */
+    std::size_t sitesSeen() const { return rates_.size(); }
+
+  private:
+    double decay_;
+    double floor_;
+    Rng rng_;
+    std::unordered_map<SiteId, double> rates_;
+};
+
+} // namespace hdrd::demand
+
+#endif // HDRD_DEMAND_COLD_REGION_HH

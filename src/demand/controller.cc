@@ -1,0 +1,103 @@
+#include "demand/controller.hh"
+
+namespace hdrd::demand
+{
+
+DemandController::DemandController(const GatingConfig &config, Rng rng)
+    : config_(config), rng_(rng), monitor_(config.watchdog)
+{
+}
+
+bool
+DemandController::enabledFor(ThreadId tid) const
+{
+    // Random sampling has no notion of an interrupted thread; it
+    // always toggles globally regardless of the configured scope.
+    if (config_.scope == EnableScope::kGlobal
+        || config_.strategy == Strategy::kRandomSampling) {
+        return enabled_;
+    }
+    return tid < thread_enabled_.size() && thread_enabled_[tid];
+}
+
+void
+DemandController::enable(ThreadId tid)
+{
+    const bool per_thread = config_.scope == EnableScope::kPerThread;
+    if (per_thread) {
+        if (tid >= thread_enabled_.size())
+            thread_enabled_.resize(tid + 1, false);
+        thread_enabled_[tid] = true;
+    }
+    if (!enabled_) {
+        // First enable (re)starts the watchdog window.
+        monitor_.reset();
+    }
+    enabled_ = true;
+    ++enables_;
+    transitions_.push_back(Transition{
+        true, accesses_, per_thread ? tid : kInvalidThread});
+}
+
+void
+DemandController::disable()
+{
+    enabled_ = false;
+    thread_enabled_.assign(thread_enabled_.size(), false);
+    ++disables_;
+    transitions_.push_back(Transition{false, accesses_,
+                                      kInvalidThread});
+}
+
+bool
+DemandController::onInterrupt(ThreadId tid)
+{
+    if (config_.strategy != Strategy::kDemandHitm)
+        return false;
+    if (enabledFor(tid))
+        return false;
+    enable(tid);
+    return true;
+}
+
+bool
+DemandController::onOracleSharing(ThreadId tid)
+{
+    if (config_.strategy != Strategy::kDemandOracle)
+        return false;
+    if (enabledFor(tid))
+        return false;
+    enable(tid);
+    return true;
+}
+
+bool
+DemandController::onAccessBoundary()
+{
+    ++accesses_;
+    if (config_.strategy != Strategy::kRandomSampling)
+        return false;
+    if (accesses_ % config_.sampling_window != 0)
+        return false;
+    const bool next = rng_.nextBool(config_.sampling_rate);
+    if (next == enabled_)
+        return false;
+    if (next)
+        enable(0);
+    else
+        disable();
+    return true;
+}
+
+bool
+DemandController::onAnalyzedAccess(const detect::AccessOutcome &outcome)
+{
+    if (!enabled_ || config_.strategy == Strategy::kRandomSampling)
+        return false;
+    if (!monitor_.recordAnalyzed(outcome.inter_thread))
+        return false;
+    disable();
+    return true;
+}
+
+} // namespace hdrd::demand

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The demand-driven analysis controller — the paper's state machine.
+ *
+ * Two states: analysis DISABLED (default; the hardware sharing
+ * indicator is armed) and analysis ENABLED (every data access runs
+ * through the race detector; the software watchdog looks for a chance
+ * to switch back off).
+ *
+ *         HITM overflow interrupt / oracle sharing / sampling window
+ *   DISABLED ----------------------------------------------------->
+ *   <-----------------------------------------------------  ENABLED
+ *          watchdog: sharing ratio quiet for long enough
+ *
+ * The controller is pure decision logic: the simulator owns the PMU
+ * and charges transition/interrupt costs based on what the controller
+ * reports.
+ */
+
+#ifndef HDRD_DEMAND_CONTROLLER_HH
+#define HDRD_DEMAND_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "demand/sharing_monitor.hh"
+#include "demand/strategy.hh"
+#include "detect/detector.hh"
+
+namespace hdrd::demand
+{
+
+/** One enable/disable transition, for timelines and tests. */
+struct Transition
+{
+    bool to_enabled = false;
+
+    /** Global access index at which the transition happened. */
+    std::uint64_t at_access = 0;
+
+    /**
+     * Thread the transition applied to; kInvalidThread for global
+     * transitions (the paper's configuration).
+     */
+    ThreadId tid = kInvalidThread;
+};
+
+/**
+ * The analysis-gating state machine.
+ */
+class DemandController
+{
+  public:
+    DemandController(const GatingConfig &config, Rng rng);
+
+    /** Is per-access analysis enabled for any thread? */
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Is analysis enabled for @p tid? Equals enabled() under the
+     * paper's global scope; consults the per-thread bit under
+     * EnableScope::kPerThread.
+     */
+    bool enabledFor(ThreadId tid) const;
+
+    /** Gating configuration. */
+    const GatingConfig &config() const { return config_; }
+
+    /**
+     * A HITM overflow interrupt arrived (kDemandHitm) while thread
+     * @p tid was running on the interrupted core.
+     * @return true when this caused a disable->enable transition.
+     */
+    bool onInterrupt(ThreadId tid = 0);
+
+    /**
+     * Ground-truth sharing observed (kDemandOracle) on @p tid.
+     * @return true when this caused a disable->enable transition.
+     */
+    bool onOracleSharing(ThreadId tid = 0);
+
+    /**
+     * Account one data access (any mode, analyzed or not); drives the
+     * sampling-window strategy.
+     * @return true when a sampling-window boundary toggled the state.
+     */
+    bool onAccessBoundary();
+
+    /**
+     * Feed the outcome of an analyzed access to the watchdog.
+     * @return true when the watchdog just disabled analysis.
+     */
+    bool onAnalyzedAccess(const detect::AccessOutcome &outcome);
+
+    /** Total disable->enable transitions. */
+    std::uint64_t enables() const { return enables_; }
+
+    /** Total enable->disable transitions. */
+    std::uint64_t disables() const { return disables_; }
+
+    /** Full transition history (timeline rendering, tests). */
+    const std::vector<Transition> &transitions() const
+    {
+        return transitions_;
+    }
+
+    /** Global accesses seen (via onAccessBoundary). */
+    std::uint64_t accessesSeen() const { return accesses_; }
+
+  private:
+    void enable(ThreadId tid);
+    void disable();
+
+    GatingConfig config_;
+    Rng rng_;
+    SharingMonitor monitor_;
+    bool enabled_ = false;
+    std::vector<bool> thread_enabled_;  ///< kPerThread scope only
+    std::uint64_t accesses_ = 0;
+    std::uint64_t enables_ = 0;
+    std::uint64_t disables_ = 0;
+    std::vector<Transition> transitions_;
+};
+
+} // namespace hdrd::demand
+
+#endif // HDRD_DEMAND_CONTROLLER_HH

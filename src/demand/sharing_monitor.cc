@@ -1,0 +1,48 @@
+#include "demand/sharing_monitor.hh"
+
+#include "common/logging.hh"
+
+namespace hdrd::demand
+{
+
+SharingMonitor::SharingMonitor(const WatchdogConfig &config)
+    : config_(config)
+{
+    hdrdAssert(config.window > 0, "watchdog window must be positive");
+}
+
+void
+SharingMonitor::reset()
+{
+    since_reset_ = 0;
+    window_accesses_ = 0;
+    window_shared_ = 0;
+    quiet_streak_ = 0;
+}
+
+bool
+SharingMonitor::recordAnalyzed(bool inter_thread)
+{
+    ++since_reset_;
+    ++window_accesses_;
+    if (inter_thread)
+        ++window_shared_;
+
+    if (window_accesses_ < config_.window)
+        return false;
+
+    const double ratio = static_cast<double>(window_shared_)
+        / static_cast<double>(window_accesses_);
+    window_accesses_ = 0;
+    window_shared_ = 0;
+
+    if (ratio < config_.sharing_threshold)
+        ++quiet_streak_;
+    else
+        quiet_streak_ = 0;
+
+    return quiet_streak_ >= config_.quiet_windows
+        && since_reset_ >= config_.min_enabled_accesses;
+}
+
+} // namespace hdrd::demand

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The software sharing watchdog: decides when analysis can turn off.
+ *
+ * While per-access analysis is enabled, the detector reports for each
+ * analyzed access whether the touched granule's prior state involved
+ * another thread. The watchdog integrates this signal over windows of
+ * analyzed accesses; after enough consecutive windows with a sharing
+ * ratio below threshold, it recommends disabling analysis and
+ * re-arming the hardware sharing indicator.
+ */
+
+#ifndef HDRD_DEMAND_SHARING_MONITOR_HH
+#define HDRD_DEMAND_SHARING_MONITOR_HH
+
+#include <cstdint>
+
+namespace hdrd::demand
+{
+
+/** Watchdog parameters. */
+struct WatchdogConfig
+{
+    /** Analyzed accesses per measurement window. */
+    std::uint64_t window = 2000;
+
+    /** Sharing ratio below which a window counts as quiet. */
+    double sharing_threshold = 0.02;
+
+    /** Consecutive quiet windows required before disabling. */
+    std::uint32_t quiet_windows = 2;
+
+    /** Never disable before this many analyzed accesses post-enable. */
+    std::uint64_t min_enabled_accesses = 6000;
+};
+
+/**
+ * Windowed sharing-ratio integrator.
+ */
+class SharingMonitor
+{
+  public:
+    explicit SharingMonitor(const WatchdogConfig &config);
+
+    /** Reset all window state (call on every analysis enable). */
+    void reset();
+
+    /**
+     * Record one analyzed access.
+     * @param inter_thread the access touched state last used by
+     *        another thread
+     * @return true when the watchdog now recommends disabling.
+     */
+    bool recordAnalyzed(bool inter_thread);
+
+    /** Accesses analyzed since the last reset. */
+    std::uint64_t analyzedSinceReset() const { return since_reset_; }
+
+    /** Configuration in force. */
+    const WatchdogConfig &config() const { return config_; }
+
+  private:
+    WatchdogConfig config_;
+    std::uint64_t since_reset_ = 0;
+    std::uint64_t window_accesses_ = 0;
+    std::uint64_t window_shared_ = 0;
+    std::uint32_t quiet_streak_ = 0;
+};
+
+} // namespace hdrd::demand
+
+#endif // HDRD_DEMAND_SHARING_MONITOR_HH

@@ -1,0 +1,36 @@
+#include "demand/strategy.hh"
+
+namespace hdrd::demand
+{
+
+const char *
+strategyName(Strategy strategy)
+{
+    switch (strategy) {
+      case Strategy::kDemandHitm:
+        return "demand-hitm";
+      case Strategy::kDemandOracle:
+        return "demand-oracle";
+      case Strategy::kRandomSampling:
+        return "random-sampling";
+      case Strategy::kColdRegion:
+        return "cold-region";
+      case Strategy::kWatchlist:
+        return "watchlist";
+    }
+    return "?";
+}
+
+const char *
+scopeName(EnableScope scope)
+{
+    switch (scope) {
+      case EnableScope::kGlobal:
+        return "global";
+      case EnableScope::kPerThread:
+        return "per-thread";
+    }
+    return "?";
+}
+
+} // namespace hdrd::demand

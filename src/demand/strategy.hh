@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Gating strategies: how demand-driven analysis decides to turn on.
+ */
+
+#ifndef HDRD_DEMAND_STRATEGY_HH
+#define HDRD_DEMAND_STRATEGY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "demand/sharing_monitor.hh"
+#include "pmu/counter.hh"
+
+namespace hdrd::demand
+{
+
+/**
+ * How the demand-driven controller obtains its "sharing is happening"
+ * signal.
+ */
+enum class Strategy : std::uint8_t
+{
+    /**
+     * The paper: arm the PMU on HITM loads; an overflow interrupt
+     * enables analysis. Subject to every hardware limitation —
+     * W->R-only visibility, eviction losses, sampling, skid.
+     */
+    kDemandHitm = 0,
+
+    /**
+     * Idealized indicator: enables on *ground-truth* inter-thread
+     * sharing of any flavour (W->R, W->W, R->W), with no cache or
+     * sampling losses. Upper bound for the accuracy of any
+     * sharing-gated scheme.
+     */
+    kDemandOracle,
+
+    /**
+     * No indicator at all: analysis toggles on for randomly chosen
+     * windows of accesses (PACER-style global sampling baseline for
+     * the strategy ablation).
+     */
+    kRandomSampling,
+
+    /**
+     * LiteRace-style cold-region adaptive sampling: each static site
+     * starts fully analyzed and its sampling rate decays as it gets
+     * hot, on the theory that races live in rarely exercised code.
+     * Per-access decisions; no global enabled state.
+     */
+    kColdRegion,
+
+    /**
+     * Watchlist confirmation mode: analyze only accesses to a fixed
+     * set of suspect granules (e.g., the addresses a previous cheap
+     * demand-driven run reported). The second phase of a find-then-
+     * confirm workflow.
+     */
+    kWatchlist,
+};
+
+/** Printable name for a Strategy. */
+const char *strategyName(Strategy strategy);
+
+/**
+ * Which threads an enable applies to.
+ *
+ * The paper enables analysis globally (every thread) on an interrupt;
+ * kPerThread is our extension ablation: only the interrupted thread's
+ * analysis turns on, trading detection of cross-thread pairs whose
+ * first access runs on a still-disabled thread for lower overhead.
+ */
+enum class EnableScope : std::uint8_t
+{
+    kGlobal = 0,
+    kPerThread,
+};
+
+/** Printable name for an EnableScope. */
+const char *scopeName(EnableScope scope);
+
+/** Full configuration of the demand-driven gating machinery. */
+struct GatingConfig
+{
+    Strategy strategy = Strategy::kDemandHitm;
+
+    /** Enable scope: the paper's global enable, or per-thread. */
+    EnableScope scope = EnableScope::kGlobal;
+
+    /**
+     * PEBS precise capture (extension): real PEBS records the data
+     * address and context of the sampled load. When set, the access
+     * that raised the enabling interrupt is fed to the detector
+     * retroactively, so the triggering W->R pair itself can be
+     * caught rather than only subsequent repetitions.
+     */
+    bool pebs_precise_capture = false;
+
+    /** PMU programming for kDemandHitm. */
+    pmu::CounterConfig hitm_counter{
+        .event = pmu::EventType::kHitmLoad,
+        .sample_after = 1,
+        .skid = 4,
+        .auto_rearm = true,
+    };
+
+    /** Software watchdog driving the disable decision. */
+    WatchdogConfig watchdog;
+
+    /** kRandomSampling: probability each window runs analyzed. */
+    double sampling_rate = 0.01;
+
+    /** kRandomSampling: window length in accesses. */
+    std::uint64_t sampling_window = 10000;
+
+    /** kColdRegion: multiplicative rate decay per sampled access. */
+    double cold_decay = 0.995;
+
+    /** kColdRegion: floor the per-site rate never decays below. */
+    double cold_floor = 0.001;
+
+    /**
+     * kWatchlist: detection granules (addr >> granule_shift) whose
+     * accesses are analyzed; everything else runs native-speed.
+     */
+    std::vector<std::uint64_t> watchlist;
+};
+
+} // namespace hdrd::demand
+
+#endif // HDRD_DEMAND_STRATEGY_HH

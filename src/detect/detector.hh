@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Abstract per-access race detector interface.
+ *
+ * Detectors consume data accesses only; synchronization flows through
+ * the shared SyncClocks object, which stays up to date even when the
+ * demand-driven controller has per-access analysis disabled.
+ */
+
+#ifndef HDRD_DETECT_DETECTOR_HH
+#define HDRD_DETECT_DETECTOR_HH
+
+#include "common/types.hh"
+
+namespace hdrd::detect
+{
+
+/** What one analyzed access revealed. */
+struct AccessOutcome
+{
+    /** A race was detected on this access. */
+    bool race = false;
+
+    /**
+     * The granule's prior shadow state involved a different thread —
+     * the software sharing signal the demand controller's watchdog
+     * integrates to decide when to switch analysis back off.
+     */
+    bool inter_thread = false;
+};
+
+/**
+ * Per-access analysis interface implemented by FastTrackDetector and
+ * NaiveHbDetector.
+ */
+class Detector
+{
+  public:
+    virtual ~Detector() = default;
+
+    /**
+     * Analyze one data access.
+     * @param tid accessing thread
+     * @param addr byte address
+     * @param write true for stores
+     * @param site static site id of the access
+     */
+    virtual AccessOutcome onAccess(ThreadId tid, Addr addr, bool write,
+                                   SiteId site) = 0;
+
+    /**
+     * Lock acquire/release notifications. Happens-before detectors
+     * get their ordering from SyncClocks and ignore these; lockset
+     * detectors (Eraser) need the held-lock sets. Like sync-clock
+     * maintenance, these are never demand-gated.
+     *
+     * @param write_mode false for the read side of a reader-writer
+     *        lock — such holds protect reads but not writes (a write
+     *        under a read lock is unprotected against the readers).
+     */
+    virtual void onLock(ThreadId tid, std::uint64_t lock_id,
+                        bool write_mode = true)
+    {
+        (void)tid;
+        (void)lock_id;
+        (void)write_mode;
+    }
+
+    virtual void onUnlock(ThreadId tid, std::uint64_t lock_id)
+    {
+        (void)tid;
+        (void)lock_id;
+    }
+
+    /** Drop all per-variable shadow state. */
+    virtual void clearShadow() = 0;
+
+    /** Human-readable detector name. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace hdrd::detect
+
+#endif // HDRD_DETECT_DETECTOR_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * FastTrack epochs: a (thread, clock) pair packed into 64 bits.
+ *
+ * An epoch c@t says "clock value c of thread t". FastTrack's key
+ * optimization replaces most per-variable vector clocks with a single
+ * epoch, since almost all variables are only ever ordered through one
+ * thread at a time.
+ */
+
+#ifndef HDRD_DETECT_EPOCH_HH
+#define HDRD_DETECT_EPOCH_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "detect/vector_clock.hh"
+
+namespace hdrd::detect
+{
+
+/**
+ * Packed epoch: thread id in the top 16 bits, clock in the low 48.
+ * The all-zero value is the distinguished "empty" epoch (no access
+ * yet): thread 0's clocks start at 1, so 0@0 never arises naturally.
+ */
+class Epoch
+{
+  public:
+    /** The empty epoch (no prior access). */
+    constexpr Epoch() : bits_(0) {}
+
+    /** Build c@t. */
+    Epoch(ThreadId tid, ClockValue clock)
+        : bits_((static_cast<std::uint64_t>(tid) << kTidShift)
+                | (clock & kClockMask))
+    {
+    }
+
+    /** True when this is the empty epoch. */
+    bool empty() const { return bits_ == 0; }
+
+    /** Thread component. */
+    ThreadId tid() const
+    {
+        return static_cast<ThreadId>(bits_ >> kTidShift);
+    }
+
+    /** Clock component. */
+    ClockValue clock() const { return bits_ & kClockMask; }
+
+    /**
+     * Epoch-vs-vector-clock happens-before test: c@t <= V iff
+     * c <= V[t]. The empty epoch precedes everything.
+     */
+    bool leq(const VectorClock &vc) const
+    {
+        return empty() || clock() <= vc.get(tid());
+    }
+
+    bool operator==(const Epoch &other) const = default;
+
+  private:
+    static constexpr int kTidShift = 48;
+    static constexpr std::uint64_t kClockMask =
+        (std::uint64_t{1} << kTidShift) - 1;
+
+    std::uint64_t bits_;
+};
+
+} // namespace hdrd::detect
+
+#endif // HDRD_DETECT_EPOCH_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * FastTrack-style adaptive happens-before race detector.
+ *
+ * This models the per-access analysis of a commercial detector such as
+ * the one inside Intel Inspector XE: epochs for the common
+ * thread-ordered cases, inflating the read side to a vector clock only
+ * when a variable becomes read-shared.
+ */
+
+#ifndef HDRD_DETECT_FASTTRACK_HH
+#define HDRD_DETECT_FASTTRACK_HH
+
+#include "detect/detector.hh"
+#include "detect/report.hh"
+#include "detect/shadow.hh"
+#include "detect/sync_state.hh"
+
+namespace hdrd::detect
+{
+
+/**
+ * The FastTrack algorithm over lazily materialized shadow memory.
+ */
+class FastTrackDetector : public Detector
+{
+  public:
+    /**
+     * @param clocks shared, always-on synchronization clocks
+     * @param sink race report collector
+     * @param granule_shift log2 bytes of the detection granule
+     */
+    FastTrackDetector(SyncClocks &clocks, ReportSink &sink,
+                      std::uint32_t granule_shift = 3);
+
+    AccessOutcome onAccess(ThreadId tid, Addr addr, bool write,
+                           SiteId site) override;
+
+    void clearShadow() override { shadow_.clear(); }
+
+    const char *name() const override { return "fasttrack"; }
+
+    /** The underlying shadow memory (tests). */
+    const ShadowMemory &shadow() const { return shadow_; }
+    ShadowMemory &shadow() { return shadow_; }
+
+  private:
+    AccessOutcome onRead(ThreadId tid, Addr addr, SiteId site);
+    AccessOutcome onWrite(ThreadId tid, Addr addr, SiteId site);
+
+    /** Did the prior state of @p st involve a thread other than tid? */
+    static bool involvesOtherThread(const VarState &st, ThreadId tid);
+
+    SyncClocks &clocks_;
+    ReportSink &sink_;
+    ShadowMemory shadow_;
+};
+
+} // namespace hdrd::detect
+
+#endif // HDRD_DETECT_FASTTRACK_HH

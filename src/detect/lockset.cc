@@ -1,0 +1,133 @@
+#include "detect/lockset.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hdrd::detect
+{
+
+LocksetDetector::LocksetDetector(ReportSink &sink,
+                                 std::uint32_t granule_shift)
+    : sink_(sink), granule_shift_(granule_shift)
+{
+}
+
+void
+LocksetDetector::onLock(ThreadId tid, std::uint64_t lock_id,
+                        bool write_mode)
+{
+    auto &locks = held_[tid];
+    if (std::find(locks.begin(), locks.end(), lock_id) == locks.end())
+        locks.push_back(lock_id);
+    if (write_mode) {
+        auto &wlocks = write_held_[tid];
+        if (std::find(wlocks.begin(), wlocks.end(), lock_id)
+                == wlocks.end()) {
+            wlocks.push_back(lock_id);
+        }
+    }
+}
+
+void
+LocksetDetector::onUnlock(ThreadId tid, std::uint64_t lock_id)
+{
+    auto &locks = held_[tid];
+    locks.erase(std::remove(locks.begin(), locks.end(), lock_id),
+                locks.end());
+    auto &wlocks = write_held_[tid];
+    wlocks.erase(std::remove(wlocks.begin(), wlocks.end(), lock_id),
+                 wlocks.end());
+}
+
+std::vector<std::uint64_t>
+LocksetDetector::heldLocks(ThreadId tid) const
+{
+    auto it = held_.find(tid);
+    return it == held_.end() ? std::vector<std::uint64_t>{}
+                             : it->second;
+}
+
+const std::vector<std::uint64_t> &
+LocksetDetector::modeLocks(ThreadId tid, bool write)
+{
+    return write ? write_held_[tid] : held_[tid];
+}
+
+void
+LocksetDetector::refine(Var &var, ThreadId tid, bool write)
+{
+    const auto &locks = modeLocks(tid, write);
+    std::erase_if(var.candidates, [&](std::uint64_t lock) {
+        return std::find(locks.begin(), locks.end(), lock)
+            == locks.end();
+    });
+}
+
+AccessOutcome
+LocksetDetector::onAccess(ThreadId tid, Addr addr, bool write,
+                          SiteId site)
+{
+    AccessOutcome outcome;
+    Var &var = vars_[addr >> granule_shift_];
+
+    switch (var.state) {
+      case State::kVirgin:
+        var.state = State::kExclusive;
+        var.owner = tid;
+        var.candidates = modeLocks(tid, write);
+        break;
+
+      case State::kExclusive:
+        if (var.owner == tid) {
+            // Track the owner's lockset so the eventual transition
+            // intersects both sides (sharper than original Eraser,
+            // which seeded C(v) from the second thread only and
+            // needed a third access to notice a two-lock mismatch).
+            var.candidates = modeLocks(tid, write);
+            break;
+        }
+        outcome.inter_thread = true;
+        refine(var, tid, write);
+        var.state = (write || var.last_was_write)
+            ? State::kSharedModified
+            : State::kShared;
+        break;
+
+      case State::kShared:
+        outcome.inter_thread = var.last_tid != tid;
+        refine(var, tid, write);
+        if (write)
+            var.state = State::kSharedModified;
+        break;
+
+      case State::kSharedModified:
+        outcome.inter_thread = var.last_tid != tid;
+        refine(var, tid, write);
+        break;
+    }
+
+    if (var.state == State::kSharedModified && var.candidates.empty()
+        && !var.reported) {
+        var.reported = true;
+        outcome.race = true;
+        sink_.report(RaceReport{
+            .addr = addr,
+            .type = write
+                ? (var.last_was_write ? RaceType::kWriteWrite
+                                      : RaceType::kReadWrite)
+                : RaceType::kWriteRead,
+            .first_tid = var.last_tid,
+            .first_site = var.last_site,
+            .second_tid = tid,
+            .second_site = site,
+        });
+    }
+
+    var.last_tid = tid;
+    var.last_site = site;
+    var.last_was_write = write;
+    return outcome;
+}
+
+} // namespace hdrd::detect

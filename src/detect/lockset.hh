@@ -1,0 +1,111 @@
+/**
+ * @file
+ * An Eraser-style lockset race detector.
+ *
+ * The contemporary alternative to happens-before detection: every
+ * shared variable must be consistently protected by at least one
+ * lock. Cheaper than vector clocks and insensitive to scheduling, but
+ * famously reports false positives on programs synchronized by
+ * anything other than locks (barriers, fork/join, atomics) — the
+ * comparison `bench/abl6_lockset` quantifies exactly that against
+ * FastTrack on this repository's workloads.
+ *
+ * One deliberate strengthening over the original Eraser: when a
+ * variable leaves Exclusive via a *read* after the owner wrote it,
+ * the state goes to Shared-Modified rather than Shared (Eraser's
+ * read-shared shortcut silently forgave W->R patterns; later lockset
+ * tools, like this one, check them).
+ */
+
+#ifndef HDRD_DETECT_LOCKSET_HH
+#define HDRD_DETECT_LOCKSET_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/detector.hh"
+#include "detect/report.hh"
+
+namespace hdrd::detect
+{
+
+/**
+ * Eraser's state machine with per-variable candidate locksets.
+ */
+class LocksetDetector : public Detector
+{
+  public:
+    /**
+     * @param sink race report collector
+     * @param granule_shift log2 bytes of the detection granule
+     */
+    explicit LocksetDetector(ReportSink &sink,
+                             std::uint32_t granule_shift = 3);
+
+    AccessOutcome onAccess(ThreadId tid, Addr addr, bool write,
+                           SiteId site) override;
+
+    void onLock(ThreadId tid, std::uint64_t lock_id,
+                bool write_mode = true) override;
+    void onUnlock(ThreadId tid, std::uint64_t lock_id) override;
+
+    void clearShadow() override { vars_.clear(); }
+
+    const char *name() const override { return "lockset"; }
+
+    /** Locks currently held by @p tid (tests). */
+    std::vector<std::uint64_t> heldLocks(ThreadId tid) const;
+
+    /** Number of tracked variables (tests). */
+    std::size_t trackedVars() const { return vars_.size(); }
+
+  private:
+    /** Eraser variable states. */
+    enum class State : std::uint8_t
+    {
+        kVirgin = 0,
+        kExclusive,       ///< touched by exactly one thread so far
+        kShared,          ///< read by several threads, never written
+                          ///< since becoming shared
+        kSharedModified,  ///< written while shared: must stay locked
+    };
+
+    struct Var
+    {
+        State state = State::kVirgin;
+        ThreadId owner = kInvalidThread;  ///< kExclusive only
+
+        /** Candidate lockset; meaningful after leaving kExclusive. */
+        std::vector<std::uint64_t> candidates;
+
+        /** Last access, for report attribution. */
+        ThreadId last_tid = kInvalidThread;
+        SiteId last_site = kInvalidSite;
+        bool last_was_write = false;
+
+        /** One report per variable, like Eraser. */
+        bool reported = false;
+    };
+
+    /**
+     * Locks protecting this access: all held locks for reads, but
+     * only write-mode holds for writes (Eraser's rwlock rule).
+     */
+    const std::vector<std::uint64_t> &modeLocks(ThreadId tid,
+                                                bool write);
+
+    /** Intersect var's candidates with tid's protecting locks. */
+    void refine(Var &var, ThreadId tid, bool write);
+
+    ReportSink &sink_;
+    std::uint32_t granule_shift_;
+    std::unordered_map<std::uint64_t, Var> vars_;
+    std::unordered_map<ThreadId, std::vector<std::uint64_t>> held_;
+    std::unordered_map<ThreadId, std::vector<std::uint64_t>>
+        write_held_;
+};
+
+} // namespace hdrd::detect
+
+#endif // HDRD_DETECT_LOCKSET_HH

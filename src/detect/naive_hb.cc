@@ -1,0 +1,70 @@
+#include "detect/naive_hb.hh"
+
+namespace hdrd::detect
+{
+
+NaiveHbDetector::NaiveHbDetector(SyncClocks &clocks, ReportSink &sink,
+                                 std::uint32_t granule_shift)
+    : clocks_(clocks), sink_(sink), granule_shift_(granule_shift)
+{
+}
+
+AccessOutcome
+NaiveHbDetector::onAccess(ThreadId tid, Addr addr, bool write,
+                          SiteId site)
+{
+    AccessOutcome outcome;
+    Var &var = vars_[addr >> granule_shift_];
+    const VectorClock &ct = clocks_.clock(tid);
+
+    if (var.touched) {
+        // Inter-thread signal: any other thread has a recorded access.
+        outcome.inter_thread = !var.writes.soleNonzero(tid)
+            || !var.reads.soleNonzero(tid);
+    }
+
+    // A prior *write* by an unordered thread races with any access.
+    const ThreadId racing_writer =
+        var.writes.firstGreaterExcept(ct, tid);
+    if (racing_writer != kInvalidThread) {
+        outcome.race = true;
+        sink_.report(RaceReport{
+            .addr = addr,
+            .type = write ? RaceType::kWriteWrite
+                          : RaceType::kWriteRead,
+            .first_tid = racing_writer,
+            .first_site = var.w_site,
+            .second_tid = tid,
+            .second_site = site,
+        });
+    }
+
+    // A prior *read* by an unordered thread races with a write.
+    if (write) {
+        const ThreadId racing_reader =
+            var.reads.firstGreaterExcept(ct, tid);
+        if (racing_reader != kInvalidThread) {
+            outcome.race = true;
+            sink_.report(RaceReport{
+                .addr = addr,
+                .type = RaceType::kReadWrite,
+                .first_tid = racing_reader,
+                .first_site = var.r_site,
+                .second_tid = tid,
+                .second_site = site,
+            });
+        }
+    }
+
+    if (write) {
+        var.writes.set(tid, ct.get(tid));
+        var.w_site = site;
+    } else {
+        var.reads.set(tid, ct.get(tid));
+        var.r_site = site;
+    }
+    var.touched = true;
+    return outcome;
+}
+
+} // namespace hdrd::detect

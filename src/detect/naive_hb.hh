@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A DJIT+-style full-vector-clock happens-before detector.
+ *
+ * Keeps complete per-variable read and write vector clocks. Slower and
+ * far more memory-hungry than FastTrack, it serves two purposes:
+ *   1. a differential-testing oracle for FastTrackDetector (both must
+ *      flag the same set of racy variables), and
+ *   2. the "unoptimized continuous tool" data point in the detector
+ *      microbenchmarks.
+ */
+
+#ifndef HDRD_DETECT_NAIVE_HB_HH
+#define HDRD_DETECT_NAIVE_HB_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "detect/detector.hh"
+#include "detect/report.hh"
+#include "detect/sync_state.hh"
+#include "detect/vector_clock.hh"
+
+namespace hdrd::detect
+{
+
+/**
+ * Full-vector-clock happens-before detector.
+ */
+class NaiveHbDetector : public Detector
+{
+  public:
+    NaiveHbDetector(SyncClocks &clocks, ReportSink &sink,
+                    std::uint32_t granule_shift = 3);
+
+    AccessOutcome onAccess(ThreadId tid, Addr addr, bool write,
+                           SiteId site) override;
+
+    void clearShadow() override { vars_.clear(); }
+
+    const char *name() const override { return "naive-hb"; }
+
+    /** Number of tracked variables (tests). */
+    std::size_t trackedVars() const { return vars_.size(); }
+
+  private:
+    /** Per-variable state: full read/write clocks plus last sites. */
+    struct Var
+    {
+        VectorClock writes;
+        VectorClock reads;
+        SiteId w_site = kInvalidSite;
+        SiteId r_site = kInvalidSite;
+        bool touched = false;
+    };
+
+    SyncClocks &clocks_;
+    ReportSink &sink_;
+    std::uint32_t granule_shift_;
+    std::unordered_map<std::uint64_t, Var> vars_;
+};
+
+} // namespace hdrd::detect
+
+#endif // HDRD_DETECT_NAIVE_HB_HH

@@ -1,0 +1,65 @@
+#include "detect/report.hh"
+
+#include <algorithm>
+
+namespace hdrd::detect
+{
+
+const char *
+raceTypeName(RaceType type)
+{
+    switch (type) {
+      case RaceType::kWriteWrite:
+        return "write-write";
+      case RaceType::kWriteRead:
+        return "write-read";
+      case RaceType::kReadWrite:
+        return "read-write";
+    }
+    return "?";
+}
+
+std::ostream &
+operator<<(std::ostream &os, const RaceReport &report)
+{
+    return os << raceTypeName(report.type) << " race @0x" << std::hex
+              << report.addr << std::dec << ": t" << report.first_tid
+              << " site " << report.first_site << " vs t"
+              << report.second_tid << " site " << report.second_site;
+}
+
+std::uint64_t
+ReportSink::pairKey(SiteId a, SiteId b)
+{
+    const SiteId lo = std::min(a, b);
+    const SiteId hi = std::max(a, b);
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+bool
+ReportSink::report(const RaceReport &report)
+{
+    ++dynamic_count_;
+    if (!seen_.insert(pairKey(report.first_site, report.second_site))
+             .second) {
+        return false;
+    }
+    reports_.push_back(report);
+    return true;
+}
+
+bool
+ReportSink::seenPair(SiteId a, SiteId b) const
+{
+    return seen_.count(pairKey(a, b)) != 0;
+}
+
+void
+ReportSink::clear()
+{
+    reports_.clear();
+    seen_.clear();
+    dynamic_count_ = 0;
+}
+
+} // namespace hdrd::detect

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Race reports and the deduplicating report sink.
+ */
+
+#ifndef HDRD_DETECT_REPORT_HH
+#define HDRD_DETECT_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hdrd::detect
+{
+
+/** Kind of conflicting access pair. */
+enum class RaceType : std::uint8_t
+{
+    kWriteWrite = 0,
+    kWriteRead,   ///< earlier write, later read
+    kReadWrite,   ///< earlier read, later write
+};
+
+/** Printable name for a RaceType. */
+const char *raceTypeName(RaceType type);
+
+/** One detected data race (a conflicting, unordered access pair). */
+struct RaceReport
+{
+    /** Detection-granule address the race was found on. */
+    Addr addr = 0;
+
+    RaceType type = RaceType::kWriteWrite;
+
+    /** Thread and static site of the earlier access. */
+    ThreadId first_tid = kInvalidThread;
+    SiteId first_site = kInvalidSite;
+
+    /** Thread and static site of the later (current) access. */
+    ThreadId second_tid = kInvalidThread;
+    SiteId second_site = kInvalidSite;
+};
+
+std::ostream &operator<<(std::ostream &os, const RaceReport &report);
+
+/**
+ * Collects race reports, deduplicating on the unordered static site
+ * pair — the way real tools report one race per instruction pair
+ * rather than per dynamic occurrence.
+ */
+class ReportSink
+{
+  public:
+    /**
+     * Record a race.
+     * @return true when this site pair had not been reported before.
+     */
+    bool report(const RaceReport &report);
+
+    /** Unique (site-pair-deduplicated) reports, in discovery order. */
+    const std::vector<RaceReport> &reports() const { return reports_; }
+
+    /** Number of unique reports. */
+    std::size_t uniqueCount() const { return reports_.size(); }
+
+    /** Total dynamic race events, including duplicates. */
+    std::uint64_t dynamicCount() const { return dynamic_count_; }
+
+    /** True when the unordered pair (a, b) has been reported. */
+    bool seenPair(SiteId a, SiteId b) const;
+
+    /** Drop all state. */
+    void clear();
+
+  private:
+    static std::uint64_t pairKey(SiteId a, SiteId b);
+
+    std::vector<RaceReport> reports_;
+    std::unordered_set<std::uint64_t> seen_;
+    std::uint64_t dynamic_count_ = 0;
+};
+
+} // namespace hdrd::detect
+
+#endif // HDRD_DETECT_REPORT_HH

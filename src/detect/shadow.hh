@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Two-level shadow memory mapping detection granules to FastTrack
+ * variable state.
+ *
+ * The address space is chunked; chunks materialize lazily on first
+ * touch. Detection granularity is configurable (default 8-byte words),
+ * matching how commercial detectors shadow aligned machine words.
+ */
+
+#ifndef HDRD_DETECT_SHADOW_HH
+#define HDRD_DETECT_SHADOW_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "detect/epoch.hh"
+#include "detect/vector_clock.hh"
+
+namespace hdrd::detect
+{
+
+/**
+ * FastTrack per-variable state.
+ *
+ * The read side is adaptive: a single epoch while reads stay
+ * thread-ordered, inflated to a full vector clock (rvc) once
+ * concurrent readers appear.
+ */
+struct VarState
+{
+    /** Last write, as an epoch. */
+    Epoch w;
+
+    /** Last read epoch; meaningless while rvc is non-null. */
+    Epoch r;
+
+    /** Read vector clock; non-null means the variable is read-shared. */
+    std::unique_ptr<VectorClock> rvc;
+
+    /** Static site of the last write (for reporting). */
+    SiteId w_site = kInvalidSite;
+
+    /** Static site of the most recent read (for reporting). */
+    SiteId r_site = kInvalidSite;
+
+    /** True when no access has ever been recorded. */
+    bool untouched() const
+    {
+        return w.empty() && r.empty() && !rvc;
+    }
+};
+
+/**
+ * Lazily materialized shadow memory.
+ */
+class ShadowMemory
+{
+  public:
+    /**
+     * @param granule_shift log2 of the detection granule in bytes
+     *        (3 = 8-byte words).
+     */
+    explicit ShadowMemory(std::uint32_t granule_shift = 3);
+
+    /** Shadow state for the granule containing @p addr. */
+    VarState &state(Addr addr);
+
+    /**
+     * Shadow state if the granule's chunk is materialized, else null.
+     * Never allocates.
+     */
+    const VarState *peek(Addr addr) const;
+
+    /** Granule-normalized key for @p addr (tests, ground truth). */
+    std::uint64_t granule(Addr addr) const
+    {
+        return addr >> granule_shift_;
+    }
+
+    /** Number of materialized chunks. */
+    std::size_t chunks() const { return chunks_.size(); }
+
+    /** Drop every chunk (full shadow reset). */
+    void clear();
+
+  private:
+    static constexpr std::size_t kChunkGranules = 512;
+
+    using Chunk = std::array<VarState, kChunkGranules>;
+
+    std::uint32_t granule_shift_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Chunk>> chunks_;
+};
+
+} // namespace hdrd::detect
+
+#endif // HDRD_DETECT_SHADOW_HH

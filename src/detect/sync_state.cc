@@ -1,0 +1,115 @@
+#include "detect/sync_state.hh"
+
+#include "common/logging.hh"
+
+namespace hdrd::detect
+{
+
+SyncClocks::SyncClocks(std::uint32_t nthreads)
+{
+    hdrdAssert(nthreads > 0, "SyncClocks needs at least one thread");
+    thread_clocks_.resize(nthreads, VectorClock(nthreads));
+    // FastTrack convention: each thread starts at clock 1 for itself,
+    // which keeps the all-zero epoch free to mean "no access yet".
+    for (ThreadId t = 0; t < nthreads; ++t)
+        thread_clocks_[t].set(t, 1);
+}
+
+const VectorClock &
+SyncClocks::clock(ThreadId tid) const
+{
+    hdrdAssert(tid < thread_clocks_.size(), "unknown thread ", tid);
+    return thread_clocks_[tid];
+}
+
+Epoch
+SyncClocks::epoch(ThreadId tid) const
+{
+    return Epoch(tid, clock(tid).get(tid));
+}
+
+void
+SyncClocks::acquire(ThreadId tid, std::uint64_t lock_id)
+{
+    auto it = lock_clocks_.find(lock_id);
+    if (it != lock_clocks_.end())
+        thread_clocks_[tid].join(it->second);
+}
+
+void
+SyncClocks::release(ThreadId tid, std::uint64_t lock_id)
+{
+    lock_clocks_[lock_id] = thread_clocks_[tid];
+    thread_clocks_[tid].tick(tid);
+}
+
+void
+SyncClocks::rdAcquire(ThreadId tid, std::uint64_t rwlock_id)
+{
+    auto it = rwlock_clocks_.find(rwlock_id);
+    if (it != rwlock_clocks_.end())
+        thread_clocks_[tid].join(it->second.write);
+}
+
+void
+SyncClocks::rdRelease(ThreadId tid, std::uint64_t rwlock_id)
+{
+    // Accumulate: the next writer must be ordered after every reader.
+    rwlock_clocks_[rwlock_id].readers.join(thread_clocks_[tid]);
+    thread_clocks_[tid].tick(tid);
+}
+
+void
+SyncClocks::wrAcquire(ThreadId tid, std::uint64_t rwlock_id)
+{
+    auto it = rwlock_clocks_.find(rwlock_id);
+    if (it != rwlock_clocks_.end()) {
+        thread_clocks_[tid].join(it->second.write);
+        thread_clocks_[tid].join(it->second.readers);
+    }
+}
+
+void
+SyncClocks::wrRelease(ThreadId tid, std::uint64_t rwlock_id)
+{
+    RwClocks &rw = rwlock_clocks_[rwlock_id];
+    rw.write = thread_clocks_[tid];
+    // Past readers are ordered before this writer already; reset the
+    // accumulator so only post-write readers gate the next writer.
+    rw.readers.clear();
+    thread_clocks_[tid].tick(tid);
+}
+
+void
+SyncClocks::barrier(std::span<const ThreadId> participants)
+{
+    VectorClock joined;
+    for (ThreadId t : participants)
+        joined.join(thread_clocks_[t]);
+    for (ThreadId t : participants) {
+        thread_clocks_[t] = joined;
+        thread_clocks_[t].tick(t);
+    }
+}
+
+void
+SyncClocks::fork(ThreadId parent, ThreadId child)
+{
+    thread_clocks_[child].join(thread_clocks_[parent]);
+    thread_clocks_[parent].tick(parent);
+}
+
+void
+SyncClocks::join(ThreadId parent, ThreadId child)
+{
+    thread_clocks_[parent].join(thread_clocks_[child]);
+    thread_clocks_[child].tick(child);
+}
+
+bool
+SyncClocks::epochOrdered(Epoch e, ThreadId b) const
+{
+    return e.leq(clock(b));
+}
+
+} // namespace hdrd::detect

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Happens-before bookkeeping for synchronization operations.
+ *
+ * SyncClocks is the always-on half of the detector: the demand-driven
+ * scheme never disables synchronization tracking (sync ops are rare
+ * and cheap), so the per-thread vector clocks remain correct even
+ * while per-access analysis is off. This mirrors the paper's design
+ * exactly and is what makes re-enabling analysis sound.
+ */
+
+#ifndef HDRD_DETECT_SYNC_STATE_HH
+#define HDRD_DETECT_SYNC_STATE_HH
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "detect/epoch.hh"
+#include "detect/vector_clock.hh"
+
+namespace hdrd::detect
+{
+
+/**
+ * Per-thread vector clocks plus per-sync-object clocks, updated by the
+ * standard happens-before rules (FastTrack conventions).
+ */
+class SyncClocks
+{
+  public:
+    /** @param nthreads maximum thread count (ids are dense). */
+    explicit SyncClocks(std::uint32_t nthreads);
+
+    /** Number of threads. */
+    std::uint32_t nthreads() const
+    {
+        return static_cast<std::uint32_t>(thread_clocks_.size());
+    }
+
+    /** Thread @p tid's current vector clock. */
+    const VectorClock &clock(ThreadId tid) const;
+
+    /** Thread @p tid's current epoch c@t. */
+    Epoch epoch(ThreadId tid) const;
+
+    /** Lock acquire: C_t := C_t join L_m. */
+    void acquire(ThreadId tid, std::uint64_t lock_id);
+
+    /** Lock release: L_m := C_t; C_t := inc_t(C_t). */
+    void release(ThreadId tid, std::uint64_t lock_id);
+
+    /**
+     * Reader-writer lock rules. Readers order only against the last
+     * writer; writers order against the last writer AND every reader
+     * since (the accumulated reader clock).
+     */
+    void rdAcquire(ThreadId tid, std::uint64_t rwlock_id);
+    void rdRelease(ThreadId tid, std::uint64_t rwlock_id);
+    void wrAcquire(ThreadId tid, std::uint64_t rwlock_id);
+    void wrRelease(ThreadId tid, std::uint64_t rwlock_id);
+
+    /**
+     * Barrier release: called once when the last participant arrives.
+     * Every participant's clock becomes the join of all participants,
+     * then each ticks its own component — all-to-all ordering across
+     * the barrier.
+     */
+    void barrier(std::span<const ThreadId> participants);
+
+    /** Thread creation: C_child := C_child join C_parent; parent ticks. */
+    void fork(ThreadId parent, ThreadId child);
+
+    /** Thread join: C_parent := C_parent join C_child. */
+    void join(ThreadId parent, ThreadId child);
+
+    /**
+     * Ground-truth ordering query: does thread @p a's moment @p e
+     * happen-before thread @p b's current time?
+     */
+    bool epochOrdered(Epoch e, ThreadId b) const;
+
+    /** Number of distinct lock objects seen (tests). */
+    std::size_t locksSeen() const { return lock_clocks_.size(); }
+
+  private:
+    /** Per-rwlock clocks: the last writer's, and all readers' joined. */
+    struct RwClocks
+    {
+        VectorClock write;
+        VectorClock readers;
+    };
+
+    std::vector<VectorClock> thread_clocks_;
+    std::unordered_map<std::uint64_t, VectorClock> lock_clocks_;
+    std::unordered_map<std::uint64_t, RwClocks> rwlock_clocks_;
+};
+
+} // namespace hdrd::detect
+
+#endif // HDRD_DETECT_SYNC_STATE_HH

@@ -1,0 +1,111 @@
+#include "detect/vector_clock.hh"
+
+#include <algorithm>
+
+namespace hdrd::detect
+{
+
+VectorClock::VectorClock(std::uint32_t nthreads) : clocks_(nthreads, 0)
+{
+}
+
+ClockValue
+VectorClock::get(ThreadId tid) const
+{
+    return tid < clocks_.size() ? clocks_[tid] : 0;
+}
+
+void
+VectorClock::set(ThreadId tid, ClockValue value)
+{
+    if (tid >= clocks_.size())
+        clocks_.resize(tid + 1, 0);
+    clocks_[tid] = value;
+}
+
+void
+VectorClock::tick(ThreadId tid)
+{
+    set(tid, get(tid) + 1);
+}
+
+void
+VectorClock::join(const VectorClock &other)
+{
+    if (other.clocks_.size() > clocks_.size())
+        clocks_.resize(other.clocks_.size(), 0);
+    for (std::size_t i = 0; i < other.clocks_.size(); ++i)
+        clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+}
+
+bool
+VectorClock::leq(const VectorClock &other) const
+{
+    for (std::size_t i = 0; i < clocks_.size(); ++i) {
+        const ClockValue theirs =
+            i < other.clocks_.size() ? other.clocks_[i] : 0;
+        if (clocks_[i] > theirs)
+            return false;
+    }
+    return true;
+}
+
+ThreadId
+VectorClock::firstGreaterExcept(const VectorClock &other,
+                                ThreadId except) const
+{
+    for (std::size_t i = 0; i < clocks_.size(); ++i) {
+        if (i == except)
+            continue;
+        const ClockValue theirs =
+            i < other.clocks_.size() ? other.clocks_[i] : 0;
+        if (clocks_[i] > theirs)
+            return static_cast<ThreadId>(i);
+    }
+    return kInvalidThread;
+}
+
+bool
+VectorClock::soleNonzero(ThreadId tid) const
+{
+    for (std::size_t i = 0; i < clocks_.size(); ++i) {
+        if (i != tid && clocks_[i] != 0)
+            return false;
+    }
+    return true;
+}
+
+void
+VectorClock::clear()
+{
+    std::fill(clocks_.begin(), clocks_.end(), 0);
+}
+
+bool
+VectorClock::operator==(const VectorClock &other) const
+{
+    const std::size_t n =
+        std::max(clocks_.size(), other.clocks_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const ClockValue a = i < clocks_.size() ? clocks_[i] : 0;
+        const ClockValue b =
+            i < other.clocks_.size() ? other.clocks_[i] : 0;
+        if (a != b)
+            return false;
+    }
+    return true;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const VectorClock &vc)
+{
+    os << '[';
+    for (std::size_t i = 0; i < vc.clocks_.size(); ++i) {
+        if (i)
+            os << ',';
+        os << vc.clocks_[i];
+    }
+    return os << ']';
+}
+
+} // namespace hdrd::detect

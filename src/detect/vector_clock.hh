@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Vector clocks for happens-before race detection.
+ */
+
+#ifndef HDRD_DETECT_VECTOR_CLOCK_HH
+#define HDRD_DETECT_VECTOR_CLOCK_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hdrd::detect
+{
+
+/** One thread's logical-clock value. */
+using ClockValue = std::uint64_t;
+
+/**
+ * A vector clock: one logical clock per thread, sparse-growing.
+ *
+ * Entries for threads beyond the stored size are implicitly zero, so
+ * clocks can be created small and grow lazily as threads appear.
+ */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+
+    /** Create with @p nthreads explicit zero entries. */
+    explicit VectorClock(std::uint32_t nthreads);
+
+    /** Clock value for @p tid (zero when beyond stored size). */
+    ClockValue get(ThreadId tid) const;
+
+    /** Set @p tid's component to @p value, growing as needed. */
+    void set(ThreadId tid, ClockValue value);
+
+    /** Increment @p tid's component. */
+    void tick(ThreadId tid);
+
+    /** Element-wise max with @p other (the "join" of sync ops). */
+    void join(const VectorClock &other);
+
+    /**
+     * True when this clock happens-before-or-equals @p other:
+     * every component of *this is <= the matching component of other.
+     */
+    bool leq(const VectorClock &other) const;
+
+    /**
+     * First thread (other than @p except) whose component here exceeds
+     * the matching component of @p other.
+     * @return the witness thread, or kInvalidThread when none exists.
+     */
+    ThreadId firstGreaterExcept(const VectorClock &other,
+                                ThreadId except) const;
+
+    /** True when every nonzero component belongs to @p tid. */
+    bool soleNonzero(ThreadId tid) const;
+
+    /** Number of explicitly stored components. */
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(clocks_.size());
+    }
+
+    /** Reset every component to zero. */
+    void clear();
+
+    bool operator==(const VectorClock &other) const;
+
+    friend std::ostream &operator<<(std::ostream &os,
+                                    const VectorClock &vc);
+
+  private:
+    std::vector<ClockValue> clocks_;
+};
+
+} // namespace hdrd::detect
+
+#endif // HDRD_DETECT_VECTOR_CLOCK_HH

@@ -1,0 +1,20 @@
+#include "instr/cost_model.hh"
+
+namespace hdrd::instr
+{
+
+const char *
+toolModeName(ToolMode mode)
+{
+    switch (mode) {
+      case ToolMode::kNative:
+        return "native";
+      case ToolMode::kContinuous:
+        return "continuous";
+      case ToolMode::kDemand:
+        return "demand";
+    }
+    return "?";
+}
+
+} // namespace hdrd::instr

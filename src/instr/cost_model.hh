@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The instrumentation/analysis cost model.
+ *
+ * The paper's performance results are ratios between runs of the same
+ * program under different analysis regimes (native, continuous
+ * analysis, demand-driven analysis). We model the regimes' costs in
+ * simulated cycles. The defaults are calibrated so that continuous
+ * analysis lands in the tens-to-hundreds-of-x slowdown range that
+ * commercial happens-before detectors (Intel Inspector XE and
+ * ThreadSanitizer-class tools) exhibit; the paper quotes slowdowns up
+ * to ~300x. EXPERIMENTS.md records the measured shape against the
+ * paper's.
+ */
+
+#ifndef HDRD_INSTR_COST_MODEL_HH
+#define HDRD_INSTR_COST_MODEL_HH
+
+#include "common/types.hh"
+
+namespace hdrd::instr
+{
+
+/**
+ * Cycle charges for every tool activity.
+ */
+struct CostModel
+{
+    /** Baseline cost of one non-memory (work) unit. */
+    Cycle base_work = 1;
+
+    /** Baseline frontend cost of a memory operation (address gen etc.);
+     *  the cache hierarchy adds its service latency on top. */
+    Cycle base_mem_op = 1;
+
+    /** Baseline cost of a synchronization operation (uncontended). */
+    Cycle base_sync = 40;
+
+    /**
+     * Per-analyzed-load analysis cost: shadow lookup, epoch compares,
+     * possible vector-clock work, in heavily instrumented JITted code.
+     */
+    Cycle analysis_read = 600;
+
+    /** Per-analyzed-store analysis cost (writes do slightly more). */
+    Cycle analysis_write = 700;
+
+    /**
+     * Sync-op analysis cost (vector-clock join/copy). Charged whenever
+     * the tool is attached — sync analysis is never demand-gated.
+     */
+    Cycle analysis_sync = 1000;
+
+    /**
+     * Dilation multiplier applied to work (non-memory) cycles while
+     * per-access analysis is enabled: instrumented code is slower even
+     * between memory operations (register pressure, JIT quality).
+     */
+    double work_dilation_enabled = 2.5;
+
+    /**
+     * Dilation applied to work cycles while analysis is *disabled* but
+     * the tool is attached (residual cost of the gating fast path).
+     */
+    double work_dilation_disabled = 1.2;
+
+    /**
+     * Residual per-memory-op cost of the gating fast path while
+     * analysis is disabled (a test-and-branch in the JITted code).
+     */
+    Cycle gate_check = 3;
+
+    /**
+     * Cost of one analysis enable/disable transition (flipping the
+     * instrumented/uninstrumented code versions).
+     */
+    Cycle transition = 25000;
+
+    /** Cost of taking one PMU overflow interrupt. */
+    Cycle pmu_interrupt = 4000;
+
+    /** Compute the analyzed-access charge for a load or store. */
+    Cycle analysisCost(bool write) const
+    {
+        return write ? analysis_write : analysis_read;
+    }
+};
+
+/** The analysis regimes an execution can run under. */
+enum class ToolMode
+{
+    kNative = 0,     ///< no tool attached at all
+    kContinuous,     ///< analysis on for every access (Inspector-like)
+    kDemand,         ///< gated analysis (the paper)
+};
+
+/** Printable name for a ToolMode. */
+const char *toolModeName(ToolMode mode);
+
+} // namespace hdrd::instr
+
+#endif // HDRD_INSTR_COST_MODEL_HH

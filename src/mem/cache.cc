@@ -1,0 +1,166 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace hdrd::mem
+{
+
+const char *
+mesiName(Mesi state)
+{
+    switch (state) {
+      case Mesi::kInvalid:
+        return "I";
+      case Mesi::kShared:
+        return "S";
+      case Mesi::kExclusive:
+        return "E";
+      case Mesi::kModified:
+        return "M";
+    }
+    return "?";
+}
+
+std::uint64_t
+CacheGeometry::sets() const
+{
+    return size_bytes / (static_cast<std::uint64_t>(assoc) * line_bytes);
+}
+
+void
+CacheGeometry::validate(const char *what) const
+{
+    if (line_bytes == 0 || !std::has_single_bit(line_bytes))
+        fatal(what, ": line_bytes must be a power of two, got ",
+              line_bytes);
+    if (assoc == 0)
+        fatal(what, ": assoc must be positive");
+    const std::uint64_t way_bytes =
+        static_cast<std::uint64_t>(assoc) * line_bytes;
+    if (size_bytes < way_bytes || size_bytes % way_bytes != 0)
+        fatal(what, ": size_bytes (", size_bytes,
+              ") must be a positive multiple of assoc*line_bytes (",
+              way_bytes, ")");
+    if (!std::has_single_bit(sets()))
+        fatal(what, ": set count must be a power of two, got ", sets());
+}
+
+Cache::Cache(const CacheGeometry &geom, const char *name) : geom_(geom)
+{
+    geom_.validate(name);
+    sets_ = geom_.sets();
+    line_shift_ =
+        static_cast<std::uint32_t>(std::countr_zero(geom_.line_bytes));
+    ways_.resize(sets_ * geom_.assoc);
+}
+
+Addr
+Cache::lineAddr(Addr addr) const
+{
+    return addr & ~static_cast<Addr>(geom_.line_bytes - 1);
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> line_shift_) & (sets_ - 1);
+}
+
+CacheLine *
+Cache::probe(Addr addr)
+{
+    const std::uint64_t tag = addr >> line_shift_;
+    CacheLine *set = &ways_[setIndex(addr) * geom_.assoc];
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        if (set[w].valid() && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::probe(Addr addr) const
+{
+    return const_cast<Cache *>(this)->probe(addr);
+}
+
+void
+Cache::touch(Addr addr)
+{
+    CacheLine *line = probe(addr);
+    hdrdAssert(line != nullptr, "Cache::touch on a missing line");
+    line->lru = ++lru_tick_;
+}
+
+std::optional<Eviction>
+Cache::insert(Addr addr, Mesi state)
+{
+    hdrdAssert(state != Mesi::kInvalid,
+               "Cache::insert with Invalid state");
+    hdrdAssert(probe(addr) == nullptr,
+               "Cache::insert on an already-present line");
+    const std::uint64_t tag = addr >> line_shift_;
+    CacheLine *set = &ways_[setIndex(addr) * geom_.assoc];
+
+    // Prefer an empty way; otherwise evict true-LRU.
+    CacheLine *victim = &set[0];
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        if (!set[w].valid()) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lru < victim->lru)
+            victim = &set[w];
+    }
+
+    std::optional<Eviction> evicted;
+    if (victim->valid()) {
+        evicted = Eviction{
+            .line_addr = victim->tag << line_shift_,
+            .state = victim->state,
+        };
+    }
+    victim->tag = tag;
+    victim->state = state;
+    victim->lru = ++lru_tick_;
+    return evicted;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    if (CacheLine *line = probe(addr))
+        line->state = Mesi::kInvalid;
+}
+
+std::vector<std::pair<Addr, Mesi>>
+Cache::residentEntries() const
+{
+    std::vector<std::pair<Addr, Mesi>> entries;
+    for (const auto &line : ways_) {
+        if (line.valid())
+            entries.emplace_back(line.tag << line_shift_, line.state);
+    }
+    return entries;
+}
+
+std::uint64_t
+Cache::residentLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : ways_)
+        if (line.valid())
+            ++n;
+    return n;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : ways_)
+        line.state = Mesi::kInvalid;
+}
+
+} // namespace hdrd::mem

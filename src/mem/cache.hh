@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A set-associative tag array with true-LRU replacement.
+ *
+ * Cache stores coherence metadata only; it is policy-free with respect
+ * to MESI — the Hierarchy drives all state transitions and inclusion
+ * maintenance, Cache just answers probe/insert/evict questions.
+ */
+
+#ifndef HDRD_MEM_CACHE_HH
+#define HDRD_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/cache_line.hh"
+
+namespace hdrd::mem
+{
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    /** Total capacity in bytes. */
+    std::uint64_t size_bytes = 32 * 1024;
+
+    /** Ways per set. */
+    std::uint32_t assoc = 8;
+
+    /** Line size in bytes (must match across the hierarchy). */
+    std::uint32_t line_bytes = 64;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t sets() const;
+
+    /** Validate invariants (powers of two, capacity >= one set). */
+    void validate(const char *what) const;
+};
+
+/** Result of inserting a line: the victim, if a valid line was evicted. */
+struct Eviction
+{
+    /** Line address (addr >> line bits << line bits) of the victim. */
+    Addr line_addr = 0;
+
+    /** Victim's coherence state at eviction time. */
+    Mesi state = Mesi::kInvalid;
+};
+
+/**
+ * Set-associative, true-LRU tag array.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheGeometry &geom, const char *name = "cache");
+
+    /** Line address (low bits cleared) for a byte address. */
+    Addr lineAddr(Addr addr) const;
+
+    /**
+     * Find the line holding @p addr.
+     * @return pointer into the set (stable until next insert), or
+     *         nullptr on miss. Does not update LRU.
+     */
+    CacheLine *probe(Addr addr);
+    const CacheLine *probe(Addr addr) const;
+
+    /** Mark the line holding @p addr most-recently-used. @pre hit. */
+    void touch(Addr addr);
+
+    /**
+     * Insert @p addr with state @p state, evicting the LRU victim if
+     * the set is full. @pre addr is not already present.
+     * @return the evicted valid line, if any.
+     */
+    std::optional<Eviction> insert(Addr addr, Mesi state);
+
+    /** Drop the line holding @p addr, if present. */
+    void invalidate(Addr addr);
+
+    /** Number of valid lines currently resident. */
+    std::uint64_t residentLines() const;
+
+    /** Snapshot of all resident lines as (line address, state). */
+    std::vector<std::pair<Addr, Mesi>> residentEntries() const;
+
+    /** Geometry this cache was built with. */
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Remove all lines. */
+    void flush();
+
+  private:
+    std::uint64_t setIndex(Addr addr) const;
+
+    CacheGeometry geom_;
+    std::uint64_t sets_;
+    std::uint32_t line_shift_;
+    std::vector<CacheLine> ways_;  // sets_ * assoc, row-major by set
+    std::uint64_t lru_tick_ = 0;
+};
+
+} // namespace hdrd::mem
+
+#endif // HDRD_MEM_CACHE_HH

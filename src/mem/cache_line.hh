@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cache line metadata and MESI coherence states.
+ */
+
+#ifndef HDRD_MEM_CACHE_LINE_HH
+#define HDRD_MEM_CACHE_LINE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace hdrd::mem
+{
+
+/**
+ * MESI coherence states.
+ *
+ * The simulator tracks tags and coherence state only — no data. The
+ * authoritative state for a core's private hierarchy is stored in its
+ * L2 line (L2 is inclusive of L1); L1 lines mirror presence for
+ * capacity/latency modelling.
+ */
+enum class Mesi : std::uint8_t
+{
+    kInvalid = 0,
+    kShared,
+    kExclusive,
+    kModified,
+};
+
+/** Printable name for a MESI state. */
+const char *mesiName(Mesi state);
+
+/** One way of a cache set. */
+struct CacheLine
+{
+    /** Line-granular tag (full line address, i.e. addr >> line bits). */
+    std::uint64_t tag = 0;
+
+    /** Coherence state; kInvalid means the way is empty. */
+    Mesi state = Mesi::kInvalid;
+
+    /** LRU timestamp: larger = more recently used. */
+    std::uint64_t lru = 0;
+
+    bool valid() const { return state != Mesi::kInvalid; }
+};
+
+} // namespace hdrd::mem
+
+#endif // HDRD_MEM_CACHE_LINE_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Per-core private cache pairs (L1+L2) with inclusion maintenance.
+ *
+ * PrivateCaches owns every core's L1 and L2 tag arrays and keeps two
+ * invariants:
+ *   1. L2 is inclusive of L1 (a line in L1 is always in L2);
+ *   2. the two levels agree on the line's MESI state (L2 is
+ *      authoritative, L1 mirrors).
+ *
+ * The MESI *protocol* (who may hold what, when HITMs fire) is driven by
+ * mem::Hierarchy; this class only answers presence/state questions and
+ * performs state changes while preserving inclusion.
+ */
+
+#ifndef HDRD_MEM_COHERENCE_HH
+#define HDRD_MEM_COHERENCE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/cache.hh"
+
+namespace hdrd::mem
+{
+
+/** Outcome of inserting a line into a core's private hierarchy. */
+struct PrivateInsertResult
+{
+    /** A Modified line was evicted from L2 (writeback to L3). */
+    bool writeback = false;
+
+    /** Line address of the L2 victim, if one was evicted. */
+    std::optional<Addr> l2_victim;
+};
+
+/**
+ * The array of private (per-core) L1+L2 cache pairs.
+ */
+class PrivateCaches
+{
+  public:
+    PrivateCaches(std::uint32_t ncores, const CacheGeometry &l1,
+                  const CacheGeometry &l2);
+
+    /** Number of cores. */
+    std::uint32_t ncores() const { return ncores_; }
+
+    /** Authoritative MESI state of @p line_addr in @p core's caches. */
+    Mesi state(CoreId core, Addr line_addr) const;
+
+    /** True when @p line_addr is resident in @p core's L1. */
+    bool inL1(CoreId core, Addr line_addr) const;
+
+    /** Update LRU for a hit at the given level. */
+    void touchL1(CoreId core, Addr line_addr);
+    void touchL2(CoreId core, Addr line_addr);
+
+    /**
+     * Set the state of a resident line in both levels (L1 only if
+     * present there). @pre the line is resident in L2.
+     */
+    void setState(CoreId core, Addr line_addr, Mesi state);
+
+    /** Drop @p line_addr from both of @p core's levels, if present. */
+    void invalidate(CoreId core, Addr line_addr);
+
+    /**
+     * Insert @p line_addr into L2 (and L1) of @p core with @p state.
+     * Maintains inclusion: an L2 victim is also dropped from L1.
+     * @pre the line is not already resident in this core's L2.
+     */
+    PrivateInsertResult insert(CoreId core, Addr line_addr, Mesi state);
+
+    /**
+     * Fill @p line_addr into L1 only (line already resident in L2).
+     * Used on L1-miss/L2-hit paths. L1 victims are dropped silently
+     * (their state lives on in L2).
+     */
+    void fillL1(CoreId core, Addr line_addr);
+
+    /** Core holding @p line_addr in Modified state, if any. */
+    std::optional<CoreId> findOwner(Addr line_addr) const;
+
+    /**
+     * Cores (other than @p except) holding @p line_addr in any valid
+     * state.
+     */
+    std::vector<CoreId> remoteHolders(Addr line_addr,
+                                      CoreId except) const;
+
+    /** Total valid lines across all L2s (testing hook). */
+    std::uint64_t residentLines() const;
+
+    /** Read-only access to a core's L1 (invariant checks, tests). */
+    const Cache &l1(CoreId core) const { return l1_[core]; }
+
+    /** Read-only access to a core's L2 (invariant checks, tests). */
+    const Cache &l2(CoreId core) const { return l2_[core]; }
+
+    /** Drop every line everywhere. */
+    void flushAll();
+
+  private:
+    std::uint32_t ncores_;
+    std::vector<Cache> l1_;
+    std::vector<Cache> l2_;
+};
+
+} // namespace hdrd::mem
+
+#endif // HDRD_MEM_COHERENCE_HH

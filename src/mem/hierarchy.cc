@@ -1,0 +1,252 @@
+#include "mem/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace hdrd::mem
+{
+
+const char *
+hitWhereName(HitWhere where)
+{
+    switch (where) {
+      case HitWhere::kL1:
+        return "L1";
+      case HitWhere::kL2:
+        return "L2";
+      case HitWhere::kL3:
+        return "L3";
+      case HitWhere::kRemoteCache:
+        return "remote";
+      case HitWhere::kMemory:
+        return "memory";
+    }
+    return "?";
+}
+
+Hierarchy::Hierarchy(const HierarchyConfig &config)
+    : config_(config),
+      privates_(config.ncores, config.l1, config.l2),
+      l3_(config.l3, "l3"),
+      stats_("mem")
+{
+    if (config.l3.line_bytes != config.l1.line_bytes)
+        fatal("L3 line size must match L1/L2 line size");
+    if (config.ncores == 0)
+        fatal("Hierarchy needs at least one core");
+}
+
+Addr
+Hierarchy::lineAddr(Addr addr) const
+{
+    return l3_.lineAddr(addr);
+}
+
+Mesi
+Hierarchy::privateState(CoreId core, Addr addr) const
+{
+    return privates_.state(core, lineAddr(addr));
+}
+
+bool
+Hierarchy::inL3(Addr addr) const
+{
+    return l3_.probe(lineAddr(addr)) != nullptr;
+}
+
+AccessResult
+Hierarchy::access(CoreId core, Addr addr, bool write)
+{
+    hdrdAssert(core < config_.ncores, "access from unknown core ", core);
+    const Addr line = lineAddr(addr);
+    const LatencyModel &lat = config_.latency;
+
+    stats_.inc("accesses");
+    if (write)
+        stats_.inc("writes");
+
+    const Mesi local = privates_.state(core, line);
+    if (local != Mesi::kInvalid) {
+        AccessResult result;
+        result.write = write;
+        const bool in_l1 = privates_.inL1(core, line);
+        result.where = in_l1 ? HitWhere::kL1 : HitWhere::kL2;
+        result.latency = in_l1 ? lat.l1_hit : lat.l2_hit;
+        stats_.inc(in_l1 ? "l1_hits" : "l2_hits");
+        if (in_l1)
+            privates_.touchL1(core, line);
+        else
+            privates_.fillL1(core, line);
+
+        if (write) {
+            switch (local) {
+              case Mesi::kModified:
+                break;
+              case Mesi::kExclusive:
+                // Silent E->M upgrade, no bus traffic.
+                privates_.setState(core, line, Mesi::kModified);
+                break;
+              case Mesi::kShared: {
+                // S->M upgrade: invalidate every remote copy.
+                for (CoreId h : privates_.remoteHolders(line, core)) {
+                    privates_.invalidate(h, line);
+                    ++result.invalidations;
+                }
+                privates_.setState(core, line, Mesi::kModified);
+                result.upgrade = true;
+                result.latency += lat.upgrade;
+                stats_.inc("upgrades");
+                stats_.inc("invalidations", result.invalidations);
+                break;
+              }
+              case Mesi::kInvalid:
+                panic("unreachable: local state was valid");
+            }
+        }
+        latency_hist_.add(result.latency);
+        return result;
+    }
+
+    AccessResult result = serviceMiss(core, line, write);
+    result.write = write;
+    latency_hist_.add(result.latency);
+    return result;
+}
+
+AccessResult
+Hierarchy::serviceMiss(CoreId core, Addr line, bool write)
+{
+    const LatencyModel &lat = config_.latency;
+    AccessResult result;
+    Mesi new_state;
+
+    if (auto owner = privates_.findOwner(line)) {
+        // The line is Modified in another core's private caches:
+        // cache-to-cache transfer, the HITM event.
+        hdrdAssert(*owner != core, "owner cannot be the requester here");
+        result.where = HitWhere::kRemoteCache;
+        result.hitm = true;
+        result.hitm_load = !write;
+        result.latency = lat.hitm_transfer;
+        stats_.inc("hitm_transfers");
+        if (!write)
+            stats_.inc("hitm_loads");
+        if (write) {
+            privates_.invalidate(*owner, line);
+            result.invalidations = 1;
+            stats_.inc("invalidations");
+            new_state = Mesi::kModified;
+        } else {
+            // M->S at the owner; dirty data written back to L3.
+            privates_.setState(*owner, line, Mesi::kShared);
+            new_state = Mesi::kShared;
+        }
+        hdrdAssert(l3_.probe(line) != nullptr,
+                   "inclusion violated: owned line missing from L3");
+        l3_.touch(line);
+    } else {
+        const auto holders = privates_.remoteHolders(line, core);
+        if (!holders.empty()) {
+            // Clean remote copies; data serviced by the inclusive L3.
+            result.where = HitWhere::kL3;
+            result.latency = lat.l3_hit;
+            stats_.inc("l3_hits");
+            if (write) {
+                for (CoreId h : holders) {
+                    privates_.invalidate(h, line);
+                    ++result.invalidations;
+                }
+                stats_.inc("invalidations", result.invalidations);
+                new_state = Mesi::kModified;
+            } else {
+                for (CoreId h : holders) {
+                    if (privates_.state(h, line) == Mesi::kExclusive)
+                        privates_.setState(h, line, Mesi::kShared);
+                }
+                new_state = Mesi::kShared;
+            }
+            hdrdAssert(l3_.probe(line) != nullptr,
+                       "inclusion violated: held line missing from L3");
+            l3_.touch(line);
+        } else if (l3_.probe(line) != nullptr) {
+            // No private copy anywhere; L3 has it.
+            result.where = HitWhere::kL3;
+            result.latency = lat.l3_hit;
+            stats_.inc("l3_hits");
+            l3_.touch(line);
+            new_state = write ? Mesi::kModified : Mesi::kExclusive;
+        } else {
+            // Fetch from memory, fill L3 first (inclusive).
+            result.where = HitWhere::kMemory;
+            result.latency = lat.memory;
+            stats_.inc("mem_fetches");
+            insertL3(line);
+            new_state = write ? Mesi::kModified : Mesi::kExclusive;
+        }
+    }
+
+    const auto ins = privates_.insert(core, line, new_state);
+    if (ins.l2_victim)
+        stats_.inc("l2_evictions");
+    if (ins.writeback) {
+        // A Modified line left the private hierarchy: any later
+        // consumer will be serviced by L3 with no HITM — the paper's
+        // eviction-induced sharing-indicator miss.
+        result.private_writeback = true;
+        stats_.inc("private_writebacks");
+    }
+    return result;
+}
+
+void
+Hierarchy::insertL3(Addr line)
+{
+    auto evict = l3_.insert(line, Mesi::kExclusive);
+    if (!evict)
+        return;
+    stats_.inc("l3_evictions");
+    // Inclusive L3: the victim must leave every private cache.
+    for (CoreId c = 0; c < config_.ncores; ++c) {
+        if (privates_.state(c, evict->line_addr) != Mesi::kInvalid) {
+            privates_.invalidate(c, evict->line_addr);
+            stats_.inc("back_invalidations");
+        }
+    }
+}
+
+void
+Hierarchy::checkInvariants() const
+{
+    for (CoreId c = 0; c < config_.ncores; ++c) {
+        for (const auto &[line, state] : privates_.l2(c)
+                 .residentEntries()) {
+            // Inclusion in L3.
+            hdrdAssert(l3_.probe(line) != nullptr,
+                       "private line missing from inclusive L3");
+            // Single-writer: M/E lines have no other valid copy.
+            if (state == Mesi::kModified || state == Mesi::kExclusive) {
+                for (CoreId o = 0; o < config_.ncores; ++o) {
+                    if (o == c)
+                        continue;
+                    hdrdAssert(privates_.state(o, line)
+                                   == Mesi::kInvalid,
+                               "M/E line also valid on another core");
+                }
+            }
+        }
+        // L1 subset of L2 with matching state.
+        for (const auto &[line, state] : privates_.l1(c)
+                 .residentEntries()) {
+            hdrdAssert(privates_.state(c, line) == state,
+                       "L1/L2 state mismatch or inclusion violation");
+        }
+    }
+}
+
+void
+Hierarchy::flushAll()
+{
+    privates_.flushAll();
+    l3_.flush();
+}
+
+} // namespace hdrd::mem

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The simulated three-level cache hierarchy and its MESI protocol.
+ *
+ * This is the substrate that makes the paper's hardware sharing
+ * indicator exist: when a core's demand access finds the line Modified
+ * in another core's private cache, the transfer is a "HITM". Loads
+ * that HITM are what the modelled PEBS event counts — stores that HITM
+ * are protocol-visible but *not* PMU-visible, reproducing the paper's
+ * W->R-only observability.
+ */
+
+#ifndef HDRD_MEM_HIERARCHY_HH
+#define HDRD_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/histogram.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/coherence.hh"
+
+namespace hdrd::mem
+{
+
+/** Access latencies in cycles for each service point. */
+struct LatencyModel
+{
+    Cycle l1_hit = 2;
+    Cycle l2_hit = 10;
+    Cycle l3_hit = 35;
+    Cycle memory = 200;
+
+    /** Modified-line cache-to-cache transfer (the HITM path). */
+    Cycle hitm_transfer = 70;
+
+    /** S->M upgrade (invalidation round-trip). */
+    Cycle upgrade = 40;
+};
+
+/** Where an access was ultimately serviced from. */
+enum class HitWhere : std::uint8_t
+{
+    kL1 = 0,
+    kL2,
+    kL3,
+    kRemoteCache,  ///< cache-to-cache from another core's private cache
+    kMemory,
+};
+
+/** Printable name for a HitWhere. */
+const char *hitWhereName(HitWhere where);
+
+/** Everything a single access did to the hierarchy. */
+struct AccessResult
+{
+    HitWhere where = HitWhere::kL1;
+
+    /** The access was a store. */
+    bool write = false;
+
+    /** Protocol-level HITM: data came from a remote Modified line. */
+    bool hitm = false;
+
+    /**
+     * PMU-visible HITM: a *load* that hit a remote Modified line.
+     * This is the event the demand-driven detector samples on.
+     */
+    bool hitm_load = false;
+
+    /** Remote copies invalidated by this access. */
+    std::uint32_t invalidations = 0;
+
+    /** The access was an S->M upgrade of a locally resident line. */
+    bool upgrade = false;
+
+    /** A Modified line was written back out of a private L2. */
+    bool private_writeback = false;
+
+    /** Service latency in cycles. */
+    Cycle latency = 0;
+};
+
+/** Configuration for the whole hierarchy. */
+struct HierarchyConfig
+{
+    std::uint32_t ncores = 4;
+    CacheGeometry l1{.size_bytes = 32 * 1024, .assoc = 8,
+                     .line_bytes = 64};
+    CacheGeometry l2{.size_bytes = 256 * 1024, .assoc = 8,
+                     .line_bytes = 64};
+    CacheGeometry l3{.size_bytes = 8 * 1024 * 1024, .assoc = 16,
+                     .line_bytes = 64};
+    LatencyModel latency;
+};
+
+/**
+ * Three-level MESI hierarchy: private L1+L2 per core, shared inclusive
+ * L3, flat memory behind it.
+ *
+ * Tags-only simulation: no data is stored, only coherence metadata.
+ * The single public entry point is access(); everything else exists
+ * for tests and statistics.
+ */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyConfig &config);
+
+    /**
+     * Perform one demand access.
+     *
+     * @param core requesting core
+     * @param addr byte address
+     * @param write true for a store, false for a load
+     * @return what happened (service point, HITM, latency, ...)
+     */
+    AccessResult access(CoreId core, Addr addr, bool write);
+
+    /** Line address for a byte address. */
+    Addr lineAddr(Addr addr) const;
+
+    /** MESI state of @p addr's line in @p core's private caches. */
+    Mesi privateState(CoreId core, Addr addr) const;
+
+    /** True when @p addr's line is resident in the shared L3. */
+    bool inL3(Addr addr) const;
+
+    /** Configuration in force. */
+    const HierarchyConfig &config() const { return config_; }
+
+    /** Statistics group ("mem"). */
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+    /** Distribution of per-access service latencies. */
+    const Log2Histogram &latencyHistogram() const
+    {
+        return latency_hist_;
+    }
+
+    /** Check global MESI invariants; panics on violation (tests). */
+    void checkInvariants() const;
+
+    /** Drop all cached state everywhere. */
+    void flushAll();
+
+  private:
+    /** Service a private-hierarchy miss; fills privates on return. */
+    AccessResult serviceMiss(CoreId core, Addr line_addr, bool write);
+
+    /** Insert into L3, back-invalidating inclusion victims. */
+    void insertL3(Addr line_addr);
+
+    HierarchyConfig config_;
+    PrivateCaches privates_;
+    Cache l3_;
+    StatGroup stats_;
+    Log2Histogram latency_hist_;
+};
+
+} // namespace hdrd::mem
+
+#endif // HDRD_MEM_HIERARCHY_HH

@@ -1,0 +1,191 @@
+#include "perf/perf_event.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace hdrd::perf
+{
+
+const char *
+hwEventName(HwEvent event)
+{
+    switch (event) {
+      case HwEvent::kCpuCycles:
+        return "cpu-cycles";
+      case HwEvent::kInstructions:
+        return "instructions";
+      case HwEvent::kCacheReferences:
+        return "cache-references";
+      case HwEvent::kCacheMisses:
+        return "cache-misses";
+      case HwEvent::kLLCMisses:
+        return "llc-misses";
+    }
+    return "?";
+}
+
+#if defined(__linux__)
+
+namespace
+{
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd,
+                   flags);
+}
+
+std::uint64_t
+kernelConfigFor(HwEvent event)
+{
+    switch (event) {
+      case HwEvent::kCpuCycles:
+        return PERF_COUNT_HW_CPU_CYCLES;
+      case HwEvent::kInstructions:
+        return PERF_COUNT_HW_INSTRUCTIONS;
+      case HwEvent::kCacheReferences:
+        return PERF_COUNT_HW_CACHE_REFERENCES;
+      case HwEvent::kCacheMisses:
+      case HwEvent::kLLCMisses:
+        return PERF_COUNT_HW_CACHE_MISSES;
+    }
+    return PERF_COUNT_HW_CPU_CYCLES;
+}
+
+} // namespace
+
+PerfCounter::PerfCounter(HwEvent event) : event_(event)
+{
+    perf_event_attr attr{};
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = kernelConfigFor(event);
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+
+    const long fd = perfEventOpen(&attr, 0, -1, -1, 0);
+    if (fd < 0) {
+        error_ = std::strerror(errno);
+        return;
+    }
+    fd_ = static_cast<int>(fd);
+}
+
+PerfCounter::~PerfCounter()
+{
+    if (fd_ >= 0)
+        close(fd_);
+}
+
+PerfCounter::PerfCounter(PerfCounter &&other) noexcept
+    : event_(other.event_), fd_(std::exchange(other.fd_, -1)),
+      error_(std::move(other.error_))
+{
+}
+
+PerfCounter &
+PerfCounter::operator=(PerfCounter &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            close(fd_);
+        event_ = other.event_;
+        fd_ = std::exchange(other.fd_, -1);
+        error_ = std::move(other.error_);
+    }
+    return *this;
+}
+
+bool
+PerfCounter::start()
+{
+    if (fd_ < 0)
+        return false;
+    return ioctl(fd_, PERF_EVENT_IOC_RESET, 0) == 0
+        && ioctl(fd_, PERF_EVENT_IOC_ENABLE, 0) == 0;
+}
+
+bool
+PerfCounter::stop()
+{
+    if (fd_ < 0)
+        return false;
+    return ioctl(fd_, PERF_EVENT_IOC_DISABLE, 0) == 0;
+}
+
+std::optional<std::uint64_t>
+PerfCounter::read() const
+{
+    if (fd_ < 0)
+        return std::nullopt;
+    std::uint64_t value = 0;
+    if (::read(fd_, &value, sizeof(value)) != sizeof(value))
+        return std::nullopt;
+    return value;
+}
+
+#else // !__linux__
+
+PerfCounter::PerfCounter(HwEvent event)
+    : event_(event), error_("perf_event_open unsupported on this OS")
+{
+}
+
+PerfCounter::~PerfCounter() = default;
+
+PerfCounter::PerfCounter(PerfCounter &&other) noexcept
+    : event_(other.event_), fd_(std::exchange(other.fd_, -1)),
+      error_(std::move(other.error_))
+{
+}
+
+PerfCounter &
+PerfCounter::operator=(PerfCounter &&other) noexcept
+{
+    if (this != &other) {
+        event_ = other.event_;
+        fd_ = std::exchange(other.fd_, -1);
+        error_ = std::move(other.error_);
+    }
+    return *this;
+}
+
+bool
+PerfCounter::start()
+{
+    return false;
+}
+
+bool
+PerfCounter::stop()
+{
+    return false;
+}
+
+std::optional<std::uint64_t>
+PerfCounter::read() const
+{
+    return std::nullopt;
+}
+
+#endif // __linux__
+
+bool
+perfAvailable()
+{
+    PerfCounter probe(HwEvent::kInstructions);
+    return probe.available();
+}
+
+} // namespace hdrd::perf

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Thin wrapper around Linux perf_event_open (counting mode).
+ *
+ * The paper reads real hardware sharing events through the kernel's
+ * performance-counter interface. This wrapper exercises that same code
+ * path on machines (and kernels) that permit it, and degrades
+ * gracefully — every experiment in this repository runs against the
+ * modelled pmu::Pmu, so a locked-down kernel never blocks anything.
+ * See examples/perf_counters.cc for the demo.
+ */
+
+#ifndef HDRD_PERF_PERF_EVENT_HH
+#define HDRD_PERF_PERF_EVENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hdrd::perf
+{
+
+/** Generic hardware events we know how to request from the kernel. */
+enum class HwEvent
+{
+    kCpuCycles = 0,
+    kInstructions,
+    kCacheReferences,
+    kCacheMisses,
+    /**
+     * Offcore/remote-cache HITM-class events are model-specific raw
+     * events on real hardware; we request the generic LLC-miss proxy
+     * and document the limitation.
+     */
+    kLLCMisses,
+};
+
+/** Printable name for a HwEvent. */
+const char *hwEventName(HwEvent event);
+
+/**
+ * One counting-mode perf event for the calling thread/process.
+ *
+ * RAII over the perf fd. Unavailability (no syscall permission,
+ * paranoid kernel, seccomp) is reported through available(), never by
+ * crashing.
+ */
+class PerfCounter
+{
+  public:
+    /** Open a counter for @p event on the calling process. */
+    explicit PerfCounter(HwEvent event);
+
+    ~PerfCounter();
+
+    PerfCounter(const PerfCounter &) = delete;
+    PerfCounter &operator=(const PerfCounter &) = delete;
+    PerfCounter(PerfCounter &&other) noexcept;
+    PerfCounter &operator=(PerfCounter &&other) noexcept;
+
+    /** True when the kernel granted the counter. */
+    bool available() const { return fd_ >= 0; }
+
+    /** Why the counter is unavailable (empty when available). */
+    const std::string &error() const { return error_; }
+
+    /** Zero and start counting. */
+    bool start();
+
+    /** Stop counting. */
+    bool stop();
+
+    /** Current value; nullopt when unavailable or the read fails. */
+    std::optional<std::uint64_t> read() const;
+
+    /** Event this counter was opened for. */
+    HwEvent event() const { return event_; }
+
+  private:
+    HwEvent event_;
+    int fd_ = -1;
+    std::string error_;
+};
+
+/** One-shot probe: can this process open any perf counter at all? */
+bool perfAvailable();
+
+} // namespace hdrd::perf
+
+#endif // HDRD_PERF_PERF_EVENT_HH

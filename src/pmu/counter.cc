@@ -1,0 +1,90 @@
+#include "pmu/counter.hh"
+
+#include "common/logging.hh"
+
+namespace hdrd::pmu
+{
+
+const char *
+eventName(EventType event)
+{
+    switch (event) {
+      case EventType::kRetiredOps:
+        return "retired_ops";
+      case EventType::kLoads:
+        return "loads";
+      case EventType::kStores:
+        return "stores";
+      case EventType::kL1Miss:
+        return "l1_miss";
+      case EventType::kL2Miss:
+        return "l2_miss";
+      case EventType::kL3Miss:
+        return "l3_miss";
+      case EventType::kHitmLoad:
+        return "hitm_load";
+      case EventType::kHitmAny:
+        return "hitm_any";
+      case EventType::kInvalidationsSent:
+        return "invalidations_sent";
+      case EventType::kSyncOps:
+        return "sync_ops";
+      case EventType::kNumEvents:
+        break;
+    }
+    return "?";
+}
+
+void
+SamplingCounter::arm(const CounterConfig &config)
+{
+    hdrdAssert(config.sample_after > 0,
+               "sample_after must be positive");
+    config_ = config;
+    armed_ = true;
+    skidding_ = false;
+    events_ = 0;
+    skid_left_ = 0;
+}
+
+void
+SamplingCounter::disarm()
+{
+    armed_ = false;
+    skidding_ = false;
+    events_ = 0;
+    skid_left_ = 0;
+}
+
+bool
+SamplingCounter::count(std::uint64_t n)
+{
+    if (!armed_ || skidding_)
+        return false;
+    events_ += n;
+    if (events_ < config_.sample_after)
+        return false;
+    // Threshold crossed: start the skid window.
+    skidding_ = true;
+    skid_left_ = config_.skid;
+    events_ = 0;
+    return true;
+}
+
+bool
+SamplingCounter::retire()
+{
+    if (!armed_ || !skidding_)
+        return false;
+    if (skid_left_ > 0) {
+        --skid_left_;
+        return false;
+    }
+    // Skid exhausted: deliver.
+    skidding_ = false;
+    if (!config_.auto_rearm)
+        armed_ = false;
+    return true;
+}
+
+} // namespace hdrd::pmu

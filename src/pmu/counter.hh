@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A single sampling hardware counter with sample-after value and skid.
+ */
+
+#ifndef HDRD_PMU_COUNTER_HH
+#define HDRD_PMU_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "pmu/event.hh"
+
+namespace hdrd::pmu
+{
+
+/** Configuration of a sampling counter. */
+struct CounterConfig
+{
+    /** Event to sample on. */
+    EventType event = EventType::kHitmLoad;
+
+    /**
+     * Sample-after value: the counter overflows after this many
+     * events. 1 means "interrupt on every event" — the paper's
+     * highest-accuracy setting; larger values trade accuracy for
+     * fewer interrupts.
+     */
+    std::uint64_t sample_after = 1;
+
+    /**
+     * Interrupt skid: the overflow is delivered this many retired
+     * operations after the triggering event, modelling the imprecise
+     * landing point of real PMIs (PEBS shrinks but does not eliminate
+     * skid for the enable decision).
+     */
+    std::uint32_t skid = 4;
+
+    /** Re-arm automatically after delivering an overflow. */
+    bool auto_rearm = true;
+};
+
+/**
+ * One per-core sampling counter.
+ *
+ * Lifecycle: disarmed -> armed -> (threshold reached) skidding ->
+ * overflow delivered -> armed again (auto_rearm) or disarmed.
+ */
+class SamplingCounter
+{
+  public:
+    SamplingCounter() = default;
+
+    /** Arm with @p config; resets progress. */
+    void arm(const CounterConfig &config);
+
+    /** Disarm; pending overflows are dropped. */
+    void disarm();
+
+    /** True when armed (including while skidding). */
+    bool armed() const { return armed_; }
+
+    /** Configuration of the last arm() call. */
+    const CounterConfig &config() const { return config_; }
+
+    /**
+     * Record @p n occurrences of the armed event.
+     * @return true when the counter just crossed its threshold and
+     *         entered the skid window.
+     */
+    bool count(std::uint64_t n = 1);
+
+    /**
+     * Advance one retired operation.
+     * @return true when a pending overflow finished its skid and the
+     *         interrupt should be delivered now.
+     */
+    bool retire();
+
+  private:
+    CounterConfig config_;
+    bool armed_ = false;
+    bool skidding_ = false;
+    std::uint64_t events_ = 0;
+    std::uint32_t skid_left_ = 0;
+};
+
+} // namespace hdrd::pmu
+
+#endif // HDRD_PMU_COUNTER_HH

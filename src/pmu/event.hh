@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hardware performance event types exposed by the modelled PMU.
+ */
+
+#ifndef HDRD_PMU_EVENT_HH
+#define HDRD_PMU_EVENT_HH
+
+#include <cstdint>
+
+namespace hdrd::pmu
+{
+
+/**
+ * Events the modelled PMU can count or sample.
+ *
+ * kHitmLoad is the event the paper builds on: retired loads serviced
+ * by another core's Modified cache line (Nehalem's
+ * MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM, a PEBS-capable precise
+ * event). Stores that hit remote-Modified lines are intentionally NOT
+ * an event — mirroring real hardware's load-only visibility, the root
+ * of the paper's W->R-only sharing indicator.
+ */
+enum class EventType : std::uint8_t
+{
+    kRetiredOps = 0,   ///< all retired simulated operations
+    kLoads,            ///< retired loads
+    kStores,           ///< retired stores
+    kL1Miss,           ///< demand accesses missing private L1
+    kL2Miss,           ///< demand accesses missing the private hierarchy
+    kL3Miss,           ///< demand accesses serviced by memory
+    kHitmLoad,         ///< loads hitting a remote Modified line (PEBS)
+    kHitmAny,          ///< any access hitting a remote Modified line
+                       ///< (hypothetical hardware; see ABL-5)
+    kInvalidationsSent,///< remote copies invalidated by stores/upgrades
+    kSyncOps,          ///< synchronization operations retired
+
+    kNumEvents,
+};
+
+/** Number of distinct event types. */
+constexpr std::size_t kNumEventTypes =
+    static_cast<std::size_t>(EventType::kNumEvents);
+
+/** Printable name for an event type. */
+const char *eventName(EventType event);
+
+} // namespace hdrd::pmu
+
+#endif // HDRD_PMU_EVENT_HH

@@ -1,0 +1,106 @@
+#include "pmu/pmu.hh"
+
+#include "common/logging.hh"
+
+namespace hdrd::pmu
+{
+
+Pmu::Pmu(std::uint32_t ncores) : cores_(ncores)
+{
+    hdrdAssert(ncores > 0, "Pmu needs at least one core");
+}
+
+void
+Pmu::setOverflowHandler(OverflowHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+void
+Pmu::armAll(const CounterConfig &config)
+{
+    for (auto &core : cores_)
+        core.sampler.arm(config);
+}
+
+void
+Pmu::arm(CoreId core, const CounterConfig &config)
+{
+    hdrdAssert(core < cores_.size(), "unknown core ", core);
+    cores_[core].sampler.arm(config);
+}
+
+void
+Pmu::disarmAll()
+{
+    for (auto &core : cores_)
+        core.sampler.disarm();
+}
+
+void
+Pmu::disarm(CoreId core)
+{
+    hdrdAssert(core < cores_.size(), "unknown core ", core);
+    cores_[core].sampler.disarm();
+}
+
+bool
+Pmu::armed(CoreId core) const
+{
+    hdrdAssert(core < cores_.size(), "unknown core ", core);
+    return cores_[core].sampler.armed();
+}
+
+bool
+Pmu::recordEvent(CoreId core, EventType event, std::uint64_t n)
+{
+    hdrdAssert(core < cores_.size(), "unknown core ", core);
+    CoreState &state = cores_[core];
+    state.counts[static_cast<std::size_t>(event)] += n;
+    if (state.sampler.armed() && state.sampler.config().event == event)
+        return state.sampler.count(n);
+    return false;
+}
+
+bool
+Pmu::retireOp(CoreId core)
+{
+    hdrdAssert(core < cores_.size(), "unknown core ", core);
+    CoreState &state = cores_[core];
+    state.counts[static_cast<std::size_t>(EventType::kRetiredOps)] += 1;
+    if (state.sampler.armed()
+        && state.sampler.config().event == EventType::kRetiredOps) {
+        state.sampler.count(1);
+    }
+    if (!state.sampler.retire())
+        return false;
+    ++interrupts_;
+    if (handler_)
+        handler_(core, state.sampler.config().event);
+    return true;
+}
+
+std::uint64_t
+Pmu::count(CoreId core, EventType event) const
+{
+    hdrdAssert(core < cores_.size(), "unknown core ", core);
+    return cores_[core].counts[static_cast<std::size_t>(event)];
+}
+
+std::uint64_t
+Pmu::totalCount(EventType event) const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_)
+        total += core.counts[static_cast<std::size_t>(event)];
+    return total;
+}
+
+void
+Pmu::resetCounts()
+{
+    for (auto &core : cores_)
+        core.counts.fill(0);
+}
+
+} // namespace hdrd::pmu

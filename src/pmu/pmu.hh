@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The chip-level performance monitoring unit model.
+ *
+ * Every core gets (a) a bank of free-running counters, one per
+ * EventType, always counting, and (b) one sampling counter that can be
+ * armed on any event with a sample-after value and skid. Overflow
+ * interrupts are delivered to a registered handler — in the paper's
+ * system that handler is the demand-driven controller's "turn the race
+ * detector on" path.
+ */
+
+#ifndef HDRD_PMU_PMU_HH
+#define HDRD_PMU_PMU_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "pmu/counter.hh"
+#include "pmu/event.hh"
+
+namespace hdrd::pmu
+{
+
+/** Callback invoked when a core's sampling counter overflows. */
+using OverflowHandler = std::function<void(CoreId, EventType)>;
+
+/**
+ * Chip-level PMU: per-core free-running counters plus one sampling
+ * counter per core.
+ */
+class Pmu
+{
+  public:
+    explicit Pmu(std::uint32_t ncores);
+
+    /** Number of cores. */
+    std::uint32_t ncores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+
+    /** Register the overflow interrupt handler (single consumer). */
+    void setOverflowHandler(OverflowHandler handler);
+
+    /** Arm every core's sampling counter with @p config. */
+    void armAll(const CounterConfig &config);
+
+    /** Arm one core's sampling counter. */
+    void arm(CoreId core, const CounterConfig &config);
+
+    /** Disarm every core's sampling counter. */
+    void disarmAll();
+
+    /** Disarm one core's sampling counter. */
+    void disarm(CoreId core);
+
+    /** True when @p core's sampling counter is armed. */
+    bool armed(CoreId core) const;
+
+    /**
+     * Record @p n occurrences of @p event on @p core. Free-running
+     * counters always advance; the sampling counter advances when
+     * armed on this event.
+     * @return true when this occurrence was *sampled* — it crossed
+     *         the sampling counter's threshold and latched (the event
+     *         a PEBS record would describe).
+     */
+    bool recordEvent(CoreId core, EventType event, std::uint64_t n = 1);
+
+    /**
+     * Retire one operation on @p core: advances skid windows and
+     * delivers any due overflow interrupt (synchronously, through the
+     * registered handler).
+     * @return true when an interrupt was delivered.
+     */
+    bool retireOp(CoreId core);
+
+    /** Free-running count of @p event on @p core. */
+    std::uint64_t count(CoreId core, EventType event) const;
+
+    /** Free-running count of @p event summed over all cores. */
+    std::uint64_t totalCount(EventType event) const;
+
+    /** Total overflow interrupts delivered. */
+    std::uint64_t interruptsDelivered() const { return interrupts_; }
+
+    /** Zero the free-running counters (sampling state untouched). */
+    void resetCounts();
+
+  private:
+    struct CoreState
+    {
+        std::array<std::uint64_t, kNumEventTypes> counts{};
+        SamplingCounter sampler;
+    };
+
+    std::vector<CoreState> cores_;
+    OverflowHandler handler_;
+    std::uint64_t interrupts_ = 0;
+};
+
+} // namespace hdrd::pmu
+
+#endif // HDRD_PMU_PMU_HH

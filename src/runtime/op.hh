@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The simulated instruction set: operations emitted by thread bodies.
+ */
+
+#ifndef HDRD_RUNTIME_OP_HH
+#define HDRD_RUNTIME_OP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace hdrd::runtime
+{
+
+/** Operation kinds a simulated thread can execute. */
+enum class OpType : std::uint8_t
+{
+    kRead = 0,      ///< data load: addr, site
+    kWrite,         ///< data store: addr, site
+    kWork,          ///< arg cycles of non-memory computation
+    kLock,          ///< acquire mutex arg (blocks while held)
+    kUnlock,        ///< release mutex arg
+    kBarrier,       ///< arrive at barrier arg with arg2 participants
+    kThreadCreate,  ///< start thread arg (explicit-start programs)
+    kThreadJoin,    ///< block until thread arg finishes
+    kAtomicRmw,     ///< seq_cst atomic read-modify-write: addr, site
+    kAtomicWait,    ///< block until addr saw arg atomic RMWs (futex-
+                    ///< style wait; acquire-ordering on wake)
+    kRdLock,        ///< acquire rwlock arg for reading
+    kRdUnlock,      ///< release a read hold of rwlock arg
+    kWrLock,        ///< acquire rwlock arg for writing (exclusive)
+    kWrUnlock,      ///< release the write hold of rwlock arg
+};
+
+/** Printable name for an OpType. */
+const char *opTypeName(OpType type);
+
+/**
+ * One simulated operation.
+ */
+struct Op
+{
+    OpType type = OpType::kWork;
+
+    /** Byte address for kRead/kWrite. */
+    Addr addr = 0;
+
+    /**
+     * kWork: cycles of computation. kLock/kUnlock: mutex id.
+     * kBarrier: barrier id. kThreadCreate/kThreadJoin: thread id.
+     */
+    std::uint64_t arg = 0;
+
+    /** kBarrier: participant count (0 means every program thread). */
+    std::uint32_t arg2 = 0;
+
+    /** Static site id (reporting/ground truth); data accesses only. */
+    SiteId site = kInvalidSite;
+
+    static Op read(Addr addr, SiteId site)
+    {
+        return {OpType::kRead, addr, 0, 0, site};
+    }
+
+    static Op write(Addr addr, SiteId site)
+    {
+        return {OpType::kWrite, addr, 0, 0, site};
+    }
+
+    static Op work(std::uint64_t cycles)
+    {
+        return {OpType::kWork, 0, cycles, 0, kInvalidSite};
+    }
+
+    static Op lock(std::uint64_t mutex_id)
+    {
+        return {OpType::kLock, 0, mutex_id, 0, kInvalidSite};
+    }
+
+    static Op unlock(std::uint64_t mutex_id)
+    {
+        return {OpType::kUnlock, 0, mutex_id, 0, kInvalidSite};
+    }
+
+    static Op barrier(std::uint64_t barrier_id,
+                      std::uint32_t participants = 0)
+    {
+        return {OpType::kBarrier, 0, barrier_id, participants,
+                kInvalidSite};
+    }
+
+    static Op threadCreate(ThreadId tid)
+    {
+        return {OpType::kThreadCreate, 0, tid, 0, kInvalidSite};
+    }
+
+    static Op threadJoin(ThreadId tid)
+    {
+        return {OpType::kThreadJoin, 0, tid, 0, kInvalidSite};
+    }
+
+    static Op atomicRmw(Addr addr, SiteId site)
+    {
+        return {OpType::kAtomicRmw, addr, 0, 0, site};
+    }
+
+    static Op atomicWait(Addr addr, std::uint64_t threshold)
+    {
+        return {OpType::kAtomicWait, addr, threshold, 0,
+                kInvalidSite};
+    }
+
+    static Op rdLock(std::uint64_t rwlock_id)
+    {
+        return {OpType::kRdLock, 0, rwlock_id, 0, kInvalidSite};
+    }
+
+    static Op rdUnlock(std::uint64_t rwlock_id)
+    {
+        return {OpType::kRdUnlock, 0, rwlock_id, 0, kInvalidSite};
+    }
+
+    static Op wrLock(std::uint64_t rwlock_id)
+    {
+        return {OpType::kWrLock, 0, rwlock_id, 0, kInvalidSite};
+    }
+
+    static Op wrUnlock(std::uint64_t rwlock_id)
+    {
+        return {OpType::kWrUnlock, 0, rwlock_id, 0, kInvalidSite};
+    }
+
+    /** True for plain (non-atomic) data accesses. */
+    bool isMemAccess() const
+    {
+        return type == OpType::kRead || type == OpType::kWrite;
+    }
+
+    /**
+     * True for the synchronization operations. Atomic RMWs count:
+     * they order threads (and real detectors treat them as sync, not
+     * as racy data accesses).
+     */
+    bool isSync() const
+    {
+        return type == OpType::kLock || type == OpType::kUnlock
+            || type == OpType::kBarrier
+            || type == OpType::kThreadCreate
+            || type == OpType::kThreadJoin
+            || type == OpType::kAtomicRmw
+            || type == OpType::kAtomicWait
+            || type == OpType::kRdLock || type == OpType::kRdUnlock
+            || type == OpType::kWrLock || type == OpType::kWrUnlock;
+    }
+};
+
+} // namespace hdrd::runtime
+
+#endif // HDRD_RUNTIME_OP_HH

@@ -1,0 +1,42 @@
+#include "runtime/program.hh"
+
+namespace hdrd::runtime
+{
+
+const char *
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::kRead:
+        return "read";
+      case OpType::kWrite:
+        return "write";
+      case OpType::kWork:
+        return "work";
+      case OpType::kLock:
+        return "lock";
+      case OpType::kUnlock:
+        return "unlock";
+      case OpType::kBarrier:
+        return "barrier";
+      case OpType::kThreadCreate:
+        return "thread_create";
+      case OpType::kThreadJoin:
+        return "thread_join";
+      case OpType::kAtomicRmw:
+        return "atomic_rmw";
+      case OpType::kAtomicWait:
+        return "atomic_wait";
+      case OpType::kRdLock:
+        return "rd_lock";
+      case OpType::kRdUnlock:
+        return "rd_unlock";
+      case OpType::kWrLock:
+        return "wr_lock";
+      case OpType::kWrUnlock:
+        return "wr_unlock";
+    }
+    return "?";
+}
+
+} // namespace hdrd::runtime

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The Program abstraction: what the simulator executes.
+ *
+ * A Program is a factory of per-thread operation streams. Workload
+ * models (Phoenix/PARSEC profiles, racey micro-kernels) implement this
+ * interface; the simulator pulls operations lazily, so programs of
+ * hundreds of millions of operations need no materialized trace.
+ */
+
+#ifndef HDRD_RUNTIME_PROGRAM_HH
+#define HDRD_RUNTIME_PROGRAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "runtime/op.hh"
+
+namespace hdrd::runtime
+{
+
+/**
+ * A lazily evaluated stream of operations for one thread.
+ */
+class ThreadBody
+{
+  public:
+    virtual ~ThreadBody() = default;
+
+    /**
+     * Produce the next operation.
+     * @return false when the thread has finished (op untouched).
+     */
+    virtual bool next(Op &op) = 0;
+};
+
+/**
+ * Ground truth for one intentionally injected race: the set of
+ * unordered static site pairs that constitute the race. A detector
+ * "found" the race when it reported any one of the pairs. Accuracy
+ * experiments score detectors on the fraction of injected races found.
+ */
+struct InjectedRace
+{
+    std::vector<std::pair<SiteId, SiteId>> pairs;
+};
+
+/**
+ * A complete multithreaded program under test.
+ */
+class Program
+{
+  public:
+    virtual ~Program() = default;
+
+    /** Program name (registry key, report label). */
+    virtual const std::string &name() const = 0;
+
+    /** Number of threads (ids are dense, 0 = main). */
+    virtual std::uint32_t numThreads() const = 0;
+
+    /**
+     * Build a fresh operation stream for thread @p tid. Called once
+     * per run; bodies must not share mutable state.
+     */
+    virtual std::unique_ptr<ThreadBody> makeThread(ThreadId tid) = 0;
+
+    /** Ground-truth injected races (empty when none). */
+    virtual std::vector<InjectedRace> injectedRaces() const
+    {
+        return {};
+    }
+
+    /**
+     * When true (default), all threads are started implicitly at time
+     * zero with fork edges from thread 0, like a pthread_create loop
+     * at the top of main. When false, threads other than 0 wait for an
+     * explicit kThreadCreate.
+     */
+    virtual bool implicitStart() const { return true; }
+};
+
+} // namespace hdrd::runtime
+
+#endif // HDRD_RUNTIME_PROGRAM_HH

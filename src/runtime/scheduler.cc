@@ -1,0 +1,58 @@
+#include "runtime/scheduler.hh"
+
+#include <algorithm>
+
+namespace hdrd::runtime
+{
+
+Scheduler::Scheduler(double jitter, Rng rng)
+    : jitter_(jitter), rng_(rng)
+{
+}
+
+Cycle
+Scheduler::effectiveTime(const ThreadContext &tc,
+                         const std::vector<Cycle> &core_cycles)
+{
+    return std::max(core_cycles[tc.core()], tc.resumeTime());
+}
+
+ThreadId
+Scheduler::pick(const std::vector<ThreadContext> &contexts,
+                const std::vector<Cycle> &core_cycles)
+{
+    const auto n = static_cast<ThreadId>(contexts.size());
+
+    if (jitter_ > 0.0 && rng_.nextBool(jitter_)) {
+        // Uniform pick among runnable threads.
+        std::vector<ThreadId> runnable;
+        for (ThreadId t = 0; t < n; ++t) {
+            if (contexts[t].state() == ThreadState::kRunnable)
+                runnable.push_back(t);
+        }
+        if (!runnable.empty())
+            return runnable[rng_.nextBounded(runnable.size())];
+        return kInvalidThread;
+    }
+
+    // Earliest effective time wins; rotate the starting index so
+    // same-time threads share the core fairly.
+    ThreadId best = kInvalidThread;
+    Cycle best_time = ~Cycle{0};
+    for (ThreadId i = 0; i < n; ++i) {
+        const ThreadId t = (rr_cursor_ + i) % n;
+        const ThreadContext &tc = contexts[t];
+        if (tc.state() != ThreadState::kRunnable)
+            continue;
+        const Cycle when = effectiveTime(tc, core_cycles);
+        if (when < best_time) {
+            best = t;
+            best_time = when;
+        }
+    }
+    if (best != kInvalidThread)
+        rr_cursor_ = (best + 1) % n;
+    return best;
+}
+
+} // namespace hdrd::runtime

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The thread scheduler: picks which runnable thread executes next.
+ *
+ * Default policy is "earliest core time first": among runnable
+ * threads, run the one whose effective time (its core's cycle clock,
+ * or its wake time if later) is smallest. This makes the interleaving
+ * track simulated time like a discrete-event simulation — cores that
+ * fall behind (e.g. because their threads run instrumented) naturally
+ * interleave less often, reproducing how analysis perturbs real
+ * schedules. An optional seeded jitter probability picks a uniformly
+ * random runnable thread instead, for interleaving-variation studies.
+ */
+
+#ifndef HDRD_RUNTIME_SCHEDULER_HH
+#define HDRD_RUNTIME_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "runtime/thread_context.hh"
+
+namespace hdrd::runtime
+{
+
+/**
+ * Earliest-core-time-first scheduler with optional random jitter.
+ */
+class Scheduler
+{
+  public:
+    /**
+     * @param jitter probability of picking a uniformly random
+     *        runnable thread instead of the earliest one
+     * @param rng seeded generator for jitter decisions
+     */
+    explicit Scheduler(double jitter = 0.0, Rng rng = Rng(1));
+
+    /**
+     * Choose the next thread to run.
+     *
+     * @param contexts all thread contexts
+     * @param core_cycles per-core cycle clocks
+     * @return tid of the chosen runnable thread, or kInvalidThread
+     *         when none is runnable.
+     */
+    ThreadId pick(const std::vector<ThreadContext> &contexts,
+                  const std::vector<Cycle> &core_cycles);
+
+    /** Effective time of a thread: max(core clock, resume time). */
+    static Cycle effectiveTime(const ThreadContext &tc,
+                               const std::vector<Cycle> &core_cycles);
+
+  private:
+    double jitter_;
+    Rng rng_;
+    ThreadId rr_cursor_ = 0;  ///< tie-break rotation
+};
+
+} // namespace hdrd::runtime
+
+#endif // HDRD_RUNTIME_SCHEDULER_HH

@@ -1,0 +1,636 @@
+#include "runtime/simulator.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "demand/cold_region.hh"
+#include "detect/fasttrack.hh"
+#include "detect/lockset.hh"
+#include "detect/naive_hb.hh"
+#include "detect/sync_state.hh"
+#include "pmu/pmu.hh"
+#include "runtime/program.hh"
+#include "runtime/scheduler.hh"
+#include "runtime/sync.hh"
+#include "runtime/thread_context.hh"
+
+namespace hdrd::runtime
+{
+
+namespace
+{
+
+/** Per-granule ground-truth sharing state. */
+struct GtState
+{
+    ThreadId last_writer = kInvalidThread;
+
+    /** Bitmask of threads that read since the last write. */
+    std::uint64_t readers_since_write = 0;
+};
+
+} // namespace
+
+Simulator::Simulator(const SimConfig &config) : config_(config)
+{
+    if (config_.threads_per_core == 0)
+        fatal("threads_per_core must be positive");
+}
+
+RunResult
+Simulator::run(Program &program)
+{
+    using instr::ToolMode;
+    using demand::Strategy;
+
+    const std::uint32_t nthreads = program.numThreads();
+    hdrdAssert(nthreads > 0, "program has no threads");
+    const std::uint32_t ncores = config_.mem.ncores;
+    const instr::CostModel &cost = config_.cost;
+    const bool tool = config_.mode != ToolMode::kNative;
+    const bool demand_mode = config_.mode == ToolMode::kDemand;
+    const Strategy strategy = config_.gating.strategy;
+    const bool need_gt = config_.track_ground_truth
+        || (demand_mode && strategy == Strategy::kDemandOracle);
+    if (need_gt && nthreads > 64)
+        fatal("ground-truth tracking supports at most 64 threads");
+
+    // Platform.
+    mem::Hierarchy hier(config_.mem);
+    pmu::Pmu pmu(ncores);
+    Rng rng(config_.seed);
+    Scheduler sched(config_.sched_jitter, rng.split());
+    std::vector<Cycle> core_cycles(ncores, 0);
+
+    // Detection machinery. Sync clocks are always maintained when a
+    // tool is attached; per-access analysis is what gets gated.
+    detect::SyncClocks clocks(nthreads);
+    RunResult result;
+    std::unique_ptr<detect::Detector> detector;
+    if (config_.detector == DetectorKind::kNaiveHb) {
+        detector = std::make_unique<detect::NaiveHbDetector>(
+            clocks, result.reports, config_.granule_shift);
+    } else if (config_.detector == DetectorKind::kLockset) {
+        detector = std::make_unique<detect::LocksetDetector>(
+            result.reports, config_.granule_shift);
+    } else {
+        detector = std::make_unique<detect::FastTrackDetector>(
+            clocks, result.reports, config_.granule_shift);
+    }
+    demand::DemandController controller(config_.gating, rng.split());
+    demand::ColdRegionSampler cold_sampler(
+        config_.gating.cold_decay, config_.gating.cold_floor,
+        rng.split());
+    const std::unordered_set<std::uint64_t> watchlist(
+        config_.gating.watchlist.begin(),
+        config_.gating.watchlist.end());
+
+    // Threads.
+    std::vector<ThreadContext> ctxs;
+    ctxs.reserve(nthreads);
+    const bool implicit = program.implicitStart();
+    for (ThreadId t = 0; t < nthreads; ++t) {
+        const CoreId core =
+            (t / config_.threads_per_core) % ncores;
+        const ThreadState initial = (t == 0 || implicit)
+            ? ThreadState::kRunnable
+            : ThreadState::kNotStarted;
+        ctxs.emplace_back(t, core, program.makeThread(t), initial);
+    }
+    if (tool && implicit) {
+        // pthread_create-at-top-of-main: fork edges from thread 0.
+        for (ThreadId t = 1; t < nthreads; ++t)
+            clocks.fork(0, t);
+    }
+    SyncObjects sync;
+
+    // PEBS sample latches: the access description a precise sampling
+    // facility would deliver with the overflow record, one per core.
+    struct PebsLatch
+    {
+        ThreadId tid = kInvalidThread;
+        Addr addr = 0;
+        SiteId site = kInvalidSite;
+        bool valid = false;
+    };
+    std::vector<PebsLatch> pebs(ncores);
+
+    // Thread currently executing (for interrupt attribution).
+    ThreadId current_tid = kInvalidThread;
+
+    // PMU overflow handling: an interrupt is the paper's cue to turn
+    // the detector on. The handler charges interrupt cost where it
+    // lands and disarms the covered core(s) while analysis is on.
+    pmu.setOverflowHandler([&](CoreId core, pmu::EventType) {
+        if (!demand_mode)
+            return;
+        core_cycles[core] += cost.pmu_interrupt;
+        ++result.interrupts;
+        if (!controller.onInterrupt(current_tid))
+            return;
+        core_cycles[core] += cost.transition;
+        if (config_.gating.scope == demand::EnableScope::kGlobal)
+            pmu.disarmAll();
+        else
+            pmu.disarm(core);
+        if (config_.gating.pebs_precise_capture && pebs[core].valid) {
+            // Extension: analyze the sampled load retroactively, so
+            // the triggering W->R pair itself is visible.
+            const PebsLatch &latch = pebs[core];
+            const auto outcome = detector->onAccess(
+                latch.tid, latch.addr, false, latch.site);
+            controller.onAnalyzedAccess(outcome);
+            core_cycles[core] += cost.analysisCost(false);
+            ++result.pebs_captures;
+            ++result.analyzed_accesses;
+            pebs[core].valid = false;
+        }
+    });
+    if (demand_mode && strategy == Strategy::kDemandHitm)
+        pmu.armAll(config_.gating.hitm_counter);
+
+    std::unordered_map<std::uint64_t, GtState> gt_map;
+
+    // Main loop: one operation per iteration, earliest core first.
+    for (;;) {
+        const ThreadId tid = sched.pick(ctxs, core_cycles);
+        if (tid == kInvalidThread) {
+            const bool all_done = std::all_of(
+                ctxs.begin(), ctxs.end(), [](const ThreadContext &tc) {
+                    return tc.state() == ThreadState::kFinished;
+                });
+            if (all_done)
+                break;
+            panic("deadlock: no runnable thread in '", program.name(),
+                  "' but not all threads finished");
+        }
+        ThreadContext &tc = ctxs[tid];
+        current_tid = tid;
+        const CoreId core = tc.core();
+        core_cycles[core] =
+            std::max(core_cycles[core], tc.resumeTime());
+
+        if (!tc.fetch()) {
+            tc.setState(ThreadState::kFinished);
+            for (const Wakeup &w :
+                 sync.onThreadFinished(tid, core_cycles[core])) {
+                ctxs[w.tid].setState(ThreadState::kRunnable);
+                ctxs[w.tid].setResumeTime(w.when);
+                if (tool)
+                    clocks.join(w.tid, tid);
+            }
+            continue;
+        }
+
+        const Op op = tc.current();
+        const Cycle now = core_cycles[core];
+
+        switch (op.type) {
+          case OpType::kWork: {
+            double dilation = 1.0;
+            if (tool) {
+                const bool analysis_on =
+                    config_.mode == ToolMode::kContinuous
+                    || (demand_mode && controller.enabledFor(tid));
+                dilation = analysis_on
+                    ? cost.work_dilation_enabled
+                    : cost.work_dilation_disabled;
+            }
+            core_cycles[core] += static_cast<Cycle>(
+                static_cast<double>(op.arg * cost.base_work)
+                * dilation);
+            ++result.work_ops;
+            tc.consume();
+            pmu.retireOp(core);
+            break;
+          }
+
+          case OpType::kRead:
+          case OpType::kWrite: {
+            const bool write = op.type == OpType::kWrite;
+            const auto res = hier.access(core, op.addr, write);
+            Cycle charge = cost.base_mem_op + res.latency;
+
+            ++result.mem_accesses;
+            if (write)
+                ++result.writes;
+            else
+                ++result.reads;
+
+            // Feed the PMU's free-running and sampling counters.
+            pmu.recordEvent(core, write ? pmu::EventType::kStores
+                                        : pmu::EventType::kLoads);
+            if (res.where != mem::HitWhere::kL1)
+                pmu.recordEvent(core, pmu::EventType::kL1Miss);
+            if (res.where == mem::HitWhere::kL3
+                || res.where == mem::HitWhere::kRemoteCache
+                || res.where == mem::HitWhere::kMemory) {
+                pmu.recordEvent(core, pmu::EventType::kL2Miss);
+            }
+            if (res.where == mem::HitWhere::kMemory)
+                pmu.recordEvent(core, pmu::EventType::kL3Miss);
+            bool sampled = false;
+            if (res.hitm_load) {
+                sampled |= pmu.recordEvent(
+                    core, pmu::EventType::kHitmLoad);
+            }
+            if (res.hitm) {
+                // kHitmAny models hypothetical hardware that also
+                // exposes store-side HITMs (the W->W sharing real
+                // load-only events miss).
+                sampled |= pmu.recordEvent(
+                    core, pmu::EventType::kHitmAny);
+            }
+            if (sampled) {
+                // This access is the sampled event: latch its PEBS
+                // record for possible precise capture at delivery.
+                pebs[core] = PebsLatch{tid, op.addr, op.site, true};
+            }
+            if (res.invalidations > 0) {
+                pmu.recordEvent(core,
+                                pmu::EventType::kInvalidationsSent,
+                                res.invalidations);
+            }
+
+            // Ground-truth sharing classification (word granules).
+            bool gt_shared = false;
+            if (need_gt) {
+                GtState &g =
+                    gt_map[op.addr >> config_.granule_shift];
+                if (write) {
+                    if (g.last_writer != kInvalidThread
+                        && g.last_writer != tid) {
+                        ++result.gt.ww;
+                        gt_shared = true;
+                    }
+                    if ((g.readers_since_write
+                         & ~(std::uint64_t{1} << tid)) != 0) {
+                        ++result.gt.rw;
+                        gt_shared = true;
+                    }
+                    g.last_writer = tid;
+                    g.readers_since_write = 0;
+                } else {
+                    if (g.last_writer != kInvalidThread
+                        && g.last_writer != tid) {
+                        ++result.gt.wr;
+                        gt_shared = true;
+                    }
+                    g.readers_since_write |= std::uint64_t{1} << tid;
+                }
+                if (gt_shared)
+                    ++result.gt.shared_accesses;
+            }
+
+            // Gating decision.
+            bool analyze = false;
+            if (config_.mode == ToolMode::kContinuous) {
+                analyze = true;
+            } else if (demand_mode) {
+                if (controller.onAccessBoundary()) {
+                    // A sampling-window boundary toggled the state.
+                    core_cycles[core] += cost.transition;
+                }
+                if (strategy == Strategy::kColdRegion) {
+                    // Per-site adaptive sampling: no global state.
+                    analyze = cold_sampler.shouldAnalyze(op.site);
+                } else if (strategy == Strategy::kWatchlist) {
+                    analyze = watchlist.count(
+                        op.addr >> config_.granule_shift) != 0;
+                } else {
+                    if (strategy == Strategy::kDemandOracle
+                        && gt_shared && !controller.enabledFor(tid)
+                        && controller.onOracleSharing(tid)) {
+                        core_cycles[core] += cost.transition;
+                    }
+                    analyze = controller.enabledFor(tid);
+                }
+            }
+
+            if (tool && !analyze)
+                charge += cost.gate_check;
+            if (analyze) {
+                charge += cost.analysisCost(write);
+                const auto outcome =
+                    detector->onAccess(tid, op.addr, write, op.site);
+                ++result.analyzed_accesses;
+                if (demand_mode
+                    && controller.onAnalyzedAccess(outcome)) {
+                    // Watchdog switched analysis off: re-arm the
+                    // hardware indicator.
+                    core_cycles[core] += cost.transition;
+                    if (strategy == Strategy::kDemandHitm)
+                        pmu.armAll(config_.gating.hitm_counter);
+                }
+            }
+
+            core_cycles[core] += charge;
+            tc.consume();
+            pmu.retireOp(core);
+
+            if (config_.invariant_check_interval != 0
+                && result.mem_accesses
+                        % config_.invariant_check_interval == 0) {
+                hier.checkInvariants();
+            }
+            break;
+          }
+
+          case OpType::kAtomicRmw: {
+            // A seq_cst atomic read-modify-write: a store at the
+            // protocol level, an acquire+release pair at the
+            // happens-before level, and never a *data* access for the
+            // detector (real tools intercept atomics as sync).
+            const auto res = hier.access(core, op.addr, true);
+            Cycle charge = cost.base_mem_op + res.latency;
+            pmu.recordEvent(core, pmu::EventType::kStores);
+            if (res.hitm) {
+                // Visible to the hypothetical any-access event only:
+                // locked RMWs don't retire as ordinary loads.
+                pmu.recordEvent(core, pmu::EventType::kHitmAny);
+            }
+            if (need_gt) {
+                GtState &g =
+                    gt_map[op.addr >> config_.granule_shift];
+                g.last_writer = tid;
+                g.readers_since_write = 0;
+            }
+            if (tool) {
+                // Each atomic address is its own synchronization
+                // object; the high tag bit keeps the key space
+                // disjoint from workload-chosen lock ids.
+                const std::uint64_t key = (1ULL << 63)
+                    | (op.addr >> config_.granule_shift);
+                clocks.acquire(tid, key);
+                clocks.release(tid, key);
+                charge += cost.analysis_sync;
+            }
+            core_cycles[core] += charge;
+            ++result.atomic_ops;
+            ++result.sync_ops;
+            pmu.recordEvent(core, pmu::EventType::kSyncOps);
+            tc.consume();
+            pmu.retireOp(core);
+            // Wake futex-style waiters whose threshold is now met.
+            for (const Wakeup &w : sync.onAtomicRmw(
+                     op.addr >> config_.granule_shift,
+                     core_cycles[core])) {
+                ctxs[w.tid].setState(ThreadState::kRunnable);
+                ctxs[w.tid].setResumeTime(w.when);
+            }
+            break;
+          }
+
+          case OpType::kAtomicWait: {
+            const std::uint64_t cell =
+                op.addr >> config_.granule_shift;
+            if (!sync.atomicSatisfied(cell, op.arg)) {
+                sync.addAtomicWaiter(tid, cell, op.arg);
+                tc.setState(ThreadState::kBlocked);
+                break;  // op stays pending; retried after wake
+            }
+            // Acquire-ordering against the releasing RMW chain.
+            if (tool) {
+                const std::uint64_t key = (1ULL << 63) | cell;
+                clocks.acquire(tid, key);
+            }
+            core_cycles[core] +=
+                cost.base_sync + (tool ? cost.analysis_sync : 0);
+            ++result.sync_ops;
+            pmu.recordEvent(core, pmu::EventType::kSyncOps);
+            tc.consume();
+            pmu.retireOp(core);
+            break;
+          }
+
+          case OpType::kLock: {
+            if (!sync.tryLock(tid, op.arg, now)) {
+                tc.setState(ThreadState::kBlocked);
+                break;  // op stays pending; retried after wake
+            }
+            if (tool) {
+                clocks.acquire(tid, op.arg);
+                detector->onLock(tid, op.arg);
+            }
+            core_cycles[core] +=
+                cost.base_sync + (tool ? cost.analysis_sync : 0);
+            ++result.sync_ops;
+            pmu.recordEvent(core, pmu::EventType::kSyncOps);
+            tc.consume();
+            pmu.retireOp(core);
+            break;
+          }
+
+          case OpType::kUnlock: {
+            if (tool) {
+                clocks.release(tid, op.arg);
+                detector->onUnlock(tid, op.arg);
+            }
+            core_cycles[core] +=
+                cost.base_sync + (tool ? cost.analysis_sync : 0);
+            if (auto w = sync.unlock(tid, op.arg, core_cycles[core])) {
+                ctxs[w->tid].setState(ThreadState::kRunnable);
+                ctxs[w->tid].setResumeTime(w->when);
+            }
+            ++result.sync_ops;
+            pmu.recordEvent(core, pmu::EventType::kSyncOps);
+            tc.consume();
+            pmu.retireOp(core);
+            break;
+          }
+
+          case OpType::kRdLock:
+          case OpType::kWrLock: {
+            const bool wants_write = op.type == OpType::kWrLock;
+            const bool granted = wants_write
+                ? sync.tryWrLock(tid, op.arg, now)
+                : sync.tryRdLock(tid, op.arg, now);
+            if (!granted) {
+                tc.setState(ThreadState::kBlocked);
+                break;  // retried after handoff wake
+            }
+            if (tool) {
+                if (wants_write)
+                    clocks.wrAcquire(tid, op.arg);
+                else
+                    clocks.rdAcquire(tid, op.arg);
+                // Lockset sees rwlocks in a tagged key space so
+                // workload lock/rwlock ids never collide; read-mode
+                // holds protect reads only (Eraser's rwlock rule).
+                detector->onLock(tid, (1ULL << 62) | op.arg,
+                                 wants_write);
+            }
+            core_cycles[core] +=
+                cost.base_sync + (tool ? cost.analysis_sync : 0);
+            ++result.sync_ops;
+            pmu.recordEvent(core, pmu::EventType::kSyncOps);
+            tc.consume();
+            pmu.retireOp(core);
+            break;
+          }
+
+          case OpType::kRdUnlock:
+          case OpType::kWrUnlock: {
+            const bool was_write = op.type == OpType::kWrUnlock;
+            if (tool) {
+                if (was_write)
+                    clocks.wrRelease(tid, op.arg);
+                else
+                    clocks.rdRelease(tid, op.arg);
+                detector->onUnlock(tid, (1ULL << 62) | op.arg);
+            }
+            core_cycles[core] +=
+                cost.base_sync + (tool ? cost.analysis_sync : 0);
+            const auto woken = was_write
+                ? sync.wrUnlock(tid, op.arg, core_cycles[core])
+                : sync.rdUnlock(tid, op.arg, core_cycles[core]);
+            for (const Wakeup &w : woken) {
+                ctxs[w.tid].setState(ThreadState::kRunnable);
+                ctxs[w.tid].setResumeTime(w.when);
+            }
+            ++result.sync_ops;
+            pmu.recordEvent(core, pmu::EventType::kSyncOps);
+            tc.consume();
+            pmu.retireOp(core);
+            break;
+          }
+
+          case OpType::kBarrier: {
+            core_cycles[core] +=
+                cost.base_sync + (tool ? cost.analysis_sync : 0);
+            const std::uint32_t expected =
+                op.arg2 != 0 ? op.arg2 : nthreads;
+            ++result.sync_ops;
+            pmu.recordEvent(core, pmu::EventType::kSyncOps);
+            tc.consume();
+            pmu.retireOp(core);
+            auto released = sync.arriveBarrier(tid, op.arg, expected,
+                                               core_cycles[core]);
+            if (!released) {
+                tc.setState(ThreadState::kBlocked);
+                break;
+            }
+            // Last arriver: all-to-all happens-before, wake everyone.
+            if (tool) {
+                std::vector<ThreadId> participants;
+                participants.reserve(released->size());
+                for (const Wakeup &w : *released)
+                    participants.push_back(w.tid);
+                clocks.barrier(participants);
+            }
+            for (const Wakeup &w : *released) {
+                if (w.tid == tid) {
+                    core_cycles[core] =
+                        std::max(core_cycles[core], w.when);
+                } else {
+                    ctxs[w.tid].setState(ThreadState::kRunnable);
+                    ctxs[w.tid].setResumeTime(w.when);
+                }
+            }
+            break;
+          }
+
+          case OpType::kThreadCreate: {
+            const auto child = static_cast<ThreadId>(op.arg);
+            hdrdAssert(child < nthreads && child != tid,
+                       "create of invalid thread ", child);
+            ThreadContext &cc = ctxs[child];
+            hdrdAssert(cc.state() == ThreadState::kNotStarted,
+                       "thread ", child, " created twice");
+            core_cycles[core] +=
+                cost.base_sync + (tool ? cost.analysis_sync : 0);
+            if (tool)
+                clocks.fork(tid, child);
+            cc.setState(ThreadState::kRunnable);
+            cc.setResumeTime(core_cycles[core]);
+            ++result.sync_ops;
+            pmu.recordEvent(core, pmu::EventType::kSyncOps);
+            tc.consume();
+            pmu.retireOp(core);
+            break;
+          }
+
+          case OpType::kThreadJoin: {
+            const auto target = static_cast<ThreadId>(op.arg);
+            hdrdAssert(target < nthreads && target != tid,
+                       "join of invalid thread ", target);
+            core_cycles[core] +=
+                cost.base_sync + (tool ? cost.analysis_sync : 0);
+            ++result.sync_ops;
+            pmu.recordEvent(core, pmu::EventType::kSyncOps);
+            tc.consume();
+            pmu.retireOp(core);
+            if (ctxs[target].state() == ThreadState::kFinished) {
+                if (tool)
+                    clocks.join(tid, target);
+            } else {
+                sync.addJoinWaiter(tid, target);
+                tc.setState(ThreadState::kBlocked);
+            }
+            break;
+          }
+        }
+    }
+
+    // Finalize.
+    for (const ThreadContext &tc : ctxs)
+        result.total_ops += tc.opsExecuted();
+    result.wall_cycles =
+        *std::max_element(core_cycles.begin(), core_cycles.end());
+    result.enables = controller.enables();
+    result.disables = controller.disables();
+    result.transitions = controller.transitions();
+    result.hitm_loads = hier.stats().counter("hitm_loads");
+    result.hitm_transfers = hier.stats().counter("hitm_transfers");
+    result.private_writebacks =
+        hier.stats().counter("private_writebacks");
+    result.mem_latency = hier.latencyHistogram();
+    for (std::size_t e = 0; e < pmu::kNumEventTypes; ++e) {
+        result.pmu_totals[e] =
+            pmu.totalCount(static_cast<pmu::EventType>(e));
+    }
+    return result;
+}
+
+void
+RunResult::dump(std::ostream &os) const
+{
+    os << "run.wall_cycles " << wall_cycles << '\n'
+       << "run.total_ops " << total_ops << '\n'
+       << "run.mem_accesses " << mem_accesses << '\n'
+       << "run.reads " << reads << '\n'
+       << "run.writes " << writes << '\n'
+       << "run.sync_ops " << sync_ops << '\n'
+       << "run.atomic_ops " << atomic_ops << '\n'
+       << "run.work_ops " << work_ops << '\n'
+       << "run.analyzed_accesses " << analyzed_accesses << '\n'
+       << "run.analyzed_fraction " << analyzedFraction() << '\n'
+       << "run.enables " << enables << '\n'
+       << "run.disables " << disables << '\n'
+       << "run.interrupts " << interrupts << '\n'
+       << "run.pebs_captures " << pebs_captures << '\n'
+       << "run.hitm_loads " << hitm_loads << '\n'
+       << "run.hitm_transfers " << hitm_transfers << '\n'
+       << "run.private_writebacks " << private_writebacks << '\n'
+       << "run.gt_wr " << gt.wr << '\n'
+       << "run.gt_ww " << gt.ww << '\n'
+       << "run.gt_rw " << gt.rw << '\n'
+       << "run.gt_shared_accesses " << gt.shared_accesses << '\n'
+       << "run.races_unique " << reports.uniqueCount() << '\n'
+       << "run.races_dynamic " << reports.dynamicCount() << '\n'
+       << "run.mem_latency_mean " << mem_latency.mean() << '\n'
+       << "run.mem_latency_p50 " << mem_latency.percentile(50)
+       << '\n'
+       << "run.mem_latency_p99 " << mem_latency.percentile(99)
+       << '\n';
+    for (std::size_t e = 0; e < pmu::kNumEventTypes; ++e) {
+        os << "run.pmu." << pmu::eventName(
+                static_cast<pmu::EventType>(e))
+           << ' ' << pmu_totals[e] << '\n';
+    }
+}
+
+} // namespace hdrd::runtime

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The Simulator: executes a Program on the modelled platform under a
+ * chosen analysis regime and reports what happened.
+ *
+ * This is the integration point of every substrate:
+ *   - runtime: threads, scheduler, sync objects;
+ *   - mem: the MESI hierarchy that generates HITM events;
+ *   - pmu: counters sampling those events, delivering interrupts;
+ *   - detect: always-on sync clocks + demand-gated per-access analysis;
+ *   - demand: the enable/disable state machine;
+ *   - instr: the cycle cost model that turns regimes into slowdowns.
+ */
+
+#ifndef HDRD_RUNTIME_SIMULATOR_HH
+#define HDRD_RUNTIME_SIMULATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+#include "demand/controller.hh"
+#include "demand/strategy.hh"
+#include "detect/report.hh"
+#include "instr/cost_model.hh"
+#include "mem/hierarchy.hh"
+#include "pmu/event.hh"
+
+namespace hdrd::runtime
+{
+
+class Program;
+
+/** Ground-truth inter-thread sharing counts (word granularity). */
+struct GroundTruthStats
+{
+    /** Reads of data last written by another thread. */
+    std::uint64_t wr = 0;
+
+    /** Writes over data last written by another thread. */
+    std::uint64_t ww = 0;
+
+    /** Writes to data read by another thread since its last write. */
+    std::uint64_t rw = 0;
+
+    /** Accesses participating in any inter-thread sharing. */
+    std::uint64_t shared_accesses = 0;
+};
+
+/** Which per-access race-detection algorithm runs behind the gate. */
+enum class DetectorKind : std::uint8_t
+{
+    kFastTrack = 0,  ///< epoch-adaptive (Inspector/FastTrack class)
+    kNaiveHb,        ///< full-vector-clock DJIT+ (reference oracle)
+    kLockset,        ///< Eraser-style lockset (baseline comparison)
+};
+
+/** Simulation configuration: platform, regime, gating, bookkeeping. */
+struct SimConfig
+{
+    mem::HierarchyConfig mem;
+    instr::CostModel cost;
+    instr::ToolMode mode = instr::ToolMode::kContinuous;
+    demand::GatingConfig gating;
+
+    /** Detection algorithm used for analyzed accesses. */
+    DetectorKind detector = DetectorKind::kFastTrack;
+
+    /** log2 bytes of the race-detection granule. */
+    std::uint32_t granule_shift = 3;
+
+    /** Seed for every random decision in the run. */
+    std::uint64_t seed = 1;
+
+    /** Probability of a random scheduler pick (0 = deterministic). */
+    double sched_jitter = 0.0;
+
+    /**
+     * Track ground-truth sharing per access. Costs memory proportional
+     * to the touched word count; forced on by the oracle strategy.
+     */
+    bool track_ground_truth = false;
+
+    /** Run hierarchy invariant checks every N accesses (0 = never). */
+    std::uint64_t invariant_check_interval = 0;
+
+    /**
+     * Threads mapped per core: 1 pins thread t to core t mod ncores;
+     * 2 models SMT siblings sharing a private cache (no HITMs between
+     * them — one of the paper's accuracy caveats).
+     */
+    std::uint32_t threads_per_core = 1;
+};
+
+/** Everything measured during one run. */
+struct RunResult
+{
+    /** Wall time: max over per-core cycle clocks. */
+    Cycle wall_cycles = 0;
+
+    std::uint64_t total_ops = 0;
+    std::uint64_t mem_accesses = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t sync_ops = 0;
+    std::uint64_t work_ops = 0;
+
+    /** Atomic RMW operations (ordered, never analyzed as data). */
+    std::uint64_t atomic_ops = 0;
+
+    /** Accesses that ran through the race detector. */
+    std::uint64_t analyzed_accesses = 0;
+
+    /** Demand-driven transitions and interrupts. */
+    std::uint64_t enables = 0;
+    std::uint64_t disables = 0;
+    std::uint64_t interrupts = 0;
+
+    /** Triggering accesses retroactively analyzed via PEBS capture. */
+    std::uint64_t pebs_captures = 0;
+
+    /** Hierarchy-level sharing events. */
+    std::uint64_t hitm_loads = 0;
+    std::uint64_t hitm_transfers = 0;
+    std::uint64_t private_writebacks = 0;
+
+    /** Free-running PMU totals per event type. */
+    std::array<std::uint64_t, pmu::kNumEventTypes> pmu_totals{};
+
+    GroundTruthStats gt;
+
+    /** Distribution of memory-access service latencies. */
+    Log2Histogram mem_latency;
+
+    /** Race reports (site-pair deduplicated). */
+    detect::ReportSink reports;
+
+    /** Enable/disable transition history with access indices. */
+    std::vector<demand::Transition> transitions;
+
+    /** Fraction of data accesses analyzed. */
+    double analyzedFraction() const
+    {
+        return mem_accesses == 0
+            ? 0.0
+            : static_cast<double>(analyzed_accesses)
+                / static_cast<double>(mem_accesses);
+    }
+
+    /** Fraction of data accesses participating in sharing. */
+    double sharingFraction() const
+    {
+        return mem_accesses == 0
+            ? 0.0
+            : static_cast<double>(gt.shared_accesses)
+                / static_cast<double>(mem_accesses);
+    }
+
+    /**
+     * Machine-readable "key value" dump of every measurement (one
+     * per line), gem5-stats style.
+     */
+    void dump(std::ostream &os) const;
+};
+
+/**
+ * Executes Programs under a fixed SimConfig. Stateless between runs:
+ * every run() builds a fresh platform.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &config);
+
+    /** Execute @p program to completion and report. */
+    RunResult run(Program &program);
+
+    /** Configuration in force. */
+    const SimConfig &config() const { return config_; }
+
+    /** One-shot convenience wrapper. */
+    static RunResult runWith(Program &program, const SimConfig &config)
+    {
+        Simulator sim(config);
+        return sim.run(program);
+    }
+
+  private:
+    SimConfig config_;
+};
+
+} // namespace hdrd::runtime
+
+#endif // HDRD_RUNTIME_SIMULATOR_HH

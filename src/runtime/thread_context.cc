@@ -1,0 +1,43 @@
+#include "runtime/thread_context.hh"
+
+#include "common/logging.hh"
+
+namespace hdrd::runtime
+{
+
+ThreadContext::ThreadContext(ThreadId tid, CoreId core,
+                             std::unique_ptr<ThreadBody> body,
+                             ThreadState initial_state)
+    : tid_(tid), core_(core), body_(std::move(body)),
+      state_(initial_state)
+{
+    hdrdAssert(body_ != nullptr, "ThreadContext needs a body");
+}
+
+const Op &
+ThreadContext::current() const
+{
+    hdrdAssert(has_op_, "current() without a fetched op");
+    return current_;
+}
+
+bool
+ThreadContext::fetch()
+{
+    if (has_op_)
+        return true;
+    if (!body_->next(current_))
+        return false;
+    has_op_ = true;
+    return true;
+}
+
+void
+ThreadContext::consume()
+{
+    hdrdAssert(has_op_, "consume() without a fetched op");
+    has_op_ = false;
+    ++ops_executed_;
+}
+
+} // namespace hdrd::runtime

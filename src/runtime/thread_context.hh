@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-thread execution state inside the simulator.
+ */
+
+#ifndef HDRD_RUNTIME_THREAD_CONTEXT_HH
+#define HDRD_RUNTIME_THREAD_CONTEXT_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "runtime/op.hh"
+#include "runtime/program.hh"
+
+namespace hdrd::runtime
+{
+
+/** Lifecycle state of a simulated thread. */
+enum class ThreadState : std::uint8_t
+{
+    kNotStarted = 0,  ///< waiting for an explicit kThreadCreate
+    kRunnable,
+    kBlocked,         ///< waiting on a mutex, barrier, or join
+    kFinished,
+};
+
+/**
+ * One simulated thread: its operation stream, scheduling state, and
+ * the op it is currently trying to execute.
+ */
+class ThreadContext
+{
+  public:
+    ThreadContext(ThreadId tid, CoreId core,
+                  std::unique_ptr<ThreadBody> body,
+                  ThreadState initial_state);
+
+    ThreadId tid() const { return tid_; }
+    CoreId core() const { return core_; }
+
+    ThreadState state() const { return state_; }
+    void setState(ThreadState state) { state_ = state; }
+
+    /**
+     * The operation currently being executed or retried.
+     * @pre hasOp()
+     */
+    const Op &current() const;
+
+    /** True when an op has been fetched and not yet consumed. */
+    bool hasOp() const { return has_op_; }
+
+    /**
+     * Fetch the next op from the body if none is pending.
+     * @return false when the body is exhausted (thread should finish).
+     */
+    bool fetch();
+
+    /** Mark the current op executed; the next fetch() advances. */
+    void consume();
+
+    /**
+     * Earliest cycle this thread may run again (set when woken from a
+     * block; the waker's cycle time at wake).
+     */
+    Cycle resumeTime() const { return resume_time_; }
+    void setResumeTime(Cycle cycle) { resume_time_ = cycle; }
+
+    /** Count of operations this thread has consumed. */
+    std::uint64_t opsExecuted() const { return ops_executed_; }
+
+  private:
+    ThreadId tid_;
+    CoreId core_;
+    std::unique_ptr<ThreadBody> body_;
+    ThreadState state_;
+    Op current_{};
+    bool has_op_ = false;
+    Cycle resume_time_ = 0;
+    std::uint64_t ops_executed_ = 0;
+};
+
+} // namespace hdrd::runtime
+
+#endif // HDRD_RUNTIME_THREAD_CONTEXT_HH

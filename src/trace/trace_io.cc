@@ -1,0 +1,126 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hdrd::trace
+{
+
+TraceWriter::TraceWriter(const std::string &path,
+                         const std::string &name,
+                         std::uint32_t nthreads)
+    : out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_)
+        return;
+    header_.nthreads = nthreads;
+    const std::size_t n =
+        std::min(name.size(), header_.name.size() - 1);
+    std::memcpy(header_.name.data(), name.data(), n);
+    // Reserve header space; patched with the count in finalize().
+    out_.write(reinterpret_cast<const char *>(&header_),
+               sizeof(header_));
+    ok_ = static_cast<bool>(out_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (ok_ && !finalized_)
+        finalize();
+}
+
+void
+TraceWriter::record(ThreadId tid, const runtime::Op &op)
+{
+    if (!ok_ || finalized_)
+        return;
+    const TraceRecord record = TraceRecord::fromOp(tid, op);
+    out_.write(reinterpret_cast<const char *>(&record),
+               sizeof(record));
+    ++count_;
+}
+
+bool
+TraceWriter::finalize()
+{
+    if (!ok_ || finalized_)
+        return false;
+    finalized_ = true;
+    header_.record_count = count_;
+    out_.seekp(0);
+    out_.write(reinterpret_cast<const char *>(&header_),
+               sizeof(header_));
+    out_.close();
+    return static_cast<bool>(out_);
+}
+
+const std::vector<runtime::Op> &
+TraceData::threadOps(ThreadId tid) const
+{
+    hdrdAssert(tid < per_thread_.size(),
+               "trace has no thread ", tid);
+    return per_thread_[tid];
+}
+
+TraceData
+TraceData::load(const std::string &path)
+{
+    TraceData data;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        data.error_ = "cannot open " + path;
+        return data;
+    }
+
+    TraceHeader header;
+    in.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!in) {
+        data.error_ = "truncated header";
+        return data;
+    }
+    if (header.magic != kMagic) {
+        data.error_ = "bad magic (not an hdrd trace?)";
+        return data;
+    }
+    if (header.nthreads == 0 || header.nthreads > 4096) {
+        data.error_ = "implausible thread count";
+        return data;
+    }
+
+    data.name_.assign(header.name.data(),
+                      strnlen(header.name.data(),
+                              header.name.size()));
+    data.per_thread_.resize(header.nthreads);
+
+    for (std::uint64_t i = 0; i < header.record_count; ++i) {
+        TraceRecord record;
+        in.read(reinterpret_cast<char *>(&record), sizeof(record));
+        if (!in) {
+            data.error_ = "truncated at record "
+                + std::to_string(i) + " of "
+                + std::to_string(header.record_count);
+            data.per_thread_.clear();
+            return data;
+        }
+        if (record.tid >= header.nthreads) {
+            data.error_ = "record " + std::to_string(i)
+                + " names unknown thread "
+                + std::to_string(record.tid);
+            data.per_thread_.clear();
+            return data;
+        }
+        if (record.type > kMaxOpType) {
+            data.error_ = "record " + std::to_string(i)
+                + " has invalid op type "
+                + std::to_string(record.type);
+            data.per_thread_.clear();
+            return data;
+        }
+        data.per_thread_[record.tid].push_back(record.toOp());
+        ++data.total_;
+    }
+    return data;
+}
+
+} // namespace hdrd::trace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Trace writing and reading.
+ *
+ * TraceWriter streams records to a file (header patched on
+ * finalize); TraceData loads and validates a whole trace into
+ * memory, partitioned per thread for replay.
+ */
+
+#ifndef HDRD_TRACE_TRACE_IO_HH
+#define HDRD_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/op.hh"
+#include "trace/trace_format.hh"
+
+namespace hdrd::trace
+{
+
+/**
+ * Streams operation records into a trace file.
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing and reserve the header.
+     * @param name program name stored in the header
+     * @param nthreads thread count of the recorded program
+     */
+    TraceWriter(const std::string &path, const std::string &name,
+                std::uint32_t nthreads);
+
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** True when the file opened successfully. */
+    bool ok() const { return ok_; }
+
+    /** Append one operation. */
+    void record(ThreadId tid, const runtime::Op &op);
+
+    /** Patch the header with the final count and close the file. */
+    bool finalize();
+
+    /** Records written so far. */
+    std::uint64_t recorded() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    TraceHeader header_;
+    std::uint64_t count_ = 0;
+    bool ok_ = false;
+    bool finalized_ = false;
+};
+
+/**
+ * A fully loaded, validated trace.
+ */
+class TraceData
+{
+  public:
+    /**
+     * Load @p path.
+     * @return the trace, or an empty object whose error() explains
+     *         what was wrong (bad magic, truncation, invalid record).
+     */
+    static TraceData load(const std::string &path);
+
+    /** True when the load succeeded. */
+    bool ok() const { return error_.empty(); }
+
+    /** Why the load failed (empty on success). */
+    const std::string &error() const { return error_; }
+
+    /** Program name from the header. */
+    const std::string &name() const { return name_; }
+
+    /** Thread count. */
+    std::uint32_t nthreads() const
+    {
+        return static_cast<std::uint32_t>(per_thread_.size());
+    }
+
+    /** Total operations across threads. */
+    std::uint64_t totalOps() const { return total_; }
+
+    /** Thread @p tid's operations in program order. */
+    const std::vector<runtime::Op> &threadOps(ThreadId tid) const;
+
+  private:
+    std::string error_;
+    std::string name_;
+    std::uint64_t total_ = 0;
+    std::vector<std::vector<runtime::Op>> per_thread_;
+};
+
+} // namespace hdrd::trace
+
+#endif // HDRD_TRACE_TRACE_IO_HH

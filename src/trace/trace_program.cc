@@ -1,0 +1,90 @@
+#include "trace/trace_program.hh"
+
+#include "common/logging.hh"
+
+namespace hdrd::trace
+{
+
+namespace
+{
+
+/** Replays one thread's recorded op vector. */
+class ReplayBody : public runtime::ThreadBody
+{
+  public:
+    explicit ReplayBody(const std::vector<runtime::Op> *ops)
+        : ops_(ops)
+    {
+    }
+
+    bool
+    next(runtime::Op &op) override
+    {
+        if (pos_ >= ops_->size())
+            return false;
+        op = (*ops_)[pos_++];
+        return true;
+    }
+
+  private:
+    const std::vector<runtime::Op> *ops_;
+    std::size_t pos_ = 0;
+};
+
+/** Pulls from an inner body, recording every op. */
+class RecordingBody : public runtime::ThreadBody
+{
+  public:
+    RecordingBody(ThreadId tid,
+                  std::unique_ptr<runtime::ThreadBody> inner,
+                  TraceWriter &writer)
+        : tid_(tid), inner_(std::move(inner)), writer_(writer)
+    {
+    }
+
+    bool
+    next(runtime::Op &op) override
+    {
+        if (!inner_->next(op))
+            return false;
+        writer_.record(tid_, op);
+        return true;
+    }
+
+  private:
+    ThreadId tid_;
+    std::unique_ptr<runtime::ThreadBody> inner_;
+    TraceWriter &writer_;
+};
+
+} // namespace
+
+TraceProgram::TraceProgram(TraceData data)
+    : data_(std::move(data)),
+      name_(data_.name().empty() ? "trace" : data_.name())
+{
+    hdrdAssert(data_.ok(), "TraceProgram needs a valid trace: ",
+               data_.error());
+    name_ += ".replay";
+}
+
+std::unique_ptr<runtime::ThreadBody>
+TraceProgram::makeThread(ThreadId tid)
+{
+    return std::make_unique<ReplayBody>(&data_.threadOps(tid));
+}
+
+RecordingProgram::RecordingProgram(runtime::Program &inner,
+                                   TraceWriter &writer)
+    : inner_(inner), writer_(writer)
+{
+}
+
+std::unique_ptr<runtime::ThreadBody>
+RecordingProgram::makeThread(ThreadId tid)
+{
+    return std::make_unique<RecordingBody>(
+        tid, inner_.makeThread(tid), writer_);
+}
+
+} // namespace hdrd::trace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Programs backed by traces: replay a recorded trace, or record any
+ * Program's streams while it runs.
+ */
+
+#ifndef HDRD_TRACE_TRACE_PROGRAM_HH
+#define HDRD_TRACE_TRACE_PROGRAM_HH
+
+#include <memory>
+#include <string>
+
+#include "runtime/program.hh"
+#include "trace/trace_io.hh"
+
+namespace hdrd::trace
+{
+
+/**
+ * Replays a loaded trace as a runtime::Program. The per-thread
+ * operation order is exactly the recorded one; the interleaving is
+ * re-derived by whatever scheduler/platform the replay runs on, so
+ * one trace supports arbitrary what-if configurations.
+ */
+class TraceProgram : public runtime::Program
+{
+  public:
+    /** @pre data.ok() */
+    explicit TraceProgram(TraceData data);
+
+    const std::string &name() const override { return name_; }
+
+    std::uint32_t numThreads() const override
+    {
+        return data_.nthreads();
+    }
+
+    std::unique_ptr<runtime::ThreadBody>
+    makeThread(ThreadId tid) override;
+
+    /** The underlying trace. */
+    const TraceData &data() const { return data_; }
+
+  private:
+    TraceData data_;
+    std::string name_;
+};
+
+/**
+ * Wraps another Program and tees every operation its threads emit
+ * into a TraceWriter. Run it once (any regime) to capture a trace.
+ */
+class RecordingProgram : public runtime::Program
+{
+  public:
+    /**
+     * @param inner program to record (borrowed; must outlive this)
+     * @param writer destination (borrowed; must outlive this)
+     */
+    RecordingProgram(runtime::Program &inner, TraceWriter &writer);
+
+    const std::string &name() const override { return inner_.name(); }
+
+    std::uint32_t numThreads() const override
+    {
+        return inner_.numThreads();
+    }
+
+    bool implicitStart() const override
+    {
+        return inner_.implicitStart();
+    }
+
+    std::vector<runtime::InjectedRace> injectedRaces() const override
+    {
+        return inner_.injectedRaces();
+    }
+
+    std::unique_ptr<runtime::ThreadBody>
+    makeThread(ThreadId tid) override;
+
+  private:
+    runtime::Program &inner_;
+    TraceWriter &writer_;
+};
+
+} // namespace hdrd::trace
+
+#endif // HDRD_TRACE_TRACE_PROGRAM_HH

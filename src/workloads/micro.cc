@@ -1,0 +1,279 @@
+#include "workloads/micro.hh"
+
+#include "workloads/synthetic.hh"
+
+namespace hdrd::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t kBaseN = 60000;
+
+} // namespace
+
+std::unique_ptr<runtime::Program>
+makeRacyCounter(const WorkloadParams &params)
+{
+    Builder b("micro.racy_counter", params.nthreads, params.seed);
+    const std::uint64_t N = params.scaled(kBaseN);
+    const Region counter = b.alloc(8);
+
+    std::vector<std::pair<SiteId, SiteId>> pairs;
+    std::vector<Builder::Sites> sites;
+    for (ThreadId t = 0; t < params.nthreads; ++t)
+        sites.push_back(b.sweep(t, counter, N / 4, 0.5));
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        for (std::size_t j = i + 1; j < sites.size(); ++j) {
+            pairs.emplace_back(sites[i].write, sites[j].write);
+            pairs.emplace_back(sites[i].write, sites[j].read);
+            pairs.emplace_back(sites[i].read, sites[j].write);
+        }
+    }
+    b.recordInjectedRace(std::move(pairs));
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeRacyOnce(const WorkloadParams &params)
+{
+    Builder b("micro.racy_once", params.nthreads, params.seed);
+    const std::uint64_t N = params.scaled(kBaseN);
+    const Region word = b.alloc(8);
+    const Region scratch = b.alloc(1024 * 1024);
+
+    // Long private lead-in on every thread.
+    for (ThreadId t = 0; t < params.nthreads; ++t)
+        b.sweep(t, scratch.slice(t, params.nthreads), N, 0.3);
+    // Exactly one unsynchronized write/read pair between threads 0/1.
+    const auto w = b.sweep(0, word, 1, 1.0);
+    const auto r = b.sweep(1, word, 1, 0.0);
+    b.recordInjectedRace({{w.write, r.read}});
+    // Long private tail.
+    for (ThreadId t = 0; t < params.nthreads; ++t)
+        b.sweep(t, scratch.slice(t, params.nthreads), N, 0.3);
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeLockedCounter(const WorkloadParams &params)
+{
+    Builder b("micro.locked_counter", params.nthreads, params.seed);
+    const std::uint64_t N = params.scaled(kBaseN);
+    const Region counter = b.alloc(8);
+    const std::uint64_t lock = b.newLock();
+
+    for (ThreadId t = 0; t < params.nthreads; ++t)
+        b.lockedRmw(t, counter, N / 8, lock);
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeFalseSharing(const WorkloadParams &params)
+{
+    Builder b("micro.false_sharing", params.nthreads, params.seed);
+    const std::uint64_t N = params.scaled(kBaseN);
+    // One cache line; thread t owns word t. Accesses never overlap at
+    // word granularity (no races) but collide at line granularity
+    // (HITMs on nearly every access).
+    const Region line = b.alloc(64);
+
+    for (ThreadId t = 0; t < params.nthreads && t < 8; ++t) {
+        const Region my_word{line.base + 8 * t, 8};
+        b.sweep(t, my_word, N / 2, 0.7);
+    }
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makePingPong(const WorkloadParams &params)
+{
+    Builder b("micro.ping_pong", params.nthreads, params.seed);
+    const std::uint64_t N = params.scaled(kBaseN);
+    const Region word = b.alloc(8);
+    const std::uint64_t lock = b.newLock();
+
+    // Two threads trade the line back and forth under a lock:
+    // race-free, but the cache line HITMs constantly.
+    b.lockedRmw(0, word, N / 4, lock);
+    b.lockedRmw(1 % params.nthreads, word, N / 4, lock);
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeRacyBurst(const WorkloadParams &params)
+{
+    Builder b("micro.racy_burst", params.nthreads, params.seed);
+    const std::uint64_t N = params.scaled(kBaseN);
+    const Region scratch = b.alloc(1024 * 1024);
+    constexpr int kPhases = 4;
+
+    for (int phase = 0; phase < kPhases; ++phase) {
+        for (ThreadId t = 0; t < params.nthreads; ++t)
+            b.sweep(t, scratch.slice(t, params.nthreads),
+                    N / (kPhases + 1), 0.3);
+        // A fresh racy word per burst, threads 0 and 1.
+        const Region word = b.alloc(8);
+        const auto s0 = b.sweep(0, word, 200, 0.6);
+        const auto s1 = b.sweep(1 % params.nthreads, word, 200, 0.6);
+        b.recordInjectedRace({{s0.write, s1.write},
+                              {s0.write, s1.read},
+                              {s0.read, s1.write}});
+        b.barrierAll(b.newBarrier());
+    }
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makePrivateOnly(const WorkloadParams &params)
+{
+    Builder b("micro.private_only", params.nthreads, params.seed);
+    const std::uint64_t N = params.scaled(kBaseN);
+    const Region scratch = b.alloc(2 * 1024 * 1024);
+
+    for (ThreadId t = 0; t < params.nthreads; ++t) {
+        b.sweep(t, scratch.slice(t, params.nthreads), N, 0.4);
+        b.compute(t, N / 100, 10);
+    }
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeUnsafePublish(const WorkloadParams &params)
+{
+    Builder b("micro.unsafe_publish", params.nthreads, params.seed);
+    const std::uint64_t N = params.scaled(kBaseN);
+    const Region buffer = b.alloc(4096);
+    const Region flag = b.alloc(8);
+    const Region scratch = b.alloc(512 * 1024);
+
+    // Producer fills the buffer then raises the flag — with no fence
+    // or lock, so flag and buffer accesses all race with the consumer.
+    const auto fill = b.sweep(0, buffer, 512, 1.0);
+    const auto raise = b.sweep(0, flag, 1, 1.0);
+    b.sweep(0, scratch.slice(0, 2), N / 2, 0.2);
+
+    // Consumer polls the flag then reads the buffer.
+    const ThreadId consumer = 1 % params.nthreads;
+    const auto poll = b.sweep(consumer, flag, 50, 0.0);
+    const auto use = b.sweep(consumer, buffer, 512, 0.0);
+    b.sweep(consumer, scratch.slice(1, 2), N / 2, 0.2);
+
+    b.recordInjectedRace({{raise.write, poll.read}});
+    b.recordInjectedRace({{fill.write, use.read}});
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeLockfreeCounter(const WorkloadParams &params)
+{
+    Builder b("micro.lockfree_counter", params.nthreads, params.seed);
+    const std::uint64_t N = params.scaled(kBaseN);
+    const Region scratch = b.alloc(512 * 1024);
+    const Region counter = b.alloc(8);
+
+    for (ThreadId t = 0; t < params.nthreads; ++t) {
+        b.sweep(t, scratch.slice(t, params.nthreads), N / 2, 0.3);
+        // Race-free by the atomics' acquire/release ordering, yet
+        // every RMW after the first is a protocol-level HITM.
+        b.atomicSweep(t, counter, N / 8);
+        b.sweep(t, scratch.slice(t, params.nthreads), N / 2, 0.3);
+    }
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeAtomicPublish(const WorkloadParams &params)
+{
+    Builder b("micro.atomic_publish", params.nthreads, params.seed);
+    const std::uint64_t N = params.scaled(kBaseN);
+    const Region buffer = b.alloc(4096);
+    const Region flag = b.alloc(8);
+    const Region scratch = b.alloc(512 * 1024);
+
+    // Producer fills the buffer then raises an ATOMIC flag; the
+    // consumer futex-waits on the same atomic before reading. The
+    // release (RMW) / acquire (wait) pair orders the buffer handoff:
+    // race-free.
+    b.sweep(0, buffer, 512, 1.0);
+    b.atomicSweep(0, flag, 1);
+    b.sweep(0, scratch.slice(0, 2), N / 2, 0.2);
+
+    const ThreadId consumer = 1 % params.nthreads;
+    b.atomicWait(consumer, flag, 1);
+    b.sweep(consumer, buffer, 512, 0.0);
+    b.sweep(consumer, scratch.slice(1, 2), N / 2, 0.2);
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeRwCache(const WorkloadParams &params)
+{
+    Builder b("micro.rw_cache", params.nthreads, params.seed);
+    const std::uint64_t N = params.scaled(kBaseN);
+    const Region cache = b.alloc(32 * 1024);
+    const Region scratch = b.alloc(512 * 1024);
+    const std::uint64_t rwlock = b.newRwLock();
+    constexpr int kRounds = 6;
+
+    for (int round = 0; round < kRounds; ++round) {
+        for (ThreadId t = 0; t < params.nthreads; ++t) {
+            // Everyone reads the cache; thread (round mod T)
+            // refreshes part of it under the write lock.
+            b.rwSweep(t, cache, N / (kRounds * 8), rwlock,
+                      /*write=*/false, /*random=*/true);
+            if (t == static_cast<ThreadId>(round)
+                          % params.nthreads) {
+                b.rwSweep(t, cache, N / (kRounds * 40), rwlock,
+                          /*write=*/true, /*random=*/true);
+            }
+            b.sweep(t, scratch.slice(t, params.nthreads),
+                    N / (kRounds * 2), 0.3);
+        }
+    }
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeRwBuggy(const WorkloadParams &params)
+{
+    Builder b("micro.rw_buggy", params.nthreads, params.seed);
+    const std::uint64_t N = params.scaled(kBaseN);
+    const Region cache = b.alloc(256);  // hot: overlap guaranteed
+    const Region scratch = b.alloc(512 * 1024);
+    const std::uint64_t rwlock = b.newRwLock();
+    constexpr int kRounds = 4;
+
+    const ThreadId rogue =
+        params.nthreads > 1 ? params.nthreads - 1 : 0;
+    std::vector<SiteId> rogue_writes;
+    std::vector<SiteId> reader_reads;
+    for (int round = 0; round < kRounds; ++round) {
+        for (ThreadId t = 0; t < params.nthreads; ++t) {
+            if (t == rogue) {
+                // BUG: writes under the READ side of the lock, so
+                // nothing orders these against concurrent readers.
+                b.rdLockOp(t, rwlock);
+                const auto w = b.sweep(t, cache, 40, 1.0, true);
+                b.rdUnlockOp(t, rwlock);
+                rogue_writes.push_back(w.write);
+            } else {
+                const auto r =
+                    b.rwSweep(t, cache, 120, rwlock, false, true);
+                reader_reads.push_back(r.read);
+            }
+            b.sweep(t, scratch.slice(t, params.nthreads),
+                    N / (kRounds * 3), 0.3);
+        }
+    }
+    // Ground truth: any rogue write racing any reader counts.
+    std::vector<std::pair<SiteId, SiteId>> pairs;
+    for (const SiteId w : rogue_writes)
+        for (const SiteId r : reader_reads)
+            pairs.emplace_back(w, r);
+    if (params.nthreads > 1)
+        b.recordInjectedRace(std::move(pairs));
+    return b.build();
+}
+
+} // namespace hdrd::workloads

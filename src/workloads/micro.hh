@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Micro-kernels with precisely controlled race and sharing behaviour.
+ *
+ * These are the unit-of-measure workloads: every detection and
+ * fidelity claim in the test suite is grounded on a kernel whose
+ * ground truth is known by construction — repeating races, one-shot
+ * races, race-free locked counters, false sharing with no races,
+ * HITM-heavy race-free ping-pong, and bursty racy phases.
+ */
+
+#ifndef HDRD_WORKLOADS_MICRO_HH
+#define HDRD_WORKLOADS_MICRO_HH
+
+#include <memory>
+
+#include "runtime/program.hh"
+#include "workloads/params.hh"
+
+namespace hdrd::workloads
+{
+
+/** All threads hammer one unlocked shared counter: a repeating race. */
+std::unique_ptr<runtime::Program>
+makeRacyCounter(const WorkloadParams &params);
+
+/** Long private phases around a single one-shot racy pair — the case
+ *  demand-driven detection is expected to miss. */
+std::unique_ptr<runtime::Program>
+makeRacyOnce(const WorkloadParams &params);
+
+/** Race-free counterpart of racy_counter: same traffic, locked. */
+std::unique_ptr<runtime::Program>
+makeLockedCounter(const WorkloadParams &params);
+
+/** Each thread writes its own word of one cache line: zero races,
+ *  maximal false sharing (spurious HITMs). */
+std::unique_ptr<runtime::Program>
+makeFalseSharing(const WorkloadParams &params);
+
+/** Two threads alternate locked updates of one word: race-free,
+ *  HITM-dense true sharing. */
+std::unique_ptr<runtime::Program>
+makePingPong(const WorkloadParams &params);
+
+/** Alternating private phases and unsynchronized sharing bursts. */
+std::unique_ptr<runtime::Program>
+makeRacyBurst(const WorkloadParams &params);
+
+/** Purely private work: zero sharing, zero races (nothing should
+ *  ever fire). */
+std::unique_ptr<runtime::Program>
+makePrivateOnly(const WorkloadParams &params);
+
+/** Producer publishes a buffer through an unsynchronized flag:
+ *  the classic unsafe-publish race. */
+std::unique_ptr<runtime::Program>
+makeUnsafePublish(const WorkloadParams &params);
+
+/** All threads bump one seq_cst atomic counter: race-free lock-free
+ *  sharing, HITM-dense at the protocol level. */
+std::unique_ptr<runtime::Program>
+makeLockfreeCounter(const WorkloadParams &params);
+
+/** The safe counterpart of unsafe_publish: the flag is an atomic, so
+ *  the buffer handoff is happens-before ordered. */
+std::unique_ptr<runtime::Program>
+makeAtomicPublish(const WorkloadParams &params);
+
+/** Read-mostly shared structure under a reader-writer lock:
+ *  race-free, with readers overlapping freely. */
+std::unique_ptr<runtime::Program>
+makeRwCache(const WorkloadParams &params);
+
+/** rw_cache with a bug: one thread writes while holding only the
+ *  READ side of the lock — racing every concurrent reader. */
+std::unique_ptr<runtime::Program>
+makeRwBuggy(const WorkloadParams &params);
+
+} // namespace hdrd::workloads
+
+#endif // HDRD_WORKLOADS_MICRO_HH

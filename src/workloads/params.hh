@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Parameters shared by every workload model factory.
+ */
+
+#ifndef HDRD_WORKLOADS_PARAMS_HH
+#define HDRD_WORKLOADS_PARAMS_HH
+
+#include <cstdint>
+
+namespace hdrd::workloads
+{
+
+/**
+ * Knobs every workload factory accepts.
+ */
+struct WorkloadParams
+{
+    /** Worker thread count. */
+    std::uint32_t nthreads = 4;
+
+    /**
+     * Size multiplier on the model's default operation budget.
+     * 1.0 is the benchmark's reference size (roughly 1-3 million
+     * simulated operations); tests use much smaller values.
+     */
+    double scale = 1.0;
+
+    /** Base seed for the program's deterministic random streams. */
+    std::uint64_t seed = 42;
+
+    /**
+     * Number of data races to inject into the model's parallel phase
+     * (0 = the benchmark's natural race-free behaviour). Ground truth
+     * is recorded for accuracy scoring.
+     */
+    std::uint32_t injected_races = 0;
+
+    /**
+     * Dynamic accesses per side of each injected race. Large values
+     * model the common repeating-race case; 1 models a one-shot race
+     * that demand-driven analysis is expected to miss.
+     */
+    std::uint64_t race_repeats = 200;
+
+    /** Apply @p scale to a base operation count (min 1). */
+    std::uint64_t scaled(std::uint64_t base) const
+    {
+        const double v = static_cast<double>(base) * scale;
+        return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
+    }
+};
+
+} // namespace hdrd::workloads
+
+#endif // HDRD_WORKLOADS_PARAMS_HH

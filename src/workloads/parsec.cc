@@ -1,0 +1,423 @@
+#include "workloads/parsec.hh"
+
+#include "workloads/synthetic.hh"
+
+namespace hdrd::workloads
+{
+
+namespace
+{
+
+/** Per-thread accesses at scale 1.0. */
+constexpr std::uint64_t kBaseN = 120000;
+
+/**
+ * A stepped software pipeline: thread i consumes what thread i-1
+ * produced last step and produces for thread i+1, with a global
+ * barrier per step keeping the handoffs happens-before ordered. The
+ * W->R handoff traffic (consumers reading lines the producer left
+ * Modified) is the HITM-rich pattern that keeps demand-driven
+ * analysis enabled on PARSEC pipelines.
+ *
+ * @param steps pipeline steps (more steps = more frequent sharing)
+ * @param work_per_access interleaved compute cycles per stage access
+ */
+void
+buildPipeline(Builder &b, const WorkloadParams &params,
+              std::uint64_t steps, std::uint64_t buffer_bytes,
+              std::uint64_t work_ops_per_step,
+              std::uint32_t inject_at_step,
+              double private_ratio = 0.0)
+{
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kBaseN);
+    const std::uint64_t per_step =
+        std::max<std::uint64_t>(N / steps, 16);
+    const auto private_per_step = static_cast<std::uint64_t>(
+        static_cast<double>(per_step) * private_ratio);
+
+    // handoff[i]: buffer produced by thread i, consumed by i+1.
+    std::vector<Region> handoff;
+    handoff.reserve(T);
+    std::vector<Region> scratch;
+    for (std::uint32_t i = 0; i < T; ++i) {
+        handoff.push_back(b.alloc(buffer_bytes));
+        scratch.push_back(b.alloc(128 * 1024));
+    }
+
+    constexpr std::uint32_t kChunks = 4;
+    for (std::uint64_t step = 0; step < steps; ++step) {
+        for (ThreadId t = 0; t < T; ++t) {
+            const auto produce_idx =
+                static_cast<std::uint32_t>(step % kChunks);
+            const auto consume_idx = static_cast<std::uint32_t>(
+                (step + kChunks - 1) % kChunks);
+            if (t > 0 && step > 0) {
+                // Consume the chunk the upstream thread wrote last
+                // step (ordered by the intervening barrier); upstream
+                // is concurrently writing a *different* chunk.
+                const Region in =
+                    handoff[t - 1].slice(consume_idx, kChunks);
+                b.sweep(t, in, per_step / 2, 0.0, false, 8);
+            }
+            if (work_ops_per_step > 0)
+                b.compute(t, work_ops_per_step, 10);
+            if (private_per_step > 0) {
+                // Stage-local processing between the handoffs: the
+                // coarse-pipeline case where analysis can switch off
+                // inside a step.
+                b.sweep(t, scratch[t], private_per_step, 0.4, true);
+            }
+            if (t + 1 < T) {
+                const Region out =
+                    handoff[t].slice(produce_idx, kChunks);
+                b.sweep(t, out, per_step / 2, 1.0, false, 8);
+            }
+        }
+        if (step == inject_at_step)
+            injectConfiguredRaces(b, params);
+        b.barrierAll(b.newBarrier());
+    }
+}
+
+} // namespace
+
+std::unique_ptr<runtime::Program>
+makeBlackscholes(const WorkloadParams &params)
+{
+    Builder b("parsec.blackscholes", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kBaseN);
+    constexpr int kIters = 5;
+
+    const Region options = b.alloc(4 * 1024 * 1024);
+    for (int iter = 0; iter < kIters; ++iter) {
+        for (ThreadId t = 0; t < T; ++t) {
+            const Region slice = options.slice(t, T);
+            b.sweep(t, slice, N / (kIters + 1), 0.2, false, 8);
+            b.compute(t, N / 600, 12);
+        }
+        if (iter == 1)
+            injectConfiguredRaces(b, params);
+        b.barrierAll(b.newBarrier());
+    }
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeBodytrack(const WorkloadParams &params)
+{
+    Builder b("parsec.bodytrack", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kBaseN);
+    constexpr int kFrames = 6;
+
+    const Region frames = b.alloc(4 * 1024 * 1024);
+    const Region model = b.alloc(256 * 1024);
+    const std::uint64_t model_lock = b.newLock();
+
+    for (int frame = 0; frame < kFrames; ++frame) {
+        // Evaluation sub-phase: reread the model the pool rewrote
+        // last frame (W->R sharing); no model writes yet, so the
+        // unlocked reads are race-free.
+        for (ThreadId t = 0; t < T; ++t) {
+            const Region slice = frames.slice(t, T);
+            b.sweep(t, model, 600, 0.0, true);
+            b.sweep(t, slice, N / (kFrames + 2), 0.05, false, 8);
+        }
+        if (frame == 1)
+            injectConfiguredRaces(b, params);
+        b.barrierAll(b.newBarrier());
+        // Resample sub-phase: locked model updates.
+        for (ThreadId t = 0; t < T; ++t)
+            b.lockedRmw(t, model, 120, model_lock, true);
+        b.barrierAll(b.newBarrier());
+    }
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeCanneal(const WorkloadParams &params)
+{
+    Builder b("parsec.canneal", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kBaseN);
+
+    // A large shared netlist, partitioned into ranges each guarded by
+    // its own lock: random swap traffic touches everyone's ranges, so
+    // nearly every access is inter-thread shared and eviction-prone.
+    const Region netlist = b.alloc(8 * 1024 * 1024);
+    constexpr std::uint32_t kRanges = 8;
+    std::vector<std::uint64_t> locks;
+    for (std::uint32_t r = 0; r < kRanges; ++r)
+        locks.push_back(b.newLock());
+
+    // Inject at the aligned start: canneal's dense cross-thread lock
+    // traffic would otherwise accidentally order later racy bursts
+    // through lock-chain happens-before edges.
+    injectConfiguredRaces(b, params);
+
+    constexpr int kRounds = 4;
+    for (int round = 0; round < kRounds; ++round) {
+        for (ThreadId t = 0; t < T; ++t) {
+            for (std::uint32_t r = 0; r < kRanges; ++r) {
+                const Region range = netlist.slice(r, kRanges);
+                b.lockedRmw(t, range,
+                            N / (kRounds * kRanges * 3), locks[r],
+                            true, 6);
+            }
+        }
+    }
+    b.barrierAll(b.newBarrier());
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeDedup(const WorkloadParams &params)
+{
+    Builder b("parsec.dedup", params.nthreads, params.seed);
+    buildPipeline(b, params, /*steps=*/60,
+                  /*buffer_bytes=*/256 * 1024,
+                  /*work_ops_per_step=*/40, /*inject_at_step=*/10);
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeFacesim(const WorkloadParams &params)
+{
+    Builder b("parsec.facesim", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kBaseN);
+    constexpr int kIters = 10;
+
+    const Region mesh = b.alloc(4 * 1024 * 1024);
+    // One boundary strip between each pair of adjacent threads,
+    // guarded by a shared lock (race-free exchange).
+    std::vector<Region> boundary;
+    std::vector<std::uint64_t> blocks;
+    for (std::uint32_t i = 0; i < T; ++i) {
+        boundary.push_back(b.alloc(4096));
+        blocks.push_back(b.newLock());
+    }
+
+    for (int iter = 0; iter < kIters; ++iter) {
+        for (ThreadId t = 0; t < T; ++t) {
+            const Region slice = mesh.slice(t, T);
+            b.sweep(t, slice, N / (kIters + 2), 0.3, false, 8);
+            // Exchange with both neighbours.
+            const std::uint32_t left = (t + T - 1) % T;
+            b.lockedRmw(t, boundary[t], 25, blocks[t], true);
+            b.lockedRmw(t, boundary[left], 25, blocks[left], true);
+        }
+        if (iter == 2)
+            injectConfiguredRaces(b, params);
+        b.barrierAll(b.newBarrier());
+    }
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeFerret(const WorkloadParams &params)
+{
+    Builder b("parsec.ferret", params.nthreads, params.seed);
+    buildPipeline(b, params, /*steps=*/150,
+                  /*buffer_bytes=*/64 * 1024,
+                  /*work_ops_per_step=*/25, /*inject_at_step=*/20);
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeFluidanimate(const WorkloadParams &params)
+{
+    Builder b("parsec.fluidanimate", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kBaseN);
+    constexpr int kIters = 12;
+
+    const Region cells = b.alloc(4 * 1024 * 1024);
+    std::vector<Region> edge;
+    std::vector<std::uint64_t> elock;
+    for (std::uint32_t i = 0; i < T; ++i) {
+        edge.push_back(b.alloc(16 * 1024));
+        elock.push_back(b.newLock());
+    }
+
+    for (int iter = 0; iter < kIters; ++iter) {
+        for (ThreadId t = 0; t < T; ++t) {
+            const Region slice = cells.slice(t, T);
+            b.sweep(t, slice, N / (kIters + 3), 0.4, false, 8);
+            // Fine-grained locked updates of both edge strips every
+            // iteration: frequent, small W->R/W->W bursts.
+            const std::uint32_t left = (t + T - 1) % T;
+            b.lockedRmw(t, edge[t], 50, elock[t], true);
+            b.lockedRmw(t, edge[left], 50, elock[left], true);
+        }
+        if (iter == 2)
+            injectConfiguredRaces(b, params);
+        b.barrierAll(b.newBarrier());
+        b.barrierAll(b.newBarrier());
+    }
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeFreqmine(const WorkloadParams &params)
+{
+    Builder b("parsec.freqmine", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kBaseN);
+
+    const Region transactions = b.alloc(6 * 1024 * 1024);
+    const Region tree = b.alloc(512 * 1024);
+    const std::uint64_t tree_lock = b.newLock();
+
+    // Build phase: locked tree construction (shared, bursty).
+    for (ThreadId t = 0; t < T; ++t) {
+        const Region slice = transactions.slice(t, T);
+        b.sweep(t, slice, N / 4, 0.0, false, 8);
+        b.lockedRmw(t, tree, N / 200, tree_lock, true);
+    }
+    b.barrierAll(b.newBarrier());
+    injectConfiguredRaces(b, params);
+    // Mining phase: mostly private scans, occasional shared tree reads.
+    for (ThreadId t = 0; t < T; ++t) {
+        const Region slice = transactions.slice(t, T);
+        for (int chunk = 0; chunk < 3; ++chunk) {
+            b.sweep(t, slice, N / 4, 0.05, false, 8);
+            b.sweep(t, tree, N / 400, 0.0, true);
+        }
+    }
+    b.barrierAll(b.newBarrier());
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeRaytrace(const WorkloadParams &params)
+{
+    Builder b("parsec.raytrace", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kBaseN);
+
+    const Region scene = b.alloc(768 * 1024);
+    const Region framebuffer = b.alloc(2 * 1024 * 1024);
+
+    // Thread 0 loads the scene; afterwards it is read-only shared.
+    b.sweep(0, scene, 12288, 1.0, false, 64);
+    b.barrierAll(b.newBarrier());
+    for (ThreadId t = 0; t < T; ++t) {
+        const Region tile = framebuffer.slice(t, T);
+        for (int bounce = 0; bounce < 4; ++bounce) {
+            b.sweep(t, scene, N / 6, 0.0, true);
+            b.sweep(t, tile, N / 12, 1.0, false, 8);
+            b.compute(t, N / 500, 14);
+        }
+    }
+    injectConfiguredRaces(b, params);
+    b.barrierAll(b.newBarrier());
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeStreamcluster(const WorkloadParams &params)
+{
+    Builder b("parsec.streamcluster", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kBaseN);
+    constexpr int kIters = 10;
+
+    const Region points = b.alloc(2 * 1024 * 1024);
+    const Region centers = b.alloc(32 * 1024);
+    const std::uint64_t center_lock = b.newLock();
+
+    b.sweep(0, centers, centers.words(), 1.0);
+    b.barrierAll(b.newBarrier());
+    for (int iter = 0; iter < kIters; ++iter) {
+        // Every thread scans the centers rewritten last iteration
+        // (heavy W->R); centers stay read-only until the barrier.
+        for (ThreadId t = 0; t < T; ++t) {
+            const Region slice = points.slice(t, T);
+            b.sweep(t, centers, 3000, 0.0, true);
+            b.sweep(t, slice, N / (kIters + 4), 0.05, false, 8);
+        }
+        if (iter == 2)
+            injectConfiguredRaces(b, params);
+        b.barrierAll(b.newBarrier());
+        // Locked center updates, then streamcluster's signature
+        // barrier storm.
+        for (ThreadId t = 0; t < T; ++t)
+            b.lockedRmw(t, centers, 500, center_lock, true);
+        b.barrierAll(b.newBarrier());
+        b.barrierAll(b.newBarrier());
+    }
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeSwaptions(const WorkloadParams &params)
+{
+    Builder b("parsec.swaptions", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kBaseN);
+
+    const Region paths = b.alloc(1536 * 1024);
+    for (ThreadId t = 0; t < T; ++t) {
+        const Region slice = paths.slice(t, T);
+        for (int sim = 0; sim < 5; ++sim) {
+            b.sweep(t, slice, N / 6, 0.5, true);
+            b.compute(t, N / 400, 16);
+        }
+    }
+    injectConfiguredRaces(b, params);
+    b.barrierAll(b.newBarrier());
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeVips(const WorkloadParams &params)
+{
+    Builder b("parsec.vips", params.nthreads, params.seed);
+    // Coarse pipeline: few, large handoffs — sharing bursts are rare
+    // compared to dedup/ferret, so analysis spends long stretches off.
+    buildPipeline(b, params, /*steps=*/16,
+                  /*buffer_bytes=*/1024 * 1024,
+                  /*work_ops_per_step=*/120, /*inject_at_step=*/4,
+                  /*private_ratio=*/4.0);
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeX264(const WorkloadParams &params)
+{
+    Builder b("parsec.x264", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kBaseN);
+    constexpr int kFrames = 12;
+
+    // Each thread encodes its own frame slice but motion-searches the
+    // reference frame the previous thread encoded (W->R per frame).
+    std::vector<Region> ref;
+    for (std::uint32_t i = 0; i < T; ++i)
+        ref.push_back(b.alloc(512 * 1024));
+
+    for (int frame = 0; frame < kFrames; ++frame) {
+        // Motion search: read the reference the neighbour encoded
+        // last frame (W->R, ordered by the previous barrier).
+        for (ThreadId t = 0; t < T; ++t) {
+            const std::uint32_t prev = (t + T - 1) % T;
+            b.sweep(t, ref[prev], N / (kFrames * 8), 0.0, true);
+            b.compute(t, N / 1800, 10);
+        }
+        b.barrierAll(b.newBarrier());
+        // Encode: rewrite the own reference frame.
+        for (ThreadId t = 0; t < T; ++t) {
+            b.sweep(t, ref[t], N / (kFrames * 2), 0.8, false, 8);
+            b.compute(t, N / 1800, 10);
+        }
+        if (frame == 2)
+            injectConfiguredRaces(b, params);
+        b.barrierAll(b.newBarrier());
+    }
+    return b.build();
+}
+
+} // namespace hdrd::workloads

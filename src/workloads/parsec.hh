@@ -1,0 +1,79 @@
+/**
+ * @file
+ * PARSEC-suite workload models.
+ *
+ * PARSEC programs share far more than Phoenix's map-reduce kernels:
+ * pipelines hand whole buffers between stage threads, iterative
+ * solvers reread neighbour state every step, and barrier-synchronized
+ * phases rewrite shared structures continuously. The paper's
+ * demand-driven detector therefore spends much more time enabled on
+ * PARSEC, yielding the smaller ~3x mean speedup. Each model encodes
+ * one benchmark's thread topology and sharing profile.
+ */
+
+#ifndef HDRD_WORKLOADS_PARSEC_HH
+#define HDRD_WORKLOADS_PARSEC_HH
+
+#include <memory>
+
+#include "runtime/program.hh"
+#include "workloads/params.hh"
+
+namespace hdrd::workloads
+{
+
+/** blackscholes: embarrassingly parallel option pricing. */
+std::unique_ptr<runtime::Program>
+makeBlackscholes(const WorkloadParams &params);
+
+/** bodytrack: iterative particle filter; model rewritten per frame. */
+std::unique_ptr<runtime::Program>
+makeBodytrack(const WorkloadParams &params);
+
+/** canneal: random fine-locked swaps over a huge shared netlist. */
+std::unique_ptr<runtime::Program>
+makeCanneal(const WorkloadParams &params);
+
+/** dedup: 4-stage compression pipeline handing buffers downstream. */
+std::unique_ptr<runtime::Program>
+makeDedup(const WorkloadParams &params);
+
+/** facesim: iterative mesh solver with boundary exchanges. */
+std::unique_ptr<runtime::Program>
+makeFacesim(const WorkloadParams &params);
+
+/** ferret: similarity-search pipeline, many small handoffs. */
+std::unique_ptr<runtime::Program>
+makeFerret(const WorkloadParams &params);
+
+/** fluidanimate: fine-grained-locked neighbour-cell updates. */
+std::unique_ptr<runtime::Program>
+makeFluidanimate(const WorkloadParams &params);
+
+/** freqmine: FP-growth; shared tree read-mostly after build. */
+std::unique_ptr<runtime::Program>
+makeFreqmine(const WorkloadParams &params);
+
+/** raytrace: read-only scene, private rays. */
+std::unique_ptr<runtime::Program>
+makeRaytrace(const WorkloadParams &params);
+
+/** streamcluster: barrier-heavy clustering over shared centers. */
+std::unique_ptr<runtime::Program>
+makeStreamcluster(const WorkloadParams &params);
+
+/** swaptions: private Monte Carlo paths, negligible sharing. */
+std::unique_ptr<runtime::Program>
+makeSwaptions(const WorkloadParams &params);
+
+/** vips: image pipeline with coarse, infrequent handoffs. */
+std::unique_ptr<runtime::Program>
+makeVips(const WorkloadParams &params);
+
+/** x264: frame pipeline rereading reference frames. */
+std::unique_ptr<runtime::Program>
+makeX264(const WorkloadParams &params);
+
+} // namespace hdrd::workloads
+
+#endif // HDRD_WORKLOADS_PARSEC_HH

@@ -1,0 +1,256 @@
+#include "workloads/phoenix.hh"
+
+#include "workloads/synthetic.hh"
+
+namespace hdrd::workloads
+{
+
+namespace
+{
+
+/** Per-thread map-phase accesses at scale 1.0. */
+constexpr std::uint64_t kMapN = 120000;
+
+} // namespace
+
+std::unique_ptr<runtime::Program>
+makeHistogram(const WorkloadParams &params)
+{
+    Builder b("phoenix.histogram", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kMapN);
+
+    const Region input = b.alloc(4 * 1024 * 1024);
+    const Region shared_hist = b.alloc(2048);
+    const std::uint64_t merge_lock = b.newLock();
+    const std::uint64_t done = b.newBarrier();
+
+    for (ThreadId t = 0; t < T; ++t) {
+        const Region slice = input.slice(t, T);
+        const Region local_hist = b.alloc(2048);
+        // Map: scan the private input slice, bump private bins.
+        for (int chunk = 0; chunk < 4; ++chunk) {
+            b.sweep(t, slice, N / 5, 0.0, false, 8);
+            b.sweep(t, local_hist, N / 20, 0.6, true);
+            b.compute(t, N / 400, 8);
+        }
+    }
+    injectConfiguredRaces(b, params);
+    b.barrierAll(done);
+    // Reduce: serialize 256-bin merges under one lock.
+    for (ThreadId t = 0; t < T; ++t)
+        b.lockedRmw(t, shared_hist, 128, merge_lock);
+    b.barrierAll(b.newBarrier());
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeKmeans(const WorkloadParams &params)
+{
+    Builder b("phoenix.kmeans", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kMapN);
+    constexpr int kIters = 8;
+
+    const Region points = b.alloc(2 * 1024 * 1024);
+    const Region centroids = b.alloc(2048);
+    const std::uint64_t update_lock = b.newLock();
+
+    // Thread 0 initializes the centroids the whole pool will read.
+    b.sweep(0, centroids, centroids.words(), 1.0);
+    b.barrierAll(b.newBarrier());
+
+    for (int iter = 0; iter < kIters; ++iter) {
+        // Assignment sub-phase: every thread rereads the centroids
+        // other threads rewrote last iteration (the recurring W->R
+        // sharing burst) and scans its private points. No centroid
+        // writes happen in this sub-phase, so the unlocked reads are
+        // race-free.
+        for (ThreadId t = 0; t < T; ++t) {
+            const Region slice = points.slice(t, T);
+            b.sweep(t, centroids, 1200, 0.0, true);
+            b.sweep(t, slice, N / (kIters + 2), 0.1, false, 8);
+        }
+        if (iter == 1)
+            injectConfiguredRaces(b, params);
+        b.barrierAll(b.newBarrier());
+        // Update sub-phase: locked accumulation of new centroid sums.
+        for (ThreadId t = 0; t < T; ++t)
+            b.lockedRmw(t, centroids, 32, update_lock);
+        b.barrierAll(b.newBarrier());
+    }
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeLinearRegression(const WorkloadParams &params)
+{
+    Builder b("phoenix.linear_regression", params.nthreads,
+              params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kMapN);
+
+    const Region input = b.alloc(1024 * 1024);
+    const Region sums = b.alloc(64);
+    const std::uint64_t merge_lock = b.newLock();
+
+    // One long pass of purely private accumulation per thread, then a
+    // four-element locked merge: the near-zero-sharing 51x program.
+    for (ThreadId t = 0; t < T; ++t) {
+        const Region slice = input.slice(t, T);
+        b.sweep(t, slice, 2 * N, 0.0, false, 8);
+        b.compute(t, N / 200, 8);
+    }
+    injectConfiguredRaces(b, params);
+    for (ThreadId t = 0; t < T; ++t)
+        b.lockedRmw(t, sums, 4, merge_lock);
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeMatrixMultiply(const WorkloadParams &params)
+{
+    Builder b("phoenix.matrix_multiply", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kMapN);
+
+    const Region a = b.alloc(512 * 1024);
+    const Region bm = b.alloc(512 * 1024);
+    const Region c = b.alloc(512 * 1024);
+
+    // Thread 0 writes the inputs; workers then read them shared —
+    // a single W->R burst at the start, silence afterwards.
+    b.sweep(0, a, 16384, 1.0, false, 32);
+    b.sweep(0, bm, 16384, 1.0, false, 32);
+    b.barrierAll(b.newBarrier());
+
+    for (ThreadId t = 0; t < T; ++t) {
+        const Region arows = a.slice(t, T);
+        const Region cslice = c.slice(t, T);
+        for (int blk = 0; blk < 4; ++blk) {
+            b.sweep(t, arows, N / 6, 0.0, false, 8);
+            b.sweep(t, bm, N / 6, 0.0, false, 64);
+            b.sweep(t, cslice, N / 24, 1.0, false, 8);
+            b.compute(t, N / 300, 6);
+        }
+    }
+    injectConfiguredRaces(b, params);
+    b.barrierAll(b.newBarrier());
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makePca(const WorkloadParams &params)
+{
+    Builder b("phoenix.pca", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kMapN);
+
+    const Region matrix = b.alloc(4 * 1024 * 1024);
+    const Region means = b.alloc(4096);
+    const Region cov = b.alloc(16384);
+    const std::uint64_t lock = b.newLock();
+
+    // Phase 1: per-row means (private), short locked merge.
+    for (ThreadId t = 0; t < T; ++t) {
+        const Region slice = matrix.slice(t, T);
+        b.sweep(t, slice, N, 0.0, false, 8);
+        b.lockedRmw(t, means, 16, lock);
+    }
+    b.barrierAll(b.newBarrier());
+    // Phase 2: covariance (private reads of the whole matrix region's
+    // own slice again), locked accumulation into cov.
+    for (ThreadId t = 0; t < T; ++t) {
+        const Region slice = matrix.slice(t, T);
+        b.sweep(t, slice, N, 0.0, true);
+        b.lockedRmw(t, cov, 32, lock);
+    }
+    injectConfiguredRaces(b, params);
+    b.barrierAll(b.newBarrier());
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeStringMatch(const WorkloadParams &params)
+{
+    Builder b("phoenix.string_match", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kMapN);
+
+    const Region keys = b.alloc(4096);
+    const Region corpus = b.alloc(8 * 1024 * 1024);
+    const Region found = b.alloc(64);
+    const std::uint64_t lock = b.newLock();
+
+    // Thread 0 writes the keys; workers scan private corpus slices,
+    // re-reading the small shared key block as they go.
+    b.sweep(0, keys, keys.words(), 1.0);
+    b.barrierAll(b.newBarrier());
+    for (ThreadId t = 0; t < T; ++t) {
+        const Region slice = corpus.slice(t, T);
+        for (int chunk = 0; chunk < 4; ++chunk) {
+            b.sweep(t, slice, N / 3, 0.0, false, 8);
+            b.sweep(t, keys, N / 60, 0.0, true);
+        }
+        b.lockedRmw(t, found, 4, lock);
+    }
+    injectConfiguredRaces(b, params);
+    b.barrierAll(b.newBarrier());
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeWordCount(const WorkloadParams &params)
+{
+    Builder b("phoenix.word_count", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kMapN);
+
+    const Region corpus = b.alloc(6 * 1024 * 1024);
+    const Region shared_hash = b.alloc(8192);
+    const std::uint64_t lock = b.newLock();
+
+    for (ThreadId t = 0; t < T; ++t) {
+        const Region slice = corpus.slice(t, T);
+        const Region local_hash = b.alloc(8192);
+        b.sweep(t, slice, N, 0.0, false, 8);
+        b.sweep(t, local_hash, N / 3, 0.5, true);
+    }
+    injectConfiguredRaces(b, params);
+    b.barrierAll(b.newBarrier());
+    // Reduce: a hash-merge loop with noticeably more locked traffic
+    // than histogram — word_count's reduction dominates its sharing.
+    for (ThreadId t = 0; t < T; ++t)
+        b.lockedRmw(t, shared_hash, params.scaled(kMapN) / 120, lock,
+                    true);
+    b.barrierAll(b.newBarrier());
+    return b.build();
+}
+
+std::unique_ptr<runtime::Program>
+makeReverseIndex(const WorkloadParams &params)
+{
+    Builder b("phoenix.reverse_index", params.nthreads, params.seed);
+    const std::uint32_t T = params.nthreads;
+    const std::uint64_t N = params.scaled(kMapN);
+
+    const Region pages = b.alloc(6 * 1024 * 1024);
+    const Region index = b.alloc(64 * 1024);
+    const std::uint64_t lock = b.newLock();
+
+    // Link extraction interleaves private parsing with locked index
+    // insertions rather than batching them at the end.
+    for (int chunk = 0; chunk < 6; ++chunk) {
+        for (ThreadId t = 0; t < T; ++t) {
+            const Region slice = pages.slice(t, T);
+            b.sweep(t, slice, N / 7, 0.0, false, 8);
+            b.lockedRmw(t, index, N / 500, lock, true);
+        }
+        if (chunk == 2)
+            injectConfiguredRaces(b, params);
+    }
+    b.barrierAll(b.newBarrier());
+    return b.build();
+}
+
+} // namespace hdrd::workloads

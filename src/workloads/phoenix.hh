@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Phoenix-suite workload models.
+ *
+ * Phoenix is a shared-memory map-reduce suite: threads run long
+ * private map phases over disjoint input slices and meet in short,
+ * lock-protected reduction phases. Inter-thread sharing is
+ * consequently rare and bursty — exactly why the paper's demand-driven
+ * detector achieves its ~10x mean (and 51x best-case) speedups there.
+ * Each model encodes one benchmark's thread structure, working-set
+ * sizes, synchronization idiom, and sharing profile.
+ */
+
+#ifndef HDRD_WORKLOADS_PHOENIX_HH
+#define HDRD_WORKLOADS_PHOENIX_HH
+
+#include <memory>
+
+#include "runtime/program.hh"
+#include "workloads/params.hh"
+
+namespace hdrd::workloads
+{
+
+/** histogram: private pixel counting, one locked 256-bin merge. */
+std::unique_ptr<runtime::Program>
+makeHistogram(const WorkloadParams &params);
+
+/** kmeans: iterative; shared centroids reread and rewritten per
+ *  iteration — the most sharing-intensive Phoenix model. */
+std::unique_ptr<runtime::Program>
+makeKmeans(const WorkloadParams &params);
+
+/** linear_regression: one pass of pure private accumulation with a
+ *  tiny final merge — the paper's 51x best case. */
+std::unique_ptr<runtime::Program>
+makeLinearRegression(const WorkloadParams &params);
+
+/** matrix_multiply: shared read-only inputs after an init burst. */
+std::unique_ptr<runtime::Program>
+makeMatrixMultiply(const WorkloadParams &params);
+
+/** pca: two barrier-separated, mostly private phases. */
+std::unique_ptr<runtime::Program>
+makePca(const WorkloadParams &params);
+
+/** string_match: private scans against small shared key data. */
+std::unique_ptr<runtime::Program>
+makeStringMatch(const WorkloadParams &params);
+
+/** word_count: private counting, heavier locked hash-merge reduce. */
+std::unique_ptr<runtime::Program>
+makeWordCount(const WorkloadParams &params);
+
+/** reverse_index: link extraction with repeated locked index merges. */
+std::unique_ptr<runtime::Program>
+makeReverseIndex(const WorkloadParams &params);
+
+} // namespace hdrd::workloads
+
+#endif // HDRD_WORKLOADS_PHOENIX_HH

@@ -1,0 +1,74 @@
+#include "workloads/registry.hh"
+
+#include "workloads/micro.hh"
+#include "workloads/parsec.hh"
+#include "workloads/phoenix.hh"
+
+namespace hdrd::workloads
+{
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"phoenix.histogram", "phoenix", makeHistogram},
+        {"phoenix.kmeans", "phoenix", makeKmeans},
+        {"phoenix.linear_regression", "phoenix", makeLinearRegression},
+        {"phoenix.matrix_multiply", "phoenix", makeMatrixMultiply},
+        {"phoenix.pca", "phoenix", makePca},
+        {"phoenix.string_match", "phoenix", makeStringMatch},
+        {"phoenix.word_count", "phoenix", makeWordCount},
+        {"phoenix.reverse_index", "phoenix", makeReverseIndex},
+
+        {"parsec.blackscholes", "parsec", makeBlackscholes},
+        {"parsec.bodytrack", "parsec", makeBodytrack},
+        {"parsec.canneal", "parsec", makeCanneal},
+        {"parsec.dedup", "parsec", makeDedup},
+        {"parsec.facesim", "parsec", makeFacesim},
+        {"parsec.ferret", "parsec", makeFerret},
+        {"parsec.fluidanimate", "parsec", makeFluidanimate},
+        {"parsec.freqmine", "parsec", makeFreqmine},
+        {"parsec.raytrace", "parsec", makeRaytrace},
+        {"parsec.streamcluster", "parsec", makeStreamcluster},
+        {"parsec.swaptions", "parsec", makeSwaptions},
+        {"parsec.vips", "parsec", makeVips},
+        {"parsec.x264", "parsec", makeX264},
+
+        {"micro.racy_counter", "micro", makeRacyCounter},
+        {"micro.racy_once", "micro", makeRacyOnce},
+        {"micro.locked_counter", "micro", makeLockedCounter},
+        {"micro.false_sharing", "micro", makeFalseSharing},
+        {"micro.ping_pong", "micro", makePingPong},
+        {"micro.racy_burst", "micro", makeRacyBurst},
+        {"micro.private_only", "micro", makePrivateOnly},
+        {"micro.unsafe_publish", "micro", makeUnsafePublish},
+        {"micro.lockfree_counter", "micro", makeLockfreeCounter},
+        {"micro.atomic_publish", "micro", makeAtomicPublish},
+        {"micro.rw_cache", "micro", makeRwCache},
+        {"micro.rw_buggy", "micro", makeRwBuggy},
+    };
+    return registry;
+}
+
+const WorkloadInfo *
+findWorkload(const std::string &name)
+{
+    for (const auto &info : allWorkloads()) {
+        if (info.name == name)
+            return &info;
+    }
+    return nullptr;
+}
+
+std::vector<WorkloadInfo>
+suiteWorkloads(const std::string &suite)
+{
+    std::vector<WorkloadInfo> out;
+    for (const auto &info : allWorkloads()) {
+        if (info.suite == suite)
+            out.push_back(info);
+    }
+    return out;
+}
+
+} // namespace hdrd::workloads

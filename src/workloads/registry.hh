@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Registry of every workload model, keyed by name and suite.
+ */
+
+#ifndef HDRD_WORKLOADS_REGISTRY_HH
+#define HDRD_WORKLOADS_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/program.hh"
+#include "workloads/params.hh"
+
+namespace hdrd::workloads
+{
+
+/** Factory signature every workload model exposes. */
+using WorkloadFactory = std::function<
+    std::unique_ptr<runtime::Program>(const WorkloadParams &)>;
+
+/** One registry entry. */
+struct WorkloadInfo
+{
+    std::string name;   ///< e.g. "phoenix.histogram"
+    std::string suite;  ///< "phoenix", "parsec", or "micro"
+    WorkloadFactory factory;
+};
+
+/** Every registered workload, in stable order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Entry by full name, or nullptr. */
+const WorkloadInfo *findWorkload(const std::string &name);
+
+/** All entries of one suite. */
+std::vector<WorkloadInfo> suiteWorkloads(const std::string &suite);
+
+} // namespace hdrd::workloads
+
+#endif // HDRD_WORKLOADS_REGISTRY_HH

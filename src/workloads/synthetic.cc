@@ -1,0 +1,499 @@
+#include "workloads/synthetic.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "runtime/op.hh"
+
+namespace hdrd::workloads
+{
+
+using runtime::Op;
+
+Region
+Region::slice(std::uint32_t i, std::uint32_t n) const
+{
+    hdrdAssert(n > 0 && i < n, "bad region slice ", i, "/", n);
+    // Word-aligned equal partitions; the last slice absorbs remainder.
+    const std::uint64_t per = (words() / n) * 8;
+    const Addr slice_base = base + static_cast<Addr>(i) * per;
+    const std::uint64_t slice_bytes =
+        (i == n - 1) ? (base + bytes - slice_base) : per;
+    return Region{slice_base, slice_bytes};
+}
+
+namespace
+{
+
+/**
+ * Executes one thread's segment script lazily.
+ */
+class SyntheticThread : public runtime::ThreadBody
+{
+  public:
+    SyntheticThread(const std::vector<Segment> *script, Rng rng)
+        : script_(script), rng_(rng)
+    {
+    }
+
+    bool next(Op &op) override;
+
+  private:
+    /** Micro-steps inside one iteration of a segment. */
+    enum class Step : std::uint8_t
+    {
+        kInterleavedWork = 0,
+        kLock,
+        kAccess,       // kSweep's access / kLockedRmw's read
+        kSecondAccess, // kLockedRmw's write
+        kUnlock,
+        kDone,
+    };
+
+    /** Address for the current iteration of @p segment. */
+    Addr pickAddr(const Segment &segment);
+
+    const std::vector<Segment> *script_;
+    Rng rng_;
+    std::size_t seg_idx_ = 0;
+    std::uint64_t iter_ = 0;
+    Step step_ = Step::kInterleavedWork;
+    Addr iter_addr_ = 0;
+};
+
+Addr
+SyntheticThread::pickAddr(const Segment &segment)
+{
+    const Region &region = segment.region;
+    hdrdAssert(region.words() > 0, "segment sweeps an empty region");
+    std::uint64_t word;
+    if (segment.random_addr) {
+        word = rng_.nextBounded(region.words());
+        return region.base + word * 8;
+    }
+    const std::uint64_t offset =
+        (iter_ * std::max<std::uint64_t>(segment.stride, 1))
+        % region.bytes;
+    return region.base + (offset & ~std::uint64_t{7});
+}
+
+bool
+SyntheticThread::next(Op &op)
+{
+    for (;;) {
+        if (seg_idx_ >= script_->size())
+            return false;
+        const Segment &segment = (*script_)[seg_idx_];
+        const std::uint64_t count =
+            segment.kind == SegmentKind::kCompute
+                    || segment.kind == SegmentKind::kSweep
+                    || segment.kind == SegmentKind::kAtomicSweep
+                    || segment.kind == SegmentKind::kLockedRmw
+                ? segment.count
+                : 1;
+        if (iter_ >= count) {
+            ++seg_idx_;
+            iter_ = 0;
+            step_ = Step::kInterleavedWork;
+            continue;
+        }
+
+        switch (segment.kind) {
+          case SegmentKind::kCompute:
+            op = Op::work(segment.work_cycles);
+            ++iter_;
+            return true;
+
+          case SegmentKind::kBarrier:
+            op = Op::barrier(segment.obj, segment.participants);
+            ++iter_;
+            return true;
+
+          case SegmentKind::kLockOp:
+            op = Op::lock(segment.obj);
+            ++iter_;
+            return true;
+
+          case SegmentKind::kUnlockOp:
+            op = Op::unlock(segment.obj);
+            ++iter_;
+            return true;
+
+          case SegmentKind::kAtomicWaitOp:
+            op = Op::atomicWait(segment.region.base, segment.obj);
+            ++iter_;
+            return true;
+
+          case SegmentKind::kRdLockOp:
+            op = Op::rdLock(segment.obj);
+            ++iter_;
+            return true;
+
+          case SegmentKind::kRdUnlockOp:
+            op = Op::rdUnlock(segment.obj);
+            ++iter_;
+            return true;
+
+          case SegmentKind::kWrLockOp:
+            op = Op::wrLock(segment.obj);
+            ++iter_;
+            return true;
+
+          case SegmentKind::kWrUnlockOp:
+            op = Op::wrUnlock(segment.obj);
+            ++iter_;
+            return true;
+
+          case SegmentKind::kSweep:
+          case SegmentKind::kAtomicSweep: {
+            if (step_ == Step::kInterleavedWork) {
+                step_ = Step::kAccess;
+                if (segment.work_cycles > 0) {
+                    op = Op::work(segment.work_cycles);
+                    return true;
+                }
+            }
+            // The access itself.
+            const Addr addr = pickAddr(segment);
+            if (segment.kind == SegmentKind::kAtomicSweep) {
+                op = Op::atomicRmw(addr, segment.write_site);
+            } else {
+                const bool write =
+                    rng_.nextBool(segment.write_ratio);
+                op = write ? Op::write(addr, segment.write_site)
+                           : Op::read(addr, segment.read_site);
+            }
+            ++iter_;
+            step_ = Step::kInterleavedWork;
+            return true;
+          }
+
+          case SegmentKind::kLockedRmw: {
+            switch (step_) {
+              case Step::kInterleavedWork:
+                step_ = Step::kLock;
+                if (segment.work_cycles > 0) {
+                    op = Op::work(segment.work_cycles);
+                    return true;
+                }
+                [[fallthrough]];
+              case Step::kLock:
+                iter_addr_ = pickAddr(segment);
+                op = Op::lock(segment.obj);
+                step_ = Step::kAccess;
+                return true;
+              case Step::kAccess:
+                op = Op::read(iter_addr_, segment.read_site);
+                step_ = Step::kSecondAccess;
+                return true;
+              case Step::kSecondAccess:
+                op = Op::write(iter_addr_, segment.write_site);
+                step_ = Step::kUnlock;
+                return true;
+              case Step::kUnlock:
+                op = Op::unlock(segment.obj);
+                ++iter_;
+                step_ = Step::kInterleavedWork;
+                return true;
+              case Step::kDone:
+                panic("unreachable rmw step");
+            }
+            break;
+          }
+        }
+    }
+}
+
+} // namespace
+
+SyntheticProgram::SyntheticProgram(
+    std::string name, std::uint64_t seed,
+    std::vector<std::vector<Segment>> scripts,
+    std::vector<runtime::InjectedRace> injected)
+    : name_(std::move(name)), seed_(seed), scripts_(std::move(scripts)),
+      injected_(std::move(injected))
+{
+    hdrdAssert(!scripts_.empty(), "program needs at least one thread");
+}
+
+std::unique_ptr<runtime::ThreadBody>
+SyntheticProgram::makeThread(ThreadId tid)
+{
+    hdrdAssert(tid < scripts_.size(), "unknown thread ", tid);
+    // Deterministic per-thread stream: same (program seed, tid) gives
+    // the same operation sequence on every run.
+    Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL
+                     * (static_cast<std::uint64_t>(tid) + 1)));
+    return std::make_unique<SyntheticThread>(&scripts_[tid], rng);
+}
+
+Builder::Builder(std::string name, std::uint32_t nthreads,
+                 std::uint64_t seed)
+    : name_(std::move(name)), seed_(seed), scripts_(nthreads)
+{
+    hdrdAssert(nthreads > 0, "builder needs at least one thread");
+}
+
+Region
+Builder::alloc(std::uint64_t bytes)
+{
+    hdrdAssert(bytes >= 8, "regions must hold at least one word");
+    // Cache-line aligned, padded so distinct regions never false-share.
+    const std::uint64_t padded = (bytes + 63) & ~std::uint64_t{63};
+    const Region region{next_addr_, bytes};
+    next_addr_ += padded;
+    return region;
+}
+
+Segment &
+Builder::append(ThreadId t, Segment segment)
+{
+    hdrdAssert(t < scripts_.size(), "unknown thread ", t);
+    scripts_[t].push_back(segment);
+    return scripts_[t].back();
+}
+
+Builder::Sites
+Builder::assignSites(Segment &segment, bool reads, bool writes)
+{
+    Sites sites;
+    if (reads) {
+        segment.read_site = next_site_++;
+        sites.read = segment.read_site;
+    }
+    if (writes) {
+        segment.write_site = next_site_++;
+        sites.write = segment.write_site;
+    }
+    return sites;
+}
+
+void
+Builder::compute(ThreadId t, std::uint64_t ops,
+                 std::uint64_t cycles_each)
+{
+    Segment segment;
+    segment.kind = SegmentKind::kCompute;
+    segment.count = ops;
+    segment.work_cycles = cycles_each;
+    append(t, segment);
+}
+
+Builder::Sites
+Builder::sweep(ThreadId t, Region region, std::uint64_t count,
+               double write_ratio, bool random, std::uint64_t stride,
+               std::uint64_t interleave_work)
+{
+    Segment segment;
+    segment.kind = SegmentKind::kSweep;
+    segment.region = region;
+    segment.count = count;
+    segment.write_ratio = write_ratio;
+    segment.random_addr = random;
+    segment.stride = stride;
+    segment.work_cycles = interleave_work;
+    Sites sites = assignSites(segment, write_ratio < 1.0,
+                              write_ratio > 0.0);
+    append(t, segment);
+    return sites;
+}
+
+Builder::Sites
+Builder::lockedRmw(ThreadId t, Region region, std::uint64_t count,
+                   std::uint64_t lock_id, bool random,
+                   std::uint64_t interleave_work)
+{
+    Segment segment;
+    segment.kind = SegmentKind::kLockedRmw;
+    segment.region = region;
+    segment.count = count;
+    segment.random_addr = random;
+    segment.obj = lock_id;
+    segment.work_cycles = interleave_work;
+    Sites sites = assignSites(segment, true, true);
+    append(t, segment);
+    return sites;
+}
+
+Builder::Sites
+Builder::atomicSweep(ThreadId t, Region region, std::uint64_t count,
+                     bool random, std::uint64_t interleave_work)
+{
+    Segment segment;
+    segment.kind = SegmentKind::kAtomicSweep;
+    segment.region = region;
+    segment.count = count;
+    segment.random_addr = random;
+    segment.work_cycles = interleave_work;
+    Sites sites = assignSites(segment, false, true);
+    append(t, segment);
+    return sites;
+}
+
+namespace
+{
+
+Segment
+bareOp(SegmentKind kind, std::uint64_t obj)
+{
+    Segment segment;
+    segment.kind = kind;
+    segment.obj = obj;
+    return segment;
+}
+
+} // namespace
+
+void
+Builder::rdLockOp(ThreadId t, std::uint64_t rwlock_id)
+{
+    append(t, bareOp(SegmentKind::kRdLockOp, rwlock_id));
+}
+
+void
+Builder::rdUnlockOp(ThreadId t, std::uint64_t rwlock_id)
+{
+    append(t, bareOp(SegmentKind::kRdUnlockOp, rwlock_id));
+}
+
+void
+Builder::wrLockOp(ThreadId t, std::uint64_t rwlock_id)
+{
+    append(t, bareOp(SegmentKind::kWrLockOp, rwlock_id));
+}
+
+void
+Builder::wrUnlockOp(ThreadId t, std::uint64_t rwlock_id)
+{
+    append(t, bareOp(SegmentKind::kWrUnlockOp, rwlock_id));
+}
+
+Builder::Sites
+Builder::rwSweep(ThreadId t, Region region, std::uint64_t count,
+                 std::uint64_t rwlock_id, bool write, bool random)
+{
+    if (write)
+        wrLockOp(t, rwlock_id);
+    else
+        rdLockOp(t, rwlock_id);
+    const Sites sites =
+        sweep(t, region, count, write ? 0.5 : 0.0, random);
+    if (write)
+        wrUnlockOp(t, rwlock_id);
+    else
+        rdUnlockOp(t, rwlock_id);
+    return sites;
+}
+
+void
+Builder::atomicWait(ThreadId t, Region region,
+                    std::uint64_t threshold)
+{
+    Segment segment;
+    segment.kind = SegmentKind::kAtomicWaitOp;
+    segment.region = region;
+    segment.obj = threshold;
+    append(t, segment);
+}
+
+void
+Builder::barrier(ThreadId t, std::uint64_t barrier_id,
+                 std::uint32_t participants)
+{
+    Segment segment;
+    segment.kind = SegmentKind::kBarrier;
+    segment.obj = barrier_id;
+    segment.participants = participants;
+    append(t, segment);
+}
+
+void
+Builder::barrierAll(std::uint64_t barrier_id)
+{
+    for (ThreadId t = 0; t < scripts_.size(); ++t)
+        barrier(t, barrier_id, 0);
+}
+
+void
+Builder::lockOp(ThreadId t, std::uint64_t lock_id)
+{
+    Segment segment;
+    segment.kind = SegmentKind::kLockOp;
+    segment.obj = lock_id;
+    append(t, segment);
+}
+
+void
+Builder::unlockOp(ThreadId t, std::uint64_t lock_id)
+{
+    Segment segment;
+    segment.kind = SegmentKind::kUnlockOp;
+    segment.obj = lock_id;
+    append(t, segment);
+}
+
+void
+Builder::recordInjectedRace(
+    std::vector<std::pair<SiteId, SiteId>> pairs)
+{
+    runtime::InjectedRace race;
+    race.pairs = std::move(pairs);
+    injected_.push_back(std::move(race));
+}
+
+std::unique_ptr<SyntheticProgram>
+Builder::build()
+{
+    return std::make_unique<SyntheticProgram>(
+        name_, seed_, std::move(scripts_), std::move(injected_));
+}
+
+void
+injectRace(Builder &builder, ThreadId a, ThreadId b,
+           std::uint64_t repeats)
+{
+    const Region region = builder.alloc(8);
+    // Thread a writes; thread b mixes reads and writes. All pairs of
+    // (a-access, b-access) with at least one write conflict.
+    const auto sa = builder.sweep(a, region, repeats, 1.0);
+    const auto sb = builder.sweep(b, region, repeats, 0.5);
+    builder.recordInjectedRace({
+        {sa.write, sb.write},
+        {sa.write, sb.read},
+    });
+}
+
+void
+injectConfiguredRaces(Builder &builder, const WorkloadParams &params)
+{
+    const std::uint32_t n = builder.nthreads();
+    if (n < 2)
+        return;
+    for (std::uint32_t i = 0; i < params.injected_races; ++i) {
+        const ThreadId a = i % n;
+        const ThreadId b = (i + 1) % n;
+        injectRace(builder, a, b, params.race_repeats);
+    }
+}
+
+double
+detectedFraction(const std::vector<runtime::InjectedRace> &injected,
+                 const detect::ReportSink &reports)
+{
+    if (injected.empty())
+        return 1.0;
+    std::size_t found = 0;
+    for (const auto &race : injected) {
+        const bool hit = std::any_of(
+            race.pairs.begin(), race.pairs.end(),
+            [&](const std::pair<SiteId, SiteId> &pair) {
+                return reports.seenPair(pair.first, pair.second);
+            });
+        if (hit)
+            ++found;
+    }
+    return static_cast<double>(found)
+        / static_cast<double>(injected.size());
+}
+
+} // namespace hdrd::workloads

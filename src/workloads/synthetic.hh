@@ -1,0 +1,286 @@
+/**
+ * @file
+ * The synthetic workload engine: segment-programmed thread bodies.
+ *
+ * Workload models (Phoenix, PARSEC, micro-kernels) are assembled from
+ * a small vocabulary of per-thread segments — compute bursts, strided
+ * or random sweeps over memory regions, lock-protected read-modify-
+ * write loops, barriers — executed in sequence. The vocabulary is rich
+ * enough to encode each benchmark's *sharing profile* (how much data
+ * is shared, between whom, how bursty, under what synchronization),
+ * which is the property the paper's results depend on.
+ */
+
+#ifndef HDRD_WORKLOADS_SYNTHETIC_HH
+#define HDRD_WORKLOADS_SYNTHETIC_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "detect/report.hh"
+#include "runtime/program.hh"
+#include "workloads/params.hh"
+
+namespace hdrd::workloads
+{
+
+/** A contiguous span of the simulated address space. */
+struct Region
+{
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+
+    /** Number of 8-byte words. */
+    std::uint64_t words() const { return bytes / 8; }
+
+    /** Equal slice @p i of @p n (for per-thread partitioning). */
+    Region slice(std::uint32_t i, std::uint32_t n) const;
+};
+
+/** Segment kinds a thread's script is made of. */
+enum class SegmentKind : std::uint8_t
+{
+    kCompute = 0,   ///< count work ops of work_cycles each
+    kSweep,         ///< count unsynchronized accesses over region
+    kLockedRmw,     ///< count of: lock, read word, write word, unlock
+    kBarrier,       ///< one barrier arrival
+    kLockOp,        ///< one lock acquire
+    kUnlockOp,      ///< one lock release
+    kAtomicSweep,   ///< count atomic RMWs over region
+    kAtomicWaitOp,  ///< one futex-style wait on region.base
+    kRdLockOp,      ///< one rwlock read acquire
+    kRdUnlockOp,    ///< one rwlock read release
+    kWrLockOp,      ///< one rwlock write acquire
+    kWrUnlockOp,    ///< one rwlock write release
+};
+
+/**
+ * One scripted segment.
+ */
+struct Segment
+{
+    SegmentKind kind = SegmentKind::kCompute;
+
+    /** Memory region for kSweep/kLockedRmw. */
+    Region region{};
+
+    /** Iterations (accesses, rmw loops, or work ops). */
+    std::uint64_t count = 0;
+
+    /** kSweep stride in bytes (strided addressing). */
+    std::uint64_t stride = 8;
+
+    /** kSweep: probability an access is a write. */
+    double write_ratio = 0.0;
+
+    /** Random word addressing instead of strided. */
+    bool random_addr = false;
+
+    /** Lock id (kLockedRmw/kLockOp/kUnlockOp) or barrier id. */
+    std::uint64_t obj = 0;
+
+    /** Barrier participant count (0 = every program thread). */
+    std::uint32_t participants = 0;
+
+    /**
+     * kCompute: cycles per work op. Other kinds: cycles of work
+     * interleaved before each iteration (0 = none).
+     */
+    std::uint64_t work_cycles = 0;
+
+    /** Static sites for this segment's reads and writes. */
+    SiteId read_site = kInvalidSite;
+    SiteId write_site = kInvalidSite;
+};
+
+/**
+ * A Program assembled from per-thread segment scripts.
+ */
+class SyntheticProgram : public runtime::Program
+{
+  public:
+    SyntheticProgram(std::string name, std::uint64_t seed,
+                     std::vector<std::vector<Segment>> scripts,
+                     std::vector<runtime::InjectedRace> injected);
+
+    const std::string &name() const override { return name_; }
+
+    std::uint32_t numThreads() const override
+    {
+        return static_cast<std::uint32_t>(scripts_.size());
+    }
+
+    std::unique_ptr<runtime::ThreadBody>
+    makeThread(ThreadId tid) override;
+
+    std::vector<runtime::InjectedRace> injectedRaces() const override
+    {
+        return injected_;
+    }
+
+  private:
+    std::string name_;
+    std::uint64_t seed_;
+    std::vector<std::vector<Segment>> scripts_;
+    std::vector<runtime::InjectedRace> injected_;
+};
+
+/**
+ * Fluent builder for SyntheticPrograms: region allocation, per-thread
+ * segment appends with automatic site-id assignment, lock/barrier id
+ * management, and injected-race ground truth.
+ */
+class Builder
+{
+  public:
+    Builder(std::string name, std::uint32_t nthreads,
+            std::uint64_t seed = 42);
+
+    /** Allocate a fresh cache-line-aligned region. */
+    Region alloc(std::uint64_t bytes);
+
+    /** Fresh lock / barrier object ids. */
+    std::uint64_t newLock() { return next_lock_++; }
+    std::uint64_t newBarrier() { return next_barrier_++; }
+
+    /** Number of threads this program was declared with. */
+    std::uint32_t nthreads() const
+    {
+        return static_cast<std::uint32_t>(scripts_.size());
+    }
+
+    /** Sites assigned to a segment's reads and writes. */
+    struct Sites
+    {
+        SiteId read = kInvalidSite;
+        SiteId write = kInvalidSite;
+    };
+
+    /** Append @p ops work ops of @p cycles_each to thread @p t. */
+    void compute(ThreadId t, std::uint64_t ops,
+                 std::uint64_t cycles_each);
+
+    /**
+     * Append an unsynchronized sweep of @p count accesses over
+     * @p region to thread @p t.
+     */
+    Sites sweep(ThreadId t, Region region, std::uint64_t count,
+                double write_ratio, bool random = false,
+                std::uint64_t stride = 8,
+                std::uint64_t interleave_work = 0);
+
+    /**
+     * Append @p count lock-protected read-modify-writes over
+     * @p region under @p lock_id to thread @p t.
+     */
+    Sites lockedRmw(ThreadId t, Region region, std::uint64_t count,
+                    std::uint64_t lock_id, bool random = false,
+                    std::uint64_t interleave_work = 0);
+
+    /**
+     * Append @p count seq_cst atomic read-modify-writes over
+     * @p region to thread @p t (lock-free idioms: counters, flags,
+     * work-stealing indices). Ordered, never racy.
+     */
+    Sites atomicSweep(ThreadId t, Region region, std::uint64_t count,
+                      bool random = false,
+                      std::uint64_t interleave_work = 0);
+
+    /**
+     * Append a futex-style wait: thread @p t blocks until the atomic
+     * word at @p region.base has seen @p threshold RMWs, with
+     * acquire-ordering on the wake — the lock-free publish idiom.
+     */
+    void atomicWait(ThreadId t, Region region,
+                    std::uint64_t threshold);
+
+    /** Append one barrier arrival for thread @p t. */
+    void barrier(ThreadId t, std::uint64_t barrier_id,
+                 std::uint32_t participants = 0);
+
+    /** Append the same barrier arrival to every thread. */
+    void barrierAll(std::uint64_t barrier_id);
+
+    /** Append a bare lock acquire / release. */
+    void lockOp(ThreadId t, std::uint64_t lock_id);
+    void unlockOp(ThreadId t, std::uint64_t lock_id);
+
+    /** Fresh reader-writer lock id. */
+    std::uint64_t newRwLock() { return next_rwlock_++; }
+
+    /** Append bare rwlock operations. */
+    void rdLockOp(ThreadId t, std::uint64_t rwlock_id);
+    void rdUnlockOp(ThreadId t, std::uint64_t rwlock_id);
+    void wrLockOp(ThreadId t, std::uint64_t rwlock_id);
+    void wrUnlockOp(ThreadId t, std::uint64_t rwlock_id);
+
+    /**
+     * Append a whole rwlock critical section: acquire @p rwlock_id
+     * (read or write side per @p write), sweep @p count accesses over
+     * @p region (reads, or mixed writes for the writer side), and
+     * release. The read-mostly-shared-structure idiom.
+     */
+    Sites rwSweep(ThreadId t, Region region, std::uint64_t count,
+                  std::uint64_t rwlock_id, bool write,
+                  bool random = false);
+
+    /** Record ground truth: these site pairs form one injected race. */
+    void recordInjectedRace(
+        std::vector<std::pair<SiteId, SiteId>> pairs);
+
+    /** Finalize into a Program. */
+    std::unique_ptr<SyntheticProgram> build();
+
+  private:
+    Segment &append(ThreadId t, Segment segment);
+    Sites assignSites(Segment &segment, bool reads, bool writes);
+
+    std::string name_;
+    std::uint64_t seed_;
+    std::vector<std::vector<Segment>> scripts_;
+    std::vector<runtime::InjectedRace> injected_;
+    Addr next_addr_ = 0x10000;
+    std::uint64_t next_lock_ = 1;
+    std::uint64_t next_rwlock_ = 1;
+    std::uint64_t next_barrier_ = 1;
+    SiteId next_site_ = 1;
+};
+
+/**
+ * Inject one repeating data race between threads @p a and @p b at
+ * their current script positions: both get a short unsynchronized
+ * mixed read/write burst over a fresh word-sized region. Ground truth
+ * is recorded in the builder.
+ *
+ * @param repeats dynamic accesses per thread; 1 models a one-shot
+ *        race (hard for demand-driven detection), hundreds model the
+ *        common repeating-race case.
+ */
+void injectRace(Builder &builder, ThreadId a, ThreadId b,
+                std::uint64_t repeats);
+
+/**
+ * Inject the number of races @p params asks for, round-robin across
+ * thread pairs, at the threads' current script positions. Call from a
+ * workload model at the point in its build that corresponds to the
+ * parallel phase.
+ */
+void injectConfiguredRaces(Builder &builder,
+                           const WorkloadParams &params);
+
+/**
+ * Fraction of @p injected races found in @p reports (a race counts as
+ * found when any of its site pairs was reported).
+ */
+double detectedFraction(
+    const std::vector<runtime::InjectedRace> &injected,
+    const detect::ReportSink &reports);
+
+} // namespace hdrd::workloads
+
+#endif // HDRD_WORKLOADS_SYNTHETIC_HH

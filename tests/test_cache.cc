@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the set-associative tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace hdrd;
+using namespace hdrd::mem;
+
+namespace
+{
+
+CacheGeometry
+smallGeometry()
+{
+    // 2 sets x 2 ways x 64B lines = 256 bytes.
+    return CacheGeometry{.size_bytes = 256, .assoc = 2,
+                         .line_bytes = 64};
+}
+
+} // namespace
+
+TEST(CacheGeometry, SetsComputed)
+{
+    EXPECT_EQ(smallGeometry().sets(), 2u);
+    CacheGeometry big{.size_bytes = 32 * 1024, .assoc = 8,
+                      .line_bytes = 64};
+    EXPECT_EQ(big.sets(), 64u);
+}
+
+TEST(CacheGeometryDeath, RejectsNonPowerOfTwoLine)
+{
+    CacheGeometry g{.size_bytes = 256, .assoc = 2, .line_bytes = 48};
+    EXPECT_EXIT(g.validate("t"), ::testing::ExitedWithCode(1),
+                "line_bytes");
+}
+
+TEST(CacheGeometryDeath, RejectsZeroAssoc)
+{
+    CacheGeometry g{.size_bytes = 256, .assoc = 0, .line_bytes = 64};
+    EXPECT_EXIT(g.validate("t"), ::testing::ExitedWithCode(1),
+                "assoc");
+}
+
+TEST(CacheGeometryDeath, RejectsIndivisibleSize)
+{
+    CacheGeometry g{.size_bytes = 200, .assoc = 2, .line_bytes = 64};
+    EXPECT_EXIT(g.validate("t"), ::testing::ExitedWithCode(1),
+                "size_bytes");
+}
+
+TEST(Cache, LineAddrMasksLowBits)
+{
+    Cache c(smallGeometry());
+    EXPECT_EQ(c.lineAddr(0x1234), 0x1200u);
+    EXPECT_EQ(c.lineAddr(0x1200), 0x1200u);
+    EXPECT_EQ(c.lineAddr(0x123F), 0x1200u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallGeometry());
+    EXPECT_EQ(c.probe(0x1000), nullptr);
+    c.insert(0x1000, Mesi::kExclusive);
+    ASSERT_NE(c.probe(0x1000), nullptr);
+    EXPECT_EQ(c.probe(0x1000)->state, Mesi::kExclusive);
+    // Any address within the line hits.
+    EXPECT_NE(c.probe(0x1038), nullptr);
+}
+
+TEST(Cache, InsertIntoEmptyWayNoEviction)
+{
+    Cache c(smallGeometry());
+    EXPECT_FALSE(c.insert(0x0000, Mesi::kShared).has_value());
+    // Same set (set index of 0x0000 and 0x0080 differ though) —
+    // 64B lines, 2 sets: set = (addr>>6)&1. 0x0000 -> set 0,
+    // 0x0080 -> set 0 (bit 6 = 0b10 -> (0x80>>6)=2 &1 = 0). Yes set 0.
+    EXPECT_FALSE(c.insert(0x0080, Mesi::kShared).has_value());
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(smallGeometry());
+    // Set 0 holds lines 0x000, 0x080, 0x100, ... (every 128 bytes).
+    c.insert(0x000, Mesi::kShared);
+    c.insert(0x080, Mesi::kModified);
+    // Touch 0x000 so 0x080 becomes LRU.
+    c.touch(0x000);
+    const auto evicted = c.insert(0x100, Mesi::kExclusive);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->line_addr, 0x080u);
+    EXPECT_EQ(evicted->state, Mesi::kModified);
+    EXPECT_NE(c.probe(0x000), nullptr);
+    EXPECT_EQ(c.probe(0x080), nullptr);
+}
+
+TEST(Cache, InsertPrefersEmptyWayOverEviction)
+{
+    Cache c(smallGeometry());
+    c.insert(0x000, Mesi::kShared);
+    c.invalidate(0x000);
+    c.insert(0x080, Mesi::kShared);
+    // One way empty (the invalidated one): no eviction.
+    EXPECT_FALSE(c.insert(0x100, Mesi::kShared).has_value());
+}
+
+TEST(Cache, InvalidateMissingIsNoop)
+{
+    Cache c(smallGeometry());
+    c.invalidate(0xdead00);
+    EXPECT_EQ(c.residentLines(), 0u);
+}
+
+TEST(Cache, ResidentLinesAndFlush)
+{
+    Cache c(smallGeometry());
+    c.insert(0x000, Mesi::kShared);
+    c.insert(0x040, Mesi::kShared);  // set 1
+    EXPECT_EQ(c.residentLines(), 2u);
+    c.flush();
+    EXPECT_EQ(c.residentLines(), 0u);
+    EXPECT_EQ(c.probe(0x000), nullptr);
+}
+
+TEST(Cache, ResidentEntriesSnapshot)
+{
+    Cache c(smallGeometry());
+    c.insert(0x000, Mesi::kModified);
+    c.insert(0x040, Mesi::kShared);
+    auto entries = c.residentEntries();
+    ASSERT_EQ(entries.size(), 2u);
+    bool saw_m = false, saw_s = false;
+    for (const auto &[addr, state] : entries) {
+        saw_m |= addr == 0x000 && state == Mesi::kModified;
+        saw_s |= addr == 0x040 && state == Mesi::kShared;
+    }
+    EXPECT_TRUE(saw_m);
+    EXPECT_TRUE(saw_s);
+}
+
+TEST(CacheDeath, TouchMissingPanics)
+{
+    Cache c(smallGeometry());
+    EXPECT_DEATH(c.touch(0x1000), "touch");
+}
+
+TEST(CacheDeath, DoubleInsertPanics)
+{
+    Cache c(smallGeometry());
+    c.insert(0x000, Mesi::kShared);
+    EXPECT_DEATH(c.insert(0x000, Mesi::kShared), "already-present");
+}
+
+TEST(Cache, MesiNames)
+{
+    EXPECT_STREQ(mesiName(Mesi::kInvalid), "I");
+    EXPECT_STREQ(mesiName(Mesi::kShared), "S");
+    EXPECT_STREQ(mesiName(Mesi::kExclusive), "E");
+    EXPECT_STREQ(mesiName(Mesi::kModified), "M");
+}
+
+TEST(Cache, ManyDistinctSetsNoInterference)
+{
+    CacheGeometry g{.size_bytes = 8192, .assoc = 2, .line_bytes = 64};
+    Cache c(g);
+    // 64 sets; fill one line in each.
+    for (Addr a = 0; a < 64 * 64; a += 64)
+        EXPECT_FALSE(c.insert(a, Mesi::kShared).has_value());
+    EXPECT_EQ(c.residentLines(), 64u);
+    for (Addr a = 0; a < 64 * 64; a += 64)
+        EXPECT_NE(c.probe(a), nullptr);
+}

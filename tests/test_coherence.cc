@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for PrivateCaches (inclusion + state mirroring).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/coherence.hh"
+
+using namespace hdrd;
+using namespace hdrd::mem;
+
+namespace
+{
+
+PrivateCaches
+makeCaches(std::uint32_t ncores = 2)
+{
+    const CacheGeometry l1{.size_bytes = 256, .assoc = 2,
+                           .line_bytes = 64};
+    const CacheGeometry l2{.size_bytes = 1024, .assoc = 4,
+                           .line_bytes = 64};
+    return PrivateCaches(ncores, l1, l2);
+}
+
+} // namespace
+
+TEST(PrivateCaches, StartsEmpty)
+{
+    auto pc = makeCaches();
+    EXPECT_EQ(pc.state(0, 0x1000), Mesi::kInvalid);
+    EXPECT_EQ(pc.residentLines(), 0u);
+    EXPECT_FALSE(pc.findOwner(0x1000).has_value());
+}
+
+TEST(PrivateCaches, InsertVisibleInBothLevels)
+{
+    auto pc = makeCaches();
+    pc.insert(0, 0x1000, Mesi::kExclusive);
+    EXPECT_EQ(pc.state(0, 0x1000), Mesi::kExclusive);
+    EXPECT_TRUE(pc.inL1(0, 0x1000));
+    // Other core unaffected.
+    EXPECT_EQ(pc.state(1, 0x1000), Mesi::kInvalid);
+}
+
+TEST(PrivateCaches, SetStateMirrorsIntoL1)
+{
+    auto pc = makeCaches();
+    pc.insert(0, 0x1000, Mesi::kExclusive);
+    pc.setState(0, 0x1000, Mesi::kModified);
+    EXPECT_EQ(pc.state(0, 0x1000), Mesi::kModified);
+    EXPECT_EQ(pc.l1(0).probe(0x1000)->state, Mesi::kModified);
+    EXPECT_EQ(pc.l2(0).probe(0x1000)->state, Mesi::kModified);
+}
+
+TEST(PrivateCaches, InvalidateClearsBothLevels)
+{
+    auto pc = makeCaches();
+    pc.insert(0, 0x1000, Mesi::kShared);
+    pc.invalidate(0, 0x1000);
+    EXPECT_EQ(pc.state(0, 0x1000), Mesi::kInvalid);
+    EXPECT_FALSE(pc.inL1(0, 0x1000));
+}
+
+TEST(PrivateCaches, L1EvictionKeepsL2Copy)
+{
+    auto pc = makeCaches();
+    // L1: 2 sets x 2 ways. Lines 0x0000, 0x0080, 0x0100 all map to
+    // L1 set 0; the third insert evicts from L1 but L2 (4-way, 4
+    // sets) keeps everything.
+    pc.insert(0, 0x0000, Mesi::kShared);
+    pc.insert(0, 0x0080, Mesi::kShared);
+    pc.insert(0, 0x0100, Mesi::kShared);
+    int in_l1 = pc.inL1(0, 0x0000) + pc.inL1(0, 0x0080)
+        + pc.inL1(0, 0x0100);
+    EXPECT_EQ(in_l1, 2);
+    EXPECT_EQ(pc.state(0, 0x0000), Mesi::kShared);
+    EXPECT_EQ(pc.state(0, 0x0080), Mesi::kShared);
+    EXPECT_EQ(pc.state(0, 0x0100), Mesi::kShared);
+}
+
+TEST(PrivateCaches, L2EvictionDropsL1CopyAndReportsWriteback)
+{
+    // L2: 1024B / (4 ways * 64B) = 4 sets. Lines 0x0000, 0x0100,
+    // 0x0200, 0x0300, 0x0400 all map to L2 set 0.
+    auto pc = makeCaches();
+    pc.insert(0, 0x0000, Mesi::kModified);
+    pc.insert(0, 0x0100, Mesi::kShared);
+    pc.insert(0, 0x0200, Mesi::kShared);
+    pc.insert(0, 0x0300, Mesi::kShared);
+    const auto result = pc.insert(0, 0x0400, Mesi::kShared);
+    ASSERT_TRUE(result.l2_victim.has_value());
+    EXPECT_EQ(*result.l2_victim, 0x0000u);
+    EXPECT_TRUE(result.writeback);  // victim was Modified
+    EXPECT_EQ(pc.state(0, 0x0000), Mesi::kInvalid);
+    EXPECT_FALSE(pc.inL1(0, 0x0000));
+}
+
+TEST(PrivateCaches, CleanEvictionNoWriteback)
+{
+    auto pc = makeCaches();
+    pc.insert(0, 0x0000, Mesi::kShared);
+    pc.insert(0, 0x0100, Mesi::kShared);
+    pc.insert(0, 0x0200, Mesi::kShared);
+    pc.insert(0, 0x0300, Mesi::kShared);
+    const auto result = pc.insert(0, 0x0400, Mesi::kShared);
+    ASSERT_TRUE(result.l2_victim.has_value());
+    EXPECT_FALSE(result.writeback);
+}
+
+TEST(PrivateCaches, FindOwnerLocatesModifiedCore)
+{
+    auto pc = makeCaches(4);
+    pc.insert(2, 0x1000, Mesi::kModified);
+    const auto owner = pc.findOwner(0x1000);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(*owner, 2u);
+    EXPECT_FALSE(pc.findOwner(0x2000).has_value());
+}
+
+TEST(PrivateCaches, SharedLinesHaveNoOwner)
+{
+    auto pc = makeCaches(2);
+    pc.insert(0, 0x1000, Mesi::kShared);
+    pc.insert(1, 0x1000, Mesi::kShared);
+    EXPECT_FALSE(pc.findOwner(0x1000).has_value());
+}
+
+TEST(PrivateCaches, RemoteHoldersExcludesRequester)
+{
+    auto pc = makeCaches(4);
+    pc.insert(0, 0x1000, Mesi::kShared);
+    pc.insert(1, 0x1000, Mesi::kShared);
+    pc.insert(3, 0x1000, Mesi::kShared);
+    const auto holders = pc.remoteHolders(0x1000, 1);
+    ASSERT_EQ(holders.size(), 2u);
+    EXPECT_EQ(holders[0], 0u);
+    EXPECT_EQ(holders[1], 3u);
+}
+
+TEST(PrivateCaches, FillL1AfterL1OnlyEviction)
+{
+    auto pc = makeCaches();
+    pc.insert(0, 0x0000, Mesi::kExclusive);
+    pc.insert(0, 0x0080, Mesi::kShared);
+    pc.insert(0, 0x0100, Mesi::kShared);  // evicts one line from L1
+    // Find the line that is L2-resident but not L1-resident, refill.
+    for (Addr a : {Addr{0x0000}, Addr{0x0080}, Addr{0x0100}}) {
+        if (!pc.inL1(0, a)) {
+            pc.fillL1(0, a);
+            EXPECT_TRUE(pc.inL1(0, a));
+            // Mirrored state.
+            EXPECT_EQ(pc.l1(0).probe(a)->state, pc.state(0, a));
+            return;
+        }
+    }
+    FAIL() << "expected an L1-evicted line";
+}
+
+TEST(PrivateCaches, FlushAllEmptiesEverything)
+{
+    auto pc = makeCaches(2);
+    pc.insert(0, 0x0000, Mesi::kModified);
+    pc.insert(1, 0x1000, Mesi::kShared);
+    pc.flushAll();
+    EXPECT_EQ(pc.residentLines(), 0u);
+}
+
+TEST(PrivateCachesDeath, MismatchedLineSizesFatal)
+{
+    const CacheGeometry l1{.size_bytes = 256, .assoc = 2,
+                           .line_bytes = 32};
+    const CacheGeometry l2{.size_bytes = 1024, .assoc = 4,
+                           .line_bytes = 64};
+    EXPECT_EXIT(PrivateCaches(2, l1, l2),
+                ::testing::ExitedWithCode(1), "line sizes");
+}
+
+TEST(PrivateCachesDeath, SetStateMissingLinePanics)
+{
+    auto pc = makeCaches();
+    EXPECT_DEATH(pc.setState(0, 0x1000, Mesi::kShared), "missing");
+}

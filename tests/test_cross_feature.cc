@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Cross-feature interactions: traces of the newer op types, lockset
+ * key spaces, result copying, and combined extension flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "instr/cost_model.hh"
+#include "runtime/simulator.hh"
+#include "trace/trace_program.hh"
+#include "workloads/registry.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::runtime;
+using namespace hdrd::workloads;
+using instr::ToolMode;
+
+namespace
+{
+
+std::string
+tmpPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "hdrd_cross_" + tag
+        + ".trc";
+}
+
+} // namespace
+
+TEST(CrossFeature, RwlockAndAtomicOpsSurviveTraceRoundTrip)
+{
+    const auto path = tmpPath("rwatomic");
+    const auto *info = findWorkload("micro.rw_buggy");
+    WorkloadParams params;
+    params.scale = 0.05;
+
+    // Record.
+    {
+        auto prog = info->factory(params);
+        trace::TraceWriter writer(path, prog->name(),
+                                  prog->numThreads());
+        trace::RecordingProgram recording(*prog, writer);
+        SimConfig config;
+        config.mode = ToolMode::kNative;
+        Simulator::runWith(recording, config);
+        ASSERT_TRUE(writer.finalize());
+    }
+
+    // Replay under continuous analysis: the rw-lock bug still shows.
+    trace::TraceData data = trace::TraceData::load(path);
+    ASSERT_TRUE(data.ok()) << data.error();
+    trace::TraceProgram replay(std::move(data));
+    SimConfig config;
+    config.mode = ToolMode::kContinuous;
+    const auto replayed = Simulator::runWith(replay, config);
+
+    auto reference_prog = info->factory(params);
+    const auto reference =
+        Simulator::runWith(*reference_prog, config);
+    EXPECT_EQ(replayed.reports.uniqueCount(),
+              reference.reports.uniqueCount());
+    EXPECT_GT(replayed.reports.uniqueCount(), 0u);
+    EXPECT_EQ(replayed.sync_ops, reference.sync_ops);
+    std::remove(path.c_str());
+}
+
+TEST(CrossFeature, AtomicPublishTraceStaysOrdered)
+{
+    const auto path = tmpPath("publish");
+    const auto *info = findWorkload("micro.atomic_publish");
+    WorkloadParams params;
+    params.scale = 0.05;
+    {
+        auto prog = info->factory(params);
+        trace::TraceWriter writer(path, prog->name(),
+                                  prog->numThreads());
+        trace::RecordingProgram recording(*prog, writer);
+        SimConfig config;
+        config.mode = ToolMode::kNative;
+        Simulator::runWith(recording, config);
+        writer.finalize();
+    }
+    trace::TraceData data = trace::TraceData::load(path);
+    ASSERT_TRUE(data.ok());
+    trace::TraceProgram replay(std::move(data));
+    SimConfig config;
+    config.mode = ToolMode::kContinuous;
+    const auto result = Simulator::runWith(replay, config);
+    EXPECT_EQ(result.reports.uniqueCount(), 0u);
+    EXPECT_GT(result.atomic_ops, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CrossFeature, LocksetMutexAndRwlockKeySpacesDisjoint)
+{
+    // Mutex id 5 and rwlock id 5 protect different words. If the
+    // lockset detector saw them as one lock, thread 1's rwlock-held
+    // write to B would appear consistently locked with thread 0's
+    // mutex-held write to B. Correctly tagged keys report the race.
+    Builder b("keyspace", 2);
+    const Region word_b = b.alloc(8);
+    // Thread 0 writes B under MUTEX 5.
+    b.lockOp(0, 5);
+    const auto w0 = b.sweep(0, word_b, 20, 1.0);
+    b.unlockOp(0, 5);
+    // Thread 1 writes B under RWLOCK 5's write side.
+    b.wrLockOp(1, 5);
+    const auto w1 = b.sweep(1, word_b, 20, 1.0);
+    b.wrUnlockOp(1, 5);
+    (void)w0;
+    (void)w1;
+    auto prog = b.build();
+    SimConfig config;
+    config.mode = ToolMode::kContinuous;
+    config.detector = DetectorKind::kLockset;
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_GT(result.reports.uniqueCount(), 0u)
+        << "mutex 5 and rwlock 5 must not alias in the lockset";
+}
+
+TEST(CrossFeature, CombinedExtensionsRunTogether)
+{
+    // Everything at once: per-thread scope + PEBS + naive detector +
+    // SMT mapping + ground truth + invariant checks, on a racy
+    // workload. The point is composability, not a specific count.
+    const auto *info = findWorkload("micro.racy_burst");
+    WorkloadParams params;
+    params.scale = 0.1;
+    auto prog = info->factory(params);
+    SimConfig config;
+    config.mode = ToolMode::kDemand;
+    config.detector = DetectorKind::kNaiveHb;
+    config.gating.scope = demand::EnableScope::kPerThread;
+    config.gating.pebs_precise_capture = true;
+    config.track_ground_truth = true;
+    config.invariant_check_interval = 5000;
+    config.threads_per_core = 2;
+    config.mem.ncores = 2;
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_GT(result.total_ops, 0u);
+    EXPECT_GT(result.gt.shared_accesses, 0u);
+}
+
+TEST(CrossFeature, RunResultCopyIsDeep)
+{
+    const auto *info = findWorkload("micro.racy_counter");
+    WorkloadParams params;
+    params.scale = 0.05;
+    auto prog = info->factory(params);
+    SimConfig config;
+    config.mode = ToolMode::kContinuous;
+    const auto original = Simulator::runWith(*prog, config);
+    RunResult copy = original;
+    EXPECT_EQ(copy.reports.uniqueCount(),
+              original.reports.uniqueCount());
+    EXPECT_EQ(copy.mem_latency.count(), original.mem_latency.count());
+    copy.reports.clear();
+    EXPECT_GT(original.reports.uniqueCount(), 0u);
+}
+
+TEST(CrossFeature, ColdRegionWithLocksetDetector)
+{
+    const auto *info = findWorkload("micro.racy_once");
+    WorkloadParams params;
+    params.scale = 0.1;
+    auto prog = info->factory(params);
+    SimConfig config;
+    config.mode = ToolMode::kDemand;
+    config.detector = DetectorKind::kLockset;
+    config.gating.strategy = demand::Strategy::kColdRegion;
+    const auto result = Simulator::runWith(*prog, config);
+    // Cold sites sampled + lockset's schedule insensitivity: the
+    // one-shot unlocked pair is found.
+    EXPECT_GT(result.reports.uniqueCount(), 0u);
+}
+
+TEST(CrossFeature, WatchlistHonorsGranuleShift)
+{
+    Builder b("gran", 2);
+    const Region word = b.alloc(64);
+    b.sweep(0, word, 100, 1.0);
+    b.sweep(1, word, 100, 0.5);
+    auto prog = b.build();
+    SimConfig config;
+    config.mode = ToolMode::kDemand;
+    config.granule_shift = 6;  // line granules
+    config.gating.strategy = demand::Strategy::kWatchlist;
+    config.gating.watchlist = {word.base >> 6};
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_EQ(result.analyzed_accesses, 200u);
+    EXPECT_GT(result.reports.uniqueCount(), 0u);
+}

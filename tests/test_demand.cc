@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the demand-driven gating machinery: the sharing
+ * watchdog and the controller state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "demand/controller.hh"
+
+using namespace hdrd;
+using namespace hdrd::demand;
+
+namespace
+{
+
+WatchdogConfig
+smallWatchdog()
+{
+    return WatchdogConfig{.window = 10,
+                          .sharing_threshold = 0.25,
+                          .quiet_windows = 2,
+                          .min_enabled_accesses = 20};
+}
+
+GatingConfig
+hitmGating()
+{
+    GatingConfig config;
+    config.strategy = Strategy::kDemandHitm;
+    config.watchdog = smallWatchdog();
+    return config;
+}
+
+} // namespace
+
+TEST(SharingMonitor, NoRecommendationBeforeWindowFills)
+{
+    SharingMonitor monitor(smallWatchdog());
+    for (int i = 0; i < 9; ++i)
+        EXPECT_FALSE(monitor.recordAnalyzed(false));
+}
+
+TEST(SharingMonitor, QuietWindowsTriggerDisable)
+{
+    SharingMonitor monitor(smallWatchdog());
+    // Two full quiet windows + min accesses (20) -> recommend at the
+    // 20th access exactly.
+    bool recommended = false;
+    for (int i = 0; i < 20; ++i)
+        recommended = monitor.recordAnalyzed(false);
+    EXPECT_TRUE(recommended);
+}
+
+TEST(SharingMonitor, SharedWindowResetsStreak)
+{
+    SharingMonitor monitor(smallWatchdog());
+    // Window 1 quiet, window 2 noisy, windows 3+4 quiet -> disable
+    // only after window 4.
+    int disable_at = -1;
+    int i = 0;
+    for (; i < 10; ++i)
+        monitor.recordAnalyzed(false);
+    for (; i < 20; ++i)
+        monitor.recordAnalyzed(true);  // 100% sharing
+    for (; i < 40; ++i) {
+        if (monitor.recordAnalyzed(false)) {
+            disable_at = i;
+            break;
+        }
+    }
+    EXPECT_EQ(disable_at, 39);
+}
+
+TEST(SharingMonitor, ThresholdIsRatioBased)
+{
+    auto config = smallWatchdog();
+    config.sharing_threshold = 0.5;
+    SharingMonitor monitor(config);
+    // 40% sharing < 50% threshold -> windows count as quiet.
+    bool recommended = false;
+    for (int i = 0; i < 20; ++i)
+        recommended = monitor.recordAnalyzed(i % 10 < 4);
+    EXPECT_TRUE(recommended);
+}
+
+TEST(SharingMonitor, MinEnabledAccessesDelaysDisable)
+{
+    auto config = smallWatchdog();
+    config.min_enabled_accesses = 100;
+    SharingMonitor monitor(config);
+    bool recommended = false;
+    for (int i = 0; i < 99; ++i)
+        recommended |= monitor.recordAnalyzed(false);
+    EXPECT_FALSE(recommended);
+    EXPECT_TRUE(monitor.recordAnalyzed(false));
+}
+
+TEST(SharingMonitor, ResetClearsProgress)
+{
+    SharingMonitor monitor(smallWatchdog());
+    for (int i = 0; i < 19; ++i)
+        monitor.recordAnalyzed(false);
+    monitor.reset();
+    EXPECT_EQ(monitor.analyzedSinceReset(), 0u);
+    for (int i = 0; i < 19; ++i)
+        EXPECT_FALSE(monitor.recordAnalyzed(false));
+}
+
+TEST(Controller, StartsDisabled)
+{
+    DemandController c(hitmGating(), Rng(1));
+    EXPECT_FALSE(c.enabled());
+    EXPECT_EQ(c.enables(), 0u);
+}
+
+TEST(Controller, InterruptEnables)
+{
+    DemandController c(hitmGating(), Rng(1));
+    EXPECT_TRUE(c.onInterrupt());
+    EXPECT_TRUE(c.enabled());
+    EXPECT_EQ(c.enables(), 1u);
+    ASSERT_EQ(c.transitions().size(), 1u);
+    EXPECT_TRUE(c.transitions()[0].to_enabled);
+}
+
+TEST(Controller, InterruptWhileEnabledIsNoTransition)
+{
+    DemandController c(hitmGating(), Rng(1));
+    c.onInterrupt();
+    EXPECT_FALSE(c.onInterrupt());
+    EXPECT_EQ(c.enables(), 1u);
+}
+
+TEST(Controller, WatchdogDisablesAfterQuietPeriod)
+{
+    DemandController c(hitmGating(), Rng(1));
+    c.onInterrupt();
+    bool disabled = false;
+    for (int i = 0; i < 20; ++i) {
+        disabled = c.onAnalyzedAccess(
+            detect::AccessOutcome{.race = false,
+                                  .inter_thread = false});
+    }
+    EXPECT_TRUE(disabled);
+    EXPECT_FALSE(c.enabled());
+    EXPECT_EQ(c.disables(), 1u);
+}
+
+TEST(Controller, SharingKeepsAnalysisOn)
+{
+    DemandController c(hitmGating(), Rng(1));
+    c.onInterrupt();
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_FALSE(c.onAnalyzedAccess(
+            detect::AccessOutcome{.race = false,
+                                  .inter_thread = true}));
+    }
+    EXPECT_TRUE(c.enabled());
+}
+
+TEST(Controller, ReEnableAfterDisableWorks)
+{
+    DemandController c(hitmGating(), Rng(1));
+    c.onInterrupt();
+    for (int i = 0; i < 20; ++i)
+        c.onAnalyzedAccess(detect::AccessOutcome{});
+    ASSERT_FALSE(c.enabled());
+    EXPECT_TRUE(c.onInterrupt());
+    EXPECT_EQ(c.enables(), 2u);
+    // The watchdog restarted: quiet streak must re-accumulate.
+    EXPECT_FALSE(c.onAnalyzedAccess(detect::AccessOutcome{}));
+}
+
+TEST(Controller, OracleStrategyIgnoresInterrupts)
+{
+    auto config = hitmGating();
+    config.strategy = Strategy::kDemandOracle;
+    DemandController c(config, Rng(1));
+    EXPECT_FALSE(c.onInterrupt());
+    EXPECT_FALSE(c.enabled());
+    EXPECT_TRUE(c.onOracleSharing());
+    EXPECT_TRUE(c.enabled());
+}
+
+TEST(Controller, HitmStrategyIgnoresOracleSignal)
+{
+    DemandController c(hitmGating(), Rng(1));
+    EXPECT_FALSE(c.onOracleSharing());
+    EXPECT_FALSE(c.enabled());
+}
+
+TEST(Controller, SamplingTogglesAtWindowBoundaries)
+{
+    GatingConfig config;
+    config.strategy = Strategy::kRandomSampling;
+    config.sampling_window = 100;
+    config.sampling_rate = 0.5;
+    DemandController c(config, Rng(3));
+    std::uint64_t toggles = 0;
+    for (int i = 0; i < 100000; ++i)
+        toggles += c.onAccessBoundary();
+    // With p=0.5 per window the state flips roughly every other
+    // window: expect a healthy number of transitions.
+    EXPECT_GT(toggles, 100u);
+    EXPECT_EQ(c.enables() + c.disables(), toggles);
+}
+
+TEST(Controller, SamplingRateZeroNeverEnables)
+{
+    GatingConfig config;
+    config.strategy = Strategy::kRandomSampling;
+    config.sampling_window = 10;
+    config.sampling_rate = 0.0;
+    DemandController c(config, Rng(3));
+    for (int i = 0; i < 10000; ++i)
+        c.onAccessBoundary();
+    EXPECT_EQ(c.enables(), 0u);
+    EXPECT_FALSE(c.enabled());
+}
+
+TEST(Controller, SamplingIgnoresWatchdog)
+{
+    GatingConfig config;
+    config.strategy = Strategy::kRandomSampling;
+    config.sampling_window = 10;
+    config.sampling_rate = 1.0;
+    config.watchdog = smallWatchdog();
+    DemandController c(config, Rng(3));
+    for (int i = 0; i < 10; ++i)
+        c.onAccessBoundary();
+    ASSERT_TRUE(c.enabled());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(c.onAnalyzedAccess(detect::AccessOutcome{}));
+    EXPECT_TRUE(c.enabled());
+}
+
+TEST(Controller, TransitionsCarryAccessIndices)
+{
+    GatingConfig config;
+    config.strategy = Strategy::kRandomSampling;
+    config.sampling_window = 10;
+    config.sampling_rate = 1.0;
+    DemandController c(config, Rng(3));
+    for (int i = 0; i < 10; ++i)
+        c.onAccessBoundary();
+    ASSERT_EQ(c.transitions().size(), 1u);
+    EXPECT_EQ(c.transitions()[0].at_access, 10u);
+    EXPECT_EQ(c.accessesSeen(), 10u);
+}
+
+TEST(Strategy, Names)
+{
+    EXPECT_STREQ(strategyName(Strategy::kDemandHitm), "demand-hitm");
+    EXPECT_STREQ(strategyName(Strategy::kDemandOracle),
+                 "demand-oracle");
+    EXPECT_STREQ(strategyName(Strategy::kRandomSampling),
+                 "random-sampling");
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the packed FastTrack epoch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/epoch.hh"
+
+using namespace hdrd;
+using namespace hdrd::detect;
+
+TEST(Epoch, DefaultIsEmpty)
+{
+    Epoch e;
+    EXPECT_TRUE(e.empty());
+    EXPECT_EQ(e.tid(), 0u);
+    EXPECT_EQ(e.clock(), 0u);
+}
+
+TEST(Epoch, PackUnpackRoundTrip)
+{
+    Epoch e(7, 123456);
+    EXPECT_FALSE(e.empty());
+    EXPECT_EQ(e.tid(), 7u);
+    EXPECT_EQ(e.clock(), 123456u);
+}
+
+TEST(Epoch, LargeClockValues)
+{
+    const ClockValue big = (ClockValue{1} << 48) - 1;
+    Epoch e(65535, big);
+    EXPECT_EQ(e.tid(), 65535u);
+    EXPECT_EQ(e.clock(), big);
+}
+
+TEST(Epoch, EmptyLeqEverything)
+{
+    Epoch e;
+    VectorClock vc;
+    EXPECT_TRUE(e.leq(vc));
+    vc.set(0, 100);
+    EXPECT_TRUE(e.leq(vc));
+}
+
+TEST(Epoch, LeqComparesOwnComponentOnly)
+{
+    VectorClock vc;
+    vc.set(2, 5);
+    EXPECT_TRUE(Epoch(2, 5).leq(vc));
+    EXPECT_TRUE(Epoch(2, 4).leq(vc));
+    EXPECT_FALSE(Epoch(2, 6).leq(vc));
+    // Other components are irrelevant.
+    EXPECT_FALSE(Epoch(3, 1).leq(vc));
+    vc.set(3, 1);
+    EXPECT_TRUE(Epoch(3, 1).leq(vc));
+}
+
+TEST(Epoch, Equality)
+{
+    EXPECT_EQ(Epoch(1, 2), Epoch(1, 2));
+    EXPECT_NE(Epoch(1, 2), Epoch(2, 1));
+    EXPECT_NE(Epoch(1, 2), Epoch());
+}
+
+TEST(Epoch, ClockOneAtThreadZeroIsNotEmpty)
+{
+    // The all-zero bit pattern is reserved for "empty"; thread 0's
+    // clocks start at 1, so 1@0 must be distinct from empty.
+    Epoch e(0, 1);
+    EXPECT_FALSE(e.empty());
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for Log2Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/histogram.hh"
+
+using hdrd::Log2Histogram;
+
+TEST(Histogram, EmptyState)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Histogram, ZeroGoesToBucketZero)
+{
+    Log2Histogram h;
+    h.add(0);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    Log2Histogram h;
+    h.add(1);   // [1,2)   -> bucket 1
+    h.add(2);   // [2,4)   -> bucket 2
+    h.add(3);   // [2,4)   -> bucket 2
+    h.add(4);   // [4,8)   -> bucket 3
+    h.add(7);   // [4,8)   -> bucket 3
+    h.add(8);   // [8,16)  -> bucket 4
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST(Histogram, OutOfRangeBucketIsZero)
+{
+    Log2Histogram h;
+    h.add(5);
+    EXPECT_EQ(h.bucket(60), 0u);
+}
+
+TEST(Histogram, SumMeanMinMax)
+{
+    Log2Histogram h;
+    h.add(10);
+    h.add(20);
+    h.add(30);
+    EXPECT_EQ(h.sum(), 60u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 30u);
+}
+
+TEST(Histogram, PercentileMonotone)
+{
+    Log2Histogram h;
+    for (std::uint64_t v = 1; v <= 1024; ++v)
+        h.add(v);
+    double prev = -1.0;
+    for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+        const double q = h.percentile(p);
+        EXPECT_GE(q, prev);
+        prev = q;
+    }
+}
+
+TEST(Histogram, PercentileRoughlyRight)
+{
+    Log2Histogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.add(100);
+    // All mass in [64,128): any percentile must fall there.
+    EXPECT_GE(h.percentile(50), 64.0);
+    EXPECT_LE(h.percentile(50), 128.0);
+}
+
+TEST(Histogram, PercentileClamped)
+{
+    Log2Histogram h;
+    h.add(5);
+    EXPECT_NO_THROW(h.percentile(-10));
+    EXPECT_NO_THROW(h.percentile(200));
+}
+
+TEST(Histogram, ResetEmpties)
+{
+    Log2Histogram h;
+    h.add(3);
+    h.add(9);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.buckets(), 0u);
+}
+
+TEST(Histogram, DumpContainsCountAndBuckets)
+{
+    Log2Histogram h;
+    h.add(2);
+    h.add(3);
+    std::ostringstream os;
+    h.dump(os, "lat");
+    const auto s = os.str();
+    EXPECT_NE(s.find("count=2"), std::string::npos);
+    EXPECT_NE(s.find("[2,4) 2"), std::string::npos);
+}
+
+TEST(Histogram, LargeValues)
+{
+    Log2Histogram h;
+    h.add(1ULL << 40);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.max(), 1ULL << 40);
+    EXPECT_EQ(h.bucket(41), 1u);
+}

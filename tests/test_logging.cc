@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Unit tests for the logging/assert helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace log_detail = hdrd::log_detail;
+
+TEST(Logging, ConcatJoinsStreamables)
+{
+    EXPECT_EQ(log_detail::concat("x=", 42, " y=", 1.5), "x=42 y=1.5");
+    EXPECT_EQ(log_detail::concat(), "");
+}
+
+TEST(Logging, InformToggle)
+{
+    log_detail::setInformEnabled(false);
+    EXPECT_FALSE(log_detail::informEnabled());
+    // Must be a no-op, not a crash, while disabled.
+    hdrd::inform("silenced message ", 1);
+    log_detail::setInformEnabled(true);
+    EXPECT_TRUE(log_detail::informEnabled());
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(hdrd::panic("boom ", 7), "panic: boom 7");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(hdrd::fatal("bad config ", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(LoggingDeath, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(hdrd::hdrdAssert(false, "invariant ", 3, " broken"),
+                 "panic: invariant 3 broken");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    hdrd::hdrdAssert(true, "never shown");
+    SUCCEED();
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the DJIT+-style detector, plus differential testing
+ * against FastTrack: both must flag the same racy variables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "detect/fasttrack.hh"
+#include "detect/naive_hb.hh"
+
+using namespace hdrd;
+using namespace hdrd::detect;
+
+namespace
+{
+
+constexpr Addr kX = 0x1000;
+
+} // namespace
+
+TEST(NaiveHb, BasicWriteWriteRace)
+{
+    SyncClocks clocks(2);
+    ReportSink sink;
+    NaiveHbDetector detector(clocks, sink);
+    detector.onAccess(0, kX, true, 1);
+    const auto out = detector.onAccess(1, kX, true, 2);
+    EXPECT_TRUE(out.race);
+    EXPECT_EQ(sink.reports()[0].type, RaceType::kWriteWrite);
+}
+
+TEST(NaiveHb, LockOrderingSuppresses)
+{
+    SyncClocks clocks(2);
+    ReportSink sink;
+    NaiveHbDetector detector(clocks, sink);
+    detector.onAccess(0, kX, true, 1);
+    clocks.release(0, 5);
+    clocks.acquire(1, 5);
+    EXPECT_FALSE(detector.onAccess(1, kX, true, 2).race);
+}
+
+TEST(NaiveHb, ConcurrentReadsClean)
+{
+    SyncClocks clocks(3);
+    ReportSink sink;
+    NaiveHbDetector detector(clocks, sink);
+    detector.onAccess(0, kX, false, 1);
+    detector.onAccess(1, kX, false, 2);
+    detector.onAccess(2, kX, false, 3);
+    EXPECT_EQ(sink.uniqueCount(), 0u);
+}
+
+TEST(NaiveHb, ReadWriteRaceDetected)
+{
+    SyncClocks clocks(2);
+    ReportSink sink;
+    NaiveHbDetector detector(clocks, sink);
+    detector.onAccess(0, kX, false, 1);
+    const auto out = detector.onAccess(1, kX, true, 2);
+    EXPECT_TRUE(out.race);
+    EXPECT_EQ(sink.reports()[0].type, RaceType::kReadWrite);
+}
+
+TEST(NaiveHb, TracksDistinctVariables)
+{
+    SyncClocks clocks(2);
+    ReportSink sink;
+    NaiveHbDetector detector(clocks, sink);
+    detector.onAccess(0, 0x1000, true, 1);
+    detector.onAccess(0, 0x2000, true, 2);
+    EXPECT_EQ(detector.trackedVars(), 2u);
+    EXPECT_STREQ(detector.name(), "naive-hb");
+}
+
+TEST(NaiveHb, InterThreadSignal)
+{
+    SyncClocks clocks(2);
+    ReportSink sink;
+    NaiveHbDetector detector(clocks, sink);
+    EXPECT_FALSE(detector.onAccess(0, kX, true, 1).inter_thread);
+    clocks.release(0, 5);
+    clocks.acquire(1, 5);
+    EXPECT_TRUE(detector.onAccess(1, kX, false, 2).inter_thread);
+}
+
+/**
+ * Differential property test: drive FastTrack and NaiveHb with the
+ * same random access/sync history; the sets of racy granules must be
+ * identical. (FastTrack's guarantee: it reports a race on a variable
+ * iff a full-vector-clock detector does, at least for the first race
+ * per variable.)
+ */
+class DetectorEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DetectorEquivalence, SameRacyAddressSets)
+{
+    const int seed = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 977 + 13);
+
+    constexpr std::uint32_t kThreads = 4;
+    SyncClocks clocks_a(kThreads), clocks_b(kThreads);
+    ReportSink sink_a, sink_b;
+    FastTrackDetector ft(clocks_a, sink_a);
+    NaiveHbDetector hb(clocks_b, sink_b);
+
+    std::set<Addr> racy_ft, racy_hb;
+    for (int step = 0; step < 3000; ++step) {
+        const auto tid =
+            static_cast<ThreadId>(rng.nextBounded(kThreads));
+        const auto action = rng.nextBounded(10);
+        if (action < 7) {
+            // Data access to one of 16 variables.
+            const Addr addr = 0x1000 + rng.nextBounded(16) * 8;
+            const bool write = rng.nextBool(0.4);
+            const auto site =
+                static_cast<SiteId>(rng.nextBounded(1000));
+            if (ft.onAccess(tid, addr, write, site).race)
+                racy_ft.insert(addr);
+            if (hb.onAccess(tid, addr, write, site).race)
+                racy_hb.insert(addr);
+        } else if (action < 8) {
+            const std::uint64_t lock = rng.nextBounded(4);
+            clocks_a.acquire(tid, lock);
+            clocks_b.acquire(tid, lock);
+        } else if (action < 9) {
+            const std::uint64_t lock = rng.nextBounded(4);
+            clocks_a.release(tid, lock);
+            clocks_b.release(tid, lock);
+        } else {
+            const std::vector<ThreadId> all{0, 1, 2, 3};
+            clocks_a.barrier(all);
+            clocks_b.barrier(all);
+        }
+    }
+    EXPECT_EQ(racy_ft, racy_hb) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomHistories, DetectorEquivalence,
+                         ::testing::Range(0, 20));

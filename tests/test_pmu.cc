@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the PMU model: counters, SAV, skid, interrupts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pmu/pmu.hh"
+
+using namespace hdrd;
+using namespace hdrd::pmu;
+
+TEST(SamplingCounter, DisarmedIgnoresEvents)
+{
+    SamplingCounter c;
+    EXPECT_FALSE(c.armed());
+    EXPECT_FALSE(c.count());
+    EXPECT_FALSE(c.retire());
+}
+
+TEST(SamplingCounter, OverflowAfterSampleAfterEvents)
+{
+    SamplingCounter c;
+    c.arm({.event = EventType::kHitmLoad, .sample_after = 3,
+           .skid = 0});
+    EXPECT_FALSE(c.count());
+    EXPECT_FALSE(c.count());
+    EXPECT_TRUE(c.count());  // third event crosses threshold
+}
+
+TEST(SamplingCounter, SkidDelaysDelivery)
+{
+    SamplingCounter c;
+    c.arm({.event = EventType::kHitmLoad, .sample_after = 1,
+           .skid = 2});
+    EXPECT_TRUE(c.count());
+    EXPECT_FALSE(c.retire());  // skid 2
+    EXPECT_FALSE(c.retire());  // skid 1
+    EXPECT_TRUE(c.retire());   // delivered
+    EXPECT_FALSE(c.retire());  // nothing pending
+}
+
+TEST(SamplingCounter, ZeroSkidDeliversNextRetire)
+{
+    SamplingCounter c;
+    c.arm({.event = EventType::kHitmLoad, .sample_after = 1,
+           .skid = 0});
+    c.count();
+    EXPECT_TRUE(c.retire());
+}
+
+TEST(SamplingCounter, EventsDuringSkidAreDropped)
+{
+    SamplingCounter c;
+    c.arm({.event = EventType::kHitmLoad, .sample_after = 1,
+           .skid = 3});
+    EXPECT_TRUE(c.count());
+    // While skidding, further events do not queue extra overflows.
+    EXPECT_FALSE(c.count());
+    EXPECT_FALSE(c.count());
+    c.retire();
+    c.retire();
+    c.retire();
+    EXPECT_TRUE(c.retire());
+    // After delivery + auto-rearm the dropped events are gone.
+    EXPECT_FALSE(c.retire());
+}
+
+TEST(SamplingCounter, AutoRearmKeepsSampling)
+{
+    SamplingCounter c;
+    c.arm({.event = EventType::kHitmLoad, .sample_after = 1,
+           .skid = 0, .auto_rearm = true});
+    c.count();
+    EXPECT_TRUE(c.retire());
+    EXPECT_TRUE(c.armed());
+    c.count();
+    EXPECT_TRUE(c.retire());
+}
+
+TEST(SamplingCounter, NoAutoRearmStopsAfterDelivery)
+{
+    SamplingCounter c;
+    c.arm({.event = EventType::kHitmLoad, .sample_after = 1,
+           .skid = 0, .auto_rearm = false});
+    c.count();
+    EXPECT_TRUE(c.retire());
+    EXPECT_FALSE(c.armed());
+    EXPECT_FALSE(c.count());
+}
+
+TEST(SamplingCounter, DisarmDropsPendingOverflow)
+{
+    SamplingCounter c;
+    c.arm({.event = EventType::kHitmLoad, .sample_after = 1,
+           .skid = 5});
+    c.count();
+    c.disarm();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(c.retire());
+}
+
+TEST(SamplingCounterDeath, ZeroSampleAfterPanics)
+{
+    SamplingCounter c;
+    EXPECT_DEATH(c.arm({.event = EventType::kHitmLoad,
+                        .sample_after = 0}),
+                 "sample_after");
+}
+
+TEST(Pmu, FreeRunningCountsPerCoreAndEvent)
+{
+    Pmu pmu(2);
+    pmu.recordEvent(0, EventType::kLoads, 3);
+    pmu.recordEvent(1, EventType::kLoads, 2);
+    pmu.recordEvent(0, EventType::kStores);
+    EXPECT_EQ(pmu.count(0, EventType::kLoads), 3u);
+    EXPECT_EQ(pmu.count(1, EventType::kLoads), 2u);
+    EXPECT_EQ(pmu.count(0, EventType::kStores), 1u);
+    EXPECT_EQ(pmu.totalCount(EventType::kLoads), 5u);
+}
+
+TEST(Pmu, RetireOpCountsRetiredOps)
+{
+    Pmu pmu(1);
+    pmu.retireOp(0);
+    pmu.retireOp(0);
+    EXPECT_EQ(pmu.count(0, EventType::kRetiredOps), 2u);
+}
+
+TEST(Pmu, OverflowDeliversToHandlerWithCoreAndEvent)
+{
+    Pmu pmu(2);
+    std::vector<std::pair<CoreId, EventType>> delivered;
+    pmu.setOverflowHandler([&](CoreId core, EventType event) {
+        delivered.emplace_back(core, event);
+    });
+    pmu.armAll({.event = EventType::kHitmLoad, .sample_after = 1,
+                .skid = 0});
+    pmu.recordEvent(1, EventType::kHitmLoad);
+    EXPECT_TRUE(pmu.retireOp(1));
+    ASSERT_EQ(delivered.size(), 1u);
+    EXPECT_EQ(delivered[0].first, 1u);
+    EXPECT_EQ(delivered[0].second, EventType::kHitmLoad);
+    EXPECT_EQ(pmu.interruptsDelivered(), 1u);
+}
+
+TEST(Pmu, SamplingIgnoresOtherEvents)
+{
+    Pmu pmu(1);
+    int interrupts = 0;
+    pmu.setOverflowHandler([&](CoreId, EventType) { ++interrupts; });
+    pmu.armAll({.event = EventType::kHitmLoad, .sample_after = 1,
+                .skid = 0});
+    pmu.recordEvent(0, EventType::kLoads, 100);
+    pmu.retireOp(0);
+    EXPECT_EQ(interrupts, 0);
+}
+
+TEST(Pmu, SkidCountsRetiredOpsOnTheSameCore)
+{
+    Pmu pmu(2);
+    int interrupts = 0;
+    pmu.setOverflowHandler([&](CoreId, EventType) { ++interrupts; });
+    pmu.armAll({.event = EventType::kHitmLoad, .sample_after = 1,
+                .skid = 2});
+    pmu.recordEvent(0, EventType::kHitmLoad);
+    // Retires on the other core do not drain core 0's skid.
+    pmu.retireOp(1);
+    pmu.retireOp(1);
+    pmu.retireOp(1);
+    EXPECT_EQ(interrupts, 0);
+    pmu.retireOp(0);
+    pmu.retireOp(0);
+    pmu.retireOp(0);
+    EXPECT_EQ(interrupts, 1);
+}
+
+TEST(Pmu, DisarmAllStopsSampling)
+{
+    Pmu pmu(1);
+    int interrupts = 0;
+    pmu.setOverflowHandler([&](CoreId, EventType) { ++interrupts; });
+    pmu.armAll({.event = EventType::kHitmLoad, .sample_after = 1,
+                .skid = 0});
+    EXPECT_TRUE(pmu.armed(0));
+    pmu.disarmAll();
+    EXPECT_FALSE(pmu.armed(0));
+    pmu.recordEvent(0, EventType::kHitmLoad);
+    pmu.retireOp(0);
+    EXPECT_EQ(interrupts, 0);
+}
+
+TEST(Pmu, SampleAfterNRequiresNEvents)
+{
+    Pmu pmu(1);
+    int interrupts = 0;
+    pmu.setOverflowHandler([&](CoreId, EventType) { ++interrupts; });
+    pmu.armAll({.event = EventType::kHitmLoad, .sample_after = 10,
+                .skid = 0});
+    for (int i = 0; i < 9; ++i) {
+        pmu.recordEvent(0, EventType::kHitmLoad);
+        pmu.retireOp(0);
+    }
+    EXPECT_EQ(interrupts, 0);
+    pmu.recordEvent(0, EventType::kHitmLoad);
+    pmu.retireOp(0);
+    EXPECT_EQ(interrupts, 1);
+}
+
+TEST(Pmu, RetiredOpsSamplingWorksToo)
+{
+    Pmu pmu(1);
+    int interrupts = 0;
+    pmu.setOverflowHandler([&](CoreId, EventType) { ++interrupts; });
+    pmu.armAll({.event = EventType::kRetiredOps, .sample_after = 5,
+                .skid = 0});
+    for (int i = 0; i < 25; ++i)
+        pmu.retireOp(0);
+    // Every 5th retired op overflows; delivery consumes the next
+    // retire, so slightly fewer than 5 in 25 can land.
+    EXPECT_GE(interrupts, 4);
+    EXPECT_LE(interrupts, 5);
+}
+
+TEST(Pmu, ResetCountsZeroesFreeRunning)
+{
+    Pmu pmu(1);
+    pmu.recordEvent(0, EventType::kLoads, 7);
+    pmu.resetCounts();
+    EXPECT_EQ(pmu.count(0, EventType::kLoads), 0u);
+}
+
+TEST(Pmu, EventNamesAreStable)
+{
+    EXPECT_STREQ(eventName(EventType::kHitmLoad), "hitm_load");
+    EXPECT_STREQ(eventName(EventType::kRetiredOps), "retired_ops");
+    EXPECT_STREQ(eventName(EventType::kSyncOps), "sync_ops");
+}

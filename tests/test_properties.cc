@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Property-based tests: randomly generated programs exercising
+ * system-level invariants over many seeds.
+ *
+ *  - Race-free-by-construction programs yield zero reports in every
+ *    analysis regime.
+ *  - Repeating injected races are found by continuous analysis and by
+ *    demand-driven analysis at sample-after 1.
+ *  - The MESI hierarchy's invariants hold under random mixed traffic.
+ *  - Coarser sampling never detects more injected races than SAV=1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "runtime/simulator.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::runtime;
+using namespace hdrd::workloads;
+using instr::ToolMode;
+using demand::Strategy;
+
+namespace
+{
+
+constexpr std::uint32_t kThreads = 4;
+
+/**
+ * Generate a random phase-structured program. Every shared region is
+ * either read-only after a barrier-ordered init or accessed solely
+ * under its dedicated lock, so the program is race-free by
+ * construction. Optionally inject repeating races afterwards.
+ */
+std::unique_ptr<SyntheticProgram>
+randomProgram(std::uint64_t seed, std::uint32_t races,
+              std::uint64_t race_repeats = 400)
+{
+    Rng rng(seed);
+    Builder b("random", kThreads, seed);
+
+    constexpr int kSharedRegions = 3;
+    std::vector<Region> shared;
+    std::vector<std::uint64_t> locks;
+    for (int i = 0; i < kSharedRegions; ++i) {
+        shared.push_back(b.alloc(4096));
+        locks.push_back(b.newLock());
+    }
+    const Region ro = b.alloc(8192);
+    const Region scratch = b.alloc(512 * 1024);
+
+    // Init phase: thread 0 fills the read-only region.
+    b.sweep(0, ro, ro.words(), 1.0);
+    b.barrierAll(b.newBarrier());
+
+    const int phases = 2 + static_cast<int>(rng.nextBounded(3));
+    for (int phase = 0; phase < phases; ++phase) {
+        // Inject races at the *start* of a phase: the preceding
+        // barrier aligns all threads in time, so the racy bursts
+        // overlap and the sharing actually manifests.
+        for (std::uint32_t r = 0; r < races; ++r) {
+            if (r % phases == static_cast<std::uint32_t>(phase)) {
+                const auto t1 =
+                    static_cast<ThreadId>(rng.nextBounded(kThreads));
+                auto t2 =
+                    static_cast<ThreadId>(rng.nextBounded(kThreads));
+                if (t2 == t1)
+                    t2 = (t1 + 1) % kThreads;
+                injectRace(b, t1, t2, race_repeats);
+            }
+        }
+        for (ThreadId t = 0; t < kThreads; ++t) {
+            const int segments =
+                1 + static_cast<int>(rng.nextBounded(3));
+            for (int s = 0; s < segments; ++s) {
+                switch (rng.nextBounded(4)) {
+                  case 0:
+                    b.sweep(t, scratch.slice(t, kThreads),
+                            200 + rng.nextBounded(800),
+                            rng.nextDouble());
+                    break;
+                  case 1: {
+                    const auto region =
+                        rng.nextBounded(kSharedRegions);
+                    b.lockedRmw(t, shared[region],
+                                20 + rng.nextBounded(100),
+                                locks[region],
+                                rng.nextBool(0.5));
+                    break;
+                  }
+                  case 2:
+                    b.sweep(t, ro, 100 + rng.nextBounded(400), 0.0,
+                            rng.nextBool(0.5));
+                    break;
+                  default:
+                    b.compute(t, 10 + rng.nextBounded(50), 8);
+                    break;
+                }
+            }
+        }
+        b.barrierAll(b.newBarrier());
+    }
+    return b.build();
+}
+
+SimConfig
+modeConfig(ToolMode mode)
+{
+    SimConfig config;
+    config.mode = mode;
+    return config;
+}
+
+} // namespace
+
+class RaceFreePrograms : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RaceFreePrograms, NoFalsePositivesInAnyRegime)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    for (ToolMode mode :
+         {ToolMode::kContinuous, ToolMode::kDemand}) {
+        auto prog = randomProgram(seed, /*races=*/0);
+        const auto result =
+            Simulator::runWith(*prog, modeConfig(mode));
+        EXPECT_EQ(result.reports.uniqueCount(), 0u)
+            << "seed " << seed << " mode "
+            << instr::toolModeName(mode) << " first: "
+            << (result.reports.reports().empty()
+                    ? detect::RaceReport{}
+                    : result.reports.reports()[0]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaceFreePrograms,
+                         ::testing::Range(1, 25));
+
+class RacyPrograms : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RacyPrograms, ContinuousFindsAllInjectedRaces)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam()) + 1000;
+    auto prog = randomProgram(seed, /*races=*/3);
+    const auto injected = prog->injectedRaces();
+    ASSERT_EQ(injected.size(), 3u);
+    const auto result =
+        Simulator::runWith(*prog, modeConfig(ToolMode::kContinuous));
+    EXPECT_DOUBLE_EQ(detectedFraction(injected, result.reports), 1.0)
+        << "seed " << seed;
+}
+
+TEST_P(RacyPrograms, DemandAtSavOneFindsRepeatingRaces)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam()) + 2000;
+    auto prog = randomProgram(seed, /*races=*/3, /*repeats=*/600);
+    const auto injected = prog->injectedRaces();
+    auto config = modeConfig(ToolMode::kDemand);
+    config.gating.hitm_counter.sample_after = 1;
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_DOUBLE_EQ(detectedFraction(injected, result.reports), 1.0)
+        << "seed " << seed;
+}
+
+TEST_P(RacyPrograms, DemandNeverReportsMoreSitePairsThanExist)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam()) + 3000;
+    auto prog_c = randomProgram(seed, 2);
+    auto prog_d = randomProgram(seed, 2);
+    const auto rc = Simulator::runWith(
+        *prog_c, modeConfig(ToolMode::kContinuous));
+    const auto rd =
+        Simulator::runWith(*prog_d, modeConfig(ToolMode::kDemand));
+    // Demand analyzes a subset of accesses; it must not report more
+    // unique pairs than continuous found on the same program.
+    EXPECT_LE(rd.reports.uniqueCount(), rc.reports.uniqueCount())
+        << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RacyPrograms,
+                         ::testing::Range(1, 15));
+
+class MesiInvariants : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MesiInvariants, HoldThroughoutRandomRuns)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam()) + 5000;
+    auto prog = randomProgram(seed, 1);
+    auto config = modeConfig(ToolMode::kDemand);
+    config.invariant_check_interval = 2000;  // panics on violation
+    // Small caches stress evictions and back-invalidations.
+    config.mem.l1 = {.size_bytes = 1024, .assoc = 2,
+                     .line_bytes = 64};
+    config.mem.l2 = {.size_bytes = 4096, .assoc = 4,
+                     .line_bytes = 64};
+    config.mem.l3 = {.size_bytes = 32768, .assoc = 8,
+                     .line_bytes = 64};
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_GT(result.mem_accesses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MesiInvariants,
+                         ::testing::Range(1, 10));
+
+TEST(SamplingMonotonicity, CoarseSavDetectsNoMoreThanSavOne)
+{
+    std::uint32_t fine_total = 0, coarse_total = 0;
+    for (int seed = 1; seed <= 6; ++seed) {
+        auto make = [&] {
+            return randomProgram(
+                static_cast<std::uint64_t>(seed) + 7000,
+                /*races=*/4, /*repeats=*/150);
+        };
+        auto fine_cfg = modeConfig(ToolMode::kDemand);
+        fine_cfg.gating.hitm_counter.sample_after = 1;
+        auto coarse_cfg = modeConfig(ToolMode::kDemand);
+        coarse_cfg.gating.hitm_counter.sample_after = 100000;
+
+        auto pf = make();
+        auto pc = make();
+        const auto injected = pf->injectedRaces();
+        const auto rf = Simulator::runWith(*pf, fine_cfg);
+        const auto rc = Simulator::runWith(*pc, coarse_cfg);
+        fine_total += static_cast<std::uint32_t>(
+            detectedFraction(injected, rf.reports) * 4);
+        coarse_total += static_cast<std::uint32_t>(
+            detectedFraction(injected, rc.reports) * 4);
+    }
+    EXPECT_GE(fine_total, coarse_total);
+    EXPECT_GT(fine_total, 0u);
+}
+
+TEST(EvictionLoss, TinyCachesMissMoreSharingThanBigCaches)
+{
+    // The paper's cache-size effect on the sharing indicator: count
+    // HITM loads vs ground-truth W->R sharing for big and tiny
+    // private caches; tiny caches must expose a smaller fraction.
+    // 1 MiB = 16384 lines; producer touches each line exactly once.
+    constexpr std::uint64_t kLines = 16384;
+    auto make = [] {
+        Builder b("evict", 2);
+        const Region big = b.alloc(1 << 20);
+        // Producer writes a long stream; consumer reads it later;
+        // small caches evict the modified lines before consumption.
+        b.sweep(0, big, kLines, 1.0, false, 64);
+        b.barrierAll(1);
+        b.sweep(1, big, kLines, 0.0, false, 64);
+        return b.build();
+    };
+
+    SimConfig big_cfg;
+    big_cfg.mode = ToolMode::kNative;
+    big_cfg.track_ground_truth = true;
+    big_cfg.mem.l2 = {.size_bytes = 4 * 1024 * 1024, .assoc = 16,
+                      .line_bytes = 64};
+    big_cfg.mem.l3 = {.size_bytes = 64 * 1024 * 1024, .assoc = 16,
+                      .line_bytes = 64};
+
+    SimConfig tiny_cfg = big_cfg;
+    tiny_cfg.mem.l1 = {.size_bytes = 8 * 1024, .assoc = 4,
+                       .line_bytes = 64};
+    tiny_cfg.mem.l2 = {.size_bytes = 16 * 1024, .assoc = 4,
+                       .line_bytes = 64};
+
+    auto p1 = make();
+    auto p2 = make();
+    const auto rb = Simulator::runWith(*p1, big_cfg);
+    const auto rt = Simulator::runWith(*p2, tiny_cfg);
+    ASSERT_GT(rb.gt.wr, 0u);
+    const double big_visible = static_cast<double>(rb.hitm_loads)
+        / static_cast<double>(rb.gt.wr);
+    const double tiny_visible = static_cast<double>(rt.hitm_loads)
+        / static_cast<double>(rt.gt.wr);
+    EXPECT_LT(tiny_visible, big_visible);
+    EXPECT_GT(big_visible, 0.9);   // big caches see nearly all W->R
+    EXPECT_LT(tiny_visible, 0.1);  // tiny caches are nearly blind
+}
+
+TEST(WriteOnlySharing, InvisibleToHitmLoadEvent)
+{
+    // Pure W->W sharing: both threads only write. The protocol sees
+    // HITM transfers but the PMU-visible load event never fires — the
+    // paper's W->R-only observability limitation.
+    Builder b("ww", 2);
+    const Region word = b.alloc(8);
+    b.sweep(0, word, 300, 1.0);
+    b.sweep(1, word, 300, 1.0);
+    auto prog = b.build();
+    SimConfig config;
+    config.mode = ToolMode::kNative;
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_GT(result.hitm_transfers, 0u);
+    EXPECT_EQ(result.hitm_loads, 0u);
+}
+
+TEST(WriteOnlySharing, DemandHitmMissesPureWwRace)
+{
+    Builder b("ww_race", 2);
+    const Region scratch = b.alloc(128 * 1024);
+    const Region word = b.alloc(8);
+    b.sweep(0, scratch.slice(0, 2), 5000, 0.3);
+    b.sweep(0, word, 300, 1.0);
+    b.sweep(1, scratch.slice(1, 2), 5000, 0.3);
+    b.sweep(1, word, 300, 1.0);
+    auto prog = b.build();
+    auto config = modeConfig(ToolMode::kDemand);
+    const auto result = Simulator::runWith(*prog, config);
+    // No HITM-load interrupts -> analysis never enables -> the very
+    // real write-write race goes unreported.
+    EXPECT_EQ(result.interrupts, 0u);
+    EXPECT_EQ(result.reports.uniqueCount(), 0u);
+
+    // Continuous still finds it, of course.
+    Builder b2("ww_race2", 2);
+    const Region s2 = b2.alloc(128 * 1024);
+    const Region w2 = b2.alloc(8);
+    b2.sweep(0, s2.slice(0, 2), 5000, 0.3);
+    b2.sweep(0, w2, 300, 1.0);
+    b2.sweep(1, s2.slice(1, 2), 5000, 0.3);
+    b2.sweep(1, w2, 300, 1.0);
+    auto prog3 = b2.build();
+    const auto rc =
+        Simulator::runWith(*prog3, modeConfig(ToolMode::kContinuous));
+    EXPECT_GT(rc.reports.uniqueCount(), 0u);
+}

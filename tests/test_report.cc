@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for race reports and the deduplicating sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "detect/report.hh"
+
+using namespace hdrd;
+using namespace hdrd::detect;
+
+namespace
+{
+
+RaceReport
+makeReport(SiteId a, SiteId b, RaceType type = RaceType::kWriteWrite)
+{
+    return RaceReport{.addr = 0x1000,
+                      .type = type,
+                      .first_tid = 0,
+                      .first_site = a,
+                      .second_tid = 1,
+                      .second_site = b};
+}
+
+} // namespace
+
+TEST(ReportSink, FirstReportIsNew)
+{
+    ReportSink sink;
+    EXPECT_TRUE(sink.report(makeReport(1, 2)));
+    EXPECT_EQ(sink.uniqueCount(), 1u);
+    EXPECT_EQ(sink.dynamicCount(), 1u);
+}
+
+TEST(ReportSink, DuplicatePairSuppressed)
+{
+    ReportSink sink;
+    sink.report(makeReport(1, 2));
+    EXPECT_FALSE(sink.report(makeReport(1, 2)));
+    EXPECT_EQ(sink.uniqueCount(), 1u);
+    EXPECT_EQ(sink.dynamicCount(), 2u);
+}
+
+TEST(ReportSink, PairOrderIrrelevant)
+{
+    ReportSink sink;
+    sink.report(makeReport(1, 2));
+    EXPECT_FALSE(sink.report(makeReport(2, 1)));
+    EXPECT_EQ(sink.uniqueCount(), 1u);
+}
+
+TEST(ReportSink, DifferentPairsKept)
+{
+    ReportSink sink;
+    sink.report(makeReport(1, 2));
+    sink.report(makeReport(1, 3));
+    sink.report(makeReport(2, 3));
+    EXPECT_EQ(sink.uniqueCount(), 3u);
+}
+
+TEST(ReportSink, SeenPairSymmetric)
+{
+    ReportSink sink;
+    sink.report(makeReport(5, 9));
+    EXPECT_TRUE(sink.seenPair(5, 9));
+    EXPECT_TRUE(sink.seenPair(9, 5));
+    EXPECT_FALSE(sink.seenPair(5, 8));
+}
+
+TEST(ReportSink, SamePairDifferentTypeStillDeduped)
+{
+    // Real tools dedup by instruction pair regardless of flavour.
+    ReportSink sink;
+    sink.report(makeReport(1, 2, RaceType::kWriteWrite));
+    EXPECT_FALSE(sink.report(makeReport(1, 2, RaceType::kWriteRead)));
+}
+
+TEST(ReportSink, ClearResetsEverything)
+{
+    ReportSink sink;
+    sink.report(makeReport(1, 2));
+    sink.clear();
+    EXPECT_EQ(sink.uniqueCount(), 0u);
+    EXPECT_EQ(sink.dynamicCount(), 0u);
+    EXPECT_FALSE(sink.seenPair(1, 2));
+    EXPECT_TRUE(sink.report(makeReport(1, 2)));
+}
+
+TEST(ReportSink, ReportsKeptInDiscoveryOrder)
+{
+    ReportSink sink;
+    sink.report(makeReport(9, 1));
+    sink.report(makeReport(3, 4));
+    ASSERT_EQ(sink.reports().size(), 2u);
+    EXPECT_EQ(sink.reports()[0].first_site, 9u);
+    EXPECT_EQ(sink.reports()[1].first_site, 3u);
+}
+
+TEST(Report, StreamContainsKeyFields)
+{
+    std::ostringstream os;
+    os << makeReport(7, 8, RaceType::kWriteRead);
+    const auto s = os.str();
+    EXPECT_NE(s.find("write-read"), std::string::npos);
+    EXPECT_NE(s.find("site 7"), std::string::npos);
+    EXPECT_NE(s.find("site 8"), std::string::npos);
+}
+
+TEST(Report, TypeNames)
+{
+    EXPECT_STREQ(raceTypeName(RaceType::kWriteWrite), "write-write");
+    EXPECT_STREQ(raceTypeName(RaceType::kWriteRead), "write-read");
+    EXPECT_STREQ(raceTypeName(RaceType::kReadWrite), "read-write");
+}

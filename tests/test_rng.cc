@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the deterministic xoshiro256** generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+using hdrd::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i)
+        differing += a.next64() != b.next64();
+    EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng rng(0);
+    // Must not be stuck at zero.
+    bool nonzero = false;
+    for (int i = 0; i < 16; ++i)
+        nonzero |= rng.next64() != 0;
+    EXPECT_TRUE(nonzero);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(13), 13u);
+}
+
+TEST(Rng, BoundedOneAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.nextRange(10, 15);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 15u);
+        hit_lo |= v == 10;
+        hit_hi |= v == 15;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, RangeDegenerate)
+{
+    Rng rng(3);
+    EXPECT_EQ(rng.nextRange(42, 42), 42u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BoolExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+        EXPECT_FALSE(rng.nextBool(-1.0));
+        EXPECT_TRUE(rng.nextBool(2.0));
+    }
+}
+
+TEST(Rng, BoolFrequencyTracksP)
+{
+    Rng rng(21);
+    int hits = 0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, BurstAtLeastOneAndCapped)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const auto len = rng.nextBurst(0.9, 16);
+        EXPECT_GE(len, 1u);
+        EXPECT_LE(len, 16u);
+    }
+}
+
+TEST(Rng, BurstZeroProbabilityIsOne)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBurst(0.0), 1u);
+}
+
+TEST(Rng, BurstMeanMatchesGeometric)
+{
+    Rng rng(29);
+    double sum = 0.0;
+    constexpr int kN = 50000;
+    for (int i = 0; i < kN; ++i)
+        sum += static_cast<double>(rng.nextBurst(0.5));
+    // E[1 + Geom(0.5 successes)] = 2.
+    EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(31);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next64() == child.next64();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng a(55), b(55);
+    Rng ca = a.split(), cb = b.split();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(ca.next64(), cb.next64());
+}

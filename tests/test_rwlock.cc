@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for reader-writer locks: blocking semantics (SyncObjects),
+ * happens-before rules (SyncClocks), detector interaction, and the
+ * rw_cache / rw_buggy workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/fasttrack.hh"
+#include "instr/cost_model.hh"
+#include "runtime/simulator.hh"
+#include "runtime/sync.hh"
+#include "workloads/registry.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::detect;
+using namespace hdrd::runtime;
+using namespace hdrd::workloads;
+using instr::ToolMode;
+
+// ---------------------------------------------------------------
+// Blocking semantics.
+// ---------------------------------------------------------------
+
+TEST(RwLockSync, ConcurrentReadersAllowed)
+{
+    SyncObjects sync;
+    EXPECT_TRUE(sync.tryRdLock(0, 1, 10));
+    EXPECT_TRUE(sync.tryRdLock(1, 1, 11));
+    EXPECT_TRUE(sync.tryRdLock(2, 1, 12));
+    EXPECT_EQ(sync.rwReaders(1), 3u);
+    EXPECT_EQ(sync.rwWriter(1), kInvalidThread);
+}
+
+TEST(RwLockSync, WriterExcludesReadersAndWriters)
+{
+    SyncObjects sync;
+    EXPECT_TRUE(sync.tryWrLock(0, 1, 10));
+    EXPECT_FALSE(sync.tryRdLock(1, 1, 11));
+    EXPECT_FALSE(sync.tryWrLock(2, 1, 12));
+    EXPECT_EQ(sync.rwWriter(1), 0u);
+}
+
+TEST(RwLockSync, WriterWaitsForAllReaders)
+{
+    SyncObjects sync;
+    sync.tryRdLock(0, 1, 10);
+    sync.tryRdLock(1, 1, 10);
+    EXPECT_FALSE(sync.tryWrLock(2, 1, 11));
+    EXPECT_TRUE(sync.rdUnlock(0, 1, 20).empty());  // one reader left
+    const auto woken = sync.rdUnlock(1, 1, 30);
+    ASSERT_EQ(woken.size(), 1u);
+    EXPECT_EQ(woken[0].tid, 2u);
+    EXPECT_EQ(sync.rwWriter(1), 2u);
+    // Handoff: the woken writer's retry succeeds.
+    EXPECT_TRUE(sync.tryWrLock(2, 1, 31));
+}
+
+TEST(RwLockSync, WriterPreferenceBlocksNewReaders)
+{
+    SyncObjects sync;
+    sync.tryRdLock(0, 1, 10);
+    EXPECT_FALSE(sync.tryWrLock(1, 1, 11));  // queued writer
+    // A new reader must queue behind the waiting writer.
+    EXPECT_FALSE(sync.tryRdLock(2, 1, 12));
+    // Last reader leaves: writer goes first...
+    auto woken = sync.rdUnlock(0, 1, 20);
+    ASSERT_EQ(woken.size(), 1u);
+    EXPECT_EQ(woken[0].tid, 1u);
+    // ...then the queued reader after the writer releases.
+    woken = sync.wrUnlock(1, 1, 30);
+    ASSERT_EQ(woken.size(), 1u);
+    EXPECT_EQ(woken[0].tid, 2u);
+    EXPECT_TRUE(sync.tryRdLock(2, 1, 31));
+}
+
+TEST(RwLockSync, WriterUnlockReleasesAllQueuedReaders)
+{
+    SyncObjects sync;
+    sync.tryWrLock(0, 1, 10);
+    sync.tryRdLock(1, 1, 11);
+    sync.tryRdLock(2, 1, 12);
+    const auto woken = sync.wrUnlock(0, 1, 20);
+    ASSERT_EQ(woken.size(), 2u);
+    EXPECT_EQ(sync.rwReaders(1), 2u);
+}
+
+TEST(RwLockSyncDeath, UnlockWithoutHoldPanics)
+{
+    SyncObjects sync;
+    sync.tryRdLock(0, 1, 10);
+    EXPECT_DEATH(sync.rdUnlock(5, 1, 11), "not read-held");
+    EXPECT_DEATH(sync.wrUnlock(0, 1, 11), "not write-held");
+}
+
+// ---------------------------------------------------------------
+// Happens-before rules.
+// ---------------------------------------------------------------
+
+TEST(RwLockClocks, WriteReleaseOrdersIntoReaders)
+{
+    SyncClocks clocks(2);
+    const Epoch writer_work = clocks.epoch(0);
+    clocks.wrAcquire(0, 1);
+    clocks.wrRelease(0, 1);
+    clocks.rdAcquire(1, 1);
+    EXPECT_TRUE(clocks.epochOrdered(writer_work, 1));
+}
+
+TEST(RwLockClocks, ReadersDoNotOrderEachOther)
+{
+    SyncClocks clocks(3);
+    clocks.rdAcquire(0, 1);
+    const Epoch reader0 = clocks.epoch(0);
+    clocks.rdRelease(0, 1);
+    clocks.rdAcquire(1, 1);
+    // Reader 1 is NOT ordered after reader 0 — the whole point of a
+    // read lock.
+    EXPECT_FALSE(clocks.epochOrdered(reader0, 1));
+}
+
+TEST(RwLockClocks, WriterOrdersAfterAllReaders)
+{
+    SyncClocks clocks(3);
+    clocks.rdAcquire(0, 1);
+    const Epoch r0 = clocks.epoch(0);
+    clocks.rdRelease(0, 1);
+    clocks.rdAcquire(1, 1);
+    const Epoch r1 = clocks.epoch(1);
+    clocks.rdRelease(1, 1);
+    clocks.wrAcquire(2, 1);
+    EXPECT_TRUE(clocks.epochOrdered(r0, 2));
+    EXPECT_TRUE(clocks.epochOrdered(r1, 2));
+}
+
+TEST(RwLockClocks, ReaderAccumulatorResetsAfterWrite)
+{
+    SyncClocks clocks(3);
+    clocks.rdAcquire(0, 1);
+    clocks.rdRelease(0, 1);
+    clocks.wrAcquire(1, 1);
+    clocks.wrRelease(1, 1);
+    // Thread 2's write acquire orders against writer 1 (and,
+    // transitively, reader 0), even though the accumulator reset.
+    const Epoch w1 = Epoch(1, 1);
+    clocks.wrAcquire(2, 1);
+    EXPECT_TRUE(clocks.epochOrdered(w1, 2));
+}
+
+// ---------------------------------------------------------------
+// Through the detector and the simulator.
+// ---------------------------------------------------------------
+
+TEST(RwLockDetect, ReadersUnderLockDontRaceWithWriter)
+{
+    SyncClocks clocks(3);
+    ReportSink sink;
+    FastTrackDetector detector(clocks, sink);
+    constexpr Addr kX = 0x1000;
+
+    clocks.wrAcquire(0, 1);
+    detector.onAccess(0, kX, true, 1);
+    clocks.wrRelease(0, 1);
+    clocks.rdAcquire(1, 1);
+    detector.onAccess(1, kX, false, 2);
+    clocks.rdRelease(1, 1);
+    clocks.rdAcquire(2, 1);
+    detector.onAccess(2, kX, false, 3);
+    clocks.rdRelease(2, 1);
+    // Next writer ordered after both readers.
+    clocks.wrAcquire(0, 1);
+    detector.onAccess(0, kX, true, 4);
+    clocks.wrRelease(0, 1);
+    EXPECT_EQ(sink.uniqueCount(), 0u);
+}
+
+TEST(RwLockDetect, WriteUnderReadLockRaces)
+{
+    SyncClocks clocks(2);
+    ReportSink sink;
+    FastTrackDetector detector(clocks, sink);
+    constexpr Addr kX = 0x1000;
+
+    clocks.rdAcquire(0, 1);
+    detector.onAccess(0, kX, false, 1);
+    clocks.rdRelease(0, 1);
+    clocks.rdAcquire(1, 1);
+    // BUG: a write while holding only the read side.
+    EXPECT_TRUE(detector.onAccess(1, kX, true, 2).race);
+}
+
+TEST(RwLockSim, RwCacheWorkloadIsRaceFree)
+{
+    const auto *info = findWorkload("micro.rw_cache");
+    WorkloadParams params;
+    params.scale = 0.1;
+    auto prog = info->factory(params);
+    SimConfig config;
+    config.mode = ToolMode::kContinuous;
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_EQ(result.reports.uniqueCount(), 0u);
+    EXPECT_GT(result.sync_ops, 0u);
+}
+
+TEST(RwLockSim, RwBuggyWorkloadRacesAndIsAttributed)
+{
+    const auto *info = findWorkload("micro.rw_buggy");
+    WorkloadParams params;
+    params.scale = 0.1;
+    auto prog = info->factory(params);
+    const auto injected = prog->injectedRaces();
+    ASSERT_EQ(injected.size(), 1u);
+    SimConfig config;
+    config.mode = ToolMode::kContinuous;
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_GT(result.reports.uniqueCount(), 0u);
+    EXPECT_DOUBLE_EQ(detectedFraction(injected, result.reports), 1.0);
+}
+
+TEST(RwLockSim, RwBuggyCaughtByDemandToo)
+{
+    const auto *info = findWorkload("micro.rw_buggy");
+    WorkloadParams params;
+    params.scale = 0.1;
+    auto prog = info->factory(params);
+    SimConfig config;
+    config.mode = ToolMode::kDemand;
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_GT(result.reports.uniqueCount(), 0u);
+}
+
+TEST(RwLockSim, ContendedRwLockNeverDeadlocks)
+{
+    Builder b("rw_contended", 6);
+    const Region shared = b.alloc(1024);
+    const std::uint64_t rw = b.newRwLock();
+    for (ThreadId t = 0; t < 6; ++t) {
+        for (int i = 0; i < 30; ++i) {
+            // Mixed read/write sections from everyone.
+            b.rwSweep(t, shared, 20, rw, t % 2 == 0 && i % 3 == 0);
+        }
+    }
+    auto prog = b.build();
+    SimConfig config;
+    config.mode = ToolMode::kContinuous;
+    config.mem.ncores = 4;
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_EQ(result.reports.uniqueCount(), 0u);
+}
+
+TEST(RwLockSim, RecordReplayPreservesRwOps)
+{
+    // RW ops survive the trace format (kMaxOpType covers them).
+    const Op op = Op::wrLock(9);
+    EXPECT_TRUE(op.isSync());
+    EXPECT_STREQ(opTypeName(OpType::kRdLock), "rd_lock");
+    EXPECT_STREQ(opTypeName(OpType::kWrUnlock), "wr_unlock");
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for ThreadContext and the earliest-core-time scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "runtime/scheduler.hh"
+
+using namespace hdrd;
+using namespace hdrd::runtime;
+
+namespace
+{
+
+/** Fixed-length body emitting Work ops. */
+class CountedBody : public ThreadBody
+{
+  public:
+    explicit CountedBody(int n) : remaining_(n) {}
+
+    bool
+    next(Op &op) override
+    {
+        if (remaining_ == 0)
+            return false;
+        --remaining_;
+        op = Op::work(1);
+        return true;
+    }
+
+  private:
+    int remaining_;
+};
+
+std::vector<ThreadContext>
+makeContexts(std::vector<CoreId> cores, int ops_each = 10)
+{
+    std::vector<ThreadContext> ctxs;
+    for (std::size_t t = 0; t < cores.size(); ++t) {
+        ctxs.emplace_back(static_cast<ThreadId>(t), cores[t],
+                          std::make_unique<CountedBody>(ops_each),
+                          ThreadState::kRunnable);
+    }
+    return ctxs;
+}
+
+} // namespace
+
+TEST(ThreadContext, FetchConsumeLifecycle)
+{
+    ThreadContext tc(0, 0, std::make_unique<CountedBody>(2),
+                     ThreadState::kRunnable);
+    EXPECT_FALSE(tc.hasOp());
+    ASSERT_TRUE(tc.fetch());
+    EXPECT_TRUE(tc.hasOp());
+    EXPECT_EQ(tc.current().type, OpType::kWork);
+    // Fetch while pending keeps the same op.
+    ASSERT_TRUE(tc.fetch());
+    tc.consume();
+    EXPECT_FALSE(tc.hasOp());
+    EXPECT_EQ(tc.opsExecuted(), 1u);
+    ASSERT_TRUE(tc.fetch());
+    tc.consume();
+    EXPECT_FALSE(tc.fetch());  // exhausted
+    EXPECT_EQ(tc.opsExecuted(), 2u);
+}
+
+TEST(ThreadContextDeath, CurrentWithoutFetchPanics)
+{
+    ThreadContext tc(0, 0, std::make_unique<CountedBody>(1),
+                     ThreadState::kRunnable);
+    EXPECT_DEATH(tc.current(), "without a fetched op");
+}
+
+TEST(ThreadContextDeath, ConsumeWithoutFetchPanics)
+{
+    ThreadContext tc(0, 0, std::make_unique<CountedBody>(1),
+                     ThreadState::kRunnable);
+    EXPECT_DEATH(tc.consume(), "without a fetched op");
+}
+
+TEST(Scheduler, PicksEarliestCore)
+{
+    auto ctxs = makeContexts({0, 1});
+    std::vector<Cycle> cores{100, 50};
+    Scheduler sched;
+    EXPECT_EQ(sched.pick(ctxs, cores), 1u);
+    cores[1] = 200;
+    EXPECT_EQ(sched.pick(ctxs, cores), 0u);
+}
+
+TEST(Scheduler, ResumeTimeDelaysEligibility)
+{
+    auto ctxs = makeContexts({0, 1});
+    std::vector<Cycle> cores{10, 10};
+    ctxs[1].setResumeTime(500);
+    Scheduler sched;
+    // Thread 1's effective time is 500, thread 0 runs.
+    EXPECT_EQ(sched.pick(ctxs, cores), 0u);
+    EXPECT_EQ(Scheduler::effectiveTime(ctxs[1], cores), 500u);
+}
+
+TEST(Scheduler, SkipsNonRunnable)
+{
+    auto ctxs = makeContexts({0, 1});
+    std::vector<Cycle> cores{10, 0};
+    ctxs[1].setState(ThreadState::kBlocked);
+    Scheduler sched;
+    EXPECT_EQ(sched.pick(ctxs, cores), 0u);
+}
+
+TEST(Scheduler, NoRunnableReturnsInvalid)
+{
+    auto ctxs = makeContexts({0, 1});
+    std::vector<Cycle> cores{0, 0};
+    ctxs[0].setState(ThreadState::kFinished);
+    ctxs[1].setState(ThreadState::kBlocked);
+    Scheduler sched;
+    EXPECT_EQ(sched.pick(ctxs, cores), kInvalidThread);
+}
+
+TEST(Scheduler, TiesRotateFairly)
+{
+    // Two threads on the SAME core: equal effective times; the
+    // rotation cursor must alternate them rather than starving one.
+    auto ctxs = makeContexts({0, 0});
+    std::vector<Cycle> cores{0};
+    Scheduler sched;
+    const ThreadId first = sched.pick(ctxs, cores);
+    const ThreadId second = sched.pick(ctxs, cores);
+    EXPECT_NE(first, second);
+}
+
+TEST(Scheduler, JitterStillPicksOnlyRunnable)
+{
+    auto ctxs = makeContexts({0, 1, 0, 1});
+    std::vector<Cycle> cores{0, 0};
+    ctxs[2].setState(ThreadState::kBlocked);
+    Scheduler sched(1.0, Rng(7));  // always random
+    for (int i = 0; i < 200; ++i) {
+        const ThreadId t = sched.pick(ctxs, cores);
+        ASSERT_NE(t, 2u);
+        ASSERT_LT(t, 4u);
+    }
+}
+
+TEST(Scheduler, JitterDeterministicPerSeed)
+{
+    auto ctxs_a = makeContexts({0, 1, 0, 1});
+    auto ctxs_b = makeContexts({0, 1, 0, 1});
+    std::vector<Cycle> cores{0, 0};
+    Scheduler a(0.5, Rng(99)), b(0.5, Rng(99));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.pick(ctxs_a, cores), b.pick(ctxs_b, cores));
+}
+
+TEST(Scheduler, NotStartedThreadsAreNotPicked)
+{
+    std::vector<ThreadContext> ctxs;
+    ctxs.emplace_back(0, 0, std::make_unique<CountedBody>(1),
+                      ThreadState::kRunnable);
+    ctxs.emplace_back(1, 1, std::make_unique<CountedBody>(1),
+                      ThreadState::kNotStarted);
+    std::vector<Cycle> cores{100, 0};
+    Scheduler sched;
+    // Even though core 1 is earlier, its thread hasn't started.
+    EXPECT_EQ(sched.pick(ctxs, cores), 0u);
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the two-level shadow memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/shadow.hh"
+
+using namespace hdrd;
+using namespace hdrd::detect;
+
+TEST(Shadow, StartsWithNoChunks)
+{
+    ShadowMemory shadow;
+    EXPECT_EQ(shadow.chunks(), 0u);
+    EXPECT_EQ(shadow.peek(0x1000), nullptr);
+}
+
+TEST(Shadow, StateMaterializesChunk)
+{
+    ShadowMemory shadow;
+    VarState &st = shadow.state(0x1000);
+    EXPECT_TRUE(st.untouched());
+    EXPECT_EQ(shadow.chunks(), 1u);
+    EXPECT_NE(shadow.peek(0x1000), nullptr);
+}
+
+TEST(Shadow, SameGranuleSameState)
+{
+    ShadowMemory shadow(3);  // 8-byte granules
+    VarState &a = shadow.state(0x1000);
+    VarState &b = shadow.state(0x1007);
+    EXPECT_EQ(&a, &b);
+    VarState &c = shadow.state(0x1008);
+    EXPECT_NE(&a, &c);
+}
+
+TEST(Shadow, GranularityShiftChangesAliasing)
+{
+    ShadowMemory coarse(6);  // 64-byte granules (cache lines)
+    EXPECT_EQ(&coarse.state(0x1000), &coarse.state(0x103F));
+    EXPECT_NE(&coarse.state(0x1000), &coarse.state(0x1040));
+}
+
+TEST(Shadow, PeekNeverAllocates)
+{
+    ShadowMemory shadow;
+    EXPECT_EQ(shadow.peek(0x5000), nullptr);
+    EXPECT_EQ(shadow.chunks(), 0u);
+}
+
+TEST(Shadow, WritesPersist)
+{
+    ShadowMemory shadow;
+    shadow.state(0x2000).w = Epoch(3, 9);
+    shadow.state(0x2000).w_site = 42;
+    const VarState *st = shadow.peek(0x2000);
+    ASSERT_NE(st, nullptr);
+    EXPECT_EQ(st->w, Epoch(3, 9));
+    EXPECT_EQ(st->w_site, 42u);
+    EXPECT_FALSE(st->untouched());
+}
+
+TEST(Shadow, DistantAddressesDifferentChunks)
+{
+    ShadowMemory shadow;
+    shadow.state(0x0);
+    shadow.state(0x100000);
+    EXPECT_EQ(shadow.chunks(), 2u);
+}
+
+TEST(Shadow, NeighbouringGranulesShareChunk)
+{
+    ShadowMemory shadow;
+    shadow.state(0x0);
+    shadow.state(0x8);
+    shadow.state(0x10);
+    EXPECT_EQ(shadow.chunks(), 1u);
+}
+
+TEST(Shadow, ClearDropsEverything)
+{
+    ShadowMemory shadow;
+    shadow.state(0x1000).w = Epoch(1, 1);
+    shadow.clear();
+    EXPECT_EQ(shadow.chunks(), 0u);
+    EXPECT_EQ(shadow.peek(0x1000), nullptr);
+    // Re-materialized state is fresh.
+    EXPECT_TRUE(shadow.state(0x1000).untouched());
+}
+
+TEST(Shadow, UntouchedConsidersAllFields)
+{
+    VarState st;
+    EXPECT_TRUE(st.untouched());
+    st.r = Epoch(0, 1);
+    EXPECT_FALSE(st.untouched());
+    VarState st2;
+    st2.rvc = std::make_unique<VectorClock>();
+    EXPECT_FALSE(st2.untouched());
+}
+
+TEST(ShadowDeath, HugeGranuleShiftPanics)
+{
+    EXPECT_DEATH(ShadowMemory(40), "granule shift");
+}

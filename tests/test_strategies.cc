@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the sampling-family gating strategies: LiteRace-style
+ * cold-region adaptive sampling and the watchlist confirmation mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "demand/cold_region.hh"
+#include "instr/cost_model.hh"
+#include "runtime/simulator.hh"
+#include "workloads/registry.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::runtime;
+using namespace hdrd::workloads;
+using demand::ColdRegionSampler;
+using demand::Strategy;
+using instr::ToolMode;
+
+TEST(ColdRegion, FirstExecutionAlwaysSampled)
+{
+    ColdRegionSampler sampler(0.5, 0.01, Rng(1));
+    for (SiteId site = 1; site <= 20; ++site)
+        EXPECT_TRUE(sampler.shouldAnalyze(site));
+    EXPECT_EQ(sampler.sitesSeen(), 20u);
+}
+
+TEST(ColdRegion, RateDecaysWithSampledExecutions)
+{
+    ColdRegionSampler sampler(0.5, 0.001, Rng(1));
+    EXPECT_DOUBLE_EQ(sampler.rate(7), 1.0);
+    sampler.shouldAnalyze(7);
+    EXPECT_DOUBLE_EQ(sampler.rate(7), 0.5);
+    // Keep hammering: the rate falls toward the floor.
+    for (int i = 0; i < 5000; ++i)
+        sampler.shouldAnalyze(7);
+    EXPECT_LE(sampler.rate(7), 0.01);
+    EXPECT_GE(sampler.rate(7), 0.001);
+}
+
+TEST(ColdRegion, FloorKeepsATrickle)
+{
+    ColdRegionSampler sampler(0.1, 0.05, Rng(3));
+    int sampled = 0;
+    for (int i = 0; i < 20000; ++i)
+        sampled += sampler.shouldAnalyze(1);
+    // Rate bottoms out at 5%: expect roughly 1000 +- noise samples.
+    EXPECT_GT(sampled, 600);
+    EXPECT_LT(sampled, 1600);
+}
+
+TEST(ColdRegion, ColdSitesUnaffectedByHotOnes)
+{
+    ColdRegionSampler sampler(0.5, 0.001, Rng(1));
+    for (int i = 0; i < 100; ++i)
+        sampler.shouldAnalyze(1);
+    EXPECT_DOUBLE_EQ(sampler.rate(2), 1.0);
+    EXPECT_TRUE(sampler.shouldAnalyze(2));
+}
+
+TEST(ColdRegionDeath, BadParametersPanic)
+{
+    EXPECT_DEATH(ColdRegionSampler(0.0, 0.1, Rng(1)), "decay");
+    EXPECT_DEATH(ColdRegionSampler(0.5, 1.5, Rng(1)), "floor");
+}
+
+TEST(ColdRegionSim, SamplesColdCodeFully)
+{
+    // A one-shot racy pair (cold sites) amid hot private loops: the
+    // cold-region hypothesis holds here, so the race IS caught even
+    // though demand-hitm misses it (cf. micro.racy_once).
+    const auto *info = findWorkload("micro.racy_once");
+    WorkloadParams params;
+    params.scale = 0.2;
+    auto prog = info->factory(params);
+    const auto injected = prog->injectedRaces();
+    SimConfig config;
+    config.mode = ToolMode::kDemand;
+    config.gating.strategy = Strategy::kColdRegion;
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_DOUBLE_EQ(detectedFraction(injected, result.reports), 1.0);
+    // And far from everything was analyzed.
+    EXPECT_LT(result.analyzedFraction(), 0.2);
+}
+
+TEST(ColdRegionSim, MissesHotSiteRaces)
+{
+    // racy_counter's races come from two HOT sites: after the rates
+    // decay, most conflicting pairs go unsampled. Detection needs
+    // both sides of a dynamic pair sampled, so a fast-decaying
+    // sampler usually loses the hot-hot races that demand-hitm gets
+    // trivially — LiteRace's documented blind spot, inverted from
+    // the cold-code case above.
+    const auto *info = findWorkload("micro.racy_counter");
+    WorkloadParams params;
+    params.scale = 0.3;
+    auto prog = info->factory(params);
+    SimConfig config;
+    config.mode = ToolMode::kDemand;
+    config.gating.strategy = Strategy::kColdRegion;
+    config.gating.cold_decay = 0.2;   // aggressive backoff
+    config.gating.cold_floor = 0.0001;
+    const auto result = Simulator::runWith(*prog, config);
+    // Much less is analyzed than demand-hitm's near-100% here...
+    EXPECT_LT(result.analyzedFraction(), 0.05);
+    // ...and dynamic race sightings are correspondingly rare.
+    auto prog2 = info->factory(params);
+    SimConfig hitm_cfg;
+    hitm_cfg.mode = ToolMode::kDemand;
+    const auto hitm = Simulator::runWith(*prog2, hitm_cfg);
+    EXPECT_LT(result.reports.dynamicCount(),
+              hitm.reports.dynamicCount() / 10);
+}
+
+TEST(ColdRegionSim, NoGlobalTransitions)
+{
+    const auto *info = findWorkload("phoenix.histogram");
+    WorkloadParams params;
+    params.scale = 0.05;
+    auto prog = info->factory(params);
+    SimConfig config;
+    config.mode = ToolMode::kDemand;
+    config.gating.strategy = Strategy::kColdRegion;
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_EQ(result.enables, 0u);
+    EXPECT_EQ(result.interrupts, 0u);
+    EXPECT_GT(result.analyzed_accesses, 0u);
+}
+
+TEST(WatchlistSim, AnalyzesOnlyListedGranules)
+{
+    Builder b("watch", 2);
+    const Region scratch = b.alloc(64 * 1024);
+    const Region word = b.alloc(8);
+    for (ThreadId t = 0; t < 2; ++t) {
+        b.sweep(t, scratch.slice(t, 2), 5000, 0.4);
+        b.sweep(t, word, 300, 0.5);  // the racy word
+    }
+    auto prog = b.build();
+
+    SimConfig config;
+    config.mode = ToolMode::kDemand;
+    config.gating.strategy = Strategy::kWatchlist;
+    config.gating.watchlist = {word.base >> config.granule_shift};
+    const auto result = Simulator::runWith(*prog, config);
+    // Exactly the watched word's accesses are analyzed.
+    EXPECT_EQ(result.analyzed_accesses, 600u);
+    EXPECT_GT(result.reports.uniqueCount(), 0u);
+}
+
+TEST(WatchlistSim, EmptyListAnalyzesNothing)
+{
+    const auto *info = findWorkload("micro.racy_counter");
+    WorkloadParams params;
+    params.scale = 0.05;
+    auto prog = info->factory(params);
+    SimConfig config;
+    config.mode = ToolMode::kDemand;
+    config.gating.strategy = Strategy::kWatchlist;
+    const auto result = Simulator::runWith(*prog, config);
+    EXPECT_EQ(result.analyzed_accesses, 0u);
+    EXPECT_EQ(result.reports.uniqueCount(), 0u);
+}
+
+TEST(WatchlistSim, FindThenConfirmWorkflow)
+{
+    // Phase 1: cheap demand-hitm run discovers racy addresses.
+    const auto *info = findWorkload("micro.racy_burst");
+    WorkloadParams params;
+    params.scale = 0.2;
+    auto phase1_prog = info->factory(params);
+    SimConfig phase1;
+    phase1.mode = ToolMode::kDemand;
+    const auto found = Simulator::runWith(*phase1_prog, phase1);
+    ASSERT_GT(found.reports.uniqueCount(), 0u);
+
+    // Phase 2: watch exactly the reported granules; confirm the
+    // races at a fraction of even the demand run's analysis work.
+    SimConfig phase2;
+    phase2.mode = ToolMode::kDemand;
+    phase2.gating.strategy = Strategy::kWatchlist;
+    for (const auto &report : found.reports.reports()) {
+        phase2.gating.watchlist.push_back(
+            report.addr >> phase2.granule_shift);
+    }
+    auto phase2_prog = info->factory(params);
+    const auto confirmed = Simulator::runWith(*phase2_prog, phase2);
+    EXPECT_GT(confirmed.reports.uniqueCount(), 0u);
+    EXPECT_LT(confirmed.analyzed_accesses, found.analyzed_accesses);
+}
+
+TEST(Strategy, NewNames)
+{
+    EXPECT_STREQ(demand::strategyName(Strategy::kColdRegion),
+                 "cold-region");
+    EXPECT_STREQ(demand::strategyName(Strategy::kWatchlist),
+                 "watchlist");
+}

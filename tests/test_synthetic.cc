@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload engine: regions, builder,
+ * generated op streams, race injection ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::runtime;
+using namespace hdrd::workloads;
+
+namespace
+{
+
+/** Drain a thread body into a vector (with a sanity cap). */
+std::vector<Op>
+drain(ThreadBody &body, std::size_t cap = 1 << 20)
+{
+    std::vector<Op> ops;
+    Op op;
+    while (ops.size() < cap && body.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+} // namespace
+
+TEST(Region, SliceCoversWholeRegionDisjointly)
+{
+    const Region r{0x1000, 1024};
+    Addr expected = r.base;
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+        const Region s = r.slice(i, 3);
+        EXPECT_EQ(s.base, expected);
+        EXPECT_EQ(s.base % 8, 0u);
+        expected = s.base + s.bytes;
+        total += s.bytes;
+    }
+    EXPECT_EQ(total, r.bytes);
+}
+
+TEST(Region, SingleSliceIsWholeRegion)
+{
+    const Region r{0x2000, 512};
+    const Region s = r.slice(0, 1);
+    EXPECT_EQ(s.base, r.base);
+    EXPECT_EQ(s.bytes, r.bytes);
+}
+
+TEST(Region, WordsComputed)
+{
+    EXPECT_EQ((Region{0, 64}).words(), 8u);
+    EXPECT_EQ((Region{0, 8}).words(), 1u);
+}
+
+TEST(Builder, AllocationsAreLineAlignedAndDisjoint)
+{
+    Builder b("t", 2);
+    const Region a = b.alloc(100);
+    const Region c = b.alloc(8);
+    EXPECT_EQ(a.base % 64, 0u);
+    EXPECT_EQ(c.base % 64, 0u);
+    EXPECT_GE(c.base, a.base + a.bytes);
+    // No false sharing between distinct regions: different lines.
+    EXPECT_NE(a.base / 64, c.base / 64 + 0u);
+}
+
+TEST(Builder, SitesAreUniquePerSegment)
+{
+    Builder b("t", 2);
+    const Region r = b.alloc(64);
+    const auto s1 = b.sweep(0, r, 10, 0.5);
+    const auto s2 = b.sweep(1, r, 10, 0.5);
+    EXPECT_NE(s1.read, s1.write);
+    EXPECT_NE(s1.read, s2.read);
+    EXPECT_NE(s1.write, s2.write);
+}
+
+TEST(Builder, WriteOnlySweepHasNoReadSite)
+{
+    Builder b("t", 1);
+    const auto s = b.sweep(0, b.alloc(64), 10, 1.0);
+    EXPECT_EQ(s.read, kInvalidSite);
+    EXPECT_NE(s.write, kInvalidSite);
+}
+
+TEST(Builder, ReadOnlySweepHasNoWriteSite)
+{
+    Builder b("t", 1);
+    const auto s = b.sweep(0, b.alloc(64), 10, 0.0);
+    EXPECT_NE(s.read, kInvalidSite);
+    EXPECT_EQ(s.write, kInvalidSite);
+}
+
+TEST(SyntheticThread, SweepEmitsExactlyCountAccesses)
+{
+    Builder b("t", 1);
+    const Region r = b.alloc(1024);
+    b.sweep(0, r, 25, 0.0);
+    auto prog = b.build();
+    auto body = prog->makeThread(0);
+    const auto ops = drain(*body);
+    ASSERT_EQ(ops.size(), 25u);
+    for (const auto &op : ops) {
+        EXPECT_EQ(op.type, OpType::kRead);
+        EXPECT_GE(op.addr, r.base);
+        EXPECT_LT(op.addr, r.base + r.bytes);
+        EXPECT_EQ(op.addr % 8, 0u);
+    }
+}
+
+TEST(SyntheticThread, WriteRatioRespectedAtExtremes)
+{
+    Builder b("t", 1);
+    const Region r = b.alloc(1024);
+    b.sweep(0, r, 50, 1.0);
+    auto prog = b.build();
+    auto ops = drain(*prog->makeThread(0));
+    for (const auto &op : ops)
+        EXPECT_EQ(op.type, OpType::kWrite);
+}
+
+TEST(SyntheticThread, MixedRatioRoughlyHolds)
+{
+    Builder b("t", 1);
+    const Region r = b.alloc(1024);
+    b.sweep(0, r, 2000, 0.3);
+    auto prog = b.build();
+    auto ops = drain(*prog->makeThread(0));
+    int writes = 0;
+    for (const auto &op : ops)
+        writes += op.type == OpType::kWrite;
+    EXPECT_NEAR(static_cast<double>(writes) / 2000.0, 0.3, 0.05);
+}
+
+TEST(SyntheticThread, StridedSweepWrapsWithinRegion)
+{
+    Builder b("t", 1);
+    const Region r = b.alloc(64);  // 8 words
+    b.sweep(0, r, 16, 0.0, false, 8);
+    auto prog = b.build();
+    auto ops = drain(*prog->makeThread(0));
+    ASSERT_EQ(ops.size(), 16u);
+    // Sequential wrap: word i mod 8.
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        EXPECT_EQ(ops[i].addr, r.base + (i % 8) * 8);
+}
+
+TEST(SyntheticThread, InterleavedWorkDoublesOps)
+{
+    Builder b("t", 1);
+    const Region r = b.alloc(64);
+    b.sweep(0, r, 10, 0.0, false, 8, /*interleave_work=*/5);
+    auto prog = b.build();
+    auto ops = drain(*prog->makeThread(0));
+    ASSERT_EQ(ops.size(), 20u);
+    for (std::size_t i = 0; i < ops.size(); i += 2) {
+        EXPECT_EQ(ops[i].type, OpType::kWork);
+        EXPECT_EQ(ops[i].arg, 5u);
+        EXPECT_EQ(ops[i + 1].type, OpType::kRead);
+    }
+}
+
+TEST(SyntheticThread, LockedRmwEmitsLockReadWriteUnlock)
+{
+    Builder b("t", 1);
+    const Region r = b.alloc(64);
+    const std::uint64_t lock = b.newLock();
+    b.lockedRmw(0, r, 3, lock);
+    auto prog = b.build();
+    auto ops = drain(*prog->makeThread(0));
+    ASSERT_EQ(ops.size(), 12u);
+    for (std::size_t i = 0; i < ops.size(); i += 4) {
+        EXPECT_EQ(ops[i].type, OpType::kLock);
+        EXPECT_EQ(ops[i].arg, lock);
+        EXPECT_EQ(ops[i + 1].type, OpType::kRead);
+        EXPECT_EQ(ops[i + 2].type, OpType::kWrite);
+        EXPECT_EQ(ops[i + 1].addr, ops[i + 2].addr);
+        EXPECT_EQ(ops[i + 3].type, OpType::kUnlock);
+    }
+}
+
+TEST(SyntheticThread, ComputeEmitsWorkOps)
+{
+    Builder b("t", 1);
+    b.compute(0, 7, 42);
+    auto prog = b.build();
+    auto ops = drain(*prog->makeThread(0));
+    ASSERT_EQ(ops.size(), 7u);
+    for (const auto &op : ops) {
+        EXPECT_EQ(op.type, OpType::kWork);
+        EXPECT_EQ(op.arg, 42u);
+    }
+}
+
+TEST(SyntheticThread, BarrierOpCarriesIdAndParticipants)
+{
+    Builder b("t", 3);
+    b.barrier(0, 9, 3);
+    auto prog = b.build();
+    auto ops = drain(*prog->makeThread(0));
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].type, OpType::kBarrier);
+    EXPECT_EQ(ops[0].arg, 9u);
+    EXPECT_EQ(ops[0].arg2, 3u);
+}
+
+TEST(SyntheticThread, SegmentsRunInOrder)
+{
+    Builder b("t", 1);
+    const Region r = b.alloc(64);
+    b.compute(0, 2, 1);
+    b.sweep(0, r, 2, 1.0);
+    b.lockOp(0, 5);
+    b.unlockOp(0, 5);
+    auto prog = b.build();
+    auto ops = drain(*prog->makeThread(0));
+    ASSERT_EQ(ops.size(), 6u);
+    EXPECT_EQ(ops[0].type, OpType::kWork);
+    EXPECT_EQ(ops[1].type, OpType::kWork);
+    EXPECT_EQ(ops[2].type, OpType::kWrite);
+    EXPECT_EQ(ops[3].type, OpType::kWrite);
+    EXPECT_EQ(ops[4].type, OpType::kLock);
+    EXPECT_EQ(ops[5].type, OpType::kUnlock);
+}
+
+TEST(SyntheticProgram, MakeThreadIsDeterministic)
+{
+    Builder b("t", 1, /*seed=*/7);
+    const Region r = b.alloc(4096);
+    b.sweep(0, r, 100, 0.5, /*random=*/true);
+    auto prog = b.build();
+    const auto ops_a = drain(*prog->makeThread(0));
+    const auto ops_b = drain(*prog->makeThread(0));
+    ASSERT_EQ(ops_a.size(), ops_b.size());
+    for (std::size_t i = 0; i < ops_a.size(); ++i) {
+        EXPECT_EQ(ops_a[i].type, ops_b[i].type);
+        EXPECT_EQ(ops_a[i].addr, ops_b[i].addr);
+    }
+}
+
+TEST(SyntheticProgram, ThreadsHaveIndependentStreams)
+{
+    Builder b("t", 2, /*seed=*/7);
+    const Region r = b.alloc(4096);
+    b.sweep(0, r, 100, 0.5, true);
+    b.sweep(1, r, 100, 0.5, true);
+    auto prog = b.build();
+    const auto ops_a = drain(*prog->makeThread(0));
+    const auto ops_b = drain(*prog->makeThread(1));
+    int same = 0;
+    for (std::size_t i = 0; i < 100; ++i)
+        same += ops_a[i].addr == ops_b[i].addr
+            && ops_a[i].type == ops_b[i].type;
+    EXPECT_LT(same, 30);
+}
+
+TEST(InjectRace, RecordsGroundTruthPairs)
+{
+    Builder b("t", 2);
+    injectRace(b, 0, 1, 10);
+    auto prog = b.build();
+    const auto races = prog->injectedRaces();
+    ASSERT_EQ(races.size(), 1u);
+    EXPECT_EQ(races[0].pairs.size(), 2u);
+}
+
+TEST(InjectConfiguredRaces, HonorsCount)
+{
+    Builder b("t", 4);
+    WorkloadParams params;
+    params.nthreads = 4;
+    params.injected_races = 5;
+    injectConfiguredRaces(b, params);
+    EXPECT_EQ(b.build()->injectedRaces().size(), 5u);
+}
+
+TEST(InjectConfiguredRaces, SingleThreadIsNoop)
+{
+    Builder b("t", 1);
+    WorkloadParams params;
+    params.nthreads = 1;
+    params.injected_races = 3;
+    injectConfiguredRaces(b, params);
+    EXPECT_TRUE(b.build()->injectedRaces().empty());
+}
+
+TEST(DetectedFraction, CountsAnyPairAsFound)
+{
+    std::vector<InjectedRace> injected(2);
+    injected[0].pairs = {{1, 2}, {1, 3}};
+    injected[1].pairs = {{7, 8}};
+    detect::ReportSink sink;
+    sink.report(detect::RaceReport{.first_site = 3, .second_site = 1});
+    EXPECT_DOUBLE_EQ(detectedFraction(injected, sink), 0.5);
+    sink.report(detect::RaceReport{.first_site = 8, .second_site = 7});
+    EXPECT_DOUBLE_EQ(detectedFraction(injected, sink), 1.0);
+}
+
+TEST(DetectedFraction, EmptyGroundTruthIsOne)
+{
+    detect::ReportSink sink;
+    EXPECT_DOUBLE_EQ(detectedFraction({}, sink), 1.0);
+}
+
+TEST(WorkloadParams, ScaledClampsToOne)
+{
+    WorkloadParams params;
+    params.scale = 0.0000001;
+    EXPECT_EQ(params.scaled(100), 1u);
+    params.scale = 2.0;
+    EXPECT_EQ(params.scaled(100), 200u);
+}

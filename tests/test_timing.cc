@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Timing-model sanity: cycle accounting, blocking costs, latency
+ * histogram plumbing, and the machine-readable stats dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "instr/cost_model.hh"
+#include "runtime/simulator.hh"
+#include "workloads/registry.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::runtime;
+using namespace hdrd::workloads;
+using instr::ToolMode;
+
+TEST(Timing, SingleThreadWallEqualsOpCosts)
+{
+    // One thread, pure work ops: wall = sum of work cycles.
+    Builder b("solo", 1);
+    b.compute(0, 10, 7);
+    auto prog = b.build();
+    SimConfig config;
+    config.mode = ToolMode::kNative;
+    const auto r = Simulator::runWith(*prog, config);
+    EXPECT_EQ(r.wall_cycles, 70u);
+}
+
+TEST(Timing, ParallelWorkOverlapsAcrossCores)
+{
+    // Two threads on two cores doing equal work: wall equals one
+    // thread's cost, not the sum.
+    Builder b("par", 2);
+    b.compute(0, 100, 10);
+    b.compute(1, 100, 10);
+    auto prog = b.build();
+    SimConfig config;
+    config.mode = ToolMode::kNative;
+    const auto r = Simulator::runWith(*prog, config);
+    EXPECT_EQ(r.wall_cycles, 1000u);
+}
+
+TEST(Timing, SameCoreThreadsSerialize)
+{
+    Builder b("serial", 2);
+    b.compute(0, 100, 10);
+    b.compute(1, 100, 10);
+    auto prog = b.build();
+    SimConfig config;
+    config.mode = ToolMode::kNative;
+    config.mem.ncores = 1;
+    const auto r = Simulator::runWith(*prog, config);
+    EXPECT_EQ(r.wall_cycles, 2000u);
+}
+
+TEST(Timing, BarrierWaitersInheritLatestArrival)
+{
+    // Thread 0 does 1000 cycles of work then hits the barrier;
+    // thread 1 arrives immediately. Post-barrier work starts at the
+    // max arrival on both cores.
+    Builder b("bar", 2);
+    b.compute(0, 10, 100);
+    b.barrierAll(1);
+    b.compute(0, 1, 5);
+    b.compute(1, 1, 5);
+    auto prog = b.build();
+    SimConfig config;
+    config.mode = ToolMode::kNative;
+    config.cost.base_sync = 0;
+    const auto r = Simulator::runWith(*prog, config);
+    EXPECT_EQ(r.wall_cycles, 1005u);
+}
+
+TEST(Timing, ContendedLockSerializesCriticalSections)
+{
+    // Two threads, each 50 locked RMWs on one word; the lock forces
+    // the critical sections to serialize, so wall is at least the
+    // total critical-path cost even on two cores.
+    Builder b("locked", 2);
+    const Region word = b.alloc(8);
+    const std::uint64_t lock = b.newLock();
+    b.lockedRmw(0, word, 50, lock);
+    b.lockedRmw(1, word, 50, lock);
+    auto prog = b.build();
+    SimConfig config;
+    config.mode = ToolMode::kNative;
+    const auto serialized = Simulator::runWith(*prog, config);
+
+    // The same accesses without the shared lock run mostly parallel.
+    Builder b2("unlocked", 2);
+    const Region w0 = b2.alloc(8);
+    const Region w1 = b2.alloc(8);
+    b2.lockedRmw(0, w0, 50, b2.newLock());
+    b2.lockedRmw(1, w1, 50, b2.newLock());
+    auto prog2 = b2.build();
+    const auto parallel = Simulator::runWith(*prog2, config);
+    EXPECT_GT(serialized.wall_cycles,
+              parallel.wall_cycles + parallel.wall_cycles / 2);
+}
+
+TEST(Timing, ToolModesOnlyAddTime)
+{
+    const auto *info = findWorkload("phoenix.histogram");
+    WorkloadParams params;
+    params.scale = 0.05;
+    SimConfig native_cfg, demand_cfg, cont_cfg;
+    native_cfg.mode = ToolMode::kNative;
+    demand_cfg.mode = ToolMode::kDemand;
+    cont_cfg.mode = ToolMode::kContinuous;
+    auto p1 = info->factory(params);
+    auto p2 = info->factory(params);
+    auto p3 = info->factory(params);
+    const auto rn = Simulator::runWith(*p1, native_cfg);
+    const auto rd = Simulator::runWith(*p2, demand_cfg);
+    const auto rc = Simulator::runWith(*p3, cont_cfg);
+    EXPECT_LE(rn.wall_cycles, rd.wall_cycles);
+    EXPECT_LE(rd.wall_cycles, rc.wall_cycles);
+}
+
+TEST(Timing, LatencyHistogramCoversEveryAccess)
+{
+    const auto *info = findWorkload("micro.private_only");
+    WorkloadParams params;
+    params.scale = 0.05;
+    auto prog = info->factory(params);
+    SimConfig config;
+    config.mode = ToolMode::kNative;
+    const auto r = Simulator::runWith(*prog, config);
+    EXPECT_EQ(r.mem_latency.count(), r.mem_accesses);
+    EXPECT_GT(r.mem_latency.mean(), 0.0);
+    // L1 hits dominate private sweeps: the median is small.
+    EXPECT_LE(r.mem_latency.percentile(50),
+              static_cast<double>(config.mem.latency.l2_hit));
+    // Cold misses exist: the max reaches memory latency.
+    EXPECT_GE(r.mem_latency.max(), config.mem.latency.memory);
+}
+
+TEST(Timing, HitmLatencyVisibleInHistogram)
+{
+    const auto *info = findWorkload("micro.ping_pong");
+    WorkloadParams params;
+    params.scale = 0.05;
+    auto prog = info->factory(params);
+    SimConfig config;
+    config.mode = ToolMode::kNative;
+    const auto r = Simulator::runWith(*prog, config);
+    // Ping-pong accesses pay the cache-to-cache transfer price.
+    EXPECT_GE(r.mem_latency.percentile(60),
+              static_cast<double>(config.mem.latency.hitm_transfer)
+                  * 0.5);
+}
+
+TEST(Dump, ContainsEveryKeyFamily)
+{
+    const auto *info = findWorkload("micro.racy_counter");
+    WorkloadParams params;
+    params.scale = 0.05;
+    auto prog = info->factory(params);
+    SimConfig config;
+    config.mode = ToolMode::kDemand;
+    config.track_ground_truth = true;
+    const auto r = Simulator::runWith(*prog, config);
+    std::ostringstream os;
+    r.dump(os);
+    const auto s = os.str();
+    for (const char *key :
+         {"run.wall_cycles ", "run.total_ops ", "run.analyzed_",
+          "run.enables ", "run.interrupts ", "run.hitm_loads ",
+          "run.gt_wr ", "run.races_unique ", "run.mem_latency_p99 ",
+          "run.pmu.hitm_load ", "run.pmu.sync_ops "}) {
+        EXPECT_NE(s.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(Dump, ValuesMatchFields)
+{
+    Builder b("tiny", 1);
+    b.compute(0, 3, 5);
+    auto prog = b.build();
+    SimConfig config;
+    config.mode = ToolMode::kNative;
+    const auto r = Simulator::runWith(*prog, config);
+    std::ostringstream os;
+    r.dump(os);
+    EXPECT_NE(os.str().find("run.wall_cycles 15"), std::string::npos);
+    EXPECT_NE(os.str().find("run.total_ops 3"), std::string::npos);
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for VectorClock: lattice laws and helper queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "detect/vector_clock.hh"
+
+using namespace hdrd;
+using namespace hdrd::detect;
+
+TEST(VectorClock, DefaultIsAllZero)
+{
+    VectorClock vc;
+    EXPECT_EQ(vc.get(0), 0u);
+    EXPECT_EQ(vc.get(100), 0u);
+    EXPECT_EQ(vc.size(), 0u);
+}
+
+TEST(VectorClock, SetGetGrows)
+{
+    VectorClock vc;
+    vc.set(5, 7);
+    EXPECT_EQ(vc.get(5), 7u);
+    EXPECT_EQ(vc.size(), 6u);
+    EXPECT_EQ(vc.get(4), 0u);
+}
+
+TEST(VectorClock, TickIncrements)
+{
+    VectorClock vc;
+    vc.tick(2);
+    vc.tick(2);
+    vc.tick(0);
+    EXPECT_EQ(vc.get(2), 2u);
+    EXPECT_EQ(vc.get(0), 1u);
+}
+
+TEST(VectorClock, JoinIsComponentwiseMax)
+{
+    VectorClock a, b;
+    a.set(0, 5);
+    a.set(1, 1);
+    b.set(1, 9);
+    b.set(2, 3);
+    a.join(b);
+    EXPECT_EQ(a.get(0), 5u);
+    EXPECT_EQ(a.get(1), 9u);
+    EXPECT_EQ(a.get(2), 3u);
+}
+
+TEST(VectorClock, JoinIsIdempotentAndCommutative)
+{
+    VectorClock a, b;
+    a.set(0, 2);
+    b.set(1, 4);
+    VectorClock ab = a;
+    ab.join(b);
+    VectorClock ba = b;
+    ba.join(a);
+    EXPECT_TRUE(ab == ba);
+    VectorClock aa = ab;
+    aa.join(ab);
+    EXPECT_TRUE(aa == ab);
+}
+
+TEST(VectorClock, LeqReflexive)
+{
+    VectorClock a;
+    a.set(0, 3);
+    a.set(2, 1);
+    EXPECT_TRUE(a.leq(a));
+}
+
+TEST(VectorClock, LeqOrdersDominatedClocks)
+{
+    VectorClock lo, hi;
+    lo.set(0, 1);
+    hi.set(0, 2);
+    hi.set(1, 1);
+    EXPECT_TRUE(lo.leq(hi));
+    EXPECT_FALSE(hi.leq(lo));
+}
+
+TEST(VectorClock, IncomparableClocksNeitherLeq)
+{
+    VectorClock a, b;
+    a.set(0, 2);
+    b.set(1, 2);
+    EXPECT_FALSE(a.leq(b));
+    EXPECT_FALSE(b.leq(a));
+}
+
+TEST(VectorClock, LeqHandlesDifferentSizes)
+{
+    VectorClock shorter, longer;
+    shorter.set(0, 1);
+    longer.set(0, 1);
+    longer.set(5, 2);
+    EXPECT_TRUE(shorter.leq(longer));
+    EXPECT_FALSE(longer.leq(shorter));
+    // Trailing zeros don't matter.
+    VectorClock padded;
+    padded.set(0, 1);
+    padded.set(9, 0);
+    EXPECT_TRUE(padded.leq(shorter));
+}
+
+TEST(VectorClock, JoinIsLeastUpperBound)
+{
+    VectorClock a, b;
+    a.set(0, 4);
+    b.set(1, 6);
+    VectorClock j = a;
+    j.join(b);
+    EXPECT_TRUE(a.leq(j));
+    EXPECT_TRUE(b.leq(j));
+}
+
+TEST(VectorClock, FirstGreaterExceptFindsWitness)
+{
+    VectorClock mine, theirs;
+    mine.set(0, 5);
+    mine.set(1, 3);
+    theirs.set(0, 5);
+    theirs.set(1, 1);
+    // Component 1 exceeds, but excluded -> no witness.
+    EXPECT_EQ(mine.firstGreaterExcept(theirs, 1), kInvalidThread);
+    // Not excluded -> witness 1.
+    EXPECT_EQ(mine.firstGreaterExcept(theirs, 0), 1u);
+}
+
+TEST(VectorClock, FirstGreaterExceptNoneWhenDominated)
+{
+    VectorClock lo, hi;
+    lo.set(0, 1);
+    lo.set(1, 1);
+    hi.set(0, 2);
+    hi.set(1, 2);
+    EXPECT_EQ(lo.firstGreaterExcept(hi, 99), kInvalidThread);
+}
+
+TEST(VectorClock, SoleNonzero)
+{
+    VectorClock vc;
+    vc.set(3, 7);
+    EXPECT_TRUE(vc.soleNonzero(3));
+    EXPECT_FALSE(vc.soleNonzero(2));
+    vc.set(1, 1);
+    EXPECT_FALSE(vc.soleNonzero(3));
+    VectorClock zero;
+    EXPECT_TRUE(zero.soleNonzero(0));  // vacuously
+}
+
+TEST(VectorClock, ClearZeroesEverything)
+{
+    VectorClock vc;
+    vc.set(0, 5);
+    vc.set(4, 2);
+    vc.clear();
+    EXPECT_EQ(vc.get(0), 0u);
+    EXPECT_EQ(vc.get(4), 0u);
+}
+
+TEST(VectorClock, EqualityIgnoresStoredSize)
+{
+    VectorClock a(2), b(8);
+    a.set(0, 1);
+    b.set(0, 1);
+    EXPECT_TRUE(a == b);
+    b.set(7, 1);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(VectorClock, StreamFormat)
+{
+    VectorClock vc;
+    vc.set(0, 1);
+    vc.set(2, 3);
+    std::ostringstream os;
+    os << vc;
+    EXPECT_EQ(os.str(), "[1,0,3]");
+}

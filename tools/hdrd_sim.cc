@@ -1,0 +1,317 @@
+/**
+ * @file
+ * hdrd_sim — the command-line driver for the whole system.
+ *
+ * Run any registered workload (or a recorded trace) under any
+ * analysis regime with every knob exposed, print the run summary and
+ * race reports, optionally record a trace for later replay.
+ *
+ *   hdrd_sim --list
+ *   hdrd_sim --workload=phoenix.kmeans --mode=demand
+ *   hdrd_sim --workload=micro.racy_counter --mode=demand --sav=100
+ *   hdrd_sim --workload=parsec.dedup --record=dedup.trc
+ *   hdrd_sim --replay=dedup.trc --mode=continuous
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "instr/cost_model.hh"
+#include "runtime/simulator.hh"
+#include "trace/trace_program.hh"
+#include "workloads/registry.hh"
+
+using namespace hdrd;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload;
+    std::string replay;
+    std::string record;
+    instr::ToolMode mode = instr::ToolMode::kDemand;
+    runtime::DetectorKind detector =
+        runtime::DetectorKind::kFastTrack;
+    demand::Strategy strategy = demand::Strategy::kDemandHitm;
+    demand::EnableScope scope = demand::EnableScope::kGlobal;
+    bool pebs = false;
+    bool track_gt = false;
+    bool verbose = false;
+    bool stats = false;
+    double scale = 0.5;
+    std::uint32_t threads = 4;
+    std::uint32_t cores = 4;
+    std::uint64_t seed = 1;
+    std::uint64_t sav = 1;
+    std::uint32_t granule = 3;
+    std::uint32_t injected = 0;
+    bool list = false;
+};
+
+void
+usage()
+{
+    std::puts(
+        "hdrd_sim — demand-driven race detection simulator\n"
+        "\n"
+        "  --list                 list registered workloads\n"
+        "  --workload=NAME        workload to run\n"
+        "  --replay=FILE          replay a recorded trace instead\n"
+        "  --record=FILE          record the run's op streams\n"
+        "  --mode=M               native|continuous|demand "
+        "(default demand)\n"
+        "  --detector=D           fasttrack|naive|lockset\n"
+        "  --strategy=S           hitm|oracle|sampling|cold-region\n"
+        "  --scope=S              global|per-thread\n"
+        "  --pebs                 precise capture of sampled loads\n"
+        "  --sav=N                PMU sample-after value (default 1)\n"
+        "  --scale=F              workload size multiplier "
+        "(default 0.5)\n"
+        "  --threads=N --cores=N  topology (default 4/4)\n"
+        "  --granule=N            log2 detection granule (default 3)\n"
+        "  --inject=N             inject N known races\n"
+        "  --seed=N               simulation seed\n"
+        "  --track-gt             ground-truth sharing accounting\n"
+        "  --verbose              print every race report\n"
+        "  --stats                machine-readable stats dump");
+}
+
+bool
+eat(const char *arg, const char *key, std::string &out)
+{
+    const std::size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) != 0)
+        return false;
+    out = arg + n;
+    return true;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--list") == 0) {
+            opt.list = true;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            usage();
+            std::exit(0);
+        } else if (std::strcmp(arg, "--pebs") == 0) {
+            opt.pebs = true;
+        } else if (std::strcmp(arg, "--track-gt") == 0) {
+            opt.track_gt = true;
+        } else if (std::strcmp(arg, "--verbose") == 0) {
+            opt.verbose = true;
+        } else if (std::strcmp(arg, "--stats") == 0) {
+            opt.stats = true;
+        } else if (eat(arg, "--workload=", value)) {
+            opt.workload = value;
+        } else if (eat(arg, "--replay=", value)) {
+            opt.replay = value;
+        } else if (eat(arg, "--record=", value)) {
+            opt.record = value;
+        } else if (eat(arg, "--mode=", value)) {
+            if (value == "native")
+                opt.mode = instr::ToolMode::kNative;
+            else if (value == "continuous")
+                opt.mode = instr::ToolMode::kContinuous;
+            else if (value == "demand")
+                opt.mode = instr::ToolMode::kDemand;
+            else
+                fatal("unknown mode '", value, "'");
+        } else if (eat(arg, "--detector=", value)) {
+            if (value == "fasttrack")
+                opt.detector = runtime::DetectorKind::kFastTrack;
+            else if (value == "naive")
+                opt.detector = runtime::DetectorKind::kNaiveHb;
+            else if (value == "lockset")
+                opt.detector = runtime::DetectorKind::kLockset;
+            else
+                fatal("unknown detector '", value, "'");
+        } else if (eat(arg, "--strategy=", value)) {
+            if (value == "hitm")
+                opt.strategy = demand::Strategy::kDemandHitm;
+            else if (value == "oracle")
+                opt.strategy = demand::Strategy::kDemandOracle;
+            else if (value == "sampling")
+                opt.strategy = demand::Strategy::kRandomSampling;
+            else if (value == "cold-region")
+                opt.strategy = demand::Strategy::kColdRegion;
+            else
+                fatal("unknown strategy '", value, "'");
+        } else if (eat(arg, "--scope=", value)) {
+            if (value == "global")
+                opt.scope = demand::EnableScope::kGlobal;
+            else if (value == "per-thread")
+                opt.scope = demand::EnableScope::kPerThread;
+            else
+                fatal("unknown scope '", value, "'");
+        } else if (eat(arg, "--scale=", value)) {
+            opt.scale = std::stod(value);
+        } else if (eat(arg, "--threads=", value)) {
+            opt.threads =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else if (eat(arg, "--cores=", value)) {
+            opt.cores =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else if (eat(arg, "--seed=", value)) {
+            opt.seed = std::stoull(value);
+        } else if (eat(arg, "--sav=", value)) {
+            opt.sav = std::stoull(value);
+        } else if (eat(arg, "--granule=", value)) {
+            opt.granule =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else if (eat(arg, "--inject=", value)) {
+            opt.injected =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else {
+            usage();
+            fatal("unknown option '", arg, "'");
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    if (opt.list) {
+        for (const auto &info : workloads::allWorkloads())
+            std::printf("%-10s %s\n", info.suite.c_str(),
+                        info.name.c_str());
+        return 0;
+    }
+    if (opt.workload.empty() && opt.replay.empty()) {
+        usage();
+        fatal("need --workload or --replay (or --list)");
+    }
+
+    // Build the program.
+    std::unique_ptr<runtime::Program> program;
+    if (!opt.replay.empty()) {
+        trace::TraceData data = trace::TraceData::load(opt.replay);
+        if (!data.ok())
+            fatal("trace load failed: ", data.error());
+        program = std::make_unique<trace::TraceProgram>(
+            std::move(data));
+    } else {
+        const auto *info = workloads::findWorkload(opt.workload);
+        if (info == nullptr)
+            fatal("unknown workload '", opt.workload,
+                  "' (try --list)");
+        workloads::WorkloadParams params;
+        params.nthreads = opt.threads;
+        params.scale = opt.scale;
+        params.seed = opt.seed + 41;
+        params.injected_races = opt.injected;
+        program = info->factory(params);
+    }
+
+    // Configure the platform.
+    runtime::SimConfig config;
+    config.mode = opt.mode;
+    config.detector = opt.detector;
+    config.gating.strategy = opt.strategy;
+    config.gating.scope = opt.scope;
+    config.gating.pebs_precise_capture = opt.pebs;
+    config.gating.hitm_counter.sample_after = opt.sav;
+    config.granule_shift = opt.granule;
+    config.mem.ncores = opt.cores;
+    config.seed = opt.seed;
+    config.track_ground_truth = opt.track_gt;
+
+    // Optionally tee the run into a trace file.
+    std::unique_ptr<trace::TraceWriter> writer;
+    std::unique_ptr<trace::RecordingProgram> recording;
+    runtime::Program *to_run = program.get();
+    if (!opt.record.empty()) {
+        writer = std::make_unique<trace::TraceWriter>(
+            opt.record, program->name(), program->numThreads());
+        if (!writer->ok())
+            fatal("cannot open trace file ", opt.record);
+        recording = std::make_unique<trace::RecordingProgram>(
+            *program, *writer);
+        to_run = recording.get();
+    }
+
+    const auto result = runtime::Simulator::runWith(*to_run, config);
+
+    if (writer) {
+        writer->finalize();
+        std::printf("recorded %llu ops to %s\n",
+                    static_cast<unsigned long long>(
+                        writer->recorded()),
+                    opt.record.c_str());
+    }
+
+    // Summary.
+    std::printf("program      %s\n", program->name().c_str());
+    std::printf("mode         %s", instr::toolModeName(opt.mode));
+    if (opt.mode == instr::ToolMode::kDemand) {
+        std::printf(" (%s, %s scope%s, SAV %llu)",
+                    demand::strategyName(opt.strategy),
+                    demand::scopeName(opt.scope),
+                    opt.pebs ? ", pebs" : "",
+                    static_cast<unsigned long long>(opt.sav));
+    }
+    std::printf("\n");
+    std::printf("wall cycles  %llu\n",
+                static_cast<unsigned long long>(result.wall_cycles));
+    std::printf("ops          %llu total: %llu mem, %llu sync, "
+                "%llu atomic, %llu work\n",
+                static_cast<unsigned long long>(result.total_ops),
+                static_cast<unsigned long long>(result.mem_accesses),
+                static_cast<unsigned long long>(result.sync_ops),
+                static_cast<unsigned long long>(result.atomic_ops),
+                static_cast<unsigned long long>(result.work_ops));
+    std::printf("analyzed     %llu (%.2f%%), %llu enables, "
+                "%llu interrupts, %llu pebs captures\n",
+                static_cast<unsigned long long>(
+                    result.analyzed_accesses),
+                100.0 * result.analyzedFraction(),
+                static_cast<unsigned long long>(result.enables),
+                static_cast<unsigned long long>(result.interrupts),
+                static_cast<unsigned long long>(
+                    result.pebs_captures));
+    std::printf("hitm         %llu loads / %llu transfers\n",
+                static_cast<unsigned long long>(result.hitm_loads),
+                static_cast<unsigned long long>(
+                    result.hitm_transfers));
+    if (opt.track_gt) {
+        std::printf("sharing      %.3f%% of accesses (W->R %llu, "
+                    "W->W %llu, R->W %llu)\n",
+                    100.0 * result.sharingFraction(),
+                    static_cast<unsigned long long>(result.gt.wr),
+                    static_cast<unsigned long long>(result.gt.ww),
+                    static_cast<unsigned long long>(result.gt.rw));
+    }
+    std::printf("races        %zu unique (%llu dynamic)\n",
+                result.reports.uniqueCount(),
+                static_cast<unsigned long long>(
+                    result.reports.dynamicCount()));
+    if (opt.stats) {
+        std::printf("\n");
+        result.dump(std::cout);
+    }
+    if (opt.verbose) {
+        for (const auto &report : result.reports.reports())
+            std::printf("  thread %u site %u vs thread %u site %u "
+                        "(%s) @0x%llx\n",
+                        report.first_tid, report.first_site,
+                        report.second_tid, report.second_site,
+                        detect::raceTypeName(report.type),
+                        static_cast<unsigned long long>(report.addr));
+    }
+    return 0;
+}
