@@ -5,8 +5,22 @@
 namespace hdrd::runtime
 {
 
-Scheduler::Scheduler(double jitter, Rng rng)
-    : jitter_(jitter), rng_(rng)
+const char *
+schedPolicyName(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::kEarliestFirst:
+        return "earliest";
+      case SchedPolicy::kRandom:
+        return "random";
+      case SchedPolicy::kRoundRobin:
+        return "rr";
+    }
+    return "?";
+}
+
+Scheduler::Scheduler(double jitter, Rng rng, SchedPolicy policy)
+    : jitter_(jitter), rng_(rng), policy_(policy)
 {
 }
 
@@ -18,20 +32,39 @@ Scheduler::effectiveTime(const ThreadContext &tc,
 }
 
 ThreadId
+Scheduler::pickRandom(const std::vector<ThreadContext> &contexts)
+{
+    std::vector<ThreadId> runnable;
+    const auto n = static_cast<ThreadId>(contexts.size());
+    for (ThreadId t = 0; t < n; ++t) {
+        if (contexts[t].state() == ThreadState::kRunnable)
+            runnable.push_back(t);
+    }
+    if (runnable.empty())
+        return kInvalidThread;
+    return runnable[rng_.nextBounded(runnable.size())];
+}
+
+ThreadId
 Scheduler::pick(const std::vector<ThreadContext> &contexts,
                 const std::vector<Cycle> &core_cycles)
 {
     const auto n = static_cast<ThreadId>(contexts.size());
 
-    if (jitter_ > 0.0 && rng_.nextBool(jitter_)) {
-        // Uniform pick among runnable threads.
-        std::vector<ThreadId> runnable;
-        for (ThreadId t = 0; t < n; ++t) {
-            if (contexts[t].state() == ThreadState::kRunnable)
-                runnable.push_back(t);
+    if (policy_ == SchedPolicy::kRandom
+        || (jitter_ > 0.0 && rng_.nextBool(jitter_))) {
+        return pickRandom(contexts);
+    }
+
+    if (policy_ == SchedPolicy::kRoundRobin) {
+        // Next runnable thread in circular tid order, ignoring time.
+        for (ThreadId i = 0; i < n; ++i) {
+            const ThreadId t = (rr_cursor_ + i) % n;
+            if (contexts[t].state() == ThreadState::kRunnable) {
+                rr_cursor_ = (t + 1) % n;
+                return t;
+            }
         }
-        if (!runnable.empty())
-            return runnable[rng_.nextBounded(runnable.size())];
         return kInvalidThread;
     }
 

@@ -26,17 +26,37 @@ namespace hdrd::runtime
 {
 
 /**
- * Earliest-core-time-first scheduler with optional random jitter.
+ * Base interleaving policy. kEarliestFirst is the production default;
+ * the alternatives exist for schedule-space exploration (the fuzz
+ * harness draws a policy per iteration to vary interleavings far more
+ * than jitter alone can).
+ */
+enum class SchedPolicy : std::uint8_t
+{
+    kEarliestFirst = 0,  ///< discrete-event: smallest effective time
+    kRandom,             ///< uniformly random runnable thread
+    kRoundRobin,         ///< circular tid order, time-oblivious
+};
+
+/** Printable name for a SchedPolicy. */
+const char *schedPolicyName(SchedPolicy policy);
+
+/**
+ * Earliest-core-time-first scheduler with optional random jitter and
+ * alternative exploration policies.
  */
 class Scheduler
 {
   public:
     /**
      * @param jitter probability of picking a uniformly random
-     *        runnable thread instead of the earliest one
+     *        runnable thread instead of the policy's choice
      * @param rng seeded generator for jitter decisions
+     * @param policy base interleaving policy
      */
-    explicit Scheduler(double jitter = 0.0, Rng rng = Rng(1));
+    explicit Scheduler(double jitter = 0.0, Rng rng = Rng(1),
+                       SchedPolicy policy =
+                           SchedPolicy::kEarliestFirst);
 
     /**
      * Choose the next thread to run.
@@ -54,9 +74,12 @@ class Scheduler
                                const std::vector<Cycle> &core_cycles);
 
   private:
+    ThreadId pickRandom(const std::vector<ThreadContext> &contexts);
+
     double jitter_;
     Rng rng_;
-    ThreadId rr_cursor_ = 0;  ///< tie-break rotation
+    SchedPolicy policy_;
+    ThreadId rr_cursor_ = 0;  ///< tie-break / round-robin rotation
 };
 
 } // namespace hdrd::runtime

@@ -62,7 +62,8 @@ Simulator::run(Program &program)
     mem::Hierarchy hier(config_.mem);
     pmu::Pmu pmu(ncores);
     Rng rng(config_.seed);
-    Scheduler sched(config_.sched_jitter, rng.split());
+    Scheduler sched(config_.sched_jitter, rng.split(),
+                    config_.sched_policy);
     std::vector<Cycle> core_cycles(ncores, 0);
 
     // Detection machinery. Sync clocks are always maintained when a

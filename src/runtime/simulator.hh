@@ -28,6 +28,7 @@
 #include "instr/cost_model.hh"
 #include "mem/hierarchy.hh"
 #include "pmu/event.hh"
+#include "runtime/scheduler.hh"
 
 namespace hdrd::runtime
 {
@@ -77,6 +78,9 @@ struct SimConfig
 
     /** Probability of a random scheduler pick (0 = deterministic). */
     double sched_jitter = 0.0;
+
+    /** Base interleaving policy (seeded; see SchedPolicy). */
+    SchedPolicy sched_policy = SchedPolicy::kEarliestFirst;
 
     /**
      * Track ground-truth sharing per access. Costs memory proportional

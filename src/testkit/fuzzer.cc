@@ -1,0 +1,322 @@
+#include "testkit/fuzzer.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "trace/trace_program.hh"
+
+namespace hdrd::testkit
+{
+
+namespace
+{
+
+/** Fixed-precision float formatting (byte-stable summaries). */
+std::string
+fixed4(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return buf;
+}
+
+/** Does @p violation still reproduce on @p factory's program? */
+bool
+violationHolds(const DifferentialOracle &oracle,
+               const Violation &violation,
+               const ProgramFactory &factory)
+{
+    using runtime::Simulator;
+    switch (violation.kind) {
+      case ViolationKind::kDemandNotSubset: {
+        // The regime label encodes the SAV: "demand.savN".
+        const std::uint64_t sav =
+            std::stoull(violation.regime.substr(10));
+        auto dp = factory();
+        const auto demand =
+            Simulator::runWith(*dp, oracle.demandConfig(sav));
+        if (!DifferentialOracle::sitePairs(demand.reports)
+                 .count(violation.pair)) {
+            return false;
+        }
+        auto rp = factory();
+        const auto ref =
+            Simulator::runWith(*rp, oracle.referenceConfig());
+        return DifferentialOracle::sitePairs(ref.reports)
+                   .count(violation.pair)
+            == 0;
+      }
+      case ViolationKind::kDetectorPairMismatch: {
+        auto rp = factory();
+        const auto ref =
+            Simulator::runWith(*rp, oracle.referenceConfig());
+        if (!DifferentialOracle::sitePairs(ref.reports)
+                 .count(violation.pair)) {
+            return false;
+        }
+        auto np = factory();
+        const auto naive =
+            Simulator::runWith(*np, oracle.naiveConfig());
+        return DifferentialOracle::sitePairs(naive.reports)
+                   .count(violation.pair)
+            == 0;
+      }
+    }
+    return false;
+}
+
+/** hdrd_sim flags reproducing @p config's schedule and platform. */
+std::string
+simFlags(const runtime::SimConfig &config)
+{
+    std::string out = " --seed="
+        + std::to_string(config.seed)
+        + " --cores=" + std::to_string(config.mem.ncores)
+        + " --granule=" + std::to_string(config.granule_shift)
+        + " --sched="
+        + runtime::schedPolicyName(config.sched_policy);
+    if (config.sched_jitter > 0.0)
+        out += " --jitter=" + fixed4(config.sched_jitter);
+    return out;
+}
+
+/** Write the human repro recipe next to the trace artifacts. */
+void
+writeRepro(const std::string &path, const Violation &violation,
+           const DifferentialOracle &oracle,
+           const std::string &trace_name,
+           const std::string &min_name, const ShrinkStats &stats)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << "oracle violation: " << violation.describe() << "\n"
+        << "full trace:  " << trace_name << "\n"
+        << "min trace:   " << min_name << " (" << stats.final_ops
+        << " ops, shrunk from " << stats.initial_ops << " in "
+        << stats.predicate_runs << " predicate runs)\n\n";
+
+    if (violation.kind == ViolationKind::kDemandNotSubset) {
+        const std::uint64_t sav =
+            std::stoull(violation.regime.substr(10));
+        const auto demand = oracle.demandConfig(sav);
+        out << "# shows the pair the demand regime reports:\n"
+            << "hdrd_sim --replay=" << min_name
+            << " --mode=demand --sav=" << sav << simFlags(demand)
+            << " --verbose\n"
+            << "# the continuous reference does not report it:\n"
+            << "hdrd_sim --replay=" << min_name
+            << " --mode=continuous"
+            << simFlags(oracle.referenceConfig()) << " --verbose\n";
+    } else {
+        out << "# FastTrack continuous:\n"
+            << "hdrd_sim --replay=" << min_name
+            << " --mode=continuous --detector=fasttrack"
+            << simFlags(oracle.referenceConfig()) << " --verbose\n"
+            << "# NaiveHB continuous (must agree, does not):\n"
+            << "hdrd_sim --replay=" << min_name
+            << " --mode=continuous --detector=naive"
+            << simFlags(oracle.naiveConfig()) << " --verbose\n";
+    }
+}
+
+} // namespace
+
+Fuzzer::Fuzzer(FuzzConfig config) : config_(std::move(config)) {}
+
+void
+Fuzzer::handleViolation(std::uint32_t iter,
+                        const GeneratedProgram &gen,
+                        const DifferentialOracle &oracle,
+                        const Violation &violation,
+                        FuzzResult &result)
+{
+    namespace fs = std::filesystem;
+    fs::create_directories(config_.out_dir);
+    const std::string base = "fail-s"
+        + std::to_string(config_.seed) + "-i"
+        + std::to_string(iter);
+    const std::string trace_name = base + ".trc";
+    const std::string trace_path =
+        (fs::path(config_.out_dir) / trace_name).string();
+
+    // Record the violating execution's per-thread op streams. The
+    // streams are schedule-independent, so any regime serves; native
+    // is the cheapest.
+    {
+        auto program = gen.factory();
+        trace::TraceWriter writer(trace_path, program->name(),
+                                  program->numThreads());
+        if (!writer.ok()) {
+            warn("hdrd_fuzz: cannot write ", trace_path);
+            return;
+        }
+        trace::RecordingProgram recording(*program, writer);
+        runtime::SimConfig native;
+        native.mode = instr::ToolMode::kNative;
+        native.mem.ncores = config_.cores;
+        runtime::Simulator::runWith(recording, native);
+        writer.finalize();
+    }
+    result.artifacts.push_back(trace_name);
+
+    trace::TraceData full = trace::TraceData::load(trace_path);
+    if (!full.ok()) {
+        warn("hdrd_fuzz: recorded trace failed to load: ",
+             full.error());
+        return;
+    }
+
+    auto predicate = [&oracle,
+                      violation](const trace::TraceData &cand) {
+        ProgramFactory factory = [&cand] {
+            return std::make_unique<trace::TraceProgram>(cand);
+        };
+        return violationHolds(oracle, violation, factory);
+    };
+
+    if (!predicate(full)) {
+        // The violation did not survive the record/replay round
+        // trip; keep the full trace for manual triage.
+        result.lines.push_back(
+            "  artifact " + trace_name
+            + " (violation not trace-reproducible; kept unshrunk)");
+        return;
+    }
+
+    if (!config_.shrink)
+        return;
+
+    TraceShrinker shrinker(predicate, config_.shrink_budget);
+    const trace::TraceData min_trace = shrinker.shrink(full);
+    const ShrinkStats &stats = shrinker.stats();
+
+    const std::string min_name = base + ".min.trc";
+    const std::string min_path =
+        (fs::path(config_.out_dir) / min_name).string();
+    if (!min_trace.save(min_path)) {
+        warn("hdrd_fuzz: cannot write ", min_path);
+        return;
+    }
+    // Round-trip sanity: the on-disk minimized trace must still
+    // reproduce, otherwise the artifact is useless.
+    const trace::TraceData reloaded =
+        trace::TraceData::load(min_path);
+    const bool verified = reloaded.ok() && predicate(reloaded);
+
+    const std::string repro_name = base + ".repro.txt";
+    writeRepro(
+        (fs::path(config_.out_dir) / repro_name).string(),
+        violation, oracle, trace_name, min_name, stats);
+    result.artifacts.push_back(min_name);
+    result.artifacts.push_back(repro_name);
+    ++result.shrunk;
+    result.lines.push_back(
+        "  shrunk " + std::to_string(stats.initial_ops) + " -> "
+        + std::to_string(stats.final_ops) + " ops ("
+        + std::to_string(stats.predicate_runs)
+        + " predicate runs, "
+        + (verified ? "min trace verified"
+                    : "MIN TRACE UNVERIFIED")
+        + ")");
+}
+
+FuzzResult
+Fuzzer::run()
+{
+    FuzzResult result;
+    Rng master(config_.seed);
+
+    for (std::uint32_t iter = 0; iter < config_.iterations;
+         ++iter) {
+        // Per-iteration draws, all from the master stream.
+        GenConfig gen_cfg = config_.gen;
+        gen_cfg.seed = master.next64();
+
+        OracleConfig oracle_cfg;
+        oracle_cfg.sched = randomSchedule(master);
+        oracle_cfg.cores = config_.cores;
+        oracle_cfg.fault = config_.fault;
+        static constexpr std::uint64_t kSavMenu[] = {1, 1, 1, 2,
+                                                     8, 32};
+        oracle_cfg.demand_savs = {
+            kSavMenu[master.nextBounded(std::size(kSavMenu))]};
+        oracle_cfg.scope = master.nextBool(0.25)
+            ? demand::EnableScope::kPerThread
+            : demand::EnableScope::kGlobal;
+        oracle_cfg.pebs = master.nextBool(0.3);
+
+        const GeneratedProgram gen = generateProgram(gen_cfg);
+        const DifferentialOracle oracle(oracle_cfg);
+        const DifferentialResult diff = oracle.check(gen.factory);
+
+        result.reference_pairs += diff.reference_pairs;
+        result.demand_pairs += diff.demand_pairs;
+        if (diff.reference_pairs > 0) {
+            result.recall_sum += diff.recall;
+            ++result.recall_runs;
+        }
+
+        std::string line = "iter " + std::to_string(iter) + " "
+            + gen.summary + " sched "
+            + runtime::schedPolicyName(oracle_cfg.sched.policy)
+            + " j" + fixed4(oracle_cfg.sched.jitter) + " sav "
+            + std::to_string(oracle_cfg.demand_savs[0]) + " scope "
+            + (oracle_cfg.scope == demand::EnableScope::kPerThread
+                   ? "per-thread"
+                   : "global")
+            + " pebs "
+            + std::to_string(oracle_cfg.pebs ? 1 : 0) + " ref "
+            + std::to_string(diff.reference_pairs) + " naive "
+            + std::to_string(diff.naive_pairs) + " demand "
+            + std::to_string(diff.demand_pairs) + " recall "
+            + fixed4(diff.recall);
+        if (diff.ok()) {
+            line += " ok";
+        } else {
+            line += " VIOLATION " + diff.violations[0].describe();
+            ++result.violations;
+        }
+        result.lines.push_back(line);
+        if (config_.verbose)
+            std::printf("%s\n", line.c_str());
+
+        if (!diff.ok()) {
+            handleViolation(iter, gen, oracle, diff.violations[0],
+                            result);
+            if (config_.verbose)
+                std::printf("%s\n",
+                            result.lines.back().c_str());
+        }
+        ++result.iterations;
+    }
+    return result;
+}
+
+std::string
+FuzzResult::summary() const
+{
+    std::string out = "hdrd_fuzz summary\n";
+    out += "iterations " + std::to_string(iterations) + "\n";
+    for (const std::string &line : lines)
+        out += line + "\n";
+    out += "violations " + std::to_string(violations) + "\n";
+    out += "shrunk " + std::to_string(shrunk) + "\n";
+    out += "reference_pairs " + std::to_string(reference_pairs)
+        + "\n";
+    out += "demand_pairs " + std::to_string(demand_pairs) + "\n";
+    out += "mean_recall "
+        + (recall_runs > 0
+               ? fixed4(recall_sum
+                        / static_cast<double>(recall_runs))
+               : std::string("n/a"))
+        + "\n";
+    for (const std::string &artifact : artifacts)
+        out += "artifact " + artifact + "\n";
+    out += std::string("status ")
+        + (violations == 0 ? "OK" : "VIOLATIONS") + "\n";
+    return out;
+}
+
+} // namespace hdrd::testkit

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The schedule-fuzzing driver: generate, cross-check, shrink.
+ *
+ * Each iteration derives a fresh program + schedule from the master
+ * seed, runs the differential oracle over the regime matrix, and on
+ * any violation records the execution as a trace, delta-debugs it to
+ * a minimal reproduction, and writes both (plus a repro recipe) to
+ * the output directory. The run summary is deterministic: two runs
+ * with the same configuration produce byte-identical summaries.
+ */
+
+#ifndef HDRD_TESTKIT_FUZZER_HH
+#define HDRD_TESTKIT_FUZZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testkit/generator.hh"
+#include "testkit/oracle.hh"
+#include "testkit/shrinker.hh"
+
+namespace hdrd::testkit
+{
+
+/** Fuzz campaign configuration. */
+struct FuzzConfig
+{
+    /** Master seed; every iteration's inputs derive from it. */
+    std::uint64_t seed = 1;
+
+    /** Iterations to run. */
+    std::uint32_t iterations = 25;
+
+    /** Program generation knobs (per-iteration seed overwritten). */
+    GenConfig gen;
+
+    /** Simulated core count. */
+    std::uint32_t cores = 4;
+
+    /** Injected harness fault (self-test / CI canary). */
+    Fault fault = Fault::kNone;
+
+    /** Shrink failing traces (disable for raw triage speed). */
+    bool shrink = true;
+
+    /** Predicate-evaluation budget per shrink. */
+    std::uint64_t shrink_budget = 400;
+
+    /** Where failure artifacts are written. */
+    std::string out_dir = "hdrd-fuzz-out";
+
+    /** Echo per-iteration lines while running. */
+    bool verbose = false;
+};
+
+/** Outcome of a whole campaign. */
+struct FuzzResult
+{
+    std::uint32_t iterations = 0;
+    std::uint32_t violations = 0;   ///< iterations that violated
+    std::uint32_t shrunk = 0;       ///< minimized traces written
+
+    /** Pair totals across iterations (summary statistics). */
+    std::uint64_t reference_pairs = 0;
+    std::uint64_t demand_pairs = 0;
+
+    /** Mean demand recall over iterations with reference pairs. */
+    double recall_sum = 0.0;
+    std::uint32_t recall_runs = 0;
+
+    /** Artifact basenames, in creation order. */
+    std::vector<std::string> artifacts;
+
+    /** Per-iteration deterministic log lines. */
+    std::vector<std::string> lines;
+
+    /** True when no oracle violation occurred. */
+    bool ok() const { return violations == 0; }
+
+    /** Byte-stable, machine-diffable campaign summary. */
+    std::string summary() const;
+};
+
+/**
+ * Runs a fuzz campaign.
+ */
+class Fuzzer
+{
+  public:
+    explicit Fuzzer(FuzzConfig config);
+
+    FuzzResult run();
+
+    const FuzzConfig &config() const { return config_; }
+
+  private:
+    /** Handle one violating iteration: record, shrink, persist. */
+    void handleViolation(std::uint32_t iter,
+                         const GeneratedProgram &gen,
+                         const DifferentialOracle &oracle,
+                         const Violation &violation,
+                         FuzzResult &result);
+
+    FuzzConfig config_;
+};
+
+} // namespace hdrd::testkit
+
+#endif // HDRD_TESTKIT_FUZZER_HH

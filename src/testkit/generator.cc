@@ -1,0 +1,228 @@
+#include "testkit/generator.hh"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "workloads/synthetic.hh"
+
+namespace hdrd::testkit
+{
+
+namespace
+{
+
+using workloads::Builder;
+using workloads::Region;
+
+/** How a shared region is kept race-free. */
+enum class Protection : std::uint8_t
+{
+    kMutex = 0,
+    kRwLock,
+    kAtomic,
+};
+
+/**
+ * Deterministically build the program for @p config. Called once per
+ * oracle regime, so every decision must flow from the config's seed.
+ */
+std::unique_ptr<workloads::SyntheticProgram>
+buildRandom(const GenConfig &config)
+{
+    Rng rng(config.seed);
+    const std::uint32_t span =
+        config.max_threads - config.min_threads + 1;
+    const auto nthreads = static_cast<std::uint32_t>(
+        config.min_threads + rng.nextBounded(span));
+    Builder b("fuzzgen", nthreads, config.seed);
+
+    // Shared regions, each with its protection discipline.
+    const int nshared = 2 + static_cast<int>(rng.nextBounded(3));
+    std::vector<Region> shared;
+    std::vector<Protection> prot;
+    std::vector<std::uint64_t> guard;
+    for (int i = 0; i < nshared; ++i) {
+        shared.push_back(b.alloc(4096));
+        const auto p =
+            static_cast<Protection>(rng.nextBounded(3));
+        prot.push_back(p);
+        switch (p) {
+          case Protection::kMutex:
+            guard.push_back(b.newLock());
+            break;
+          case Protection::kRwLock:
+            guard.push_back(b.newRwLock());
+            break;
+          case Protection::kAtomic:
+            guard.push_back(0);
+            break;
+        }
+    }
+    const Region ro = b.alloc(8192);
+    const Region scratch = b.alloc(512 * 1024);
+    // One word per thread: adjacent words of the same line(s), so
+    // sweeps over per-thread slices share cache lines but never race
+    // at word granularity.
+    const Region false_share = b.alloc(nthreads * 8);
+
+    // Init phase: thread 0 fills the read-only data.
+    b.sweep(0, ro, ro.words(), 1.0);
+    b.barrierAll(b.newBarrier());
+
+    const auto phases = static_cast<std::uint32_t>(
+        1 + rng.nextBounded(config.max_phases));
+    const auto races = static_cast<std::uint32_t>(
+        rng.nextBounded(config.max_races + 1));
+    const std::uint64_t sz = config.size;
+
+    for (std::uint32_t phase = 0; phase < phases; ++phase) {
+        // Races go at the start of a phase: the preceding barrier
+        // aligns the threads so the racy bursts actually overlap.
+        for (std::uint32_t r = 0; r < races; ++r) {
+            if (r % phases == phase) {
+                const auto t1 = static_cast<ThreadId>(
+                    rng.nextBounded(nthreads));
+                auto t2 = static_cast<ThreadId>(
+                    rng.nextBounded(nthreads));
+                if (t2 == t1)
+                    t2 = (t1 + 1) % nthreads;
+                const std::uint64_t repeats = 100
+                    + rng.nextBounded(config.max_race_repeats > 100
+                                          ? config.max_race_repeats
+                                                - 100
+                                          : 1);
+                workloads::injectRace(b, t1, t2, repeats);
+            }
+        }
+        for (ThreadId t = 0; t < nthreads; ++t) {
+            const int segments =
+                1 + static_cast<int>(rng.nextBounded(3));
+            for (int s = 0; s < segments; ++s) {
+                const std::uint64_t pick = rng.nextBounded(
+                    config.allow_false_sharing ? 6 : 5);
+                switch (pick) {
+                  case 0:
+                    b.sweep(t, scratch.slice(t, nthreads),
+                            sz / 2 + rng.nextBounded(sz),
+                            rng.nextDouble(), rng.nextBool(0.3));
+                    break;
+                  case 1: {
+                    const auto region = static_cast<std::size_t>(
+                        rng.nextBounded(nshared));
+                    const std::uint64_t count =
+                        20 + rng.nextBounded(sz / 8 + 1);
+                    switch (prot[region]) {
+                      case Protection::kMutex:
+                        b.lockedRmw(t, shared[region], count,
+                                    guard[region],
+                                    rng.nextBool(0.5));
+                        break;
+                      case Protection::kRwLock:
+                        // One writer thread per region keeps the
+                        // write side exclusive-by-convention; the
+                        // rwlock itself makes it race-free.
+                        b.rwSweep(t, shared[region], count,
+                                  guard[region],
+                                  /*write=*/t
+                                      == region % nthreads,
+                                  rng.nextBool(0.5));
+                        break;
+                      case Protection::kAtomic:
+                        b.atomicSweep(t, shared[region],
+                                      count / 4 + 1,
+                                      rng.nextBool(0.5));
+                        break;
+                    }
+                    break;
+                  }
+                  case 2:
+                    b.sweep(t, ro, 100 + rng.nextBounded(sz),
+                            0.0, rng.nextBool(0.5));
+                    break;
+                  case 3:
+                    b.compute(t, 10 + rng.nextBounded(50), 8);
+                    break;
+                  case 4:
+                    b.sweep(t, scratch.slice(t, nthreads),
+                            sz / 4 + rng.nextBounded(sz / 2 + 1),
+                            0.1, false, 64);
+                    break;
+                  default:
+                    // False sharing: this thread's own word of the
+                    // shared line, mixed reads and writes.
+                    b.sweep(t, false_share.slice(t, nthreads),
+                            50 + rng.nextBounded(sz / 2 + 1),
+                            0.3 + 0.5 * rng.nextDouble());
+                    break;
+                }
+            }
+        }
+        b.barrierAll(b.newBarrier());
+    }
+    return b.build();
+}
+
+} // namespace
+
+GeneratedProgram
+generateProgram(const GenConfig &config)
+{
+    hdrdAssert(config.min_threads >= 2
+                   && config.max_threads >= config.min_threads,
+               "bad thread range [", config.min_threads, ", ",
+               config.max_threads, "]");
+    // One throwaway build yields the metadata for the summary.
+    auto probe = buildRandom(config);
+    GeneratedProgram out;
+    out.nthreads = probe->numThreads();
+    out.races =
+        static_cast<std::uint32_t>(probe->injectedRaces().size());
+    out.summary = "threads=" + std::to_string(out.nthreads)
+        + " races=" + std::to_string(out.races);
+    out.factory = [config] { return buildRandom(config); };
+    return out;
+}
+
+ScheduleParams
+randomSchedule(Rng &rng)
+{
+    ScheduleParams params;
+    params.seed = rng.next64() | 1;
+    switch (rng.nextBounded(4)) {
+      case 0:
+        params.policy = runtime::SchedPolicy::kRandom;
+        break;
+      case 1:
+        params.policy = runtime::SchedPolicy::kRoundRobin;
+        break;
+      default:
+        // Earliest-first dominates: it is the production policy.
+        params.policy = runtime::SchedPolicy::kEarliestFirst;
+        break;
+    }
+    if (params.policy == runtime::SchedPolicy::kEarliestFirst
+        && rng.nextBool(0.5)) {
+        params.jitter = rng.nextDouble() * 0.4;
+    }
+    return params;
+}
+
+detect::VectorClock
+randomClock(Rng &rng, std::uint32_t max_threads,
+            detect::ClockValue max_clock)
+{
+    detect::VectorClock vc;
+    const auto n = static_cast<std::uint32_t>(
+        rng.nextBounded(max_threads + 1));
+    for (std::uint32_t t = 0; t < n; ++t) {
+        // Leave some components implicitly zero to exercise the
+        // sparse-growth representation.
+        if (rng.nextBool(0.3))
+            continue;
+        vc.set(t, rng.nextBounded(max_clock + 1));
+    }
+    return vc;
+}
+
+} // namespace hdrd::testkit

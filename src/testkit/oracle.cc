@@ -1,0 +1,168 @@
+#include "testkit/oracle.hh"
+
+#include <algorithm>
+
+namespace hdrd::testkit
+{
+
+const char *
+faultName(Fault fault)
+{
+    switch (fault) {
+      case Fault::kNone:
+        return "none";
+      case Fault::kCoarseDemandGranule:
+        return "coarse-demand-granule";
+    }
+    return "?";
+}
+
+const char *
+violationKindName(ViolationKind kind)
+{
+    switch (kind) {
+      case ViolationKind::kDemandNotSubset:
+        return "demand-not-subset";
+      case ViolationKind::kDetectorPairMismatch:
+        return "detector-pair-mismatch";
+    }
+    return "?";
+}
+
+std::string
+Violation::describe() const
+{
+    std::string out = violationKindName(kind);
+    out += " [" + regime + "]";
+    out += " pair=(" + std::to_string(pair.first) + ","
+        + std::to_string(pair.second) + ")";
+    return out;
+}
+
+DifferentialOracle::DifferentialOracle(OracleConfig config)
+    : config_(std::move(config))
+{
+}
+
+runtime::SimConfig
+DifferentialOracle::baseConfig() const
+{
+    runtime::SimConfig sim;
+    sim.mem.ncores = config_.cores;
+    sim.granule_shift = config_.granule_shift;
+    sim.seed = config_.sched.seed;
+    sim.sched_jitter = config_.sched.jitter;
+    sim.sched_policy = config_.sched.policy;
+    return sim;
+}
+
+runtime::SimConfig
+DifferentialOracle::referenceConfig() const
+{
+    runtime::SimConfig sim = baseConfig();
+    sim.mode = instr::ToolMode::kContinuous;
+    sim.detector = runtime::DetectorKind::kFastTrack;
+    return sim;
+}
+
+runtime::SimConfig
+DifferentialOracle::naiveConfig() const
+{
+    runtime::SimConfig sim = referenceConfig();
+    sim.detector = runtime::DetectorKind::kNaiveHb;
+    return sim;
+}
+
+runtime::SimConfig
+DifferentialOracle::demandConfig(std::uint64_t sav) const
+{
+    runtime::SimConfig sim = baseConfig();
+    sim.mode = instr::ToolMode::kDemand;
+    sim.detector = runtime::DetectorKind::kFastTrack;
+    sim.gating.strategy = demand::Strategy::kDemandHitm;
+    sim.gating.scope = config_.scope;
+    sim.gating.pebs_precise_capture = config_.pebs;
+    sim.gating.hitm_counter.sample_after = sav;
+    if (config_.fault == Fault::kCoarseDemandGranule)
+        sim.granule_shift = 6;
+    return sim;
+}
+
+std::string
+DifferentialOracle::demandLabel(std::uint64_t sav)
+{
+    return "demand.sav" + std::to_string(sav);
+}
+
+std::set<SitePair>
+DifferentialOracle::sitePairs(const detect::ReportSink &sink)
+{
+    std::set<SitePair> out;
+    for (const detect::RaceReport &r : sink.reports()) {
+        SiteId a = r.first_site;
+        SiteId b = r.second_site;
+        if (a > b)
+            std::swap(a, b);
+        out.insert({a, b});
+    }
+    return out;
+}
+
+DifferentialResult
+DifferentialOracle::check(const ProgramFactory &factory) const
+{
+    DifferentialResult result;
+
+    // Reference and cross-check regimes.
+    auto ref_prog = factory();
+    const auto ref =
+        runtime::Simulator::runWith(*ref_prog, referenceConfig());
+    auto naive_prog = factory();
+    const auto naive =
+        runtime::Simulator::runWith(*naive_prog, naiveConfig());
+
+    const auto ref_pairs = sitePairs(ref.reports);
+    const auto naive_pairs = sitePairs(naive.reports);
+    result.reference_pairs = ref_pairs.size();
+    result.naive_pairs = naive_pairs.size();
+
+    // 1. Every FastTrack pair must be known to NaiveHB.
+    for (const SitePair &p : ref_pairs) {
+        if (!naive_pairs.count(p)) {
+            result.violations.push_back(
+                {ViolationKind::kDetectorPairMismatch, p,
+                 "fasttrack-vs-naive"});
+        }
+    }
+
+    // 2. Each demand regime's pairs must be a subset of the
+    //    reference; the first regime also measures recall.
+    bool first = true;
+    for (const std::uint64_t sav : config_.demand_savs) {
+        auto demand_prog = factory();
+        const auto demand = runtime::Simulator::runWith(
+            *demand_prog, demandConfig(sav));
+        const auto demand_pairs = sitePairs(demand.reports);
+        for (const SitePair &p : demand_pairs) {
+            if (!ref_pairs.count(p)) {
+                result.violations.push_back(
+                    {ViolationKind::kDemandNotSubset, p,
+                     demandLabel(sav)});
+            }
+        }
+        if (first) {
+            first = false;
+            result.demand_pairs = demand_pairs.size();
+            if (!ref_pairs.empty()) {
+                std::size_t found = 0;
+                for (const SitePair &p : demand_pairs)
+                    found += ref_pairs.count(p);
+                result.recall = static_cast<double>(found)
+                    / static_cast<double>(ref_pairs.size());
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace hdrd::testkit

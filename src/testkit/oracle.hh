@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The cross-detector differential oracle.
+ *
+ * One generated execution is run under several analysis regimes and
+ * the verdicts are cross-checked against invariants that must hold if
+ * the detectors are sound relative to each other:
+ *
+ *  1. FastTrack-continuous race pairs are a subset of
+ *     NaiveHB-continuous pairs (the epoch optimization may only drop
+ *     redundant pairs, never invent them). Note that only the *pair
+ *     sets* are comparable: the representative address stored per
+ *     deduplicated pair is whichever dynamic race fired first, and
+ *     the two detectors legitimately fire on different accesses.
+ *  2. Demand-mode (HITM-gated) pairs are a subset of
+ *     FastTrack-continuous pairs: gating may only lose races, never
+ *     fabricate them. The surviving fraction is the measured recall —
+ *     the paper's "little accuracy loss" claim, quantified per run.
+ *
+ * Any violation is an oracle failure worth a minimized reproduction.
+ */
+
+#ifndef HDRD_TESTKIT_ORACLE_HH
+#define HDRD_TESTKIT_ORACLE_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/simulator.hh"
+#include "testkit/generator.hh"
+
+namespace hdrd::testkit
+{
+
+/** Deliberate detector corruptions for harness self-tests. */
+enum class Fault : std::uint8_t
+{
+    kNone = 0,
+
+    /**
+     * Run the demand regimes at cache-line granularity while the
+     * reference stays at word granularity — the classic "coarsen the
+     * shadow granule for speed" optimization bug: false sharing shows
+     * up as racing pairs the reference never reports.
+     */
+    kCoarseDemandGranule,
+};
+
+/** Printable name for a Fault. */
+const char *faultName(Fault fault);
+
+/** A normalized (a <= b) static site pair. */
+using SitePair = std::pair<SiteId, SiteId>;
+
+/** What an oracle violation looks like. */
+enum class ViolationKind : std::uint8_t
+{
+    /** A demand-mode pair is missing from the continuous reference. */
+    kDemandNotSubset = 0,
+
+    /** A FastTrack pair is missing from NaiveHB's pairs. */
+    kDetectorPairMismatch,
+};
+
+/** Printable name for a ViolationKind. */
+const char *violationKindName(ViolationKind kind);
+
+/** One concrete oracle violation. */
+struct Violation
+{
+    ViolationKind kind = ViolationKind::kDemandNotSubset;
+
+    /** Offending site pair. */
+    SitePair pair{kInvalidSite, kInvalidSite};
+
+    /** Regime label the violation was observed under. */
+    std::string regime;
+
+    /** Deterministic one-line description. */
+    std::string describe() const;
+};
+
+/** Oracle configuration: platform, schedule, regimes, faults. */
+struct OracleConfig
+{
+    ScheduleParams sched;
+    std::uint32_t cores = 4;
+    std::uint32_t granule_shift = 3;
+
+    /** Demand regimes to check, one per sample-after value. */
+    std::vector<std::uint64_t> demand_savs = {1};
+
+    /** Demand enable scope (randomized by the fuzzer). */
+    demand::EnableScope scope = demand::EnableScope::kGlobal;
+
+    /** PEBS precise capture in the demand regimes. */
+    bool pebs = false;
+
+    /** Injected harness fault (self-test). */
+    Fault fault = Fault::kNone;
+};
+
+/** Everything one differential check measured. */
+struct DifferentialResult
+{
+    std::vector<Violation> violations;
+
+    /** Unique pairs per regime. */
+    std::size_t reference_pairs = 0;  ///< FastTrack continuous
+    std::size_t naive_pairs = 0;      ///< NaiveHB continuous
+    std::size_t demand_pairs = 0;     ///< first demand regime
+
+    /**
+     * Fraction of reference pairs the first demand regime re-found
+     * (1.0 when the reference found none).
+     */
+    double recall = 1.0;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/**
+ * Runs the regime matrix over a program factory and cross-checks.
+ */
+class DifferentialOracle
+{
+  public:
+    explicit DifferentialOracle(OracleConfig config = {});
+
+    /** Run every regime on fresh programs from @p factory. */
+    DifferentialResult check(const ProgramFactory &factory) const;
+
+    /** The continuous FastTrack reference configuration. */
+    runtime::SimConfig referenceConfig() const;
+
+    /** The NaiveHB cross-check configuration. */
+    runtime::SimConfig naiveConfig() const;
+
+    /** A demand regime configuration (fault applied). */
+    runtime::SimConfig demandConfig(std::uint64_t sav) const;
+
+    /** Deterministic regime label for a demand SAV. */
+    static std::string demandLabel(std::uint64_t sav);
+
+    /** Normalized site pairs of a report sink. */
+    static std::set<SitePair>
+    sitePairs(const detect::ReportSink &sink);
+
+    const OracleConfig &config() const { return config_; }
+
+  private:
+    runtime::SimConfig baseConfig() const;
+
+    OracleConfig config_;
+};
+
+} // namespace hdrd::testkit
+
+#endif // HDRD_TESTKIT_ORACLE_HH

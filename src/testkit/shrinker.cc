@@ -1,0 +1,133 @@
+#include "testkit/shrinker.hh"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hdrd::testkit
+{
+
+namespace
+{
+
+using OpMatrix = std::vector<std::vector<runtime::Op>>;
+
+/** A removable op's position: (thread, index in thread stream). */
+struct Pos
+{
+    ThreadId tid;
+    std::size_t idx;
+};
+
+/** All deletion candidates, in (tid, idx) order. */
+std::vector<Pos>
+removablePositions(const OpMatrix &ops)
+{
+    std::vector<Pos> out;
+    for (ThreadId t = 0; t < ops.size(); ++t) {
+        for (std::size_t i = 0; i < ops[t].size(); ++i) {
+            if (!ops[t][i].isSync())
+                out.push_back({t, i});
+        }
+    }
+    return out;
+}
+
+/** @p ops minus the removable window [@p from, @p to). */
+OpMatrix
+without(const OpMatrix &ops, const std::vector<Pos> &removable,
+        std::size_t from, std::size_t to)
+{
+    // Per-thread sets of indices to drop.
+    std::vector<std::vector<std::size_t>> drop(ops.size());
+    for (std::size_t i = from; i < to; ++i)
+        drop[removable[i].tid].push_back(removable[i].idx);
+
+    OpMatrix out(ops.size());
+    for (ThreadId t = 0; t < ops.size(); ++t) {
+        const auto &d = drop[t];  // ascending by construction
+        std::size_t next = 0;
+        out[t].reserve(ops[t].size()
+                       - std::min(d.size(), ops[t].size()));
+        for (std::size_t i = 0; i < ops[t].size(); ++i) {
+            if (next < d.size() && d[next] == i) {
+                ++next;
+                continue;
+            }
+            out[t].push_back(ops[t][i]);
+        }
+    }
+    return out;
+}
+
+std::size_t
+totalOps(const OpMatrix &ops)
+{
+    std::size_t n = 0;
+    for (const auto &v : ops)
+        n += v.size();
+    return n;
+}
+
+} // namespace
+
+TraceShrinker::TraceShrinker(TracePredicate predicate,
+                             std::uint64_t budget)
+    : predicate_(std::move(predicate)), budget_(budget)
+{
+}
+
+trace::TraceData
+TraceShrinker::shrink(const trace::TraceData &input)
+{
+    OpMatrix ops;
+    ops.reserve(input.nthreads());
+    for (ThreadId t = 0; t < input.nthreads(); ++t)
+        ops.push_back(input.threadOps(t));
+    const std::string name = input.name();
+
+    stats_ = ShrinkStats{};
+    stats_.initial_ops = totalOps(ops);
+
+    auto holds = [&](const OpMatrix &candidate) {
+        ++stats_.predicate_runs;
+        return predicate_(
+            trace::TraceData::fromOps(name, candidate));
+    };
+
+    std::vector<Pos> removable = removablePositions(ops);
+    std::size_t chunk =
+        removable.empty() ? 0 : (removable.size() + 1) / 2;
+
+    while (chunk >= 1 && stats_.predicate_runs < budget_) {
+        bool removed_any = false;
+        // Scan back-to-front so committed removals don't shift the
+        // windows still to be tried in this pass.
+        std::size_t end = removable.size();
+        while (end > 0 && stats_.predicate_runs < budget_) {
+            const std::size_t begin =
+                end > chunk ? end - chunk : 0;
+            OpMatrix candidate = without(ops, removable, begin, end);
+            if (holds(candidate)) {
+                ops = std::move(candidate);
+                removable = removablePositions(ops);
+                removed_any = true;
+                end = std::min(begin, removable.size());
+            } else {
+                end = begin;
+            }
+        }
+        if (chunk == 1 && !removed_any)
+            break;
+        chunk = chunk == 1 ? 1 : (chunk + 1) / 2;
+        if (removable.empty())
+            break;
+        chunk = std::min(chunk, removable.size());
+    }
+
+    stats_.final_ops = totalOps(ops);
+    return trace::TraceData::fromOps(name, ops);
+}
+
+} // namespace hdrd::testkit

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Delta-debugging trace minimization.
+ *
+ * Given a recorded trace that reproduces an oracle violation and a
+ * predicate "does this candidate still reproduce it", the shrinker
+ * repeatedly deletes chunks of operations while the predicate holds,
+ * converging on a small (1-minimal over its move set) reproduction.
+ *
+ * Only data accesses and work ops are deletion candidates: the
+ * synchronization skeleton (locks, barriers, thread create/join,
+ * atomics) is preserved verbatim so every candidate stays deadlock-
+ * free and replayable by construction.
+ */
+
+#ifndef HDRD_TESTKIT_SHRINKER_HH
+#define HDRD_TESTKIT_SHRINKER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "trace/trace_io.hh"
+
+namespace hdrd::testkit
+{
+
+/** Does this candidate trace still reproduce the failure? */
+using TracePredicate =
+    std::function<bool(const trace::TraceData &)>;
+
+/** Shrink bookkeeping. */
+struct ShrinkStats
+{
+    std::size_t initial_ops = 0;
+    std::size_t final_ops = 0;
+    std::uint64_t predicate_runs = 0;
+};
+
+/**
+ * ddmin-style chunk-removal minimizer over a trace's removable ops.
+ */
+class TraceShrinker
+{
+  public:
+    /**
+     * @param predicate failure check; must be true on the input trace
+     * @param budget maximum predicate evaluations
+     */
+    explicit TraceShrinker(TracePredicate predicate,
+                           std::uint64_t budget = 2000);
+
+    /**
+     * Minimize @p input.
+     * @return the smallest reproducing trace found (the input itself
+     *         when nothing could be removed).
+     */
+    trace::TraceData shrink(const trace::TraceData &input);
+
+    const ShrinkStats &stats() const { return stats_; }
+
+  private:
+    TracePredicate predicate_;
+    std::uint64_t budget_;
+    ShrinkStats stats_;
+};
+
+} // namespace hdrd::testkit
+
+#endif // HDRD_TESTKIT_SHRINKER_HH

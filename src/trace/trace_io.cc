@@ -1,6 +1,7 @@
 #include "trace/trace_io.hh"
 
 #include <cstring>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -38,6 +39,13 @@ TraceWriter::record(ThreadId tid, const runtime::Op &op)
     const TraceRecord record = TraceRecord::fromOp(tid, op);
     out_.write(reinterpret_cast<const char *>(&record),
                sizeof(record));
+    if (!out_) {
+        // Disk full or similar: poison the writer so finalize()
+        // reports the failure instead of leaving a silently short
+        // trace behind.
+        ok_ = false;
+        return;
+    }
     ++count_;
 }
 
@@ -73,6 +81,18 @@ TraceData::load(const std::string &path)
         return data;
     }
 
+    // Size the file up front so a corrupt header can't make us read
+    // (or allocate for) records that cannot possibly exist.
+    in.seekg(0, std::ios::end);
+    const auto file_size = static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0, std::ios::beg);
+    if (file_size < sizeof(TraceHeader)) {
+        data.error_ = "truncated header ("
+            + std::to_string(file_size) + " bytes, need "
+            + std::to_string(sizeof(TraceHeader)) + ")";
+        return data;
+    }
+
     TraceHeader header;
     in.read(reinterpret_cast<char *>(&header), sizeof(header));
     if (!in) {
@@ -84,7 +104,25 @@ TraceData::load(const std::string &path)
         return data;
     }
     if (header.nthreads == 0 || header.nthreads > 4096) {
-        data.error_ = "implausible thread count";
+        data.error_ = "implausible thread count "
+            + std::to_string(header.nthreads);
+        return data;
+    }
+
+    const std::uint64_t payload = file_size - sizeof(TraceHeader);
+    const std::uint64_t expected =
+        header.record_count * sizeof(TraceRecord);
+    if (header.record_count > payload / sizeof(TraceRecord)) {
+        data.error_ = "truncated: header claims "
+            + std::to_string(header.record_count)
+            + " records but the file only holds "
+            + std::to_string(payload / sizeof(TraceRecord));
+        return data;
+    }
+    if (payload != expected) {
+        data.error_ = std::to_string(payload - expected)
+            + " bytes of trailing garbage after "
+            + std::to_string(header.record_count) + " records";
         return data;
     }
 
@@ -121,6 +159,33 @@ TraceData::load(const std::string &path)
         ++data.total_;
     }
     return data;
+}
+
+TraceData
+TraceData::fromOps(std::string name,
+                   std::vector<std::vector<runtime::Op>> per_thread)
+{
+    hdrdAssert(!per_thread.empty(),
+               "in-memory trace needs at least one thread");
+    TraceData data;
+    data.name_ = std::move(name);
+    data.per_thread_ = std::move(per_thread);
+    for (const auto &ops : data.per_thread_)
+        data.total_ += ops.size();
+    return data;
+}
+
+bool
+TraceData::save(const std::string &path) const
+{
+    TraceWriter writer(path, name_, nthreads());
+    if (!writer.ok())
+        return false;
+    for (ThreadId tid = 0; tid < nthreads(); ++tid) {
+        for (const runtime::Op &op : per_thread_[tid])
+            writer.record(tid, op);
+    }
+    return writer.finalize();
 }
 
 } // namespace hdrd::trace

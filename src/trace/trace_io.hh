@@ -46,7 +46,11 @@ class TraceWriter
     /** Append one operation. */
     void record(ThreadId tid, const runtime::Op &op);
 
-    /** Patch the header with the final count and close the file. */
+    /**
+     * Patch the header with the final count and close the file.
+     * @return false when any write (including earlier record()
+     *         calls) failed; the file should then be discarded.
+     */
     bool finalize();
 
     /** Records written so far. */
@@ -69,9 +73,22 @@ class TraceData
     /**
      * Load @p path.
      * @return the trace, or an empty object whose error() explains
-     *         what was wrong (bad magic, truncation, invalid record).
+     *         what was wrong (bad magic, truncation, invalid record,
+     *         declared record count inconsistent with the file size).
      */
     static TraceData load(const std::string &path);
+
+    /**
+     * Build a trace directly from per-thread operation vectors (the
+     * shrinker mutates candidate traces in memory without touching
+     * disk for every attempt).
+     */
+    static TraceData fromOps(
+        std::string name,
+        std::vector<std::vector<runtime::Op>> per_thread);
+
+    /** Write this trace to @p path. @return false on I/O failure. */
+    bool save(const std::string &path) const;
 
     /** True when the load succeeded. */
     bool ok() const { return error_.empty(); }

@@ -14,7 +14,9 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
+#include "detect/epoch.hh"
 #include "runtime/simulator.hh"
+#include "testkit/generator.hh"
 #include "workloads/synthetic.hh"
 
 using namespace hdrd;
@@ -299,6 +301,144 @@ TEST(WriteOnlySharing, InvisibleToHitmLoadEvent)
     EXPECT_GT(result.hitm_transfers, 0u);
     EXPECT_EQ(result.hitm_loads, 0u);
 }
+
+// ---------------------------------------------------------------------
+// Algebraic properties of the detector primitives, driven by the
+// testkit RNG: VectorClock join is a join (associative, commutative,
+// idempotent, identity, least upper bound), leq is a partial order,
+// and Epoch::leq agrees with the single-component definition.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+detect::VectorClock
+joined(detect::VectorClock a, const detect::VectorClock &b)
+{
+    a.join(b);
+    return a;
+}
+
+} // namespace
+
+class ClockAlgebra : public ::testing::TestWithParam<int>
+{
+  protected:
+    Rng rng_{static_cast<std::uint64_t>(GetParam()) + 9000};
+
+    detect::VectorClock draw()
+    {
+        return testkit::randomClock(rng_, 8, 1000);
+    }
+};
+
+TEST_P(ClockAlgebra, JoinIsAssociativeCommutativeIdempotent)
+{
+    for (int i = 0; i < 50; ++i) {
+        const auto a = draw();
+        const auto b = draw();
+        const auto c = draw();
+        EXPECT_EQ(joined(joined(a, b), c), joined(a, joined(b, c)));
+        EXPECT_EQ(joined(a, b), joined(b, a));
+        EXPECT_EQ(joined(a, a), a);
+    }
+}
+
+TEST_P(ClockAlgebra, EmptyClockIsJoinIdentity)
+{
+    const detect::VectorClock empty;
+    for (int i = 0; i < 50; ++i) {
+        const auto a = draw();
+        EXPECT_EQ(joined(a, empty), a);
+        EXPECT_TRUE(empty.leq(a));
+    }
+}
+
+TEST_P(ClockAlgebra, LeqIsAPartialOrder)
+{
+    for (int i = 0; i < 50; ++i) {
+        const auto a = draw();
+        const auto b = draw();
+        const auto c = draw();
+        EXPECT_TRUE(a.leq(a));  // reflexive
+        if (a.leq(b) && b.leq(a))
+            EXPECT_EQ(a, b);  // antisymmetric
+        if (a.leq(b) && b.leq(c))
+            EXPECT_TRUE(a.leq(c));  // transitive
+    }
+}
+
+TEST_P(ClockAlgebra, JoinIsTheLeastUpperBound)
+{
+    for (int i = 0; i < 50; ++i) {
+        const auto a = draw();
+        const auto b = draw();
+        const auto ab = joined(a, b);
+        EXPECT_TRUE(a.leq(ab));  // upper bound
+        EXPECT_TRUE(b.leq(ab));
+        // Least: any other upper bound c dominates the join.
+        const auto c = joined(ab, draw());
+        EXPECT_TRUE(ab.leq(c));
+    }
+}
+
+TEST_P(ClockAlgebra, TickStrictlyAdvancesItsComponent)
+{
+    for (int i = 0; i < 50; ++i) {
+        const auto before = draw();
+        const auto tid = static_cast<ThreadId>(rng_.nextBounded(8));
+        auto after = before;
+        after.tick(tid);
+        EXPECT_EQ(after.get(tid), before.get(tid) + 1);
+        EXPECT_TRUE(before.leq(after));
+        EXPECT_FALSE(after.leq(before));
+    }
+}
+
+TEST_P(ClockAlgebra, FirstGreaterExceptWitnessesNonLeq)
+{
+    for (int i = 0; i < 50; ++i) {
+        const auto a = draw();
+        const auto b = draw();
+        const ThreadId w = a.firstGreaterExcept(b, kInvalidThread);
+        if (a.leq(b)) {
+            EXPECT_EQ(w, kInvalidThread);
+        } else {
+            ASSERT_NE(w, kInvalidThread);
+            EXPECT_GT(a.get(w), b.get(w));
+        }
+    }
+}
+
+TEST_P(ClockAlgebra, EpochLeqMatchesComponentDefinition)
+{
+    for (int i = 0; i < 50; ++i) {
+        const auto vc = draw();
+        const auto tid = static_cast<ThreadId>(rng_.nextBounded(8));
+        const auto clock =
+            static_cast<detect::ClockValue>(rng_.nextBounded(1200));
+        const detect::Epoch e(tid, clock);
+        EXPECT_EQ(e.tid(), tid);
+        EXPECT_EQ(e.clock(), clock);
+        EXPECT_EQ(e.leq(vc), clock <= vc.get(tid));
+        // The boundary cases, explicitly.
+        EXPECT_TRUE(
+            detect::Epoch(tid, vc.get(tid)).leq(vc));
+        EXPECT_FALSE(
+            detect::Epoch(tid, vc.get(tid) + 1).leq(vc));
+    }
+}
+
+TEST_P(ClockAlgebra, EmptyEpochPrecedesEveryClock)
+{
+    const detect::Epoch empty;
+    EXPECT_TRUE(empty.empty());
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(empty.leq(draw()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClockAlgebra,
+                         ::testing::Range(1, 6));
 
 TEST(WriteOnlySharing, DemandHitmMissesPureWwRace)
 {

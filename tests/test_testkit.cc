@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the fuzz-harness building blocks: deterministic program
+ * generation, the cross-detector oracle, the trace shrinker, and the
+ * end-to-end fuzzer (including fault-injection self-tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "testkit/fuzzer.hh"
+#include "trace/trace_program.hh"
+#include "workloads/registry.hh"
+#include "workloads/synthetic.hh"
+
+using namespace hdrd;
+using namespace hdrd::testkit;
+
+namespace
+{
+
+/** Fresh scratch dir under the test temp root. */
+std::string
+scratchDir(const char *tag)
+{
+    const auto dir = std::filesystem::path(::testing::TempDir())
+        / (std::string("hdrd_testkit_") + tag);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+/** Factory for a registered workload at test scale. */
+ProgramFactory
+workloadFactory(const std::string &name, double scale = 0.05,
+                std::uint32_t races = 0)
+{
+    const auto *info = workloads::findWorkload(name);
+    EXPECT_NE(info, nullptr) << name;
+    return [info, scale, races] {
+        workloads::WorkloadParams params;
+        params.scale = scale;
+        params.injected_races = races;
+        return info->factory(params);
+    };
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------
+
+TEST(Generator, SameSeedSameProgram)
+{
+    GenConfig config;
+    config.seed = 123;
+    const auto a = generateProgram(config);
+    const auto b = generateProgram(config);
+    EXPECT_EQ(a.nthreads, b.nthreads);
+    EXPECT_EQ(a.races, b.races);
+    EXPECT_EQ(a.summary, b.summary);
+
+    // The factories produce behaviourally identical programs.
+    runtime::SimConfig sim;
+    sim.mode = instr::ToolMode::kContinuous;
+    auto pa = a.factory();
+    auto pb = b.factory();
+    const auto ra = runtime::Simulator::runWith(*pa, sim);
+    const auto rb = runtime::Simulator::runWith(*pb, sim);
+    EXPECT_EQ(ra.total_ops, rb.total_ops);
+    EXPECT_EQ(ra.wall_cycles, rb.wall_cycles);
+    EXPECT_EQ(ra.reports.uniqueCount(), rb.reports.uniqueCount());
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    GenConfig a_cfg, b_cfg;
+    a_cfg.seed = 1;
+    b_cfg.seed = 2;
+    const auto a = generateProgram(a_cfg);
+    const auto b = generateProgram(b_cfg);
+    auto pa = a.factory();
+    auto pb = b.factory();
+    runtime::SimConfig sim;
+    const auto ra = runtime::Simulator::runWith(*pa, sim);
+    const auto rb = runtime::Simulator::runWith(*pb, sim);
+    EXPECT_NE(ra.total_ops, rb.total_ops);
+}
+
+TEST(Generator, RespectsThreadBounds)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        GenConfig config;
+        config.seed = seed;
+        config.min_threads = 3;
+        config.max_threads = 5;
+        const auto gen = generateProgram(config);
+        EXPECT_GE(gen.nthreads, 3u);
+        EXPECT_LE(gen.nthreads, 5u);
+        EXPECT_LE(gen.races, config.max_races);
+    }
+}
+
+TEST(Generator, RaceFreeProgramsAreCleanUnderContinuous)
+{
+    for (std::uint64_t seed = 50; seed < 60; ++seed) {
+        GenConfig config;
+        config.seed = seed;
+        config.max_races = 0;
+        const auto gen = generateProgram(config);
+        auto prog = gen.factory();
+        runtime::SimConfig sim;
+        sim.mode = instr::ToolMode::kContinuous;
+        const auto result = runtime::Simulator::runWith(*prog, sim);
+        EXPECT_EQ(result.reports.uniqueCount(), 0u)
+            << "seed " << seed;
+    }
+}
+
+TEST(Generator, RandomScheduleIsDeterministicPerRngState)
+{
+    Rng a(9), b(9);
+    for (int i = 0; i < 20; ++i) {
+        const auto sa = randomSchedule(a);
+        const auto sb = randomSchedule(b);
+        EXPECT_EQ(sa.seed, sb.seed);
+        EXPECT_EQ(sa.policy, sb.policy);
+        EXPECT_DOUBLE_EQ(sa.jitter, sb.jitter);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle
+// ---------------------------------------------------------------------
+
+TEST(Oracle, CleanWorkloadPasses)
+{
+    DifferentialOracle oracle;
+    const auto result =
+        oracle.check(workloadFactory("micro.locked_counter"));
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.reference_pairs, 0u);
+}
+
+TEST(Oracle, RacyWorkloadPassesWithNonzeroPairs)
+{
+    DifferentialOracle oracle;
+    const auto result =
+        oracle.check(workloadFactory("micro.racy_counter"));
+    EXPECT_TRUE(result.ok());
+    EXPECT_GT(result.reference_pairs, 0u);
+    EXPECT_GT(result.recall, 0.0);
+}
+
+TEST(Oracle, CoarseGranuleFaultViolatesSubsetInvariant)
+{
+    // The injected fault runs the demand regime at cache-line
+    // granularity: the generator's false-sharing segments become
+    // bogus demand-only races, which the subset invariant must catch.
+    GenConfig gen_cfg;
+    gen_cfg.seed = 4;  // generated program with false sharing
+    const auto gen = generateProgram(gen_cfg);
+
+    OracleConfig clean_cfg;
+    DifferentialOracle clean(clean_cfg);
+    EXPECT_TRUE(clean.check(gen.factory).ok());
+
+    OracleConfig faulty_cfg;
+    faulty_cfg.fault = Fault::kCoarseDemandGranule;
+    DifferentialOracle faulty(faulty_cfg);
+    const auto result = faulty.check(gen.factory);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.violations[0].kind,
+              ViolationKind::kDemandNotSubset);
+}
+
+// ---------------------------------------------------------------------
+// Shrinker
+// ---------------------------------------------------------------------
+
+TEST(Shrinker, PreservesSyncSkeletonAndMinimizes)
+{
+    // Program: lots of private noise plus one racy word; predicate =
+    // "continuous analysis still reports a race". The shrinker must
+    // strip the noise but keep every sync op.
+    workloads::Builder b("shrinkme", 2);
+    const auto scratch = b.alloc(64 * 1024);
+    const auto word = b.alloc(8);
+    const std::uint64_t lock = b.newLock();
+    for (ThreadId t = 0; t < 2; ++t) {
+        b.sweep(t, scratch.slice(t, 2), 400, 0.5);
+        b.lockedRmw(t, scratch.slice(t, 2), 10, lock);
+        b.sweep(t, word, 50, 0.8);  // the race
+        b.sweep(t, scratch.slice(t, 2), 400, 0.5);
+    }
+    auto prog = b.build();
+
+    std::vector<std::vector<runtime::Op>> ops(2);
+    for (ThreadId t = 0; t < 2; ++t) {
+        auto body = prog->makeThread(t);
+        runtime::Op op;
+        while (body->next(op))
+            ops[t].push_back(op);
+    }
+    const auto full =
+        trace::TraceData::fromOps("shrinkme", std::move(ops));
+
+    std::size_t sync_before = 0;
+    for (ThreadId t = 0; t < 2; ++t) {
+        for (const auto &op : full.threadOps(t))
+            sync_before += op.isSync();
+    }
+
+    auto predicate = [](const trace::TraceData &cand) {
+        trace::TraceProgram replay(cand);
+        runtime::SimConfig sim;
+        sim.mode = instr::ToolMode::kContinuous;
+        const auto r = runtime::Simulator::runWith(replay, sim);
+        return r.reports.uniqueCount() > 0;
+    };
+    ASSERT_TRUE(predicate(full));
+
+    TraceShrinker shrinker(predicate, /*budget=*/600);
+    const auto min = shrinker.shrink(full);
+
+    EXPECT_TRUE(predicate(min));
+    // All the private noise is gone: a race needs only two accesses
+    // plus the sync skeleton.
+    std::size_t sync_after = 0, data_after = 0;
+    for (ThreadId t = 0; t < min.nthreads(); ++t) {
+        for (const auto &op : min.threadOps(t)) {
+            sync_after += op.isSync();
+            data_after += !op.isSync();
+        }
+    }
+    EXPECT_EQ(sync_after, sync_before);
+    EXPECT_LE(data_after, 4u);
+    EXPECT_LT(min.totalOps(), full.totalOps() / 4);
+    EXPECT_EQ(shrinker.stats().final_ops, min.totalOps());
+}
+
+TEST(Shrinker, ReturnsInputWhenNothingRemovable)
+{
+    std::vector<std::vector<runtime::Op>> ops(1);
+    ops[0] = {runtime::Op::lock(1), runtime::Op::unlock(1)};
+    const auto trace =
+        trace::TraceData::fromOps("syncs", std::move(ops));
+    TraceShrinker shrinker(
+        [](const trace::TraceData &) { return true; });
+    const auto min = shrinker.shrink(trace);
+    EXPECT_EQ(min.totalOps(), 2u);
+    EXPECT_EQ(shrinker.stats().predicate_runs, 0u);
+}
+
+TEST(Shrinker, RespectsBudget)
+{
+    std::vector<std::vector<runtime::Op>> ops(1);
+    for (int i = 0; i < 200; ++i)
+        ops[0].push_back(runtime::Op::work(1));
+    const auto trace =
+        trace::TraceData::fromOps("budget", std::move(ops));
+    std::uint64_t calls = 0;
+    TraceShrinker shrinker(
+        [&calls](const trace::TraceData &) {
+            ++calls;
+            return false;  // nothing ever removable
+        },
+        /*budget=*/10);
+    shrinker.shrink(trace);
+    EXPECT_LE(calls, 10u);
+}
+
+// ---------------------------------------------------------------------
+// Fuzzer end-to-end
+// ---------------------------------------------------------------------
+
+TEST(Fuzzer, CleanCampaignPassesAndIsDeterministic)
+{
+    FuzzConfig config;
+    config.seed = 11;
+    config.iterations = 4;
+    config.gen.size = 200;
+    config.out_dir = scratchDir("clean");
+    Fuzzer a(config), b(config);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_TRUE(ra.ok());
+    EXPECT_EQ(ra.summary(), rb.summary());
+    EXPECT_EQ(ra.iterations, 4u);
+}
+
+TEST(Fuzzer, InjectedFaultIsFoundShrunkAndPersisted)
+{
+    FuzzConfig config;
+    config.seed = 1;
+    config.iterations = 8;
+    config.gen.size = 250;
+    config.gen.max_threads = 4;
+    config.gen.max_race_repeats = 120;
+    config.fault = Fault::kCoarseDemandGranule;
+    config.out_dir = scratchDir("fault");
+    Fuzzer fuzzer(config);
+    const auto result = fuzzer.run();
+
+    ASSERT_FALSE(result.ok());
+    EXPECT_GT(result.shrunk, 0u);
+    ASSERT_GE(result.artifacts.size(), 3u);
+
+    // A persisted minimized trace replays to the same false race:
+    // racy at the faulty cache-line granule, clean at word granule.
+    std::string min_name;
+    for (const auto &name : result.artifacts) {
+        if (name.find(".min.trc") != std::string::npos) {
+            min_name = name;
+            break;
+        }
+    }
+    ASSERT_FALSE(min_name.empty());
+    const auto min_path =
+        (std::filesystem::path(config.out_dir) / min_name).string();
+    trace::TraceData min_trace = trace::TraceData::load(min_path);
+    ASSERT_TRUE(min_trace.ok()) << min_trace.error();
+
+    runtime::SimConfig coarse;
+    coarse.mode = instr::ToolMode::kContinuous;
+    coarse.granule_shift = 6;
+    runtime::SimConfig fine = coarse;
+    fine.granule_shift = 3;
+
+    trace::TraceProgram p1(min_trace);
+    trace::TraceProgram p2(std::move(min_trace));
+    EXPECT_GT(runtime::Simulator::runWith(p1, coarse)
+                  .reports.uniqueCount(),
+              0u);
+    EXPECT_EQ(runtime::Simulator::runWith(p2, fine)
+                  .reports.uniqueCount(),
+              0u);
+    std::filesystem::remove_all(config.out_dir);
+}
+
+TEST(Fuzzer, NoShrinkKeepsFullTraceOnly)
+{
+    FuzzConfig config;
+    config.seed = 1;
+    config.iterations = 2;  // iteration 1 violates under the fault
+    config.gen.size = 250;
+    config.gen.max_threads = 4;
+    config.gen.max_race_repeats = 120;
+    config.fault = Fault::kCoarseDemandGranule;
+    config.shrink = false;
+    config.out_dir = scratchDir("noshrink");
+    Fuzzer fuzzer(config);
+    const auto result = fuzzer.run();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.shrunk, 0u);
+    for (const auto &name : result.artifacts)
+        EXPECT_EQ(name.find(".min.trc"), std::string::npos) << name;
+    std::filesystem::remove_all(config.out_dir);
+}

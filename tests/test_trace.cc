@@ -61,6 +61,32 @@ recordProgram(runtime::Program &program, const std::string &path)
     return n;
 }
 
+/** Overwrite bytes at @p offset in @p path (golden-trace mangling). */
+void
+mangle(const std::string &path, std::streamoff offset,
+       const void *bytes, std::size_t n)
+{
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(offset);
+    f.write(static_cast<const char *>(bytes),
+            static_cast<std::streamsize>(n));
+}
+
+/** Write a small valid golden trace and return its path. */
+std::string
+goldenTrace(const char *tag)
+{
+    const auto path = tmpPath(tag);
+    TraceWriter writer(path, "golden", 2);
+    writer.record(0, Op::write(0x10, 1));
+    writer.record(1, Op::read(0x18, 2));
+    writer.record(0, Op::work(3));
+    EXPECT_TRUE(writer.finalize());
+    return path;
+}
+
 } // namespace
 
 TEST(TraceFormat, RecordRoundTripsOp)
@@ -164,6 +190,155 @@ TEST(TraceIo, InvalidThreadIdRejected)
     EXPECT_FALSE(data.ok());
     EXPECT_NE(data.error().find("unknown thread"), std::string::npos);
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Corruption regressions: take a valid golden trace, mangle specific
+// bytes, and check the loader rejects it with a pointed error instead
+// of crashing or silently misreading. Header layout: magic @0,
+// nthreads @8, record_count @16, name @24, records from @88.
+// ---------------------------------------------------------------------
+
+TEST(TraceCorruption, EmptyFileRejected)
+{
+    const auto path = tmpPath("empty");
+    { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+    const TraceData data = TraceData::load(path);
+    EXPECT_FALSE(data.ok());
+    EXPECT_NE(data.error().find("truncated header"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCorruption, ShortHeaderRejected)
+{
+    const auto path = tmpPath("short");
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "HDRDTRC1 and then nothing";
+    }
+    const TraceData data = TraceData::load(path);
+    EXPECT_FALSE(data.ok());
+    EXPECT_NE(data.error().find("truncated header"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCorruption, InflatedRecordCountRejected)
+{
+    const auto path = goldenTrace("inflate");
+    // Claim far more records than the file holds: a loader that
+    // trusted the header would allocate/read past the end.
+    const std::uint64_t huge = 1'000'000'000ULL;
+    mangle(path, 16, &huge, sizeof(huge));
+    const TraceData data = TraceData::load(path);
+    EXPECT_FALSE(data.ok());
+    EXPECT_NE(data.error().find("truncated: header claims"),
+              std::string::npos)
+        << data.error();
+    std::remove(path.c_str());
+}
+
+TEST(TraceCorruption, UndercountWithTrailingBytesRejected)
+{
+    const auto path = goldenTrace("undercount");
+    // Claim fewer records than the file holds: the stale tail would
+    // silently vanish on replay if the loader accepted it.
+    const std::uint64_t fewer = 2;
+    mangle(path, 16, &fewer, sizeof(fewer));
+    const TraceData data = TraceData::load(path);
+    EXPECT_FALSE(data.ok());
+    EXPECT_NE(data.error().find("trailing garbage"),
+              std::string::npos)
+        << data.error();
+    std::remove(path.c_str());
+}
+
+TEST(TraceCorruption, AppendedGarbageRejected)
+{
+    const auto path = goldenTrace("appended");
+    {
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::app);
+        out << "junk";
+    }
+    const TraceData data = TraceData::load(path);
+    EXPECT_FALSE(data.ok());
+    EXPECT_NE(data.error().find("trailing garbage"),
+              std::string::npos)
+        << data.error();
+    std::remove(path.c_str());
+}
+
+TEST(TraceCorruption, ZeroThreadCountRejected)
+{
+    const auto path = goldenTrace("zerothreads");
+    const std::uint32_t zero = 0;
+    mangle(path, 8, &zero, sizeof(zero));
+    const TraceData data = TraceData::load(path);
+    EXPECT_FALSE(data.ok());
+    EXPECT_NE(data.error().find("implausible thread count"),
+              std::string::npos)
+        << data.error();
+    std::remove(path.c_str());
+}
+
+TEST(TraceCorruption, AbsurdThreadCountRejected)
+{
+    const auto path = goldenTrace("bigthreads");
+    const std::uint32_t absurd = 1u << 20;
+    mangle(path, 8, &absurd, sizeof(absurd));
+    const TraceData data = TraceData::load(path);
+    EXPECT_FALSE(data.ok());
+    EXPECT_NE(data.error().find("implausible thread count"),
+              std::string::npos)
+        << data.error();
+    std::remove(path.c_str());
+}
+
+TEST(TraceCorruption, InvalidOpTypeByteRejected)
+{
+    const auto path = goldenTrace("badop");
+    // Second record's type byte: offset 88 (header) + 32 + 4.
+    const std::uint8_t bogus = 0xEE;
+    mangle(path, 88 + 32 + 4, &bogus, sizeof(bogus));
+    const TraceData data = TraceData::load(path);
+    EXPECT_FALSE(data.ok());
+    EXPECT_NE(data.error().find("invalid op type"),
+              std::string::npos)
+        << data.error();
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, FromOpsSaveLoadRoundTrips)
+{
+    std::vector<std::vector<Op>> per_thread(2);
+    per_thread[0] = {Op::write(0x10, 1), Op::work(9)};
+    per_thread[1] = {Op::read(0x20, 2)};
+    const TraceData built =
+        TraceData::fromOps("inmem", per_thread);
+    EXPECT_TRUE(built.ok());
+    EXPECT_EQ(built.nthreads(), 2u);
+    EXPECT_EQ(built.totalOps(), 3u);
+
+    const auto path = tmpPath("fromops");
+    ASSERT_TRUE(built.save(path));
+    const TraceData loaded = TraceData::load(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error();
+    EXPECT_EQ(loaded.name(), "inmem");
+    ASSERT_EQ(loaded.nthreads(), 2u);
+    ASSERT_EQ(loaded.threadOps(0).size(), 2u);
+    EXPECT_EQ(loaded.threadOps(0)[1].type, OpType::kWork);
+    EXPECT_EQ(loaded.threadOps(1)[0].addr, 0x20u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, SaveToUnwritablePathFails)
+{
+    std::vector<std::vector<Op>> per_thread(1);
+    per_thread[0] = {Op::work(1)};
+    const TraceData built = TraceData::fromOps("x", per_thread);
+    EXPECT_FALSE(built.save("/nonexistent/dir/x.trc"));
 }
 
 TEST(TraceReplay, RecordedRunReplaysIdentically)

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * hdrd_fuzz — differential schedule-fuzzing harness.
+ *
+ * Generates randomized programs and schedules from a master seed and
+ * cross-checks the detector regimes against each other (see
+ * testkit/oracle.hh for the invariants). Any violation is recorded as
+ * a trace, shrunk to a minimal reproduction, and written with a repro
+ * recipe to the output directory.
+ *
+ *   hdrd_fuzz --smoke --seed=1          # bounded CI run
+ *   hdrd_fuzz --iters=200 --seed=42     # longer campaign
+ *   hdrd_fuzz --smoke --break-detector  # self-test: must violate
+ *
+ * Exit status: 0 when every iteration satisfied the oracle, 2 when
+ * any violation was found, 1 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "testkit/fuzzer.hh"
+
+using namespace hdrd;
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "hdrd_fuzz — differential schedule fuzzer\n"
+        "\n"
+        "  --seed=N           master campaign seed (default 1)\n"
+        "  --iters=N          iterations (default 25)\n"
+        "  --size=N           per-thread op budget per program "
+        "(default 600)\n"
+        "  --cores=N          simulated cores (default 4)\n"
+        "  --out=DIR          artifact directory "
+        "(default hdrd-fuzz-out)\n"
+        "  --smoke            bounded fixed preset for CI "
+        "(8 iters, size 250)\n"
+        "  --break-detector   inject a coarse-granule demand fault; "
+        "the run\n"
+        "                     must find, shrink, and persist a "
+        "violation\n"
+        "  --no-shrink        keep full failing traces only\n"
+        "  --shrink-budget=N  predicate evaluations per shrink "
+        "(default 400)\n"
+        "  --verbose          echo per-iteration lines while "
+        "running");
+}
+
+bool
+eat(const char *arg, const char *key, std::string &out)
+{
+    const std::size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) != 0)
+        return false;
+    out = arg + n;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    testkit::FuzzConfig config;
+    bool smoke = false;
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0) {
+            usage();
+            return 0;
+        } else if (std::strcmp(arg, "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(arg, "--break-detector") == 0) {
+            config.fault = testkit::Fault::kCoarseDemandGranule;
+        } else if (std::strcmp(arg, "--no-shrink") == 0) {
+            config.shrink = false;
+        } else if (std::strcmp(arg, "--verbose") == 0) {
+            config.verbose = true;
+        } else if (eat(arg, "--seed=", value)) {
+            config.seed = std::stoull(value);
+        } else if (eat(arg, "--iters=", value)) {
+            config.iterations =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else if (eat(arg, "--size=", value)) {
+            config.gen.size =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else if (eat(arg, "--cores=", value)) {
+            config.cores =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else if (eat(arg, "--out=", value)) {
+            config.out_dir = value;
+        } else if (eat(arg, "--shrink-budget=", value)) {
+            config.shrink_budget = std::stoull(value);
+        } else {
+            usage();
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            return 1;
+        }
+    }
+
+    if (smoke) {
+        // Bounded preset: small programs, few iterations, so the
+        // whole campaign (plus a potential shrink) stays in the
+        // seconds range for CI.
+        config.iterations = 8;
+        config.gen.size = 250;
+        config.gen.max_threads = 4;
+        config.gen.max_race_repeats = 120;
+    }
+
+    testkit::Fuzzer fuzzer(config);
+    const testkit::FuzzResult result = fuzzer.run();
+
+    std::printf("seed %llu fault %s\n",
+                static_cast<unsigned long long>(config.seed),
+                testkit::faultName(config.fault));
+    std::fputs(result.summary().c_str(), stdout);
+    if (!result.ok()) {
+        std::printf("artifact dir: %s\n", config.out_dir.c_str());
+        return 2;
+    }
+    return 0;
+}

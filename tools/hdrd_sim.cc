@@ -50,6 +50,9 @@ struct Options
     std::uint64_t sav = 1;
     std::uint32_t granule = 3;
     std::uint32_t injected = 0;
+    runtime::SchedPolicy sched =
+        runtime::SchedPolicy::kEarliestFirst;
+    double jitter = 0.0;
     bool list = false;
 };
 
@@ -75,6 +78,9 @@ usage()
         "  --threads=N --cores=N  topology (default 4/4)\n"
         "  --granule=N            log2 detection granule (default 3)\n"
         "  --inject=N             inject N known races\n"
+        "  --sched=P              earliest|random|rr scheduler "
+        "policy\n"
+        "  --jitter=F             random scheduling jitter [0,1)\n"
         "  --seed=N               simulation seed\n"
         "  --track-gt             ground-truth sharing accounting\n"
         "  --verbose              print every race report\n"
@@ -171,6 +177,17 @@ parse(int argc, char **argv)
         } else if (eat(arg, "--inject=", value)) {
             opt.injected =
                 static_cast<std::uint32_t>(std::stoul(value));
+        } else if (eat(arg, "--sched=", value)) {
+            if (value == "earliest")
+                opt.sched = runtime::SchedPolicy::kEarliestFirst;
+            else if (value == "random")
+                opt.sched = runtime::SchedPolicy::kRandom;
+            else if (value == "rr")
+                opt.sched = runtime::SchedPolicy::kRoundRobin;
+            else
+                fatal("unknown sched policy '", value, "'");
+        } else if (eat(arg, "--jitter=", value)) {
+            opt.jitter = std::stod(value);
         } else {
             usage();
             fatal("unknown option '", arg, "'");
@@ -229,6 +246,8 @@ main(int argc, char **argv)
     config.granule_shift = opt.granule;
     config.mem.ncores = opt.cores;
     config.seed = opt.seed;
+    config.sched_policy = opt.sched;
+    config.sched_jitter = opt.jitter;
     config.track_ground_truth = opt.track_gt;
 
     // Optionally tee the run into a trace file.
