@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Machine-readable benchmark output: the BENCH_engine.json schema.
+ *
+ * One schema ("hdrd-bench-v1") shared by every producer of host-side
+ * performance numbers — tools/hdrd_bench (the full workload x mode
+ * sweep) and hdrd_sim --bench-json (a single run) — so the perf
+ * trajectory across PRs is one homogeneous series of files.
+ */
+
+#ifndef HDRD_COMMON_BENCH_JSON_HH
+#define HDRD_COMMON_BENCH_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hdrd::benchjson
+{
+
+/** One timed simulation: a (workload, mode) cell of the sweep. */
+struct BenchCell
+{
+    std::string workload;  ///< registry name, e.g. "phoenix.histogram"
+    std::string suite;     ///< registry suite, e.g. "phoenix"
+    std::string mode;      ///< "native" | "continuous" | "demand-hitm"
+    std::string detector;  ///< e.g. "fasttrack"
+
+    /** Best host wall time over the repeat loop, in seconds. */
+    double wall_seconds = 0.0;
+
+    /** Simulated operations executed (RunResult::total_ops). */
+    std::uint64_t sim_ops = 0;
+
+    /** Simulated data accesses (RunResult::mem_accesses). */
+    std::uint64_t sim_mem_accesses = 0;
+
+    /** Simulated wall cycles (RunResult::wall_cycles). */
+    std::uint64_t sim_wall_cycles = 0;
+
+    /** Unique race reports. */
+    std::uint64_t races_unique = 0;
+
+    /** sim_ops / wall_seconds. */
+    double host_ops_per_sec = 0.0;
+
+    /** Was this cell re-run and compared for determinism? */
+    bool checked = false;
+
+    /** Dump output was byte-identical across the check re-run. */
+    bool deterministic = true;
+};
+
+/** Sweep-level configuration recorded alongside the cells. */
+struct BenchMeta
+{
+    std::string tool;  ///< producing binary, e.g. "hdrd_bench"
+    double scale = 0.5;
+    std::uint64_t seed = 1;
+    std::uint32_t threads = 4;
+    std::uint32_t cores = 4;
+    std::uint32_t workers = 1;
+    std::uint32_t repeat = 1;
+    bool smoke = false;
+
+    /**
+     * Pre-change reference: aggregate continuous-FastTrack host
+     * ops/sec of the engine being compared against (0 = not given).
+     * Recorded so a single BENCH_engine.json documents both sides of
+     * a perf PR.
+     */
+    double baseline_continuous_ft_ops = 0.0;
+};
+
+/**
+ * Aggregate throughput of the continuous-FastTrack cells: the
+ * headline engine-speed number (sum of sim_ops / sum of wall time).
+ */
+double continuousFtOpsPerSec(const std::vector<BenchCell> &cells);
+
+/** Serialize meta + cells + computed summary as hdrd-bench-v1 JSON. */
+void writeBenchJson(std::ostream &os, const BenchMeta &meta,
+                    const std::vector<BenchCell> &cells);
+
+} // namespace hdrd::benchjson
+
+#endif // HDRD_COMMON_BENCH_JSON_HH

@@ -6,33 +6,6 @@
 namespace hdrd
 {
 
-namespace
-{
-
-/** Bucket index: 0 for value 0, else 1 + floor(log2(value)). */
-std::size_t
-bucketIndex(std::uint64_t value)
-{
-    if (value == 0)
-        return 0;
-    return static_cast<std::size_t>(std::bit_width(value));
-}
-
-} // namespace
-
-void
-Log2Histogram::add(std::uint64_t value)
-{
-    const std::size_t idx = bucketIndex(value);
-    if (idx >= buckets_.size())
-        buckets_.resize(idx + 1, 0);
-    ++buckets_[idx];
-    ++count_;
-    sum_ += value;
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-}
-
 double
 Log2Histogram::mean() const
 {

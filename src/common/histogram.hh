@@ -6,6 +6,8 @@
 #ifndef HDRD_COMMON_HISTOGRAM_HH
 #define HDRD_COMMON_HISTOGRAM_HH
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <ostream>
 #include <vector>
@@ -24,7 +26,17 @@ class Log2Histogram
 {
   public:
     /** Record one sample. */
-    void add(std::uint64_t value);
+    void add(std::uint64_t value)
+    {
+        const std::size_t idx = bucketIndex(value);
+        if (idx >= buckets_.size())
+            buckets_.resize(idx + 1, 0);
+        ++buckets_[idx];
+        ++count_;
+        sum_ += value;
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
 
     /** Number of samples recorded. */
     std::uint64_t count() const { return count_; }
@@ -60,6 +72,14 @@ class Log2Histogram
     void dump(std::ostream &os, const char *label = "") const;
 
   private:
+    /** Bucket index: 0 for value 0, else 1 + floor(log2(value)). */
+    static std::size_t bucketIndex(std::uint64_t value)
+    {
+        if (value == 0)
+            return 0;
+        return static_cast<std::size_t>(std::bit_width(value));
+    }
+
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Two-level radix page table: a flat, lazily grown directory of
+ * fixed-size pages, indexed by a single shift/mask on the key.
+ *
+ * This is the hot-path replacement for unordered_map keyed by dense
+ * 64-bit ids (shadow granules, ground-truth granules). A lookup is
+ * one shift, one bounds check, and two dereferences — no hashing, no
+ * bucket chains — and the most recently touched page is memoized so
+ * the streaming case (consecutive granules on one page) resolves in
+ * a compare and an index.
+ *
+ * Keys far beyond the directory ceiling (sparse, huge addresses)
+ * spill to a small overflow hash map so the table stays correct for
+ * the full 64-bit key space without the directory ballooning.
+ *
+ * Pages are heap-allocated and never move or free until clear(), so
+ * references returned by get() stay valid across later inserts.
+ */
+
+#ifndef HDRD_COMMON_RADIX_TABLE_HH
+#define HDRD_COMMON_RADIX_TABLE_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace hdrd
+{
+
+/**
+ * @tparam T          value type; value-initialized on first touch.
+ * @tparam kPageBits  log2 of entries per page.
+ * @tparam kMaxDirBits log2 of the directory ceiling, in pages; keys
+ *         whose page index exceeds it live in the overflow map.
+ */
+template <typename T, std::uint32_t kPageBits = 9,
+          std::uint32_t kMaxDirBits = 20>
+class RadixTable
+{
+  public:
+    static constexpr std::uint64_t kPageSize = std::uint64_t{1}
+        << kPageBits;
+    static constexpr std::uint64_t kPageMask = kPageSize - 1;
+    static constexpr std::uint64_t kMaxDirPages = std::uint64_t{1}
+        << kMaxDirBits;
+
+    /** Slot for @p key, materializing its page on first touch. */
+    T &get(std::uint64_t key)
+    {
+        const std::uint64_t p = key >> kPageBits;
+        if (p == last_idx_)
+            return last_page_->slots[key & kPageMask];
+        Page *page = materialize(p);
+        last_idx_ = p;
+        last_page_ = page;
+        return page->slots[key & kPageMask];
+    }
+
+    /** Slot for @p key if its page exists, else null. Never allocates. */
+    const T *peek(std::uint64_t key) const
+    {
+        const std::uint64_t p = key >> kPageBits;
+        if (p == last_idx_)
+            return &last_page_->slots[key & kPageMask];
+        const Page *page = nullptr;
+        if (p < kMaxDirPages) {
+            if (p < dir_.size())
+                page = dir_[p].get();
+        } else {
+            const auto it = overflow_.find(p);
+            if (it != overflow_.end())
+                page = it->second.get();
+        }
+        if (page == nullptr)
+            return nullptr;
+        return &page->slots[key & kPageMask];
+    }
+
+    /** Number of materialized pages. */
+    std::size_t pages() const { return npages_; }
+
+    /** Drop every page (full reset). */
+    void clear()
+    {
+        dir_.clear();
+        overflow_.clear();
+        npages_ = 0;
+        last_idx_ = kNoPage;
+        last_page_ = nullptr;
+    }
+
+  private:
+    struct Page
+    {
+        std::array<T, kPageSize> slots{};
+    };
+
+    static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
+
+    Page *materialize(std::uint64_t p)
+    {
+        if (p < kMaxDirPages) {
+            if (p >= dir_.size()) {
+                std::size_t grown = dir_.empty() ? 64 : dir_.size() * 2;
+                if (grown < p + 1)
+                    grown = static_cast<std::size_t>(p) + 1;
+                if (grown > kMaxDirPages)
+                    grown = kMaxDirPages;
+                dir_.resize(grown);
+            }
+            auto &slot = dir_[p];
+            if (!slot) {
+                slot = std::make_unique<Page>();
+                ++npages_;
+            }
+            return slot.get();
+        }
+        auto &slot = overflow_[p];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            ++npages_;
+        }
+        return slot.get();
+    }
+
+    /** Flat directory: page index -> page (null until touched). */
+    std::vector<std::unique_ptr<Page>> dir_;
+
+    /** Pages whose index exceeds the directory ceiling. */
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> overflow_;
+
+    std::size_t npages_ = 0;
+
+    /** Last-page memo: streaming accesses skip the directory walk. */
+    std::uint64_t last_idx_ = kNoPage;
+    Page *last_page_ = nullptr;
+};
+
+} // namespace hdrd
+
+#endif // HDRD_COMMON_RADIX_TABLE_HH

@@ -16,6 +16,12 @@ StatGroup::inc(const std::string &stat, std::uint64_t delta)
     counters_[stat] += delta;
 }
 
+std::uint64_t *
+StatGroup::counterCell(const std::string &stat)
+{
+    return &counters_[stat];
+}
+
 void
 StatGroup::set(const std::string &stat, double value)
 {

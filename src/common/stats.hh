@@ -38,6 +38,13 @@ class StatGroup
     /** Add @p delta to the counter @p stat, creating it at zero. */
     void inc(const std::string &stat, std::uint64_t delta = 1);
 
+    /**
+     * Stable pointer to the counter @p stat's cell, creating it at
+     * zero. Hot paths fetch the cell once and bump through it,
+     * skipping the per-event name lookup. Invalidated by reset().
+     */
+    std::uint64_t *counterCell(const std::string &stat);
+
     /** Set the scalar @p stat to @p value, creating it if needed. */
     void set(const std::string &stat, double value);
 

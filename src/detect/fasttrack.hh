@@ -11,6 +11,8 @@
 #ifndef HDRD_DETECT_FASTTRACK_HH
 #define HDRD_DETECT_FASTTRACK_HH
 
+#include <memory>
+
 #include "detect/detector.hh"
 #include "detect/report.hh"
 #include "detect/shadow.hh"
@@ -21,8 +23,10 @@ namespace hdrd::detect
 
 /**
  * The FastTrack algorithm over lazily materialized shadow memory.
+ * Final: the simulator's hot path calls onAccess through a typed
+ * pointer, which devirtualizes against a final class.
  */
-class FastTrackDetector : public Detector
+class FastTrackDetector final : public Detector
 {
   public:
     /**
@@ -34,7 +38,11 @@ class FastTrackDetector : public Detector
                       std::uint32_t granule_shift = 3);
 
     AccessOutcome onAccess(ThreadId tid, Addr addr, bool write,
-                           SiteId site) override;
+                           SiteId site) override
+    {
+        return write ? onWrite(tid, addr, site)
+                     : onRead(tid, addr, site);
+    }
 
     void clearShadow() override { shadow_.clear(); }
 
@@ -45,11 +53,127 @@ class FastTrackDetector : public Detector
     ShadowMemory &shadow() { return shadow_; }
 
   private:
-    AccessOutcome onRead(ThreadId tid, Addr addr, SiteId site);
-    AccessOutcome onWrite(ThreadId tid, Addr addr, SiteId site);
+    // The per-access paths live in the header so the simulator's
+    // devirtualized call site can inline the same-epoch fast paths
+    // (shadow lookup + one 64-bit compare) into its hot loop.
+    AccessOutcome onRead(ThreadId tid, Addr addr, SiteId site)
+    {
+        AccessOutcome outcome;
+        VarState &st = shadow_.state(addr);
+        const VectorClock &ct = clocks_.clock(tid);
+        const ClockValue my_clock = ct.get(tid);
+        const Epoch et(tid, my_clock);
+
+        // Same-epoch fast paths.
+        if (!st.rvc && st.r == et)
+            return outcome;
+        if (st.rvc && st.rvc->get(tid) == my_clock)
+            return outcome;
+
+        outcome.inter_thread = involvesOtherThread(st, tid);
+
+        // Write-read conflict with the previous writer?
+        if (!st.w.leq(ct)) {
+            outcome.race = true;
+            sink_.report(RaceReport{
+                .addr = addr,
+                .type = RaceType::kWriteRead,
+                .first_tid = st.w.tid(),
+                .first_site = st.w_site,
+                .second_tid = tid,
+                .second_site = site,
+            });
+        }
+
+        // Update the read side.
+        if (st.rvc) {
+            st.rvc->set(tid, my_clock);
+        } else if (st.r.empty() || st.r.leq(ct)) {
+            st.r = et;  // reads remain thread-ordered: stay an epoch
+        } else {
+            // Concurrent readers: inflate to a read vector clock.
+            st.rvc = std::make_unique<VectorClock>();
+            st.rvc->set(st.r.tid(), st.r.clock());
+            st.rvc->set(tid, my_clock);
+            st.r = Epoch();
+        }
+        st.r_site = site;
+        return outcome;
+    }
+
+    AccessOutcome onWrite(ThreadId tid, Addr addr, SiteId site)
+    {
+        AccessOutcome outcome;
+        VarState &st = shadow_.state(addr);
+        const VectorClock &ct = clocks_.clock(tid);
+        const Epoch et(tid, ct.get(tid));
+
+        if (st.w == et)
+            return outcome;  // same-epoch write: nothing can have changed
+
+        outcome.inter_thread = involvesOtherThread(st, tid);
+
+        // Write-write conflict with the previous writer?
+        if (!st.w.leq(ct)) {
+            outcome.race = true;
+            sink_.report(RaceReport{
+                .addr = addr,
+                .type = RaceType::kWriteWrite,
+                .first_tid = st.w.tid(),
+                .first_site = st.w_site,
+                .second_tid = tid,
+                .second_site = site,
+            });
+        }
+
+        // Read-write conflict with any unordered reader?
+        if (st.rvc) {
+            if (!st.rvc->leq(ct)) {
+                outcome.race = true;
+                const ThreadId reader =
+                    st.rvc->firstGreaterExcept(ct, tid);
+                sink_.report(RaceReport{
+                    .addr = addr,
+                    .type = RaceType::kReadWrite,
+                    .first_tid = reader,
+                    .first_site = st.r_site,
+                    .second_tid = tid,
+                    .second_site = site,
+                });
+            }
+        } else if (!st.r.empty() && !st.r.leq(ct)) {
+            outcome.race = true;
+            sink_.report(RaceReport{
+                .addr = addr,
+                .type = RaceType::kReadWrite,
+                .first_tid = st.r.tid(),
+                .first_site = st.r_site,
+                .second_tid = tid,
+                .second_site = site,
+            });
+        }
+
+        // FastTrack "write shared" collapses the read vector clock back
+        // to the cheap representation once a write is recorded.
+        if (st.rvc) {
+            st.rvc.reset();
+            st.r = Epoch();
+            st.r_site = kInvalidSite;
+        }
+        st.w = et;
+        st.w_site = site;
+        return outcome;
+    }
 
     /** Did the prior state of @p st involve a thread other than tid? */
-    static bool involvesOtherThread(const VarState &st, ThreadId tid);
+    static bool involvesOtherThread(const VarState &st, ThreadId tid)
+    {
+        if (!st.w.empty() && st.w.tid() != tid)
+            return true;
+        if (st.rvc)
+            return !st.rvc->soleNonzero(tid);
+        return !st.r.empty() && st.r.tid() != tid;
+    }
 
     SyncClocks &clocks_;
     ReportSink &sink_;

@@ -12,31 +12,4 @@ ShadowMemory::ShadowMemory(std::uint32_t granule_shift)
                "unreasonable shadow granule shift ", granule_shift);
 }
 
-VarState &
-ShadowMemory::state(Addr addr)
-{
-    const std::uint64_t g = granule(addr);
-    const std::uint64_t chunk_idx = g / kChunkGranules;
-    auto &chunk = chunks_[chunk_idx];
-    if (!chunk)
-        chunk = std::make_unique<Chunk>();
-    return (*chunk)[g % kChunkGranules];
-}
-
-const VarState *
-ShadowMemory::peek(Addr addr) const
-{
-    const std::uint64_t g = granule(addr);
-    auto it = chunks_.find(g / kChunkGranules);
-    if (it == chunks_.end())
-        return nullptr;
-    return &(*it->second)[g % kChunkGranules];
-}
-
-void
-ShadowMemory::clear()
-{
-    chunks_.clear();
-}
-
 } // namespace hdrd::detect

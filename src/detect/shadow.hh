@@ -6,16 +6,19 @@
  * The address space is chunked; chunks materialize lazily on first
  * touch. Detection granularity is configurable (default 8-byte words),
  * matching how commercial detectors shadow aligned machine words.
+ *
+ * Storage is a radix page table rather than a hash map: a granule
+ * lookup is one shift plus a directory index, and the last chunk is
+ * memoized so streaming accesses skip even that.
  */
 
 #ifndef HDRD_DETECT_SHADOW_HH
 #define HDRD_DETECT_SHADOW_HH
 
-#include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "common/radix_table.hh"
 #include "common/types.hh"
 #include "detect/epoch.hh"
 #include "detect/vector_clock.hh"
@@ -67,13 +70,19 @@ class ShadowMemory
     explicit ShadowMemory(std::uint32_t granule_shift = 3);
 
     /** Shadow state for the granule containing @p addr. */
-    VarState &state(Addr addr);
+    VarState &state(Addr addr)
+    {
+        return table_.get(addr >> granule_shift_);
+    }
 
     /**
      * Shadow state if the granule's chunk is materialized, else null.
      * Never allocates.
      */
-    const VarState *peek(Addr addr) const;
+    const VarState *peek(Addr addr) const
+    {
+        return table_.peek(addr >> granule_shift_);
+    }
 
     /** Granule-normalized key for @p addr (tests, ground truth). */
     std::uint64_t granule(Addr addr) const
@@ -81,19 +90,30 @@ class ShadowMemory
         return addr >> granule_shift_;
     }
 
+    /**
+     * Hint the host to pull @p addr's shadow word into cache. Pure
+     * performance hint (no allocation, no state change): the
+     * simulator issues it before running the cache model so the
+     * detector's shadow load overlaps simulation work.
+     */
+    void prefetch(Addr addr) const
+    {
+        if (const VarState *st = table_.peek(addr >> granule_shift_))
+            __builtin_prefetch(st, 1 /* expect write */);
+    }
+
     /** Number of materialized chunks. */
-    std::size_t chunks() const { return chunks_.size(); }
+    std::size_t chunks() const { return table_.pages(); }
 
     /** Drop every chunk (full shadow reset). */
-    void clear();
+    void clear() { table_.clear(); }
 
   private:
-    static constexpr std::size_t kChunkGranules = 512;
-
-    using Chunk = std::array<VarState, kChunkGranules>;
+    /** 512-granule chunks, as before the radix rewrite. */
+    static constexpr std::uint32_t kChunkBits = 9;
 
     std::uint32_t granule_shift_;
-    std::unordered_map<std::uint64_t, std::unique_ptr<Chunk>> chunks_;
+    RadixTable<VarState, kChunkBits> table_;
 };
 
 } // namespace hdrd::detect

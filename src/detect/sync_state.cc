@@ -15,19 +15,6 @@ SyncClocks::SyncClocks(std::uint32_t nthreads)
         thread_clocks_[t].set(t, 1);
 }
 
-const VectorClock &
-SyncClocks::clock(ThreadId tid) const
-{
-    hdrdAssert(tid < thread_clocks_.size(), "unknown thread ", tid);
-    return thread_clocks_[tid];
-}
-
-Epoch
-SyncClocks::epoch(ThreadId tid) const
-{
-    return Epoch(tid, clock(tid).get(tid));
-}
-
 void
 SyncClocks::acquire(ThreadId tid, std::uint64_t lock_id)
 {

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "detect/epoch.hh"
 #include "detect/vector_clock.hh"
@@ -41,10 +42,17 @@ class SyncClocks
     }
 
     /** Thread @p tid's current vector clock. */
-    const VectorClock &clock(ThreadId tid) const;
+    const VectorClock &clock(ThreadId tid) const
+    {
+        hdrdAssert(tid < thread_clocks_.size(), "unknown thread ", tid);
+        return thread_clocks_[tid];
+    }
 
     /** Thread @p tid's current epoch c@t. */
-    Epoch epoch(ThreadId tid) const;
+    Epoch epoch(ThreadId tid) const
+    {
+        return Epoch(tid, clock(tid).get(tid));
+    }
 
     /** Lock acquire: C_t := C_t join L_m. */
     void acquire(ThreadId tid, std::uint64_t lock_id);

@@ -9,26 +9,6 @@ VectorClock::VectorClock(std::uint32_t nthreads) : clocks_(nthreads, 0)
 {
 }
 
-ClockValue
-VectorClock::get(ThreadId tid) const
-{
-    return tid < clocks_.size() ? clocks_[tid] : 0;
-}
-
-void
-VectorClock::set(ThreadId tid, ClockValue value)
-{
-    if (tid >= clocks_.size())
-        clocks_.resize(tid + 1, 0);
-    clocks_[tid] = value;
-}
-
-void
-VectorClock::tick(ThreadId tid)
-{
-    set(tid, get(tid) + 1);
-}
-
 void
 VectorClock::join(const VectorClock &other)
 {
@@ -36,18 +16,6 @@ VectorClock::join(const VectorClock &other)
         clocks_.resize(other.clocks_.size(), 0);
     for (std::size_t i = 0; i < other.clocks_.size(); ++i)
         clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
-}
-
-bool
-VectorClock::leq(const VectorClock &other) const
-{
-    for (std::size_t i = 0; i < clocks_.size(); ++i) {
-        const ClockValue theirs =
-            i < other.clocks_.size() ? other.clocks_[i] : 0;
-        if (clocks_[i] > theirs)
-            return false;
-    }
-    return true;
 }
 
 ThreadId

@@ -33,13 +33,21 @@ class VectorClock
     explicit VectorClock(std::uint32_t nthreads);
 
     /** Clock value for @p tid (zero when beyond stored size). */
-    ClockValue get(ThreadId tid) const;
+    ClockValue get(ThreadId tid) const
+    {
+        return tid < clocks_.size() ? clocks_[tid] : 0;
+    }
 
     /** Set @p tid's component to @p value, growing as needed. */
-    void set(ThreadId tid, ClockValue value);
+    void set(ThreadId tid, ClockValue value)
+    {
+        if (tid >= clocks_.size())
+            clocks_.resize(tid + 1, 0);
+        clocks_[tid] = value;
+    }
 
     /** Increment @p tid's component. */
-    void tick(ThreadId tid);
+    void tick(ThreadId tid) { set(tid, get(tid) + 1); }
 
     /** Element-wise max with @p other (the "join" of sync ops). */
     void join(const VectorClock &other);
@@ -48,7 +56,16 @@ class VectorClock
      * True when this clock happens-before-or-equals @p other:
      * every component of *this is <= the matching component of other.
      */
-    bool leq(const VectorClock &other) const;
+    bool leq(const VectorClock &other) const
+    {
+        for (std::size_t i = 0; i < clocks_.size(); ++i) {
+            const ClockValue theirs =
+                i < other.clocks_.size() ? other.clocks_[i] : 0;
+            if (clocks_[i] > theirs)
+                return false;
+        }
+        return true;
+    }
 
     /**
      * First thread (other than @p except) whose component here exceeds

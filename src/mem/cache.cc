@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hh"
@@ -54,85 +55,7 @@ Cache::Cache(const CacheGeometry &geom, const char *name) : geom_(geom)
     line_shift_ =
         static_cast<std::uint32_t>(std::countr_zero(geom_.line_bytes));
     ways_.resize(sets_ * geom_.assoc);
-}
-
-Addr
-Cache::lineAddr(Addr addr) const
-{
-    return addr & ~static_cast<Addr>(geom_.line_bytes - 1);
-}
-
-std::uint64_t
-Cache::setIndex(Addr addr) const
-{
-    return (addr >> line_shift_) & (sets_ - 1);
-}
-
-CacheLine *
-Cache::probe(Addr addr)
-{
-    const std::uint64_t tag = addr >> line_shift_;
-    CacheLine *set = &ways_[setIndex(addr) * geom_.assoc];
-    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
-        if (set[w].valid() && set[w].tag == tag)
-            return &set[w];
-    }
-    return nullptr;
-}
-
-const CacheLine *
-Cache::probe(Addr addr) const
-{
-    return const_cast<Cache *>(this)->probe(addr);
-}
-
-void
-Cache::touch(Addr addr)
-{
-    CacheLine *line = probe(addr);
-    hdrdAssert(line != nullptr, "Cache::touch on a missing line");
-    line->lru = ++lru_tick_;
-}
-
-std::optional<Eviction>
-Cache::insert(Addr addr, Mesi state)
-{
-    hdrdAssert(state != Mesi::kInvalid,
-               "Cache::insert with Invalid state");
-    hdrdAssert(probe(addr) == nullptr,
-               "Cache::insert on an already-present line");
-    const std::uint64_t tag = addr >> line_shift_;
-    CacheLine *set = &ways_[setIndex(addr) * geom_.assoc];
-
-    // Prefer an empty way; otherwise evict true-LRU.
-    CacheLine *victim = &set[0];
-    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
-        if (!set[w].valid()) {
-            victim = &set[w];
-            break;
-        }
-        if (set[w].lru < victim->lru)
-            victim = &set[w];
-    }
-
-    std::optional<Eviction> evicted;
-    if (victim->valid()) {
-        evicted = Eviction{
-            .line_addr = victim->tag << line_shift_,
-            .state = victim->state,
-        };
-    }
-    victim->tag = tag;
-    victim->state = state;
-    victim->lru = ++lru_tick_;
-    return evicted;
-}
-
-void
-Cache::invalidate(Addr addr)
-{
-    if (CacheLine *line = probe(addr))
-        line->state = Mesi::kInvalid;
+    tags_.assign(ways_.size(), kInvalidTag);
 }
 
 std::vector<std::pair<Addr, Mesi>>
@@ -161,6 +84,7 @@ Cache::flush()
 {
     for (auto &line : ways_)
         line.state = Mesi::kInvalid;
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
 }
 
 } // namespace hdrd::mem

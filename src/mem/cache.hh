@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "mem/cache_line.hh"
 
@@ -59,28 +60,147 @@ class Cache
     explicit Cache(const CacheGeometry &geom, const char *name = "cache");
 
     /** Line address (low bits cleared) for a byte address. */
-    Addr lineAddr(Addr addr) const;
+    Addr lineAddr(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(geom_.line_bytes - 1);
+    }
 
     /**
      * Find the line holding @p addr.
      * @return pointer into the set (stable until next insert), or
      *         nullptr on miss. Does not update LRU.
+     *
+     * The scan runs over the packed tag mirror — geom.assoc
+     * contiguous u64s (one host cache line at 8-way) instead of
+     * strided CacheLine structs — and only dereferences the way
+     * array on a hit.
      */
-    CacheLine *probe(Addr addr);
-    const CacheLine *probe(Addr addr) const;
+    CacheLine *probe(Addr addr)
+    {
+        const std::uint64_t tag = addr >> line_shift_;
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(addr)) * geom_.assoc;
+        const std::uint64_t *tags = &tags_[base];
+        for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+            if (tags[w] == tag)
+                return &ways_[base + w];
+        }
+        return nullptr;
+    }
+
+    const CacheLine *probe(Addr addr) const
+    {
+        return const_cast<Cache *>(this)->probe(addr);
+    }
+
+    /**
+     * Hint the host to pull @p addr's packed tag set into cache
+     * ahead of a probe/insert. Pure performance hint.
+     */
+    void prefetchSet(Addr addr) const
+    {
+        __builtin_prefetch(
+            &tags_[static_cast<std::size_t>(setIndex(addr))
+                   * geom_.assoc]);
+    }
 
     /** Mark the line holding @p addr most-recently-used. @pre hit. */
-    void touch(Addr addr);
+    void touch(Addr addr)
+    {
+        CacheLine *line = probe(addr);
+        hdrdAssert(line != nullptr, "Cache::touch on a missing line");
+        line->lru = ++lru_tick_;
+    }
+
+    /** Mark an already-probed line most-recently-used. */
+    void touchLine(CacheLine *line) { line->lru = ++lru_tick_; }
 
     /**
      * Insert @p addr with state @p state, evicting the LRU victim if
      * the set is full. @pre addr is not already present.
      * @return the evicted valid line, if any.
      */
-    std::optional<Eviction> insert(Addr addr, Mesi state);
+    std::optional<Eviction> insert(Addr addr, Mesi state)
+    {
+        std::optional<Eviction> evicted;
+        insertLine(addr, state, &evicted);
+        return evicted;
+    }
+
+    /**
+     * insert() that also hands back the just-filled line, so callers
+     * wiring up the L1 -> L2 slot link avoid a re-probe. @p evicted
+     * (optional) receives the victim.
+     */
+    CacheLine *insertLine(Addr addr, Mesi state,
+                          std::optional<Eviction> *evicted = nullptr)
+    {
+        hdrdAssert(state != Mesi::kInvalid,
+                   "Cache::insert with Invalid state");
+        const std::uint64_t tag = addr >> line_shift_;
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(addr)) * geom_.assoc;
+        CacheLine *set = &ways_[base];
+        const std::uint64_t *tags = &tags_[base];
+
+        // One scan does triple duty: assert the line is absent, find
+        // the first empty way, and track the true-LRU victim among
+        // the valid ways. Victim choice matches the classic two-pass
+        // form: prefer the first empty way, else the lowest-lru line
+        // (earliest index on ties, since the compare is strict).
+        CacheLine *empty = nullptr;
+        CacheLine *lru = nullptr;
+        for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+            if (tags[w] == kInvalidTag) {
+                if (empty == nullptr)
+                    empty = &set[w];
+                continue;
+            }
+            hdrdAssert(tags[w] != tag,
+                       "Cache::insert on an already-present line");
+            if (lru == nullptr || set[w].lru < lru->lru)
+                lru = &set[w];
+        }
+
+        CacheLine *victim = empty != nullptr ? empty : lru;
+        if (empty == nullptr && evicted != nullptr) {
+            *evicted = Eviction{
+                .line_addr = victim->tag << line_shift_,
+                .state = victim->state,
+            };
+        }
+        victim->tag = tag;
+        victim->state = state;
+        victim->lru = ++lru_tick_;
+        tags_[victim - ways_.data()] = tag;
+        return victim;
+    }
+
+    /** Way-array slot of an already-probed line (L1/L2 link). */
+    std::uint32_t slotOf(const CacheLine *line) const
+    {
+        return static_cast<std::uint32_t>(line - ways_.data());
+    }
+
+    /** Line at a slot previously returned by slotOf(). */
+    CacheLine *lineAt(std::uint32_t slot) { return &ways_[slot]; }
 
     /** Drop the line holding @p addr, if present. */
-    void invalidate(Addr addr);
+    void invalidate(Addr addr)
+    {
+        if (CacheLine *line = probe(addr))
+            invalidateLine(line);
+    }
+
+    /**
+     * Drop an already-probed line. All invalidation funnels through
+     * here so the packed tag mirror stays in sync with way states.
+     */
+    void invalidateLine(CacheLine *line)
+    {
+        line->state = Mesi::kInvalid;
+        tags_[line - ways_.data()] = kInvalidTag;
+    }
 
     /** Number of valid lines currently resident. */
     std::uint64_t residentLines() const;
@@ -95,12 +215,26 @@ class Cache
     void flush();
 
   private:
-    std::uint64_t setIndex(Addr addr) const;
+    std::uint64_t setIndex(Addr addr) const
+    {
+        return (addr >> line_shift_) & (sets_ - 1);
+    }
 
     CacheGeometry geom_;
     std::uint64_t sets_;
     std::uint32_t line_shift_;
     std::vector<CacheLine> ways_;  // sets_ * assoc, row-major by set
+
+    /**
+     * Packed tag mirror, parallel to ways_: tags_[i] is ways_[i].tag
+     * when the way is valid, kInvalidTag otherwise. probe() scans
+     * this dense array instead of the strided CacheLine structs.
+     * kInvalidTag cannot collide with a real tag: tags carry at most
+     * 64 - line-shift significant bits.
+     */
+    std::vector<std::uint64_t> tags_;
+    static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
+
     std::uint64_t lru_tick_ = 0;
 };
 

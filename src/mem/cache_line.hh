@@ -41,6 +41,15 @@ struct CacheLine
     /** Coherence state; kInvalid means the way is empty. */
     Mesi state = Mesi::kInvalid;
 
+    /**
+     * For L1 lines: way-array slot of the backing L2 line, set at
+     * fill time. Inclusion pins an L1 line's L2 copy in place (the
+     * L2 victim path drops the L1 copy first), so L1 hits follow
+     * this link instead of re-probing the L2 tag array. Unused by
+     * L2/L3 lines. Fits in the struct's padding — no size cost.
+     */
+    std::uint32_t l2_slot = 0;
+
     /** LRU timestamp: larger = more recently used. */
     std::uint64_t lru = 0;
 

@@ -14,19 +14,15 @@ PrivateCaches::PrivateCaches(std::uint32_t ncores,
     if (l1.line_bytes != l2.line_bytes)
         fatal("L1/L2 line sizes must match (", l1.line_bytes, " vs ",
               l2.line_bytes, ")");
+    line_shift_ = static_cast<std::uint32_t>(
+        std::countr_zero(l2.line_bytes));
+    dir_enabled_ = ncores <= 32;  // 2 bits per core in one u64
     l1_.reserve(ncores);
     l2_.reserve(ncores);
     for (std::uint32_t c = 0; c < ncores; ++c) {
         l1_.emplace_back(l1, "l1");
         l2_.emplace_back(l2, "l2");
     }
-}
-
-Mesi
-PrivateCaches::state(CoreId core, Addr line_addr) const
-{
-    const CacheLine *line = l2_[core].probe(line_addr);
-    return line ? line->state : Mesi::kInvalid;
 }
 
 bool
@@ -59,29 +55,7 @@ PrivateCaches::setState(CoreId core, Addr line_addr, Mesi state)
     l2_line->state = state;
     if (CacheLine *l1_line = l1_[core].probe(line_addr))
         l1_line->state = state;
-}
-
-void
-PrivateCaches::invalidate(CoreId core, Addr line_addr)
-{
-    l1_[core].invalidate(line_addr);
-    l2_[core].invalidate(line_addr);
-}
-
-PrivateInsertResult
-PrivateCaches::insert(CoreId core, Addr line_addr, Mesi state)
-{
-    PrivateInsertResult result;
-    auto l2_evict = l2_[core].insert(line_addr, state);
-    if (l2_evict) {
-        // Inclusion: the L2 victim must leave L1 as well.
-        l1_[core].invalidate(l2_evict->line_addr);
-        result.l2_victim = l2_evict->line_addr;
-        result.writeback = l2_evict->state == Mesi::kModified;
-    }
-    // L1 victims are silent: their authoritative state stays in L2.
-    l1_[core].insert(line_addr, state);
-    return result;
+    noteState(core, line_addr, state);
 }
 
 void
@@ -91,17 +65,7 @@ PrivateCaches::fillL1(CoreId core, Addr line_addr)
     hdrdAssert(l2_line != nullptr, "fillL1 without an L2 copy");
     hdrdAssert(l1_[core].probe(line_addr) == nullptr,
                "fillL1 on a line already in L1");
-    l1_[core].insert(line_addr, l2_line->state);
-}
-
-std::optional<CoreId>
-PrivateCaches::findOwner(Addr line_addr) const
-{
-    for (CoreId c = 0; c < ncores_; ++c) {
-        if (state(c, line_addr) == Mesi::kModified)
-            return c;
-    }
-    return std::nullopt;
+    fillL1From(core, line_addr, l2_line);
 }
 
 std::vector<CoreId>
@@ -131,6 +95,7 @@ PrivateCaches::flushAll()
         cache.flush();
     for (auto &cache : l2_)
         cache.flush();
+    dir_.clear();
 }
 
 } // namespace hdrd::mem

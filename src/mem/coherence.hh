@@ -16,10 +16,12 @@
 #ifndef HDRD_MEM_COHERENCE_HH
 #define HDRD_MEM_COHERENCE_HH
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/radix_table.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
 
@@ -49,10 +51,58 @@ class PrivateCaches
     std::uint32_t ncores() const { return ncores_; }
 
     /** Authoritative MESI state of @p line_addr in @p core's caches. */
-    Mesi state(CoreId core, Addr line_addr) const;
+    Mesi state(CoreId core, Addr line_addr) const
+    {
+        const CacheLine *line = l2_[core].probe(line_addr);
+        return line ? line->state : Mesi::kInvalid;
+    }
 
     /** True when @p line_addr is resident in @p core's L1. */
     bool inL1(CoreId core, Addr line_addr) const;
+
+    /**
+     * Direct tag-array probes for the hot access path: one probe per
+     * level, returning the line so state reads, LRU touches, and
+     * upgrades reuse it instead of re-probing. No LRU update.
+     */
+    CacheLine *probeL1(CoreId core, Addr line_addr)
+    {
+        return l1_[core].probe(line_addr);
+    }
+
+    CacheLine *probeL2(CoreId core, Addr line_addr)
+    {
+        return l2_[core].probe(line_addr);
+    }
+
+    /** LRU-touch already-probed lines in both levels (L1 hit). */
+    void touchLines(CoreId core, CacheLine *l1_line, CacheLine *l2_line)
+    {
+        l1_[core].touchLine(l1_line);
+        l2_[core].touchLine(l2_line);
+    }
+
+    /** fillL1 with the L2 copy already probed. @pre not in L1. */
+    void fillL1From(CoreId core, Addr line_addr,
+                    const CacheLine *l2_line)
+    {
+        CacheLine *l1_line =
+            l1_[core].insertLine(line_addr, l2_line->state);
+        l1_line->l2_slot = l2_[core].slotOf(l2_line);
+    }
+
+    /**
+     * The L2 line backing an L1-resident line, via the slot link
+     * recorded at fill time — no L2 tag-array probe. Inclusion keeps
+     * the link valid for as long as the L1 copy exists.
+     */
+    CacheLine *l2LineOf(CoreId core, const CacheLine *l1_line)
+    {
+        CacheLine *l2_line = l2_[core].lineAt(l1_line->l2_slot);
+        hdrdAssert(l2_line->valid() && l2_line->tag == l1_line->tag,
+                   "stale L1 -> L2 slot link");
+        return l2_line;
+    }
 
     /** Update LRU for a hit at the given level. */
     void touchL1(CoreId core, Addr line_addr);
@@ -65,14 +115,49 @@ class PrivateCaches
     void setState(CoreId core, Addr line_addr, Mesi state);
 
     /** Drop @p line_addr from both of @p core's levels, if present. */
-    void invalidate(CoreId core, Addr line_addr);
+    void invalidate(CoreId core, Addr line_addr)
+    {
+        l1_[core].invalidate(line_addr);
+        l2_[core].invalidate(line_addr);
+        dirSet(core, line_addr, Mesi::kInvalid);
+    }
+
+    /**
+     * Record a state change made directly on a probed L2 line (the
+     * access fast path upgrades E->M / S->M in place). Every L2
+     * presence/state change must reach the directory, or
+     * snapshotRemote() answers from stale bits.
+     */
+    void noteState(CoreId core, Addr line_addr, Mesi state)
+    {
+        dirSet(core, line_addr, state);
+    }
 
     /**
      * Insert @p line_addr into L2 (and L1) of @p core with @p state.
      * Maintains inclusion: an L2 victim is also dropped from L1.
      * @pre the line is not already resident in this core's L2.
      */
-    PrivateInsertResult insert(CoreId core, Addr line_addr, Mesi state);
+    PrivateInsertResult insert(CoreId core, Addr line_addr, Mesi state)
+    {
+        PrivateInsertResult result;
+        std::optional<Eviction> l2_evict;
+        CacheLine *l2_line =
+            l2_[core].insertLine(line_addr, state, &l2_evict);
+        if (l2_evict) {
+            // Inclusion: the L2 victim must leave L1 as well.
+            l1_[core].invalidate(l2_evict->line_addr);
+            result.l2_victim = l2_evict->line_addr;
+            result.writeback = l2_evict->state == Mesi::kModified;
+        }
+        // L1 victims are silent: their authoritative state stays in L2.
+        CacheLine *l1_line = l1_[core].insertLine(line_addr, state);
+        l1_line->l2_slot = l2_[core].slotOf(l2_line);
+        if (l2_evict)
+            dirSet(core, l2_evict->line_addr, Mesi::kInvalid);
+        dirSet(core, line_addr, state);
+        return result;
+    }
 
     /**
      * Fill @p line_addr into L1 only (line already resident in L2).
@@ -82,7 +167,14 @@ class PrivateCaches
     void fillL1(CoreId core, Addr line_addr);
 
     /** Core holding @p line_addr in Modified state, if any. */
-    std::optional<CoreId> findOwner(Addr line_addr) const;
+    std::optional<CoreId> findOwner(Addr line_addr) const
+    {
+        for (CoreId c = 0; c < ncores_; ++c) {
+            if (state(c, line_addr) == Mesi::kModified)
+                return c;
+        }
+        return std::nullopt;
+    }
 
     /**
      * Cores (other than @p except) holding @p line_addr in any valid
@@ -90,6 +182,120 @@ class PrivateCaches
      */
     std::vector<CoreId> remoteHolders(Addr line_addr,
                                       CoreId except) const;
+
+    /**
+     * remoteHolders into a caller-owned buffer (cleared first) so the
+     * per-access path reuses one allocation for the whole run.
+     */
+    void remoteHoldersInto(Addr line_addr, CoreId except,
+                           std::vector<CoreId> &out) const
+    {
+        out.clear();
+        if (dir_enabled_) {
+            // Decode the presence directory: set bits ascend by core
+            // id, matching the sweep's holder order.
+            const std::uint64_t *entry =
+                dir_.peek(line_addr >> line_shift_);
+            if (entry == nullptr)
+                return;
+            std::uint64_t rest = *entry;
+            while (rest != 0) {
+                const auto c = static_cast<CoreId>(
+                    static_cast<std::uint32_t>(std::countr_zero(rest))
+                    >> 1);
+                if (c != except)
+                    out.push_back(c);
+                rest &= ~(std::uint64_t{3} << (c * 2));
+            }
+            return;
+        }
+        for (CoreId c = 0; c < ncores_; ++c) {
+            if (c != except && state(c, line_addr) != Mesi::kInvalid)
+                out.push_back(c);
+        }
+    }
+
+    /**
+     * findOwner + remoteHoldersInto in one query: fills @p holders
+     * with every core (other than @p except) holding a valid copy
+     * and returns the Modified owner, if any.
+     *
+     * With <= 32 cores this reads the packed presence directory — a
+     * single radix lookup decoding 2 MESI bits per core — instead of
+     * probing every core's L2 tag array. Set bits are walked in
+     * ascending position, i.e. ascending core id, so the holder
+     * order and the first-Modified owner match the sweep exactly.
+     * Larger configurations fall back to the sweep.
+     * @pre @p except holds no copy (it just missed in its own L2).
+     */
+    std::optional<CoreId> snapshotRemote(Addr line_addr, CoreId except,
+                                         std::vector<CoreId> &holders)
+        const
+    {
+        std::optional<CoreId> owner;
+        holders.clear();
+        if (dir_enabled_) {
+            const std::uint64_t *entry =
+                dir_.peek(line_addr >> line_shift_);
+            if (entry == nullptr || *entry == 0)
+                return owner;
+            std::uint64_t rest = *entry;
+            while (rest != 0) {
+                const auto c = static_cast<CoreId>(
+                    static_cast<std::uint32_t>(std::countr_zero(rest))
+                    >> 1);
+                const auto st =
+                    static_cast<Mesi>((*entry >> (c * 2)) & 3);
+                if (!owner && st == Mesi::kModified)
+                    owner = c;
+                if (c != except)
+                    holders.push_back(c);
+                rest &= ~(std::uint64_t{3} << (c * 2));
+            }
+            return owner;
+        }
+        for (CoreId c = 0; c < ncores_; ++c) {
+            const CacheLine *line = l2_[c].probe(line_addr);
+            if (line == nullptr)
+                continue;
+            if (!owner && line->state == Mesi::kModified)
+                owner = c;
+            if (c != except)
+                holders.push_back(c);
+        }
+        return owner;
+    }
+
+    /**
+     * Invalidate @p line_addr in @p core's hierarchy with a single L2
+     * probe. @return true when the line was resident (back-
+     * invalidation bookkeeping).
+     */
+    bool dropLine(CoreId core, Addr line_addr)
+    {
+        CacheLine *l2_line = l2_[core].probe(line_addr);
+        if (l2_line == nullptr)
+            return false;
+        l2_[core].invalidateLine(l2_line);
+        l1_[core].invalidate(line_addr);
+        dirSet(core, line_addr, Mesi::kInvalid);
+        return true;
+    }
+
+    /**
+     * The directory's recorded state for (@p core, @p line_addr) —
+     * invariant-check hook; falls back to the tag array when the
+     * directory is disabled.
+     */
+    Mesi dirState(CoreId core, Addr line_addr) const
+    {
+        if (!dir_enabled_)
+            return state(core, line_addr);
+        const std::uint64_t *entry = dir_.peek(line_addr >> line_shift_);
+        if (entry == nullptr)
+            return Mesi::kInvalid;
+        return static_cast<Mesi>((*entry >> (core * 2)) & 3);
+    }
 
     /** Total valid lines across all L2s (testing hook). */
     std::uint64_t residentLines() const;
@@ -104,9 +310,37 @@ class PrivateCaches
     void flushAll();
 
   private:
+    /**
+     * Maintain the packed presence directory: core @p core's 2-bit
+     * MESI field for @p line_addr. No-op when the directory is
+     * disabled (> 32 cores).
+     */
+    void dirSet(CoreId core, Addr line_addr, Mesi state)
+    {
+        if (!dir_enabled_)
+            return;
+        std::uint64_t &entry = dir_.get(line_addr >> line_shift_);
+        const auto shift = static_cast<std::uint32_t>(core) * 2;
+        entry = (entry & ~(std::uint64_t{3} << shift))
+            | (static_cast<std::uint64_t>(state) << shift);
+    }
+
     std::uint32_t ncores_;
     std::vector<Cache> l1_;
     std::vector<Cache> l2_;
+
+    /**
+     * Packed presence directory: line index -> one u64 holding every
+     * core's MESI state in 2-bit fields (core c at bits [2c, 2c+1]).
+     * Mirrors the authoritative L2 tag arrays so the miss path's
+     * snapshotRemote() is a single lookup instead of an N-core tag
+     * sweep. Zero (== kInvalid everywhere) is the value-initialized
+     * default, so untouched lines need no entry. Only maintained
+     * when ncores <= 32.
+     */
+    RadixTable<std::uint64_t> dir_;
+    std::uint32_t line_shift_ = 0;
+    bool dir_enabled_ = false;
 };
 
 } // namespace hdrd::mem

@@ -33,12 +33,65 @@ Hierarchy::Hierarchy(const HierarchyConfig &config)
         fatal("L3 line size must match L1/L2 line size");
     if (config.ncores == 0)
         fatal("Hierarchy needs at least one core");
+
+    c_accesses_ = stats_.counterCell("accesses");
+    c_writes_ = stats_.counterCell("writes");
+    c_l1_hits_ = stats_.counterCell("l1_hits");
+    c_l2_hits_ = stats_.counterCell("l2_hits");
+    c_l3_hits_ = stats_.counterCell("l3_hits");
+    c_upgrades_ = stats_.counterCell("upgrades");
+    c_invalidations_ = stats_.counterCell("invalidations");
+    c_hitm_transfers_ = stats_.counterCell("hitm_transfers");
+    c_hitm_loads_ = stats_.counterCell("hitm_loads");
+    c_mem_fetches_ = stats_.counterCell("mem_fetches");
+    c_l2_evictions_ = stats_.counterCell("l2_evictions");
+    c_private_writebacks_ = stats_.counterCell("private_writebacks");
+    c_l3_evictions_ = stats_.counterCell("l3_evictions");
+    c_back_invalidations_ = stats_.counterCell("back_invalidations");
+    holders_scratch_.reserve(config.ncores);
 }
 
 Addr
 Hierarchy::lineAddr(Addr addr) const
 {
     return l3_.lineAddr(addr);
+}
+
+void
+Hierarchy::upgradeForWrite(CoreId core, Addr line, CacheLine *l1_line,
+                           CacheLine *l2_line, AccessResult &result)
+{
+    const LatencyModel &lat = config_.latency;
+    switch (l2_line->state) {
+      case Mesi::kExclusive:
+        // Silent E->M upgrade, no bus traffic.
+        l2_line->state = Mesi::kModified;
+        if (l1_line != nullptr)
+            l1_line->state = Mesi::kModified;
+        privates_.noteState(core, line, Mesi::kModified);
+        break;
+      case Mesi::kShared: {
+        // S->M upgrade: invalidate every remote copy.
+        privates_.remoteHoldersInto(line, core, holders_scratch_);
+        for (CoreId h : holders_scratch_) {
+            privates_.invalidate(h, line);
+            ++result.invalidations;
+        }
+        l2_line->state = Mesi::kModified;
+        if (l1_line != nullptr)
+            l1_line->state = Mesi::kModified;
+        privates_.noteState(core, line, Mesi::kModified);
+        result.upgrade = true;
+        result.latency += lat.upgrade;
+        *c_upgrades_ += 1;
+        *c_invalidations_ += result.invalidations;
+        break;
+      }
+      case Mesi::kModified:
+      case Mesi::kInvalid:
+        panic("unreachable: hit-path upgrade from state ",
+              mesiName(l2_line->state));
+    }
 }
 
 Mesi
@@ -54,72 +107,23 @@ Hierarchy::inL3(Addr addr) const
 }
 
 AccessResult
-Hierarchy::access(CoreId core, Addr addr, bool write)
-{
-    hdrdAssert(core < config_.ncores, "access from unknown core ", core);
-    const Addr line = lineAddr(addr);
-    const LatencyModel &lat = config_.latency;
-
-    stats_.inc("accesses");
-    if (write)
-        stats_.inc("writes");
-
-    const Mesi local = privates_.state(core, line);
-    if (local != Mesi::kInvalid) {
-        AccessResult result;
-        result.write = write;
-        const bool in_l1 = privates_.inL1(core, line);
-        result.where = in_l1 ? HitWhere::kL1 : HitWhere::kL2;
-        result.latency = in_l1 ? lat.l1_hit : lat.l2_hit;
-        stats_.inc(in_l1 ? "l1_hits" : "l2_hits");
-        if (in_l1)
-            privates_.touchL1(core, line);
-        else
-            privates_.fillL1(core, line);
-
-        if (write) {
-            switch (local) {
-              case Mesi::kModified:
-                break;
-              case Mesi::kExclusive:
-                // Silent E->M upgrade, no bus traffic.
-                privates_.setState(core, line, Mesi::kModified);
-                break;
-              case Mesi::kShared: {
-                // S->M upgrade: invalidate every remote copy.
-                for (CoreId h : privates_.remoteHolders(line, core)) {
-                    privates_.invalidate(h, line);
-                    ++result.invalidations;
-                }
-                privates_.setState(core, line, Mesi::kModified);
-                result.upgrade = true;
-                result.latency += lat.upgrade;
-                stats_.inc("upgrades");
-                stats_.inc("invalidations", result.invalidations);
-                break;
-              }
-              case Mesi::kInvalid:
-                panic("unreachable: local state was valid");
-            }
-        }
-        latency_hist_.add(result.latency);
-        return result;
-    }
-
-    AccessResult result = serviceMiss(core, line, write);
-    result.write = write;
-    latency_hist_.add(result.latency);
-    return result;
-}
-
-AccessResult
 Hierarchy::serviceMiss(CoreId core, Addr line, bool write)
 {
     const LatencyModel &lat = config_.latency;
     AccessResult result;
     Mesi new_state;
 
-    if (auto owner = privates_.findOwner(line)) {
+    // Every miss outcome probes the L3 set, and the tail insert scans
+    // the requester's L2 set: start both host loads now so they
+    // overlap the directory decode.
+    l3_.prefetchSet(line);
+    privates_.l2(core).prefetchSet(line);
+
+    // One sweep of the remote L2s yields both the Modified owner and
+    // the holder list (the pre-change path probed every core twice).
+    const auto owner =
+        privates_.snapshotRemote(line, core, holders_scratch_);
+    if (owner) {
         // The line is Modified in another core's private caches:
         // cache-to-cache transfer, the HITM event.
         hdrdAssert(*owner != core, "owner cannot be the requester here");
@@ -127,58 +131,59 @@ Hierarchy::serviceMiss(CoreId core, Addr line, bool write)
         result.hitm = true;
         result.hitm_load = !write;
         result.latency = lat.hitm_transfer;
-        stats_.inc("hitm_transfers");
+        *c_hitm_transfers_ += 1;
         if (!write)
-            stats_.inc("hitm_loads");
+            *c_hitm_loads_ += 1;
         if (write) {
             privates_.invalidate(*owner, line);
             result.invalidations = 1;
-            stats_.inc("invalidations");
+            *c_invalidations_ += 1;
             new_state = Mesi::kModified;
         } else {
             // M->S at the owner; dirty data written back to L3.
             privates_.setState(*owner, line, Mesi::kShared);
             new_state = Mesi::kShared;
         }
-        hdrdAssert(l3_.probe(line) != nullptr,
+        CacheLine *l3_line = l3_.probe(line);
+        hdrdAssert(l3_line != nullptr,
                    "inclusion violated: owned line missing from L3");
-        l3_.touch(line);
+        l3_.touchLine(l3_line);
     } else {
-        const auto holders = privates_.remoteHolders(line, core);
-        if (!holders.empty()) {
+        if (!holders_scratch_.empty()) {
             // Clean remote copies; data serviced by the inclusive L3.
             result.where = HitWhere::kL3;
             result.latency = lat.l3_hit;
-            stats_.inc("l3_hits");
+            *c_l3_hits_ += 1;
             if (write) {
-                for (CoreId h : holders) {
+                for (CoreId h : holders_scratch_) {
                     privates_.invalidate(h, line);
                     ++result.invalidations;
                 }
-                stats_.inc("invalidations", result.invalidations);
+                *c_invalidations_ += result.invalidations;
                 new_state = Mesi::kModified;
             } else {
-                for (CoreId h : holders) {
+                for (CoreId h : holders_scratch_) {
                     if (privates_.state(h, line) == Mesi::kExclusive)
                         privates_.setState(h, line, Mesi::kShared);
                 }
                 new_state = Mesi::kShared;
             }
-            hdrdAssert(l3_.probe(line) != nullptr,
+            CacheLine *l3_line = l3_.probe(line);
+            hdrdAssert(l3_line != nullptr,
                        "inclusion violated: held line missing from L3");
-            l3_.touch(line);
-        } else if (l3_.probe(line) != nullptr) {
+            l3_.touchLine(l3_line);
+        } else if (CacheLine *l3_line = l3_.probe(line)) {
             // No private copy anywhere; L3 has it.
             result.where = HitWhere::kL3;
             result.latency = lat.l3_hit;
-            stats_.inc("l3_hits");
-            l3_.touch(line);
+            *c_l3_hits_ += 1;
+            l3_.touchLine(l3_line);
             new_state = write ? Mesi::kModified : Mesi::kExclusive;
         } else {
             // Fetch from memory, fill L3 first (inclusive).
             result.where = HitWhere::kMemory;
             result.latency = lat.memory;
-            stats_.inc("mem_fetches");
+            *c_mem_fetches_ += 1;
             insertL3(line);
             new_state = write ? Mesi::kModified : Mesi::kExclusive;
         }
@@ -186,13 +191,13 @@ Hierarchy::serviceMiss(CoreId core, Addr line, bool write)
 
     const auto ins = privates_.insert(core, line, new_state);
     if (ins.l2_victim)
-        stats_.inc("l2_evictions");
+        *c_l2_evictions_ += 1;
     if (ins.writeback) {
         // A Modified line left the private hierarchy: any later
         // consumer will be serviced by L3 with no HITM — the paper's
         // eviction-induced sharing-indicator miss.
         result.private_writeback = true;
-        stats_.inc("private_writebacks");
+        *c_private_writebacks_ += 1;
     }
     return result;
 }
@@ -203,13 +208,11 @@ Hierarchy::insertL3(Addr line)
     auto evict = l3_.insert(line, Mesi::kExclusive);
     if (!evict)
         return;
-    stats_.inc("l3_evictions");
+    *c_l3_evictions_ += 1;
     // Inclusive L3: the victim must leave every private cache.
     for (CoreId c = 0; c < config_.ncores; ++c) {
-        if (privates_.state(c, evict->line_addr) != Mesi::kInvalid) {
-            privates_.invalidate(c, evict->line_addr);
-            stats_.inc("back_invalidations");
-        }
+        if (privates_.dropLine(c, evict->line_addr))
+            *c_back_invalidations_ += 1;
     }
 }
 
@@ -222,6 +225,9 @@ Hierarchy::checkInvariants() const
             // Inclusion in L3.
             hdrdAssert(l3_.probe(line) != nullptr,
                        "private line missing from inclusive L3");
+            // Presence directory mirrors the tag array.
+            hdrdAssert(privates_.dirState(c, line) == state,
+                       "presence directory out of sync with L2");
             // Single-writer: M/E lines have no other valid copy.
             if (state == Mesi::kModified || state == Mesi::kExclusive) {
                 for (CoreId o = 0; o < config_.ncores; ++o) {

@@ -112,12 +112,61 @@ class Hierarchy
     /**
      * Perform one demand access.
      *
+     * Lives in the header so the simulator's per-op loop inlines the
+     * (dominant) private-cache hit path; misses tail-call out of line
+     * into serviceMiss().
+     *
      * @param core requesting core
      * @param addr byte address
      * @param write true for a store, false for a load
      * @return what happened (service point, HITM, latency, ...)
      */
-    AccessResult access(CoreId core, Addr addr, bool write);
+    AccessResult access(CoreId core, Addr addr, bool write)
+    {
+        hdrdAssert(core < config_.ncores,
+                   "access from unknown core ", core);
+        const Addr line = l3_.lineAddr(addr);
+        const LatencyModel &lat = config_.latency;
+
+        *c_accesses_ += 1;
+        if (write)
+            *c_writes_ += 1;
+
+        // Probe L1 first: a hit reaches the backing L2 line through
+        // the slot link recorded at fill time, so the (dominant)
+        // L1-hit path scans one tag array instead of two. Probe
+        // order is invisible — probes have no side effects, and
+        // inclusion means an L1 hit implies the L2 copy the old
+        // L2-first probe would have found.
+        CacheLine *l1_line = privates_.probeL1(core, line);
+        CacheLine *l2_line = l1_line != nullptr
+            ? privates_.l2LineOf(core, l1_line)
+            : privates_.probeL2(core, line);
+        if (l2_line != nullptr) {
+            AccessResult result;
+            result.write = write;
+            const bool in_l1 = l1_line != nullptr;
+            result.where = in_l1 ? HitWhere::kL1 : HitWhere::kL2;
+            result.latency = in_l1 ? lat.l1_hit : lat.l2_hit;
+            *(in_l1 ? c_l1_hits_ : c_l2_hits_) += 1;
+            if (in_l1)
+                privates_.touchLines(core, l1_line, l2_line);
+
+            if (write && l2_line->state != Mesi::kModified)
+                upgradeForWrite(core, line, l1_line, l2_line, result);
+            // Fill after any upgrade so the L1 copy lands with the
+            // final state (identical to fill-then-upgrade).
+            if (!in_l1)
+                privates_.fillL1From(core, line, l2_line);
+            latency_hist_.add(result.latency);
+            return result;
+        }
+
+        AccessResult result = serviceMiss(core, line, write);
+        result.write = write;
+        latency_hist_.add(result.latency);
+        return result;
+    }
 
     /** Line address for a byte address. */
     Addr lineAddr(Addr addr) const;
@@ -151,6 +200,10 @@ class Hierarchy
     /** Service a private-hierarchy miss; fills privates on return. */
     AccessResult serviceMiss(CoreId core, Addr line_addr, bool write);
 
+    /** Hit-path write upgrade (E->M silent, S->M invalidating). */
+    void upgradeForWrite(CoreId core, Addr line, CacheLine *l1_line,
+                         CacheLine *l2_line, AccessResult &result);
+
     /** Insert into L3, back-invalidating inclusion victims. */
     void insertL3(Addr line_addr);
 
@@ -159,6 +212,26 @@ class Hierarchy
     Cache l3_;
     StatGroup stats_;
     Log2Histogram latency_hist_;
+
+    // Counter cells fetched once at construction: the access path
+    // bumps through pointers instead of name lookups.
+    std::uint64_t *c_accesses_;
+    std::uint64_t *c_writes_;
+    std::uint64_t *c_l1_hits_;
+    std::uint64_t *c_l2_hits_;
+    std::uint64_t *c_l3_hits_;
+    std::uint64_t *c_upgrades_;
+    std::uint64_t *c_invalidations_;
+    std::uint64_t *c_hitm_transfers_;
+    std::uint64_t *c_hitm_loads_;
+    std::uint64_t *c_mem_fetches_;
+    std::uint64_t *c_l2_evictions_;
+    std::uint64_t *c_private_writebacks_;
+    std::uint64_t *c_l3_evictions_;
+    std::uint64_t *c_back_invalidations_;
+
+    /** Reused remote-holder buffer (no per-access allocation). */
+    std::vector<CoreId> holders_scratch_;
 };
 
 } // namespace hdrd::mem

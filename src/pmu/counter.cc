@@ -56,35 +56,4 @@ SamplingCounter::disarm()
     skid_left_ = 0;
 }
 
-bool
-SamplingCounter::count(std::uint64_t n)
-{
-    if (!armed_ || skidding_)
-        return false;
-    events_ += n;
-    if (events_ < config_.sample_after)
-        return false;
-    // Threshold crossed: start the skid window.
-    skidding_ = true;
-    skid_left_ = config_.skid;
-    events_ = 0;
-    return true;
-}
-
-bool
-SamplingCounter::retire()
-{
-    if (!armed_ || !skidding_)
-        return false;
-    if (skid_left_ > 0) {
-        --skid_left_;
-        return false;
-    }
-    // Skid exhausted: deliver.
-    skidding_ = false;
-    if (!config_.auto_rearm)
-        armed_ = false;
-    return true;
-}
-
 } // namespace hdrd::pmu

@@ -68,14 +68,39 @@ class SamplingCounter
      * @return true when the counter just crossed its threshold and
      *         entered the skid window.
      */
-    bool count(std::uint64_t n = 1);
+    bool count(std::uint64_t n = 1)
+    {
+        if (!armed_ || skidding_)
+            return false;
+        events_ += n;
+        if (events_ < config_.sample_after)
+            return false;
+        // Threshold crossed: start the skid window.
+        skidding_ = true;
+        skid_left_ = config_.skid;
+        events_ = 0;
+        return true;
+    }
 
     /**
      * Advance one retired operation.
      * @return true when a pending overflow finished its skid and the
      *         interrupt should be delivered now.
      */
-    bool retire();
+    bool retire()
+    {
+        if (!armed_ || !skidding_)
+            return false;
+        if (skid_left_ > 0) {
+            --skid_left_;
+            return false;
+        }
+        // Skid exhausted: deliver.
+        skidding_ = false;
+        if (!config_.auto_rearm)
+            armed_ = false;
+        return true;
+    }
 
   private:
     CounterConfig config_;

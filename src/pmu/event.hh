@@ -42,6 +42,19 @@ enum class EventType : std::uint8_t
 constexpr std::size_t kNumEventTypes =
     static_cast<std::size_t>(EventType::kNumEvents);
 
+/**
+ * A set of events fired by one retired operation, as a bitmask.
+ * Lets the access path hand the PMU its whole event set in one call.
+ */
+using EventMask = std::uint32_t;
+
+/** Mask bit for @p event. */
+constexpr EventMask
+eventBit(EventType event)
+{
+    return EventMask{1} << static_cast<std::uint32_t>(event);
+}
+
 /** Printable name for an event type. */
 const char *eventName(EventType event);
 

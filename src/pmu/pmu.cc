@@ -1,5 +1,7 @@
 #include "pmu/pmu.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace hdrd::pmu
@@ -49,35 +51,6 @@ Pmu::armed(CoreId core) const
 {
     hdrdAssert(core < cores_.size(), "unknown core ", core);
     return cores_[core].sampler.armed();
-}
-
-bool
-Pmu::recordEvent(CoreId core, EventType event, std::uint64_t n)
-{
-    hdrdAssert(core < cores_.size(), "unknown core ", core);
-    CoreState &state = cores_[core];
-    state.counts[static_cast<std::size_t>(event)] += n;
-    if (state.sampler.armed() && state.sampler.config().event == event)
-        return state.sampler.count(n);
-    return false;
-}
-
-bool
-Pmu::retireOp(CoreId core)
-{
-    hdrdAssert(core < cores_.size(), "unknown core ", core);
-    CoreState &state = cores_[core];
-    state.counts[static_cast<std::size_t>(EventType::kRetiredOps)] += 1;
-    if (state.sampler.armed()
-        && state.sampler.config().event == EventType::kRetiredOps) {
-        state.sampler.count(1);
-    }
-    if (!state.sampler.retire())
-        return false;
-    ++interrupts_;
-    if (handler_)
-        handler_(core, state.sampler.config().event);
-    return true;
 }
 
 std::uint64_t

@@ -14,10 +14,12 @@
 #define HDRD_PMU_PMU_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "pmu/counter.hh"
 #include "pmu/event.hh"
@@ -69,7 +71,62 @@ class Pmu
      *         the sampling counter's threshold and latched (the event
      *         a PEBS record would describe).
      */
-    bool recordEvent(CoreId core, EventType event, std::uint64_t n = 1);
+    bool recordEvent(CoreId core, EventType event, std::uint64_t n = 1)
+    {
+        hdrdAssert(core < cores_.size(), "unknown core ", core);
+        CoreState &state = cores_[core];
+        state.counts[static_cast<std::size_t>(event)] += n;
+        if (state.sampler.armed()
+            && state.sampler.config().event == event) {
+            return state.sampler.count(n);
+        }
+        return false;
+    }
+
+    /**
+     * Record one memory access's entire event set in a single call:
+     * every event in @p mask advances its free-running counter by one,
+     * except kInvalidationsSent which advances by @p invalidations.
+     * The sampling counter advances when armed on an event in the
+     * mask. Equivalent to one recordEvent per set bit, in any order
+     * (at most one event can be armed per core).
+     *
+     * @return true when a HITM-family event (kHitmLoad / kHitmAny)
+     *         was sampled — crossed the armed counter's threshold and
+     *         latched, as the demand controller's PEBS record.
+     */
+    bool recordAccess(CoreId core, EventMask mask,
+                      std::uint32_t invalidations)
+    {
+        hdrdAssert(core < cores_.size(), "unknown core ", core);
+        CoreState &state = cores_[core];
+        std::uint64_t *counts = state.counts.data();
+
+        constexpr EventMask inval_bit =
+            eventBit(EventType::kInvalidationsSent);
+        for (EventMask rest = mask; rest != 0; rest &= rest - 1) {
+            const auto e =
+                static_cast<std::uint32_t>(std::countr_zero(rest));
+            counts[e] += (EventMask{1} << e) == inval_bit
+                ? invalidations
+                : 1;
+        }
+
+        if (state.sampler.armed()) {
+            const EventType armed_event = state.sampler.config().event;
+            const EventMask armed_bit = eventBit(armed_event);
+            if ((mask & armed_bit) != 0) {
+                const std::uint64_t n = armed_bit == inval_bit
+                    ? invalidations
+                    : 1;
+                const bool crossed = state.sampler.count(n);
+                return crossed
+                    && (armed_event == EventType::kHitmLoad
+                        || armed_event == EventType::kHitmAny);
+            }
+        }
+        return false;
+    }
 
     /**
      * Retire one operation on @p core: advances skid windows and
@@ -77,7 +134,24 @@ class Pmu
      * registered handler).
      * @return true when an interrupt was delivered.
      */
-    bool retireOp(CoreId core);
+    bool retireOp(CoreId core)
+    {
+        hdrdAssert(core < cores_.size(), "unknown core ", core);
+        CoreState &state = cores_[core];
+        state.counts[static_cast<std::size_t>(
+            EventType::kRetiredOps)] += 1;
+        if (state.sampler.armed()
+            && state.sampler.config().event
+                   == EventType::kRetiredOps) {
+            state.sampler.count(1);
+        }
+        if (!state.sampler.retire())
+            return false;
+        ++interrupts_;
+        if (handler_)
+            handler_(core, state.sampler.config().event);
+        return true;
+    }
 
     /** Free-running count of @p event on @p core. */
     std::uint64_t count(CoreId core, EventType event) const;

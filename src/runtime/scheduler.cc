@@ -5,6 +5,27 @@
 namespace hdrd::runtime
 {
 
+namespace
+{
+
+/** Insert @p value into sorted vector @p v, keeping it sorted. */
+template <typename T>
+void
+sortedInsert(std::vector<T> &v, const T &value)
+{
+    v.insert(std::lower_bound(v.begin(), v.end(), value), value);
+}
+
+/** Erase @p value from sorted vector @p v; it must be present. */
+template <typename T>
+void
+sortedErase(std::vector<T> &v, const T &value)
+{
+    v.erase(std::lower_bound(v.begin(), v.end(), value));
+}
+
+} // namespace
+
 const char *
 schedPolicyName(SchedPolicy policy)
 {
@@ -24,68 +45,217 @@ Scheduler::Scheduler(double jitter, Rng rng, SchedPolicy policy)
 {
 }
 
-Cycle
-Scheduler::effectiveTime(const ThreadContext &tc,
-                         const std::vector<Cycle> &core_cycles)
-{
-    return std::max(core_cycles[tc.core()], tc.resumeTime());
-}
-
 ThreadId
 Scheduler::pickRandom(const std::vector<ThreadContext> &contexts)
 {
-    std::vector<ThreadId> runnable;
+    scratch_.clear();
     const auto n = static_cast<ThreadId>(contexts.size());
     for (ThreadId t = 0; t < n; ++t) {
         if (contexts[t].state() == ThreadState::kRunnable)
-            runnable.push_back(t);
+            scratch_.push_back(t);
     }
-    if (runnable.empty())
+    if (scratch_.empty())
         return kInvalidThread;
-    return runnable[rng_.nextBounded(runnable.size())];
+    return scratch_[rng_.nextBounded(scratch_.size())];
+}
+
+void
+Scheduler::attach(const std::vector<ThreadContext> &contexts,
+                  std::uint32_t ncores)
+{
+    attached_ = true;
+    nthreads_ = static_cast<ThreadId>(contexts.size());
+    memo_valid_ = false;
+    cores_.assign(ncores, CoreQueue{});
+    core_min_.assign(ncores, ~Cycle{0});
+    core_of_.resize(nthreads_);
+    where_.assign(nthreads_, Where::kNone);
+    resume_of_.assign(nthreads_, 0);
+    runnable_.clear();
+    scratch_.reserve(nthreads_);
+    for (ThreadId t = 0; t < nthreads_; ++t) {
+        core_of_[t] = contexts[t].core();
+        if (contexts[t].state() == ThreadState::kRunnable)
+            onRunnable(t, contexts[t].resumeTime());
+    }
+}
+
+void
+Scheduler::onRunnable(ThreadId tid, Cycle resume)
+{
+    memo_valid_ = false;
+    CoreQueue &q = cores_[core_of_[tid]];
+    if (where_[tid] == Where::kReady)
+        sortedErase(q.ready, tid);
+    else if (where_[tid] == Where::kPending)
+        sortedErase(q.pending, {resume_of_[tid], tid});
+    else
+        sortedInsert(runnable_, tid);
+    sortedInsert(q.pending, {resume, tid});
+    resume_of_[tid] = resume;
+    where_[tid] = Where::kPending;
+}
+
+void
+Scheduler::onNotRunnable(ThreadId tid)
+{
+    if (where_[tid] == Where::kNone)
+        return;
+    memo_valid_ = false;
+    CoreQueue &q = cores_[core_of_[tid]];
+    if (where_[tid] == Where::kReady)
+        sortedErase(q.ready, tid);
+    else
+        sortedErase(q.pending, {resume_of_[tid], tid});
+    where_[tid] = Where::kNone;
+    sortedErase(runnable_, tid);
 }
 
 ThreadId
-Scheduler::pick(const std::vector<ThreadContext> &contexts,
-                const std::vector<Cycle> &core_cycles)
+Scheduler::pickEarliestAttached(const std::vector<Cycle> &core_cycles)
 {
-    const auto n = static_cast<ThreadId>(contexts.size());
-
-    if (policy_ == SchedPolicy::kRandom
-        || (jitter_ > 0.0 && rng_.nextBool(jitter_))) {
-        return pickRandom(contexts);
+    // Steady-state fast path: hand the last winner its core again
+    // while it is still strictly earliest (see memo_valid_'s doc).
+    // Requires the winner to be its core's only ready thread, no
+    // matured resume on that core, and a clock strictly below every
+    // other core's candidate minimum; ties fall through to the full
+    // scan so rotation fairness is untouched. The cursor already
+    // sits at winner+1 from the full pick that set the memo.
+    if (memo_valid_) {
+        const CoreQueue &q = cores_[memo_core_];
+        const Cycle clock = core_cycles[memo_core_];
+        if (q.ready.size() == 1
+            && (q.pending.empty()
+                || q.pending.front().first > clock)
+            && clock < memo_others_min_)
+            return memo_tid_;
     }
 
-    if (policy_ == SchedPolicy::kRoundRobin) {
-        // Next runnable thread in circular tid order, ignoring time.
-        for (ThreadId i = 0; i < n; ++i) {
-            const ThreadId t = (rr_cursor_ + i) % n;
-            if (contexts[t].state() == ThreadState::kRunnable) {
-                rr_cursor_ = (t + 1) % n;
-                return t;
-            }
-        }
-        return kInvalidThread;
-    }
-
-    // Earliest effective time wins; rotate the starting index so
-    // same-time threads share the core fairly.
+    const ThreadId n = nthreads_;
     ThreadId best = kInvalidThread;
     Cycle best_time = ~Cycle{0};
-    for (ThreadId i = 0; i < n; ++i) {
-        const ThreadId t = (rr_cursor_ + i) % n;
-        const ThreadContext &tc = contexts[t];
-        if (tc.state() != ThreadState::kRunnable)
-            continue;
-        const Cycle when = effectiveTime(tc, core_cycles);
-        if (when < best_time) {
-            best = t;
-            best_time = when;
+    ThreadId best_dist = n;
+
+    // Smallest effective time wins, ties broken by circular tid
+    // distance from the cursor — exactly the cursor-rotated scan's
+    // first-strictly-smaller choice. Distances are unique per tid,
+    // so the outcome is independent of core visit order.
+    const auto consider = [&](ThreadId cand, Cycle eff) {
+        const ThreadId d = cand >= rr_cursor_
+            ? cand - rr_cursor_
+            : cand + n - rr_cursor_;
+        if (best == kInvalidThread || eff < best_time
+            || (eff == best_time && d < best_dist)) {
+            best = cand;
+            best_time = eff;
+            best_dist = d;
+        }
+    };
+
+    const auto ncores = static_cast<CoreId>(cores_.size());
+    for (CoreId c = 0; c < ncores; ++c) {
+        CoreQueue &q = cores_[c];
+        const Cycle clock = core_cycles[c];
+        core_min_[c] = ~Cycle{0};
+
+        // Drain matured resumes: their effective time is the clock
+        // now, like every other ready thread on this core.
+        while (!q.pending.empty()
+               && q.pending.front().first <= clock) {
+            const ThreadId t = q.pending.front().second;
+            q.pending.erase(q.pending.begin());
+            sortedInsert(q.ready, t);
+            where_[t] = Where::kReady;
+        }
+
+        if (!q.ready.empty()) {
+            // All ready threads tie at the clock; only the cursor's
+            // circular successor can win.
+            const auto it = std::lower_bound(q.ready.begin(),
+                                             q.ready.end(),
+                                             rr_cursor_);
+            consider(it != q.ready.end() ? *it : q.ready.front(),
+                     clock);
+            core_min_[c] = clock;
+        }
+        if (!q.pending.empty()) {
+            const Cycle eff = q.pending.front().first;
+            core_min_[c] = std::min(core_min_[c], eff);
+            if (best == kInvalidThread || eff <= best_time) {
+                // Circular successor among the equal-earliest
+                // resumes (the only pending entries that can win).
+                const auto ge = std::lower_bound(
+                    q.pending.begin(), q.pending.end(),
+                    std::pair<Cycle, ThreadId>{eff, rr_cursor_});
+                const ThreadId cand =
+                    (ge != q.pending.end() && ge->first == eff)
+                        ? ge->second
+                        : q.pending.front().second;
+                consider(cand, eff);
+            }
         }
     }
-    if (best != kInvalidThread)
+
+    if (best != kInvalidThread) {
         rr_cursor_ = (best + 1) % n;
+        // Prime the fast path for the next pick.
+        const CoreId bc = core_of_[best];
+        const CoreQueue &bq = cores_[bc];
+        memo_valid_ =
+            bq.ready.size() == 1 && bq.ready.front() == best;
+        memo_tid_ = best;
+        memo_core_ = bc;
+        Cycle others = ~Cycle{0};
+        for (CoreId c = 0; c < ncores; ++c) {
+            if (c != bc)
+                others = std::min(others, core_min_[c]);
+        }
+        memo_others_min_ = others;
+    } else {
+        memo_valid_ = false;
+    }
     return best;
+}
+
+ThreadId
+Scheduler::pickRoundRobinAttached()
+{
+    if (runnable_.empty())
+        return kInvalidThread;
+    const auto it = std::lower_bound(runnable_.begin(),
+                                     runnable_.end(), rr_cursor_);
+    const ThreadId t = it != runnable_.end() ? *it
+                                             : runnable_.front();
+    rr_cursor_ = (t + 1) % nthreads_;
+    return t;
+}
+
+ThreadId
+Scheduler::pickRandomAttached()
+{
+    if (runnable_.empty())
+        return kInvalidThread;
+    // runnable_ is already the sorted candidate array the legacy scan
+    // would have built: index it directly, no copy.
+    return runnable_[rng_.nextBounded(runnable_.size())];
+}
+
+ThreadId
+Scheduler::pickRoundRobinScan(
+    const std::vector<ThreadContext> &contexts)
+{
+    // Next runnable thread in circular tid order, ignoring time.
+    const auto n = static_cast<ThreadId>(contexts.size());
+    ThreadId t = rr_cursor_ % n;
+    for (ThreadId i = 0; i < n; ++i) {
+        if (contexts[t].state() == ThreadState::kRunnable) {
+            rr_cursor_ = t + 1 == n ? 0 : t + 1;
+            return t;
+        }
+        if (++t == n)
+            t = 0;
+    }
+    return kInvalidThread;
 }
 
 } // namespace hdrd::runtime

@@ -16,6 +16,7 @@
 #define HDRD_RUNTIME_SCHEDULER_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hh"
@@ -61,25 +62,175 @@ class Scheduler
     /**
      * Choose the next thread to run.
      *
+     * Lives in the header so the simulator's per-op loop inlines the
+     * default policy's scan; the queue-based large-T and exploration
+     * policies stay out of line.
+     *
      * @param contexts all thread contexts
      * @param core_cycles per-core cycle clocks
      * @return tid of the chosen runnable thread, or kInvalidThread
      *         when none is runnable.
      */
     ThreadId pick(const std::vector<ThreadContext> &contexts,
-                  const std::vector<Cycle> &core_cycles);
+                  const std::vector<Cycle> &core_cycles)
+    {
+        const auto n = static_cast<ThreadId>(contexts.size());
+
+        if (policy_ == SchedPolicy::kRandom
+            || (jitter_ > 0.0 && rng_.nextBool(jitter_))) {
+            return attached_ ? pickRandomAttached()
+                             : pickRandom(contexts);
+        }
+
+        if (attached_) {
+            if (policy_ == SchedPolicy::kRoundRobin)
+                return pickRoundRobinAttached();
+            // Small-size cutoff (cf. introsort): at a handful of
+            // threads the O(T) scan below beats the queue walk's
+            // constant factor, and both produce identical picks —
+            // the queues stay maintained either way, so
+            // random-policy picks and a later switch past the
+            // cutoff see consistent state.
+            if (nthreads_ > kScanCutoff)
+                return pickEarliestAttached(core_cycles);
+        }
+
+        if (policy_ == SchedPolicy::kRoundRobin)
+            return pickRoundRobinScan(contexts);
+
+        // Earliest effective time wins; rotate the starting index so
+        // same-time threads share the core fairly. Wrap-around
+        // increments, not modulo: the circular walk is div-free.
+        ThreadId best = kInvalidThread;
+        Cycle best_time = ~Cycle{0};
+        ThreadId t = rr_cursor_ % n;  // one div, not one per step
+        for (ThreadId i = 0; i < n; ++i) {
+            const ThreadContext &tc = contexts[t];
+            if (tc.state() == ThreadState::kRunnable) {
+                const Cycle when = effectiveTime(tc, core_cycles);
+                if (when < best_time) {
+                    best = t;
+                    best_time = when;
+                }
+            }
+            if (++t == n)
+                t = 0;
+        }
+        if (best != kInvalidThread)
+            rr_cursor_ = best + 1 == n ? 0 : best + 1;
+        return best;
+    }
 
     /** Effective time of a thread: max(core clock, resume time). */
     static Cycle effectiveTime(const ThreadContext &tc,
-                               const std::vector<Cycle> &core_cycles);
+                               const std::vector<Cycle> &core_cycles)
+    {
+        const Cycle clock = core_cycles[tc.core()];
+        const Cycle resume = tc.resumeTime();
+        return clock > resume ? clock : resume;
+    }
+
+    /**
+     * Switch to incremental queues, sized for @p contexts on
+     * @p ncores. After attaching, the simulator reports every
+     * runnable/not-runnable transition through onRunnable() /
+     * onNotRunnable(), and pick() runs in O(cores * log threads)
+     * instead of scanning every context. Picks are identical to the
+     * scan implementation (same choices, same RNG draws, same
+     * tie rotation); un-attached schedulers keep the O(T) scan.
+     */
+    void attach(const std::vector<ThreadContext> &contexts,
+                std::uint32_t ncores);
+
+    /** @p tid became runnable, resuming no earlier than @p resume. */
+    void onRunnable(ThreadId tid, Cycle resume);
+
+    /** @p tid blocked or finished. */
+    void onNotRunnable(ThreadId tid);
+
+    /** True when incremental queues are in use. */
+    bool attached() const { return attached_; }
 
   private:
+    /**
+     * Attached earliest-first picks fall back to the O(T) context
+     * scan at or below this many threads: the scan's tight loop
+     * beats the per-core queue walk until T is well past typical
+     * core counts. Picks are identical on both sides of the cutoff.
+     */
+    static constexpr ThreadId kScanCutoff = 16;
+
     ThreadId pickRandom(const std::vector<ThreadContext> &contexts);
+
+    /** Round-robin over the raw contexts (un-attached fallback). */
+    ThreadId pickRoundRobinScan(
+        const std::vector<ThreadContext> &contexts);
+
+    ThreadId pickEarliestAttached(
+        const std::vector<Cycle> &core_cycles);
+    ThreadId pickRoundRobinAttached();
+    ThreadId pickRandomAttached();
 
     double jitter_;
     Rng rng_;
     SchedPolicy policy_;
     ThreadId rr_cursor_ = 0;  ///< tie-break / round-robin rotation
+
+    /**
+     * Incremental state (attached mode). Each core splits its
+     * runnable threads into "ready" (resume time already covered by
+     * the core clock: effective time == the clock, identical for all
+     * of them) and "pending" (future resume: effective time == the
+     * resume time), kept as sorted flat vectors so the earliest
+     * candidate and the cursor's circular successor are binary
+     * searches over a few contiguous bytes — far cheaper than tree
+     * nodes at the handful of threads a core ever hosts. Keys are
+     * monotone — core clocks only advance and resume times are fixed
+     * at wake — so pending entries drain to ready at most once.
+     */
+    struct CoreQueue
+    {
+        std::vector<ThreadId> ready;                      ///< sorted
+        std::vector<std::pair<Cycle, ThreadId>> pending;  ///< sorted
+    };
+
+    enum class Where : std::uint8_t
+    {
+        kNone = 0,
+        kReady,
+        kPending,
+    };
+
+    bool attached_ = false;
+    ThreadId nthreads_ = 0;
+    std::vector<CoreQueue> cores_;
+    std::vector<CoreId> core_of_;
+    std::vector<Where> where_;
+    std::vector<Cycle> resume_of_;  ///< pending key, for erasure
+
+    /** Every runnable tid, sorted (round-robin / random picks). */
+    std::vector<ThreadId> runnable_;
+
+    /**
+     * Earliest-first re-pick memo. After a full pick, steady state is
+     * "the same thread again": the winner's core clock advanced a
+     * little, every other candidate is untouched. The memo records
+     * the winner and the smallest effective time on the other cores;
+     * the next pick returns the winner in O(1) while its clock stays
+     * strictly below that bound (strictness defers all tie-breaking
+     * to the full scan) and no thread changed runnability. Stale
+     * bounds are safe: other cores' clocks only advance, so the
+     * recorded minimum only underestimates — the check stays
+     * sufficient, never permissive.
+     */
+    bool memo_valid_ = false;
+    ThreadId memo_tid_ = kInvalidThread;
+    CoreId memo_core_ = 0;
+    Cycle memo_others_min_ = 0;
+    std::vector<Cycle> core_min_;  ///< per-core candidate minimum
+
+    /** Reused candidate buffer: random picks allocate nothing. */
+    std::vector<ThreadId> scratch_;
 };
 
 } // namespace hdrd::runtime

@@ -1,10 +1,10 @@
 #include "runtime/simulator.hh"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/radix_table.hh"
 #include "common/rng.hh"
 #include "demand/cold_region.hh"
 #include "detect/fasttrack.hh"
@@ -44,19 +44,36 @@ RunResult
 Simulator::run(Program &program)
 {
     using instr::ToolMode;
+    switch (config_.mode) {
+      case ToolMode::kNative:
+        return runImpl<ToolMode::kNative>(program);
+      case ToolMode::kContinuous:
+        return runImpl<ToolMode::kContinuous>(program);
+      case ToolMode::kDemand:
+        return runImpl<ToolMode::kDemand>(program);
+    }
+    fatal("unknown tool mode ", static_cast<int>(config_.mode));
+}
+
+template <instr::ToolMode kMode>
+RunResult
+Simulator::runImpl(Program &program)
+{
+    using instr::ToolMode;
     using demand::Strategy;
 
     const std::uint32_t nthreads = program.numThreads();
     hdrdAssert(nthreads > 0, "program has no threads");
     const std::uint32_t ncores = config_.mem.ncores;
     const instr::CostModel &cost = config_.cost;
-    const bool tool = config_.mode != ToolMode::kNative;
-    const bool demand_mode = config_.mode == ToolMode::kDemand;
+    constexpr bool tool = kMode != ToolMode::kNative;
+    constexpr bool demand_mode = kMode == ToolMode::kDemand;
     const Strategy strategy = config_.gating.strategy;
     const bool need_gt = config_.track_ground_truth
         || (demand_mode && strategy == Strategy::kDemandOracle);
     if (need_gt && nthreads > 64)
         fatal("ground-truth tracking supports at most 64 threads");
+    const std::uint32_t granule_shift = config_.granule_shift;
 
     // Platform.
     mem::Hierarchy hier(config_.mem);
@@ -73,21 +90,29 @@ Simulator::run(Program &program)
     std::unique_ptr<detect::Detector> detector;
     if (config_.detector == DetectorKind::kNaiveHb) {
         detector = std::make_unique<detect::NaiveHbDetector>(
-            clocks, result.reports, config_.granule_shift);
+            clocks, result.reports, granule_shift);
     } else if (config_.detector == DetectorKind::kLockset) {
         detector = std::make_unique<detect::LocksetDetector>(
-            result.reports, config_.granule_shift);
+            result.reports, granule_shift);
     } else {
         detector = std::make_unique<detect::FastTrackDetector>(
-            clocks, result.reports, config_.granule_shift);
+            clocks, result.reports, granule_shift);
     }
+    // Devirtualized fast path: FastTrackDetector is final, so calls
+    // through this pointer bind directly (no vtable dispatch on the
+    // default detector's per-access path).
+    detect::FastTrackDetector *const ft =
+        config_.detector == DetectorKind::kFastTrack
+            ? static_cast<detect::FastTrackDetector *>(detector.get())
+            : nullptr;
     demand::DemandController controller(config_.gating, rng.split());
     demand::ColdRegionSampler cold_sampler(
         config_.gating.cold_decay, config_.gating.cold_floor,
         rng.split());
-    const std::unordered_set<std::uint64_t> watchlist(
+    std::vector<std::uint64_t> watchlist(
         config_.gating.watchlist.begin(),
         config_.gating.watchlist.end());
+    std::sort(watchlist.begin(), watchlist.end());
 
     // Threads.
     std::vector<ThreadContext> ctxs;
@@ -107,6 +132,14 @@ Simulator::run(Program &program)
             clocks.fork(0, t);
     }
     SyncObjects sync;
+    sched.attach(ctxs, ncores);
+
+    /** A thread left the blocked/not-started state. */
+    const auto wake = [&](const Wakeup &w) {
+        ctxs[w.tid].setState(ThreadState::kRunnable);
+        ctxs[w.tid].setResumeTime(w.when);
+        sched.onRunnable(w.tid, w.when);
+    };
 
     // PEBS sample latches: the access description a precise sampling
     // facility would deliver with the overflow record, one per core.
@@ -141,8 +174,11 @@ Simulator::run(Program &program)
             // Extension: analyze the sampled load retroactively, so
             // the triggering W->R pair itself is visible.
             const PebsLatch &latch = pebs[core];
-            const auto outcome = detector->onAccess(
-                latch.tid, latch.addr, false, latch.site);
+            const auto outcome = ft != nullptr
+                ? ft->onAccess(latch.tid, latch.addr, false,
+                               latch.site)
+                : detector->onAccess(latch.tid, latch.addr, false,
+                                     latch.site);
             controller.onAnalyzedAccess(outcome);
             core_cycles[core] += cost.analysisCost(false);
             ++result.pebs_captures;
@@ -153,7 +189,16 @@ Simulator::run(Program &program)
     if (demand_mode && strategy == Strategy::kDemandHitm)
         pmu.armAll(config_.gating.hitm_counter);
 
-    std::unordered_map<std::uint64_t, GtState> gt_map;
+    RadixTable<GtState> gt_map;
+
+    // Invariant-check countdown: fires exactly when mem_accesses is
+    // a multiple of the interval, without a per-access modulo.
+    const std::uint64_t inv_interval = config_.invariant_check_interval;
+    std::uint64_t inv_countdown = inv_interval;
+
+    // Barrier-release scratch, reserved once per run.
+    std::vector<ThreadId> barrier_participants;
+    barrier_participants.reserve(nthreads);
 
     // Main loop: one operation per iteration, earliest core first.
     for (;;) {
@@ -176,17 +221,19 @@ Simulator::run(Program &program)
 
         if (!tc.fetch()) {
             tc.setState(ThreadState::kFinished);
+            sched.onNotRunnable(tid);
             for (const Wakeup &w :
                  sync.onThreadFinished(tid, core_cycles[core])) {
-                ctxs[w.tid].setState(ThreadState::kRunnable);
-                ctxs[w.tid].setResumeTime(w.when);
+                wake(w);
                 if (tool)
                     clocks.join(w.tid, tid);
             }
             continue;
         }
 
-        const Op op = tc.current();
+        // Reference, not copy: consume() only clears the fetched
+        // flag, the op storage stays intact until the next fetch.
+        const Op &op = tc.current();
         const Cycle now = core_cycles[core];
 
         switch (op.type) {
@@ -194,7 +241,7 @@ Simulator::run(Program &program)
             double dilation = 1.0;
             if (tool) {
                 const bool analysis_on =
-                    config_.mode == ToolMode::kContinuous
+                    kMode == ToolMode::kContinuous
                     || (demand_mode && controller.enabledFor(tid));
                 dilation = analysis_on
                     ? cost.work_dilation_enabled
@@ -212,6 +259,12 @@ Simulator::run(Program &program)
           case OpType::kRead:
           case OpType::kWrite: {
             const bool write = op.type == OpType::kWrite;
+            // Start the detector's shadow-word fetch early: the hint
+            // overlaps the cache/PMU modelling below, so the analysis
+            // path finds its VarState already in host cache. Purely
+            // a performance hint — no simulated state changes.
+            if (tool && ft != nullptr)
+                ft->shadow().prefetch(op.addr);
             const auto res = hier.access(core, op.addr, write);
             Cycle charge = cost.base_mem_op + res.latency;
 
@@ -221,46 +274,50 @@ Simulator::run(Program &program)
             else
                 ++result.reads;
 
-            // Feed the PMU's free-running and sampling counters.
-            pmu.recordEvent(core, write ? pmu::EventType::kStores
-                                        : pmu::EventType::kLoads);
-            if (res.where != mem::HitWhere::kL1)
-                pmu.recordEvent(core, pmu::EventType::kL1Miss);
-            if (res.where == mem::HitWhere::kL3
-                || res.where == mem::HitWhere::kRemoteCache
-                || res.where == mem::HitWhere::kMemory) {
-                pmu.recordEvent(core, pmu::EventType::kL2Miss);
-            }
-            if (res.where == mem::HitWhere::kMemory)
-                pmu.recordEvent(core, pmu::EventType::kL3Miss);
-            bool sampled = false;
-            if (res.hitm_load) {
-                sampled |= pmu.recordEvent(
-                    core, pmu::EventType::kHitmLoad);
-            }
+            // Feed the PMU's free-running and sampling counters:
+            // the access's whole event set in one batched call. The
+            // service point's miss events come from a lookup table
+            // instead of a branch per level.
+            static constexpr pmu::EventMask kMissEvents[] = {
+                /* kL1 */ 0,
+                /* kL2 */ pmu::eventBit(pmu::EventType::kL1Miss),
+                /* kL3 */ pmu::eventBit(pmu::EventType::kL1Miss)
+                    | pmu::eventBit(pmu::EventType::kL2Miss),
+                /* kRemoteCache */
+                pmu::eventBit(pmu::EventType::kL1Miss)
+                    | pmu::eventBit(pmu::EventType::kL2Miss),
+                /* kMemory */ pmu::eventBit(pmu::EventType::kL1Miss)
+                    | pmu::eventBit(pmu::EventType::kL2Miss)
+                    | pmu::eventBit(pmu::EventType::kL3Miss),
+            };
+            pmu::EventMask events = pmu::eventBit(
+                write ? pmu::EventType::kStores
+                      : pmu::EventType::kLoads)
+                | kMissEvents[static_cast<std::size_t>(res.where)];
+            if (res.hitm_load)
+                events |= pmu::eventBit(pmu::EventType::kHitmLoad);
             if (res.hitm) {
                 // kHitmAny models hypothetical hardware that also
                 // exposes store-side HITMs (the W->W sharing real
                 // load-only events miss).
-                sampled |= pmu.recordEvent(
-                    core, pmu::EventType::kHitmAny);
+                events |= pmu::eventBit(pmu::EventType::kHitmAny);
             }
+            if (res.invalidations > 0) {
+                events |= pmu::eventBit(
+                    pmu::EventType::kInvalidationsSent);
+            }
+            const bool sampled =
+                pmu.recordAccess(core, events, res.invalidations);
             if (sampled) {
                 // This access is the sampled event: latch its PEBS
                 // record for possible precise capture at delivery.
                 pebs[core] = PebsLatch{tid, op.addr, op.site, true};
             }
-            if (res.invalidations > 0) {
-                pmu.recordEvent(core,
-                                pmu::EventType::kInvalidationsSent,
-                                res.invalidations);
-            }
 
             // Ground-truth sharing classification (word granules).
             bool gt_shared = false;
             if (need_gt) {
-                GtState &g =
-                    gt_map[op.addr >> config_.granule_shift];
+                GtState &g = gt_map.get(op.addr >> granule_shift);
                 if (write) {
                     if (g.last_writer != kInvalidThread
                         && g.last_writer != tid) {
@@ -288,9 +345,9 @@ Simulator::run(Program &program)
 
             // Gating decision.
             bool analyze = false;
-            if (config_.mode == ToolMode::kContinuous) {
+            if constexpr (kMode == ToolMode::kContinuous) {
                 analyze = true;
-            } else if (demand_mode) {
+            } else if constexpr (demand_mode) {
                 if (controller.onAccessBoundary()) {
                     // A sampling-window boundary toggled the state.
                     core_cycles[core] += cost.transition;
@@ -299,8 +356,9 @@ Simulator::run(Program &program)
                     // Per-site adaptive sampling: no global state.
                     analyze = cold_sampler.shouldAnalyze(op.site);
                 } else if (strategy == Strategy::kWatchlist) {
-                    analyze = watchlist.count(
-                        op.addr >> config_.granule_shift) != 0;
+                    analyze = std::binary_search(
+                        watchlist.begin(), watchlist.end(),
+                        op.addr >> granule_shift);
                 } else {
                     if (strategy == Strategy::kDemandOracle
                         && gt_shared && !controller.enabledFor(tid)
@@ -315,8 +373,10 @@ Simulator::run(Program &program)
                 charge += cost.gate_check;
             if (analyze) {
                 charge += cost.analysisCost(write);
-                const auto outcome =
-                    detector->onAccess(tid, op.addr, write, op.site);
+                const auto outcome = ft != nullptr
+                    ? ft->onAccess(tid, op.addr, write, op.site)
+                    : detector->onAccess(tid, op.addr, write,
+                                         op.site);
                 ++result.analyzed_accesses;
                 if (demand_mode
                     && controller.onAnalyzedAccess(outcome)) {
@@ -332,10 +392,9 @@ Simulator::run(Program &program)
             tc.consume();
             pmu.retireOp(core);
 
-            if (config_.invariant_check_interval != 0
-                && result.mem_accesses
-                        % config_.invariant_check_interval == 0) {
+            if (inv_interval != 0 && --inv_countdown == 0) {
                 hier.checkInvariants();
+                inv_countdown = inv_interval;
             }
             break;
           }
@@ -347,15 +406,16 @@ Simulator::run(Program &program)
             // detector (real tools intercept atomics as sync).
             const auto res = hier.access(core, op.addr, true);
             Cycle charge = cost.base_mem_op + res.latency;
-            pmu.recordEvent(core, pmu::EventType::kStores);
+            pmu::EventMask events =
+                pmu::eventBit(pmu::EventType::kStores);
             if (res.hitm) {
                 // Visible to the hypothetical any-access event only:
                 // locked RMWs don't retire as ordinary loads.
-                pmu.recordEvent(core, pmu::EventType::kHitmAny);
+                events |= pmu::eventBit(pmu::EventType::kHitmAny);
             }
+            pmu.recordAccess(core, events, 0);
             if (need_gt) {
-                GtState &g =
-                    gt_map[op.addr >> config_.granule_shift];
+                GtState &g = gt_map.get(op.addr >> granule_shift);
                 g.last_writer = tid;
                 g.readers_since_write = 0;
             }
@@ -364,7 +424,7 @@ Simulator::run(Program &program)
                 // object; the high tag bit keeps the key space
                 // disjoint from workload-chosen lock ids.
                 const std::uint64_t key = (1ULL << 63)
-                    | (op.addr >> config_.granule_shift);
+                    | (op.addr >> granule_shift);
                 clocks.acquire(tid, key);
                 clocks.release(tid, key);
                 charge += cost.analysis_sync;
@@ -377,20 +437,18 @@ Simulator::run(Program &program)
             pmu.retireOp(core);
             // Wake futex-style waiters whose threshold is now met.
             for (const Wakeup &w : sync.onAtomicRmw(
-                     op.addr >> config_.granule_shift,
-                     core_cycles[core])) {
-                ctxs[w.tid].setState(ThreadState::kRunnable);
-                ctxs[w.tid].setResumeTime(w.when);
+                     op.addr >> granule_shift, core_cycles[core])) {
+                wake(w);
             }
             break;
           }
 
           case OpType::kAtomicWait: {
-            const std::uint64_t cell =
-                op.addr >> config_.granule_shift;
+            const std::uint64_t cell = op.addr >> granule_shift;
             if (!sync.atomicSatisfied(cell, op.arg)) {
                 sync.addAtomicWaiter(tid, cell, op.arg);
                 tc.setState(ThreadState::kBlocked);
+                sched.onNotRunnable(tid);
                 break;  // op stays pending; retried after wake
             }
             // Acquire-ordering against the releasing RMW chain.
@@ -410,6 +468,7 @@ Simulator::run(Program &program)
           case OpType::kLock: {
             if (!sync.tryLock(tid, op.arg, now)) {
                 tc.setState(ThreadState::kBlocked);
+                sched.onNotRunnable(tid);
                 break;  // op stays pending; retried after wake
             }
             if (tool) {
@@ -432,10 +491,8 @@ Simulator::run(Program &program)
             }
             core_cycles[core] +=
                 cost.base_sync + (tool ? cost.analysis_sync : 0);
-            if (auto w = sync.unlock(tid, op.arg, core_cycles[core])) {
-                ctxs[w->tid].setState(ThreadState::kRunnable);
-                ctxs[w->tid].setResumeTime(w->when);
-            }
+            if (auto w = sync.unlock(tid, op.arg, core_cycles[core]))
+                wake(*w);
             ++result.sync_ops;
             pmu.recordEvent(core, pmu::EventType::kSyncOps);
             tc.consume();
@@ -451,6 +508,7 @@ Simulator::run(Program &program)
                 : sync.tryRdLock(tid, op.arg, now);
             if (!granted) {
                 tc.setState(ThreadState::kBlocked);
+                sched.onNotRunnable(tid);
                 break;  // retried after handoff wake
             }
             if (tool) {
@@ -488,10 +546,8 @@ Simulator::run(Program &program)
             const auto woken = was_write
                 ? sync.wrUnlock(tid, op.arg, core_cycles[core])
                 : sync.rdUnlock(tid, op.arg, core_cycles[core]);
-            for (const Wakeup &w : woken) {
-                ctxs[w.tid].setState(ThreadState::kRunnable);
-                ctxs[w.tid].setResumeTime(w.when);
-            }
+            for (const Wakeup &w : woken)
+                wake(w);
             ++result.sync_ops;
             pmu.recordEvent(core, pmu::EventType::kSyncOps);
             tc.consume();
@@ -512,23 +568,22 @@ Simulator::run(Program &program)
                                                core_cycles[core]);
             if (!released) {
                 tc.setState(ThreadState::kBlocked);
+                sched.onNotRunnable(tid);
                 break;
             }
             // Last arriver: all-to-all happens-before, wake everyone.
             if (tool) {
-                std::vector<ThreadId> participants;
-                participants.reserve(released->size());
+                barrier_participants.clear();
                 for (const Wakeup &w : *released)
-                    participants.push_back(w.tid);
-                clocks.barrier(participants);
+                    barrier_participants.push_back(w.tid);
+                clocks.barrier(barrier_participants);
             }
             for (const Wakeup &w : *released) {
                 if (w.tid == tid) {
                     core_cycles[core] =
                         std::max(core_cycles[core], w.when);
                 } else {
-                    ctxs[w.tid].setState(ThreadState::kRunnable);
-                    ctxs[w.tid].setResumeTime(w.when);
+                    wake(w);
                 }
             }
             break;
@@ -547,6 +602,7 @@ Simulator::run(Program &program)
                 clocks.fork(tid, child);
             cc.setState(ThreadState::kRunnable);
             cc.setResumeTime(core_cycles[core]);
+            sched.onRunnable(child, core_cycles[core]);
             ++result.sync_ops;
             pmu.recordEvent(core, pmu::EventType::kSyncOps);
             tc.consume();
@@ -570,6 +626,7 @@ Simulator::run(Program &program)
             } else {
                 sync.addJoinWaiter(tid, target);
                 tc.setState(ThreadState::kBlocked);
+                sched.onNotRunnable(tid);
             }
             break;
           }

@@ -179,7 +179,11 @@ class Simulator
   public:
     explicit Simulator(const SimConfig &config);
 
-    /** Execute @p program to completion and report. */
+    /**
+     * Execute @p program to completion and report. Internally
+     * dispatches to a per-ToolMode specialization of the main loop
+     * so regime checks constant-fold out of the access path.
+     */
     RunResult run(Program &program);
 
     /** Configuration in force. */
@@ -193,6 +197,10 @@ class Simulator
     }
 
   private:
+    /** The main loop, specialized per analysis regime. */
+    template <instr::ToolMode kMode>
+    RunResult runImpl(Program &program);
+
     SimConfig config_;
 };
 

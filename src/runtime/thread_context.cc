@@ -14,30 +14,4 @@ ThreadContext::ThreadContext(ThreadId tid, CoreId core,
     hdrdAssert(body_ != nullptr, "ThreadContext needs a body");
 }
 
-const Op &
-ThreadContext::current() const
-{
-    hdrdAssert(has_op_, "current() without a fetched op");
-    return current_;
-}
-
-bool
-ThreadContext::fetch()
-{
-    if (has_op_)
-        return true;
-    if (!body_->next(current_))
-        return false;
-    has_op_ = true;
-    return true;
-}
-
-void
-ThreadContext::consume()
-{
-    hdrdAssert(has_op_, "consume() without a fetched op");
-    has_op_ = false;
-    ++ops_executed_;
-}
-
 } // namespace hdrd::runtime

@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "runtime/op.hh"
 #include "runtime/program.hh"
@@ -45,7 +46,11 @@ class ThreadContext
      * The operation currently being executed or retried.
      * @pre hasOp()
      */
-    const Op &current() const;
+    const Op &current() const
+    {
+        hdrdAssert(has_op_, "current() without a fetched op");
+        return current_;
+    }
 
     /** True when an op has been fetched and not yet consumed. */
     bool hasOp() const { return has_op_; }
@@ -54,10 +59,23 @@ class ThreadContext
      * Fetch the next op from the body if none is pending.
      * @return false when the body is exhausted (thread should finish).
      */
-    bool fetch();
+    bool fetch()
+    {
+        if (has_op_)
+            return true;
+        if (!body_->next(current_))
+            return false;
+        has_op_ = true;
+        return true;
+    }
 
     /** Mark the current op executed; the next fetch() advances. */
-    void consume();
+    void consume()
+    {
+        hdrdAssert(has_op_, "consume() without a fetched op");
+        has_op_ = false;
+        ++ops_executed_;
+    }
 
     /**
      * Earliest cycle this thread may run again (set when woken from a

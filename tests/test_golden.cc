@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Golden determinism suite: the engine's observable behaviour is
+ * frozen as one hash per (workload, mode, policy, seed) cell.
+ *
+ * Every cell runs a registry workload to completion and hashes the
+ * full RunResult::dump() text (every counter, race count, PMU total
+ * and latency percentile). The expected hashes live in
+ * golden_hashes.inc, captured from the pre-optimization engine —
+ * so any engine change that alters a schedule, a race report, or a
+ * single counter anywhere fails here with the exact cell named.
+ *
+ * Regenerate (only when behaviour is *supposed* to change):
+ *   ./tests/test_golden --emit-golden > ../tests/golden_hashes.inc
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "instr/cost_model.hh"
+#include "runtime/simulator.hh"
+#include "workloads/registry.hh"
+
+using namespace hdrd;
+
+namespace
+{
+
+struct GoldenCell
+{
+    const char *workload;
+    const char *mode;    ///< native | continuous | demand-hitm
+    const char *policy;  ///< earliest | random | rr | jitter
+    std::uint64_t seed;
+    std::uint64_t hash;  ///< FNV-1a of RunResult::dump(); 0 = unknown
+};
+
+const GoldenCell kGolden[] = {
+#include "golden_hashes.inc"
+};
+
+/** FNV-1a 64-bit. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** The frozen cell enumeration; order defines golden_hashes.inc. */
+std::vector<GoldenCell>
+enumerateCells()
+{
+    static const char *kModes[] = {"native", "continuous",
+                                   "demand-hitm"};
+    std::vector<GoldenCell> cells;
+    for (const auto &info : workloads::allWorkloads()) {
+        // Core matrix: 3 modes x 2 seeds, earliest-first scheduling.
+        // Seed 2 additionally tracks ground-truth sharing so the
+        // gt_map path is frozen too.
+        for (const char *mode : kModes) {
+            for (std::uint64_t seed : {1, 2}) {
+                cells.push_back(
+                    {info.name.c_str(), mode, "earliest", seed, 0});
+            }
+        }
+        // Scheduler-policy sweep: freeze the alternative policies'
+        // exact interleavings (and their RNG draw sequences).
+        cells.push_back(
+            {info.name.c_str(), "continuous", "random", 3, 0});
+        cells.push_back({info.name.c_str(), "continuous", "rr", 3, 0});
+        cells.push_back(
+            {info.name.c_str(), "continuous", "jitter", 4, 0});
+    }
+    return cells;
+}
+
+std::uint64_t
+runCell(const GoldenCell &cell)
+{
+    const auto *info = workloads::findWorkload(cell.workload);
+    if (info == nullptr)
+        return 0;
+
+    runtime::SimConfig config;
+    if (std::strcmp(cell.mode, "native") == 0)
+        config.mode = instr::ToolMode::kNative;
+    else if (std::strcmp(cell.mode, "continuous") == 0)
+        config.mode = instr::ToolMode::kContinuous;
+    else
+        config.mode = instr::ToolMode::kDemand;
+    config.detector = runtime::DetectorKind::kFastTrack;
+    config.gating.strategy = demand::Strategy::kDemandHitm;
+    config.seed = cell.seed;
+    config.track_ground_truth = cell.seed == 2;
+    if (std::strcmp(cell.policy, "random") == 0)
+        config.sched_policy = runtime::SchedPolicy::kRandom;
+    else if (std::strcmp(cell.policy, "rr") == 0)
+        config.sched_policy = runtime::SchedPolicy::kRoundRobin;
+    else if (std::strcmp(cell.policy, "jitter") == 0)
+        config.sched_jitter = 0.3;
+
+    workloads::WorkloadParams params;
+    params.nthreads = 4;
+    params.scale = 0.05;
+    params.seed = cell.seed + 41;
+
+    auto program = info->factory(params);
+    const auto result = runtime::Simulator::runWith(*program, config);
+    std::ostringstream os;
+    result.dump(os);
+    return fnv1a(os.str());
+}
+
+/** Run every cell across a small host worker pool. */
+std::vector<std::uint64_t>
+runAllCells(const std::vector<GoldenCell> &cells)
+{
+    std::vector<std::uint64_t> hashes(cells.size(), 0);
+    const unsigned nworkers = std::max(
+        1u, std::min(8u, std::thread::hardware_concurrency()));
+    std::vector<std::thread> pool;
+    pool.reserve(nworkers);
+    for (unsigned w = 0; w < nworkers; ++w) {
+        pool.emplace_back([&, w]() {
+            for (std::size_t i = w; i < cells.size(); i += nworkers)
+                hashes[i] = runCell(cells[i]);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    return hashes;
+}
+
+} // namespace
+
+TEST(Golden, DumpHashesMatchFrozenEngineBehaviour)
+{
+    const auto cells = enumerateCells();
+    ASSERT_EQ(cells.size(), std::size(kGolden))
+        << "cell enumeration changed; regenerate golden_hashes.inc";
+    const auto hashes = runAllCells(cells);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_STREQ(cells[i].workload, kGolden[i].workload);
+        EXPECT_STREQ(cells[i].mode, kGolden[i].mode);
+        EXPECT_STREQ(cells[i].policy, kGolden[i].policy);
+        EXPECT_EQ(hashes[i], kGolden[i].hash)
+            << "behaviour diverged: " << cells[i].workload << " mode="
+            << cells[i].mode << " policy=" << cells[i].policy
+            << " seed=" << cells[i].seed;
+    }
+}
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--emit-golden") == 0) {
+            const auto cells = enumerateCells();
+            const auto hashes = runAllCells(cells);
+            for (std::size_t c = 0; c < cells.size(); ++c) {
+                std::printf("{\"%s\", \"%s\", \"%s\", %llu, "
+                            "0x%016llxULL},\n",
+                            cells[c].workload, cells[c].mode,
+                            cells[c].policy,
+                            static_cast<unsigned long long>(
+                                cells[c].seed),
+                            static_cast<unsigned long long>(
+                                hashes[c]));
+            }
+            return 0;
+        }
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the two-level radix page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/radix_table.hh"
+
+using namespace hdrd;
+
+namespace
+{
+
+/** Small geometry so tests cross page and directory bounds cheaply. */
+using SmallTable = RadixTable<std::uint64_t, /*kPageBits=*/4,
+                              /*kMaxDirBits=*/6>;
+
+} // namespace
+
+TEST(RadixTable, StartsEmpty)
+{
+    SmallTable t;
+    EXPECT_EQ(t.pages(), 0u);
+    EXPECT_EQ(t.peek(0), nullptr);
+    EXPECT_EQ(t.peek(123), nullptr);
+}
+
+TEST(RadixTable, GetValueInitializesSlot)
+{
+    SmallTable t;
+    EXPECT_EQ(t.get(7), 0u);
+    EXPECT_EQ(t.pages(), 1u);
+}
+
+TEST(RadixTable, GetIsStableAndWritable)
+{
+    SmallTable t;
+    t.get(3) = 42;
+    EXPECT_EQ(t.get(3), 42u);
+    const std::uint64_t *p = t.peek(3);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 42u);
+}
+
+TEST(RadixTable, SamePageSharesOnePage)
+{
+    SmallTable t;
+    // kPageBits=4: keys 0..15 share page 0.
+    for (std::uint64_t k = 0; k < SmallTable::kPageSize; ++k)
+        t.get(k) = k;
+    EXPECT_EQ(t.pages(), 1u);
+    for (std::uint64_t k = 0; k < SmallTable::kPageSize; ++k)
+        EXPECT_EQ(t.get(k), k);
+}
+
+TEST(RadixTable, PageBoundaryMaterializesNewPage)
+{
+    SmallTable t;
+    t.get(SmallTable::kPageSize - 1) = 1;  // last slot of page 0
+    EXPECT_EQ(t.pages(), 1u);
+    t.get(SmallTable::kPageSize) = 2;      // first slot of page 1
+    EXPECT_EQ(t.pages(), 2u);
+    EXPECT_EQ(t.get(SmallTable::kPageSize - 1), 1u);
+    EXPECT_EQ(t.get(SmallTable::kPageSize), 2u);
+}
+
+TEST(RadixTable, PeekNeverAllocates)
+{
+    SmallTable t;
+    t.get(0) = 9;
+    const std::size_t before = t.pages();
+    EXPECT_EQ(t.peek(SmallTable::kPageSize * 5), nullptr);
+    EXPECT_EQ(t.peek(~std::uint64_t{0}), nullptr);
+    EXPECT_EQ(t.pages(), before);
+}
+
+TEST(RadixTable, PeekSeesUntouchedSlotOnMaterializedPage)
+{
+    SmallTable t;
+    t.get(0) = 9;
+    // Key 1 shares page 0: the page exists, the slot is zero.
+    const std::uint64_t *p = t.peek(1);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 0u);
+}
+
+TEST(RadixTable, ReferencesSurviveLaterInserts)
+{
+    SmallTable t;
+    std::uint64_t &first = t.get(2);
+    first = 77;
+    // Force directory growth and many new pages.
+    for (std::uint64_t p = 1; p < 40; ++p)
+        t.get(p * SmallTable::kPageSize) = p;
+    EXPECT_EQ(first, 77u);
+    EXPECT_EQ(&first, &t.get(2));
+}
+
+TEST(RadixTable, HugeKeysSpillToOverflow)
+{
+    // Directory ceiling: 2^(kMaxDirBits + kPageBits) = 2^10 keys.
+    SmallTable t;
+    const std::uint64_t huge = ~std::uint64_t{0} - 7;
+    EXPECT_EQ(t.peek(huge), nullptr);
+    t.get(huge) = 5;
+    EXPECT_EQ(t.pages(), 1u);
+    const std::uint64_t *p = t.peek(huge);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 5u);
+    // A nearby huge key on the same overflow page shares it.
+    t.get(huge + 1) = 6;
+    EXPECT_EQ(t.pages(), 1u);
+    // Directory keys still work alongside overflow keys.
+    t.get(0) = 1;
+    EXPECT_EQ(t.pages(), 2u);
+    EXPECT_EQ(t.get(huge), 5u);
+}
+
+TEST(RadixTable, StreamingMemoSurvivesInterleavedPages)
+{
+    SmallTable t;
+    // Alternate between two pages so the last-page memo keeps
+    // switching; values must stay slot-accurate.
+    for (int i = 0; i < 100; ++i) {
+        t.get(i % 16) += 1;
+        t.get(SmallTable::kPageSize + (i % 16)) += 2;
+    }
+    for (std::uint64_t k = 0; k < 16; ++k) {
+        EXPECT_GE(t.get(k), 6u);
+        EXPECT_EQ(t.get(SmallTable::kPageSize + k), 2 * t.get(k));
+    }
+}
+
+TEST(RadixTable, ClearDropsEverything)
+{
+    SmallTable t;
+    t.get(1) = 1;
+    t.get(SmallTable::kPageSize * 3) = 2;
+    t.get(~std::uint64_t{0}) = 3;  // overflow page
+    EXPECT_EQ(t.pages(), 3u);
+    t.clear();
+    EXPECT_EQ(t.pages(), 0u);
+    // The memoized last page must not dangle after clear().
+    EXPECT_EQ(t.peek(1), nullptr);
+    EXPECT_EQ(t.peek(~std::uint64_t{0}), nullptr);
+    // Re-materialized slots are fresh.
+    EXPECT_EQ(t.get(1), 0u);
+}
+
+TEST(RadixTable, DefaultGeometryHandlesShadowLikeKeys)
+{
+    // The production shapes: granule keys from 64-bit addresses.
+    RadixTable<std::uint64_t> t;
+    const std::uint64_t stack_like = 0x7ffd'1234'5678ULL >> 3;
+    const std::uint64_t heap_like = 0x5555'0000ULL >> 3;
+    t.get(stack_like) = 1;
+    t.get(heap_like) = 2;
+    t.get(0xFFFF'FFFF'FFFF'FFF8ULL >> 3) = 3;
+    EXPECT_EQ(t.get(stack_like), 1u);
+    EXPECT_EQ(t.get(heap_like), 2u);
+    EXPECT_EQ(t.get(0xFFFF'FFFF'FFFF'FFF8ULL >> 3), 3u);
+    EXPECT_EQ(t.pages(), 3u);
+}

@@ -90,6 +90,65 @@ TEST(Shadow, ClearDropsEverything)
     EXPECT_TRUE(shadow.state(0x1000).untouched());
 }
 
+TEST(Shadow, ChunkBoundaryGranules)
+{
+    // 512 granules per chunk at 8-byte granularity: addresses 0x0
+    // and 0xFF8 share a chunk, 0x1000 starts the next one.
+    ShadowMemory shadow(3);
+    VarState &last = shadow.state(0xFF8);
+    EXPECT_EQ(shadow.chunks(), 1u);
+    VarState &first_next = shadow.state(0x1000);
+    EXPECT_EQ(shadow.chunks(), 2u);
+    EXPECT_NE(&last, &first_next);
+    // Straddling byte addresses still map to their own granules.
+    EXPECT_EQ(&shadow.state(0xFFF), &last);
+}
+
+TEST(Shadow, HugeSparseAddressIsTracked)
+{
+    // Top-of-address-space granule: must land in the radix table's
+    // overflow path, not fault or alias a low address.
+    ShadowMemory shadow;
+    constexpr Addr kHuge = 0xFFFFFFFFFFFFFFF8ULL;
+    shadow.state(kHuge).w = Epoch(2, 5);
+    EXPECT_EQ(shadow.chunks(), 1u);
+    const VarState *st = shadow.peek(kHuge);
+    ASSERT_NE(st, nullptr);
+    EXPECT_EQ(st->w, Epoch(2, 5));
+    EXPECT_EQ(shadow.peek(0x1000), nullptr);
+    shadow.state(0x1000);
+    EXPECT_EQ(shadow.chunks(), 2u);
+    EXPECT_NE(&shadow.state(kHuge), &shadow.state(0x1000));
+}
+
+TEST(Shadow, PeekNeverAllocatesEvenNearExistingChunks)
+{
+    ShadowMemory shadow;
+    shadow.state(0x1000);
+    const std::size_t before = shadow.chunks();
+    // Same chunk, different granule: peek may see it (zero state)...
+    const VarState *near = shadow.peek(0x1008);
+    ASSERT_NE(near, nullptr);
+    EXPECT_TRUE(near->untouched());
+    // ...but peeks off-chunk never materialize anything.
+    EXPECT_EQ(shadow.peek(0x100000), nullptr);
+    EXPECT_EQ(shadow.peek(0xFFFFFFFFFFFFFFF8ULL), nullptr);
+    EXPECT_EQ(shadow.chunks(), before);
+}
+
+TEST(Shadow, PrefetchIsPureHint)
+{
+    ShadowMemory shadow;
+    // Prefetching unmapped granules allocates nothing.
+    shadow.prefetch(0x4000);
+    shadow.prefetch(0xFFFFFFFFFFFFFFF8ULL);
+    EXPECT_EQ(shadow.chunks(), 0u);
+    shadow.state(0x4000).w = Epoch(1, 3);
+    shadow.prefetch(0x4000);
+    EXPECT_EQ(shadow.chunks(), 1u);
+    EXPECT_EQ(shadow.peek(0x4000)->w, Epoch(1, 3));
+}
+
 TEST(Shadow, UntouchedConsidersAllFields)
 {
     VarState st;

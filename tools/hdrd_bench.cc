@@ -1,0 +1,340 @@
+/**
+ * @file
+ * hdrd_bench — the engine self-benchmark harness.
+ *
+ * Fans the registered workloads x {native, continuous, demand-hitm}
+ * across a worker pool of host threads (simulations are independent),
+ * times each cell, and writes the aggregate host-side throughput to a
+ * BENCH_engine.json (schema hdrd-bench-v1, see docs/PERF.md). This is
+ * the number that gates engine perf work: the continuous-FastTrack
+ * aggregate is the headline "how fast does the simulator go" figure.
+ *
+ *   hdrd_bench                          # full sweep, BENCH_engine.json
+ *   hdrd_bench --smoke --check          # CI: subset + determinism check
+ *   hdrd_bench --workers=8 --repeat=3   # quieter timing on a busy host
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_json.hh"
+#include "common/logging.hh"
+#include "instr/cost_model.hh"
+#include "runtime/simulator.hh"
+#include "workloads/registry.hh"
+
+using namespace hdrd;
+
+namespace
+{
+
+struct Options
+{
+    double scale = 0.5;
+    std::uint64_t seed = 1;
+    std::uint32_t threads = 4;
+    std::uint32_t cores = 4;
+    std::uint32_t workers = 0;  ///< 0 = hardware concurrency
+    std::uint32_t repeat = 1;
+    bool smoke = false;
+    bool check = false;
+    std::string suite;
+    std::string modes = "native,continuous,demand-hitm";
+    std::string out = "BENCH_engine.json";
+    double baseline_ops = 0.0;
+};
+
+void
+usage()
+{
+    std::puts(
+        "hdrd_bench — engine self-benchmark (workloads x modes)\n"
+        "\n"
+        "  --smoke          micro suite at scale 0.1 (fast CI subset)\n"
+        "  --check          run every cell twice; exit 3 if any dump\n"
+        "                   differs between runs (nondeterminism)\n"
+        "  --workers=N      host worker threads (default: all cores)\n"
+        "  --repeat=N       timing repetitions per cell, best kept\n"
+        "  --scale=F        workload size multiplier (default 0.5)\n"
+        "  --suite=NAME     restrict to one workload suite\n"
+        "  --modes=LIST     comma list of native,continuous,"
+        "demand-hitm\n"
+        "  --threads=N --cores=N  simulated topology (default 4/4)\n"
+        "  --seed=N         simulation seed (default 1)\n"
+        "  --baseline-ops=F pre-change continuous-FastTrack ops/sec\n"
+        "                   to embed for speedup accounting\n"
+        "  --out=FILE       JSON output (default BENCH_engine.json)");
+}
+
+bool
+eat(const char *arg, const char *key, std::string &out)
+{
+    const std::size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) != 0)
+        return false;
+    out = arg + n;
+    return true;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0) {
+            usage();
+            std::exit(0);
+        } else if (std::strcmp(arg, "--smoke") == 0) {
+            opt.smoke = true;
+        } else if (std::strcmp(arg, "--check") == 0) {
+            opt.check = true;
+        } else if (eat(arg, "--workers=", value)) {
+            opt.workers =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else if (eat(arg, "--repeat=", value)) {
+            opt.repeat =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else if (eat(arg, "--scale=", value)) {
+            opt.scale = std::stod(value);
+        } else if (eat(arg, "--suite=", value)) {
+            opt.suite = value;
+        } else if (eat(arg, "--modes=", value)) {
+            opt.modes = value;
+        } else if (eat(arg, "--threads=", value)) {
+            opt.threads =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else if (eat(arg, "--cores=", value)) {
+            opt.cores =
+                static_cast<std::uint32_t>(std::stoul(value));
+        } else if (eat(arg, "--seed=", value)) {
+            opt.seed = std::stoull(value);
+        } else if (eat(arg, "--baseline-ops=", value)) {
+            opt.baseline_ops = std::stod(value);
+        } else if (eat(arg, "--out=", value)) {
+            opt.out = value;
+        } else {
+            usage();
+            fatal("unknown option '", arg, "'");
+        }
+    }
+    if (opt.repeat == 0)
+        opt.repeat = 1;
+    if (opt.smoke) {
+        // CI subset: every mode, micro suite only, small scale.
+        if (opt.suite.empty())
+            opt.suite = "micro";
+        opt.scale = 0.1;
+    }
+    return opt;
+}
+
+/** One unit of work for the pool. */
+struct Cell
+{
+    const workloads::WorkloadInfo *info = nullptr;
+    instr::ToolMode mode = instr::ToolMode::kNative;
+    const char *mode_name = "";
+    benchjson::BenchCell result;
+};
+
+runtime::SimConfig
+cellConfig(const Options &opt, instr::ToolMode mode)
+{
+    runtime::SimConfig config;
+    config.mode = mode;
+    config.detector = runtime::DetectorKind::kFastTrack;
+    config.gating.strategy = demand::Strategy::kDemandHitm;
+    config.mem.ncores = opt.cores;
+    config.seed = opt.seed;
+    return config;
+}
+
+void
+runCell(Cell &cell, const Options &opt)
+{
+    const runtime::SimConfig config = cellConfig(opt, cell.mode);
+    workloads::WorkloadParams params;
+    params.nthreads = opt.threads;
+    params.scale = opt.scale;
+    params.seed = opt.seed + 41;  // matches hdrd_sim's program seed
+
+    double best_seconds = 0.0;
+    std::string dump;
+    runtime::RunResult result;
+    for (std::uint32_t rep = 0; rep < opt.repeat + (opt.check ? 1u : 0u);
+         ++rep) {
+        auto program = cell.info->factory(params);
+        const auto t0 = std::chrono::steady_clock::now();
+        runtime::RunResult r =
+            runtime::Simulator::runWith(*program, config);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double seconds =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (rep == 0 || seconds < best_seconds)
+            best_seconds = seconds;
+
+        std::ostringstream os;
+        r.dump(os);
+        if (rep == 0) {
+            dump = os.str();
+            result = std::move(r);
+        } else if (os.str() != dump) {
+            cell.result.deterministic = false;
+        }
+    }
+
+    benchjson::BenchCell &out = cell.result;
+    out.workload = cell.info->name;
+    out.suite = cell.info->suite;
+    out.mode = cell.mode_name;
+    out.detector = cell.mode == instr::ToolMode::kNative
+        ? "none"
+        : "fasttrack";
+    out.wall_seconds = best_seconds;
+    out.sim_ops = result.total_ops;
+    out.sim_mem_accesses = result.mem_accesses;
+    out.sim_wall_cycles = result.wall_cycles;
+    out.races_unique = result.reports.uniqueCount();
+    out.host_ops_per_sec = best_seconds > 0.0
+        ? static_cast<double>(result.total_ops) / best_seconds
+        : 0.0;
+    out.checked = opt.check || opt.repeat > 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    struct ModeSpec
+    {
+        const char *name;
+        instr::ToolMode mode;
+    };
+    static const ModeSpec kAllModes[] = {
+        {"native", instr::ToolMode::kNative},
+        {"continuous", instr::ToolMode::kContinuous},
+        {"demand-hitm", instr::ToolMode::kDemand},
+    };
+
+    std::vector<ModeSpec> modes;
+    {
+        std::stringstream ss(opt.modes);
+        std::string token;
+        while (std::getline(ss, token, ',')) {
+            bool found = false;
+            for (const ModeSpec &spec : kAllModes) {
+                if (token == spec.name) {
+                    modes.push_back(spec);
+                    found = true;
+                }
+            }
+            if (!found)
+                fatal("unknown mode '", token, "' in --modes");
+        }
+    }
+    if (modes.empty())
+        fatal("--modes selected nothing");
+
+    std::vector<Cell> cells;
+    for (const auto &info : workloads::allWorkloads()) {
+        if (!opt.suite.empty() && info.suite != opt.suite)
+            continue;
+        for (const ModeSpec &spec : modes) {
+            Cell cell;
+            cell.info = &info;
+            cell.mode = spec.mode;
+            cell.mode_name = spec.name;
+            cells.push_back(std::move(cell));
+        }
+    }
+    if (cells.empty())
+        fatal("no cells selected (bad --suite?)");
+
+    std::uint32_t nworkers = opt.workers != 0
+        ? opt.workers
+        : std::max(1u, std::thread::hardware_concurrency());
+    nworkers = std::min<std::uint32_t>(
+        nworkers, static_cast<std::uint32_t>(cells.size()));
+
+    const auto sweep_t0 = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= cells.size())
+                return;
+            runCell(cells[i], opt);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(nworkers);
+    for (std::uint32_t w = 0; w < nworkers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    const auto sweep_t1 = std::chrono::steady_clock::now();
+
+    // Report (cell order, deterministic modulo the timings).
+    bool all_deterministic = true;
+    std::vector<benchjson::BenchCell> results;
+    results.reserve(cells.size());
+    for (const Cell &cell : cells) {
+        const benchjson::BenchCell &r = cell.result;
+        std::printf("%-28s %-11s %9.3f ms  %12.0f ops/s%s\n",
+                    r.workload.c_str(), r.mode.c_str(),
+                    r.wall_seconds * 1e3, r.host_ops_per_sec,
+                    r.deterministic ? "" : "  NONDETERMINISTIC");
+        all_deterministic = all_deterministic && r.deterministic;
+        results.push_back(r);
+    }
+
+    benchjson::BenchMeta meta;
+    meta.tool = "hdrd_bench";
+    meta.scale = opt.scale;
+    meta.seed = opt.seed;
+    meta.threads = opt.threads;
+    meta.cores = opt.cores;
+    meta.workers = nworkers;
+    meta.repeat = opt.repeat;
+    meta.smoke = opt.smoke;
+    meta.baseline_continuous_ft_ops = opt.baseline_ops;
+
+    std::ofstream out(opt.out);
+    if (!out)
+        fatal("cannot open ", opt.out, " for writing");
+    benchjson::writeBenchJson(out, meta, results);
+
+    const double cont_ft = benchjson::continuousFtOpsPerSec(results);
+    std::printf("\n%zu cells in %.2f s (%u workers) -> %s\n",
+                cells.size(),
+                std::chrono::duration<double>(sweep_t1 - sweep_t0)
+                    .count(),
+                nworkers, opt.out.c_str());
+    if (cont_ft > 0.0) {
+        std::printf("continuous-fasttrack aggregate: %.0f ops/s",
+                    cont_ft);
+        if (opt.baseline_ops > 0.0)
+            std::printf("  (%.2fx vs baseline %.0f)",
+                        cont_ft / opt.baseline_ops, opt.baseline_ops);
+        std::printf("\n");
+    }
+    if (!all_deterministic) {
+        std::fprintf(stderr,
+                     "hdrd_bench: nondeterministic cell output\n");
+        return 3;
+    }
+    return 0;
+}

@@ -13,11 +13,14 @@
  *   hdrd_sim --replay=dedup.trc --mode=continuous
  */
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <cstring>
 #include <string>
 
+#include "common/bench_json.hh"
 #include "common/logging.hh"
 #include "instr/cost_model.hh"
 #include "runtime/simulator.hh"
@@ -34,6 +37,7 @@ struct Options
     std::string workload;
     std::string replay;
     std::string record;
+    std::string bench_json;
     instr::ToolMode mode = instr::ToolMode::kDemand;
     runtime::DetectorKind detector =
         runtime::DetectorKind::kFastTrack;
@@ -82,6 +86,8 @@ usage()
         "policy\n"
         "  --jitter=F             random scheduling jitter [0,1)\n"
         "  --seed=N               simulation seed\n"
+        "  --bench-json=FILE      write a one-cell hdrd-bench-v1 "
+        "timing file\n"
         "  --track-gt             ground-truth sharing accounting\n"
         "  --verbose              print every race report\n"
         "  --stats                machine-readable stats dump");
@@ -123,6 +129,8 @@ parse(int argc, char **argv)
             opt.replay = value;
         } else if (eat(arg, "--record=", value)) {
             opt.record = value;
+        } else if (eat(arg, "--bench-json=", value)) {
+            opt.bench_json = value;
         } else if (eat(arg, "--mode=", value)) {
             if (value == "native")
                 opt.mode = instr::ToolMode::kNative;
@@ -264,7 +272,59 @@ main(int argc, char **argv)
         to_run = recording.get();
     }
 
+    const auto run_t0 = std::chrono::steady_clock::now();
     const auto result = runtime::Simulator::runWith(*to_run, config);
+    const auto run_t1 = std::chrono::steady_clock::now();
+
+    if (!opt.bench_json.empty()) {
+        // One-cell hdrd-bench-v1 file: same schema as hdrd_bench so
+        // single runs slot into the cross-PR perf series.
+        const double seconds =
+            std::chrono::duration<double>(run_t1 - run_t0).count();
+        benchjson::BenchCell cell;
+        cell.workload = program->name();
+        cell.suite = opt.replay.empty() ? "cli" : "replay";
+        cell.mode = opt.mode == instr::ToolMode::kDemand
+            ? std::string("demand-")
+                  + demand::strategyName(opt.strategy)
+            : instr::toolModeName(opt.mode);
+        if (opt.mode == instr::ToolMode::kNative) {
+            cell.detector = "none";
+        } else {
+            switch (opt.detector) {
+              case runtime::DetectorKind::kFastTrack:
+                cell.detector = "fasttrack";
+                break;
+              case runtime::DetectorKind::kNaiveHb:
+                cell.detector = "naive";
+                break;
+              case runtime::DetectorKind::kLockset:
+                cell.detector = "lockset";
+                break;
+            }
+        }
+        cell.wall_seconds = seconds;
+        cell.sim_ops = result.total_ops;
+        cell.sim_mem_accesses = result.mem_accesses;
+        cell.sim_wall_cycles = result.wall_cycles;
+        cell.races_unique = result.reports.uniqueCount();
+        cell.host_ops_per_sec = seconds > 0.0
+            ? static_cast<double>(result.total_ops) / seconds
+            : 0.0;
+
+        benchjson::BenchMeta meta;
+        meta.tool = "hdrd_sim";
+        meta.scale = opt.scale;
+        meta.seed = opt.seed;
+        meta.threads = opt.threads;
+        meta.cores = opt.cores;
+
+        std::ofstream os(opt.bench_json);
+        if (!os)
+            fatal("cannot open bench json file ", opt.bench_json);
+        benchjson::writeBenchJson(os, meta, {cell});
+        std::printf("bench json   %s\n", opt.bench_json.c_str());
+    }
 
     if (writer) {
         writer->finalize();
