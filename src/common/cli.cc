@@ -1,0 +1,57 @@
+#include "common/cli.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace hdrd::cli
+{
+
+std::uint64_t
+parseU64(const std::string &flag, const std::string &text,
+         std::uint64_t lo, std::uint64_t hi)
+{
+    if (text.empty() || text.find('-') != std::string::npos)
+        fatal("--", flag, ": expected an unsigned integer, got '",
+              text, "'");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        fatal("--", flag, ": expected an unsigned integer, got '",
+              text, "'");
+    if (v < lo || v > hi)
+        fatal("--", flag, ": value ", v, " out of range [", lo, ", ",
+              hi, "]");
+    return v;
+}
+
+std::uint32_t
+parseU32(const std::string &flag, const std::string &text,
+         std::uint32_t lo, std::uint32_t hi)
+{
+    return static_cast<std::uint32_t>(parseU64(flag, text, lo, hi));
+}
+
+double
+parseDouble(const std::string &flag, const std::string &text,
+            double lo, double hi)
+{
+    if (text.empty())
+        fatal("--", flag, ": expected a number, got ''");
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || std::isnan(v)
+        || errno == ERANGE) {
+        fatal("--", flag, ": expected a number, got '", text, "'");
+    }
+    if (v < lo || v > hi)
+        fatal("--", flag, ": value ", v, " out of range [", lo, ", ",
+              hi, "]");
+    return v;
+}
+
+} // namespace hdrd::cli

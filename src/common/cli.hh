@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared command-line parsing helpers for the hdrd tools.
+ *
+ * Every numeric flag in hdrd_sim/hdrd_bench/hdrd_fuzz funnels through
+ * these: a malformed or out-of-range value names the offending flag
+ * and exits nonzero (fatal) instead of throwing an uncaught
+ * std::invalid_argument out of std::stoul or silently truncating.
+ */
+
+#ifndef HDRD_COMMON_CLI_HH
+#define HDRD_COMMON_CLI_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hdrd::cli
+{
+
+/**
+ * Parse the value of --<flag>=<text> as an unsigned integer in
+ * [@p lo, @p hi]. fatal()s (exit 1) with the flag name on malformed
+ * input, a negative sign, trailing junk, or range violation.
+ */
+std::uint64_t parseU64(const std::string &flag, const std::string &text,
+                       std::uint64_t lo = 0,
+                       std::uint64_t hi = UINT64_MAX);
+
+/** parseU64 narrowed to 32 bits. */
+std::uint32_t parseU32(const std::string &flag, const std::string &text,
+                       std::uint32_t lo = 0,
+                       std::uint32_t hi = UINT32_MAX);
+
+/**
+ * Parse the value of --<flag>=<text> as a double in [@p lo, @p hi].
+ * fatal()s with the flag name on malformed input, NaN, trailing junk,
+ * or range violation.
+ */
+double parseDouble(const std::string &flag, const std::string &text,
+                   double lo, double hi);
+
+} // namespace hdrd::cli
+
+#endif // HDRD_COMMON_CLI_HH

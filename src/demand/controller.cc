@@ -32,6 +32,7 @@ DemandController::enable(ThreadId tid)
     if (!enabled_) {
         // First enable (re)starts the watchdog window.
         monitor_.reset();
+        last_enable_at_ = accesses_;
     }
     enabled_ = true;
     ++enables_;
@@ -47,6 +48,27 @@ DemandController::disable()
     ++disables_;
     transitions_.push_back(Transition{false, accesses_,
                                       kInvalidThread});
+
+    // Enable-side hysteresis: a short enabled span means the signal
+    // is flapping (storm of interrupts, each immediately quieted), so
+    // the re-arm holdoff backs off exponentially; a stable span
+    // resets it to the base value.
+    const FailsafeConfig &fs = config_.failsafe;
+    if (fs.enable_holdoff == 0)
+        return;
+    const std::uint64_t span = accesses_ - last_enable_at_;
+    if (span < fs.stable_span && cur_holdoff_ > 0) {
+        const double grown =
+            static_cast<double>(cur_holdoff_) * fs.backoff_factor;
+        cur_holdoff_ = grown > static_cast<double>(fs.max_holdoff)
+            ? fs.max_holdoff
+            : static_cast<std::uint64_t>(grown);
+    } else {
+        cur_holdoff_ = fs.enable_holdoff;
+    }
+    if (cur_holdoff_ < fs.enable_holdoff)
+        cur_holdoff_ = fs.enable_holdoff;
+    holdoff_until_ = accesses_ + cur_holdoff_;
 }
 
 bool
@@ -54,10 +76,60 @@ DemandController::onInterrupt(ThreadId tid)
 {
     if (config_.strategy != Strategy::kDemandHitm)
         return false;
+    if (config_.failsafe.enable_holdoff > 0
+        && accesses_ < holdoff_until_) {
+        ++ignored_interrupts_;
+        return false;
+    }
     if (enabledFor(tid))
         return false;
     enable(tid);
     return true;
+}
+
+bool
+DemandController::onSignalHealth(const SignalHealth &health)
+{
+    const FailsafeConfig &fs = config_.failsafe;
+    if (!fs.escalation)
+        return false;
+
+    const std::uint64_t flaps =
+        enables_ + disables_ - transitions_at_health_;
+    transitions_at_health_ = enables_ + disables_;
+
+    const bool unhealthy = health.drop_ratio > fs.max_drop_ratio
+        || health.skid_rms > fs.max_skid_rms
+        || health.suppressed > fs.max_suppressed
+        || flaps > fs.max_flaps;
+
+    if (unhealthy) {
+        healthy_streak_ = 0;
+        if (++unhealthy_streak_ >= fs.trip_windows
+            && failsafe_mode_ != FailsafeMode::kContinuous) {
+            failsafe_mode_ =
+                failsafe_mode_ == FailsafeMode::kDemand
+                    ? FailsafeMode::kSampling
+                    : FailsafeMode::kContinuous;
+            ++escalations_;
+            unhealthy_streak_ = 0;
+            return true;
+        }
+        return false;
+    }
+
+    unhealthy_streak_ = 0;
+    if (++healthy_streak_ >= fs.recover_windows
+        && failsafe_mode_ != FailsafeMode::kDemand) {
+        failsafe_mode_ =
+            failsafe_mode_ == FailsafeMode::kContinuous
+                ? FailsafeMode::kSampling
+                : FailsafeMode::kDemand;
+        ++deescalations_;
+        healthy_streak_ = 0;
+        return true;
+    }
+    return false;
 }
 
 bool

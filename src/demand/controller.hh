@@ -69,6 +69,27 @@ class DemandController
     const GatingConfig &config() const { return config_; }
 
     /**
+     * Should @p tid's next data access run through the detector?
+     * Equals enabledFor() in FailsafeMode::kDemand; in escalated
+     * failsafe modes the answer additionally covers the sampling
+     * duty cycle (kSampling) or everything (kContinuous).
+     */
+    bool shouldAnalyze(ThreadId tid) const
+    {
+        switch (failsafe_mode_) {
+          case FailsafeMode::kContinuous:
+            return true;
+          case FailsafeMode::kSampling:
+            return accesses_ % config_.failsafe.sampling_period
+                       < config_.failsafe.sampling_on
+                || enabledFor(tid);
+          case FailsafeMode::kDemand:
+            break;
+        }
+        return enabledFor(tid);
+    }
+
+    /**
      * A HITM overflow interrupt arrived (kDemandHitm) while thread
      * @p tid was running on the interrupted core.
      * @return true when this caused a disable->enable transition.
@@ -93,6 +114,29 @@ class DemandController
      * @return true when the watchdog just disabled analysis.
      */
     bool onAnalyzedAccess(const detect::AccessOutcome &outcome);
+
+    /**
+     * One health window's signal measurements (failsafe escalation
+     * must be enabled in config().failsafe). Flap rate is computed
+     * internally from the transition counters.
+     * @return true when the failsafe mode changed.
+     */
+    bool onSignalHealth(const SignalHealth &health);
+
+    /** Current rung of the failsafe ladder. */
+    FailsafeMode failsafeMode() const { return failsafe_mode_; }
+
+    /** Total one-step escalations (demand->sampling->continuous). */
+    std::uint64_t escalations() const { return escalations_; }
+
+    /** Total one-step de-escalations. */
+    std::uint64_t deescalations() const { return deescalations_; }
+
+    /** Interrupts ignored by the enable-side hysteresis holdoff. */
+    std::uint64_t ignoredInterrupts() const
+    {
+        return ignored_interrupts_;
+    }
 
     /** Total disable->enable transitions. */
     std::uint64_t enables() const { return enables_; }
@@ -122,6 +166,20 @@ class DemandController
     std::uint64_t enables_ = 0;
     std::uint64_t disables_ = 0;
     std::vector<Transition> transitions_;
+
+    // Enable-side hysteresis (config_.failsafe.enable_holdoff > 0).
+    std::uint64_t holdoff_until_ = 0;   ///< accesses_ gate
+    std::uint64_t cur_holdoff_ = 0;     ///< grows under flapping
+    std::uint64_t last_enable_at_ = 0;  ///< start of enabled span
+    std::uint64_t ignored_interrupts_ = 0;
+
+    // Failsafe ladder (config_.failsafe.escalation).
+    FailsafeMode failsafe_mode_ = FailsafeMode::kDemand;
+    std::uint32_t unhealthy_streak_ = 0;
+    std::uint32_t healthy_streak_ = 0;
+    std::uint64_t escalations_ = 0;
+    std::uint64_t deescalations_ = 0;
+    std::uint64_t transitions_at_health_ = 0;
 };
 
 } // namespace hdrd::demand

@@ -22,6 +22,20 @@ strategyName(Strategy strategy)
 }
 
 const char *
+failsafeModeName(FailsafeMode mode)
+{
+    switch (mode) {
+      case FailsafeMode::kDemand:
+        return "demand";
+      case FailsafeMode::kSampling:
+        return "sampling";
+      case FailsafeMode::kContinuous:
+        return "continuous";
+    }
+    return "?";
+}
+
+const char *
 scopeName(EnableScope scope)
 {
     switch (scope) {

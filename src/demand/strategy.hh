@@ -80,6 +80,101 @@ enum class EnableScope : std::uint8_t
 /** Printable name for an EnableScope. */
 const char *scopeName(EnableScope scope);
 
+/**
+ * Failsafe degradation ladder. When the hardware signal's health goes
+ * bad (samples lost, interrupts throttled, controller flapping), the
+ * controller stops trusting the indicator and degrades *gracefully*:
+ * first to a deterministic sampling-window duty cycle, then to full
+ * continuous analysis — trading overhead for not silently missing
+ * races. It climbs back down when the signal recovers.
+ */
+enum class FailsafeMode : std::uint8_t
+{
+    kDemand = 0,  ///< trust the indicator (normal operation)
+    kSampling,    ///< duty-cycle analysis windows, indicator as canary
+    kContinuous,  ///< analyze everything, indicator as canary
+};
+
+/** Printable name for a FailsafeMode. */
+const char *failsafeModeName(FailsafeMode mode);
+
+/**
+ * One health-evaluation window's view of the hardware signal,
+ * computed by the simulator from fault-model / PMU deltas.
+ */
+struct SignalHealth
+{
+    /** Fraction of armed-event occurrences lost before the sampler. */
+    double drop_ratio = 0.0;
+
+    /** RMS of fault-injected extra skid over the window's samples. */
+    double skid_rms = 0.0;
+
+    /** Overflow deliveries throttled/coalesced away in the window. */
+    std::uint64_t suppressed = 0;
+};
+
+/**
+ * Hardening knobs for the demand controller. Every default is "off":
+ * a default-constructed config leaves the controller's behaviour
+ * bit-identical to the unhardened state machine.
+ */
+struct FailsafeConfig
+{
+    /**
+     * Enable-side hysteresis: after a watchdog disable, overflow
+     * interrupts are ignored for this many accesses before the next
+     * enable is honoured (0 = off). Under interrupt storms the
+     * holdoff grows exponentially (re-arm backoff).
+     */
+    std::uint64_t enable_holdoff = 0;
+
+    /** Holdoff multiplier applied when the controller is flapping. */
+    double backoff_factor = 2.0;
+
+    /** Ceiling on the grown holdoff, in accesses. */
+    std::uint64_t max_holdoff = 1 << 20;
+
+    /**
+     * An enabled span at least this many accesses long counts as
+     * stable and resets the backoff to enable_holdoff.
+     */
+    std::uint64_t stable_span = 2000;
+
+    /** Master switch for the escalation ladder. */
+    bool escalation = false;
+
+    /** Health-evaluation window length in accesses. */
+    std::uint64_t health_window = 20000;
+
+    /** Trip threshold: window sample-loss ratio. */
+    double max_drop_ratio = 0.35;
+
+    /** Trip threshold: window skid RMS in retired ops. */
+    double max_skid_rms = 48.0;
+
+    /** Trip threshold: suppressed deliveries per window. */
+    std::uint64_t max_suppressed = 4;
+
+    /** Trip threshold: enable/disable transitions per window. */
+    std::uint64_t max_flaps = 8;
+
+    /** Consecutive unhealthy windows before escalating one step. */
+    std::uint32_t trip_windows = 2;
+
+    /** Consecutive healthy windows before de-escalating one step. */
+    std::uint32_t recover_windows = 4;
+
+    /** kSampling rung: accesses analyzed per duty period. */
+    std::uint64_t sampling_on = 5000;
+
+    /** kSampling rung: duty period length in accesses. */
+    std::uint64_t sampling_period = 20000;
+
+    /** True when any hardening behaviour is switched on. */
+    bool any() const { return escalation || enable_holdoff > 0; }
+};
+
 /** Full configuration of the demand-driven gating machinery. */
 struct GatingConfig
 {
@@ -107,6 +202,17 @@ struct GatingConfig
 
     /** Software watchdog driving the disable decision. */
     WatchdogConfig watchdog;
+
+    /** Hardening against a degraded hardware signal. */
+    FailsafeConfig failsafe;
+
+    /**
+     * Staleness bound on PEBS-captured addresses: a latched sample
+     * older than this many accesses at interrupt delivery is not
+     * retro-analyzed (the address likely no longer matches the
+     * sharing it reported). 0 = unbounded.
+     */
+    std::uint64_t pebs_staleness = 0;
 
     /** kRandomSampling: probability each window runs analyzed. */
     double sampling_rate = 0.01;

@@ -76,7 +76,15 @@ PerfCounter::PerfCounter(HwEvent event) : event_(event)
 
     const long fd = perfEventOpen(&attr, 0, -1, -1, 0);
     if (fd < 0) {
-        error_ = std::strerror(errno);
+        // Keep the errno detail: "Permission denied" alone does not
+        // tell an operator whether to flip perf_event_paranoid or to
+        // fix a seccomp policy.
+        const int err = errno;
+        error_ = std::string("perf_event_open(") + hwEventName(event)
+            + "): " + std::strerror(err) + " (errno "
+            + std::to_string(err) + ")";
+        if (err == EACCES || err == EPERM)
+            error_ += "; check /proc/sys/kernel/perf_event_paranoid";
         return;
     }
     fd_ = static_cast<int>(fd);
@@ -129,10 +137,19 @@ PerfCounter::read() const
 {
     if (fd_ < 0)
         return std::nullopt;
-    std::uint64_t value = 0;
-    if (::read(fd_, &value, sizeof(value)) != sizeof(value))
-        return std::nullopt;
-    return value;
+    // A signal can interrupt the read (EINTR) or truncate it; perf
+    // fds have no file offset, so a short read leaves a torn value
+    // and the only correct recovery is to redo the whole 8 bytes.
+    // Bounded so a pathological signal storm cannot wedge us.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        std::uint64_t value = 0;
+        const ssize_t n = ::read(fd_, &value, sizeof(value));
+        if (n == static_cast<ssize_t>(sizeof(value)))
+            return value;
+        if (n < 0 && errno != EINTR)
+            return std::nullopt;
+    }
+    return std::nullopt;
 }
 
 #else // !__linux__

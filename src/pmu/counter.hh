@@ -83,6 +83,16 @@ class SamplingCounter
     }
 
     /**
+     * Extend a pending overflow's skid window by @p n retired ops
+     * (fault-injected skid jitter). No effect unless skidding.
+     */
+    void addSkid(std::uint32_t n)
+    {
+        if (armed_ && skidding_)
+            skid_left_ += n;
+    }
+
+    /**
      * Advance one retired operation.
      * @return true when a pending overflow finished its skid and the
      *         interrupt should be delivered now.

@@ -1,0 +1,418 @@
+#include "pmu/faults.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hdrd::pmu
+{
+
+double
+FaultStats::skidRms() const
+{
+    return skid_events == 0
+        ? 0.0
+        : std::sqrt(static_cast<double>(skid_added_sq)
+                    / static_cast<double>(skid_events));
+}
+
+FaultModel::FaultModel(const FaultConfig &config, std::uint32_t ncores,
+                       std::uint64_t run_seed)
+    : config_(config), enabled_(config.any()),
+      // Mix the fault seed into the run seed so two profiles that
+      // differ only in seed= draw different streams, while the main
+      // simulator Rng stream is never touched.
+      rng_(run_seed * 0x2545f4914f6cdd1dULL
+           + config.seed * 0x9e3779b97f4a7c15ULL + 0xfau),
+      cores_(ncores)
+{
+}
+
+bool
+FaultModel::sampleVisible(CoreId core)
+{
+    if (!active())
+        return true;
+    ++stats_.samples_seen;
+    auto &cs = cores_[core];
+
+    // Multiplexing gates deterministically on the core's retired-op
+    // clock: slice w is live iff the duty-cycle Bresenham accumulator
+    // steps across it, spreading live slices evenly.
+    if (config_.mux_window > 0 && config_.mux_duty < 1.0) {
+        const std::uint64_t slice = cs.retired / config_.mux_window;
+        const double duty = config_.mux_duty < 0.0 ? 0.0
+                                                   : config_.mux_duty;
+        const auto live =
+            static_cast<std::uint64_t>(
+                static_cast<double>(slice + 1) * duty)
+            > static_cast<std::uint64_t>(static_cast<double>(slice)
+                                         * duty);
+        if (!live) {
+            ++stats_.dropped_mux;
+            return false;
+        }
+    }
+
+    // Gilbert-Elliott bursty channel: while in the loss state every
+    // occurrence is dropped; transitions are per-occurrence draws.
+    if (config_.burst_enter > 0.0) {
+        if (cs.in_burst) {
+            if (rng_.nextBool(config_.burst_exit))
+                cs.in_burst = false;
+            else {
+                ++stats_.dropped_burst;
+                return false;
+            }
+        } else if (rng_.nextBool(config_.burst_enter)) {
+            cs.in_burst = true;
+            ++stats_.dropped_burst;
+            return false;
+        }
+    }
+
+    if (config_.drop_prob > 0.0 && rng_.nextBool(config_.drop_prob)) {
+        ++stats_.dropped_iid;
+        return false;
+    }
+    return true;
+}
+
+std::uint32_t
+FaultModel::extraSkid(CoreId core)
+{
+    (void)core;
+    if (!active() || config_.skid_jitter == 0)
+        return 0;
+    const auto extra = static_cast<std::uint32_t>(
+        rng_.nextBounded(std::uint64_t{config_.skid_jitter} + 1));
+    if (extra > 0) {
+        ++stats_.skid_events;
+        stats_.skid_added += extra;
+        stats_.skid_added_sq +=
+            std::uint64_t{extra} * std::uint64_t{extra};
+    }
+    return extra;
+}
+
+bool
+FaultModel::allowDelivery(CoreId core)
+{
+    if (!active()) {
+        ++stats_.delivered;
+        return true;
+    }
+    auto &cs = cores_[core];
+    const std::uint64_t now = cs.retired;
+
+    if (config_.throttle_max > 0) {
+        if (now < cs.throttled_until) {
+            ++stats_.throttled;
+            return false;
+        }
+        if (now - cs.window_start >= config_.throttle_window) {
+            cs.window_start = now;
+            cs.window_deliveries = 0;
+        }
+        if (cs.window_deliveries >= config_.throttle_max) {
+            cs.throttled_until = now + config_.throttle_backoff;
+            cs.window_deliveries = 0;
+            cs.window_start = now + config_.throttle_backoff;
+            ++stats_.throttle_trips;
+            ++stats_.throttled;
+            return false;
+        }
+    }
+
+    if (config_.coalesce_window > 0 && cs.has_delivery
+        && now - cs.last_delivery <= config_.coalesce_window) {
+        ++stats_.coalesced;
+        return false;
+    }
+
+    cs.last_delivery = now;
+    cs.has_delivery = true;
+    if (config_.throttle_max > 0)
+        ++cs.window_deliveries;
+    ++stats_.delivered;
+    return true;
+}
+
+Addr
+FaultModel::filterAddr(CoreId core, Addr addr)
+{
+    (void)core;
+    if (!active() || config_.addr_corrupt_prob <= 0.0
+        || addr == kInvalidAddr)
+        return addr;
+    if (!rng_.nextBool(config_.addr_corrupt_prob))
+        return addr;
+    ++stats_.corrupted_addrs;
+    // Flip a handful of low/mid address bits: the corrupted address
+    // stays plausible (nearby) but names the wrong granule.
+    const std::uint64_t noise = rng_.next64() & 0xffffu;
+    return (addr ^ (noise << 3)) & ~std::uint64_t{7};
+}
+
+namespace
+{
+
+struct NamedProfile
+{
+    const char *name;
+    const char *spec;
+};
+
+/**
+ * The canned profiles. Magnitudes chosen so "mild" barely moves the
+ * recall needle, "storm" reliably trips the failsafe thresholds.
+ */
+const NamedProfile kProfiles[] = {
+    {"none", ""},
+    {"mild", "drop=0.1,skid=8"},
+    {"lossy", "drop=0.5,skid=16,coalesce=32"},
+    {"bursty", "burst-enter=0.05,burst-exit=0.1,skid=8"},
+    {"skidstorm", "skid=128,coalesce=64"},
+    {"throttle",
+     "throttle-max=4,throttle-window=2000,throttle-backoff=20000,"
+     "skid=16"},
+    {"storm",
+     "drop=0.6,burst-enter=0.1,burst-exit=0.05,skid=64,coalesce=64,"
+     "throttle-max=8,throttle-window=4000,throttle-backoff=30000,"
+     "addr-corrupt=0.2"},
+};
+
+bool
+parseDoubleField(const std::string &val, double lo, double hi,
+                 double &out, std::string &err,
+                 const std::string &key)
+{
+    char *end = nullptr;
+    const double v = std::strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0' || std::isnan(v)) {
+        err = "fault spec: bad number for '" + key + "': " + val;
+        return false;
+    }
+    if (v < lo || v > hi) {
+        err = "fault spec: '" + key + "' out of range [" +
+              std::to_string(lo) + ", " + std::to_string(hi) +
+              "]: " + val;
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseU64Field(const std::string &val, std::uint64_t &out,
+              std::string &err, const std::string &key)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(val.c_str(), &end, 10);
+    if (end == val.c_str() || *end != '\0'
+        || val.find('-') != std::string::npos) {
+        err = "fault spec: bad integer for '" + key + "': " + val;
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseU32Field(const std::string &val, std::uint32_t &out,
+              std::string &err, const std::string &key)
+{
+    std::uint64_t wide = 0;
+    if (!parseU64Field(val, wide, err, key))
+        return false;
+    if (wide > 0xffffffffULL) {
+        err = "fault spec: '" + key + "' too large: " + val;
+        return false;
+    }
+    out = static_cast<std::uint32_t>(wide);
+    return true;
+}
+
+bool
+applyKeyValue(const std::string &key, const std::string &val,
+              FaultConfig &out, std::string &err)
+{
+    if (key == "drop")
+        return parseDoubleField(val, 0.0, 1.0, out.drop_prob, err,
+                                key);
+    if (key == "burst-enter")
+        return parseDoubleField(val, 0.0, 1.0, out.burst_enter, err,
+                                key);
+    if (key == "burst-exit")
+        return parseDoubleField(val, 0.0, 1.0, out.burst_exit, err,
+                                key);
+    if (key == "skid")
+        return parseU32Field(val, out.skid_jitter, err, key);
+    if (key == "coalesce")
+        return parseU32Field(val, out.coalesce_window, err, key);
+    if (key == "throttle-max")
+        return parseU32Field(val, out.throttle_max, err, key);
+    if (key == "throttle-window")
+        return parseU64Field(val, out.throttle_window, err, key);
+    if (key == "throttle-backoff")
+        return parseU64Field(val, out.throttle_backoff, err, key);
+    if (key == "mux-duty")
+        return parseDoubleField(val, 0.0, 1.0, out.mux_duty, err,
+                                key);
+    if (key == "mux-window")
+        return parseU64Field(val, out.mux_window, err, key);
+    if (key == "addr-corrupt")
+        return parseDoubleField(val, 0.0, 1.0, out.addr_corrupt_prob,
+                                err, key);
+    if (key == "active-ops")
+        return parseU64Field(val, out.active_ops, err, key);
+    if (key == "seed")
+        return parseU64Field(val, out.seed, err, key);
+    err = "fault spec: unknown key '" + key + "'";
+    return false;
+}
+
+bool
+parseInlineSpec(const std::string &spec, FaultConfig &out,
+                std::string &err)
+{
+    std::string token;
+    std::istringstream is(spec);
+    // Accept both comma- and whitespace-separated key=value pairs.
+    while (std::getline(is, token, ',')) {
+        std::istringstream ts(token);
+        std::string pair;
+        while (ts >> pair) {
+            const auto eq = pair.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                err = "fault spec: expected key=value, got '" + pair +
+                      "'";
+                return false;
+            }
+            if (!applyKeyValue(pair.substr(0, eq),
+                               pair.substr(eq + 1), out, err))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+parseProfileFile(const std::string &path, FaultConfig &out,
+                 std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "fault spec: cannot open profile file: " + path;
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        // Each non-comment line is an inline spec fragment.
+        bool blank = true;
+        for (const char c : line)
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                blank = false;
+        if (blank)
+            continue;
+        if (!parseInlineSpec(line, out, err))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+faultProfileNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &p : kProfiles)
+            v.emplace_back(p.name);
+        return v;
+    }();
+    return names;
+}
+
+bool
+applyFaultSpec(const std::string &fragment, FaultConfig &config,
+               std::string &err)
+{
+    err.clear();
+    return parseInlineSpec(fragment, config, err);
+}
+
+bool
+resolveFaultSpec(const std::string &spec, FaultConfig &out,
+                 std::string &err)
+{
+    out = FaultConfig{};
+    err.clear();
+    if (spec.empty())
+        return true;
+
+    for (const auto &p : kProfiles) {
+        if (spec == p.name)
+            return parseInlineSpec(p.spec, out, err);
+    }
+
+    // A path-looking spec (contains '/' or ends in .prof) is a file;
+    // everything else must parse as inline key=value pairs.
+    if (spec.find('/') != std::string::npos
+        || (spec.size() > 5
+            && spec.compare(spec.size() - 5, 5, ".prof") == 0))
+        return parseProfileFile(spec, out, err);
+
+    return parseInlineSpec(spec, out, err);
+}
+
+std::string
+faultSpec(const FaultConfig &config)
+{
+    if (!config.any())
+        return "none";
+    std::ostringstream os;
+    const char *sep = "";
+    const auto emitU = [&](const char *key, std::uint64_t v) {
+        os << sep << key << '=' << v;
+        sep = ",";
+    };
+    const auto emitD = [&](const char *key, double v) {
+        os << sep << key << '=' << v;
+        sep = ",";
+    };
+    if (config.drop_prob > 0.0)
+        emitD("drop", config.drop_prob);
+    if (config.burst_enter > 0.0) {
+        emitD("burst-enter", config.burst_enter);
+        emitD("burst-exit", config.burst_exit);
+    }
+    if (config.skid_jitter > 0)
+        emitU("skid", config.skid_jitter);
+    if (config.coalesce_window > 0)
+        emitU("coalesce", config.coalesce_window);
+    if (config.throttle_max > 0) {
+        emitU("throttle-max", config.throttle_max);
+        emitU("throttle-window", config.throttle_window);
+        emitU("throttle-backoff", config.throttle_backoff);
+    }
+    if (config.mux_window > 0 && config.mux_duty < 1.0) {
+        emitD("mux-duty", config.mux_duty);
+        emitU("mux-window", config.mux_window);
+    }
+    if (config.addr_corrupt_prob > 0.0)
+        emitD("addr-corrupt", config.addr_corrupt_prob);
+    if (config.active_ops > 0)
+        emitU("active-ops", config.active_ops);
+    if (config.seed > 0)
+        emitU("seed", config.seed);
+    return os.str();
+}
+
+} // namespace hdrd::pmu

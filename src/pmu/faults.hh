@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Fault injection for the modelled hardware signal path.
+ *
+ * The paper's hardware sharing indicator is *lossy by design*: the
+ * HITM event only sees W->R sharing, modified lines evicted before
+ * consumption never notify, the sampling counter skips events, the
+ * interrupt lands several instructions late, and the kernel throttles
+ * interrupt storms. Our base PMU model is too clean to reproduce the
+ * paper's accuracy-vs-overhead trade-off, so this layer degrades the
+ * signal on purpose — deterministically, from a seed — between the
+ * memory hierarchy's event stream and the pmu::Pmu counters.
+ *
+ * Fault taxonomy (see docs/FAULTS.md for the mapping onto the paper's
+ * accuracy-loss causes):
+ *  - iid sample loss:       each armed-event occurrence is invisible
+ *                           to the sampling counter with probability
+ *                           drop_prob (eviction-before-notification).
+ *  - bursty loss:           a two-state Gilbert-Elliott channel; in
+ *                           the loss state every occurrence is
+ *                           dropped (DMA phases, ring-buffer stalls).
+ *  - skid jitter:           an overflow's delivery slips a further
+ *                           uniform [0, skid_jitter] retired ops,
+ *                           so the interrupt is attributed later
+ *                           (and possibly to the wrong thread).
+ *  - coalescing:            an overflow delivered within
+ *                           coalesce_window retired ops of the
+ *                           previous delivery on that core is merged
+ *                           into it (back-to-back PMIs collapse).
+ *  - throttling:            kernel-style max-interrupt-rate backoff;
+ *                           more than throttle_max deliveries inside
+ *                           throttle_window retired ops silences the
+ *                           core for throttle_backoff retired ops.
+ *  - multiplexing:          the event is only counted during a
+ *                           mux_duty fraction of mux_window slices
+ *                           (counter shared with other events).
+ *  - address corruption:    the sampled (PEBS) data address is
+ *                           replaced with a nearby-garbage address
+ *                           with probability addr_corrupt_prob.
+ *
+ * All randomness comes from a private Rng seeded from (run seed,
+ * fault seed), so a fixed (seed, profile) pair replays exactly; with
+ * every knob at its default the model is pass-through and the
+ * simulator's behaviour is byte-identical to a build without it.
+ */
+
+#ifndef HDRD_PMU_FAULTS_HH
+#define HDRD_PMU_FAULTS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace hdrd::pmu
+{
+
+/** Every knob of the fault model; defaults are all pass-through. */
+struct FaultConfig
+{
+    /** Per-occurrence iid probability the sampler misses the event. */
+    double drop_prob = 0.0;
+
+    /** Per-occurrence probability of entering the bursty-loss state. */
+    double burst_enter = 0.0;
+
+    /** Per-occurrence probability of leaving the bursty-loss state. */
+    double burst_exit = 0.25;
+
+    /** Extra delivery skid: uniform [0, skid_jitter] retired ops. */
+    std::uint32_t skid_jitter = 0;
+
+    /**
+     * Deliveries within this many retired ops of the previous
+     * delivery on the same core are coalesced away (0 = off).
+     */
+    std::uint32_t coalesce_window = 0;
+
+    /** Max deliveries per throttle_window before tripping (0 = off). */
+    std::uint32_t throttle_max = 0;
+
+    /** Throttle accounting window in retired ops. */
+    std::uint64_t throttle_window = 10000;
+
+    /** Retired ops a tripped core stays silenced. */
+    std::uint64_t throttle_backoff = 50000;
+
+    /** Fraction of multiplex slices the event is live (1 = always). */
+    double mux_duty = 1.0;
+
+    /** Multiplex slice length in retired ops (0 = no multiplexing). */
+    std::uint64_t mux_window = 0;
+
+    /** Probability a latched sample address is corrupted. */
+    double addr_corrupt_prob = 0.0;
+
+    /**
+     * Faults apply only to the first active_ops retired ops summed
+     * over all cores (0 = the whole run). Models a transient storm
+     * and lets tests drive failsafe de-escalation.
+     */
+    std::uint64_t active_ops = 0;
+
+    /** Extra entropy folded into the fault Rng (with the run seed). */
+    std::uint64_t seed = 0;
+
+    /** True when any knob departs from pass-through. */
+    bool any() const
+    {
+        return drop_prob > 0.0 || burst_enter > 0.0
+            || skid_jitter > 0 || coalesce_window > 0
+            || throttle_max > 0
+            || (mux_window > 0 && mux_duty < 1.0)
+            || addr_corrupt_prob > 0.0;
+    }
+};
+
+/** Signal-degradation accounting (per run). */
+struct FaultStats
+{
+    /** Armed-event occurrences offered to the fault layer. */
+    std::uint64_t samples_seen = 0;
+
+    std::uint64_t dropped_iid = 0;
+    std::uint64_t dropped_burst = 0;
+    std::uint64_t dropped_mux = 0;
+
+    /** Samples whose skid was extended, and total ops added. */
+    std::uint64_t skid_events = 0;
+    std::uint64_t skid_added = 0;
+
+    /** Sum of squared per-sample extra skid (for RMS/variance). */
+    std::uint64_t skid_added_sq = 0;
+
+    /** Deliveries merged into a recent predecessor. */
+    std::uint64_t coalesced = 0;
+
+    /** Deliveries suppressed while a core was throttled. */
+    std::uint64_t throttled = 0;
+
+    /** Times a core's delivery rate tripped the throttle. */
+    std::uint64_t throttle_trips = 0;
+
+    /** PEBS addresses corrupted before the latch. */
+    std::uint64_t corrupted_addrs = 0;
+
+    /** Deliveries that passed every delivery-side fault. */
+    std::uint64_t delivered = 0;
+
+    /** All sample-side losses. */
+    std::uint64_t dropped() const
+    {
+        return dropped_iid + dropped_burst + dropped_mux;
+    }
+
+    /** Fraction of offered samples lost on the sample side. */
+    double dropRatio() const
+    {
+        return samples_seen == 0
+            ? 0.0
+            : static_cast<double>(dropped())
+                / static_cast<double>(samples_seen);
+    }
+
+    /** RMS of the extra skid over samples that received any. */
+    double skidRms() const;
+};
+
+/**
+ * The seeded fault interposer. The simulator consults it at three
+ * points of the signal path:
+ *
+ *   hierarchy event --sampleVisible()--> sampling counter
+ *   threshold cross --extraSkid()------> skid window
+ *   skid exhausted  --allowDelivery()--> overflow handler
+ *
+ * plus filterAddr() when latching a PEBS record, and onRetire() once
+ * per retired op to advance the windows. Everything is deterministic
+ * given (config, ncores, run seed) and the call sequence.
+ */
+class FaultModel
+{
+  public:
+    FaultModel(const FaultConfig &config, std::uint32_t ncores,
+               std::uint64_t run_seed);
+
+    /** True when any fault is configured. */
+    bool enabled() const { return enabled_; }
+
+    /** Advance one retired op on @p core. */
+    void onRetire(CoreId core)
+    {
+        ++cores_[core].retired;
+        ++total_retired_;
+    }
+
+    /**
+     * An armed-event occurrence on @p core.
+     * @return true when the sampling counter may see it.
+     */
+    bool sampleVisible(CoreId core);
+
+    /** Extra skid for a sample that just crossed its threshold. */
+    std::uint32_t extraSkid(CoreId core);
+
+    /**
+     * An overflow finished its skid on @p core.
+     * @return true when the interrupt may be delivered.
+     */
+    bool allowDelivery(CoreId core);
+
+    /** Possibly corrupt a PEBS address before it is latched. */
+    Addr filterAddr(CoreId core, Addr addr);
+
+    /** Accounting so far. */
+    const FaultStats &stats() const { return stats_; }
+
+    const FaultConfig &config() const { return config_; }
+
+  private:
+    /** Faults currently apply (active_ops window not yet expired). */
+    bool active() const
+    {
+        return enabled_
+            && (config_.active_ops == 0
+                || total_retired_ < config_.active_ops);
+    }
+
+    struct CoreFaultState
+    {
+        /** Retired ops on this core (fault-model clock). */
+        std::uint64_t retired = 0;
+
+        /** Bursty-loss channel state. */
+        bool in_burst = false;
+
+        /** Last allowed delivery, for coalescing. */
+        std::uint64_t last_delivery = 0;
+        bool has_delivery = false;
+
+        /** Throttle window bookkeeping. */
+        std::uint64_t window_start = 0;
+        std::uint32_t window_deliveries = 0;
+        std::uint64_t throttled_until = 0;
+    };
+
+    FaultConfig config_;
+    bool enabled_ = false;
+    Rng rng_;
+    std::vector<CoreFaultState> cores_;
+    std::uint64_t total_retired_ = 0;
+    FaultStats stats_;
+};
+
+/** Names of the built-in fault profiles ("none" first). */
+const std::vector<std::string> &faultProfileNames();
+
+/**
+ * Resolve @p spec into a config. @p spec may be:
+ *  - a built-in profile name ("none", "mild", "lossy", "bursty",
+ *    "skidstorm", "throttle", "storm");
+ *  - a path to a profile file (key=value lines, '#' comments);
+ *  - an inline comma- or space-separated key=value list
+ *    ("drop=0.3,skid=16").
+ * Keys: drop, burst-enter, burst-exit, skid, coalesce, throttle-max,
+ * throttle-window, throttle-backoff, mux-duty, mux-window,
+ * addr-corrupt, active-ops, seed.
+ * @return false (with @p err set) on any unknown key, malformed
+ *         value, or out-of-range number.
+ */
+bool resolveFaultSpec(const std::string &spec, FaultConfig &out,
+                      std::string &err);
+
+/**
+ * Apply one inline key=value fragment on top of @p config without
+ * resetting it first (CLI --fault-* overrides layered over a
+ * --faults= profile).
+ */
+bool applyFaultSpec(const std::string &fragment, FaultConfig &config,
+                    std::string &err);
+
+/**
+ * Canonical inline spec for @p config ("none" when pass-through).
+ * Round-trips through resolveFaultSpec().
+ */
+std::string faultSpec(const FaultConfig &config);
+
+} // namespace hdrd::pmu
+
+#endif // HDRD_PMU_FAULTS_HH

@@ -23,6 +23,7 @@
 #include "common/types.hh"
 #include "pmu/counter.hh"
 #include "pmu/event.hh"
+#include "pmu/faults.hh"
 
 namespace hdrd::pmu
 {
@@ -91,12 +92,18 @@ class Pmu
      * mask. Equivalent to one recordEvent per set bit, in any order
      * (at most one event can be armed per core).
      *
+     * When @p faults is non-null, armed-event occurrences pass through
+     * the fault model's sample-loss filter before reaching the
+     * sampling counter, and a crossing's skid window is extended by
+     * the model's jitter. Free-running counts are never faulted.
+     *
      * @return true when a HITM-family event (kHitmLoad / kHitmAny)
      *         was sampled — crossed the armed counter's threshold and
      *         latched, as the demand controller's PEBS record.
      */
     bool recordAccess(CoreId core, EventMask mask,
-                      std::uint32_t invalidations)
+                      std::uint32_t invalidations,
+                      FaultModel *faults = nullptr)
     {
         hdrdAssert(core < cores_.size(), "unknown core ", core);
         CoreState &state = cores_[core];
@@ -116,10 +123,16 @@ class Pmu
             const EventType armed_event = state.sampler.config().event;
             const EventMask armed_bit = eventBit(armed_event);
             if ((mask & armed_bit) != 0) {
+                if (faults != nullptr
+                    && !faults->sampleVisible(core)) {
+                    return false;
+                }
                 const std::uint64_t n = armed_bit == inval_bit
                     ? invalidations
                     : 1;
                 const bool crossed = state.sampler.count(n);
+                if (crossed && faults != nullptr)
+                    state.sampler.addSkid(faults->extraSkid(core));
                 return crossed
                     && (armed_event == EventType::kHitmLoad
                         || armed_event == EventType::kHitmAny);
@@ -132,12 +145,20 @@ class Pmu
      * Retire one operation on @p core: advances skid windows and
      * delivers any due overflow interrupt (synchronously, through the
      * registered handler).
+     *
+     * When @p faults is non-null, the fault model's per-core clock
+     * advances and a due overflow must pass its delivery-side gates
+     * (coalescing, throttling) — a suppressed overflow is counted in
+     * interruptsSuppressed() and never reaches the handler.
+     *
      * @return true when an interrupt was delivered.
      */
-    bool retireOp(CoreId core)
+    bool retireOp(CoreId core, FaultModel *faults = nullptr)
     {
         hdrdAssert(core < cores_.size(), "unknown core ", core);
         CoreState &state = cores_[core];
+        if (faults != nullptr)
+            faults->onRetire(core);
         state.counts[static_cast<std::size_t>(
             EventType::kRetiredOps)] += 1;
         if (state.sampler.armed()
@@ -147,6 +168,10 @@ class Pmu
         }
         if (!state.sampler.retire())
             return false;
+        if (faults != nullptr && !faults->allowDelivery(core)) {
+            ++suppressed_;
+            return false;
+        }
         ++interrupts_;
         if (handler_)
             handler_(core, state.sampler.config().event);
@@ -162,6 +187,9 @@ class Pmu
     /** Total overflow interrupts delivered. */
     std::uint64_t interruptsDelivered() const { return interrupts_; }
 
+    /** Overflows suppressed by the fault model's delivery gates. */
+    std::uint64_t interruptsSuppressed() const { return suppressed_; }
+
     /** Zero the free-running counters (sampling state untouched). */
     void resetCounts();
 
@@ -175,6 +203,7 @@ class Pmu
     std::vector<CoreState> cores_;
     OverflowHandler handler_;
     std::uint64_t interrupts_ = 0;
+    std::uint64_t suppressed_ = 0;
 };
 
 } // namespace hdrd::pmu

@@ -1,6 +1,7 @@
 #include "runtime/simulator.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/logging.hh"
@@ -78,6 +79,13 @@ Simulator::runImpl(Program &program)
     // Platform.
     mem::Hierarchy hier(config_.mem);
     pmu::Pmu pmu(ncores);
+    // Hardware-signal fault injection. The model owns a private Rng
+    // (seeded from run seed + fault seed), so the main rng stream —
+    // and with it every schedule — is untouched; when no fault is
+    // configured the null pointer keeps the PMU paths pass-through.
+    pmu::FaultModel faults(config_.faults, ncores, config_.seed);
+    pmu::FaultModel *const fault_ptr =
+        faults.enabled() ? &faults : nullptr;
     Rng rng(config_.seed);
     Scheduler sched(config_.sched_jitter, rng.split(),
                     config_.sched_policy);
@@ -149,6 +157,9 @@ Simulator::runImpl(Program &program)
         Addr addr = 0;
         SiteId site = kInvalidSite;
         bool valid = false;
+
+        /** Access-count timestamp, for the staleness bound. */
+        std::uint64_t at_access = 0;
     };
     std::vector<PebsLatch> pebs(ncores);
 
@@ -166,24 +177,38 @@ Simulator::runImpl(Program &program)
         if (!controller.onInterrupt(current_tid))
             return;
         core_cycles[core] += cost.transition;
-        if (config_.gating.scope == demand::EnableScope::kGlobal)
-            pmu.disarmAll();
-        else
-            pmu.disarm(core);
+        if (controller.failsafeMode()
+            == demand::FailsafeMode::kDemand) {
+            if (config_.gating.scope == demand::EnableScope::kGlobal)
+                pmu.disarmAll();
+            else
+                pmu.disarm(core);
+        }
+        // else: escalated failsafe keeps the indicator armed as a
+        // canary so signal recovery stays observable.
         if (config_.gating.pebs_precise_capture && pebs[core].valid) {
-            // Extension: analyze the sampled load retroactively, so
-            // the triggering W->R pair itself is visible.
             const PebsLatch &latch = pebs[core];
-            const auto outcome = ft != nullptr
-                ? ft->onAccess(latch.tid, latch.addr, false,
-                               latch.site)
-                : detector->onAccess(latch.tid, latch.addr, false,
-                                     latch.site);
-            controller.onAnalyzedAccess(outcome);
-            core_cycles[core] += cost.analysisCost(false);
-            ++result.pebs_captures;
-            ++result.analyzed_accesses;
-            pebs[core].valid = false;
+            if (config_.gating.pebs_staleness != 0
+                && result.mem_accesses - latch.at_access
+                       > config_.gating.pebs_staleness) {
+                // The latched address is too old to still describe
+                // the sharing that raised this interrupt.
+                ++result.pebs_stale;
+                pebs[core].valid = false;
+            } else {
+                // Extension: analyze the sampled load retroactively,
+                // so the triggering W->R pair itself is visible.
+                const auto outcome = ft != nullptr
+                    ? ft->onAccess(latch.tid, latch.addr, false,
+                                   latch.site)
+                    : detector->onAccess(latch.tid, latch.addr, false,
+                                         latch.site);
+                controller.onAnalyzedAccess(outcome);
+                core_cycles[core] += cost.analysisCost(false);
+                ++result.pebs_captures;
+                ++result.analyzed_accesses;
+                pebs[core].valid = false;
+            }
         }
     });
     if (demand_mode && strategy == Strategy::kDemandHitm)
@@ -195,6 +220,16 @@ Simulator::runImpl(Program &program)
     // a multiple of the interval, without a per-access modulo.
     const std::uint64_t inv_interval = config_.invariant_check_interval;
     std::uint64_t inv_countdown = inv_interval;
+
+    // Failsafe health windows: every health_window data accesses the
+    // controller gets a fresh view of the signal's health, computed
+    // from fault-model and PMU deltas over the window.
+    const std::uint64_t health_interval =
+        demand_mode && config_.gating.failsafe.escalation
+            ? config_.gating.failsafe.health_window
+            : 0;
+    std::uint64_t health_countdown = health_interval;
+    pmu::FaultStats health_prev;
 
     // Barrier-release scratch, reserved once per run.
     std::vector<ThreadId> barrier_participants;
@@ -242,7 +277,7 @@ Simulator::runImpl(Program &program)
             if (tool) {
                 const bool analysis_on =
                     kMode == ToolMode::kContinuous
-                    || (demand_mode && controller.enabledFor(tid));
+                    || (demand_mode && controller.shouldAnalyze(tid));
                 dilation = analysis_on
                     ? cost.work_dilation_enabled
                     : cost.work_dilation_disabled;
@@ -252,7 +287,7 @@ Simulator::runImpl(Program &program)
                 * dilation);
             ++result.work_ops;
             tc.consume();
-            pmu.retireOp(core);
+            pmu.retireOp(core, fault_ptr);
             break;
           }
 
@@ -306,12 +341,16 @@ Simulator::runImpl(Program &program)
                 events |= pmu::eventBit(
                     pmu::EventType::kInvalidationsSent);
             }
-            const bool sampled =
-                pmu.recordAccess(core, events, res.invalidations);
+            const bool sampled = pmu.recordAccess(
+                core, events, res.invalidations, fault_ptr);
             if (sampled) {
                 // This access is the sampled event: latch its PEBS
                 // record for possible precise capture at delivery.
-                pebs[core] = PebsLatch{tid, op.addr, op.site, true};
+                const Addr latched = fault_ptr != nullptr
+                    ? faults.filterAddr(core, op.addr)
+                    : op.addr;
+                pebs[core] = PebsLatch{tid, latched, op.site, true,
+                                       result.mem_accesses};
             }
 
             // Ground-truth sharing classification (word granules).
@@ -365,7 +404,7 @@ Simulator::runImpl(Program &program)
                         && controller.onOracleSharing(tid)) {
                         core_cycles[core] += cost.transition;
                     }
-                    analyze = controller.enabledFor(tid);
+                    analyze = controller.shouldAnalyze(tid);
                 }
             }
 
@@ -390,11 +429,51 @@ Simulator::runImpl(Program &program)
 
             core_cycles[core] += charge;
             tc.consume();
-            pmu.retireOp(core);
+            pmu.retireOp(core, fault_ptr);
 
             if (inv_interval != 0 && --inv_countdown == 0) {
                 hier.checkInvariants();
                 inv_countdown = inv_interval;
+            }
+
+            if (health_interval != 0 && --health_countdown == 0) {
+                health_countdown = health_interval;
+                const pmu::FaultStats &fs = faults.stats();
+                demand::SignalHealth health;
+                const std::uint64_t seen =
+                    fs.samples_seen - health_prev.samples_seen;
+                const std::uint64_t dropped =
+                    fs.dropped() - health_prev.dropped();
+                health.drop_ratio = seen == 0
+                    ? 0.0
+                    : static_cast<double>(dropped)
+                        / static_cast<double>(seen);
+                const std::uint64_t skid_ev =
+                    fs.skid_events - health_prev.skid_events;
+                const std::uint64_t skid_sq =
+                    fs.skid_added_sq - health_prev.skid_added_sq;
+                health.skid_rms = skid_ev == 0
+                    ? 0.0
+                    : std::sqrt(static_cast<double>(skid_sq)
+                                / static_cast<double>(skid_ev));
+                health.suppressed = (fs.coalesced + fs.throttled)
+                    - (health_prev.coalesced + health_prev.throttled);
+                health_prev = fs;
+                if (controller.onSignalHealth(health)) {
+                    core_cycles[core] += cost.transition;
+                    if (strategy == Strategy::kDemandHitm) {
+                        // Escalated rungs keep the indicator armed
+                        // as a canary; back on the demand rung the
+                        // arming follows the enable state again.
+                        if (controller.failsafeMode()
+                                != demand::FailsafeMode::kDemand
+                            || !controller.enabled()) {
+                            pmu.armAll(config_.gating.hitm_counter);
+                        } else {
+                            pmu.disarmAll();
+                        }
+                    }
+                }
             }
             break;
           }
@@ -413,7 +492,7 @@ Simulator::runImpl(Program &program)
                 // locked RMWs don't retire as ordinary loads.
                 events |= pmu::eventBit(pmu::EventType::kHitmAny);
             }
-            pmu.recordAccess(core, events, 0);
+            pmu.recordAccess(core, events, 0, fault_ptr);
             if (need_gt) {
                 GtState &g = gt_map.get(op.addr >> granule_shift);
                 g.last_writer = tid;
@@ -434,7 +513,7 @@ Simulator::runImpl(Program &program)
             ++result.sync_ops;
             pmu.recordEvent(core, pmu::EventType::kSyncOps);
             tc.consume();
-            pmu.retireOp(core);
+            pmu.retireOp(core, fault_ptr);
             // Wake futex-style waiters whose threshold is now met.
             for (const Wakeup &w : sync.onAtomicRmw(
                      op.addr >> granule_shift, core_cycles[core])) {
@@ -461,7 +540,7 @@ Simulator::runImpl(Program &program)
             ++result.sync_ops;
             pmu.recordEvent(core, pmu::EventType::kSyncOps);
             tc.consume();
-            pmu.retireOp(core);
+            pmu.retireOp(core, fault_ptr);
             break;
           }
 
@@ -480,7 +559,7 @@ Simulator::runImpl(Program &program)
             ++result.sync_ops;
             pmu.recordEvent(core, pmu::EventType::kSyncOps);
             tc.consume();
-            pmu.retireOp(core);
+            pmu.retireOp(core, fault_ptr);
             break;
           }
 
@@ -496,7 +575,7 @@ Simulator::runImpl(Program &program)
             ++result.sync_ops;
             pmu.recordEvent(core, pmu::EventType::kSyncOps);
             tc.consume();
-            pmu.retireOp(core);
+            pmu.retireOp(core, fault_ptr);
             break;
           }
 
@@ -527,7 +606,7 @@ Simulator::runImpl(Program &program)
             ++result.sync_ops;
             pmu.recordEvent(core, pmu::EventType::kSyncOps);
             tc.consume();
-            pmu.retireOp(core);
+            pmu.retireOp(core, fault_ptr);
             break;
           }
 
@@ -551,7 +630,7 @@ Simulator::runImpl(Program &program)
             ++result.sync_ops;
             pmu.recordEvent(core, pmu::EventType::kSyncOps);
             tc.consume();
-            pmu.retireOp(core);
+            pmu.retireOp(core, fault_ptr);
             break;
           }
 
@@ -563,7 +642,7 @@ Simulator::runImpl(Program &program)
             ++result.sync_ops;
             pmu.recordEvent(core, pmu::EventType::kSyncOps);
             tc.consume();
-            pmu.retireOp(core);
+            pmu.retireOp(core, fault_ptr);
             auto released = sync.arriveBarrier(tid, op.arg, expected,
                                                core_cycles[core]);
             if (!released) {
@@ -606,7 +685,7 @@ Simulator::runImpl(Program &program)
             ++result.sync_ops;
             pmu.recordEvent(core, pmu::EventType::kSyncOps);
             tc.consume();
-            pmu.retireOp(core);
+            pmu.retireOp(core, fault_ptr);
             break;
           }
 
@@ -619,7 +698,7 @@ Simulator::runImpl(Program &program)
             ++result.sync_ops;
             pmu.recordEvent(core, pmu::EventType::kSyncOps);
             tc.consume();
-            pmu.retireOp(core);
+            pmu.retireOp(core, fault_ptr);
             if (ctxs[target].state() == ThreadState::kFinished) {
                 if (tool)
                     clocks.join(tid, target);
@@ -649,6 +728,20 @@ Simulator::runImpl(Program &program)
     for (std::size_t e = 0; e < pmu::kNumEventTypes; ++e) {
         result.pmu_totals[e] =
             pmu.totalCount(static_cast<pmu::EventType>(e));
+    }
+    if (faults.enabled()) {
+        result.faults_active = true;
+        result.faults = faults.stats();
+        result.interrupts_suppressed = pmu.interruptsSuppressed();
+    }
+    if (demand_mode
+        && (config_.gating.failsafe.any()
+            || config_.gating.pebs_staleness > 0)) {
+        result.failsafe_active = true;
+        result.failsafe_mode = controller.failsafeMode();
+        result.escalations = controller.escalations();
+        result.deescalations = controller.deescalations();
+        result.ignored_interrupts = controller.ignoredInterrupts();
     }
     return result;
 }
@@ -688,6 +781,33 @@ RunResult::dump(std::ostream &os) const
         os << "run.pmu." << pmu::eventName(
                 static_cast<pmu::EventType>(e))
            << ' ' << pmu_totals[e] << '\n';
+    }
+    // Fault / failsafe blocks are emitted only when the features are
+    // in use, so fault-free runs keep the frozen golden dump format.
+    if (faults_active) {
+        os << "run.fault.samples_seen " << faults.samples_seen << '\n'
+           << "run.fault.dropped " << faults.dropped() << '\n'
+           << "run.fault.drop_ratio " << faults.dropRatio() << '\n'
+           << "run.fault.skid_added " << faults.skid_added << '\n'
+           << "run.fault.skid_rms " << faults.skidRms() << '\n'
+           << "run.fault.coalesced " << faults.coalesced << '\n'
+           << "run.fault.throttled " << faults.throttled << '\n'
+           << "run.fault.throttle_trips " << faults.throttle_trips
+           << '\n'
+           << "run.fault.corrupted_addrs " << faults.corrupted_addrs
+           << '\n'
+           << "run.fault.delivered " << faults.delivered << '\n'
+           << "run.fault.suppressed_interrupts "
+           << interrupts_suppressed << '\n';
+    }
+    if (failsafe_active) {
+        os << "run.failsafe.mode "
+           << demand::failsafeModeName(failsafe_mode) << '\n'
+           << "run.failsafe.escalations " << escalations << '\n'
+           << "run.failsafe.deescalations " << deescalations << '\n'
+           << "run.failsafe.ignored_interrupts " << ignored_interrupts
+           << '\n'
+           << "run.failsafe.pebs_stale " << pebs_stale << '\n';
     }
 }
 

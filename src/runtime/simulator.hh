@@ -28,6 +28,7 @@
 #include "instr/cost_model.hh"
 #include "mem/hierarchy.hh"
 #include "pmu/event.hh"
+#include "pmu/faults.hh"
 #include "runtime/scheduler.hh"
 
 namespace hdrd::runtime
@@ -66,6 +67,13 @@ struct SimConfig
     instr::CostModel cost;
     instr::ToolMode mode = instr::ToolMode::kContinuous;
     demand::GatingConfig gating;
+
+    /**
+     * Hardware-signal fault injection (default: pass-through). When
+     * no fault is configured the model is never consulted and the
+     * run is byte-identical to a fault-free build.
+     */
+    pmu::FaultConfig faults;
 
     /** Detection algorithm used for analyzed accesses. */
     DetectorKind detector = DetectorKind::kFastTrack;
@@ -125,6 +133,24 @@ struct RunResult
 
     /** Triggering accesses retroactively analyzed via PEBS capture. */
     std::uint64_t pebs_captures = 0;
+
+    /** PEBS captures skipped by the staleness bound. */
+    std::uint64_t pebs_stale = 0;
+
+    /**
+     * Fault-injection accounting; dumped only when faults_active so
+     * fault-free runs keep the frozen golden dump format.
+     */
+    bool faults_active = false;
+    pmu::FaultStats faults;
+    std::uint64_t interrupts_suppressed = 0;
+
+    /** Failsafe/hysteresis accounting; dumped when failsafe_active. */
+    bool failsafe_active = false;
+    demand::FailsafeMode failsafe_mode = demand::FailsafeMode::kDemand;
+    std::uint64_t escalations = 0;
+    std::uint64_t deescalations = 0;
+    std::uint64_t ignored_interrupts = 0;
 
     /** Hierarchy-level sharing events. */
     std::uint64_t hitm_loads = 0;

@@ -246,6 +246,22 @@ Fuzzer::run()
             ? demand::EnableScope::kPerThread
             : demand::EnableScope::kGlobal;
         oracle_cfg.pebs = master.nextBool(0.3);
+        if (config_.hw_faults.any()) {
+            // Extra master-stream draws happen only under fault
+            // injection, so the default campaign's rng sequence —
+            // and with it its byte-stable summary — is unchanged.
+            oracle_cfg.hw_faults = config_.hw_faults;
+            demand::FailsafeConfig fs;
+            fs.escalation = master.nextBool(0.5);
+            fs.health_window = 1000;
+            fs.trip_windows = 1;
+            fs.recover_windows = 2;
+            fs.sampling_on = 500;
+            fs.sampling_period = 2000;
+            if (master.nextBool(0.5))
+                fs.enable_holdoff = 250;
+            oracle_cfg.failsafe = fs;
+        }
 
         const GeneratedProgram gen = generateProgram(gen_cfg);
         const DifferentialOracle oracle(oracle_cfg);
@@ -267,7 +283,16 @@ Fuzzer::run()
                    ? "per-thread"
                    : "global")
             + " pebs "
-            + std::to_string(oracle_cfg.pebs ? 1 : 0) + " ref "
+            + std::to_string(oracle_cfg.pebs ? 1 : 0)
+            + (config_.hw_faults.any()
+                   ? " failsafe "
+                       + std::to_string(
+                             oracle_cfg.failsafe.escalation ? 1 : 0)
+                       + " holdoff "
+                       + std::to_string(
+                             oracle_cfg.failsafe.enable_holdoff)
+                   : std::string())
+            + " ref "
             + std::to_string(diff.reference_pairs) + " naive "
             + std::to_string(diff.naive_pairs) + " demand "
             + std::to_string(diff.demand_pairs) + " recall "

@@ -42,6 +42,13 @@ struct FuzzConfig
     /** Injected harness fault (self-test / CI canary). */
     Fault fault = Fault::kNone;
 
+    /**
+     * Hardware-signal fault profile applied to every iteration's
+     * demand regimes (default pass-through). When active, iterations
+     * also randomize the controller's failsafe hardening.
+     */
+    pmu::FaultConfig hw_faults;
+
     /** Shrink failing traces (disable for raw triage speed). */
     bool shrink = true;
 

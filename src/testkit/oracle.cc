@@ -83,6 +83,16 @@ DifferentialOracle::demandConfig(std::uint64_t sav) const
     sim.gating.scope = config_.scope;
     sim.gating.pebs_precise_capture = config_.pebs;
     sim.gating.hitm_counter.sample_after = sav;
+    sim.faults = config_.hw_faults;
+    sim.gating.failsafe = config_.failsafe;
+    if (config_.hw_faults.addr_corrupt_prob > 0.0) {
+        // A corrupted PEBS address makes retroactive capture unsound
+        // by construction — the detector would charge the wrong
+        // granule and could fabricate a pair the reference never
+        // sees. Real deployments must validate the sampled address;
+        // we model that by dropping precise capture under corruption.
+        sim.gating.pebs_precise_capture = false;
+    }
     if (config_.fault == Fault::kCoarseDemandGranule)
         sim.granule_shift = 6;
     return sim;

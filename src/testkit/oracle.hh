@@ -101,6 +101,17 @@ struct OracleConfig
 
     /** Injected harness fault (self-test). */
     Fault fault = Fault::kNone;
+
+    /**
+     * Hardware-signal fault injection applied to the demand regimes
+     * only (the continuous references see a perfect signal). The
+     * subset invariant must survive any fault profile: a degraded
+     * signal may lose races, never fabricate them.
+     */
+    pmu::FaultConfig hw_faults;
+
+    /** Controller hardening applied to the demand regimes. */
+    demand::FailsafeConfig failsafe;
 };
 
 /** Everything one differential check measured. */

@@ -21,11 +21,40 @@
 namespace hdrd::trace
 {
 
-/** File magic: "HDRDTRC" plus a format version byte. */
-constexpr std::array<char, 8> kMagic = {'H', 'D', 'R', 'D',
-                                        'T', 'R', 'C', '1'};
+/** Version-1 file magic: "HDRDTRC" plus the format version byte. */
+constexpr std::array<char, 8> kMagicV1 = {'H', 'D', 'R', 'D',
+                                          'T', 'R', 'C', '1'};
 
-/** Fixed-size trace header. */
+/** Current (version-2) file magic. */
+constexpr std::array<char, 8> kMagic = {'H', 'D', 'R', 'D',
+                                        'T', 'R', 'C', '2'};
+
+/**
+ * The version-1 header layout. Still accepted by the loader (v1
+ * traces carry no run metadata, so their fault spec reads "none").
+ */
+struct TraceHeaderV1
+{
+    std::array<char, 8> magic = kMagicV1;
+
+    /** Thread count of the recorded program. */
+    std::uint32_t nthreads = 0;
+
+    /** Total records that follow. */
+    std::uint64_t record_count = 0;
+
+    /** Program name, NUL-padded. */
+    std::array<char, 64> name{};
+};
+
+static_assert(sizeof(TraceHeaderV1) == 88, "v1 layout drifted");
+
+/**
+ * Fixed-size trace header (version 2): the v1 fields plus the fault
+ * profile the run was recorded under, as a canonical inline spec
+ * ("none" for a clean run), so replays of faulted runs can reapply
+ * the exact same signal degradation.
+ */
 struct TraceHeader
 {
     std::array<char, 8> magic = kMagic;
@@ -38,9 +67,12 @@ struct TraceHeader
 
     /** Program name, NUL-padded. */
     std::array<char, 64> name{};
+
+    /** Canonical fault spec of the recording run, NUL-padded. */
+    std::array<char, 128> fault_spec{};
 };
 
-static_assert(sizeof(TraceHeader) == 88, "header layout drifted");
+static_assert(sizeof(TraceHeader) == 216, "header layout drifted");
 
 /** One operation record. */
 struct TraceRecord

@@ -10,7 +10,8 @@ namespace hdrd::trace
 
 TraceWriter::TraceWriter(const std::string &path,
                          const std::string &name,
-                         std::uint32_t nthreads)
+                         std::uint32_t nthreads,
+                         const std::string &fault_spec)
     : out_(path, std::ios::binary | std::ios::trunc)
 {
     if (!out_)
@@ -19,6 +20,9 @@ TraceWriter::TraceWriter(const std::string &path,
     const std::size_t n =
         std::min(name.size(), header_.name.size() - 1);
     std::memcpy(header_.name.data(), name.data(), n);
+    const std::size_t f = std::min(fault_spec.size(),
+                                   header_.fault_spec.size() - 1);
+    std::memcpy(header_.fault_spec.data(), fault_spec.data(), f);
     // Reserve header space; patched with the count in finalize().
     out_.write(reinterpret_cast<const char *>(&header_),
                sizeof(header_));
@@ -86,20 +90,37 @@ TraceData::load(const std::string &path)
     in.seekg(0, std::ios::end);
     const auto file_size = static_cast<std::uint64_t>(in.tellg());
     in.seekg(0, std::ios::beg);
-    if (file_size < sizeof(TraceHeader)) {
+    if (file_size < sizeof(TraceHeaderV1)) {
         data.error_ = "truncated header ("
             + std::to_string(file_size) + " bytes, need "
-            + std::to_string(sizeof(TraceHeader)) + ")";
+            + std::to_string(sizeof(TraceHeaderV1)) + ")";
         return data;
     }
 
+    // Both header versions share the v1 prefix; the magic decides
+    // whether the v2 metadata tail follows.
     TraceHeader header;
-    in.read(reinterpret_cast<char *>(&header), sizeof(header));
+    in.read(reinterpret_cast<char *>(&header),
+            sizeof(TraceHeaderV1));
     if (!in) {
         data.error_ = "truncated header";
         return data;
     }
-    if (header.magic != kMagic) {
+    std::uint64_t header_size = sizeof(TraceHeaderV1);
+    if (header.magic == kMagic) {
+        header_size = sizeof(TraceHeader);
+        if (file_size < header_size) {
+            data.error_ = "truncated v2 header ("
+                + std::to_string(file_size) + " bytes, need "
+                + std::to_string(header_size) + ")";
+            return data;
+        }
+        in.read(header.fault_spec.data(), header.fault_spec.size());
+        if (!in) {
+            data.error_ = "truncated v2 header";
+            return data;
+        }
+    } else if (header.magic != kMagicV1) {
         data.error_ = "bad magic (not an hdrd trace?)";
         return data;
     }
@@ -109,7 +130,7 @@ TraceData::load(const std::string &path)
         return data;
     }
 
-    const std::uint64_t payload = file_size - sizeof(TraceHeader);
+    const std::uint64_t payload = file_size - header_size;
     const std::uint64_t expected =
         header.record_count * sizeof(TraceRecord);
     if (header.record_count > payload / sizeof(TraceRecord)) {
@@ -129,6 +150,14 @@ TraceData::load(const std::string &path)
     data.name_.assign(header.name.data(),
                       strnlen(header.name.data(),
                               header.name.size()));
+    if (header.magic == kMagic) {
+        data.fault_spec_.assign(
+            header.fault_spec.data(),
+            strnlen(header.fault_spec.data(),
+                    header.fault_spec.size()));
+        if (data.fault_spec_.empty())
+            data.fault_spec_ = "none";
+    }
     data.per_thread_.resize(header.nthreads);
 
     for (std::uint64_t i = 0; i < header.record_count; ++i) {
@@ -178,7 +207,7 @@ TraceData::fromOps(std::string name,
 bool
 TraceData::save(const std::string &path) const
 {
-    TraceWriter writer(path, name_, nthreads());
+    TraceWriter writer(path, name_, nthreads(), fault_spec_);
     if (!writer.ok())
         return false;
     for (ThreadId tid = 0; tid < nthreads(); ++tid) {

@@ -31,9 +31,12 @@ class TraceWriter
      * Open @p path for writing and reserve the header.
      * @param name program name stored in the header
      * @param nthreads thread count of the recorded program
+     * @param fault_spec canonical fault spec of the recording run
+     *        ("none" when the signal path is clean)
      */
     TraceWriter(const std::string &path, const std::string &name,
-                std::uint32_t nthreads);
+                std::uint32_t nthreads,
+                const std::string &fault_spec = "none");
 
     ~TraceWriter();
 
@@ -99,6 +102,18 @@ class TraceData
     /** Program name from the header. */
     const std::string &name() const { return name_; }
 
+    /**
+     * Fault spec the trace was recorded under ("none" for clean runs
+     * and every v1 trace). Round-trips through save()/load().
+     */
+    const std::string &faultSpec() const { return fault_spec_; }
+
+    /** Set the fault spec stored by save(). */
+    void setFaultSpec(std::string spec)
+    {
+        fault_spec_ = std::move(spec);
+    }
+
     /** Thread count. */
     std::uint32_t nthreads() const
     {
@@ -114,6 +129,7 @@ class TraceData
   private:
     std::string error_;
     std::string name_;
+    std::string fault_spec_ = "none";
     std::uint64_t total_ = 0;
     std::vector<std::vector<runtime::Op>> per_thread_;
 };

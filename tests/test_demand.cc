@@ -108,6 +108,87 @@ TEST(SharingMonitor, ResetClearsProgress)
         EXPECT_FALSE(monitor.recordAnalyzed(false));
 }
 
+TEST(SharingMonitor, EvaluatesOnlyAtExactWindowBoundary)
+{
+    // The ratio is judged at the window-th access and nowhere else:
+    // 9 shared accesses inside an unfinished window never count.
+    SharingMonitor monitor(smallWatchdog());
+    for (int i = 0; i < 9; ++i)
+        EXPECT_FALSE(monitor.recordAnalyzed(true));
+    // Access 10 closes a 90%-shared window: streak stays 0, so two
+    // further fully-quiet windows are needed (accesses 11..30).
+    EXPECT_FALSE(monitor.recordAnalyzed(true));
+    int at = -1;
+    for (int i = 11; i <= 40; ++i) {
+        if (monitor.recordAnalyzed(false)) {
+            at = i;
+            break;
+        }
+    }
+    EXPECT_EQ(at, 30);
+}
+
+TEST(SharingMonitor, SharedCountDoesNotBleedAcrossWindows)
+{
+    // Window 1 is 100% shared; window 2 is fully quiet. If window 1's
+    // shared count leaked, window 2 would never count as quiet.
+    SharingMonitor monitor(smallWatchdog());
+    for (int i = 0; i < 10; ++i)
+        monitor.recordAnalyzed(true);
+    bool recommended = false;
+    for (int i = 0; i < 20; ++i)
+        recommended = monitor.recordAnalyzed(false);
+    EXPECT_TRUE(recommended);
+}
+
+TEST(SharingMonitor, MinAccessesNotMultipleOfWindowRoundsUp)
+{
+    // min=25 with window=10: the streak condition holds at access 20
+    // but min doesn't, and ratios are only judged at boundaries, so
+    // the first possible recommendation is access 30.
+    auto config = smallWatchdog();
+    config.min_enabled_accesses = 25;
+    SharingMonitor monitor(config);
+    int at = -1;
+    for (int i = 1; i <= 40; ++i) {
+        if (monitor.recordAnalyzed(false)) {
+            at = i;
+            break;
+        }
+    }
+    EXPECT_EQ(at, 30);
+}
+
+TEST(SharingMonitor, ResetMidWindowDiscardsPartialWindow)
+{
+    SharingMonitor monitor(smallWatchdog());
+    // Half a window of 100% sharing, then reset: the partial window
+    // must vanish entirely, leaving a clean 20-access path to the
+    // recommendation.
+    for (int i = 0; i < 5; ++i)
+        monitor.recordAnalyzed(true);
+    monitor.reset();
+    int at = -1;
+    for (int i = 1; i <= 40; ++i) {
+        if (monitor.recordAnalyzed(false)) {
+            at = i;
+            break;
+        }
+    }
+    EXPECT_EQ(at, 20);
+}
+
+TEST(SharingMonitor, QuietWindowsOneTriggersAtFirstBoundary)
+{
+    auto config = smallWatchdog();
+    config.quiet_windows = 1;
+    config.min_enabled_accesses = 0;
+    SharingMonitor monitor(config);
+    for (int i = 0; i < 9; ++i)
+        EXPECT_FALSE(monitor.recordAnalyzed(false));
+    EXPECT_TRUE(monitor.recordAnalyzed(false));
+}
+
 TEST(Controller, StartsDisabled)
 {
     DemandController c(hitmGating(), Rng(1));
@@ -248,6 +329,210 @@ TEST(Controller, TransitionsCarryAccessIndices)
     ASSERT_EQ(c.transitions().size(), 1u);
     EXPECT_EQ(c.transitions()[0].at_access, 10u);
     EXPECT_EQ(c.accessesSeen(), 10u);
+}
+
+namespace
+{
+
+/** Drive an enabled controller back to disabled via the watchdog. */
+void
+quietUntilDisabled(DemandController &c)
+{
+    for (int i = 0; i < 1000 && c.enabled(); ++i) {
+        c.onAccessBoundary();
+        c.onAnalyzedAccess(detect::AccessOutcome{});
+    }
+    ASSERT_FALSE(c.enabled());
+}
+
+} // namespace
+
+TEST(Controller, HoldoffIgnoresInterruptsAfterDisable)
+{
+    auto config = hitmGating();
+    config.failsafe.enable_holdoff = 50;
+    DemandController c(config, Rng(1));
+    ASSERT_TRUE(c.onInterrupt());
+    quietUntilDisabled(c);
+    // Within the holdoff the signal is deliberately deaf.
+    EXPECT_FALSE(c.onInterrupt());
+    EXPECT_EQ(c.ignoredInterrupts(), 1u);
+    EXPECT_FALSE(c.enabled());
+    for (int i = 0; i < 50; ++i)
+        c.onAccessBoundary();
+    EXPECT_TRUE(c.onInterrupt());
+    EXPECT_TRUE(c.enabled());
+}
+
+TEST(Controller, HoldoffBacksOffExponentiallyUnderFlapping)
+{
+    auto config = hitmGating();
+    config.failsafe.enable_holdoff = 10;
+    config.failsafe.backoff_factor = 2.0;
+    config.failsafe.stable_span = 1000;  // every span counts as short
+    DemandController c(config, Rng(1));
+
+    // Flap 1: holdoff becomes the base 10.
+    ASSERT_TRUE(c.onInterrupt());
+    quietUntilDisabled(c);
+    for (int i = 0; i < 10; ++i)
+        c.onAccessBoundary();
+    // Flap 2: the short enabled span doubles the holdoff to 20.
+    ASSERT_TRUE(c.onInterrupt());
+    quietUntilDisabled(c);
+    for (int i = 0; i < 10; ++i)
+        c.onAccessBoundary();
+    EXPECT_FALSE(c.onInterrupt());  // 10 < 20: still held off
+    for (int i = 0; i < 10; ++i)
+        c.onAccessBoundary();
+    EXPECT_TRUE(c.onInterrupt());
+}
+
+TEST(Controller, HoldoffCapsAtMax)
+{
+    auto config = hitmGating();
+    config.failsafe.enable_holdoff = 10;
+    config.failsafe.backoff_factor = 100.0;
+    config.failsafe.max_holdoff = 25;
+    config.failsafe.stable_span = 1000;
+    DemandController c(config, Rng(1));
+    for (int flap = 0; flap < 4; ++flap) {
+        ASSERT_TRUE(c.onInterrupt());
+        quietUntilDisabled(c);
+        for (int i = 0; i < 25; ++i)
+            c.onAccessBoundary();
+    }
+    // Even after repeated flapping, 25 accesses always clears it.
+    EXPECT_TRUE(c.onInterrupt());
+}
+
+TEST(Controller, StableSpanResetsHoldoff)
+{
+    auto config = hitmGating();
+    config.failsafe.enable_holdoff = 10;
+    config.failsafe.backoff_factor = 2.0;
+    config.failsafe.stable_span = 5;  // our 20-access spans are stable
+    DemandController c(config, Rng(1));
+    for (int flap = 0; flap < 3; ++flap) {
+        ASSERT_TRUE(c.onInterrupt());
+        quietUntilDisabled(c);
+        // Long (stable) spans keep the holdoff at its base value.
+        for (int i = 0; i < 10; ++i)
+            c.onAccessBoundary();
+    }
+    EXPECT_TRUE(c.onInterrupt());
+    EXPECT_EQ(c.ignoredInterrupts(), 0u);
+}
+
+TEST(Controller, FailsafeLadderEscalatesAndRecovers)
+{
+    auto config = hitmGating();
+    config.failsafe.escalation = true;
+    config.failsafe.trip_windows = 2;
+    config.failsafe.recover_windows = 3;
+    DemandController c(config, Rng(1));
+    const SignalHealth bad{.drop_ratio = 0.9};
+    const SignalHealth good{};
+
+    EXPECT_EQ(c.failsafeMode(), FailsafeMode::kDemand);
+    EXPECT_FALSE(c.onSignalHealth(bad));
+    EXPECT_TRUE(c.onSignalHealth(bad));
+    EXPECT_EQ(c.failsafeMode(), FailsafeMode::kSampling);
+    EXPECT_FALSE(c.onSignalHealth(bad));
+    EXPECT_TRUE(c.onSignalHealth(bad));
+    EXPECT_EQ(c.failsafeMode(), FailsafeMode::kContinuous);
+    // Pinned at the top: more bad windows change nothing.
+    EXPECT_FALSE(c.onSignalHealth(bad));
+    EXPECT_FALSE(c.onSignalHealth(bad));
+    EXPECT_EQ(c.failsafeMode(), FailsafeMode::kContinuous);
+
+    // One healthy window is not recovery; three are.
+    EXPECT_FALSE(c.onSignalHealth(good));
+    EXPECT_FALSE(c.onSignalHealth(good));
+    EXPECT_TRUE(c.onSignalHealth(good));
+    EXPECT_EQ(c.failsafeMode(), FailsafeMode::kSampling);
+    EXPECT_FALSE(c.onSignalHealth(good));
+    EXPECT_FALSE(c.onSignalHealth(good));
+    EXPECT_TRUE(c.onSignalHealth(good));
+    EXPECT_EQ(c.failsafeMode(), FailsafeMode::kDemand);
+    EXPECT_EQ(c.escalations(), 2u);
+    EXPECT_EQ(c.deescalations(), 2u);
+}
+
+TEST(Controller, MixedHealthResetsBothStreaks)
+{
+    auto config = hitmGating();
+    config.failsafe.escalation = true;
+    config.failsafe.trip_windows = 2;
+    config.failsafe.recover_windows = 2;
+    DemandController c(config, Rng(1));
+    const SignalHealth bad{.skid_rms = 1000.0};
+    const SignalHealth good{};
+    // Alternating health never accumulates either streak.
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_FALSE(c.onSignalHealth(bad));
+        EXPECT_FALSE(c.onSignalHealth(good));
+    }
+    EXPECT_EQ(c.failsafeMode(), FailsafeMode::kDemand);
+}
+
+TEST(Controller, FlapRateAloneTripsTheLadder)
+{
+    auto config = hitmGating();
+    config.failsafe.escalation = true;
+    config.failsafe.trip_windows = 1;
+    config.failsafe.max_flaps = 3;
+    DemandController c(config, Rng(1));
+    // 4 transitions (2 enables + 2 disables) inside one health window.
+    for (int flap = 0; flap < 2; ++flap) {
+        ASSERT_TRUE(c.onInterrupt());
+        quietUntilDisabled(c);
+    }
+    EXPECT_TRUE(c.onSignalHealth(SignalHealth{}));
+    EXPECT_EQ(c.failsafeMode(), FailsafeMode::kSampling);
+    // The counter is a per-window delta: the next window is calm.
+    EXPECT_FALSE(c.onSignalHealth(SignalHealth{}));
+}
+
+TEST(Controller, EscalationDisabledIgnoresHealth)
+{
+    DemandController c(hitmGating(), Rng(1));
+    const SignalHealth bad{.drop_ratio = 1.0};
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(c.onSignalHealth(bad));
+    EXPECT_EQ(c.failsafeMode(), FailsafeMode::kDemand);
+}
+
+TEST(Controller, ShouldAnalyzeFollowsFailsafeMode)
+{
+    auto config = hitmGating();
+    config.failsafe.escalation = true;
+    config.failsafe.trip_windows = 1;
+    config.failsafe.sampling_on = 1;
+    config.failsafe.sampling_period = 2;
+    DemandController c(config, Rng(1));
+    const SignalHealth bad{.drop_ratio = 0.9};
+
+    // kDemand: gated purely on the enable bit.
+    EXPECT_FALSE(c.shouldAnalyze(0));
+    ASSERT_TRUE(c.onSignalHealth(bad));
+    // kSampling: on-duty phase of the window analyzes regardless.
+    EXPECT_EQ(c.failsafeMode(), FailsafeMode::kSampling);
+    EXPECT_TRUE(c.shouldAnalyze(0));   // accesses 0: in duty phase
+    c.onAccessBoundary();
+    EXPECT_FALSE(c.shouldAnalyze(0));  // accesses 1: off duty
+    ASSERT_TRUE(c.onSignalHealth(bad));
+    EXPECT_EQ(c.failsafeMode(), FailsafeMode::kContinuous);
+    EXPECT_TRUE(c.shouldAnalyze(0));
+}
+
+TEST(FailsafeMode, Names)
+{
+    EXPECT_STREQ(failsafeModeName(FailsafeMode::kDemand), "demand");
+    EXPECT_STREQ(failsafeModeName(FailsafeMode::kSampling),
+                 "sampling");
+    EXPECT_STREQ(failsafeModeName(FailsafeMode::kContinuous),
+                 "continuous");
 }
 
 TEST(Strategy, Names)

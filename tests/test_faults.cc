@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Tests for the hardware-signal fault model: per-mechanism unit
+ * tests, spec parsing, determinism, and the end-to-end failsafe
+ * escalation acceptance scenario (a transient signal storm must
+ * escalate demand -> sampling -> continuous, keep finding the race,
+ * and de-escalate once the storm clears).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "demand/strategy.hh"
+#include "instr/cost_model.hh"
+#include "pmu/faults.hh"
+#include "runtime/simulator.hh"
+#include "workloads/registry.hh"
+
+using namespace hdrd;
+using namespace hdrd::pmu;
+
+namespace
+{
+
+FaultModel
+makeModel(const FaultConfig &config)
+{
+    return FaultModel(config, /*ncores=*/2, /*run_seed=*/1);
+}
+
+} // namespace
+
+TEST(FaultConfig, DefaultIsPassThrough)
+{
+    const FaultConfig config;
+    EXPECT_FALSE(config.any());
+    FaultModel model = makeModel(config);
+    EXPECT_FALSE(model.enabled());
+    // Pass-through answers without accounting.
+    EXPECT_TRUE(model.sampleVisible(0));
+    EXPECT_EQ(model.extraSkid(0), 0u);
+    EXPECT_TRUE(model.allowDelivery(0));
+    EXPECT_EQ(model.filterAddr(0, 0x1000), 0x1000u);
+    EXPECT_EQ(model.stats().samples_seen, 0u);
+}
+
+TEST(FaultModel, DropProbOneHidesEverySample)
+{
+    FaultConfig config;
+    config.drop_prob = 1.0;
+    FaultModel model = makeModel(config);
+    for (int i = 0; i < 100; ++i) {
+        model.onRetire(0);
+        EXPECT_FALSE(model.sampleVisible(0));
+    }
+    EXPECT_EQ(model.stats().samples_seen, 100u);
+    EXPECT_EQ(model.stats().dropped_iid, 100u);
+    EXPECT_DOUBLE_EQ(model.stats().dropRatio(), 1.0);
+}
+
+TEST(FaultModel, IidDropRateIsRoughlyCalibrated)
+{
+    FaultConfig config;
+    config.drop_prob = 0.3;
+    FaultModel model = makeModel(config);
+    int visible = 0;
+    for (int i = 0; i < 10000; ++i) {
+        model.onRetire(0);
+        visible += model.sampleVisible(0);
+    }
+    EXPECT_GT(visible, 6300);
+    EXPECT_LT(visible, 7700);
+}
+
+TEST(FaultModel, BurstyChannelDropsInRuns)
+{
+    FaultConfig config;
+    config.burst_enter = 0.05;
+    config.burst_exit = 0.2;
+    FaultModel model = makeModel(config);
+    // Count the longest run of consecutive drops: a Gilbert-Elliott
+    // channel produces multi-sample bursts that iid loss at the same
+    // marginal rate essentially never does.
+    int longest = 0, run = 0;
+    for (int i = 0; i < 20000; ++i) {
+        model.onRetire(0);
+        if (!model.sampleVisible(0)) {
+            ++run;
+            longest = std::max(longest, run);
+        } else {
+            run = 0;
+        }
+    }
+    EXPECT_GT(model.stats().dropped_burst, 0u);
+    EXPECT_GE(longest, 5);
+}
+
+TEST(FaultModel, SkidJitterBoundedAndAccounted)
+{
+    FaultConfig config;
+    config.skid_jitter = 16;
+    FaultModel model = makeModel(config);
+    std::uint64_t total = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint32_t extra = model.extraSkid(0);
+        EXPECT_LE(extra, 16u);
+        total += extra;
+    }
+    EXPECT_EQ(model.stats().skid_added, total);
+    EXPECT_GT(model.stats().skid_events, 0u);
+    EXPECT_GT(model.stats().skidRms(), 0.0);
+    EXPECT_LE(model.stats().skidRms(), 16.0);
+}
+
+TEST(FaultModel, MultiplexingFollowsDutyCycleDeterministically)
+{
+    FaultConfig config;
+    config.mux_duty = 0.5;
+    config.mux_window = 10;
+    FaultModel model = makeModel(config);
+    int visible = 0;
+    for (int i = 0; i < 100; ++i) {
+        model.onRetire(0);
+        visible += model.sampleVisible(0);
+    }
+    // Bresenham duty gating: exactly half the slices are live.
+    EXPECT_EQ(visible, 50);
+    EXPECT_EQ(model.stats().dropped_mux, 50u);
+}
+
+TEST(FaultModel, CoalescingMergesBackToBackDeliveries)
+{
+    FaultConfig config;
+    config.coalesce_window = 100;
+    FaultModel model = makeModel(config);
+    model.onRetire(0);
+    EXPECT_TRUE(model.allowDelivery(0));
+    EXPECT_FALSE(model.allowDelivery(0));  // same instant: merged
+    EXPECT_EQ(model.stats().coalesced, 1u);
+    for (int i = 0; i < 101; ++i)
+        model.onRetire(0);
+    EXPECT_TRUE(model.allowDelivery(0));
+    EXPECT_EQ(model.stats().delivered, 2u);
+}
+
+TEST(FaultModel, CoalescingIsPerCore)
+{
+    FaultConfig config;
+    config.coalesce_window = 100;
+    FaultModel model = makeModel(config);
+    EXPECT_TRUE(model.allowDelivery(0));
+    // The other core has its own delivery history.
+    EXPECT_TRUE(model.allowDelivery(1));
+}
+
+TEST(FaultModel, ThrottleTripsAndBacksOff)
+{
+    FaultConfig config;
+    config.throttle_max = 2;
+    config.throttle_window = 1000;
+    config.throttle_backoff = 5000;
+    FaultModel model = makeModel(config);
+    EXPECT_TRUE(model.allowDelivery(0));
+    EXPECT_TRUE(model.allowDelivery(0));
+    EXPECT_FALSE(model.allowDelivery(0));  // third in window: trip
+    EXPECT_EQ(model.stats().throttle_trips, 1u);
+    // Still silenced until the backoff expires.
+    for (int i = 0; i < 4999; ++i)
+        model.onRetire(0);
+    EXPECT_FALSE(model.allowDelivery(0));
+    for (int i = 0; i < 2; ++i)
+        model.onRetire(0);
+    EXPECT_TRUE(model.allowDelivery(0));
+}
+
+TEST(FaultModel, AddressCorruptionStaysGranuleAligned)
+{
+    FaultConfig config;
+    config.addr_corrupt_prob = 1.0;
+    FaultModel model = makeModel(config);
+    int changed = 0;
+    for (int i = 0; i < 100; ++i) {
+        const Addr out = model.filterAddr(0, 0x12340);
+        EXPECT_EQ(out & 7u, 0u);  // byte-offset bits masked
+        changed += out != 0x12340;
+    }
+    EXPECT_EQ(model.stats().corrupted_addrs, 100u);
+    EXPECT_GT(changed, 90);
+}
+
+TEST(FaultModel, ActiveOpsBoundsTheStorm)
+{
+    FaultConfig config;
+    config.drop_prob = 1.0;
+    config.active_ops = 5;
+    FaultModel model = makeModel(config);
+    // Mirror the simulator's ordering: an op's events are offered to
+    // the sampler (sampleVisible) before the op retires (onRetire),
+    // so ops 1..active_ops fall inside the storm.
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_FALSE(model.sampleVisible(0));
+        model.onRetire(0);
+    }
+    // Past the window the model is transparent again.
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_TRUE(model.sampleVisible(0));
+        model.onRetire(0);
+    }
+    EXPECT_EQ(model.stats().samples_seen, 5u);
+}
+
+TEST(FaultModel, SameSeedSameDecisions)
+{
+    FaultConfig config;
+    config.drop_prob = 0.4;
+    config.skid_jitter = 32;
+    auto run = [&config]() {
+        FaultModel model(config, 2, 99);
+        std::vector<int> decisions;
+        for (int i = 0; i < 500; ++i) {
+            model.onRetire(i % 2);
+            decisions.push_back(model.sampleVisible(i % 2));
+            decisions.push_back(
+                static_cast<int>(model.extraSkid(i % 2)));
+        }
+        return decisions;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(FaultModel, DifferentFaultSeedDifferentStream)
+{
+    FaultConfig a;
+    a.drop_prob = 0.5;
+    FaultConfig b = a;
+    b.seed = 7;
+    FaultModel ma(a, 1, 1);
+    FaultModel mb(b, 1, 1);
+    int diff = 0;
+    for (int i = 0; i < 1000; ++i) {
+        ma.onRetire(0);
+        mb.onRetire(0);
+        diff += ma.sampleVisible(0) != mb.sampleVisible(0);
+    }
+    EXPECT_GT(diff, 0);
+}
+
+TEST(FaultSpec, ProfileNamesResolve)
+{
+    for (const std::string &name : faultProfileNames()) {
+        FaultConfig config;
+        std::string err;
+        EXPECT_TRUE(resolveFaultSpec(name, config, err)) << err;
+        EXPECT_EQ(config.any(), name != "none") << name;
+    }
+}
+
+TEST(FaultSpec, InlineSpecParses)
+{
+    FaultConfig config;
+    std::string err;
+    ASSERT_TRUE(resolveFaultSpec("drop=0.3,skid=16 coalesce=8",
+                                 config, err))
+        << err;
+    EXPECT_DOUBLE_EQ(config.drop_prob, 0.3);
+    EXPECT_EQ(config.skid_jitter, 16u);
+    EXPECT_EQ(config.coalesce_window, 8u);
+}
+
+TEST(FaultSpec, RejectsUnknownKeyAndBadValues)
+{
+    FaultConfig config;
+    std::string err;
+    EXPECT_FALSE(resolveFaultSpec("frobnicate=1", config, err));
+    EXPECT_NE(err.find("unknown key"), std::string::npos) << err;
+    EXPECT_FALSE(resolveFaultSpec("drop=2.0", config, err));
+    EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+    EXPECT_FALSE(resolveFaultSpec("drop=abc", config, err));
+    EXPECT_FALSE(resolveFaultSpec("skid=-5", config, err));
+    EXPECT_FALSE(resolveFaultSpec("=3", config, err));
+}
+
+TEST(FaultSpec, CanonicalSpecRoundTrips)
+{
+    FaultConfig config;
+    std::string err;
+    ASSERT_TRUE(resolveFaultSpec("storm", config, err)) << err;
+    FaultConfig again;
+    ASSERT_TRUE(resolveFaultSpec(faultSpec(config), again, err))
+        << err;
+    EXPECT_EQ(faultSpec(config), faultSpec(again));
+    EXPECT_DOUBLE_EQ(config.drop_prob, again.drop_prob);
+    EXPECT_EQ(config.throttle_backoff, again.throttle_backoff);
+}
+
+TEST(FaultSpec, OverridesLayerOverProfile)
+{
+    FaultConfig config;
+    std::string err;
+    ASSERT_TRUE(resolveFaultSpec("mild", config, err)) << err;
+    ASSERT_TRUE(applyFaultSpec("drop=0.25", config, err)) << err;
+    EXPECT_DOUBLE_EQ(config.drop_prob, 0.25);
+    EXPECT_EQ(config.skid_jitter, 8u);  // kept from the profile
+}
+
+TEST(FaultSpec, PassThroughSpellsNone)
+{
+    EXPECT_EQ(faultSpec(FaultConfig{}), "none");
+    FaultConfig config;
+    std::string err;
+    ASSERT_TRUE(resolveFaultSpec("", config, err));
+    EXPECT_FALSE(config.any());
+}
+
+/**
+ * The PR's acceptance scenario: a total signal blackout for the first
+ * third of a racy run. The failsafe must climb the whole ladder
+ * (demand -> sampling -> continuous), the race must still be found,
+ * and once the storm clears the ladder must come back down.
+ */
+TEST(FailsafeSim, EscalatesThroughStormAndRecovers)
+{
+    const auto *info = workloads::findWorkload("micro.racy_counter");
+    ASSERT_NE(info, nullptr);
+    workloads::WorkloadParams params;
+    params.scale = 0.5;
+    auto program = info->factory(params);
+
+    runtime::SimConfig config;
+    config.mode = instr::ToolMode::kDemand;
+    config.gating.strategy = demand::Strategy::kDemandHitm;
+    std::string err;
+    ASSERT_TRUE(pmu::resolveFaultSpec("drop=1.0,active-ops=10000",
+                                      config.faults, err))
+        << err;
+    config.gating.failsafe.escalation = true;
+    config.gating.failsafe.health_window = 2000;
+    config.gating.failsafe.trip_windows = 1;
+    config.gating.failsafe.recover_windows = 2;
+
+    const auto result =
+        runtime::Simulator::runWith(*program, config);
+
+    EXPECT_TRUE(result.faults_active);
+    ASSERT_TRUE(result.failsafe_active);
+    // Up the full ladder during the blackout, back down after it.
+    EXPECT_EQ(result.escalations, 2u);
+    EXPECT_EQ(result.deescalations, 2u);
+    EXPECT_EQ(result.failsafe_mode, demand::FailsafeMode::kDemand);
+    // The race is caught despite zero usable hardware signal during
+    // the storm: continuous-failsafe coverage found it.
+    EXPECT_GE(result.reports.uniqueCount(), 1u);
+}
+
+/** Without escalation the same blackout silently loses the signal. */
+TEST(FailsafeSim, WithoutEscalationStormGoesUnanswered)
+{
+    const auto *info = workloads::findWorkload("micro.racy_counter");
+    ASSERT_NE(info, nullptr);
+    workloads::WorkloadParams params;
+    params.scale = 0.5;
+    auto program = info->factory(params);
+
+    runtime::SimConfig config;
+    config.mode = instr::ToolMode::kDemand;
+    config.gating.strategy = demand::Strategy::kDemandHitm;
+    std::string err;
+    ASSERT_TRUE(pmu::resolveFaultSpec("drop=1.0,active-ops=10000",
+                                      config.faults, err))
+        << err;
+
+    const auto result =
+        runtime::Simulator::runWith(*program, config);
+    EXPECT_EQ(result.escalations, 0u);
+    EXPECT_EQ(result.faults.dropped_iid,
+              result.faults.samples_seen);
+}
+
+/** Fixed (seed, profile) pairs replay byte-identically. */
+TEST(FailsafeSim, FaultedRunsAreDeterministic)
+{
+    const auto *info = workloads::findWorkload("micro.racy_burst");
+    ASSERT_NE(info, nullptr);
+    auto once = [&info]() {
+        workloads::WorkloadParams params;
+        params.scale = 0.3;
+        auto program = info->factory(params);
+        runtime::SimConfig config;
+        config.mode = instr::ToolMode::kDemand;
+        std::string err;
+        pmu::resolveFaultSpec("storm", config.faults, err);
+        config.gating.failsafe.escalation = true;
+        config.gating.failsafe.health_window = 1000;
+        config.gating.failsafe.trip_windows = 1;
+        const auto result =
+            runtime::Simulator::runWith(*program, config);
+        std::ostringstream os;
+        result.dump(os);
+        return os.str();
+    };
+    EXPECT_EQ(once(), once());
+}
+
+/**
+ * The golden-gate guarantee in miniature: the same run with and
+ * without a constructed-but-pass-through fault config must dump
+ * identically (the fault layer must not perturb any Rng stream).
+ */
+TEST(FailsafeSim, PassThroughFaultConfigChangesNothing)
+{
+    const auto *info = workloads::findWorkload("micro.racy_counter");
+    ASSERT_NE(info, nullptr);
+    auto once = [&info](bool with_default_config) {
+        workloads::WorkloadParams params;
+        params.scale = 0.3;
+        auto program = info->factory(params);
+        runtime::SimConfig config;
+        config.mode = instr::ToolMode::kDemand;
+        if (with_default_config)
+            config.faults = pmu::FaultConfig{};
+        const auto result =
+            runtime::Simulator::runWith(*program, config);
+        std::ostringstream os;
+        result.dump(os);
+        return os.str();
+    };
+    EXPECT_EQ(once(false), once(true));
+}

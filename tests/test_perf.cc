@@ -60,6 +60,52 @@ TEST(Perf, MoveTransfersOwnership)
     EXPECT_EQ(c.available(), was_available);
 }
 
+TEST(Perf, SelfMoveAssignIsHarmless)
+{
+    PerfCounter counter(HwEvent::kCpuCycles);
+    const bool was_available = counter.available();
+    PerfCounter *alias = &counter;  // defeat -Wself-move
+    counter = std::move(*alias);
+    EXPECT_EQ(counter.available(), was_available);
+    if (was_available) {
+        // The fd must have survived: the counter still works.
+        EXPECT_TRUE(counter.start());
+        EXPECT_TRUE(counter.stop());
+        EXPECT_TRUE(counter.read().has_value());
+    }
+}
+
+TEST(Perf, UnavailableErrorCarriesErrnoDetail)
+{
+    PerfCounter counter(HwEvent::kInstructions);
+    if (counter.available())
+        GTEST_SKIP() << "perf available here; nothing to check";
+    // The message must name the syscall and carry the errno, not
+    // just a bare strerror string.
+    EXPECT_NE(counter.error().find("perf_event_open"),
+              std::string::npos)
+        << counter.error();
+#if defined(__linux__)
+    EXPECT_NE(counter.error().find("errno"), std::string::npos)
+        << counter.error();
+#endif
+}
+
+TEST(Perf, ReadSurvivesRepeatedCalls)
+{
+    PerfCounter counter(HwEvent::kInstructions);
+    if (!counter.available())
+        GTEST_SKIP() << "perf_event_open unavailable: "
+                     << counter.error();
+    ASSERT_TRUE(counter.start());
+    // The retry loop must hand back a coherent value every time.
+    for (int i = 0; i < 64; ++i) {
+        const auto value = counter.read();
+        ASSERT_TRUE(value.has_value());
+    }
+    ASSERT_TRUE(counter.stop());
+}
+
 TEST(Perf, EventNames)
 {
     EXPECT_STREQ(hwEventName(HwEvent::kCpuCycles), "cpu-cycles");

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "instr/cost_model.hh"
@@ -195,8 +196,9 @@ TEST(TraceIo, InvalidThreadIdRejected)
 // ---------------------------------------------------------------------
 // Corruption regressions: take a valid golden trace, mangle specific
 // bytes, and check the loader rejects it with a pointed error instead
-// of crashing or silently misreading. Header layout: magic @0,
-// nthreads @8, record_count @16, name @24, records from @88.
+// of crashing or silently misreading. Header layout (TRC2): magic @0,
+// nthreads @8, record_count @16, name @24, fault_spec @88, records
+// from @216 (= sizeof(TraceHeader)).
 // ---------------------------------------------------------------------
 
 TEST(TraceCorruption, EmptyFileRejected)
@@ -299,9 +301,10 @@ TEST(TraceCorruption, AbsurdThreadCountRejected)
 TEST(TraceCorruption, InvalidOpTypeByteRejected)
 {
     const auto path = goldenTrace("badop");
-    // Second record's type byte: offset 88 (header) + 32 + 4.
+    // Second record's type byte: header + one record + 4.
     const std::uint8_t bogus = 0xEE;
-    mangle(path, 88 + 32 + 4, &bogus, sizeof(bogus));
+    mangle(path, sizeof(trace::TraceHeader) + 32 + 4, &bogus,
+           sizeof(bogus));
     const TraceData data = TraceData::load(path);
     EXPECT_FALSE(data.ok());
     EXPECT_NE(data.error().find("invalid op type"),
@@ -330,6 +333,76 @@ TEST(TraceIo, FromOpsSaveLoadRoundTrips)
     ASSERT_EQ(loaded.threadOps(0).size(), 2u);
     EXPECT_EQ(loaded.threadOps(0)[1].type, OpType::kWork);
     EXPECT_EQ(loaded.threadOps(1)[0].addr, 0x20u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, FaultSpecRoundTrips)
+{
+    const auto path = tmpPath("faultspec");
+    {
+        TraceWriter writer(path, "faulty", 1,
+                           "drop=0.5,skid=16,coalesce=32");
+        ASSERT_TRUE(writer.ok());
+        writer.record(0, Op::write(0x10, 1));
+        EXPECT_TRUE(writer.finalize());
+    }
+    const TraceData loaded = TraceData::load(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error();
+    EXPECT_EQ(loaded.faultSpec(), "drop=0.5,skid=16,coalesce=32");
+
+    // And through the TraceData save path.
+    std::vector<std::vector<Op>> per_thread(1);
+    per_thread[0] = {Op::work(1)};
+    TraceData built = TraceData::fromOps("resave", per_thread);
+    built.setFaultSpec(loaded.faultSpec());
+    ASSERT_TRUE(built.save(path));
+    const TraceData reloaded = TraceData::load(path);
+    ASSERT_TRUE(reloaded.ok()) << reloaded.error();
+    EXPECT_EQ(reloaded.faultSpec(), "drop=0.5,skid=16,coalesce=32");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, DefaultFaultSpecIsNone)
+{
+    const auto path = tmpPath("nofaults");
+    {
+        TraceWriter writer(path, "clean", 1);
+        ASSERT_TRUE(writer.ok());
+        writer.record(0, Op::work(1));
+        EXPECT_TRUE(writer.finalize());
+    }
+    const TraceData loaded = TraceData::load(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error();
+    EXPECT_EQ(loaded.faultSpec(), "none");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, V1HeaderStillLoads)
+{
+    // Hand-build a v1 trace (88-byte header, old magic): the loader
+    // must accept it and report a clean fault spec.
+    const auto path = tmpPath("v1compat");
+    {
+        TraceHeaderV1 header;
+        header.nthreads = 1;
+        header.record_count = 1;
+        const char name[] = "legacy";
+        std::memcpy(header.name.data(), name, sizeof(name));
+        const TraceRecord record =
+            TraceRecord::fromOp(0, Op::write(0x40, 3));
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char *>(&header),
+                  sizeof(header));
+        out.write(reinterpret_cast<const char *>(&record),
+                  sizeof(record));
+        ASSERT_TRUE(out.good());
+    }
+    const TraceData loaded = TraceData::load(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error();
+    EXPECT_EQ(loaded.name(), "legacy");
+    EXPECT_EQ(loaded.faultSpec(), "none");
+    ASSERT_EQ(loaded.threadOps(0).size(), 1u);
+    EXPECT_EQ(loaded.threadOps(0)[0].addr, 0x40u);
     std::remove(path.c_str());
 }
 

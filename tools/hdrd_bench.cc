@@ -25,8 +25,10 @@
 #include <vector>
 
 #include "common/bench_json.hh"
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "instr/cost_model.hh"
+#include "pmu/faults.hh"
 #include "runtime/simulator.hh"
 #include "workloads/registry.hh"
 
@@ -49,6 +51,9 @@ struct Options
     std::string modes = "native,continuous,demand-hitm";
     std::string out = "BENCH_engine.json";
     double baseline_ops = 0.0;
+
+    /** Degraded-signal sweep: resolved --faults= spec. */
+    pmu::FaultConfig faults;
 };
 
 void
@@ -70,6 +75,10 @@ usage()
         "  --seed=N         simulation seed (default 1)\n"
         "  --baseline-ops=F pre-change continuous-FastTrack ops/sec\n"
         "                   to embed for speedup accounting\n"
+        "  --faults=SPEC    run every cell under a fault profile\n"
+        "                   (name, file, or key=value list); cells\n"
+        "                   stay deterministic, so --check still "
+        "gates\n"
         "  --out=FILE       JSON output (default BENCH_engine.json)");
 }
 
@@ -98,27 +107,28 @@ parse(int argc, char **argv)
         } else if (std::strcmp(arg, "--check") == 0) {
             opt.check = true;
         } else if (eat(arg, "--workers=", value)) {
-            opt.workers =
-                static_cast<std::uint32_t>(std::stoul(value));
+            opt.workers = cli::parseU32("workers", value, 0, 4096);
         } else if (eat(arg, "--repeat=", value)) {
-            opt.repeat =
-                static_cast<std::uint32_t>(std::stoul(value));
+            opt.repeat = cli::parseU32("repeat", value, 0, 1000);
         } else if (eat(arg, "--scale=", value)) {
-            opt.scale = std::stod(value);
+            opt.scale = cli::parseDouble("scale", value, 1e-6, 1e6);
         } else if (eat(arg, "--suite=", value)) {
             opt.suite = value;
         } else if (eat(arg, "--modes=", value)) {
             opt.modes = value;
         } else if (eat(arg, "--threads=", value)) {
-            opt.threads =
-                static_cast<std::uint32_t>(std::stoul(value));
+            opt.threads = cli::parseU32("threads", value, 1, 4096);
         } else if (eat(arg, "--cores=", value)) {
-            opt.cores =
-                static_cast<std::uint32_t>(std::stoul(value));
+            opt.cores = cli::parseU32("cores", value, 1, 1024);
         } else if (eat(arg, "--seed=", value)) {
-            opt.seed = std::stoull(value);
+            opt.seed = cli::parseU64("seed", value);
         } else if (eat(arg, "--baseline-ops=", value)) {
-            opt.baseline_ops = std::stod(value);
+            opt.baseline_ops =
+                cli::parseDouble("baseline-ops", value, 0.0, 1e18);
+        } else if (eat(arg, "--faults=", value)) {
+            std::string err;
+            if (!pmu::resolveFaultSpec(value, opt.faults, err))
+                fatal("--faults: ", err);
         } else if (eat(arg, "--out=", value)) {
             opt.out = value;
         } else {
@@ -155,6 +165,7 @@ cellConfig(const Options &opt, instr::ToolMode mode)
     config.gating.strategy = demand::Strategy::kDemandHitm;
     config.mem.ncores = opt.cores;
     config.seed = opt.seed;
+    config.faults = opt.faults;
     return config;
 }
 
@@ -317,6 +328,9 @@ main(int argc, char **argv)
         fatal("cannot open ", opt.out, " for writing");
     benchjson::writeBenchJson(out, meta, results);
 
+    if (opt.faults.any())
+        std::printf("\nfault profile: %s\n",
+                    pmu::faultSpec(opt.faults).c_str());
     const double cont_ft = benchjson::continuousFtOpsPerSec(results);
     std::printf("\n%zu cells in %.2f s (%u workers) -> %s\n",
                 cells.size(),

@@ -20,7 +20,9 @@
 #include <cstring>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
+#include "pmu/faults.hh"
 #include "testkit/fuzzer.hh"
 
 using namespace hdrd;
@@ -47,6 +49,11 @@ usage()
         "the run\n"
         "                     must find, shrink, and persist a "
         "violation\n"
+        "  --faults=SPEC      degrade the demand regime's hardware\n"
+        "                     signal (profile name, file, or "
+        "key=value\n"
+        "                     list); the oracle's subset invariants\n"
+        "                     must still hold\n"
         "  --no-shrink        keep full failing traces only\n"
         "  --shrink-budget=N  predicate evaluations per shrink "
         "(default 400)\n"
@@ -86,20 +93,26 @@ main(int argc, char **argv)
         } else if (std::strcmp(arg, "--verbose") == 0) {
             config.verbose = true;
         } else if (eat(arg, "--seed=", value)) {
-            config.seed = std::stoull(value);
+            config.seed = cli::parseU64("seed", value);
         } else if (eat(arg, "--iters=", value)) {
             config.iterations =
-                static_cast<std::uint32_t>(std::stoul(value));
+                cli::parseU32("iters", value, 1, 1000000);
         } else if (eat(arg, "--size=", value)) {
             config.gen.size =
-                static_cast<std::uint32_t>(std::stoul(value));
+                cli::parseU32("size", value, 1, 1000000);
         } else if (eat(arg, "--cores=", value)) {
-            config.cores =
-                static_cast<std::uint32_t>(std::stoul(value));
+            config.cores = cli::parseU32("cores", value, 1, 1024);
         } else if (eat(arg, "--out=", value)) {
             config.out_dir = value;
+        } else if (eat(arg, "--faults=", value)) {
+            std::string err;
+            if (!pmu::resolveFaultSpec(value, config.hw_faults, err)) {
+                std::fprintf(stderr, "--faults: %s\n", err.c_str());
+                return 1;
+            }
         } else if (eat(arg, "--shrink-budget=", value)) {
-            config.shrink_budget = std::stoull(value);
+            config.shrink_budget =
+                cli::parseU64("shrink-budget", value, 1, UINT64_MAX);
         } else {
             usage();
             std::fprintf(stderr, "unknown option '%s'\n", arg);
@@ -120,9 +133,10 @@ main(int argc, char **argv)
     testkit::Fuzzer fuzzer(config);
     const testkit::FuzzResult result = fuzzer.run();
 
-    std::printf("seed %llu fault %s\n",
+    std::printf("seed %llu fault %s hw-faults %s\n",
                 static_cast<unsigned long long>(config.seed),
-                testkit::faultName(config.fault));
+                testkit::faultName(config.fault),
+                pmu::faultSpec(config.hw_faults).c_str());
     std::fputs(result.summary().c_str(), stdout);
     if (!result.ok()) {
         std::printf("artifact dir: %s\n", config.out_dir.c_str());

@@ -21,8 +21,10 @@
 #include <string>
 
 #include "common/bench_json.hh"
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "instr/cost_model.hh"
+#include "pmu/faults.hh"
 #include "runtime/simulator.hh"
 #include "trace/trace_program.hh"
 #include "workloads/registry.hh"
@@ -58,6 +60,17 @@ struct Options
         runtime::SchedPolicy::kEarliestFirst;
     double jitter = 0.0;
     bool list = false;
+
+    /** --faults= base profile plus --fault-* overrides, in order. */
+    std::string fault_spec;
+    std::vector<std::string> fault_overrides;
+    bool fault_flags_given = false;
+
+    /** Controller hardening. */
+    bool failsafe = false;
+    std::uint64_t failsafe_window = 0;  ///< 0 = default
+    std::uint64_t holdoff = 0;
+    std::uint64_t pebs_staleness = 0;
 };
 
 void
@@ -86,6 +99,19 @@ usage()
         "policy\n"
         "  --jitter=F             random scheduling jitter [0,1)\n"
         "  --seed=N               simulation seed\n"
+        "  --faults=SPEC          fault profile: a name (none|mild|"
+        "lossy|bursty|\n"
+        "                         skidstorm|throttle|storm), a file, "
+        "or key=value,...\n"
+        "  --fault-KEY=V          override one fault knob (e.g. "
+        "--fault-drop=0.3)\n"
+        "  --failsafe             enable the escalation ladder "
+        "(demand->sampling->continuous)\n"
+        "  --failsafe-window=N    health window in accesses\n"
+        "  --holdoff=N            enable-side hysteresis holdoff in "
+        "accesses\n"
+        "  --pebs-staleness=N     drop PEBS captures older than N "
+        "accesses\n"
         "  --bench-json=FILE      write a one-cell hdrd-bench-v1 "
         "timing file\n"
         "  --track-gt             ground-truth sharing accounting\n"
@@ -168,23 +194,40 @@ parse(int argc, char **argv)
             else
                 fatal("unknown scope '", value, "'");
         } else if (eat(arg, "--scale=", value)) {
-            opt.scale = std::stod(value);
+            opt.scale = cli::parseDouble("scale", value, 1e-6, 1e6);
         } else if (eat(arg, "--threads=", value)) {
-            opt.threads =
-                static_cast<std::uint32_t>(std::stoul(value));
+            opt.threads = cli::parseU32("threads", value, 1, 4096);
         } else if (eat(arg, "--cores=", value)) {
-            opt.cores =
-                static_cast<std::uint32_t>(std::stoul(value));
+            opt.cores = cli::parseU32("cores", value, 1, 1024);
         } else if (eat(arg, "--seed=", value)) {
-            opt.seed = std::stoull(value);
+            opt.seed = cli::parseU64("seed", value);
         } else if (eat(arg, "--sav=", value)) {
-            opt.sav = std::stoull(value);
+            opt.sav = cli::parseU64("sav", value, 1, UINT64_MAX);
         } else if (eat(arg, "--granule=", value)) {
-            opt.granule =
-                static_cast<std::uint32_t>(std::stoul(value));
+            opt.granule = cli::parseU32("granule", value, 0, 16);
         } else if (eat(arg, "--inject=", value)) {
-            opt.injected =
-                static_cast<std::uint32_t>(std::stoul(value));
+            opt.injected = cli::parseU32("inject", value);
+        } else if (eat(arg, "--faults=", value)) {
+            opt.fault_spec = value;
+            opt.fault_flags_given = true;
+        } else if (eat(arg, "--fault-", value)) {
+            // --fault-drop=0.3 becomes the spec fragment "drop=0.3",
+            // layered over the --faults= base profile in order.
+            if (value.find('=') == std::string::npos)
+                fatal("--fault-", value, ": expected --fault-KEY=V");
+            opt.fault_overrides.push_back(value);
+            opt.fault_flags_given = true;
+        } else if (std::strcmp(arg, "--failsafe") == 0) {
+            opt.failsafe = true;
+        } else if (eat(arg, "--failsafe-window=", value)) {
+            opt.failsafe_window = cli::parseU64(
+                "failsafe-window", value, 1, UINT64_MAX);
+            opt.failsafe = true;
+        } else if (eat(arg, "--holdoff=", value)) {
+            opt.holdoff = cli::parseU64("holdoff", value);
+        } else if (eat(arg, "--pebs-staleness=", value)) {
+            opt.pebs_staleness =
+                cli::parseU64("pebs-staleness", value);
         } else if (eat(arg, "--sched=", value)) {
             if (value == "earliest")
                 opt.sched = runtime::SchedPolicy::kEarliestFirst;
@@ -195,7 +238,7 @@ parse(int argc, char **argv)
             else
                 fatal("unknown sched policy '", value, "'");
         } else if (eat(arg, "--jitter=", value)) {
-            opt.jitter = std::stod(value);
+            opt.jitter = cli::parseDouble("jitter", value, 0.0, 1.0);
         } else {
             usage();
             fatal("unknown option '", arg, "'");
@@ -224,10 +267,12 @@ main(int argc, char **argv)
 
     // Build the program.
     std::unique_ptr<runtime::Program> program;
+    std::string trace_fault_spec;
     if (!opt.replay.empty()) {
         trace::TraceData data = trace::TraceData::load(opt.replay);
         if (!data.ok())
             fatal("trace load failed: ", data.error());
+        trace_fault_spec = data.faultSpec();
         program = std::make_unique<trace::TraceProgram>(
             std::move(data));
     } else {
@@ -241,6 +286,28 @@ main(int argc, char **argv)
         params.seed = opt.seed + 41;
         params.injected_races = opt.injected;
         program = info->factory(params);
+    }
+
+    // Resolve the fault spec: the CLI wins; otherwise a replayed
+    // trace re-applies the spec it was recorded under, so a saved
+    // lossy run reproduces as recorded.
+    pmu::FaultConfig fault_config;
+    {
+        std::string err;
+        std::string base = opt.fault_spec;
+        if (!opt.fault_flags_given && !trace_fault_spec.empty()
+            && trace_fault_spec != "none") {
+            base = trace_fault_spec;
+            std::printf("faults       %s (from trace)\n",
+                        base.c_str());
+        }
+        if (!base.empty()
+            && !pmu::resolveFaultSpec(base, fault_config, err))
+            fatal("--faults: ", err);
+        for (const std::string &fragment : opt.fault_overrides) {
+            if (!pmu::applyFaultSpec(fragment, fault_config, err))
+                fatal("--fault-", fragment, ": ", err);
+        }
     }
 
     // Configure the platform.
@@ -257,6 +324,12 @@ main(int argc, char **argv)
     config.sched_policy = opt.sched;
     config.sched_jitter = opt.jitter;
     config.track_ground_truth = opt.track_gt;
+    config.faults = fault_config;
+    config.gating.failsafe.escalation = opt.failsafe;
+    if (opt.failsafe_window > 0)
+        config.gating.failsafe.health_window = opt.failsafe_window;
+    config.gating.failsafe.enable_holdoff = opt.holdoff;
+    config.gating.pebs_staleness = opt.pebs_staleness;
 
     // Optionally tee the run into a trace file.
     std::unique_ptr<trace::TraceWriter> writer;
@@ -264,7 +337,8 @@ main(int argc, char **argv)
     runtime::Program *to_run = program.get();
     if (!opt.record.empty()) {
         writer = std::make_unique<trace::TraceWriter>(
-            opt.record, program->name(), program->numThreads());
+            opt.record, program->name(), program->numThreads(),
+            pmu::faultSpec(config.faults));
         if (!writer->ok())
             fatal("cannot open trace file ", opt.record);
         recording = std::make_unique<trace::RecordingProgram>(
@@ -374,6 +448,36 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(result.gt.wr),
                     static_cast<unsigned long long>(result.gt.ww),
                     static_cast<unsigned long long>(result.gt.rw));
+    }
+    if (result.faults_active) {
+        std::printf("faults       %s\n",
+                    pmu::faultSpec(config.faults).c_str());
+        std::printf("signal       %llu seen, %llu dropped (%.1f%%), "
+                    "%llu coalesced, %llu throttled, skid rms %.1f\n",
+                    static_cast<unsigned long long>(
+                        result.faults.samples_seen),
+                    static_cast<unsigned long long>(
+                        result.faults.dropped()),
+                    100.0 * result.faults.dropRatio(),
+                    static_cast<unsigned long long>(
+                        result.faults.coalesced),
+                    static_cast<unsigned long long>(
+                        result.faults.throttled),
+                    result.faults.skidRms());
+    }
+    if (result.failsafe_active) {
+        std::printf("failsafe     final %s, %llu escalations, "
+                    "%llu de-escalations, %llu held-off interrupts, "
+                    "%llu stale pebs\n",
+                    demand::failsafeModeName(result.failsafe_mode),
+                    static_cast<unsigned long long>(
+                        result.escalations),
+                    static_cast<unsigned long long>(
+                        result.deescalations),
+                    static_cast<unsigned long long>(
+                        result.ignored_interrupts),
+                    static_cast<unsigned long long>(
+                        result.pebs_stale));
     }
     std::printf("races        %zu unique (%llu dynamic)\n",
                 result.reports.uniqueCount(),
