@@ -18,10 +18,26 @@ parseU64(const std::string &flag, const std::string &text,
               text, "'");
     errno = 0;
     char *end = nullptr;
-    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || errno == ERANGE)
         fatal("--", flag, ": expected an unsigned integer, got '",
               text, "'");
+    if (*end != '\0') {
+        // One binary size suffix (k/m/g, either case), nothing after.
+        std::uint64_t mult = 0;
+        switch (*end) {
+          case 'k': case 'K': mult = 1ULL << 10; break;
+          case 'm': case 'M': mult = 1ULL << 20; break;
+          case 'g': case 'G': mult = 1ULL << 30; break;
+        }
+        if (mult == 0 || end[1] != '\0')
+            fatal("--", flag, ": expected an unsigned integer "
+                  "(optionally suffixed k/m/g), got '", text, "'");
+        if (v > UINT64_MAX / mult)
+            fatal("--", flag, ": value '", text,
+                  "' overflows 64 bits");
+        v *= mult;
+    }
     if (v < lo || v > hi)
         fatal("--", flag, ": value ", v, " out of range [", lo, ", ",
               hi, "]");

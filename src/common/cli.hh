@@ -21,6 +21,11 @@ namespace hdrd::cli
  * Parse the value of --<flag>=<text> as an unsigned integer in
  * [@p lo, @p hi]. fatal()s (exit 1) with the flag name on malformed
  * input, a negative sign, trailing junk, or range violation.
+ *
+ * Byte/count flags accept a single binary size suffix: `k`/`K`
+ * (x1024), `m`/`M` (x1024^2), `g`/`G` (x1024^3) — so
+ * `--queue=4k` means 4096. Multiplication overflow and any other
+ * trailing character (e.g. `10kb`, `5x`) are rejected.
  */
 std::uint64_t parseU64(const std::string &flag, const std::string &text,
                        std::uint64_t lo = 0,

@@ -41,6 +41,14 @@ Simulator::Simulator(const SimConfig &config) : config_(config)
         fatal("threads_per_core must be positive");
 }
 
+void
+Simulator::reconfigure(const SimConfig &config)
+{
+    if (config.threads_per_core == 0)
+        fatal("threads_per_core must be positive");
+    config_ = config;
+}
+
 RunResult
 Simulator::run(Program &program)
 {

@@ -215,6 +215,15 @@ class Simulator
     /** Configuration in force. */
     const SimConfig &config() const { return config_; }
 
+    /**
+     * Re-arm this engine with a new configuration between runs.
+     * run() builds the platform fresh each time, so a long-lived
+     * engine (one per hdrd_served worker) serves back-to-back jobs
+     * with different regimes/seeds with no state bleeding across
+     * them — same validation as construction.
+     */
+    void reconfigure(const SimConfig &config);
+
     /** One-shot convenience wrapper. */
     static RunResult runWith(Program &program, const SimConfig &config)
     {

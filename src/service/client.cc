@@ -1,0 +1,158 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace hdrd::service
+{
+
+namespace
+{
+
+/** Minimal field extraction: "retry_after_ms": N. */
+std::uint64_t
+parseRetryAfter(const std::string &json)
+{
+    const std::string key = "\"retry_after_ms\": ";
+    const std::size_t at = json.find(key);
+    if (at == std::string::npos)
+        return 0;
+    return std::strtoull(json.c_str() + at + key.size(), nullptr,
+                         10);
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::connectUnix(const std::string &path, std::string &err)
+{
+    close();
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + path;
+        return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = "cannot connect to " + path + ": "
+            + std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::connectTcp(std::uint16_t port, std::string &err)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = "cannot connect to 127.0.0.1:"
+            + std::to_string(port) + ": " + std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+Response
+Client::roundTrip(FrameType type, const std::string &payload)
+{
+    Response response;
+    if (fd_ < 0)
+        return response;
+    if (!writeFrame(fd_, type, payload))
+        return response;
+
+    FrameHeader header;
+    std::string err;
+    if (!readFrameHeader(fd_, header, err))
+        return response;
+    if (!readPayload(fd_, header.length, response.payload))
+        return response;
+    response.transport_ok = true;
+    response.type = static_cast<FrameType>(header.type);
+    if (response.isBusy())
+        response.retry_after_ms = parseRetryAfter(response.payload);
+    return response;
+}
+
+Response
+Client::submit(const JobOptions &options,
+               const std::string &trace_bytes)
+{
+    std::string payload;
+    payload.reserve(sizeof(options) + trace_bytes.size());
+    payload.append(reinterpret_cast<const char *>(&options),
+                   sizeof(options));
+    payload.append(trace_bytes);
+    return roundTrip(FrameType::kSubmit, payload);
+}
+
+Response
+Client::submitFile(const JobOptions &options,
+                   const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        Response response;
+        response.payload = "cannot open " + path;
+        return response;
+    }
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    return submit(options, bytes.str());
+}
+
+Response
+Client::stats()
+{
+    return roundTrip(FrameType::kStats, "");
+}
+
+Response
+Client::ping()
+{
+    return roundTrip(FrameType::kPing, "");
+}
+
+} // namespace hdrd::service

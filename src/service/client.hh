@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Client side of the hdrd service protocol: connect, submit traces,
+ * fetch stats. Used by tools/hdrd_client, the service tests, and the
+ * ABL-10 throughput sweep.
+ */
+
+#ifndef HDRD_SERVICE_CLIENT_HH
+#define HDRD_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hh"
+
+namespace hdrd::service
+{
+
+/** Outcome of one request/response exchange. */
+struct Response
+{
+    /** Transport and framing succeeded. */
+    bool transport_ok = false;
+
+    /** Response frame type (valid when transport_ok). */
+    FrameType type = FrameType::kError;
+
+    /** Response payload (JSON). */
+    std::string payload;
+
+    /** Parsed retry hint from a BUSY reply (0 otherwise). */
+    std::uint64_t retry_after_ms = 0;
+
+    bool isReport() const
+    {
+        return transport_ok && type == FrameType::kReport;
+    }
+
+    bool isBusy() const
+    {
+        return transport_ok && type == FrameType::kBusy;
+    }
+};
+
+/**
+ * One connection to an hdrd_served instance. Requests on a single
+ * client are sequential (the protocol is request/response per
+ * connection); open one Client per concurrent stream.
+ */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect over a unix-domain socket. */
+    bool connectUnix(const std::string &path, std::string &err);
+
+    /** Connect over TCP to 127.0.0.1:@p port. */
+    bool connectTcp(std::uint16_t port, std::string &err);
+
+    bool connected() const { return fd_ >= 0; }
+
+    void close();
+
+    /**
+     * Submit a trace image already in memory.
+     * @param trace_bytes complete TRC2 file contents
+     */
+    Response submit(const JobOptions &options,
+                    const std::string &trace_bytes);
+
+    /**
+     * Submit a trace file; reads it and calls submit(). A missing
+     * file yields a failed Response without touching the socket.
+     */
+    Response submitFile(const JobOptions &options,
+                        const std::string &path);
+
+    /** Request the metrics snapshot (STATS). */
+    Response stats();
+
+    /** Liveness probe (PING). */
+    Response ping();
+
+  private:
+    Response roundTrip(FrameType type, const std::string &payload);
+
+    int fd_ = -1;
+};
+
+} // namespace hdrd::service
+
+#endif // HDRD_SERVICE_CLIENT_HH

@@ -1,0 +1,160 @@
+#include "service/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "pmu/faults.hh"
+
+namespace hdrd::service
+{
+
+bool
+validFrameType(std::uint32_t type)
+{
+    switch (static_cast<FrameType>(type)) {
+      case FrameType::kSubmit:
+      case FrameType::kStats:
+      case FrameType::kPing:
+      case FrameType::kReport:
+      case FrameType::kBusy:
+      case FrameType::kError:
+      case FrameType::kStatsReply:
+      case FrameType::kPong:
+        return true;
+    }
+    return false;
+}
+
+bool
+validateJobOptions(const JobOptions &options, std::string &err)
+{
+    if (options.version != 1) {
+        err = "unsupported job options version "
+            + std::to_string(options.version);
+        return false;
+    }
+    if (options.mode > 2) {
+        err = "invalid mode " + std::to_string(options.mode);
+        return false;
+    }
+    if (options.detector > 2) {
+        err = "invalid detector " + std::to_string(options.detector);
+        return false;
+    }
+    if (options.granule_shift > 16) {
+        err = "invalid granule_shift "
+            + std::to_string(options.granule_shift);
+        return false;
+    }
+    if (options.cores == 0 || options.cores > 1024) {
+        err = "invalid core count " + std::to_string(options.cores);
+        return false;
+    }
+    if (options.sav == 0) {
+        err = "invalid sample-after value 0";
+        return false;
+    }
+    // The spec must be NUL-terminated within the field and parse.
+    if (options.fault_spec.back() != '\0') {
+        err = "unterminated fault spec";
+        return false;
+    }
+    const std::string spec(options.fault_spec.data());
+    if (!spec.empty()) {
+        pmu::FaultConfig config;
+        std::string spec_err;
+        if (!pmu::resolveFaultSpec(spec, config, spec_err)) {
+            err = "bad fault spec: " + spec_err;
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+readAllFd(int fd, void *buf, std::size_t n)
+{
+    char *dst = static_cast<char *>(buf);
+    std::size_t have = 0;
+    while (have < n) {
+        const ssize_t got = ::read(fd, dst + have, n - have);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (got == 0)
+            return false;
+        have += static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+bool
+writeAllFd(int fd, const void *buf, std::size_t n)
+{
+    const char *src = static_cast<const char *>(buf);
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t put = ::write(fd, src + sent, n - sent);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(put);
+    }
+    return true;
+}
+
+bool
+readFrameHeader(int fd, FrameHeader &header, std::string &err)
+{
+    if (!readAllFd(fd, &header, sizeof(header))) {
+        err = "connection closed";
+        return false;
+    }
+    if (header.magic != kFrameMagic) {
+        err = "bad frame magic";
+        return false;
+    }
+    if (!validFrameType(header.type)) {
+        err = "unknown frame type " + std::to_string(header.type);
+        return false;
+    }
+    if (header.length > kMaxFrameLength) {
+        err = "frame length " + std::to_string(header.length)
+            + " exceeds protocol limit";
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFrame(int fd, FrameType type, const void *payload,
+           std::size_t length)
+{
+    FrameHeader header;
+    header.type = static_cast<std::uint32_t>(type);
+    header.length = length;
+    if (!writeAllFd(fd, &header, sizeof(header)))
+        return false;
+    return length == 0 || writeAllFd(fd, payload, length);
+}
+
+bool
+writeFrame(int fd, FrameType type, const std::string &payload)
+{
+    return writeFrame(fd, type, payload.data(), payload.size());
+}
+
+bool
+readPayload(int fd, std::uint64_t length, std::string &out)
+{
+    out.resize(static_cast<std::size_t>(length));
+    return length == 0 || readAllFd(fd, out.data(), out.size());
+}
+
+} // namespace hdrd::service

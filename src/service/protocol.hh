@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The hdrd service wire protocol: length-prefixed frames over a
+ * stream socket (unix-domain or TCP).
+ *
+ * Every message is one frame:
+ *
+ *     +--------+--------+----------------+----------------------+
+ *     | magic  | type   | payload length | payload (length B)   |
+ *     | 4 B    | u32 LE | u64 LE         |                      |
+ *     +--------+--------+----------------+----------------------+
+ *
+ * Requests:
+ *   SUBMIT  payload = JobOptions (fixed 168 bytes) followed by a
+ *           complete TRC2 trace image (header + records). The server
+ *           parses the trace header first and rejects a bad trace
+ *           before buffering its body.
+ *   STATS   empty payload; answered with STATS_REPLY.
+ *   PING    empty payload; answered with PONG.
+ *
+ * Responses (payloads are UTF-8 JSON):
+ *   REPORT       the deterministic race report (hdrd-report-v1).
+ *   BUSY         {"status":"busy","retry_after_ms":N,...} — bounded
+ *                backpressure: the queue was full, try again later.
+ *   ERROR        {"status":"error","error":"..."}.
+ *   STATS_REPLY  the hdrd-metrics-v1 snapshot.
+ *   PONG         {"status":"ok"}.
+ *
+ * All integers little-endian, matching the TRC2 trace format.
+ */
+
+#ifndef HDRD_SERVICE_PROTOCOL_HH
+#define HDRD_SERVICE_PROTOCOL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hdrd::service
+{
+
+/** Frame magic: "HDS" plus the protocol version byte. */
+constexpr std::array<char, 4> kFrameMagic = {'H', 'D', 'S', '1'};
+
+/** Frame types. Requests below 100, responses at or above. */
+enum class FrameType : std::uint32_t
+{
+    kSubmit = 1,
+    kStats = 2,
+    kPing = 3,
+
+    kReport = 100,
+    kBusy = 101,
+    kError = 102,
+    kStatsReply = 103,
+    kPong = 104,
+};
+
+/** True for frame type values this protocol version defines. */
+bool validFrameType(std::uint32_t type);
+
+/** Fixed frame prefix. */
+struct FrameHeader
+{
+    std::array<char, 4> magic = kFrameMagic;
+    std::uint32_t type = 0;
+    std::uint64_t length = 0;  ///< payload bytes that follow
+};
+
+static_assert(sizeof(FrameHeader) == 16, "frame layout drifted");
+
+/**
+ * Protocol-level hard cap on one frame's payload. Servers may (and
+ * hdrd_served does) enforce a smaller --max-trace limit.
+ */
+constexpr std::uint64_t kMaxFrameLength = 1ULL << 32;
+
+/** JobOptions::flags bits. */
+enum : std::uint32_t
+{
+    /** Omit the nondeterministic host timing block from the report. */
+    kJobOmitHostTiming = 1u << 0,
+
+    /**
+     * Ignore the fault spec recorded in the trace header (by default
+     * a trace recorded under faults replays under them, exactly like
+     * `hdrd_sim --replay`).
+     */
+    kJobIgnoreTraceFaults = 1u << 1,
+};
+
+/**
+ * Fixed-width analysis configuration preceding the trace bytes in a
+ * SUBMIT payload. Defaults mirror hdrd_sim's, so a report from the
+ * daemon diffs byte-identical against `hdrd_sim --replay
+ * --report-json` golden output.
+ */
+struct JobOptions
+{
+    std::uint32_t version = 1;
+    std::uint32_t flags = 0;
+
+    /** instr::ToolMode value (0 native, 1 continuous, 2 demand). */
+    std::uint32_t mode = 2;
+
+    /** runtime::DetectorKind value. */
+    std::uint32_t detector = 0;
+
+    std::uint64_t seed = 1;
+    std::uint32_t granule_shift = 3;
+    std::uint32_t cores = 4;
+
+    /** PMU sample-after value for the demand regime. */
+    std::uint64_t sav = 1;
+
+    /**
+     * Fault spec override, NUL-padded ("" = honour the trace's own
+     * recorded spec unless kJobIgnoreTraceFaults is set).
+     */
+    std::array<char, 128> fault_spec{};
+};
+
+static_assert(sizeof(JobOptions) == 168, "job options layout drifted");
+
+/**
+ * Validate a received JobOptions.
+ * @return false with @p err set when any field is outside the range
+ *         the engine accepts.
+ */
+bool validateJobOptions(const JobOptions &options, std::string &err);
+
+/**
+ * Exact-count EINTR-safe socket I/O.
+ * @return false on EOF, error, or (readAllFd) peer close.
+ */
+bool readAllFd(int fd, void *buf, std::size_t n);
+bool writeAllFd(int fd, const void *buf, std::size_t n);
+
+/**
+ * Read and validate one frame header.
+ * @return false with @p err set on short read, bad magic, unknown
+ *         type, or an over-limit length.
+ */
+bool readFrameHeader(int fd, FrameHeader &header, std::string &err);
+
+/** Write one frame (header + payload). @return false on I/O error. */
+bool writeFrame(int fd, FrameType type, const void *payload,
+                std::size_t length);
+
+/** writeFrame for string payloads (the JSON responses). */
+bool writeFrame(int fd, FrameType type, const std::string &payload);
+
+/**
+ * Read a whole frame payload of @p length bytes into @p out.
+ * @return false on short read.
+ */
+bool readPayload(int fd, std::uint64_t length, std::string &out);
+
+} // namespace hdrd::service
+
+#endif // HDRD_SERVICE_PROTOCOL_HH

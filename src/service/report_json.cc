@@ -1,0 +1,130 @@
+#include "service/report_json.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "detect/report.hh"
+#include "instr/cost_model.hh"
+
+namespace hdrd::service
+{
+
+namespace
+{
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+std::string
+hexAddr(std::uint64_t addr)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+} // namespace
+
+const char *
+detectorName(std::uint32_t detector)
+{
+    switch (detector) {
+      case 0: return "fasttrack";
+      case 1: return "naive";
+      case 2: return "lockset";
+    }
+    return "unknown";
+}
+
+void
+writeJobReport(std::ostream &os, const JobReport &report)
+{
+    hdrdAssert(report.result != nullptr,
+               "job report needs a run result");
+    const runtime::RunResult &r = *report.result;
+
+    os << "{\n  \"schema\": \"hdrd-report-v1\",\n"
+       << "  \"trace\": \"" << report.trace << "\",\n"
+       << "  \"nthreads\": " << report.nthreads << ",\n";
+
+    const JobOptions &o = report.options;
+    os << "  \"config\": {\n"
+       << "    \"mode\": \""
+       << instr::toolModeName(
+              static_cast<instr::ToolMode>(o.mode)) << "\",\n"
+       << "    \"detector\": \"" << detectorName(o.detector)
+       << "\",\n"
+       << "    \"seed\": " << o.seed << ",\n"
+       << "    \"granule_shift\": " << o.granule_shift << ",\n"
+       << "    \"cores\": " << o.cores << ",\n"
+       << "    \"sav\": " << o.sav << ",\n"
+       << "    \"faults\": \"" << report.fault_spec << "\"\n"
+       << "  },\n";
+
+    os << "  \"sim\": {\n"
+       << "    \"wall_cycles\": " << r.wall_cycles << ",\n"
+       << "    \"total_ops\": " << r.total_ops << ",\n"
+       << "    \"mem_accesses\": " << r.mem_accesses << ",\n"
+       << "    \"sync_ops\": " << r.sync_ops << ",\n"
+       << "    \"atomic_ops\": " << r.atomic_ops << ",\n"
+       << "    \"analyzed_accesses\": " << r.analyzed_accesses
+       << ",\n"
+       << "    \"enables\": " << r.enables << ",\n"
+       << "    \"interrupts\": " << r.interrupts << ",\n"
+       << "    \"pebs_captures\": " << r.pebs_captures << ",\n"
+       << "    \"hitm_loads\": " << r.hitm_loads << ",\n"
+       << "    \"hitm_transfers\": " << r.hitm_transfers << "\n"
+       << "  },\n";
+
+    if (r.faults_active) {
+        os << "  \"faults\": {\n"
+           << "    \"samples_seen\": " << r.faults.samples_seen
+           << ",\n"
+           << "    \"dropped\": " << r.faults.dropped() << ",\n"
+           << "    \"coalesced\": " << r.faults.coalesced << ",\n"
+           << "    \"throttled\": " << r.faults.throttled << ",\n"
+           << "    \"delivered\": " << r.faults.delivered << ",\n"
+           << "    \"skid_rms\": " << fmtDouble(r.faults.skidRms())
+           << "\n  },\n";
+    }
+
+    os << "  \"races\": {\n"
+       << "    \"unique\": " << r.reports.uniqueCount() << ",\n"
+       << "    \"dynamic\": " << r.reports.dynamicCount() << ",\n"
+       << "    \"reports\": [";
+    const char *sep = "";
+    for (const detect::RaceReport &race : r.reports.reports()) {
+        os << sep << "\n      {\"addr\": \"" << hexAddr(race.addr)
+           << "\", \"type\": \"" << detect::raceTypeName(race.type)
+           << "\", \"first_tid\": " << race.first_tid
+           << ", \"first_site\": " << race.first_site
+           << ", \"second_tid\": " << race.second_tid
+           << ", \"second_site\": " << race.second_site << "}";
+        sep = ",";
+    }
+    os << (r.reports.uniqueCount() == 0 ? "" : "\n    ")
+       << "]\n  }";
+
+    if (report.include_host_timing) {
+        os << ",\n  \"host\": {\"wall_ms\": "
+           << fmtDouble(report.host_ms) << "}";
+    }
+    os << "\n}\n";
+}
+
+std::string
+jobReportJson(const JobReport &report)
+{
+    std::ostringstream os;
+    writeJobReport(os, report);
+    return os.str();
+}
+
+} // namespace hdrd::service

@@ -1,0 +1,622 @@
+#include "service/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "pmu/faults.hh"
+#include "service/protocol.hh"
+#include "service/report_json.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_program.hh"
+
+namespace hdrd::service
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+usSince(Clock::time_point t0, Clock::time_point t1)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+}
+
+/** trace::ByteSource over a socket carrying a known payload size. */
+class FdSource : public trace::ByteSource
+{
+  public:
+    FdSource(int fd, std::uint64_t limit) : fd_(fd), limit_(limit) {}
+
+    std::size_t read(char *dst, std::size_t n) override
+    {
+        if (remaining() == 0)
+            return 0;
+        n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(n, remaining()));
+        for (;;) {
+            const ssize_t got = ::read(fd_, dst, n);
+            if (got < 0 && errno == EINTR)
+                continue;
+            if (got <= 0)
+                return 0;
+            consumed_ += static_cast<std::uint64_t>(got);
+            return static_cast<std::size_t>(got);
+        }
+    }
+
+    std::uint64_t consumed() const { return consumed_; }
+    std::uint64_t remaining() const { return limit_ - consumed_; }
+
+  private:
+    int fd_;
+    std::uint64_t limit_;
+    std::uint64_t consumed_ = 0;
+};
+
+/**
+ * Read and discard @p n payload bytes so the connection can keep
+ * framing after a rejected request.
+ * @return false when the leftover is implausibly large or the read
+ *         fails (the caller should close the connection).
+ */
+bool
+drainPayload(int fd, std::uint64_t n)
+{
+    constexpr std::uint64_t kDrainCap = 16ULL << 20;
+    if (n > kDrainCap)
+        return false;
+    char sink[4096];
+    while (n > 0) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(n, sizeof(sink)));
+        if (!readAllFd(fd, sink, want))
+            return false;
+        n -= want;
+    }
+    return true;
+}
+
+/** Shared state between a connection thread and its job. */
+struct JobState
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    std::string payload;  ///< REPORT json, or error text
+
+    /** Connection gave up waiting; the worker skips the job. */
+    std::atomic<bool> abandoned{false};
+
+    Clock::time_point enqueued{};
+    Clock::time_point deadline{};
+    bool has_deadline = false;
+};
+
+std::string
+jsonError(const std::string &message)
+{
+    std::string out = "{\"status\": \"error\", \"error\": \"";
+    // The error strings are ASCII diagnostics; escape the JSON
+    // specials that could plausibly appear in them.
+    for (char c : message) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += "\"}\n";
+    return out;
+}
+
+} // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string &err)
+{
+    hdrdAssert(!started_, "server started twice");
+    if (config_.unix_path.empty()) {
+        err = "unix socket path required";
+        return false;
+    }
+    sockaddr_un addr{};
+    if (config_.unix_path.size() >= sizeof(addr.sun_path)) {
+        err = "unix socket path too long: " + config_.unix_path;
+        return false;
+    }
+
+    if (::pipe(wake_pipe_) != 0) {
+        err = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(config_.unix_path.c_str());
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0
+        || ::listen(unix_fd_, 64) != 0) {
+        err = "cannot listen on " + config_.unix_path + ": "
+            + std::strerror(errno);
+        return false;
+    }
+
+    if (config_.tcp_port != 0) {
+        tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (tcp_fd_ < 0) {
+            err = std::string("tcp socket: ") + std::strerror(errno);
+            return false;
+        }
+        const int one = 1;
+        ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in tcp_addr{};
+        tcp_addr.sin_family = AF_INET;
+        tcp_addr.sin_port = htons(config_.tcp_port);
+        tcp_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::bind(tcp_fd_, reinterpret_cast<sockaddr *>(&tcp_addr),
+                   sizeof(tcp_addr)) != 0
+            || ::listen(tcp_fd_, 64) != 0) {
+            err = "cannot listen on tcp port "
+                + std::to_string(config_.tcp_port) + ": "
+                + std::strerror(errno);
+            return false;
+        }
+    }
+
+    WorkerPoolConfig pool_config;
+    pool_config.workers = config_.workers;
+    pool_config.queue_capacity = config_.queue_capacity;
+    pool_ = std::make_unique<WorkerPool>(pool_config, &metrics_);
+
+    engines_.reserve(pool_->workers());
+    for (std::uint32_t w = 0; w < pool_->workers(); ++w)
+        engines_.push_back(
+            std::make_unique<runtime::Simulator>(config_.base));
+
+    metrics_.gauge("server.max_connections")
+        .set(config_.max_connections);
+
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+    if (!config_.metrics_dump.empty())
+        metrics_thread_ = std::thread([this] { metricsLoop(); });
+    started_ = true;
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    stop_requested_.store(true, std::memory_order_release);
+    if (wake_pipe_[1] >= 0) {
+        const char byte = 's';
+        // Best-effort, async-signal-safe wake-up.
+        [[maybe_unused]] const ssize_t n =
+            ::write(wake_pipe_[1], &byte, 1);
+    }
+}
+
+void
+Server::waitForStopRequest()
+{
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock, [this] {
+        return stop_requested_.load(std::memory_order_acquire)
+            || stopping_.load(std::memory_order_acquire);
+    });
+}
+
+void
+Server::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+    stopping_.store(true, std::memory_order_release);
+    requestStop();
+    stop_cv_.notify_all();
+
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    reapConnections(true);
+
+    // Run out every queued job (their connections are gone only if
+    // they gave up; normally each gets its reply) and stop workers.
+    if (pool_)
+        pool_->shutdown();
+
+    {
+        std::lock_guard<std::mutex> lock(metrics_cv_mutex_);
+        metrics_cv_.notify_all();
+    }
+    if (metrics_thread_.joinable())
+        metrics_thread_.join();
+    if (!config_.metrics_dump.empty())
+        metrics_.dumpToFile(config_.metrics_dump);
+
+    if (unix_fd_ >= 0)
+        ::close(unix_fd_);
+    if (tcp_fd_ >= 0)
+        ::close(tcp_fd_);
+    if (!config_.unix_path.empty())
+        ::unlink(config_.unix_path.c_str());
+    for (int &fd : wake_pipe_) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+}
+
+void
+Server::reapConnections(bool all)
+{
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+        if (all || it->done.load(std::memory_order_acquire)) {
+            if (it->thread.joinable())
+                it->thread.join();
+            it = connections_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[3];
+        nfds_t nfds = 0;
+        fds[nfds++] = {wake_pipe_[0], POLLIN, 0};
+        fds[nfds++] = {unix_fd_, POLLIN, 0};
+        if (tcp_fd_ >= 0)
+            fds[nfds++] = {tcp_fd_, POLLIN, 0};
+
+        const int rc = ::poll(fds, nfds, 200);
+        if (stop_requested_.load(std::memory_order_acquire)
+            || stopping_.load(std::memory_order_acquire)) {
+            // Propagate a signal-initiated stop to waitForStopRequest.
+            std::lock_guard<std::mutex> lock(stop_mutex_);
+            stop_cv_.notify_all();
+            return;
+        }
+        reapConnections(false);
+        if (rc <= 0)
+            continue;
+
+        for (nfds_t i = 1; i < nfds; ++i) {
+            if (!(fds[i].revents & POLLIN))
+                continue;
+            const int client = ::accept(fds[i].fd, nullptr, nullptr);
+            if (client < 0)
+                continue;
+            if (active_connections_.load(std::memory_order_relaxed)
+                >= config_.max_connections) {
+                metrics_.counter("server.connections_rejected").add();
+                std::string busy =
+                    "{\"status\": \"busy\", \"retry_after_ms\": "
+                    + std::to_string(retryAfterMs())
+                    + ", \"reason\": \"connection limit\"}\n";
+                writeFrame(client, FrameType::kBusy, busy);
+                ::close(client);
+                continue;
+            }
+            metrics_.counter("server.connections_accepted").add();
+            active_connections_.fetch_add(1,
+                                          std::memory_order_relaxed);
+            metrics_.gauge("server.active_connections").add();
+            std::lock_guard<std::mutex> lock(conn_mutex_);
+            Connection &conn = connections_.emplace_back();
+            conn.thread = std::thread([this, client, &conn] {
+                connectionLoop(client);
+                active_connections_.fetch_sub(
+                    1, std::memory_order_relaxed);
+                metrics_.gauge("server.active_connections").sub();
+                conn.done.store(true, std::memory_order_release);
+            });
+        }
+    }
+}
+
+void
+Server::connectionLoop(int fd)
+{
+    for (;;) {
+        // Wait for the next frame, staying responsive to drain.
+        for (;;) {
+            if (stopping_.load(std::memory_order_acquire)) {
+                ::close(fd);
+                return;
+            }
+            pollfd pfd{fd, POLLIN, 0};
+            const int rc = ::poll(&pfd, 1, 200);
+            if (rc > 0)
+                break;
+        }
+
+        FrameHeader header;
+        std::string err;
+        if (!readFrameHeader(fd, header, err)) {
+            if (err != "connection closed")
+                writeFrame(fd, FrameType::kError, jsonError(err));
+            ::close(fd);
+            return;
+        }
+        metrics_.counter("server.frames_received").add();
+
+        switch (static_cast<FrameType>(header.type)) {
+          case FrameType::kPing:
+            if (!drainPayload(fd, header.length)
+                || !writeFrame(fd, FrameType::kPong,
+                               std::string("{\"status\": \"ok\"}\n"))) {
+                ::close(fd);
+                return;
+            }
+            break;
+          case FrameType::kStats:
+            metrics_.counter("server.stats_requests").add();
+            if (!drainPayload(fd, header.length)
+                || !writeFrame(fd, FrameType::kStatsReply,
+                               metrics_.toJson())) {
+                ::close(fd);
+                return;
+            }
+            break;
+          case FrameType::kSubmit:
+            if (!handleSubmit(fd, header.length)) {
+                ::close(fd);
+                return;
+            }
+            break;
+          default:
+            // A response frame type from a client is a protocol
+            // violation; drop the connection.
+            writeFrame(fd, FrameType::kError,
+                       jsonError("unexpected response-type frame"));
+            ::close(fd);
+            return;
+        }
+    }
+}
+
+bool
+Server::handleSubmit(int fd, std::uint64_t payload_length)
+{
+    const auto t_received = Clock::now();
+
+    // Refuse the request but keep the connection when the unread
+    // remainder is small enough to drain.
+    auto reject = [&](const std::string &message,
+                      std::uint64_t leftover) {
+        metrics_.counter("server.jobs_invalid").add();
+        const bool drained = drainPayload(fd, leftover);
+        return writeFrame(fd, FrameType::kError, jsonError(message))
+            && drained;
+    };
+
+    if (payload_length < sizeof(JobOptions))
+        return reject("submit payload too short for job options",
+                      payload_length);
+
+    JobOptions options;
+    if (!readAllFd(fd, &options, sizeof(options)))
+        return false;
+    std::uint64_t trace_bytes = payload_length - sizeof(options);
+    std::string err;
+    if (!validateJobOptions(options, err))
+        return reject(err, trace_bytes);
+    if (trace_bytes > config_.max_trace_bytes) {
+        metrics_.counter("server.jobs_invalid").add();
+        writeFrame(fd, FrameType::kError,
+                   jsonError("trace exceeds server limit of "
+                             + std::to_string(config_.max_trace_bytes)
+                             + " bytes"));
+        return false;
+    }
+
+    // Stream the trace: header first, so a bad trace is rejected
+    // before a single record is buffered.
+    FdSource source(fd, trace_bytes);
+    trace::TraceReader reader(source, trace_bytes);
+    if (!reader.readHeader()) {
+        metrics_.counter("server.traces_rejected").add();
+        return reject("trace rejected: " + reader.error(),
+                      source.remaining());
+    }
+    auto data = std::make_shared<trace::TraceData>(
+        trace::TraceData::fromReader(reader));
+    if (!data->ok()) {
+        metrics_.counter("server.traces_rejected").add();
+        return reject("trace rejected: " + data->error(),
+                      source.remaining());
+    }
+    metrics_.counter("server.trace_bytes_received").add(trace_bytes);
+    metrics_.histogram("job.trace_read_us")
+        .record(usSince(t_received, Clock::now()));
+
+    // Resolve the fault spec exactly like `hdrd_sim --replay`: an
+    // explicit override wins, else the trace's recorded spec unless
+    // the client opted out.
+    std::string spec(options.fault_spec.data());
+    if (spec.empty() && !(options.flags & kJobIgnoreTraceFaults))
+        spec = data->faultSpec();
+    pmu::FaultConfig fault_config;
+    if (!spec.empty() && spec != "none"
+        && !pmu::resolveFaultSpec(spec, fault_config, err))
+        return reject("trace carries unusable fault spec: " + err,
+                      0);
+
+    auto state = std::make_shared<JobState>();
+    state->enqueued = Clock::now();
+    if (config_.job_timeout_ms > 0) {
+        state->has_deadline = true;
+        state->deadline = state->enqueued
+            + std::chrono::milliseconds(config_.job_timeout_ms);
+    }
+
+    const std::uint64_t min_job_ms = config_.min_job_ms;
+    runtime::SimConfig sim_config = config_.base;
+    sim_config.mode = static_cast<instr::ToolMode>(options.mode);
+    sim_config.detector =
+        static_cast<runtime::DetectorKind>(options.detector);
+    sim_config.gating.hitm_counter.sample_after = options.sav;
+    sim_config.granule_shift = options.granule_shift;
+    sim_config.mem.ncores = options.cores;
+    sim_config.seed = options.seed;
+    sim_config.faults = fault_config;
+
+    auto job = [this, state, data, options, sim_config,
+                min_job_ms](std::uint32_t worker) {
+        if (state->abandoned.load(std::memory_order_acquire)) {
+            metrics_.counter("server.jobs_abandoned").add();
+            return;
+        }
+        const auto t_start = Clock::now();
+        metrics_.histogram("job.queue_wait_us")
+            .record(usSince(state->enqueued, t_start));
+        std::string payload;
+        bool ok = false;
+        if (state->has_deadline && t_start > state->deadline) {
+            metrics_.counter("server.jobs_timeout").add();
+            payload = jsonError(
+                "job timed out waiting in queue");
+        } else {
+            runtime::Simulator &engine = *engines_[worker];
+            engine.reconfigure(sim_config);
+            trace::TraceProgram program(*data);
+            const runtime::RunResult result = engine.run(program);
+            const auto t_done = Clock::now();
+
+            JobReport report;
+            report.trace = data->name();
+            report.nthreads = data->nthreads();
+            report.options = options;
+            report.fault_spec = pmu::faultSpec(sim_config.faults);
+            report.result = &result;
+            report.include_host_timing =
+                !(options.flags & kJobOmitHostTiming);
+            report.host_ms =
+                static_cast<double>(usSince(t_start, t_done))
+                / 1000.0;
+            payload = jobReportJson(report);
+            ok = true;
+            metrics_.counter("server.jobs_completed").add();
+        }
+        if (min_job_ms > 0) {
+            const auto floor_until = t_start
+                + std::chrono::milliseconds(min_job_ms);
+            std::this_thread::sleep_until(floor_until);
+        }
+        // Recorded after the --min-job-ms floor: exec_us feeds the
+        // BUSY retry hint, which must reflect observed service time.
+        if (ok)
+            metrics_.histogram("job.exec_us")
+                .record(usSince(t_start, Clock::now()));
+        metrics_.histogram("job.total_us")
+            .record(usSince(state->enqueued, Clock::now()));
+        {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            state->done = true;
+            state->ok = ok;
+            state->payload = std::move(payload);
+        }
+        state->cv.notify_all();
+    };
+
+    if (!pool_->trySubmit(std::move(job))) {
+        metrics_.counter("server.jobs_rejected_busy").add();
+        std::string busy =
+            "{\"status\": \"busy\", \"retry_after_ms\": "
+            + std::to_string(retryAfterMs())
+            + ", \"queue_depth\": "
+            + std::to_string(pool_->queueDepth())
+            + ", \"queue_capacity\": "
+            + std::to_string(pool_->queueCapacity()) + "}\n";
+        return writeFrame(fd, FrameType::kBusy, busy);
+    }
+    metrics_.counter("server.jobs_accepted").add();
+
+    // Wait for the worker. With a configured timeout the wait is
+    // bounded (deadline + a margin for an in-flight run); without
+    // one the job always completes because workers never die.
+    std::unique_lock<std::mutex> lock(state->mutex);
+    bool completed;
+    if (state->has_deadline) {
+        const auto wait_until = state->deadline
+            + std::chrono::milliseconds(
+                  std::max<std::uint64_t>(config_.job_timeout_ms,
+                                          1000));
+        completed = state->cv.wait_until(lock, wait_until, [&] {
+            return state->done;
+        });
+    } else {
+        state->cv.wait(lock, [&] { return state->done; });
+        completed = true;
+    }
+    if (!completed) {
+        state->abandoned.store(true, std::memory_order_release);
+        metrics_.counter("server.jobs_timeout").add();
+        return writeFrame(fd, FrameType::kError,
+                          jsonError("job timed out"));
+    }
+    const FrameType type =
+        state->ok ? FrameType::kReport : FrameType::kError;
+    return writeFrame(fd, type, state->payload);
+}
+
+void
+Server::metricsLoop()
+{
+    std::unique_lock<std::mutex> lock(metrics_cv_mutex_);
+    for (;;) {
+        metrics_cv_.wait_for(
+            lock,
+            std::chrono::milliseconds(config_.metrics_interval_ms));
+        if (stopping_.load(std::memory_order_acquire))
+            return;
+        metrics_.dumpToFile(config_.metrics_dump);
+    }
+}
+
+std::uint64_t
+Server::retryAfterMs()
+{
+    const Log2Histogram exec =
+        metrics_.histogram("job.exec_us").snapshot();
+    const double mean_ms =
+        exec.count() > 0 ? exec.mean() / 1000.0 : 50.0;
+    const double hint = mean_ms
+        * static_cast<double>(pool_ ? pool_->queueDepth() + 1 : 1);
+    return static_cast<std::uint64_t>(
+        std::clamp(hint, 10.0, 5000.0));
+}
+
+} // namespace hdrd::service

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The sharded race-analysis daemon core.
+ *
+ * Accepts TRC2 traces over a unix-domain (and optionally TCP)
+ * socket using the framing protocol in protocol.hh, validates them
+ * with the streaming trace reader (header first — a bad trace is
+ * refused before its body is buffered), and dispatches each job to
+ * a sharded WorkerPool. One analysis engine per worker, never
+ * shared; the job queue is strictly bounded and overload is
+ * answered with BUSY + a retry-after hint instead of queueing
+ * unboundedly. SIGTERM (via requestStop()) drains gracefully:
+ * in-flight and queued jobs complete and get their replies, new
+ * connections are refused, then the process exits.
+ *
+ * Reports are deterministic: a given (trace, JobOptions) pair yields
+ * a byte-identical hdrd-report-v1 JSON (modulo the optional host
+ * timing block) regardless of worker count, submission order, or
+ * which worker ran it — each job is an independent simulation with
+ * its own engine.
+ */
+
+#ifndef HDRD_SERVICE_SERVER_HH
+#define HDRD_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/simulator.hh"
+#include "service/metrics.hh"
+#include "service/worker_pool.hh"
+
+namespace hdrd::service
+{
+
+/** Daemon configuration. */
+struct ServerConfig
+{
+    /** Unix-domain socket path (required). */
+    std::string unix_path;
+
+    /** TCP listen port on 127.0.0.1 (0 = unix socket only). */
+    std::uint16_t tcp_port = 0;
+
+    /** Analysis workers (0 = hardware concurrency). */
+    std::uint32_t workers = 0;
+
+    /** Bounded job queue capacity (overflow answers BUSY). */
+    std::size_t queue_capacity = 16;
+
+    /** Concurrent connections before refusing with BUSY. */
+    std::uint32_t max_connections = 64;
+
+    /**
+     * Per-job timeout: jobs still queued past the deadline are
+     * cancelled with an error reply instead of running (0 = none).
+     */
+    std::uint64_t job_timeout_ms = 0;
+
+    /**
+     * Debug/test knob: floor each job's service time by sleeping out
+     * the remainder, making backpressure and drain tests timing-
+     * robust. 0 in production.
+     */
+    std::uint64_t min_job_ms = 0;
+
+    /** Largest accepted trace payload in bytes. */
+    std::uint64_t max_trace_bytes = 1ULL << 30;
+
+    /** Periodic metrics snapshot file ("" = disabled). */
+    std::string metrics_dump;
+    std::uint64_t metrics_interval_ms = 1000;
+
+    /** Baseline platform/cost config jobs start from. */
+    runtime::SimConfig base;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+
+    /** Stops and joins everything (stop()). */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the listeners and spawn the accept loop, workers, and
+     * metrics dumper.
+     * @return false with @p err set when a socket could not be set
+     *         up.
+     */
+    bool start(std::string &err);
+
+    /**
+     * Graceful shutdown: refuse new work, let in-flight requests
+     * finish and reply, drain the queue, join every thread, write a
+     * final metrics snapshot, remove the unix socket. Idempotent.
+     */
+    void stop();
+
+    /**
+     * Async-signal-safe stop trigger (a SIGTERM handler calls this:
+     * it only write()s to the wake pipe).
+     */
+    void requestStop();
+
+    /** Block until requestStop() (or stop()) was invoked. */
+    void waitForStopRequest();
+
+    /** The shared observability registry. */
+    Metrics &metrics() { return metrics_; }
+
+    /** Resolved worker count. */
+    std::uint32_t workers() const { return pool_->workers(); }
+
+  private:
+    void acceptLoop();
+    void connectionLoop(int fd);
+
+    /** @return false when the connection should be closed. */
+    bool handleSubmit(int fd, std::uint64_t payload_length);
+
+    void metricsLoop();
+
+    /** Suggested client retry delay from current load. */
+    std::uint64_t retryAfterMs();
+
+    /** Join connection threads that have finished. */
+    void reapConnections(bool all);
+
+    ServerConfig config_;
+    Metrics metrics_;
+    std::unique_ptr<WorkerPool> pool_;
+
+    /** One reusable analysis engine per worker, never shared. */
+    std::vector<std::unique_ptr<runtime::Simulator>> engines_;
+
+    int unix_fd_ = -1;
+    int tcp_fd_ = -1;
+    int wake_pipe_[2] = {-1, -1};
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stop_requested_{false};
+    std::mutex stop_mutex_;
+    std::condition_variable stop_cv_;
+
+    std::thread accept_thread_;
+    std::thread metrics_thread_;
+    std::mutex metrics_cv_mutex_;
+    std::condition_variable metrics_cv_;
+
+    struct Connection
+    {
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+    std::mutex conn_mutex_;
+    std::list<Connection> connections_;
+    std::atomic<std::uint32_t> active_connections_{0};
+
+    bool started_ = false;
+    bool stopped_ = false;
+};
+
+} // namespace hdrd::service
+
+#endif // HDRD_SERVICE_SERVER_HH

@@ -1,0 +1,149 @@
+#include "service/worker_pool.hh"
+
+#include <algorithm>
+
+#include "service/metrics.hh"
+
+namespace hdrd::service
+{
+
+WorkerPool::WorkerPool(const WorkerPoolConfig &config,
+                       Metrics *metrics)
+    : capacity_(std::max<std::size_t>(1, config.queue_capacity)),
+      metrics_(metrics)
+{
+    const std::uint32_t n = config.workers != 0
+        ? config.workers
+        : std::max(1u, std::thread::hardware_concurrency());
+    threads_.reserve(n);
+    for (std::uint32_t w = 0; w < n; ++w)
+        threads_.emplace_back([this, w] { workerMain(w); });
+    if (metrics_) {
+        metrics_->gauge("pool.workers").set(n);
+        metrics_->gauge("pool.queue_capacity")
+            .set(static_cast<std::int64_t>(capacity_));
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    shutdown();
+}
+
+bool
+WorkerPool::trySubmit(Job job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ || queue_.size() >= capacity_) {
+            if (metrics_)
+                metrics_->counter("pool.jobs_rejected").add();
+            return false;
+        }
+        queue_.push_back(std::move(job));
+        if (metrics_) {
+            metrics_->counter("pool.jobs_submitted").add();
+            metrics_->gauge("pool.queue_depth")
+                .set(static_cast<std::int64_t>(queue_.size()));
+        }
+    }
+    work_ready_.notify_one();
+    return true;
+}
+
+bool
+WorkerPool::submit(Job job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        space_ready_.wait(lock, [this] {
+            return stopping_ || queue_.size() < capacity_;
+        });
+        if (stopping_)
+            return false;
+        queue_.push_back(std::move(job));
+        if (metrics_) {
+            metrics_->counter("pool.jobs_submitted").add();
+            metrics_->gauge("pool.queue_depth")
+                .set(static_cast<std::int64_t>(queue_.size()));
+        }
+    }
+    work_ready_.notify_one();
+    return true;
+}
+
+void
+WorkerPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] {
+        return queue_.empty() && running_ == 0;
+    });
+}
+
+void
+WorkerPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ && threads_.empty())
+            return;
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    space_ready_.notify_all();
+    for (std::thread &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+    threads_.clear();
+}
+
+std::size_t
+WorkerPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+WorkerPool::workerMain(std::uint32_t index)
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                // stopping_ with an empty queue: run-out complete.
+                return;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+            if (metrics_) {
+                metrics_->gauge("pool.queue_depth")
+                    .set(static_cast<std::int64_t>(queue_.size()));
+                metrics_->gauge("pool.active_workers").add();
+            }
+        }
+        space_ready_.notify_one();
+
+        job(index);
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+            if (metrics_) {
+                metrics_->counter("pool.jobs_completed").add();
+                metrics_->gauge("pool.active_workers").sub();
+            }
+            if (queue_.empty() && running_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace hdrd::service

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A sharded worker pool with a bounded job queue and explicit
+ * backpressure.
+ *
+ * Workers are plain host threads draining one FIFO of closures.
+ * The queue is strictly bounded: trySubmit() refuses (returns false)
+ * when it is full instead of growing it, which is what lets
+ * hdrd_served turn overload into a BUSY reply rather than unbounded
+ * memory. submit() is the cooperative variant that blocks until
+ * space frees up (the bench uses it — a benchmark wants all its
+ * cells run, not rejected).
+ *
+ * Each job receives the index of the worker running it, so callers
+ * can keep per-worker state (hdrd_served keeps one analysis engine
+ * per worker, never shared across workers).
+ */
+
+#ifndef HDRD_SERVICE_WORKER_POOL_HH
+#define HDRD_SERVICE_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hdrd::service
+{
+
+class Metrics;
+
+/** Pool shape. */
+struct WorkerPoolConfig
+{
+    /** Worker threads (0 = hardware concurrency). */
+    std::uint32_t workers = 0;
+
+    /** Maximum queued (not yet running) jobs before backpressure. */
+    std::size_t queue_capacity = 16;
+};
+
+class WorkerPool
+{
+  public:
+    /** A unit of work; the argument is the executing worker index. */
+    using Job = std::function<void(std::uint32_t worker)>;
+
+    /**
+     * Start the workers.
+     * @param metrics optional registry; the pool maintains
+     *        pool.queue_depth / pool.active_workers gauges and
+     *        pool.jobs_{submitted,rejected,completed} counters in it.
+     */
+    explicit WorkerPool(const WorkerPoolConfig &config,
+                        Metrics *metrics = nullptr);
+
+    /** Drains and joins (shutdown()). */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Enqueue @p job unless the queue is at capacity or the pool is
+     * shutting down.
+     * @return false when refused — the caller owns the backpressure
+     *         response (hdrd_served replies BUSY).
+     */
+    bool trySubmit(Job job);
+
+    /**
+     * Enqueue @p job, blocking while the queue is full.
+     * @return false only when the pool is shutting down.
+     */
+    bool submit(Job job);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void drain();
+
+    /** Stop accepting, run out the queue, join the workers. */
+    void shutdown();
+
+    /** Jobs currently queued (informational). */
+    std::size_t queueDepth() const;
+
+    /** Worker thread count. */
+    std::uint32_t workers() const
+    {
+        return static_cast<std::uint32_t>(threads_.size());
+    }
+
+    /** Queue capacity in force. */
+    std::size_t queueCapacity() const { return capacity_; }
+
+  private:
+    void workerMain(std::uint32_t index);
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_ready_;   ///< queue became non-empty
+    std::condition_variable space_ready_;  ///< queue lost an element
+    std::condition_variable idle_;         ///< drained and quiescent
+    std::deque<Job> queue_;
+    std::size_t capacity_;
+    std::uint32_t running_ = 0;  ///< jobs currently executing
+    bool stopping_ = false;
+    std::vector<std::thread> threads_;
+    Metrics *metrics_;
+};
+
+} // namespace hdrd::service
+
+#endif // HDRD_SERVICE_WORKER_POOL_HH

@@ -1,6 +1,8 @@
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <utility>
 
 #include "common/logging.hh"
@@ -75,6 +77,137 @@ TraceData::threadOps(ThreadId tid) const
     return per_thread_[tid];
 }
 
+TraceReader::TraceReader(ByteSource &source,
+                         std::uint64_t total_bytes)
+    : source_(source), total_bytes_(total_bytes)
+{
+}
+
+bool
+TraceReader::readExact(char *dst, std::size_t n)
+{
+    std::size_t have = 0;
+    while (have < n) {
+        const std::size_t got = source_.read(dst + have, n - have);
+        if (got == 0)
+            return false;
+        have += got;
+    }
+    return true;
+}
+
+bool
+TraceReader::readHeader()
+{
+    if (header_ok_ || !error_.empty())
+        return header_ok_;
+    if (total_bytes_ < sizeof(TraceHeaderV1)) {
+        error_ = "truncated header ("
+            + std::to_string(total_bytes_) + " bytes, need "
+            + std::to_string(sizeof(TraceHeaderV1)) + ")";
+        return false;
+    }
+
+    // Both header versions share the v1 prefix; the magic decides
+    // whether the v2 metadata tail follows.
+    TraceHeader header;
+    if (!readExact(reinterpret_cast<char *>(&header),
+                   sizeof(TraceHeaderV1))) {
+        error_ = "truncated header";
+        return false;
+    }
+    std::uint64_t header_size = sizeof(TraceHeaderV1);
+    if (header.magic == kMagic) {
+        header_size = sizeof(TraceHeader);
+        if (total_bytes_ < header_size) {
+            error_ = "truncated v2 header ("
+                + std::to_string(total_bytes_) + " bytes, need "
+                + std::to_string(header_size) + ")";
+            return false;
+        }
+        if (!readExact(header.fault_spec.data(),
+                       header.fault_spec.size())) {
+            error_ = "truncated v2 header";
+            return false;
+        }
+    } else if (header.magic != kMagicV1) {
+        error_ = "bad magic (not an hdrd trace?)";
+        return false;
+    }
+    if (header.nthreads == 0 || header.nthreads > 4096) {
+        error_ = "implausible thread count "
+            + std::to_string(header.nthreads);
+        return false;
+    }
+
+    const std::uint64_t payload = total_bytes_ - header_size;
+    const std::uint64_t expected =
+        header.record_count * sizeof(TraceRecord);
+    if (header.record_count > payload / sizeof(TraceRecord)) {
+        error_ = "truncated: header claims "
+            + std::to_string(header.record_count)
+            + " records but the file only holds "
+            + std::to_string(payload / sizeof(TraceRecord));
+        return false;
+    }
+    if (payload != expected) {
+        error_ = std::to_string(payload - expected)
+            + " bytes of trailing garbage after "
+            + std::to_string(header.record_count) + " records";
+        return false;
+    }
+
+    name_.assign(header.name.data(),
+                 strnlen(header.name.data(), header.name.size()));
+    if (header.magic == kMagic) {
+        fault_spec_.assign(
+            header.fault_spec.data(),
+            strnlen(header.fault_spec.data(),
+                    header.fault_spec.size()));
+        if (fault_spec_.empty())
+            fault_spec_ = "none";
+    }
+    nthreads_ = header.nthreads;
+    record_count_ = header.record_count;
+    header_ok_ = true;
+    return true;
+}
+
+std::size_t
+TraceReader::next(TraceRecord *out, std::size_t max)
+{
+    if (!header_ok_ || !error_.empty() || consumed_ == record_count_)
+        return 0;
+    const std::uint64_t left = record_count_ - consumed_;
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max, left));
+    std::size_t produced = 0;
+    for (; produced < want; ++produced) {
+        TraceRecord &record = out[produced];
+        if (!readExact(reinterpret_cast<char *>(&record),
+                       sizeof(record))) {
+            error_ = "truncated at record "
+                + std::to_string(consumed_) + " of "
+                + std::to_string(record_count_);
+            return 0;
+        }
+        if (record.tid >= nthreads_) {
+            error_ = "record " + std::to_string(consumed_)
+                + " names unknown thread "
+                + std::to_string(record.tid);
+            return 0;
+        }
+        if (record.type > kMaxOpType) {
+            error_ = "record " + std::to_string(consumed_)
+                + " has invalid op type "
+                + std::to_string(record.type);
+            return 0;
+        }
+        ++consumed_;
+    }
+    return produced;
+}
+
 TraceData
 TraceData::load(const std::string &path)
 {
@@ -90,102 +223,40 @@ TraceData::load(const std::string &path)
     in.seekg(0, std::ios::end);
     const auto file_size = static_cast<std::uint64_t>(in.tellg());
     in.seekg(0, std::ios::beg);
-    if (file_size < sizeof(TraceHeaderV1)) {
-        data.error_ = "truncated header ("
-            + std::to_string(file_size) + " bytes, need "
-            + std::to_string(sizeof(TraceHeaderV1)) + ")";
-        return data;
-    }
 
-    // Both header versions share the v1 prefix; the magic decides
-    // whether the v2 metadata tail follows.
-    TraceHeader header;
-    in.read(reinterpret_cast<char *>(&header),
-            sizeof(TraceHeaderV1));
-    if (!in) {
-        data.error_ = "truncated header";
+    IstreamSource source(in);
+    TraceReader reader(source, file_size);
+    if (!reader.readHeader()) {
+        data.error_ = reader.error();
         return data;
     }
-    std::uint64_t header_size = sizeof(TraceHeaderV1);
-    if (header.magic == kMagic) {
-        header_size = sizeof(TraceHeader);
-        if (file_size < header_size) {
-            data.error_ = "truncated v2 header ("
-                + std::to_string(file_size) + " bytes, need "
-                + std::to_string(header_size) + ")";
-            return data;
-        }
-        in.read(header.fault_spec.data(), header.fault_spec.size());
-        if (!in) {
-            data.error_ = "truncated v2 header";
-            return data;
-        }
-    } else if (header.magic != kMagicV1) {
-        data.error_ = "bad magic (not an hdrd trace?)";
-        return data;
-    }
-    if (header.nthreads == 0 || header.nthreads > 4096) {
-        data.error_ = "implausible thread count "
-            + std::to_string(header.nthreads);
-        return data;
-    }
+    return fromReader(reader);
+}
 
-    const std::uint64_t payload = file_size - header_size;
-    const std::uint64_t expected =
-        header.record_count * sizeof(TraceRecord);
-    if (header.record_count > payload / sizeof(TraceRecord)) {
-        data.error_ = "truncated: header claims "
-            + std::to_string(header.record_count)
-            + " records but the file only holds "
-            + std::to_string(payload / sizeof(TraceRecord));
-        return data;
-    }
-    if (payload != expected) {
-        data.error_ = std::to_string(payload - expected)
-            + " bytes of trailing garbage after "
-            + std::to_string(header.record_count) + " records";
-        return data;
-    }
+TraceData
+TraceData::fromReader(TraceReader &reader)
+{
+    TraceData data;
+    hdrdAssert(reader.error().empty() && reader.nthreads() > 0,
+               "fromReader needs a successfully parsed header");
+    data.name_ = reader.name();
+    data.fault_spec_ = reader.faultSpec();
+    data.per_thread_.resize(reader.nthreads());
 
-    data.name_.assign(header.name.data(),
-                      strnlen(header.name.data(),
-                              header.name.size()));
-    if (header.magic == kMagic) {
-        data.fault_spec_.assign(
-            header.fault_spec.data(),
-            strnlen(header.fault_spec.data(),
-                    header.fault_spec.size()));
-        if (data.fault_spec_.empty())
-            data.fault_spec_ = "none";
+    TraceRecord batch[4096];
+    for (;;) {
+        const std::size_t n = reader.next(batch, std::size(batch));
+        if (n == 0)
+            break;
+        for (std::size_t i = 0; i < n; ++i)
+            data.per_thread_[batch[i].tid].push_back(
+                batch[i].toOp());
+        data.total_ += n;
     }
-    data.per_thread_.resize(header.nthreads);
-
-    for (std::uint64_t i = 0; i < header.record_count; ++i) {
-        TraceRecord record;
-        in.read(reinterpret_cast<char *>(&record), sizeof(record));
-        if (!in) {
-            data.error_ = "truncated at record "
-                + std::to_string(i) + " of "
-                + std::to_string(header.record_count);
-            data.per_thread_.clear();
-            return data;
-        }
-        if (record.tid >= header.nthreads) {
-            data.error_ = "record " + std::to_string(i)
-                + " names unknown thread "
-                + std::to_string(record.tid);
-            data.per_thread_.clear();
-            return data;
-        }
-        if (record.type > kMaxOpType) {
-            data.error_ = "record " + std::to_string(i)
-                + " has invalid op type "
-                + std::to_string(record.type);
-            data.per_thread_.clear();
-            return data;
-        }
-        data.per_thread_[record.tid].push_back(record.toOp());
-        ++data.total_;
+    if (!reader.done()) {
+        data.error_ = reader.error();
+        data.per_thread_.clear();
+        data.total_ = 0;
     }
     return data;
 }

@@ -3,8 +3,11 @@
  * Trace writing and reading.
  *
  * TraceWriter streams records to a file (header patched on
- * finalize); TraceData loads and validates a whole trace into
- * memory, partitioned per thread for replay.
+ * finalize); TraceReader incrementally parses and validates a trace
+ * from any byte source (header first, then record batches), so
+ * consumers can reject a bad trace before buffering its body;
+ * TraceData loads and validates a whole trace into memory,
+ * partitioned per thread for replay.
  */
 
 #ifndef HDRD_TRACE_TRACE_IO_HH
@@ -12,6 +15,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
 #include <string>
 #include <vector>
 
@@ -68,6 +72,113 @@ class TraceWriter
 };
 
 /**
+ * Abstract pull-based byte source for streaming trace parsing.
+ *
+ * The reader never seeks, so a source can wrap a plain file, an
+ * in-memory buffer, or a socket carrying a length-prefixed trace
+ * payload.
+ */
+class ByteSource
+{
+  public:
+    virtual ~ByteSource() = default;
+
+    /**
+     * Read up to @p n bytes into @p dst.
+     * @return bytes actually read; 0 means end-of-stream or a read
+     *         error (the reader treats both as truncation).
+     */
+    virtual std::size_t read(char *dst, std::size_t n) = 0;
+};
+
+/** ByteSource over a std::istream (files, string streams). */
+class IstreamSource : public ByteSource
+{
+  public:
+    explicit IstreamSource(std::istream &in) : in_(in) {}
+
+    std::size_t read(char *dst, std::size_t n) override
+    {
+        in_.read(dst, static_cast<std::streamsize>(n));
+        return static_cast<std::size_t>(in_.gcount());
+    }
+
+  private:
+    std::istream &in_;
+};
+
+/**
+ * Incremental, validating trace parser.
+ *
+ * Usage: construct over a ByteSource whose total trace size is known
+ * (file size, or a framed payload length for network streams), call
+ * readHeader() — all header-level validation happens here, before a
+ * single record byte is consumed — then pull record batches with
+ * next() until done(). Any validation failure (bad magic, implausible
+ * header, mid-stream truncation, invalid record) poisons the reader
+ * with a precise error(); a poisoned reader never yields records.
+ *
+ * TraceData::load() is a thin wrapper; hdrd_served uses the reader
+ * directly so a bad trace is rejected from its header without
+ * buffering the (possibly huge) body.
+ */
+class TraceReader
+{
+  public:
+    /**
+     * @param source byte stream positioned at the first header byte
+     * @param total_bytes declared total size of the trace in bytes
+     */
+    TraceReader(ByteSource &source, std::uint64_t total_bytes);
+
+    /**
+     * Parse and validate the header.
+     * @return false when the header is invalid (see error()).
+     */
+    bool readHeader();
+
+    /**
+     * Read and validate up to @p max records into @p out.
+     * @return records produced; 0 when the stream is exhausted or
+     *         the reader is poisoned (check error()/done()).
+     */
+    std::size_t next(TraceRecord *out, std::size_t max);
+
+    /** True when every declared record was consumed successfully. */
+    bool done() const
+    {
+        return header_ok_ && error_.empty()
+            && consumed_ == record_count_;
+    }
+
+    /** Why parsing failed (empty while healthy). */
+    const std::string &error() const { return error_; }
+
+    /** Records successfully consumed so far. */
+    std::uint64_t consumed() const { return consumed_; }
+
+    /** Header fields (valid after a successful readHeader()). */
+    const std::string &name() const { return name_; }
+    const std::string &faultSpec() const { return fault_spec_; }
+    std::uint32_t nthreads() const { return nthreads_; }
+    std::uint64_t recordCount() const { return record_count_; }
+
+  private:
+    /** Read exactly @p n bytes; false on short read. */
+    bool readExact(char *dst, std::size_t n);
+
+    ByteSource &source_;
+    std::uint64_t total_bytes_;
+    std::string error_;
+    std::string name_;
+    std::string fault_spec_ = "none";
+    std::uint32_t nthreads_ = 0;
+    std::uint64_t record_count_ = 0;
+    std::uint64_t consumed_ = 0;
+    bool header_ok_ = false;
+};
+
+/**
  * A fully loaded, validated trace.
  */
 class TraceData
@@ -89,6 +200,14 @@ class TraceData
     static TraceData fromOps(
         std::string name,
         std::vector<std::vector<runtime::Op>> per_thread);
+
+    /**
+     * Drain @p reader (whose readHeader() must already have
+     * succeeded) into a loaded trace. On any mid-stream failure the
+     * result is empty with the reader's error — never a partial
+     * trace.
+     */
+    static TraceData fromReader(TraceReader &reader);
 
     /** Write this trace to @p path. @return false on I/O failure. */
     bool save(const std::string &path) const;

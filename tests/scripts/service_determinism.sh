@@ -1,0 +1,58 @@
+#!/bin/sh
+# Determinism across shard counts and submission orders: the same
+# three traces submitted to a 1-worker daemon, a 16-worker daemon,
+# and in different orders must produce byte-identical aggregate
+# reports, each matching the one-shot CLI golden.
+#
+# usage: service_determinism.sh HDRD_SIM HDRD_SERVED HDRD_CLIENT
+set -e
+SIM=$1
+SERVED=$2
+CLIENT=$3
+
+rm -rf svc_det svc_det.sock
+mkdir -p svc_det
+for w in ping_pong racy_counter locked_counter; do
+    "$SIM" --workload=micro.$w --scale=0.05 \
+           --record=svc_det/$w.trc > /dev/null
+    "$SIM" --replay=svc_det/$w.trc \
+           --report-json=svc_det/$w.golden.json > /dev/null
+done
+
+serve() {
+    "$SERVED" --socket=svc_det.sock --workers="$1" --queue=32 &
+    pid=$!
+    i=0
+    while [ ! -S svc_det.sock ]; do
+        i=$((i + 1))
+        [ "$i" -le 100 ]
+        sleep 0.1
+    done
+}
+
+# 1 worker, natural order.
+serve 1
+"$CLIENT" --socket=svc_det.sock --omit-timing --out=svc_det/agg_a.json \
+    svc_det/ping_pong.trc svc_det/racy_counter.trc \
+    svc_det/locked_counter.trc
+# Same server, reversed order.
+"$CLIENT" --socket=svc_det.sock --omit-timing --out=svc_det/agg_b.json \
+    svc_det/locked_counter.trc svc_det/racy_counter.trc \
+    svc_det/ping_pong.trc
+kill -TERM "$pid"
+wait "$pid"
+
+# 16 workers, concurrent submission, shuffled order.
+serve 16
+"$CLIENT" --socket=svc_det.sock --omit-timing --out=svc_det/agg_c.json \
+    --out-dir=svc_det \
+    svc_det/racy_counter.trc svc_det/locked_counter.trc \
+    svc_det/ping_pong.trc
+kill -TERM "$pid"
+wait "$pid"
+
+cmp svc_det/agg_a.json svc_det/agg_b.json
+cmp svc_det/agg_a.json svc_det/agg_c.json
+for w in ping_pong racy_counter locked_counter; do
+    cmp svc_det/$w.golden.json svc_det/$w.trc.report.json
+done

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Graceful drain: SIGTERM while a job is in flight must let the job
+# finish and deliver its REPORT, then exit 0 and unlink the socket.
+#
+# usage: service_drain.sh HDRD_SIM HDRD_SERVED HDRD_CLIENT
+set -e
+SIM=$1
+SERVED=$2
+CLIENT=$3
+
+rm -rf svc_dr svc_dr.sock
+mkdir -p svc_dr
+"$SIM" --workload=micro.ping_pong --scale=0.05 \
+       --record=svc_dr/ping.trc > /dev/null
+
+"$SERVED" --socket=svc_dr.sock --workers=1 --min-job-ms=600 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+i=0
+while [ ! -S svc_dr.sock ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ]
+    sleep 0.1
+done
+
+"$CLIENT" --socket=svc_dr.sock --omit-timing --summary \
+          svc_dr/ping.trc > svc_dr/client.txt &
+cpid=$!
+# Let the submit land (the job then sleeps out its 600 ms floor).
+sleep 0.3
+kill -TERM "$pid"
+
+wait "$cpid"
+grep -q 'ok=1 busy=0 error=0' svc_dr/client.txt
+wait "$pid"
+[ ! -S svc_dr.sock ]

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Round-trip smoke: record a trace, serve it through hdrd_served, and
+# require the daemon's report to be byte-identical to the one-shot
+# `hdrd_sim --replay --report-json` golden. Also checks PING, STATS,
+# and the graceful SIGTERM exit (socket unlinked, status 0).
+#
+# usage: service_round_trip.sh HDRD_SIM HDRD_SERVED HDRD_CLIENT
+set -e
+SIM=$1
+SERVED=$2
+CLIENT=$3
+
+rm -rf svc_rt svc_rt.sock
+mkdir -p svc_rt
+"$SIM" --workload=micro.ping_pong --scale=0.05 \
+       --record=svc_rt/ping.trc > /dev/null
+"$SIM" --replay=svc_rt/ping.trc \
+       --report-json=svc_rt/golden.json > /dev/null
+
+"$SERVED" --socket=svc_rt.sock --workers=2 \
+          --metrics-dump=svc_rt/metrics.json &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+i=0
+while [ ! -S svc_rt.sock ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ]
+    sleep 0.1
+done
+
+"$CLIENT" --socket=svc_rt.sock --ping | grep -q '"status": "ok"'
+"$CLIENT" --socket=svc_rt.sock --omit-timing --out-dir=svc_rt \
+          --summary svc_rt/ping.trc | grep -q 'ok=1 busy=0 error=0'
+cmp svc_rt/golden.json svc_rt/ping.trc.report.json
+"$CLIENT" --socket=svc_rt.sock --stats \
+    | grep -q '"schema": "hdrd-metrics-v1"'
+
+kill -TERM "$pid"
+wait "$pid"
+[ ! -S svc_rt.sock ]
+[ -f svc_rt/metrics.json ]
+grep -q '"server.jobs_completed": 1' svc_rt/metrics.json

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the shared CLI numeric parsing, especially the
+ * binary size suffixes (k/m/g) and their failure modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+
+using namespace hdrd;
+
+TEST(CliParse, PlainIntegers)
+{
+    EXPECT_EQ(cli::parseU64("n", "0"), 0u);
+    EXPECT_EQ(cli::parseU64("n", "12345"), 12345u);
+    EXPECT_EQ(cli::parseU64("n", "18446744073709551615"),
+              UINT64_MAX);
+    EXPECT_EQ(cli::parseU32("n", "4294967295"), UINT32_MAX);
+}
+
+TEST(CliParse, BinarySizeSuffixes)
+{
+    EXPECT_EQ(cli::parseU64("n", "1k"), 1024u);
+    EXPECT_EQ(cli::parseU64("n", "1K"), 1024u);
+    EXPECT_EQ(cli::parseU64("n", "4k"), 4096u);
+    EXPECT_EQ(cli::parseU64("n", "1m"), 1048576u);
+    EXPECT_EQ(cli::parseU64("n", "2M"), 2097152u);
+    EXPECT_EQ(cli::parseU64("n", "1g"), 1073741824u);
+    EXPECT_EQ(cli::parseU64("n", "3G"), 3221225472u);
+    EXPECT_EQ(cli::parseU64("n", "0k"), 0u);
+}
+
+TEST(CliParse, SuffixedValueStillRangeChecked)
+{
+    // 2k = 2048 inside [0, 4096].
+    EXPECT_EQ(cli::parseU64("n", "2k", 0, 4096), 2048u);
+}
+
+TEST(CliParseDeath, RejectsUnknownSuffix)
+{
+    EXPECT_EXIT(cli::parseU64("sav", "5x"),
+                ::testing::ExitedWithCode(1),
+                "--sav: expected an unsigned integer \\(optionally "
+                "suffixed k/m/g\\), got '5x'");
+    EXPECT_EXIT(cli::parseU64("sav", "10kb"),
+                ::testing::ExitedWithCode(1), "suffixed k/m/g");
+    EXPECT_EXIT(cli::parseU64("sav", "1kk"),
+                ::testing::ExitedWithCode(1), "suffixed k/m/g");
+    EXPECT_EXIT(cli::parseU64("sav", "1 k"),
+                ::testing::ExitedWithCode(1), "suffixed k/m/g");
+}
+
+TEST(CliParseDeath, RejectsSuffixMultiplicationOverflow)
+{
+    // UINT64_MAX parses, but *1024 overflows 64 bits.
+    EXPECT_EXIT(cli::parseU64("max-trace", "18446744073709551615k"),
+                ::testing::ExitedWithCode(1),
+                "--max-trace: value '18446744073709551615k' "
+                "overflows 64 bits");
+    EXPECT_EXIT(cli::parseU64("max-trace", "17179869184g"),
+                ::testing::ExitedWithCode(1), "overflows 64 bits");
+}
+
+TEST(CliParseDeath, RejectsSuffixedValueOutOfRange)
+{
+    // 8k = 8192 exceeds hi=4096; the multiplied value is checked.
+    EXPECT_EXIT(cli::parseU64("queue", "8k", 0, 4096),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(CliParseDeath, RejectsGarbageAndNegatives)
+{
+    EXPECT_EXIT(cli::parseU64("n", ""),
+                ::testing::ExitedWithCode(1), "expected an unsigned");
+    EXPECT_EXIT(cli::parseU64("n", "k"),
+                ::testing::ExitedWithCode(1), "expected an unsigned");
+    EXPECT_EXIT(cli::parseU64("n", "-5"),
+                ::testing::ExitedWithCode(1), "expected an unsigned");
+    EXPECT_EXIT(cli::parseU64("n", "banana"),
+                ::testing::ExitedWithCode(1), "expected an unsigned");
+}

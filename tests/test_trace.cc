@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "instr/cost_model.hh"
 #include "runtime/simulator.hh"
@@ -412,6 +414,150 @@ TEST(TraceIo, SaveToUnwritablePathFails)
     per_thread[0] = {Op::work(1)};
     const TraceData built = TraceData::fromOps("x", per_thread);
     EXPECT_FALSE(built.save("/nonexistent/dir/x.trc"));
+}
+
+// ---------------------------------------------------------------------
+// Streaming reader: the chunked TraceReader API used by hdrd_served
+// must validate the header before touching record bytes, hand back
+// records in arbitrary batch sizes, and poison itself (never yield a
+// partial trace) when the stream dies mid-record.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * ByteSource that serves a prefix of an in-memory trace image and
+ * then reports end-of-stream — a socket whose peer died mid-transfer,
+ * while the framing still claims the full length.
+ */
+class CutSource : public trace::ByteSource
+{
+  public:
+    CutSource(const std::string &bytes, std::size_t cut)
+        : bytes_(bytes), cut_(cut)
+    {
+    }
+
+    std::size_t read(char *dst, std::size_t n) override
+    {
+        const std::size_t avail = cut_ - pos_;
+        n = std::min(n, avail);
+        std::memcpy(dst, bytes_.data() + pos_, n);
+        pos_ += n;
+        return n;
+    }
+
+  private:
+    const std::string &bytes_;
+    std::size_t cut_;
+    std::size_t pos_ = 0;
+};
+
+/** Read a whole file into a string. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open());
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(TraceReader, ChunkedBatchesMatchWholeLoad)
+{
+    const auto path = goldenTrace("chunked");
+    const std::string image = slurp(path);
+
+    CutSource source(image, image.size());
+    TraceReader reader(source, image.size());
+    ASSERT_TRUE(reader.readHeader()) << reader.error();
+    EXPECT_EQ(reader.name(), "golden");
+    EXPECT_EQ(reader.nthreads(), 2u);
+    EXPECT_EQ(reader.recordCount(), 3u);
+
+    // Pull one record at a time: 3 batches, then exhaustion.
+    TraceRecord record;
+    std::size_t batches = 0;
+    while (reader.next(&record, 1) == 1)
+        ++batches;
+    EXPECT_EQ(batches, 3u);
+    EXPECT_TRUE(reader.done()) << reader.error();
+    EXPECT_EQ(reader.consumed(), 3u);
+
+    // And the wrapper agrees with the one-shot loader.
+    CutSource source2(image, image.size());
+    TraceReader reader2(source2, image.size());
+    ASSERT_TRUE(reader2.readHeader());
+    const TraceData streamed = TraceData::fromReader(reader2);
+    const TraceData whole = TraceData::load(path);
+    ASSERT_TRUE(streamed.ok()) << streamed.error();
+    ASSERT_TRUE(whole.ok());
+    EXPECT_EQ(streamed.totalOps(), whole.totalOps());
+    EXPECT_EQ(streamed.threadOps(0).size(),
+              whole.threadOps(0).size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceReader, HeaderValidatedBeforeRecords)
+{
+    // A bad magic must be caught by readHeader() with zero record
+    // bytes consumed — the demand the daemon makes of the reader.
+    std::string image(sizeof(trace::TraceHeader) + 32, '\0');
+    std::memcpy(image.data(), "NOTATRCE", 8);
+    CutSource source(image, image.size());
+    TraceReader reader(source, image.size());
+    EXPECT_FALSE(reader.readHeader());
+    EXPECT_NE(reader.error().find("magic"), std::string::npos);
+    TraceRecord record;
+    EXPECT_EQ(reader.next(&record, 1), 0u);
+    EXPECT_FALSE(reader.done());
+}
+
+TEST(TraceReader, MidStreamTruncationPoisonsWithoutPartialLoad)
+{
+    const auto path = goldenTrace("cutstream");
+    const std::string image = slurp(path);
+
+    // Cut inside the second record: the source claims the full
+    // length (framing) but delivers only a prefix.
+    const std::size_t cut = sizeof(trace::TraceHeader) + 32 + 16;
+    CutSource source(image, cut);
+    TraceReader reader(source, image.size());
+    ASSERT_TRUE(reader.readHeader()) << reader.error();
+
+    TraceRecord batch[8];
+    EXPECT_EQ(reader.next(batch, 1), 1u);  // first record is whole
+    EXPECT_EQ(reader.next(batch, 8), 0u);  // then the stream dies
+    EXPECT_FALSE(reader.done());
+    EXPECT_EQ(reader.error(), "truncated at record 1 of 3");
+
+    // fromReader never yields a partial trace.
+    CutSource source2(image, cut);
+    TraceReader reader2(source2, image.size());
+    ASSERT_TRUE(reader2.readHeader());
+    const TraceData data = TraceData::fromReader(reader2);
+    EXPECT_FALSE(data.ok());
+    EXPECT_EQ(data.error(), "truncated at record 1 of 3");
+    EXPECT_EQ(data.totalOps(), 0u);
+    EXPECT_EQ(data.nthreads(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceReader, TruncatedHeaderStreamRejected)
+{
+    const auto path = goldenTrace("cuthdr");
+    const std::string image = slurp(path);
+    CutSource source(image, 40);  // less than one header
+    TraceReader reader(source, image.size());
+    EXPECT_FALSE(reader.readHeader());
+    EXPECT_NE(reader.error().find("truncated header"),
+              std::string::npos)
+        << reader.error();
+    std::remove(path.c_str());
 }
 
 TEST(TraceReplay, RecordedRunReplaysIdentically)

@@ -14,7 +14,6 @@
  *   hdrd_bench --workers=8 --repeat=3   # quieter timing on a busy host
  */
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +29,8 @@
 #include "instr/cost_model.hh"
 #include "pmu/faults.hh"
 #include "runtime/simulator.hh"
+#include "service/metrics.hh"
+#include "service/worker_pool.hh"
 #include "workloads/registry.hh"
 
 using namespace hdrd;
@@ -50,6 +51,7 @@ struct Options
     std::string suite;
     std::string modes = "native,continuous,demand-hitm";
     std::string out = "BENCH_engine.json";
+    std::string metrics_dump;
     double baseline_ops = 0.0;
 
     /** Degraded-signal sweep: resolved --faults= spec. */
@@ -79,7 +81,10 @@ usage()
         "                   (name, file, or key=value list); cells\n"
         "                   stay deterministic, so --check still "
         "gates\n"
-        "  --out=FILE       JSON output (default BENCH_engine.json)");
+        "  --out=FILE       JSON output (default BENCH_engine.json)\n"
+        "  --metrics-dump=FILE  write the pool's hdrd-metrics-v1\n"
+        "                   snapshot (same schema hdrd_served "
+        "serves)");
 }
 
 bool
@@ -131,6 +136,8 @@ parse(int argc, char **argv)
                 fatal("--faults: ", err);
         } else if (eat(arg, "--out=", value)) {
             opt.out = value;
+        } else if (eat(arg, "--metrics-dump=", value)) {
+            opt.metrics_dump = value;
         } else {
             usage();
             fatal("unknown option '", arg, "'");
@@ -279,23 +286,31 @@ main(int argc, char **argv)
     nworkers = std::min<std::uint32_t>(
         nworkers, static_cast<std::uint32_t>(cells.size()));
 
+    // Fan the cells across the shared service::WorkerPool. Capacity
+    // covers the whole sweep, so the blocking submit never rejects;
+    // each job writes only its own cell, keeping results identical
+    // for any worker count.
+    service::Metrics metrics;
     const auto sweep_t0 = std::chrono::steady_clock::now();
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= cells.size())
-                return;
-            runCell(cells[i], opt);
+    {
+        service::WorkerPoolConfig pool_config;
+        pool_config.workers = nworkers;
+        pool_config.queue_capacity = cells.size();
+        service::WorkerPool pool(pool_config, &metrics);
+        auto &cell_us = metrics.histogram("bench.cell_us");
+        for (Cell &cell : cells) {
+            pool.submit([&cell, &cell_us, &opt](std::uint32_t) {
+                const auto t0 = std::chrono::steady_clock::now();
+                runCell(cell, opt);
+                const auto t1 = std::chrono::steady_clock::now();
+                cell_us.record(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(t1 - t0)
+                        .count()));
+            });
         }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(nworkers);
-    for (std::uint32_t w = 0; w < nworkers; ++w)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+        pool.drain();
+    }
     const auto sweep_t1 = std::chrono::steady_clock::now();
 
     // Report (cell order, deterministic modulo the timings).
@@ -327,6 +342,10 @@ main(int argc, char **argv)
     if (!out)
         fatal("cannot open ", opt.out, " for writing");
     benchjson::writeBenchJson(out, meta, results);
+
+    if (!opt.metrics_dump.empty()
+        && !metrics.dumpToFile(opt.metrics_dump))
+        fatal("cannot write metrics to ", opt.metrics_dump);
 
     if (opt.faults.any())
         std::printf("\nfault profile: %s\n",

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * hdrd_client — submits recorded traces to hdrd_served.
+ *
+ *   hdrd_client --socket=hdrd.sock trace1.trc trace2.trc
+ *   hdrd_client --socket=hdrd.sock --stats
+ *   hdrd_client --socket=hdrd.sock --omit-timing --out=agg.json *.trc
+ *   hdrd_client --socket=hdrd.sock --parallel=8 --summary big.trc
+ *
+ * The aggregate --out file lists per-trace reports sorted by file
+ * basename, so it is byte-identical for any submission order and any
+ * server worker count (pair it with --omit-timing).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "service/client.hh"
+
+using namespace hdrd;
+
+namespace
+{
+
+struct Options
+{
+    std::string socket_path;
+    std::uint16_t tcp_port = 0;
+    std::vector<std::string> traces;
+    std::string out;      ///< aggregate JSON file
+    std::string out_dir;  ///< per-trace report files
+    bool stats = false;
+    bool ping = false;
+    bool omit_timing = false;
+    bool summary = false;
+    std::uint32_t parallel = 1;
+    std::uint32_t repeat = 1;
+    std::uint32_t retries = 0;
+
+    service::JobOptions job;
+};
+
+void
+usage()
+{
+    std::puts(
+        "hdrd_client — submit traces to hdrd_served\n"
+        "\n"
+        "  --socket=PATH     daemon unix socket\n"
+        "  --tcp=PORT        connect to 127.0.0.1:PORT instead\n"
+        "  --stats           request the metrics snapshot and print "
+        "it\n"
+        "  --ping            liveness probe\n"
+        "  --out=FILE        aggregate JSON (reports sorted by trace\n"
+        "                    basename: order/worker independent)\n"
+        "  --out-dir=DIR     also write DIR/<basename>.report.json "
+        "per trace\n"
+        "  --omit-timing     ask the server to omit host timing "
+        "(determinism)\n"
+        "  --parallel=N      N concurrent connections (stress/"
+        "backpressure)\n"
+        "  --repeat=M        submit the trace list M times per "
+        "connection\n"
+        "  --retry=N         retry BUSY replies up to N times, "
+        "honouring\n"
+        "                    the server's retry_after_ms hint\n"
+        "  --summary         print 'ok=A busy=B error=C' totals\n"
+        "\n"
+        "Analysis config forwarded with each job:\n"
+        "  --mode=M          native|continuous|demand (default "
+        "demand)\n"
+        "  --detector=D      fasttrack|naive|lockset\n"
+        "  --seed=N --granule=N --cores=N --sav=N\n"
+        "  --faults=SPEC     override the trace's recorded fault "
+        "spec\n"
+        "  --no-trace-faults ignore the trace's recorded fault spec\n"
+        "\n"
+        "Exit: 0 all ok, 2 any BUSY left after retries, 1 any "
+        "error.");
+}
+
+bool
+eat(const char *arg, const char *key, std::string &out)
+{
+    const std::size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) != 0)
+        return false;
+    out = arg + n;
+    return true;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0) {
+            usage();
+            std::exit(0);
+        } else if (std::strcmp(arg, "--stats") == 0) {
+            opt.stats = true;
+        } else if (std::strcmp(arg, "--ping") == 0) {
+            opt.ping = true;
+        } else if (std::strcmp(arg, "--omit-timing") == 0) {
+            opt.omit_timing = true;
+        } else if (std::strcmp(arg, "--summary") == 0) {
+            opt.summary = true;
+        } else if (std::strcmp(arg, "--no-trace-faults") == 0) {
+            opt.job.flags |= service::kJobIgnoreTraceFaults;
+        } else if (eat(arg, "--socket=", value)) {
+            opt.socket_path = value;
+        } else if (eat(arg, "--tcp=", value)) {
+            opt.tcp_port = static_cast<std::uint16_t>(
+                cli::parseU32("tcp", value, 1, 65535));
+        } else if (eat(arg, "--out=", value)) {
+            opt.out = value;
+        } else if (eat(arg, "--out-dir=", value)) {
+            opt.out_dir = value;
+        } else if (eat(arg, "--parallel=", value)) {
+            opt.parallel = cli::parseU32("parallel", value, 1, 4096);
+        } else if (eat(arg, "--repeat=", value)) {
+            opt.repeat = cli::parseU32("repeat", value, 1, 1000000);
+        } else if (eat(arg, "--retry=", value)) {
+            opt.retries = cli::parseU32("retry", value, 0, 1000);
+        } else if (eat(arg, "--mode=", value)) {
+            if (value == "native")
+                opt.job.mode = 0;
+            else if (value == "continuous")
+                opt.job.mode = 1;
+            else if (value == "demand")
+                opt.job.mode = 2;
+            else
+                fatal("unknown mode '", value, "'");
+        } else if (eat(arg, "--detector=", value)) {
+            if (value == "fasttrack")
+                opt.job.detector = 0;
+            else if (value == "naive")
+                opt.job.detector = 1;
+            else if (value == "lockset")
+                opt.job.detector = 2;
+            else
+                fatal("unknown detector '", value, "'");
+        } else if (eat(arg, "--seed=", value)) {
+            opt.job.seed = cli::parseU64("seed", value);
+        } else if (eat(arg, "--granule=", value)) {
+            opt.job.granule_shift =
+                cli::parseU32("granule", value, 0, 16);
+        } else if (eat(arg, "--cores=", value)) {
+            opt.job.cores = cli::parseU32("cores", value, 1, 1024);
+        } else if (eat(arg, "--sav=", value)) {
+            opt.job.sav = cli::parseU64("sav", value, 1, UINT64_MAX);
+        } else if (eat(arg, "--faults=", value)) {
+            if (value.size() >= opt.job.fault_spec.size())
+                fatal("--faults: spec too long");
+            std::memcpy(opt.job.fault_spec.data(), value.data(),
+                        value.size());
+        } else if (arg[0] == '-') {
+            usage();
+            fatal("unknown option '", arg, "'");
+        } else {
+            opt.traces.push_back(arg);
+        }
+    }
+    if (opt.socket_path.empty() && opt.tcp_port == 0) {
+        usage();
+        fatal("need --socket=PATH or --tcp=PORT");
+    }
+    if (opt.omit_timing)
+        opt.job.flags |= service::kJobOmitHostTiming;
+    return opt;
+}
+
+std::string
+basenameOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path
+                                      : path.substr(slash + 1);
+}
+
+bool
+connectTo(const Options &opt, service::Client &client,
+          std::string &err)
+{
+    return opt.tcp_port != 0
+        ? client.connectTcp(opt.tcp_port, err)
+        : client.connectUnix(opt.socket_path, err);
+}
+
+/** One submission with BUSY retries. */
+service::Response
+submitWithRetry(const Options &opt, service::Client &client,
+                const std::string &path)
+{
+    service::Response response =
+        client.submitFile(opt.job, path);
+    for (std::uint32_t attempt = 0;
+         response.isBusy() && attempt < opt.retries; ++attempt) {
+        const std::uint64_t wait =
+            std::max<std::uint64_t>(response.retry_after_ms, 1);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(wait));
+        response = client.submitFile(opt.job, path);
+    }
+    return response;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    if (opt.stats || opt.ping) {
+        service::Client client;
+        std::string err;
+        if (!connectTo(opt, client, err))
+            fatal("hdrd_client: ", err);
+        const service::Response response =
+            opt.stats ? client.stats() : client.ping();
+        if (!response.transport_ok)
+            fatal("hdrd_client: request failed (connection lost)");
+        std::fputs(response.payload.c_str(), stdout);
+        return 0;
+    }
+    if (opt.traces.empty()) {
+        usage();
+        fatal("no traces to submit");
+    }
+
+    struct Result
+    {
+        std::string file;
+        service::Response response;
+    };
+    std::vector<Result> results(
+        static_cast<std::size_t>(opt.traces.size()) * opt.parallel
+        * opt.repeat);
+    std::atomic<std::size_t> slot{0};
+
+    auto stream = [&](std::uint32_t) {
+        service::Client client;
+        std::string err;
+        if (!connectTo(opt, client, err)) {
+            Result &r = results[slot.fetch_add(1)];
+            r.file = "(connect)";
+            r.response.payload = err;
+            return;
+        }
+        for (std::uint32_t rep = 0; rep < opt.repeat; ++rep) {
+            for (const std::string &path : opt.traces) {
+                Result &r = results[slot.fetch_add(1)];
+                r.file = path;
+                r.response = submitWithRetry(opt, client, path);
+            }
+        }
+    };
+
+    if (opt.parallel == 1) {
+        stream(0);
+    } else {
+        std::vector<std::thread> streams;
+        streams.reserve(opt.parallel);
+        for (std::uint32_t s = 0; s < opt.parallel; ++s)
+            streams.emplace_back(stream, s);
+        for (std::thread &t : streams)
+            t.join();
+    }
+    results.resize(slot.load());
+
+    std::size_t n_ok = 0, n_busy = 0, n_error = 0;
+    for (const Result &r : results) {
+        if (r.response.isReport())
+            ++n_ok;
+        else if (r.response.isBusy())
+            ++n_busy;
+        else
+            ++n_error;
+    }
+
+    // Aggregate output: reports sorted by basename, then file, so
+    // the bytes are independent of submission order and timing.
+    std::vector<const Result *> ordered;
+    for (const Result &r : results) {
+        if (r.response.isReport())
+            ordered.push_back(&r);
+    }
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Result *a, const Result *b) {
+                         const std::string ba = basenameOf(a->file);
+                         const std::string bb = basenameOf(b->file);
+                         return ba != bb ? ba < bb
+                                         : a->file < b->file;
+                     });
+
+    if (!opt.out.empty()) {
+        std::ofstream os(opt.out, std::ios::trunc);
+        if (!os)
+            fatal("cannot open ", opt.out);
+        os << "{\n\"schema\": \"hdrd-report-agg-v1\",\n\"jobs\": [";
+        const char *sep = "";
+        for (const Result *r : ordered) {
+            os << sep << "\n" << r->response.payload;
+            sep = ",";
+        }
+        os << "]\n}\n";
+    }
+    if (!opt.out_dir.empty()) {
+        for (const Result *r : ordered) {
+            const std::string path = opt.out_dir + "/"
+                + basenameOf(r->file) + ".report.json";
+            std::ofstream os(path, std::ios::trunc);
+            if (!os)
+                fatal("cannot open ", path);
+            os << r->response.payload;
+        }
+    }
+    if (opt.out.empty() && opt.out_dir.empty() && !opt.summary) {
+        for (const Result &r : results)
+            std::fputs(r.response.payload.c_str(), stdout);
+    }
+    if (opt.summary)
+        std::printf("ok=%zu busy=%zu error=%zu\n", n_ok, n_busy,
+                    n_error);
+
+    if (n_error > 0) {
+        for (const Result &r : results) {
+            if (!r.response.isReport() && !r.response.isBusy())
+                std::fprintf(stderr, "hdrd_client: %s: %s\n",
+                             r.file.c_str(),
+                             r.response.payload.empty()
+                                 ? "connection lost"
+                                 : r.response.payload.c_str());
+        }
+        return 1;
+    }
+    return n_busy > 0 ? 2 : 0;
+}

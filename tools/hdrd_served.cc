@@ -1,0 +1,143 @@
+/**
+ * @file
+ * hdrd_served — the sharded race-analysis daemon.
+ *
+ * Serves TRC2 traces submitted over a unix-domain (and optionally
+ * TCP) socket: each SUBMIT is validated streaming-first, analyzed on
+ * a bounded worker pool (one engine per worker), and answered with a
+ * deterministic hdrd-report-v1 JSON race report. Overload answers
+ * BUSY with a retry hint; SIGTERM/SIGINT drains gracefully.
+ *
+ *   hdrd_served --socket=/tmp/hdrd.sock
+ *   hdrd_served --socket=hdrd.sock --tcp=7411 --workers=16 \
+ *               --queue=64 --metrics-dump=metrics.json
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "service/server.hh"
+
+using namespace hdrd;
+
+namespace
+{
+
+service::Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server != nullptr)
+        g_server->requestStop();
+}
+
+void
+usage()
+{
+    std::puts(
+        "hdrd_served — sharded race-analysis daemon\n"
+        "\n"
+        "  --socket=PATH        unix-domain listen socket (required)\n"
+        "  --tcp=PORT           also listen on 127.0.0.1:PORT\n"
+        "  --workers=N          analysis workers (default: all "
+        "cores)\n"
+        "  --queue=K            bounded job queue capacity (default "
+        "16);\n"
+        "                       overflow answers BUSY, never queues "
+        "more\n"
+        "  --max-conns=N        concurrent connection cap (default "
+        "64)\n"
+        "  --timeout-ms=N       cancel jobs still queued after N ms\n"
+        "  --max-trace=BYTES    largest accepted trace (default 1g;\n"
+        "                       k/m/g suffixes accepted)\n"
+        "  --metrics-dump=FILE  periodic hdrd-metrics-v1 snapshot\n"
+        "  --metrics-interval-ms=N  snapshot period (default 1000)\n"
+        "  --min-job-ms=N       debug: floor per-job service time\n"
+        "\n"
+        "Per-job analysis config (mode, detector, seed, granule,\n"
+        "cores, sav, faults) arrives with each SUBMIT; see\n"
+        "docs/SERVICE.md for the wire protocol.");
+}
+
+bool
+eat(const char *arg, const char *key, std::string &out)
+{
+    const std::size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) != 0)
+        return false;
+    out = arg + n;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::ServerConfig config;
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0) {
+            usage();
+            return 0;
+        } else if (eat(arg, "--socket=", value)) {
+            config.unix_path = value;
+        } else if (eat(arg, "--tcp=", value)) {
+            config.tcp_port = static_cast<std::uint16_t>(
+                cli::parseU32("tcp", value, 1, 65535));
+        } else if (eat(arg, "--workers=", value)) {
+            config.workers = cli::parseU32("workers", value, 0, 4096);
+        } else if (eat(arg, "--queue=", value)) {
+            config.queue_capacity =
+                cli::parseU64("queue", value, 1, 1 << 20);
+        } else if (eat(arg, "--max-conns=", value)) {
+            config.max_connections =
+                cli::parseU32("max-conns", value, 1, 65536);
+        } else if (eat(arg, "--timeout-ms=", value)) {
+            config.job_timeout_ms =
+                cli::parseU64("timeout-ms", value, 1, UINT64_MAX);
+        } else if (eat(arg, "--max-trace=", value)) {
+            config.max_trace_bytes = cli::parseU64(
+                "max-trace", value, 1024, UINT64_MAX);
+        } else if (eat(arg, "--metrics-dump=", value)) {
+            config.metrics_dump = value;
+        } else if (eat(arg, "--metrics-interval-ms=", value)) {
+            config.metrics_interval_ms = cli::parseU64(
+                "metrics-interval-ms", value, 10, UINT64_MAX);
+        } else if (eat(arg, "--min-job-ms=", value)) {
+            config.min_job_ms =
+                cli::parseU64("min-job-ms", value, 0, 60000);
+        } else {
+            usage();
+            fatal("unknown option '", arg, "'");
+        }
+    }
+    if (config.unix_path.empty()) {
+        usage();
+        fatal("need --socket=PATH");
+    }
+
+    service::Server server(std::move(config));
+    g_server = &server;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::string err;
+    if (!server.start(err))
+        fatal("hdrd_served: ", err);
+    inform("hdrd_served: serving (", server.workers(),
+           " workers); SIGTERM drains");
+
+    server.waitForStopRequest();
+    inform("hdrd_served: draining");
+    server.stop();
+    inform("hdrd_served: stopped");
+    return 0;
+}

@@ -26,6 +26,7 @@
 #include "instr/cost_model.hh"
 #include "pmu/faults.hh"
 #include "runtime/simulator.hh"
+#include "service/report_json.hh"
 #include "trace/trace_program.hh"
 #include "workloads/registry.hh"
 
@@ -40,6 +41,7 @@ struct Options
     std::string replay;
     std::string record;
     std::string bench_json;
+    std::string report_json;
     instr::ToolMode mode = instr::ToolMode::kDemand;
     runtime::DetectorKind detector =
         runtime::DetectorKind::kFastTrack;
@@ -114,6 +116,10 @@ usage()
         "accesses\n"
         "  --bench-json=FILE      write a one-cell hdrd-bench-v1 "
         "timing file\n"
+        "  --report-json=FILE     write an hdrd-report-v1 race "
+        "report (the\n"
+        "                         same writer hdrd_served replies "
+        "with)\n"
         "  --track-gt             ground-truth sharing accounting\n"
         "  --verbose              print every race report\n"
         "  --stats                machine-readable stats dump");
@@ -157,6 +163,8 @@ parse(int argc, char **argv)
             opt.record = value;
         } else if (eat(arg, "--bench-json=", value)) {
             opt.bench_json = value;
+        } else if (eat(arg, "--report-json=", value)) {
+            opt.report_json = value;
         } else if (eat(arg, "--mode=", value)) {
             if (value == "native")
                 opt.mode = instr::ToolMode::kNative;
@@ -268,11 +276,13 @@ main(int argc, char **argv)
     // Build the program.
     std::unique_ptr<runtime::Program> program;
     std::string trace_fault_spec;
+    std::string trace_name;
     if (!opt.replay.empty()) {
         trace::TraceData data = trace::TraceData::load(opt.replay);
         if (!data.ok())
             fatal("trace load failed: ", data.error());
         trace_fault_spec = data.faultSpec();
+        trace_name = data.name();
         program = std::make_unique<trace::TraceProgram>(
             std::move(data));
     } else {
@@ -398,6 +408,32 @@ main(int argc, char **argv)
             fatal("cannot open bench json file ", opt.bench_json);
         benchjson::writeBenchJson(os, meta, {cell});
         std::printf("bench json   %s\n", opt.bench_json.c_str());
+    }
+
+    if (!opt.report_json.empty()) {
+        // The daemon's report writer: lets CI diff hdrd_served
+        // replies byte-for-byte against this one-shot path.
+        service::JobReport report;
+        // For a replay, report the recorded trace's name (what the
+        // daemon reports), not the ".replay"-suffixed program name.
+        report.trace =
+            trace_name.empty() ? program->name() : trace_name;
+        report.nthreads = program->numThreads();
+        report.options.mode = static_cast<std::uint32_t>(opt.mode);
+        report.options.detector =
+            static_cast<std::uint32_t>(opt.detector);
+        report.options.seed = opt.seed;
+        report.options.granule_shift = opt.granule;
+        report.options.cores = opt.cores;
+        report.options.sav = opt.sav;
+        report.fault_spec = pmu::faultSpec(config.faults);
+        report.result = &result;
+
+        std::ofstream os(opt.report_json, std::ios::trunc);
+        if (!os)
+            fatal("cannot open report json file ", opt.report_json);
+        service::writeJobReport(os, report);
+        std::printf("report json  %s\n", opt.report_json.c_str());
     }
 
     if (writer) {
