@@ -1,5 +1,6 @@
 #include "service/client.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -153,6 +154,99 @@ Response
 Client::ping()
 {
     return roundTrip(FrameType::kPing, "");
+}
+
+Response
+Client::hello()
+{
+    std::string payload(sizeof(std::uint32_t), '\0');
+    const std::uint32_t minor = kProtocolMinor;
+    std::memcpy(payload.data(), &minor, sizeof(minor));
+    return roundTrip(FrameType::kHello, payload);
+}
+
+bool
+Client::sendJob(std::uint64_t job_id, const JobOptions &options,
+                const std::string &trace_bytes)
+{
+    std::string payload;
+    payload.reserve(sizeof(job_id) + sizeof(options)
+                    + trace_bytes.size());
+    payload.append(reinterpret_cast<const char *>(&job_id),
+                   sizeof(job_id));
+    payload.append(reinterpret_cast<const char *>(&options),
+                   sizeof(options));
+    payload.append(trace_bytes);
+    return writeFrame(fd_, FrameType::kSubmitJob, payload);
+}
+
+bool
+Client::readJobResponse(std::uint64_t &job_id, Response &response)
+{
+    FrameHeader header;
+    std::string err;
+    if (!readFrameHeader(fd_, header, err))
+        return false;
+    std::string payload;
+    if (!readPayload(fd_, header.length, payload))
+        return false;
+    const auto type = static_cast<FrameType>(header.type);
+    if (!isJobKeyed(type)) {
+        // A sequential-type response mid-pipeline is a protocol
+        // violation (or an HDS1.0 server's ERROR + close).
+        response.transport_ok = true;
+        response.type = type;
+        response.payload = std::move(payload);
+        job_id = 0;
+        return false;
+    }
+    if (!splitJobPayload(payload, job_id, response.payload))
+        return false;
+    response.transport_ok = true;
+    response.type = type;
+    if (response.isBusy())
+        response.retry_after_ms = parseRetryAfter(response.payload);
+    return true;
+}
+
+std::vector<Response>
+Client::submitPipelined(const std::vector<PipelineSubmission> &jobs,
+                        std::size_t window)
+{
+    std::vector<Response> responses(jobs.size());
+    if (fd_ < 0 || jobs.empty())
+        return responses;
+    window = std::max<std::size_t>(1, window);
+
+    std::size_t next_send = 0;
+    std::size_t outstanding = 0;
+    std::size_t received = 0;
+    while (received < jobs.size()) {
+        // Fill the window, then trade one response per new frame.
+        while (next_send < jobs.size() && outstanding < window) {
+            const PipelineSubmission &job = jobs[next_send];
+            if (!sendJob(next_send, job.options,
+                         job.trace_bytes
+                             ? *job.trace_bytes
+                             : std::string())) {
+                close();
+                return responses;
+            }
+            ++next_send;
+            ++outstanding;
+        }
+        std::uint64_t job_id = 0;
+        Response response;
+        if (!readJobResponse(job_id, response)
+            || job_id >= jobs.size()) {
+            close();
+            return responses;
+        }
+        responses[job_id] = std::move(response);
+        --outstanding;
+        ++received;
+    }
+    return responses;
 }
 
 } // namespace hdrd::service

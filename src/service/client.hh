@@ -1,8 +1,10 @@
 /**
  * @file
- * Client side of the hdrd service protocol: connect, submit traces,
- * fetch stats. Used by tools/hdrd_client, the service tests, and the
- * ABL-10 throughput sweep.
+ * Client side of the hdrd service protocol: connect, submit traces
+ * (sequentially or pipelined over one kept-alive connection), fetch
+ * stats, negotiate the protocol minor version. Used by
+ * tools/hdrd_client, the service tests, and the ABL-10 throughput
+ * sweep.
  */
 
 #ifndef HDRD_SERVICE_CLIENT_HH
@@ -10,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "service/protocol.hh"
 
@@ -25,7 +28,7 @@ struct Response
     /** Response frame type (valid when transport_ok). */
     FrameType type = FrameType::kError;
 
-    /** Response payload (JSON). */
+    /** Response payload (JSON; job-id prefix already stripped). */
     std::string payload;
 
     /** Parsed retry hint from a BUSY reply (0 otherwise). */
@@ -33,19 +36,36 @@ struct Response
 
     bool isReport() const
     {
-        return transport_ok && type == FrameType::kReport;
+        return transport_ok
+            && (type == FrameType::kReport
+                || type == FrameType::kJobReport);
     }
 
     bool isBusy() const
     {
-        return transport_ok && type == FrameType::kBusy;
+        return transport_ok
+            && (type == FrameType::kBusy
+                || type == FrameType::kJobBusy);
     }
 };
 
+/** One pipelined submission (trace bytes are borrowed, not copied). */
+struct PipelineSubmission
+{
+    JobOptions options;
+    const std::string *trace_bytes = nullptr;
+};
+
 /**
- * One connection to an hdrd_served instance. Requests on a single
- * client are sequential (the protocol is request/response per
- * connection); open one Client per concurrent stream.
+ * One connection to an hdrd_served instance.
+ *
+ * Plain submit()/stats()/ping() are sequential request/response
+ * (HDS1.0). Against an HDS1.1 server the same connection can also
+ * pipeline: submitPipelined() keeps a bounded window of SUBMIT_JOB
+ * frames in flight and correlates the out-of-order responses by job
+ * id; hello() discovers whether the server speaks 1.1. The
+ * connection stays usable across calls (keep-alive) — one socket can
+ * carry any mix of sequential and pipelined batches.
  */
 class Client
 {
@@ -86,8 +106,42 @@ class Client
     /** Liveness probe (PING). */
     Response ping();
 
+    /**
+     * Protocol negotiation (HELLO). An HDS1.0 server answers with an
+     * ERROR frame and closes; the returned Response then has
+     * type == kError and the connection must be reopened.
+     */
+    Response hello();
+
+    /**
+     * Pipeline @p jobs over this connection with at most @p window
+     * SUBMIT_JOB frames outstanding, collecting out-of-order
+     * responses by job id.
+     *
+     * The window bound is what makes the exchange deadlock-free
+     * against the server's own per-connection in-flight cap: one
+     * response is consumed before each new frame past the window.
+     *
+     * @return one Response per job, in submission order. A transport
+     *         failure fails the remaining responses
+     *         (transport_ok == false) and closes the connection.
+     */
+    std::vector<Response> submitPipelined(
+        const std::vector<PipelineSubmission> &jobs,
+        std::size_t window);
+
   private:
     Response roundTrip(FrameType type, const std::string &payload);
+
+    /** Write one SUBMIT_JOB frame. */
+    bool sendJob(std::uint64_t job_id, const JobOptions &options,
+                 const std::string &trace_bytes);
+
+    /**
+     * Read one job-keyed response frame.
+     * @return false on transport/protocol failure.
+     */
+    bool readJobResponse(std::uint64_t &job_id, Response &response);
 
     int fd_ = -1;
 };

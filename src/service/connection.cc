@@ -1,0 +1,546 @@
+#include "service/connection.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/metrics.hh"
+#include "trace/trace_format.hh"
+
+namespace hdrd::service
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Largest rejected-payload remainder worth discarding to keep the
+ * connection; anything bigger closes it (same policy as HDS1.0).
+ */
+constexpr std::uint64_t kDrainCap = 16ULL << 20;
+
+/** Socket bytes pulled per readiness event. */
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/** Record-decode batch size. */
+constexpr std::size_t kBatch = 512;
+
+std::uint64_t
+usSince(Clock::time_point t0, Clock::time_point t1)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+}
+
+} // namespace
+
+std::size_t
+Connection::BufSource::read(char *dst, std::size_t n)
+{
+    const std::uint64_t trace_left =
+        conn_.trace_total_ - consumed_;
+    n = static_cast<std::size_t>(std::min<std::uint64_t>(
+        std::min<std::uint64_t>(n, trace_left),
+        conn_.rxAvailable()));
+    if (n == 0)
+        return 0;
+    std::memcpy(dst, conn_.rxData(), n);
+    conn_.rxConsume(n);
+    consumed_ += n;
+    return n;
+}
+
+Connection::Connection(int fd, std::uint64_t id,
+                       ConnectionHost &host)
+    : fd_(fd), id_(id), host_(host),
+      token_(std::make_shared<std::atomic<bool>>(true))
+{
+}
+
+Connection::~Connection()
+{
+    token_->store(false, std::memory_order_release);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Connection::rxConsume(std::size_t n)
+{
+    rx_pos_ += n;
+    if (rx_pos_ == rx_.size()) {
+        rx_.clear();
+        rx_pos_ = 0;
+    } else if (rx_pos_ >= 256 * 1024 && rx_pos_ >= rx_.size() / 2) {
+        // Compact once the dead prefix dominates the buffer.
+        rx_.erase(0, rx_pos_);
+        rx_pos_ = 0;
+    }
+}
+
+bool
+Connection::rxPaused() const
+{
+    const std::uint32_t cap =
+        std::max<std::uint32_t>(1, host_.maxPipeline());
+    // Unflushed responses count against the cap: a client that
+    // pipelines but never reads stalls its own connection instead of
+    // growing the daemon's outbound queue without bound.
+    return sequential_wait_
+        || in_flight_ + outbox_.size() >= cap;
+}
+
+std::uint32_t
+Connection::interest() const
+{
+    std::uint32_t mask = 0;
+    if (!closing_ && !rxPaused())
+        mask |= EPOLLIN;
+    if (!outbox_.empty())
+        mask |= EPOLLOUT;
+    // A zero mask is legal: EPOLLHUP/EPOLLERR still get reported, so
+    // a fully flow-paused connection cannot wedge its shard.
+    return mask;
+}
+
+bool
+Connection::onReadable()
+{
+    if (dead_)
+        return false;
+    if (closing_ || rxPaused())
+        return true;
+
+    const std::size_t old = rx_.size();
+    rx_.resize(old + kReadChunk);
+    ssize_t got;
+    do {
+        got = ::read(fd_, rx_.data() + old, kReadChunk);
+    } while (got < 0 && errno == EINTR);
+    if (got < 0) {
+        rx_.resize(old);
+        return errno == EAGAIN || errno == EWOULDBLOCK;
+    }
+    rx_.resize(old + static_cast<std::size_t>(got));
+    if (got == 0)
+        return false;  // peer closed
+    return pump();
+}
+
+bool
+Connection::onWritable()
+{
+    return flushOut();
+}
+
+bool
+Connection::deliver(bool keyed, std::uint64_t job_id, FrameType base,
+                    std::string body)
+{
+    if (in_flight_ > 0)
+        --in_flight_;
+    if (keyed) {
+        const FrameType type = base == FrameType::kReport
+            ? FrameType::kJobReport
+            : FrameType::kJobError;
+        queueFrame(type, jobPayload(job_id, body));
+    } else {
+        sequential_wait_ = false;
+        queueFrame(base, body);
+    }
+    if (dead_)
+        return false;
+    // The response may have unpaused reading; frames the client sent
+    // ahead can already be buffered.
+    return pump();
+}
+
+bool
+Connection::pump()
+{
+    for (;;) {
+        if (dead_)
+            return false;
+        if (closing_ || rxPaused())
+            return true;
+        Step step = Step::kBlocked;
+        switch (state_) {
+          case RxState::kFrameHeader:
+            step = handleFrameHeader();
+            break;
+          case RxState::kControl:
+            step = handleControl();
+            break;
+          case RxState::kJobPrefix:
+            step = handleJobPrefix();
+            break;
+          case RxState::kTrace:
+            step = handleTrace();
+            break;
+          case RxState::kDrain:
+            step = handleDrain();
+            break;
+        }
+        if (step == Step::kFatal)
+            return false;
+        if (step == Step::kBlocked)
+            return true;
+    }
+}
+
+Connection::Step
+Connection::handleFrameHeader()
+{
+    if (rxAvailable() < sizeof(FrameHeader))
+        return Step::kBlocked;
+    std::memcpy(&header_, rxData(), sizeof(header_));
+    rxConsume(sizeof(header_));
+
+    if (header_.magic != kFrameMagic) {
+        protocolError("bad frame magic");
+        return Step::kMore;
+    }
+    if (!validFrameType(header_.type)) {
+        protocolError("unknown frame type "
+                      + std::to_string(header_.type));
+        return Step::kMore;
+    }
+    if (header_.length > kMaxFrameLength) {
+        protocolError("frame length " + std::to_string(header_.length)
+                      + " exceeds protocol limit");
+        return Step::kMore;
+    }
+    host_.hostMetrics().counter("server.frames_received").add();
+
+    switch (static_cast<FrameType>(header_.type)) {
+      case FrameType::kPing:
+      case FrameType::kStats:
+      case FrameType::kHello:
+        // HELLO carries a u32 client minor version; the others are
+        // empty (any payload is tolerated and discarded).
+        control_need_ =
+            static_cast<FrameType>(header_.type) == FrameType::kHello
+            ? static_cast<std::size_t>(
+                  std::min<std::uint64_t>(header_.length, 4))
+            : 0;
+        state_ = RxState::kControl;
+        return Step::kMore;
+
+      case FrameType::kSubmit:
+      case FrameType::kSubmitJob:
+        keyed_ = static_cast<FrameType>(header_.type)
+            == FrameType::kSubmitJob;
+        job_id_valid_ = false;
+        prefix_need_ = sizeof(JobOptions)
+            + (keyed_ ? sizeof(std::uint64_t) : 0);
+        if (header_.length < prefix_need_)
+            return rejectJob("submit payload too short for job "
+                             "options",
+                             header_.length);
+        job_started_ = Clock::now();
+        state_ = RxState::kJobPrefix;
+        return Step::kMore;
+
+      default:
+        // A response frame type from a client is a protocol
+        // violation; drop the connection once the error flushes.
+        protocolError("unexpected response-type frame");
+        return Step::kMore;
+    }
+}
+
+Connection::Step
+Connection::handleControl()
+{
+    if (rxAvailable() < control_need_)
+        return Step::kBlocked;
+    const auto type = static_cast<FrameType>(header_.type);
+    if (type == FrameType::kHello && control_need_ >= 4) {
+        std::uint32_t client_minor = 0;
+        std::memcpy(&client_minor, rxData(), sizeof(client_minor));
+        // Informational: every 1.x client speaks a subset of what
+        // this server answers, so nothing to negotiate down.
+    }
+    rxConsume(control_need_);
+    const std::uint64_t leftover = header_.length - control_need_;
+
+    switch (type) {
+      case FrameType::kPing:
+        queueFrame(FrameType::kPong,
+                   std::string("{\"status\": \"ok\"}\n"));
+        break;
+      case FrameType::kStats:
+        host_.hostMetrics().counter("server.stats_requests").add();
+        queueFrame(FrameType::kStatsReply, host_.statsJson());
+        break;
+      case FrameType::kHello:
+        host_.hostMetrics().counter("server.hello_requests").add();
+        queueFrame(FrameType::kHelloReply, host_.helloJson());
+        break;
+      default:
+        break;
+    }
+    if (dead_)
+        return Step::kFatal;
+    if (leftover > kDrainCap) {
+        // Implausible control payload: answer, then hang up.
+        closing_ = true;
+        return Step::kMore;
+    }
+    drain_left_ = leftover;
+    state_ = leftover > 0 ? RxState::kDrain : RxState::kFrameHeader;
+    return Step::kMore;
+}
+
+Connection::Step
+Connection::handleJobPrefix()
+{
+    if (rxAvailable() < prefix_need_)
+        return Step::kBlocked;
+    const char *p = rxData();
+    if (keyed_) {
+        std::memcpy(&job_id_, p, sizeof(job_id_));
+        p += sizeof(job_id_);
+        job_id_valid_ = true;
+    }
+    std::memcpy(&options_, p, sizeof(options_));
+    rxConsume(prefix_need_);
+    trace_total_ = header_.length - prefix_need_;
+
+    std::string err;
+    if (!validateJobOptions(options_, err))
+        return rejectJob(err, trace_total_);
+    if (trace_total_ > host_.maxTraceBytes()) {
+        host_.hostMetrics().counter("server.jobs_invalid").add();
+        // A body past the server limit is never worth draining.
+        protocolError("trace exceeds server limit of "
+                      + std::to_string(host_.maxTraceBytes())
+                      + " bytes");
+        return Step::kMore;
+    }
+
+    source_.reset();
+    reader_.emplace(source_, trace_total_);
+    header_done_ = false;
+    building_.clear();
+    state_ = RxState::kTrace;
+    return Step::kMore;
+}
+
+Connection::Step
+Connection::handleTrace()
+{
+    Metrics &metrics = host_.hostMetrics();
+
+    if (!header_done_) {
+        // Validate the header the moment its bytes are in — a bad
+        // trace is refused before one record byte is buffered. The
+        // reader reads at most min(total, sizeof header) bytes here.
+        const std::uint64_t gate = std::min<std::uint64_t>(
+            trace_total_, sizeof(trace::TraceHeader));
+        if (rxAvailable() < gate)
+            return Step::kBlocked;
+        if (!reader_->readHeader()) {
+            metrics.counter("server.traces_rejected").add();
+            return rejectJob("trace rejected: " + reader_->error(),
+                             trace_total_ - source_.consumed());
+        }
+        header_done_ = true;
+        building_.assign(reader_->nthreads(), {});
+    }
+
+    // Decode whole records as they arrive; partial records stay
+    // buffered until their remaining bytes land.
+    trace::TraceRecord batch[kBatch];
+    while (!reader_->done()) {
+        const std::uint64_t avail = std::min<std::uint64_t>(
+            rxAvailable(), trace_total_ - source_.consumed());
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(
+                kBatch, avail / sizeof(trace::TraceRecord)));
+        if (want == 0)
+            return Step::kBlocked;
+        const std::size_t got = reader_->next(batch, want);
+        if (got == 0) {
+            if (!reader_->error().empty()) {
+                metrics.counter("server.traces_rejected").add();
+                return rejectJob(
+                    "trace rejected: " + reader_->error(),
+                    trace_total_ - source_.consumed());
+            }
+            break;
+        }
+        for (std::size_t i = 0; i < got; ++i)
+            building_[batch[i].tid].push_back(batch[i].toOp());
+    }
+    if (!reader_->done()) {
+        // Defensive: a healthy reader with every byte consumed is
+        // done; anything else is a parser invariant violation.
+        metrics.counter("server.traces_rejected").add();
+        return rejectJob("trace rejected: inconsistent stream state",
+                         trace_total_ - source_.consumed());
+    }
+    return finishTrace();
+}
+
+Connection::Step
+Connection::finishTrace()
+{
+    Metrics &metrics = host_.hostMetrics();
+    metrics.counter("server.trace_bytes_received").add(trace_total_);
+    metrics.histogram("job.trace_read_us")
+        .record(usSince(job_started_, Clock::now()));
+
+    auto data = std::make_shared<trace::TraceData>(
+        trace::TraceData::fromOps(reader_->name(),
+                                  std::move(building_)));
+    data->setFaultSpec(reader_->faultSpec());
+    building_.clear();
+
+    // Resolve the fault spec exactly like `hdrd_sim --replay`: an
+    // explicit override wins, else the trace's recorded spec unless
+    // the client opted out.
+    std::string spec(options_.fault_spec.data());
+    if (spec.empty() && !(options_.flags & kJobIgnoreTraceFaults))
+        spec = data->faultSpec();
+    pmu::FaultConfig fault_config;
+    std::string err;
+    if (!spec.empty() && spec != "none"
+        && !pmu::resolveFaultSpec(spec, fault_config, err))
+        return rejectJob("trace carries unusable fault spec: " + err,
+                         0);
+
+    const DispatchOutcome outcome = host_.dispatchJob(
+        *this, keyed_, job_id_, options_, std::move(data),
+        fault_config);
+    if (!outcome.accepted) {
+        queueFrame(keyed_ ? FrameType::kJobBusy : FrameType::kBusy,
+                   keyed_ ? jobPayload(job_id_, outcome.busy_json)
+                          : outcome.busy_json);
+        if (dead_)
+            return Step::kFatal;
+    } else {
+        ++in_flight_;
+        if (!keyed_) {
+            // HDS1.0 sequential semantics: nothing further is parsed
+            // until this SUBMIT's response has been queued.
+            sequential_wait_ = true;
+        }
+    }
+    resetFrame();
+    state_ = RxState::kFrameHeader;
+    return Step::kMore;
+}
+
+Connection::Step
+Connection::handleDrain()
+{
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(drain_left_, rxAvailable()));
+    rxConsume(take);
+    drain_left_ -= take;
+    if (drain_left_ > 0)
+        return Step::kBlocked;
+    resetFrame();
+    state_ = RxState::kFrameHeader;
+    return Step::kMore;
+}
+
+Connection::Step
+Connection::rejectJob(const std::string &message,
+                      std::uint64_t leftover)
+{
+    host_.hostMetrics().counter("server.jobs_invalid").add();
+    if (leftover > kDrainCap) {
+        // Too much unread payload to be worth discarding.
+        protocolError(message);
+        return Step::kMore;
+    }
+    if (keyed_ && job_id_valid_)
+        queueFrame(FrameType::kJobError,
+                   jobPayload(job_id_, jsonError(message)));
+    else
+        queueFrame(FrameType::kError, jsonError(message));
+    if (dead_)
+        return Step::kFatal;
+    drain_left_ = leftover;
+    state_ = leftover > 0 ? RxState::kDrain : RxState::kFrameHeader;
+    if (leftover == 0)
+        resetFrame();
+    return Step::kMore;
+}
+
+void
+Connection::protocolError(const std::string &message)
+{
+    queueFrame(FrameType::kError, jsonError(message));
+    closing_ = true;
+}
+
+void
+Connection::queueFrame(FrameType type, const std::string &payload)
+{
+    FrameHeader header;
+    header.type = static_cast<std::uint32_t>(type);
+    header.length = payload.size();
+    OutBuf buf;
+    buf.bytes.reserve(sizeof(header) + payload.size());
+    buf.bytes.append(reinterpret_cast<const char *>(&header),
+                     sizeof(header));
+    buf.bytes.append(payload);
+    outbox_.push_back(std::move(buf));
+    flushOut();
+}
+
+bool
+Connection::flushOut()
+{
+    if (dead_)
+        return false;
+    while (!outbox_.empty()) {
+        OutBuf &front = outbox_.front();
+        const std::size_t left = front.bytes.size() - front.off;
+        ssize_t put;
+        do {
+            // MSG_NOSIGNAL: a peer that vanished mid-response must
+            // surface as EPIPE, not kill the embedding process.
+            put = ::send(fd_, front.bytes.data() + front.off, left,
+                         MSG_NOSIGNAL);
+        } while (put < 0 && errno == EINTR);
+        if (put < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true;
+            dead_ = true;
+            return false;
+        }
+        front.off += static_cast<std::size_t>(put);
+        if (front.off == front.bytes.size())
+            outbox_.pop_front();
+    }
+    return true;
+}
+
+void
+Connection::resetFrame()
+{
+    keyed_ = false;
+    job_id_valid_ = false;
+    job_id_ = 0;
+    prefix_need_ = 0;
+    control_need_ = 0;
+    trace_total_ = 0;
+    header_done_ = false;
+    reader_.reset();
+    source_.reset();
+    building_.clear();
+    drain_left_ = 0;
+}
+
+} // namespace hdrd::service

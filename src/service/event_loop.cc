@@ -1,0 +1,106 @@
+#include "service/event_loop.hh"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+namespace hdrd::service
+{
+
+namespace
+{
+
+constexpr int kMaxEvents = 128;
+
+} // namespace
+
+EventLoop::EventLoop()
+{
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+}
+
+EventLoop::~EventLoop()
+{
+    if (epoll_fd_ >= 0)
+        ::close(epoll_fd_);
+}
+
+bool
+EventLoop::add(int fd, std::uint32_t events, std::uint64_t tag)
+{
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = tag;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool
+EventLoop::mod(int fd, std::uint32_t events, std::uint64_t tag)
+{
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = tag;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void
+EventLoop::del(int fd)
+{
+    epoll_event ev{};
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev);
+}
+
+const std::vector<LoopEvent> &
+EventLoop::wait(int timeout_ms)
+{
+    ready_.clear();
+    epoll_event events[kMaxEvents];
+    int n;
+    do {
+        n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    for (int i = 0; i < n; ++i)
+        ready_.push_back({events[i].data.u64, events[i].events});
+    return ready_;
+}
+
+WakePipe::WakePipe()
+{
+    if (::pipe(fds_) != 0) {
+        fds_[0] = fds_[1] = -1;
+        return;
+    }
+    for (int fd : fds_)
+        ::fcntl(fd, F_SETFL, O_NONBLOCK);
+}
+
+WakePipe::~WakePipe()
+{
+    for (int fd : fds_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+void
+WakePipe::post()
+{
+    if (fds_[1] < 0)
+        return;
+    const char byte = 'w';
+    // Best-effort: EAGAIN means the pipe already holds a pending
+    // wake, which serves the same purpose.
+    [[maybe_unused]] const ssize_t n = ::write(fds_[1], &byte, 1);
+}
+
+void
+WakePipe::drain()
+{
+    char sink[256];
+    while (::read(fds_[0], sink, sizeof(sink)) > 0) {
+    }
+}
+
+} // namespace hdrd::service

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A thin epoll readiness loop plus the self-pipe wake primitive the
+ * I/O plane is built on.
+ *
+ * EventLoop owns one epoll instance. Callers register file
+ * descriptors with an opaque u64 tag and an interest mask; wait()
+ * surfaces readiness as (tag, events) pairs. No callbacks, no
+ * ownership of the registered fds — the shard loop that owns the
+ * EventLoop decides what a tag means.
+ *
+ * WakePipe is the cross-thread wake-up: any thread may post() (the
+ * write end is async-signal-safe, so signal handlers may too), and
+ * the loop thread registers the read end and drains it on wake.
+ */
+
+#ifndef HDRD_SERVICE_EVENT_LOOP_HH
+#define HDRD_SERVICE_EVENT_LOOP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hdrd::service
+{
+
+/** One readiness notification out of EventLoop::wait(). */
+struct LoopEvent
+{
+    std::uint64_t tag = 0;
+
+    /** EPOLLIN/EPOLLOUT/EPOLLHUP/EPOLLERR bits, verbatim. */
+    std::uint32_t events = 0;
+};
+
+class EventLoop
+{
+  public:
+    EventLoop();
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /** False when epoll_create1 failed at construction. */
+    bool ok() const { return epoll_fd_ >= 0; }
+
+    /**
+     * Register @p fd with interest @p events (EPOLLIN etc.); @p tag
+     * comes back verbatim in every LoopEvent for this fd.
+     * @return false on epoll_ctl failure.
+     */
+    bool add(int fd, std::uint32_t events, std::uint64_t tag);
+
+    /** Change @p fd's interest mask (and tag). */
+    bool mod(int fd, std::uint32_t events, std::uint64_t tag);
+
+    /** Deregister @p fd (safe to call for never-added fds). */
+    void del(int fd);
+
+    /**
+     * Block up to @p timeout_ms for readiness.
+     * @return the ready set (empty on timeout); EINTR retries
+     *         internally.
+     */
+    const std::vector<LoopEvent> &wait(int timeout_ms);
+
+  private:
+    int epoll_fd_ = -1;
+    std::vector<LoopEvent> ready_;
+};
+
+/** Self-pipe wake-up channel for an EventLoop thread. */
+class WakePipe
+{
+  public:
+    WakePipe();
+    ~WakePipe();
+
+    WakePipe(const WakePipe &) = delete;
+    WakePipe &operator=(const WakePipe &) = delete;
+
+    bool ok() const { return fds_[0] >= 0; }
+
+    /** The fd a loop registers for EPOLLIN. */
+    int readFd() const { return fds_[0]; }
+
+    /**
+     * Wake the loop. Async-signal-safe (one best-effort write);
+     * multiple posts may coalesce into one wake, which is fine for
+     * level-triggered consumers that drain their whole inbox.
+     */
+    void post();
+
+    /** Swallow pending wake bytes (loop thread, after wake). */
+    void drain();
+
+  private:
+    int fds_[2] = {-1, -1};
+};
+
+} // namespace hdrd::service
+
+#endif // HDRD_SERVICE_EVENT_LOOP_HH

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "pmu/faults.hh"
@@ -17,11 +18,17 @@ validFrameType(std::uint32_t type)
       case FrameType::kSubmit:
       case FrameType::kStats:
       case FrameType::kPing:
+      case FrameType::kSubmitJob:
+      case FrameType::kHello:
       case FrameType::kReport:
       case FrameType::kBusy:
       case FrameType::kError:
       case FrameType::kStatsReply:
       case FrameType::kPong:
+      case FrameType::kHelloReply:
+      case FrameType::kJobReport:
+      case FrameType::kJobBusy:
+      case FrameType::kJobError:
         return true;
     }
     return false;
@@ -98,7 +105,10 @@ writeAllFd(int fd, const void *buf, std::size_t n)
     const char *src = static_cast<const char *>(buf);
     std::size_t sent = 0;
     while (sent < n) {
-        const ssize_t put = ::write(fd, src + sent, n - sent);
+        // Always a socket here; MSG_NOSIGNAL turns a dead peer into
+        // EPIPE instead of a process-wide SIGPIPE.
+        const ssize_t put =
+            ::send(fd, src + sent, n - sent, MSG_NOSIGNAL);
         if (put < 0) {
             if (errno == EINTR)
                 continue;
@@ -155,6 +165,51 @@ readPayload(int fd, std::uint64_t length, std::string &out)
 {
     out.resize(static_cast<std::size_t>(length));
     return length == 0 || readAllFd(fd, out.data(), out.size());
+}
+
+bool
+writeJobFrame(int fd, FrameType type, std::uint64_t job_id,
+              const std::string &payload)
+{
+    return writeFrame(fd, type, jobPayload(job_id, payload));
+}
+
+bool
+splitJobPayload(const std::string &payload, std::uint64_t &job_id,
+                std::string &body)
+{
+    if (payload.size() < sizeof(job_id))
+        return false;
+    std::memcpy(&job_id, payload.data(), sizeof(job_id));
+    body.assign(payload, sizeof(job_id),
+                payload.size() - sizeof(job_id));
+    return true;
+}
+
+std::string
+jobPayload(std::uint64_t job_id, const std::string &body)
+{
+    std::string out;
+    out.reserve(sizeof(job_id) + body.size());
+    out.append(reinterpret_cast<const char *>(&job_id),
+               sizeof(job_id));
+    out.append(body);
+    return out;
+}
+
+std::string
+jsonError(const std::string &message)
+{
+    std::string out = "{\"status\": \"error\", \"error\": \"";
+    // The error strings are ASCII diagnostics; escape the JSON
+    // specials that could plausibly appear in them.
+    for (char c : message) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += "\"}\n";
+    return out;
 }
 
 } // namespace hdrd::service

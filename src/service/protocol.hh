@@ -11,12 +11,23 @@
  *     +--------+--------+----------------+----------------------+
  *
  * Requests:
- *   SUBMIT  payload = JobOptions (fixed 168 bytes) followed by a
- *           complete TRC2 trace image (header + records). The server
- *           parses the trace header first and rejects a bad trace
- *           before buffering its body.
- *   STATS   empty payload; answered with STATS_REPLY.
- *   PING    empty payload; answered with PONG.
+ *   SUBMIT      payload = JobOptions (fixed 168 bytes) followed by a
+ *               complete TRC2 trace image (header + records). The
+ *               server parses the trace header first and rejects a
+ *               bad trace before buffering its body. Sequential
+ *               semantics: the connection carries one SUBMIT at a
+ *               time and its response arrives before the next frame
+ *               is processed.
+ *   SUBMIT_JOB  (HDS1.1) payload = u64 job id + JobOptions + TRC2
+ *               image. Pipelined semantics: a client may have many
+ *               SUBMIT_JOB frames in flight on one connection; each
+ *               response carries the job id back, and responses may
+ *               arrive in completion order, not submission order.
+ *   STATS       empty payload; answered with STATS_REPLY.
+ *   PING        empty payload; answered with PONG.
+ *   HELLO       (HDS1.1) payload = u32 client minor version;
+ *               answered with HELLO_REPLY describing the server's
+ *               protocol level and pipelining limits.
  *
  * Responses (payloads are UTF-8 JSON):
  *   REPORT       the deterministic race report (hdrd-report-v1).
@@ -25,8 +36,16 @@
  *   ERROR        {"status":"error","error":"..."}.
  *   STATS_REPLY  the hdrd-metrics-v1 snapshot.
  *   PONG         {"status":"ok"}.
+ *   HELLO_REPLY  {"status":"ok","protocol":"HDS1.1",...}.
+ *   JOB_REPORT / JOB_BUSY / JOB_ERROR
+ *                (HDS1.1) u64 job id + the corresponding JSON;
+ *                answers to SUBMIT_JOB.
  *
- * All integers little-endian, matching the TRC2 trace format.
+ * All integers little-endian, matching the TRC2 trace format. The
+ * magic stays "HDS1" for both minor versions: every HDS1.0 frame is
+ * a valid HDS1.1 frame with identical semantics, and a 1.1 server
+ * serves 1.0 clients unchanged. HELLO lets a client discover whether
+ * the minor-version frames are available before using them.
  */
 
 #ifndef HDRD_SERVICE_PROTOCOL_HH
@@ -39,8 +58,15 @@
 namespace hdrd::service
 {
 
-/** Frame magic: "HDS" plus the protocol version byte. */
+/** Frame magic: "HDS" plus the protocol major version byte. */
 constexpr std::array<char, 4> kFrameMagic = {'H', 'D', 'S', '1'};
+
+/**
+ * Protocol minor version. 0 = the original sequential
+ * request/response protocol; 1 adds HELLO negotiation and pipelined
+ * SUBMIT_JOB frames with job-id-correlated responses.
+ */
+constexpr std::uint32_t kProtocolMinor = 1;
 
 /** Frame types. Requests below 100, responses at or above. */
 enum class FrameType : std::uint32_t
@@ -48,12 +74,18 @@ enum class FrameType : std::uint32_t
     kSubmit = 1,
     kStats = 2,
     kPing = 3,
+    kSubmitJob = 4,  ///< HDS1.1: u64 job id + JobOptions + trace
+    kHello = 5,      ///< HDS1.1: u32 client minor version
 
     kReport = 100,
     kBusy = 101,
     kError = 102,
     kStatsReply = 103,
     kPong = 104,
+    kHelloReply = 105,
+    kJobReport = 106,  ///< HDS1.1: u64 job id + hdrd-report-v1
+    kJobBusy = 107,    ///< HDS1.1: u64 job id + busy JSON
+    kJobError = 108,   ///< HDS1.1: u64 job id + error JSON
 };
 
 /** True for frame type values this protocol version defines. */
@@ -155,6 +187,40 @@ bool writeFrame(int fd, FrameType type, const std::string &payload);
  * @return false on short read.
  */
 bool readPayload(int fd, std::uint64_t length, std::string &out);
+
+/** True for the HDS1.1 job-keyed response types. */
+inline bool
+isJobKeyed(FrameType type)
+{
+    return type == FrameType::kJobReport
+        || type == FrameType::kJobBusy
+        || type == FrameType::kJobError;
+}
+
+/**
+ * Write one job-keyed frame: u64 LE job id, then @p payload.
+ * @return false on I/O error.
+ */
+bool writeJobFrame(int fd, FrameType type, std::uint64_t job_id,
+                   const std::string &payload);
+
+/**
+ * Split a received job-keyed payload into (job id, JSON body).
+ * @return false when the payload is shorter than the 8-byte id.
+ */
+bool splitJobPayload(const std::string &payload,
+                     std::uint64_t &job_id, std::string &body);
+
+/** Serialize a job-keyed response payload (id prefix + body). */
+std::string jobPayload(std::uint64_t job_id,
+                       const std::string &body);
+
+/**
+ * The ERROR response payload:
+ * {"status": "error", "error": "<message>"} with the JSON specials
+ * escaped.
+ */
+std::string jsonError(const std::string &message);
 
 } // namespace hdrd::service
 

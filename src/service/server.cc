@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
-#include <cstdio>
 #include <cstring>
+#include <map>
+#include <utility>
 
+#include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -36,94 +37,211 @@ usSince(Clock::time_point t0, Clock::time_point t1)
             .count());
 }
 
-/** trace::ByteSource over a socket carrying a known payload size. */
-class FdSource : public trace::ByteSource
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0
+        && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/** Shard index encoded in a connection id's top 16 bits. */
+constexpr unsigned kShardShift = 48;
+
+} // namespace
+
+/**
+ * One I/O shard: an epoll loop over its share of the connections.
+ *
+ * The acceptor hands sockets in and workers hand completions back
+ * through a mutex-guarded inbox + wake pipe; everything else —
+ * reading, parsing, dispatching, writing — happens on the shard
+ * thread, so Connection needs no locks.
+ */
+class Server::IoShard
 {
   public:
-    FdSource(int fd, std::uint64_t limit) : fd_(fd), limit_(limit) {}
-
-    std::size_t read(char *dst, std::size_t n) override
+    IoShard(Server &server, std::uint32_t index)
+        : server_(server), index_(index)
     {
-        if (remaining() == 0)
-            return 0;
-        n = static_cast<std::size_t>(
-            std::min<std::uint64_t>(n, remaining()));
+    }
+
+    bool ok() const { return loop_.ok() && wake_.ok(); }
+
+    void start()
+    {
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    /** Acceptor thread: transfer ownership of @p fd to this shard. */
+    void adopt(int fd)
+    {
+        {
+            std::lock_guard<std::mutex> lock(inbox_mutex_);
+            pending_fds_.push_back(fd);
+        }
+        wake_.post();
+    }
+
+    /** Worker threads: queue a finished job's response. */
+    void post(Completion completion)
+    {
+        {
+            std::lock_guard<std::mutex> lock(inbox_mutex_);
+            completions_.push_back(std::move(completion));
+        }
+        wake_.post();
+    }
+
+    /** Begin graceful drain; the shard thread exits once empty. */
+    void beginDrain()
+    {
+        drain_deadline_.store(
+            Clock::now().time_since_epoch().count()
+                + std::chrono::nanoseconds(
+                      std::chrono::milliseconds(
+                          server_.config_.drain_linger_ms))
+                      .count(),
+            std::memory_order_relaxed);
+        draining_.store(true, std::memory_order_release);
+        wake_.post();
+    }
+
+    void join()
+    {
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+  private:
+    void loop()
+    {
+        loop_.add(wake_.readFd(), EPOLLIN, 0);
         for (;;) {
-            const ssize_t got = ::read(fd_, dst, n);
-            if (got < 0 && errno == EINTR)
-                continue;
-            if (got <= 0)
-                return 0;
-            consumed_ += static_cast<std::uint64_t>(got);
-            return static_cast<std::size_t>(got);
+            const std::vector<LoopEvent> &events = loop_.wait(100);
+            wake_.drain();
+
+            std::vector<int> fds;
+            std::vector<Completion> completions;
+            {
+                std::lock_guard<std::mutex> lock(inbox_mutex_);
+                fds.swap(pending_fds_);
+                completions.swap(completions_);
+            }
+            const bool draining =
+                draining_.load(std::memory_order_acquire);
+
+            for (int fd : fds) {
+                if (draining) {
+                    ::close(fd);
+                    server_.connectionClosed();
+                    continue;
+                }
+                const std::uint64_t id =
+                    (static_cast<std::uint64_t>(index_)
+                     << kShardShift)
+                    | next_id_++;
+                auto conn =
+                    std::make_unique<Connection>(fd, id, server_);
+                Connection *raw = conn.get();
+                conns_.emplace(id, std::move(conn));
+                const std::uint32_t mask = raw->interest();
+                loop_.add(fd, mask, id);
+                raw->setLastInterest(mask);
+            }
+
+            for (Completion &completion : completions) {
+                auto it = conns_.find(completion.conn_id);
+                if (it == conns_.end()) {
+                    // The client hung up while its job ran.
+                    server_.metrics_
+                        .counter("server.responses_dropped")
+                        .add();
+                    continue;
+                }
+                if (!it->second->deliver(
+                        completion.keyed, completion.job_id,
+                        completion.base,
+                        std::move(completion.body)))
+                    closeConnection(it);
+                else
+                    syncInterest(*it->second);
+            }
+
+            for (const LoopEvent &event : events) {
+                if (event.tag == 0)
+                    continue;
+                auto it = conns_.find(event.tag);
+                if (it == conns_.end())
+                    continue;  // closed earlier this round
+                Connection &conn = *it->second;
+                bool alive = true;
+                if (event.events & (EPOLLHUP | EPOLLERR))
+                    alive = false;
+                if (alive && (event.events & EPOLLOUT))
+                    alive = conn.onWritable();
+                if (alive && (event.events & EPOLLIN))
+                    alive = conn.onReadable();
+                if (!alive || conn.wantClose())
+                    closeConnection(it);
+                else
+                    syncInterest(conn);
+            }
+
+            if (draining) {
+                const bool linger_expired =
+                    Clock::now().time_since_epoch().count()
+                    > drain_deadline_.load(
+                          std::memory_order_relaxed);
+                for (auto it = conns_.begin();
+                     it != conns_.end();) {
+                    if (it->second->idle() || linger_expired) {
+                        auto victim = it++;
+                        closeConnection(victim);
+                    } else {
+                        ++it;
+                    }
+                }
+                if (conns_.empty())
+                    return;
+            }
         }
     }
 
-    std::uint64_t consumed() const { return consumed_; }
-    std::uint64_t remaining() const { return limit_ - consumed_; }
-
-  private:
-    int fd_;
-    std::uint64_t limit_;
-    std::uint64_t consumed_ = 0;
-};
-
-/**
- * Read and discard @p n payload bytes so the connection can keep
- * framing after a rejected request.
- * @return false when the leftover is implausibly large or the read
- *         fails (the caller should close the connection).
- */
-bool
-drainPayload(int fd, std::uint64_t n)
-{
-    constexpr std::uint64_t kDrainCap = 16ULL << 20;
-    if (n > kDrainCap)
-        return false;
-    char sink[4096];
-    while (n > 0) {
-        const std::size_t want = static_cast<std::size_t>(
-            std::min<std::uint64_t>(n, sizeof(sink)));
-        if (!readAllFd(fd, sink, want))
-            return false;
-        n -= want;
+    void syncInterest(Connection &conn)
+    {
+        const std::uint32_t want = conn.interest();
+        if (want != conn.lastInterest()) {
+            loop_.mod(conn.fd(), want, conn.id());
+            conn.setLastInterest(want);
+        }
     }
-    return true;
-}
 
-/** Shared state between a connection thread and its job. */
-struct JobState
-{
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    bool ok = false;
-    std::string payload;  ///< REPORT json, or error text
-
-    /** Connection gave up waiting; the worker skips the job. */
-    std::atomic<bool> abandoned{false};
-
-    Clock::time_point enqueued{};
-    Clock::time_point deadline{};
-    bool has_deadline = false;
-};
-
-std::string
-jsonError(const std::string &message)
-{
-    std::string out = "{\"status\": \"error\", \"error\": \"";
-    // The error strings are ASCII diagnostics; escape the JSON
-    // specials that could plausibly appear in them.
-    for (char c : message) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
+    void closeConnection(
+        std::map<std::uint64_t,
+                 std::unique_ptr<Connection>>::iterator it)
+    {
+        loop_.del(it->second->fd());
+        conns_.erase(it);
+        server_.connectionClosed();
     }
-    out += "\"}\n";
-    return out;
-}
 
-} // namespace
+    Server &server_;
+    std::uint32_t index_;
+    EventLoop loop_;
+    WakePipe wake_;
+
+    std::mutex inbox_mutex_;
+    std::vector<int> pending_fds_;
+    std::vector<Completion> completions_;
+
+    std::atomic<bool> draining_{false};
+    std::atomic<long long> drain_deadline_{0};
+
+    std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+    std::uint64_t next_id_ = 1;
+    std::thread thread_;
+};
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {}
 
@@ -145,9 +263,8 @@ Server::start(std::string &err)
         err = "unix socket path too long: " + config_.unix_path;
         return false;
     }
-
-    if (::pipe(wake_pipe_) != 0) {
-        err = std::string("pipe: ") + std::strerror(errno);
+    if (!stop_wake_.ok()) {
+        err = "cannot create wake pipe";
         return false;
     }
 
@@ -162,7 +279,8 @@ Server::start(std::string &err)
     ::unlink(config_.unix_path.c_str());
     if (::bind(unix_fd_, reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) != 0
-        || ::listen(unix_fd_, 64) != 0) {
+        || ::listen(unix_fd_, 128) != 0
+        || !setNonBlocking(unix_fd_)) {
         err = "cannot listen on " + config_.unix_path + ": "
             + std::strerror(errno);
         return false;
@@ -183,7 +301,8 @@ Server::start(std::string &err)
         tcp_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
         if (::bind(tcp_fd_, reinterpret_cast<sockaddr *>(&tcp_addr),
                    sizeof(tcp_addr)) != 0
-            || ::listen(tcp_fd_, 64) != 0) {
+            || ::listen(tcp_fd_, 128) != 0
+            || !setNonBlocking(tcp_fd_)) {
             err = "cannot listen on tcp port "
                 + std::to_string(config_.tcp_port) + ": "
                 + std::strerror(errno);
@@ -201,8 +320,27 @@ Server::start(std::string &err)
         engines_.push_back(
             std::make_unique<runtime::Simulator>(config_.base));
 
+    std::uint32_t nshards = config_.io_shards;
+    if (nshards == 0) {
+        const std::uint32_t hw = std::thread::hardware_concurrency();
+        nshards = std::clamp<std::uint32_t>(hw / 2, 1, 4);
+    }
+    nshards = std::min<std::uint32_t>(nshards, 64);
+    for (std::uint32_t s = 0; s < nshards; ++s) {
+        auto shard = std::make_unique<IoShard>(*this, s);
+        if (!shard->ok()) {
+            err = "cannot create I/O shard event loop";
+            return false;
+        }
+        shards_.push_back(std::move(shard));
+    }
+    for (auto &shard : shards_)
+        shard->start();
+
     metrics_.gauge("server.max_connections")
         .set(config_.max_connections);
+    metrics_.gauge("server.io_shards").set(nshards);
+    metrics_.gauge("server.max_pipeline").set(config_.max_pipeline);
 
     accept_thread_ = std::thread([this] { acceptLoop(); });
     if (!config_.metrics_dump.empty())
@@ -215,12 +353,7 @@ void
 Server::requestStop()
 {
     stop_requested_.store(true, std::memory_order_release);
-    if (wake_pipe_[1] >= 0) {
-        const char byte = 's';
-        // Best-effort, async-signal-safe wake-up.
-        [[maybe_unused]] const ssize_t n =
-            ::write(wake_pipe_[1], &byte, 1);
-    }
+    stop_wake_.post();
 }
 
 void
@@ -245,12 +378,22 @@ Server::stop()
 
     if (accept_thread_.joinable())
         accept_thread_.join();
-    reapConnections(true);
 
-    // Run out every queued job (their connections are gone only if
-    // they gave up; normally each gets its reply) and stop workers.
+    // Drain: shards close idle connections immediately but keep the
+    // ones with jobs in flight so their replies can be delivered.
+    for (auto &shard : shards_)
+        shard->beginDrain();
+
+    // Run out every queued job (each posts its completion to its
+    // shard) and stop the workers.
     if (pool_)
         pool_->shutdown();
+
+    // Shard threads exit once every connection flushed and closed
+    // (bounded by drain_linger_ms against stuck clients).
+    for (auto &shard : shards_)
+        shard->join();
+    shards_.clear();
 
     {
         std::lock_guard<std::mutex> lock(metrics_cv_mutex_);
@@ -267,222 +410,103 @@ Server::stop()
         ::close(tcp_fd_);
     if (!config_.unix_path.empty())
         ::unlink(config_.unix_path.c_str());
-    for (int &fd : wake_pipe_) {
-        if (fd >= 0)
-            ::close(fd);
-        fd = -1;
-    }
-}
-
-void
-Server::reapConnections(bool all)
-{
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (auto it = connections_.begin(); it != connections_.end();) {
-        if (all || it->done.load(std::memory_order_acquire)) {
-            if (it->thread.joinable())
-                it->thread.join();
-            it = connections_.erase(it);
-        } else {
-            ++it;
-        }
-    }
 }
 
 void
 Server::acceptLoop()
 {
-    for (;;) {
-        pollfd fds[3];
-        nfds_t nfds = 0;
-        fds[nfds++] = {wake_pipe_[0], POLLIN, 0};
-        fds[nfds++] = {unix_fd_, POLLIN, 0};
-        if (tcp_fd_ >= 0)
-            fds[nfds++] = {tcp_fd_, POLLIN, 0};
+    EventLoop loop;
+    if (!loop.ok())
+        return;
+    loop.add(stop_wake_.readFd(), EPOLLIN, 0);
+    loop.add(unix_fd_, EPOLLIN, 1);
+    if (tcp_fd_ >= 0)
+        loop.add(tcp_fd_, EPOLLIN, 2);
 
-        const int rc = ::poll(fds, nfds, 200);
+    std::uint64_t next_shard = 0;
+    for (;;) {
+        const std::vector<LoopEvent> &events = loop.wait(200);
         if (stop_requested_.load(std::memory_order_acquire)
             || stopping_.load(std::memory_order_acquire)) {
-            // Propagate a signal-initiated stop to waitForStopRequest.
+            // Propagate a signal-initiated stop to
+            // waitForStopRequest.
             std::lock_guard<std::mutex> lock(stop_mutex_);
             stop_cv_.notify_all();
             return;
         }
-        reapConnections(false);
-        if (rc <= 0)
-            continue;
-
-        for (nfds_t i = 1; i < nfds; ++i) {
-            if (!(fds[i].revents & POLLIN))
+        for (const LoopEvent &event : events) {
+            if (event.tag == 0)
                 continue;
-            const int client = ::accept(fds[i].fd, nullptr, nullptr);
-            if (client < 0)
-                continue;
-            if (active_connections_.load(std::memory_order_relaxed)
-                >= config_.max_connections) {
-                metrics_.counter("server.connections_rejected").add();
-                std::string busy =
-                    "{\"status\": \"busy\", \"retry_after_ms\": "
-                    + std::to_string(retryAfterMs())
-                    + ", \"reason\": \"connection limit\"}\n";
-                writeFrame(client, FrameType::kBusy, busy);
-                ::close(client);
-                continue;
-            }
-            metrics_.counter("server.connections_accepted").add();
-            active_connections_.fetch_add(1,
-                                          std::memory_order_relaxed);
-            metrics_.gauge("server.active_connections").add();
-            std::lock_guard<std::mutex> lock(conn_mutex_);
-            Connection &conn = connections_.emplace_back();
-            conn.thread = std::thread([this, client, &conn] {
-                connectionLoop(client);
-                active_connections_.fetch_sub(
+            const int listen_fd =
+                event.tag == 1 ? unix_fd_ : tcp_fd_;
+            for (;;) {
+                const int client =
+                    ::accept(listen_fd, nullptr, nullptr);
+                if (client < 0)
+                    break;  // EAGAIN or transient
+                if (active_connections_.load(
+                        std::memory_order_relaxed)
+                    >= config_.max_connections) {
+                    metrics_.counter("server.connections_rejected")
+                        .add();
+                    std::string busy =
+                        "{\"status\": \"busy\", "
+                        "\"retry_after_ms\": "
+                        + std::to_string(retryAfterMs())
+                        + ", \"reason\": \"connection limit\"}\n";
+                    // Still blocking here, so this write completes
+                    // unless the peer is already gone.
+                    writeFrame(client, FrameType::kBusy, busy);
+                    ::close(client);
+                    continue;
+                }
+                if (!setNonBlocking(client)) {
+                    ::close(client);
+                    continue;
+                }
+                metrics_.counter("server.connections_accepted")
+                    .add();
+                active_connections_.fetch_add(
                     1, std::memory_order_relaxed);
-                metrics_.gauge("server.active_connections").sub();
-                conn.done.store(true, std::memory_order_release);
-            });
+                metrics_.gauge("server.active_connections").add();
+                shards_[next_shard++ % shards_.size()]->adopt(
+                    client);
+            }
         }
     }
 }
 
 void
-Server::connectionLoop(int fd)
+Server::connectionClosed()
 {
-    for (;;) {
-        // Wait for the next frame, staying responsive to drain.
-        for (;;) {
-            if (stopping_.load(std::memory_order_acquire)) {
-                ::close(fd);
-                return;
-            }
-            pollfd pfd{fd, POLLIN, 0};
-            const int rc = ::poll(&pfd, 1, 200);
-            if (rc > 0)
-                break;
-        }
-
-        FrameHeader header;
-        std::string err;
-        if (!readFrameHeader(fd, header, err)) {
-            if (err != "connection closed")
-                writeFrame(fd, FrameType::kError, jsonError(err));
-            ::close(fd);
-            return;
-        }
-        metrics_.counter("server.frames_received").add();
-
-        switch (static_cast<FrameType>(header.type)) {
-          case FrameType::kPing:
-            if (!drainPayload(fd, header.length)
-                || !writeFrame(fd, FrameType::kPong,
-                               std::string("{\"status\": \"ok\"}\n"))) {
-                ::close(fd);
-                return;
-            }
-            break;
-          case FrameType::kStats:
-            metrics_.counter("server.stats_requests").add();
-            if (!drainPayload(fd, header.length)
-                || !writeFrame(fd, FrameType::kStatsReply,
-                               metrics_.toJson())) {
-                ::close(fd);
-                return;
-            }
-            break;
-          case FrameType::kSubmit:
-            if (!handleSubmit(fd, header.length)) {
-                ::close(fd);
-                return;
-            }
-            break;
-          default:
-            // A response frame type from a client is a protocol
-            // violation; drop the connection.
-            writeFrame(fd, FrameType::kError,
-                       jsonError("unexpected response-type frame"));
-            ::close(fd);
-            return;
-        }
-    }
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.gauge("server.active_connections").sub();
 }
 
-bool
-Server::handleSubmit(int fd, std::uint64_t payload_length)
+void
+Server::postCompletion(Completion completion)
 {
-    const auto t_received = Clock::now();
+    const std::size_t shard =
+        static_cast<std::size_t>(completion.conn_id >> kShardShift);
+    hdrdAssert(shard < shards_.size(), "completion for shard ",
+               shard, " of ", shards_.size());
+    shards_[shard]->post(std::move(completion));
+}
 
-    // Refuse the request but keep the connection when the unread
-    // remainder is small enough to drain.
-    auto reject = [&](const std::string &message,
-                      std::uint64_t leftover) {
-        metrics_.counter("server.jobs_invalid").add();
-        const bool drained = drainPayload(fd, leftover);
-        return writeFrame(fd, FrameType::kError, jsonError(message))
-            && drained;
-    };
-
-    if (payload_length < sizeof(JobOptions))
-        return reject("submit payload too short for job options",
-                      payload_length);
-
-    JobOptions options;
-    if (!readAllFd(fd, &options, sizeof(options)))
-        return false;
-    std::uint64_t trace_bytes = payload_length - sizeof(options);
-    std::string err;
-    if (!validateJobOptions(options, err))
-        return reject(err, trace_bytes);
-    if (trace_bytes > config_.max_trace_bytes) {
-        metrics_.counter("server.jobs_invalid").add();
-        writeFrame(fd, FrameType::kError,
-                   jsonError("trace exceeds server limit of "
-                             + std::to_string(config_.max_trace_bytes)
-                             + " bytes"));
-        return false;
-    }
-
-    // Stream the trace: header first, so a bad trace is rejected
-    // before a single record is buffered.
-    FdSource source(fd, trace_bytes);
-    trace::TraceReader reader(source, trace_bytes);
-    if (!reader.readHeader()) {
-        metrics_.counter("server.traces_rejected").add();
-        return reject("trace rejected: " + reader.error(),
-                      source.remaining());
-    }
-    auto data = std::make_shared<trace::TraceData>(
-        trace::TraceData::fromReader(reader));
-    if (!data->ok()) {
-        metrics_.counter("server.traces_rejected").add();
-        return reject("trace rejected: " + data->error(),
-                      source.remaining());
-    }
-    metrics_.counter("server.trace_bytes_received").add(trace_bytes);
-    metrics_.histogram("job.trace_read_us")
-        .record(usSince(t_received, Clock::now()));
-
-    // Resolve the fault spec exactly like `hdrd_sim --replay`: an
-    // explicit override wins, else the trace's recorded spec unless
-    // the client opted out.
-    std::string spec(options.fault_spec.data());
-    if (spec.empty() && !(options.flags & kJobIgnoreTraceFaults))
-        spec = data->faultSpec();
-    pmu::FaultConfig fault_config;
-    if (!spec.empty() && spec != "none"
-        && !pmu::resolveFaultSpec(spec, fault_config, err))
-        return reject("trace carries unusable fault spec: " + err,
-                      0);
-
-    auto state = std::make_shared<JobState>();
-    state->enqueued = Clock::now();
-    if (config_.job_timeout_ms > 0) {
-        state->has_deadline = true;
-        state->deadline = state->enqueued
-            + std::chrono::milliseconds(config_.job_timeout_ms);
-    }
-
+DispatchOutcome
+Server::dispatchJob(Connection &conn, bool keyed,
+                    std::uint64_t job_id, const JobOptions &options,
+                    std::shared_ptr<trace::TraceData> data,
+                    const pmu::FaultConfig &faults)
+{
+    const std::uint64_t conn_id = conn.id();
+    auto token = conn.token();
+    const auto enqueued = Clock::now();
+    const bool has_deadline = config_.job_timeout_ms > 0;
+    const auto deadline = enqueued
+        + std::chrono::milliseconds(config_.job_timeout_ms);
     const std::uint64_t min_job_ms = config_.min_job_ms;
+
     runtime::SimConfig sim_config = config_.base;
     sim_config.mode = static_cast<instr::ToolMode>(options.mode);
     sim_config.detector =
@@ -491,23 +515,23 @@ Server::handleSubmit(int fd, std::uint64_t payload_length)
     sim_config.granule_shift = options.granule_shift;
     sim_config.mem.ncores = options.cores;
     sim_config.seed = options.seed;
-    sim_config.faults = fault_config;
+    sim_config.faults = faults;
 
-    auto job = [this, state, data, options, sim_config,
-                min_job_ms](std::uint32_t worker) {
-        if (state->abandoned.load(std::memory_order_acquire)) {
+    auto job = [this, token, conn_id, keyed, job_id, data, options,
+                sim_config, min_job_ms, enqueued, deadline,
+                has_deadline](std::uint32_t worker) {
+        if (!token->load(std::memory_order_acquire)) {
             metrics_.counter("server.jobs_abandoned").add();
             return;
         }
         const auto t_start = Clock::now();
         metrics_.histogram("job.queue_wait_us")
-            .record(usSince(state->enqueued, t_start));
+            .record(usSince(enqueued, t_start));
         std::string payload;
         bool ok = false;
-        if (state->has_deadline && t_start > state->deadline) {
+        if (has_deadline && t_start > deadline) {
             metrics_.counter("server.jobs_timeout").add();
-            payload = jsonError(
-                "job timed out waiting in queue");
+            payload = jsonError("job timed out waiting in queue");
         } else {
             runtime::Simulator &engine = *engines_[worker];
             engine.reconfigure(sim_config);
@@ -541,55 +565,57 @@ Server::handleSubmit(int fd, std::uint64_t payload_length)
             metrics_.histogram("job.exec_us")
                 .record(usSince(t_start, Clock::now()));
         metrics_.histogram("job.total_us")
-            .record(usSince(state->enqueued, Clock::now()));
-        {
-            std::lock_guard<std::mutex> lock(state->mutex);
-            state->done = true;
-            state->ok = ok;
-            state->payload = std::move(payload);
-        }
-        state->cv.notify_all();
+            .record(usSince(enqueued, Clock::now()));
+
+        Completion completion;
+        completion.conn_id = conn_id;
+        completion.keyed = keyed;
+        completion.job_id = job_id;
+        completion.base =
+            ok ? FrameType::kReport : FrameType::kError;
+        completion.body = std::move(payload);
+        postCompletion(std::move(completion));
     };
 
     if (!pool_->trySubmit(std::move(job))) {
         metrics_.counter("server.jobs_rejected_busy").add();
-        std::string busy =
+        DispatchOutcome outcome;
+        outcome.busy_json =
             "{\"status\": \"busy\", \"retry_after_ms\": "
             + std::to_string(retryAfterMs())
             + ", \"queue_depth\": "
             + std::to_string(pool_->queueDepth())
             + ", \"queue_capacity\": "
             + std::to_string(pool_->queueCapacity()) + "}\n";
-        return writeFrame(fd, FrameType::kBusy, busy);
+        return outcome;
     }
     metrics_.counter("server.jobs_accepted").add();
+    if (keyed)
+        metrics_.counter("server.jobs_pipelined").add();
+    DispatchOutcome outcome;
+    outcome.accepted = true;
+    return outcome;
+}
 
-    // Wait for the worker. With a configured timeout the wait is
-    // bounded (deadline + a margin for an in-flight run); without
-    // one the job always completes because workers never die.
-    std::unique_lock<std::mutex> lock(state->mutex);
-    bool completed;
-    if (state->has_deadline) {
-        const auto wait_until = state->deadline
-            + std::chrono::milliseconds(
-                  std::max<std::uint64_t>(config_.job_timeout_ms,
-                                          1000));
-        completed = state->cv.wait_until(lock, wait_until, [&] {
-            return state->done;
-        });
-    } else {
-        state->cv.wait(lock, [&] { return state->done; });
-        completed = true;
-    }
-    if (!completed) {
-        state->abandoned.store(true, std::memory_order_release);
-        metrics_.counter("server.jobs_timeout").add();
-        return writeFrame(fd, FrameType::kError,
-                          jsonError("job timed out"));
-    }
-    const FrameType type =
-        state->ok ? FrameType::kReport : FrameType::kError;
-    return writeFrame(fd, type, state->payload);
+std::string
+Server::statsJson()
+{
+    return metrics_.toJson();
+}
+
+std::string
+Server::helloJson()
+{
+    return "{\"status\": \"ok\", \"protocol\": \"HDS1."
+        + std::to_string(kProtocolMinor)
+        + "\", \"minor\": " + std::to_string(kProtocolMinor)
+        + ", \"max_pipeline\": "
+        + std::to_string(config_.max_pipeline)
+        + ", \"max_trace_bytes\": "
+        + std::to_string(config_.max_trace_bytes)
+        + ", \"workers\": " + std::to_string(pool_->workers())
+        + ", \"io_shards\": " + std::to_string(shards_.size())
+        + "}\n";
 }
 
 void

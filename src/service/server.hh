@@ -2,30 +2,38 @@
  * @file
  * The sharded race-analysis daemon core.
  *
- * Accepts TRC2 traces over a unix-domain (and optionally TCP)
- * socket using the framing protocol in protocol.hh, validates them
- * with the streaming trace reader (header first — a bad trace is
- * refused before its body is buffered), and dispatches each job to
- * a sharded WorkerPool. One analysis engine per worker, never
- * shared; the job queue is strictly bounded and overload is
- * answered with BUSY + a retry-after hint instead of queueing
- * unboundedly. SIGTERM (via requestStop()) drains gracefully:
- * in-flight and queued jobs complete and get their replies, new
- * connections are refused, then the process exits.
+ * Connection handling is a non-blocking epoll plane: one acceptor
+ * thread distributes sockets round-robin over N I/O shard threads,
+ * each running an EventLoop over per-connection state machines
+ * (service/connection.hh). Traces stream straight from the socket
+ * buffer into the incremental trace reader — a bad trace is refused
+ * from its header before the body is buffered, and the daemon never
+ * parks a thread per connection.
+ *
+ * Analysis stays on the bounded WorkerPool: one engine per worker,
+ * never shared; overload answers BUSY + a retry-after hint instead
+ * of queueing unboundedly. Completions are marshalled back to the
+ * owning shard through a wake-pipe inbox, which is what lets one
+ * connection carry many pipelined HDS1.1 jobs with out-of-order,
+ * job-id-correlated responses.
+ *
+ * SIGTERM (via requestStop()) drains gracefully: idle connections
+ * close, in-flight and queued jobs complete and get their replies,
+ * new connections are refused, then the process exits.
  *
  * Reports are deterministic: a given (trace, JobOptions) pair yields
  * a byte-identical hdrd-report-v1 JSON (modulo the optional host
- * timing block) regardless of worker count, submission order, or
- * which worker ran it — each job is an independent simulation with
- * its own engine.
+ * timing block) regardless of worker count, shard count, submission
+ * order, pipelining, or which worker ran it — each job is an
+ * independent simulation with its own engine.
  */
 
 #ifndef HDRD_SERVICE_SERVER_HH
 #define HDRD_SERVICE_SERVER_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +41,8 @@
 #include <vector>
 
 #include "runtime/simulator.hh"
+#include "service/connection.hh"
+#include "service/event_loop.hh"
 #include "service/metrics.hh"
 #include "service/worker_pool.hh"
 
@@ -57,6 +67,16 @@ struct ServerConfig
     /** Concurrent connections before refusing with BUSY. */
     std::uint32_t max_connections = 64;
 
+    /** I/O shard threads (0 = derive from hardware concurrency). */
+    std::uint32_t io_shards = 0;
+
+    /**
+     * Per-connection cap on in-flight pipelined jobs; past it the
+     * shard stops reading the socket and TCP backpressure holds the
+     * client until completions free slots.
+     */
+    std::uint32_t max_pipeline = 32;
+
     /**
      * Per-job timeout: jobs still queued past the deadline are
      * cancelled with an error reply instead of running (0 = none).
@@ -73,6 +93,13 @@ struct ServerConfig
     /** Largest accepted trace payload in bytes. */
     std::uint64_t max_trace_bytes = 1ULL << 30;
 
+    /**
+     * Graceful-drain bound: connections still holding unflushed
+     * responses past this are force-closed so stop() terminates even
+     * against clients that stopped reading.
+     */
+    std::uint64_t drain_linger_ms = 5000;
+
     /** Periodic metrics snapshot file ("" = disabled). */
     std::string metrics_dump;
     std::uint64_t metrics_interval_ms = 1000;
@@ -81,29 +108,30 @@ struct ServerConfig
     runtime::SimConfig base;
 };
 
-class Server
+class Server : public ConnectionHost
 {
   public:
     explicit Server(ServerConfig config);
 
     /** Stops and joins everything (stop()). */
-    ~Server();
+    ~Server() override;
 
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
 
     /**
-     * Bind the listeners and spawn the accept loop, workers, and
-     * metrics dumper.
+     * Bind the listeners and spawn the acceptor, I/O shards,
+     * workers, and metrics dumper.
      * @return false with @p err set when a socket could not be set
      *         up.
      */
     bool start(std::string &err);
 
     /**
-     * Graceful shutdown: refuse new work, let in-flight requests
-     * finish and reply, drain the queue, join every thread, write a
-     * final metrics snapshot, remove the unix socket. Idempotent.
+     * Graceful shutdown: refuse new connections, close idle ones,
+     * let in-flight jobs finish and their replies flush, drain the
+     * queue, join every thread, write a final metrics snapshot,
+     * remove the unix socket. Idempotent.
      */
     void stop();
 
@@ -122,20 +150,58 @@ class Server
     /** Resolved worker count. */
     std::uint32_t workers() const { return pool_->workers(); }
 
+    /** Resolved I/O shard count. */
+    std::uint32_t ioShards() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+
+    // --- ConnectionHost (shard threads call these) ---
+    DispatchOutcome dispatchJob(
+        Connection &conn, bool keyed, std::uint64_t job_id,
+        const JobOptions &options,
+        std::shared_ptr<trace::TraceData> data,
+        const pmu::FaultConfig &faults) override;
+    std::string statsJson() override;
+    std::string helloJson() override;
+    Metrics &hostMetrics() override { return metrics_; }
+    std::uint64_t maxTraceBytes() const override
+    {
+        return config_.max_trace_bytes;
+    }
+    std::uint32_t maxPipeline() const override
+    {
+        return config_.max_pipeline;
+    }
+
   private:
+    class IoShard;
+    friend class IoShard;
+
+    /** A finished job's response on its way back to the shard. */
+    struct Completion
+    {
+        std::uint64_t conn_id = 0;
+        bool keyed = false;
+        std::uint64_t job_id = 0;
+
+        /** kReport or kError (shards map keyed variants). */
+        FrameType base = FrameType::kError;
+
+        std::string body;
+    };
+
     void acceptLoop();
-    void connectionLoop(int fd);
-
-    /** @return false when the connection should be closed. */
-    bool handleSubmit(int fd, std::uint64_t payload_length);
-
     void metricsLoop();
+
+    /** Route a finished job's response to the owning shard. */
+    void postCompletion(Completion completion);
+
+    /** Shard bookkeeping when a connection goes away. */
+    void connectionClosed();
 
     /** Suggested client retry delay from current load. */
     std::uint64_t retryAfterMs();
-
-    /** Join connection threads that have finished. */
-    void reapConnections(bool all);
 
     ServerConfig config_;
     Metrics metrics_;
@@ -144,9 +210,11 @@ class Server
     /** One reusable analysis engine per worker, never shared. */
     std::vector<std::unique_ptr<runtime::Simulator>> engines_;
 
+    std::vector<std::unique_ptr<IoShard>> shards_;
+
     int unix_fd_ = -1;
     int tcp_fd_ = -1;
-    int wake_pipe_[2] = {-1, -1};
+    WakePipe stop_wake_;
 
     std::atomic<bool> stopping_{false};
     std::atomic<bool> stop_requested_{false};
@@ -158,13 +226,6 @@ class Server
     std::mutex metrics_cv_mutex_;
     std::condition_variable metrics_cv_;
 
-    struct Connection
-    {
-        std::thread thread;
-        std::atomic<bool> done{false};
-    };
-    std::mutex conn_mutex_;
-    std::list<Connection> connections_;
     std::atomic<std::uint32_t> active_connections_{0};
 
     bool started_ = false;

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Determinism across shard counts and submission orders: the same
-# three traces submitted to a 1-worker daemon, a 16-worker daemon,
-# and in different orders must produce byte-identical aggregate
-# reports, each matching the one-shot CLI golden.
+# Determinism across shard counts, submission orders, and submission
+# styles: the same three traces submitted to a 1-worker daemon, a
+# 16-worker daemon, in different orders, and both one-shot and
+# pipelined over a single kept-alive connection (HDS1.1) must produce
+# byte-identical aggregate reports, each matching the one-shot CLI
+# golden.
 #
 # usage: service_determinism.sh HDRD_SIM HDRD_SERVED HDRD_CLIENT
 set -e
@@ -10,8 +12,8 @@ SIM=$1
 SERVED=$2
 CLIENT=$3
 
-rm -rf svc_det svc_det.sock
-mkdir -p svc_det
+rm -rf svc_det svc_det_pipe svc_det.sock
+mkdir -p svc_det svc_det_pipe
 for w in ping_pong racy_counter locked_counter; do
     "$SIM" --workload=micro.$w --scale=0.05 \
            --record=svc_det/$w.trc > /dev/null
@@ -42,17 +44,36 @@ serve 1
 kill -TERM "$pid"
 wait "$pid"
 
+# Same 1-worker world, but pipelined 8-deep over one connection.
+serve 1
+"$CLIENT" --socket=svc_det.sock --omit-timing --pipeline=8 \
+    --out=svc_det/agg_p1.json \
+    svc_det/ping_pong.trc svc_det/racy_counter.trc \
+    svc_det/locked_counter.trc
+kill -TERM "$pid"
+wait "$pid"
+
 # 16 workers, concurrent submission, shuffled order.
 serve 16
 "$CLIENT" --socket=svc_det.sock --omit-timing --out=svc_det/agg_c.json \
     --out-dir=svc_det \
     svc_det/racy_counter.trc svc_det/locked_counter.trc \
     svc_det/ping_pong.trc
+# 16 workers again, pipelined shuffled batch with per-trace reports:
+# out-of-order completion against many engines must not change one
+# byte of any report.
+"$CLIENT" --socket=svc_det.sock --omit-timing --pipeline=8 \
+    --out=svc_det/agg_p16.json --out-dir=svc_det_pipe \
+    svc_det/locked_counter.trc svc_det/ping_pong.trc \
+    svc_det/racy_counter.trc
 kill -TERM "$pid"
 wait "$pid"
 
 cmp svc_det/agg_a.json svc_det/agg_b.json
 cmp svc_det/agg_a.json svc_det/agg_c.json
+cmp svc_det/agg_a.json svc_det/agg_p1.json
+cmp svc_det/agg_a.json svc_det/agg_p16.json
 for w in ping_pong racy_counter locked_counter; do
     cmp svc_det/$w.golden.json svc_det/$w.trc.report.json
+    cmp svc_det/$w.golden.json svc_det_pipe/$w.trc.report.json
 done

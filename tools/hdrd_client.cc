@@ -6,10 +6,16 @@
  *   hdrd_client --socket=hdrd.sock --stats
  *   hdrd_client --socket=hdrd.sock --omit-timing --out=agg.json *.trc
  *   hdrd_client --socket=hdrd.sock --parallel=8 --summary big.trc
+ *   hdrd_client --socket=hdrd.sock --pipeline=16 --repeat=50 t.trc
+ *
+ * --pipeline=N keeps one connection per stream alive and keeps up to
+ * N HDS1.1 SUBMIT_JOB frames in flight on it, correlating the
+ * out-of-order responses by job id (requires an HDS1.1 server).
  *
  * The aggregate --out file lists per-trace reports sorted by file
- * basename, so it is byte-identical for any submission order and any
- * server worker count (pair it with --omit-timing).
+ * basename, so it is byte-identical for any submission order, any
+ * server worker count, and any pipeline depth (pair it with
+ * --omit-timing).
  */
 
 #include <algorithm>
@@ -18,6 +24,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +53,7 @@ struct Options
     std::uint32_t parallel = 1;
     std::uint32_t repeat = 1;
     std::uint32_t retries = 0;
+    std::uint32_t pipeline = 0;  ///< 0 = sequential submits
 
     service::JobOptions job;
 };
@@ -68,6 +77,9 @@ usage()
         "(determinism)\n"
         "  --parallel=N      N concurrent connections (stress/"
         "backpressure)\n"
+        "  --pipeline=N      keep up to N jobs in flight per "
+        "connection\n"
+        "                    (HDS1.1 SUBMIT_JOB; default sequential)\n"
         "  --repeat=M        submit the trace list M times per "
         "connection\n"
         "  --retry=N         retry BUSY replies up to N times, "
@@ -129,6 +141,8 @@ parse(int argc, char **argv)
             opt.out_dir = value;
         } else if (eat(arg, "--parallel=", value)) {
             opt.parallel = cli::parseU32("parallel", value, 1, 4096);
+        } else if (eat(arg, "--pipeline=", value)) {
+            opt.pipeline = cli::parseU32("pipeline", value, 1, 4096);
         } else if (eat(arg, "--repeat=", value)) {
             opt.repeat = cli::parseU32("repeat", value, 1, 1000000);
         } else if (eat(arg, "--retry=", value)) {
@@ -250,6 +264,22 @@ main(int argc, char **argv)
         * opt.repeat);
     std::atomic<std::size_t> slot{0};
 
+    // --pipeline: every distinct trace is loaded once, up front, so
+    // file I/O never sits on the submission hot path.
+    std::map<std::string, std::string> images;
+    if (opt.pipeline > 0) {
+        for (const std::string &path : opt.traces) {
+            if (images.count(path) != 0)
+                continue;
+            std::ifstream in(path, std::ios::binary);
+            if (!in)
+                fatal("cannot open ", path);
+            std::ostringstream bytes;
+            bytes << in.rdbuf();
+            images[path] = bytes.str();
+        }
+    }
+
     auto stream = [&](std::uint32_t) {
         service::Client client;
         std::string err;
@@ -268,13 +298,80 @@ main(int argc, char **argv)
         }
     };
 
+    // Pipelined stream: one kept-alive connection carrying the whole
+    // job list with up to --pipeline frames in flight; BUSY replies
+    // are re-pipelined after the server's retry hint.
+    auto pipelined = [&](std::uint32_t) {
+        service::Client client;
+        std::string err;
+        if (!connectTo(opt, client, err)) {
+            Result &r = results[slot.fetch_add(1)];
+            r.file = "(connect)";
+            r.response.payload = err;
+            return;
+        }
+        std::vector<service::PipelineSubmission> jobs;
+        std::vector<const std::string *> files;
+        jobs.reserve(static_cast<std::size_t>(opt.repeat)
+                     * opt.traces.size());
+        for (std::uint32_t rep = 0; rep < opt.repeat; ++rep) {
+            for (const std::string &path : opt.traces) {
+                service::PipelineSubmission job;
+                job.options = opt.job;
+                job.trace_bytes = &images.at(path);
+                jobs.push_back(job);
+                files.push_back(&path);
+            }
+        }
+        std::vector<service::Response> responses =
+            client.submitPipelined(jobs, opt.pipeline);
+
+        for (std::uint32_t attempt = 0; attempt < opt.retries;
+             ++attempt) {
+            std::vector<std::size_t> busy;
+            std::uint64_t wait = 1;
+            for (std::size_t i = 0; i < responses.size(); ++i) {
+                if (responses[i].isBusy()) {
+                    busy.push_back(i);
+                    wait = std::max(wait,
+                                    responses[i].retry_after_ms);
+                }
+            }
+            if (busy.empty() || !client.connected())
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(wait));
+            std::vector<service::PipelineSubmission> again;
+            again.reserve(busy.size());
+            for (std::size_t i : busy)
+                again.push_back(jobs[i]);
+            std::vector<service::Response> retried =
+                client.submitPipelined(again, opt.pipeline);
+            for (std::size_t k = 0; k < busy.size(); ++k)
+                responses[busy[k]] = std::move(retried[k]);
+        }
+
+        for (std::size_t i = 0; i < responses.size(); ++i) {
+            Result &r = results[slot.fetch_add(1)];
+            r.file = *files[i];
+            r.response = std::move(responses[i]);
+        }
+    };
+
+    auto runStream = [&](std::uint32_t s) {
+        if (opt.pipeline > 0)
+            pipelined(s);
+        else
+            stream(s);
+    };
+
     if (opt.parallel == 1) {
-        stream(0);
+        runStream(0);
     } else {
         std::vector<std::thread> streams;
         streams.reserve(opt.parallel);
         for (std::uint32_t s = 0; s < opt.parallel; ++s)
-            streams.emplace_back(stream, s);
+            streams.emplace_back(runStream, s);
         for (std::thread &t : streams)
             t.join();
     }

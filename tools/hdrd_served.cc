@@ -52,6 +52,12 @@ usage()
         "more\n"
         "  --max-conns=N        concurrent connection cap (default "
         "64)\n"
+        "  --io-shards=N        socket I/O shard threads (default: "
+        "derived\n"
+        "                       from hardware concurrency)\n"
+        "  --max-pipeline=N     per-connection in-flight pipelined "
+        "job cap\n"
+        "                       (default 32)\n"
         "  --timeout-ms=N       cancel jobs still queued after N ms\n"
         "  --max-trace=BYTES    largest accepted trace (default 1g;\n"
         "                       k/m/g suffixes accepted)\n"
@@ -99,6 +105,15 @@ main(int argc, char **argv)
         } else if (eat(arg, "--max-conns=", value)) {
             config.max_connections =
                 cli::parseU32("max-conns", value, 1, 65536);
+        } else if (eat(arg, "--io-shards=", value)) {
+            config.io_shards =
+                cli::parseU32("io-shards", value, 1, 64);
+        } else if (eat(arg, "--max-pipeline=", value)) {
+            config.max_pipeline =
+                cli::parseU32("max-pipeline", value, 1, 4096);
+        } else if (eat(arg, "--drain-linger-ms=", value)) {
+            config.drain_linger_ms = cli::parseU64(
+                "drain-linger-ms", value, 0, 600000);
         } else if (eat(arg, "--timeout-ms=", value)) {
             config.job_timeout_ms =
                 cli::parseU64("timeout-ms", value, 1, UINT64_MAX);
@@ -132,8 +147,8 @@ main(int argc, char **argv)
     std::string err;
     if (!server.start(err))
         fatal("hdrd_served: ", err);
-    inform("hdrd_served: serving (", server.workers(),
-           " workers); SIGTERM drains");
+    inform("hdrd_served: serving (", server.workers(), " workers, ",
+           server.ioShards(), " I/O shards); SIGTERM drains");
 
     server.waitForStopRequest();
     inform("hdrd_served: draining");
