@@ -1,0 +1,33 @@
+#include "common/alloc_stats.hh"
+
+#include <sys/resource.h>
+
+namespace hdrd
+{
+
+// Weak no-op fallbacks: the interposer TU (tools/alloc_interpose.cc)
+// provides strong definitions when linked into a binary directly,
+// and strong object-file symbols beat weak archive members.
+__attribute__((weak)) AllocCounters
+threadAllocCounters()
+{
+    return {};
+}
+
+__attribute__((weak)) bool
+allocTrackingActive()
+{
+    return false;
+}
+
+std::uint64_t
+peakRssKb()
+{
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // Linux reports ru_maxrss in KiB already.
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+} // namespace hdrd

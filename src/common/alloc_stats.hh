@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Thread-local allocation counters and peak-RSS reporting for the
+ * benchmark tools.
+ *
+ * The memory round's whole point is taking the allocator out of the
+ * detector's steady state, so the benchmark must be able to see
+ * allocator traffic. Counting happens in an *interposer* translation
+ * unit (tools/alloc_interpose.cc) that overrides global operator
+ * new/delete and is linked only into binaries that want it; the
+ * library carries weak no-op fallbacks, so ordinary builds pay
+ * nothing and report the counters as untracked.
+ */
+
+#ifndef HDRD_COMMON_ALLOC_STATS_HH
+#define HDRD_COMMON_ALLOC_STATS_HH
+
+#include <cstdint>
+
+namespace hdrd
+{
+
+/** Allocation totals for one thread since it started. */
+struct AllocCounters
+{
+    /** Calls into operator new (all flavours). */
+    std::uint64_t count = 0;
+
+    /** Sum of requested sizes, in bytes. */
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * Snapshot of the calling thread's allocation counters. All-zero
+ * (and meaningless) unless allocTrackingActive().
+ */
+AllocCounters threadAllocCounters();
+
+/** True when the interposer TU is linked in and counting. */
+bool allocTrackingActive();
+
+/** Process peak resident set size in KiB (getrusage), 0 if unknown. */
+std::uint64_t peakRssKb();
+
+} // namespace hdrd
+
+#endif // HDRD_COMMON_ALLOC_STATS_HH

@@ -51,7 +51,7 @@ writeBenchJson(std::ostream &os, const BenchMeta &meta,
 {
     os << std::setprecision(12);
     os << "{\n"
-       << "  \"schema\": \"hdrd-bench-v1\",\n"
+       << "  \"schema\": \"hdrd-bench-v2\",\n"
        << "  \"tool\": \"" << escape(meta.tool) << "\",\n"
        << "  \"config\": {\n"
        << "    \"scale\": " << meta.scale << ",\n"
@@ -60,7 +60,11 @@ writeBenchJson(std::ostream &os, const BenchMeta &meta,
        << "    \"cores\": " << meta.cores << ",\n"
        << "    \"workers\": " << meta.workers << ",\n"
        << "    \"repeat\": " << meta.repeat << ",\n"
-       << "    \"smoke\": " << (meta.smoke ? "true" : "false") << "\n"
+       << "    \"smoke\": " << (meta.smoke ? "true" : "false") << ",\n"
+       << "    \"simd_level\": \"" << escape(meta.simd_level)
+       << "\",\n"
+       << "    \"alloc_tracked\": "
+       << (meta.alloc_tracked ? "true" : "false") << "\n"
        << "  },\n";
 
     if (meta.baseline_continuous_ft_ops > 0.0) {
@@ -83,6 +87,8 @@ writeBenchJson(std::ostream &os, const BenchMeta &meta,
            << ", \"sim_wall_cycles\": " << c.sim_wall_cycles
            << ", \"races_unique\": " << c.races_unique
            << ", \"host_ops_per_sec\": " << c.host_ops_per_sec
+           << ", \"alloc_count\": " << c.alloc_count
+           << ", \"alloc_bytes\": " << c.alloc_bytes
            << ", \"checked\": " << (c.checked ? "true" : "false")
            << ", \"deterministic\": "
            << (c.deterministic ? "true" : "false") << "}"
@@ -92,11 +98,15 @@ writeBenchJson(std::ostream &os, const BenchMeta &meta,
 
     double total_wall = 0.0;
     std::uint64_t total_ops = 0;
+    std::uint64_t total_allocs = 0;
+    std::uint64_t total_alloc_bytes = 0;
     std::map<std::string, ModeAgg> by_mode;
     bool all_deterministic = true;
     for (const BenchCell &c : cells) {
         total_wall += c.wall_seconds;
         total_ops += c.sim_ops;
+        total_allocs += c.alloc_count;
+        total_alloc_bytes += c.alloc_bytes;
         by_mode[c.mode].wall += c.wall_seconds;
         by_mode[c.mode].ops += c.sim_ops;
         all_deterministic = all_deterministic && c.deterministic;
@@ -107,6 +117,9 @@ writeBenchJson(std::ostream &os, const BenchMeta &meta,
        << "    \"cells\": " << cells.size() << ",\n"
        << "    \"total_wall_seconds\": " << total_wall << ",\n"
        << "    \"total_sim_ops\": " << total_ops << ",\n"
+       << "    \"total_alloc_count\": " << total_allocs << ",\n"
+       << "    \"total_alloc_bytes\": " << total_alloc_bytes << ",\n"
+       << "    \"peak_rss_kb\": " << meta.peak_rss_kb << ",\n"
        << "    \"aggregate_host_ops_per_sec\": "
        << (total_wall > 0.0
                ? static_cast<double>(total_ops) / total_wall

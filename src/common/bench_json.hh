@@ -2,10 +2,15 @@
  * @file
  * Machine-readable benchmark output: the BENCH_engine.json schema.
  *
- * One schema ("hdrd-bench-v1") shared by every producer of host-side
+ * One schema ("hdrd-bench-v2") shared by every producer of host-side
  * performance numbers — tools/hdrd_bench (the full workload x mode
  * sweep) and hdrd_sim --bench-json (a single run) — so the perf
  * trajectory across PRs is one homogeneous series of files.
+ *
+ * v2 extends v1 with memory columns (per-cell allocator traffic when
+ * the interposer is linked, process peak RSS, and the active SIMD
+ * level); every v1 field is unchanged, so v1 consumers keep working
+ * on v2 files that they read leniently.
  */
 
 #ifndef HDRD_COMMON_BENCH_JSON_HH
@@ -50,6 +55,14 @@ struct BenchCell
 
     /** Dump output was byte-identical across the check re-run. */
     bool deterministic = true;
+
+    /**
+     * Allocator traffic while timing this cell (v2): operator-new
+     * calls and requested bytes on the running thread. Zero when the
+     * producing binary lacks the interposer (meta.alloc_tracked).
+     */
+    std::uint64_t alloc_count = 0;
+    std::uint64_t alloc_bytes = 0;
 };
 
 /** Sweep-level configuration recorded alongside the cells. */
@@ -71,6 +84,15 @@ struct BenchMeta
      * a perf PR.
      */
     double baseline_continuous_ft_ops = 0.0;
+
+    /** v2: process peak resident set size at write time, in KiB. */
+    std::uint64_t peak_rss_kb = 0;
+
+    /** v2: were the per-cell alloc columns actually counted? */
+    bool alloc_tracked = false;
+
+    /** v2: active clock-kernel flavour ("scalar"|"sse42"|"avx2"). */
+    std::string simd_level;
 };
 
 /**

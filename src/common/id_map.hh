@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Open-addressing hash map from 64-bit object ids to values.
+ *
+ * The detector keys sync-object and variable state by address-like
+ * ids, and the access patterns are narrow: insert-or-touch, lookup,
+ * bulk clear — never erase. std::unordered_map pays a node malloc per
+ * insert and a pointer chase per probe for flexibility this code
+ * never uses. IdMap instead keeps a flat power-of-two slot array
+ * (linear probing, splitmix64-mixed keys) pointing into slab-backed
+ * value storage, so values have stable addresses, probes stay in one
+ * or two cache lines, and inserts amortize to a bump pointer.
+ *
+ * Not thread-safe; one map per detector engine.
+ */
+
+#ifndef HDRD_COMMON_ID_MAP_HH
+#define HDRD_COMMON_ID_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace hdrd
+{
+
+/** Flat hash map: uint64 id -> V, no erase, stable value addresses. */
+template <typename V>
+class IdMap
+{
+  public:
+    IdMap() = default;
+    IdMap(const IdMap &) = delete;
+    IdMap &operator=(const IdMap &) = delete;
+
+    /** Value for @p key, default-constructed on first touch. */
+    V &operator[](std::uint64_t key)
+    {
+        if (slots_.empty() || (values_.size() + 1) * 4 > slots_.size() * 3)
+            rehash(slots_.empty() ? kInitialSlots : slots_.size() * 2);
+        std::size_t i = probe(key);
+        if (slots_[i].index == kEmpty) {
+            slots_[i].key = key;
+            slots_[i].index = static_cast<std::uint32_t>(values_.size());
+            values_.emplace_back();
+        }
+        return values_[slots_[i].index];
+    }
+
+    /** Pointer to @p key's value, or null when absent. */
+    V *find(std::uint64_t key)
+    {
+        if (values_.empty())
+            return nullptr;
+        const std::size_t i = probe(key);
+        return slots_[i].index == kEmpty ? nullptr
+                                         : &values_[slots_[i].index];
+    }
+
+    const V *find(std::uint64_t key) const
+    {
+        return const_cast<IdMap *>(this)->find(key);
+    }
+
+    /** Number of distinct keys inserted. */
+    std::size_t size() const { return values_.size(); }
+
+    bool empty() const { return values_.empty(); }
+
+    /** Drop every entry; keeps the slot array for reuse. */
+    void clear()
+    {
+        for (Slot &s : slots_)
+            s.index = kEmpty;
+        values_.clear();
+    }
+
+  private:
+    static constexpr std::size_t kInitialSlots = 16;
+    static constexpr std::uint32_t kEmpty = ~std::uint32_t{0};
+
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        std::uint32_t index = kEmpty;
+    };
+
+    /** splitmix64 finalizer: strong mixing for address-like keys. */
+    static std::uint64_t mix(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    /** Slot index holding @p key, or the empty slot it belongs in. */
+    std::size_t probe(std::uint64_t key) const
+    {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+        while (slots_[i].index != kEmpty && slots_[i].key != key)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    void rehash(std::size_t n)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(n, Slot{});
+        for (const Slot &s : old) {
+            if (s.index == kEmpty)
+                continue;
+            std::size_t i = probe(s.key);
+            slots_[i] = s;
+        }
+    }
+
+    std::vector<Slot> slots_;
+
+    /** Deque keeps value addresses stable across growth. */
+    std::deque<V> values_;
+};
+
+} // namespace hdrd
+
+#endif // HDRD_COMMON_ID_MAP_HH

@@ -16,6 +16,14 @@
  *
  * Pages are heap-allocated and never move or free until clear(), so
  * references returned by get() stay valid across later inserts.
+ *
+ * Two reset flavours exist. clear() frees everything. reset() is the
+ * recycling path for engine reuse across jobs: it bumps a generation
+ * counter so every page becomes logically absent in O(1), and a stale
+ * page is revived (slots re-value-initialized, no allocation) only
+ * when next touched. Long-lived engines thus stop paying a full
+ * free/malloc/zero sweep between runs while observable behaviour
+ * matches a cleared table.
  */
 
 #ifndef HDRD_COMMON_RADIX_TABLE_HH
@@ -75,19 +83,40 @@ class RadixTable
             if (it != overflow_.end())
                 page = it->second.get();
         }
-        if (page == nullptr)
+        if (page == nullptr || page->gen != gen_)
             return nullptr;
         return &page->slots[key & kPageMask];
     }
 
-    /** Number of materialized pages. */
+    /** Number of live (current-generation) pages. */
     std::size_t pages() const { return npages_; }
 
-    /** Drop every page (full reset). */
+    /** Pages held in storage, live or awaiting recycling. */
+    std::size_t allocatedPages() const { return allocated_; }
+
+    /** Stale pages revived in place instead of reallocated. */
+    std::uint64_t recycledPages() const { return recycled_; }
+
+    /** Drop every page (full reset, storage freed). */
     void clear()
     {
         dir_.clear();
         overflow_.clear();
+        npages_ = 0;
+        allocated_ = 0;
+        last_idx_ = kNoPage;
+        last_page_ = nullptr;
+    }
+
+    /**
+     * Logically empty the table in O(1), keeping page storage for
+     * recycling. Afterwards pages() is 0 and peek() misses everywhere,
+     * exactly as after clear(); the next get() of an old key revives
+     * its page by re-initializing the slots in place.
+     */
+    void reset()
+    {
+        ++gen_;
         npages_ = 0;
         last_idx_ = kNoPage;
         last_page_ = nullptr;
@@ -97,9 +126,23 @@ class RadixTable
     struct Page
     {
         std::array<T, kPageSize> slots{};
+        std::uint64_t gen = 0;
     };
 
     static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
+
+    Page *revive(Page *page)
+    {
+        if (page->gen != gen_) {
+            if (page->gen != kNeverUsed) {
+                page->slots.fill(T{});
+                ++recycled_;
+            }
+            page->gen = gen_;
+            ++npages_;
+        }
+        return page;
+    }
 
     Page *materialize(std::uint64_t p)
     {
@@ -115,17 +158,22 @@ class RadixTable
             auto &slot = dir_[p];
             if (!slot) {
                 slot = std::make_unique<Page>();
-                ++npages_;
+                slot->gen = kNeverUsed;
+                ++allocated_;
             }
-            return slot.get();
+            return revive(slot.get());
         }
         auto &slot = overflow_[p];
         if (!slot) {
             slot = std::make_unique<Page>();
-            ++npages_;
+            slot->gen = kNeverUsed;
+            ++allocated_;
         }
-        return slot.get();
+        return revive(slot.get());
     }
+
+    /** Generation tag for a freshly allocated, not-yet-live page. */
+    static constexpr std::uint64_t kNeverUsed = ~std::uint64_t{0};
 
     /** Flat directory: page index -> page (null until touched). */
     std::vector<std::unique_ptr<Page>> dir_;
@@ -134,6 +182,11 @@ class RadixTable
     std::unordered_map<std::uint64_t, std::unique_ptr<Page>> overflow_;
 
     std::size_t npages_ = 0;
+    std::size_t allocated_ = 0;
+    std::uint64_t recycled_ = 0;
+
+    /** Current generation; pages from older generations are stale. */
+    std::uint64_t gen_ = 0;
 
     /** Last-page memo: streaming accesses skip the directory walk. */
     std::uint64_t last_idx_ = kNoPage;

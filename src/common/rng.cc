@@ -19,12 +19,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -38,21 +32,7 @@ Rng::Rng(std::uint64_t seed)
 }
 
 std::uint64_t
-Rng::next64()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
+Rng::nextBoundedSlow(std::uint64_t bound)
 {
     hdrdAssert(bound > 0, "Rng::nextBounded requires bound > 0");
     // Rejection sampling to avoid modulo bias.
@@ -71,23 +51,6 @@ Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
     if (lo == 0 && hi == ~0ULL)
         return next64();
     return lo + nextBounded(hi - lo + 1);
-}
-
-double
-Rng::nextDouble()
-{
-    // 53 high bits -> uniform double in [0, 1).
-    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return nextDouble() < p;
 }
 
 std::uint64_t

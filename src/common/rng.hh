@@ -30,20 +30,55 @@ class Rng
     /** Seed deterministically via SplitMix64 expansion of @p seed. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-    /** Next raw 64-bit value. */
-    std::uint64_t next64();
+    /**
+     * Next raw 64-bit value. In the header (with the other per-op
+     * draws below) so workload op generation inlines it: one draw per
+     * synthetic access makes the call overhead measurable.
+     */
+    std::uint64_t next64()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [0, bound). @pre bound > 0. */
-    std::uint64_t nextBounded(std::uint64_t bound);
+    std::uint64_t nextBounded(std::uint64_t bound)
+    {
+        // Power-of-two bound: rejection never triggers (threshold is
+        // zero) and the modulo is a mask, so the general path below
+        // would return exactly this from its first draw — same
+        // value, two integer divisions cheaper.
+        if ((bound & (bound - 1)) == 0 && bound != 0)
+            return next64() & (bound - 1);
+        return nextBoundedSlow(bound);
+    }
 
     /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
     std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double nextDouble()
+    {
+        // 53 high bits -> uniform double in [0, 1).
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw: true with probability @p p (clamped to [0,1]). */
-    bool nextBool(double p);
+    bool nextBool(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /**
      * Geometric-ish burst length: 1 + number of successes before the
@@ -56,6 +91,14 @@ class Rng
     Rng split();
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** Rejection-sampling path for non-power-of-two bounds. */
+    std::uint64_t nextBoundedSlow(std::uint64_t bound);
+
     std::uint64_t s_[4];
 };
 

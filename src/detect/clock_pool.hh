@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Slab pool for read-shared vector clocks.
+ *
+ * FastTrack inflates a variable's read metadata from an epoch to a
+ * full vector clock only while reads are concurrent, and collapses it
+ * back on the next write. With a per-variable unique_ptr that cycle is
+ * a malloc/free pair per inflation; under read-heavy workloads the
+ * allocator dominates the detector. The pool instead hands out clocks
+ * from arena slabs and recycles released ones through a free list —
+ * a recycled clock keeps its (possibly heap-promoted) component
+ * capacity, so steady-state inflation touches no allocator at all.
+ *
+ * Not thread-safe: each detector engine owns one pool, matching the
+ * one-engine-per-worker service model.
+ */
+
+#ifndef HDRD_DETECT_CLOCK_POOL_HH
+#define HDRD_DETECT_CLOCK_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "detect/vector_clock.hh"
+
+namespace hdrd::detect
+{
+
+/** Arena allocator for VectorClock with free-list recycling. */
+class ClockPool
+{
+  public:
+    /** Clocks per slab; slabs are never freed while the pool lives. */
+    static constexpr std::uint32_t kSlabSize = 64;
+
+    ClockPool() = default;
+    ClockPool(const ClockPool &) = delete;
+    ClockPool &operator=(const ClockPool &) = delete;
+
+    /**
+     * Hand out an empty clock (recycled when possible). The clock
+     * stays owned by the pool; give it back with release().
+     */
+    VectorClock *acquire()
+    {
+        if (!free_.empty()) {
+            VectorClock *clock = free_.back();
+            free_.pop_back();
+            clock->reset();
+            ++reused_;
+            return clock;
+        }
+        if (slabs_.empty() || next_in_slab_ == kSlabSize) {
+            slabs_.push_back(
+                std::make_unique<VectorClock[]>(kSlabSize));
+            next_in_slab_ = 0;
+        }
+        ++created_;
+        return &slabs_.back()[next_in_slab_++];
+    }
+
+    /** Return @p clock to the free list for the next acquire(). */
+    void release(VectorClock *clock)
+    {
+        if (clock != nullptr)
+            free_.push_back(clock);
+    }
+
+    /**
+     * Reclaim every outstanding clock at once. Valid only when the
+     * owner has dropped all acquired pointers (e.g. the shadow table
+     * was cleared); cheaper than releasing one by one.
+     */
+    void reclaimAll()
+    {
+        free_.clear();
+        for (std::size_t s = 0; s < slabs_.size(); ++s) {
+            const std::uint32_t limit =
+                s + 1 == slabs_.size() ? next_in_slab_ : kSlabSize;
+            for (std::uint32_t i = 0; i < limit; ++i)
+                free_.push_back(&slabs_[s][i]);
+        }
+    }
+
+    /** Clocks ever constructed from slabs. */
+    std::uint64_t created() const { return created_; }
+
+    /** Acquires satisfied from the free list. */
+    std::uint64_t reused() const { return reused_; }
+
+    /** Clocks currently parked on the free list. */
+    std::size_t freeCount() const { return free_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<VectorClock[]>> slabs_;
+    std::vector<VectorClock *> free_;
+    std::uint32_t next_in_slab_ = kSlabSize;
+    std::uint64_t created_ = 0;
+    std::uint64_t reused_ = 0;
+};
+
+} // namespace hdrd::detect
+
+#endif // HDRD_DETECT_CLOCK_POOL_HH

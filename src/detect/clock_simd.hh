@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the vector-clock hot loops.
+ *
+ * The detector's O(T) clock operations — join (element-wise max),
+ * happens-before comparison, and racing-witness search — all reduce
+ * to unsigned 64-bit lane arithmetic over flat arrays. x86 grew the
+ * needed compare (pcmpgtq) in SSE4.2 and 4-wide lanes in AVX2, so the
+ * kernels come in three flavours resolved once per process:
+ *
+ *   scalar  portable reference, always available, and the fallback
+ *           on non-x86 hosts;
+ *   sse42   2 lanes per step (pcmpgtq + sign-bias for unsigned);
+ *   avx2    4 lanes per step.
+ *
+ * Every flavour computes bit-identical results — the golden
+ * determinism suite runs against all of them — and the HDRD_SIMD
+ * environment variable (scalar|sse42|avx2|auto) force-caps the level
+ * so CI can diff scalar and SIMD runs on the same machine.
+ */
+
+#ifndef HDRD_DETECT_CLOCK_SIMD_HH
+#define HDRD_DETECT_CLOCK_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hdrd::detect::simd
+{
+
+/** "No index" result for the search kernels. */
+constexpr std::size_t kNotFound = ~std::size_t{0};
+
+/**
+ * The kernel set, one function pointer per clock primitive. All
+ * lengths are in 64-bit elements; all loads/stores are unaligned.
+ */
+struct KernelTable
+{
+    /** dst[i] = max(dst[i], src[i]) for i in [0, n). */
+    void (*join_max)(std::uint64_t *dst, const std::uint64_t *src,
+                     std::size_t n);
+
+    /** True when a[i] > b[i] (unsigned) for any i in [0, n). */
+    bool (*any_greater)(const std::uint64_t *a, const std::uint64_t *b,
+                        std::size_t n);
+
+    /**
+     * Smallest i in [0, n) with i != except and a[i] > b[i]
+     * (unsigned), or kNotFound.
+     */
+    std::size_t (*first_greater_except)(const std::uint64_t *a,
+                                        const std::uint64_t *b,
+                                        std::size_t n,
+                                        std::size_t except);
+
+    /** True when a[i] != 0 for any i in [0, n) with i != except. */
+    bool (*any_nonzero_except)(const std::uint64_t *a, std::size_t n,
+                               std::size_t except);
+
+    /** Flavour name: "scalar", "sse42", or "avx2". */
+    const char *level;
+};
+
+/**
+ * The process-wide kernel set. Resolved on first use from CPU
+ * features capped by HDRD_SIMD; stable afterwards (unless a test
+ * calls forceLevel).
+ */
+const KernelTable &kernels();
+
+/** Name of the active flavour (diagnostics, tests). */
+const char *activeLevel();
+
+/**
+ * Test hook: force a specific flavour ("scalar", "sse42", "avx2") or
+ * re-resolve automatically ("auto"). Returns false — leaving the
+ * active set unchanged — when this host cannot run the request.
+ * Not thread-safe; call only from single-threaded test setup.
+ */
+bool forceLevel(const char *level);
+
+} // namespace hdrd::detect::simd
+
+#endif // HDRD_DETECT_CLOCK_SIMD_HH

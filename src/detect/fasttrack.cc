@@ -6,8 +6,19 @@ namespace hdrd::detect
 FastTrackDetector::FastTrackDetector(SyncClocks &clocks,
                                      ReportSink &sink,
                                      std::uint32_t granule_shift)
-    : clocks_(clocks), sink_(sink), shadow_(granule_shift)
+    : clocks_(clocks), sink_(sink),
+      owned_(std::make_unique<ShadowMemory>(granule_shift)),
+      shadow_(owned_.get())
 {
+}
+
+FastTrackDetector::FastTrackDetector(SyncClocks &clocks,
+                                     ReportSink &sink,
+                                     ShadowMemory &shadow,
+                                     std::uint32_t granule_shift)
+    : clocks_(clocks), sink_(sink), shadow_(&shadow)
+{
+    shadow_->prepare(granule_shift);
 }
 
 } // namespace hdrd::detect

@@ -25,6 +25,11 @@ namespace hdrd::detect
  * The FastTrack algorithm over lazily materialized shadow memory.
  * Final: the simulator's hot path calls onAccess through a typed
  * pointer, which devirtualizes against a final class.
+ *
+ * The shadow can be owned (default) or borrowed from a long-lived
+ * engine: a borrowed shadow is prepared (retired + re-aimed) on
+ * construction, so repeated jobs recycle its chunk and clock storage
+ * instead of rebuilding it.
  */
 class FastTrackDetector final : public Detector
 {
@@ -37,29 +42,52 @@ class FastTrackDetector final : public Detector
     FastTrackDetector(SyncClocks &clocks, ReportSink &sink,
                       std::uint32_t granule_shift = 3);
 
+    /**
+     * Borrow @p shadow instead of owning one. The shadow is prepared
+     * for @p granule_shift (all previous state retired, storage
+     * recycled) and must outlive this detector.
+     */
+    FastTrackDetector(SyncClocks &clocks, ReportSink &sink,
+                      ShadowMemory &shadow,
+                      std::uint32_t granule_shift);
+
     AccessOutcome onAccess(ThreadId tid, Addr addr, bool write,
                            SiteId site) override
     {
-        return write ? onWrite(tid, addr, site)
-                     : onRead(tid, addr, site);
+        return onAccessTyped<true>(tid, addr, write, site);
     }
 
-    void clearShadow() override { shadow_.clear(); }
+    /**
+     * Non-virtual hot-path entry. @tparam kNeedSharing false lets a
+     * caller that discards the outcome (the continuous regime — only
+     * demand gating consumes it) skip the prior-state sharing
+     * classification; race detection and reporting are unaffected.
+     */
+    template <bool kNeedSharing>
+    AccessOutcome onAccessTyped(ThreadId tid, Addr addr, bool write,
+                                SiteId site)
+    {
+        return write ? onWrite<kNeedSharing>(tid, addr, site)
+                     : onRead<kNeedSharing>(tid, addr, site);
+    }
+
+    void clearShadow() override { shadow_->clear(); }
 
     const char *name() const override { return "fasttrack"; }
 
     /** The underlying shadow memory (tests). */
-    const ShadowMemory &shadow() const { return shadow_; }
-    ShadowMemory &shadow() { return shadow_; }
+    const ShadowMemory &shadow() const { return *shadow_; }
+    ShadowMemory &shadow() { return *shadow_; }
 
   private:
     // The per-access paths live in the header so the simulator's
     // devirtualized call site can inline the same-epoch fast paths
     // (shadow lookup + one 64-bit compare) into its hot loop.
+    template <bool kNeedSharing>
     AccessOutcome onRead(ThreadId tid, Addr addr, SiteId site)
     {
         AccessOutcome outcome;
-        VarState &st = shadow_.state(addr);
+        VarState &st = shadow_->state(addr);
         const VectorClock &ct = clocks_.clock(tid);
         const ClockValue my_clock = ct.get(tid);
         const Epoch et(tid, my_clock);
@@ -70,7 +98,8 @@ class FastTrackDetector final : public Detector
         if (st.rvc && st.rvc->get(tid) == my_clock)
             return outcome;
 
-        outcome.inter_thread = involvesOtherThread(st, tid);
+        if constexpr (kNeedSharing)
+            outcome.inter_thread = involvesOtherThread(st, tid);
 
         // Write-read conflict with the previous writer?
         if (!st.w.leq(ct)) {
@@ -91,8 +120,9 @@ class FastTrackDetector final : public Detector
         } else if (st.r.empty() || st.r.leq(ct)) {
             st.r = et;  // reads remain thread-ordered: stay an epoch
         } else {
-            // Concurrent readers: inflate to a read vector clock.
-            st.rvc = std::make_unique<VectorClock>();
+            // Concurrent readers: inflate to a read vector clock,
+            // recycled from the shadow's pool when one is parked.
+            st.rvc = shadow_->readClocks().acquire();
             st.rvc->set(st.r.tid(), st.r.clock());
             st.rvc->set(tid, my_clock);
             st.r = Epoch();
@@ -101,17 +131,19 @@ class FastTrackDetector final : public Detector
         return outcome;
     }
 
+    template <bool kNeedSharing>
     AccessOutcome onWrite(ThreadId tid, Addr addr, SiteId site)
     {
         AccessOutcome outcome;
-        VarState &st = shadow_.state(addr);
+        VarState &st = shadow_->state(addr);
         const VectorClock &ct = clocks_.clock(tid);
         const Epoch et(tid, ct.get(tid));
 
         if (st.w == et)
             return outcome;  // same-epoch write: nothing can have changed
 
-        outcome.inter_thread = involvesOtherThread(st, tid);
+        if constexpr (kNeedSharing)
+            outcome.inter_thread = involvesOtherThread(st, tid);
 
         // Write-write conflict with the previous writer?
         if (!st.w.leq(ct)) {
@@ -154,9 +186,11 @@ class FastTrackDetector final : public Detector
         }
 
         // FastTrack "write shared" collapses the read vector clock back
-        // to the cheap representation once a write is recorded.
+        // to the cheap representation; the clock parks in the pool for
+        // the next inflation.
         if (st.rvc) {
-            st.rvc.reset();
+            shadow_->readClocks().release(st.rvc);
+            st.rvc = nullptr;
             st.r = Epoch();
             st.r_site = kInvalidSite;
         }
@@ -177,7 +211,12 @@ class FastTrackDetector final : public Detector
 
     SyncClocks &clocks_;
     ReportSink &sink_;
-    ShadowMemory shadow_;
+
+    /** Set only when this detector owns its shadow. */
+    std::unique_ptr<ShadowMemory> owned_;
+
+    /** The shadow in use: owned_ or a caller-provided long-lived one. */
+    ShadowMemory *shadow_;
 };
 
 } // namespace hdrd::detect

@@ -14,8 +14,8 @@
 #define HDRD_DETECT_NAIVE_HB_HH
 
 #include <memory>
-#include <unordered_map>
 
+#include "common/id_map.hh"
 #include "detect/detector.hh"
 #include "detect/report.hh"
 #include "detect/sync_state.hh"
@@ -57,7 +57,7 @@ class NaiveHbDetector : public Detector
     SyncClocks &clocks_;
     ReportSink &sink_;
     std::uint32_t granule_shift_;
-    std::unordered_map<std::uint64_t, Var> vars_;
+    IdMap<Var> vars_;
 };
 
 } // namespace hdrd::detect

@@ -5,11 +5,30 @@
 namespace hdrd::detect
 {
 
-ShadowMemory::ShadowMemory(std::uint32_t granule_shift)
-    : granule_shift_(granule_shift)
+namespace
+{
+
+void
+checkShift(std::uint32_t granule_shift)
 {
     hdrdAssert(granule_shift <= 12,
                "unreasonable shadow granule shift ", granule_shift);
+}
+
+} // namespace
+
+ShadowMemory::ShadowMemory(std::uint32_t granule_shift)
+    : granule_shift_(granule_shift)
+{
+    checkShift(granule_shift);
+}
+
+void
+ShadowMemory::prepare(std::uint32_t granule_shift)
+{
+    checkShift(granule_shift);
+    granule_shift_ = granule_shift;
+    clear();
 }
 
 } // namespace hdrd::detect

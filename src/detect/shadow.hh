@@ -10,16 +10,21 @@
  * Storage is a radix page table rather than a hash map: a granule
  * lookup is one shift plus a directory index, and the last chunk is
  * memoized so streaming accesses skip even that.
+ *
+ * Read-shared variables point into a ClockPool owned by the shadow
+ * rather than carrying a unique_ptr each: inflation and collapse
+ * recycle pooled clocks instead of hitting the allocator, and clear()
+ * retires chunks and clocks in O(1) for reuse by the next job.
  */
 
 #ifndef HDRD_DETECT_SHADOW_HH
 #define HDRD_DETECT_SHADOW_HH
 
 #include <cstdint>
-#include <memory>
 
 #include "common/radix_table.hh"
 #include "common/types.hh"
+#include "detect/clock_pool.hh"
 #include "detect/epoch.hh"
 #include "detect/vector_clock.hh"
 
@@ -41,8 +46,12 @@ struct VarState
     /** Last read epoch; meaningless while rvc is non-null. */
     Epoch r;
 
-    /** Read vector clock; non-null means the variable is read-shared. */
-    std::unique_ptr<VectorClock> rvc;
+    /**
+     * Read vector clock; non-null means the variable is read-shared.
+     * Owned by the enclosing ShadowMemory's pool, not this struct —
+     * the detector releases it back on collapse.
+     */
+    VectorClock *rvc = nullptr;
 
     /** Static site of the last write (for reporting). */
     SiteId w_site = kInvalidSite;
@@ -53,7 +62,7 @@ struct VarState
     /** True when no access has ever been recorded. */
     bool untouched() const
     {
-        return w.empty() && r.empty() && !rvc;
+        return w.empty() && r.empty() && rvc == nullptr;
     }
 };
 
@@ -102,11 +111,42 @@ class ShadowMemory
             __builtin_prefetch(st, 1 /* expect write */);
     }
 
-    /** Number of materialized chunks. */
+    /** Pool backing the read-shared vector clocks. */
+    ClockPool &readClocks() { return pool_; }
+    const ClockPool &readClocks() const { return pool_; }
+
+    /** Number of live chunks. */
     std::size_t chunks() const { return table_.pages(); }
 
-    /** Drop every chunk (full shadow reset). */
-    void clear() { table_.clear(); }
+    /** Chunks held in storage for recycling (live + retired). */
+    std::size_t allocatedChunks() const
+    {
+        return table_.allocatedPages();
+    }
+
+    /** Retired chunks revived in place instead of reallocated. */
+    std::uint64_t recycledChunks() const
+    {
+        return table_.recycledPages();
+    }
+
+    /**
+     * Retire every chunk and reclaim every pooled clock. O(1) in the
+     * table size: chunk storage and clock capacity stay parked for
+     * the next run instead of going back to the allocator.
+     */
+    void clear()
+    {
+        table_.reset();
+        pool_.reclaimAll();
+    }
+
+    /**
+     * Re-aim this shadow at a new job: adopt @p granule_shift and
+     * retire all state, recycling storage. Used by engines that keep
+     * one ShadowMemory alive across runs.
+     */
+    void prepare(std::uint32_t granule_shift);
 
   private:
     /** 512-granule chunks, as before the radix rewrite. */
@@ -114,6 +154,7 @@ class ShadowMemory
 
     std::uint32_t granule_shift_;
     RadixTable<VarState, kChunkBits> table_;
+    ClockPool pool_;
 };
 
 } // namespace hdrd::detect

@@ -18,9 +18,8 @@ SyncClocks::SyncClocks(std::uint32_t nthreads)
 void
 SyncClocks::acquire(ThreadId tid, std::uint64_t lock_id)
 {
-    auto it = lock_clocks_.find(lock_id);
-    if (it != lock_clocks_.end())
-        thread_clocks_[tid].join(it->second);
+    if (const VectorClock *lc = lock_clocks_.find(lock_id))
+        thread_clocks_[tid].join(*lc);
 }
 
 void
@@ -33,9 +32,8 @@ SyncClocks::release(ThreadId tid, std::uint64_t lock_id)
 void
 SyncClocks::rdAcquire(ThreadId tid, std::uint64_t rwlock_id)
 {
-    auto it = rwlock_clocks_.find(rwlock_id);
-    if (it != rwlock_clocks_.end())
-        thread_clocks_[tid].join(it->second.write);
+    if (const RwClocks *rw = rwlock_clocks_.find(rwlock_id))
+        thread_clocks_[tid].join(rw->write);
 }
 
 void
@@ -49,10 +47,9 @@ SyncClocks::rdRelease(ThreadId tid, std::uint64_t rwlock_id)
 void
 SyncClocks::wrAcquire(ThreadId tid, std::uint64_t rwlock_id)
 {
-    auto it = rwlock_clocks_.find(rwlock_id);
-    if (it != rwlock_clocks_.end()) {
-        thread_clocks_[tid].join(it->second.write);
-        thread_clocks_[tid].join(it->second.readers);
+    if (const RwClocks *rw = rwlock_clocks_.find(rwlock_id)) {
+        thread_clocks_[tid].join(rw->write);
+        thread_clocks_[tid].join(rw->readers);
     }
 }
 

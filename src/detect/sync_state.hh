@@ -14,9 +14,9 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/id_map.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "detect/epoch.hh"
@@ -102,8 +102,12 @@ class SyncClocks
     };
 
     std::vector<VectorClock> thread_clocks_;
-    std::unordered_map<std::uint64_t, VectorClock> lock_clocks_;
-    std::unordered_map<std::uint64_t, RwClocks> rwlock_clocks_;
+
+    // Open-addressing maps: sync objects are inserted and touched but
+    // never erased, so the no-erase IdMap's flat probing beats
+    // unordered_map's node allocations on the sync-op path.
+    IdMap<VectorClock> lock_clocks_;
+    IdMap<RwClocks> rwlock_clocks_;
 };
 
 } // namespace hdrd::detect

@@ -5,60 +5,50 @@
 namespace hdrd::detect
 {
 
-VectorClock::VectorClock(std::uint32_t nthreads) : clocks_(nthreads, 0)
-{
-}
-
 void
-VectorClock::join(const VectorClock &other)
+VectorClock::promote(std::uint32_t n)
 {
-    if (other.clocks_.size() > clocks_.size())
-        clocks_.resize(other.clocks_.size(), 0);
-    for (std::size_t i = 0; i < other.clocks_.size(); ++i)
-        clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+    // Double to amortize repeated promotions; the clock never shrinks
+    // afterwards, so pooled reuse keeps this capacity.
+    std::uint32_t cap = cap_;
+    while (cap < n)
+        cap *= 2;
+    ClockValue *fresh = new ClockValue[cap];
+    std::copy_n(data(), size_, fresh);
+    delete[] heap_;
+    heap_ = fresh;
+    cap_ = cap;
 }
 
 ThreadId
 VectorClock::firstGreaterExcept(const VectorClock &other,
                                 ThreadId except) const
 {
-    for (std::size_t i = 0; i < clocks_.size(); ++i) {
-        if (i == except)
-            continue;
-        const ClockValue theirs =
-            i < other.clocks_.size() ? other.clocks_[i] : 0;
-        if (clocks_[i] > theirs)
+    const std::uint32_t common = std::min(size_, other.size_);
+    const std::size_t hit = simd::kernels().first_greater_except(
+        data(), other.data(), common, except);
+    if (hit != simd::kNotFound)
+        return static_cast<ThreadId>(hit);
+    // Beyond other's stored size its components are implicitly zero,
+    // so any nonzero component here wins.
+    for (std::uint32_t i = common; i < size_; ++i) {
+        if (i != except && data()[i] != 0)
             return static_cast<ThreadId>(i);
     }
     return kInvalidThread;
 }
 
 bool
-VectorClock::soleNonzero(ThreadId tid) const
-{
-    for (std::size_t i = 0; i < clocks_.size(); ++i) {
-        if (i != tid && clocks_[i] != 0)
-            return false;
-    }
-    return true;
-}
-
-void
-VectorClock::clear()
-{
-    std::fill(clocks_.begin(), clocks_.end(), 0);
-}
-
-bool
 VectorClock::operator==(const VectorClock &other) const
 {
-    const std::size_t n =
-        std::max(clocks_.size(), other.clocks_.size());
-    for (std::size_t i = 0; i < n; ++i) {
-        const ClockValue a = i < clocks_.size() ? clocks_[i] : 0;
-        const ClockValue b =
-            i < other.clocks_.size() ? other.clocks_[i] : 0;
-        if (a != b)
+    const std::uint32_t common = std::min(size_, other.size_);
+    if (!std::equal(data(), data() + common, other.data()))
+        return false;
+    // The longer clock's tail must be all zeros to match the shorter
+    // clock's implicit zeros.
+    const VectorClock &longer = size_ > other.size_ ? *this : other;
+    for (std::uint32_t i = common; i < longer.size_; ++i) {
+        if (longer.data()[i] != 0)
             return false;
     }
     return true;
@@ -68,10 +58,10 @@ std::ostream &
 operator<<(std::ostream &os, const VectorClock &vc)
 {
     os << '[';
-    for (std::size_t i = 0; i < vc.clocks_.size(); ++i) {
+    for (std::uint32_t i = 0; i < vc.size_; ++i) {
         if (i)
             os << ',';
-        os << vc.clocks_[i];
+        os << vc.data()[i];
     }
     return os << ']';
 }

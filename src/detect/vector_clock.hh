@@ -1,16 +1,30 @@
 /**
  * @file
  * Vector clocks for happens-before race detection.
+ *
+ * Storage is adaptive, SmartTrack-style: components live in a flat
+ * ClockValue array that starts as an inline small-vector (no heap
+ * traffic for the common <= kInlineSlots-thread case) and promotes to
+ * a dense heap array when more threads appear. Demotion never frees:
+ * clear() and copy-assign retain capacity, so pooled clocks (see
+ * detect/clock_pool.hh) recycle their dense storage across
+ * inflation/collapse cycles instead of round-tripping malloc.
+ *
+ * The O(T) kernels — join, leq, firstGreaterExcept, soleNonzero —
+ * run on runtime-dispatched SIMD (detect/clock_simd.hh) over the flat
+ * array, with a portable scalar fallback that computes bit-identical
+ * results.
  */
 
 #ifndef HDRD_DETECT_VECTOR_CLOCK_HH
 #define HDRD_DETECT_VECTOR_CLOCK_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <ostream>
-#include <vector>
 
 #include "common/types.hh"
+#include "detect/clock_simd.hh"
 
 namespace hdrd::detect
 {
@@ -27,30 +41,76 @@ using ClockValue = std::uint64_t;
 class VectorClock
 {
   public:
-    VectorClock() = default;
+    /** Components stored inline before promoting to the heap. */
+    static constexpr std::uint32_t kInlineSlots = 8;
+
+    // User-provided (not defaulted) so `const VectorClock` default
+    // constructs; inline_ stays uninitialized on purpose — size_ == 0
+    // guards every read of it.
+    VectorClock() {}
 
     /** Create with @p nthreads explicit zero entries. */
-    explicit VectorClock(std::uint32_t nthreads);
+    explicit VectorClock(std::uint32_t nthreads) { grow(nthreads); }
+
+    VectorClock(const VectorClock &other) { *this = other; }
+
+    VectorClock &operator=(const VectorClock &other)
+    {
+        if (this != &other) {
+            reserve(other.size_);
+            std::copy_n(other.data(), other.size_, data());
+            size_ = other.size_;
+        }
+        return *this;
+    }
+
+    VectorClock(VectorClock &&other) noexcept { stealFrom(other); }
+
+    VectorClock &operator=(VectorClock &&other) noexcept
+    {
+        if (this != &other) {
+            delete[] heap_;
+            stealFrom(other);
+        }
+        return *this;
+    }
+
+    ~VectorClock() { delete[] heap_; }
 
     /** Clock value for @p tid (zero when beyond stored size). */
     ClockValue get(ThreadId tid) const
     {
-        return tid < clocks_.size() ? clocks_[tid] : 0;
+        return tid < size_ ? data()[tid] : 0;
     }
 
     /** Set @p tid's component to @p value, growing as needed. */
     void set(ThreadId tid, ClockValue value)
     {
-        if (tid >= clocks_.size())
-            clocks_.resize(tid + 1, 0);
-        clocks_[tid] = value;
+        if (tid >= size_)
+            grow(tid + 1);
+        data()[tid] = value;
     }
 
-    /** Increment @p tid's component. */
-    void tick(ThreadId tid) { set(tid, get(tid) + 1); }
+    /**
+     * Increment @p tid's component: one grow-and-index pass, not the
+     * get-then-set double walk of the std::vector representation.
+     */
+    void tick(ThreadId tid)
+    {
+        if (tid >= size_)
+            grow(tid + 1);
+        ++data()[tid];
+    }
 
     /** Element-wise max with @p other (the "join" of sync ops). */
-    void join(const VectorClock &other);
+    void join(const VectorClock &other)
+    {
+        if (other.size_ == 0)
+            return;
+        if (other.size_ > size_)
+            grow(other.size_);
+        simd::kernels().join_max(data(), other.data(), other.size_);
+    }
 
     /**
      * True when this clock happens-before-or-equals @p other:
@@ -58,13 +118,15 @@ class VectorClock
      */
     bool leq(const VectorClock &other) const
     {
-        for (std::size_t i = 0; i < clocks_.size(); ++i) {
-            const ClockValue theirs =
-                i < other.clocks_.size() ? other.clocks_[i] : 0;
-            if (clocks_[i] > theirs)
-                return false;
-        }
-        return true;
+        const std::uint32_t common = std::min(size_, other.size_);
+        const simd::KernelTable &k = simd::kernels();
+        if (k.any_greater(data(), other.data(), common))
+            return false;
+        // Components past other's stored size compare against an
+        // implicit zero: any nonzero one breaks the order.
+        return size_ <= other.size_
+            || !k.any_nonzero_except(data() + common, size_ - common,
+                                     simd::kNotFound);
     }
 
     /**
@@ -76,24 +138,98 @@ class VectorClock
                                 ThreadId except) const;
 
     /** True when every nonzero component belongs to @p tid. */
-    bool soleNonzero(ThreadId tid) const;
-
-    /** Number of explicitly stored components. */
-    std::uint32_t size() const
+    bool soleNonzero(ThreadId tid) const
     {
-        return static_cast<std::uint32_t>(clocks_.size());
+        return !simd::kernels().any_nonzero_except(data(), size_, tid);
     }
 
-    /** Reset every component to zero. */
-    void clear();
+    /** Number of explicitly stored components. */
+    std::uint32_t size() const { return size_; }
+
+    /** Components storable without another promotion. */
+    std::uint32_t capacity() const { return cap_; }
+
+    /** True while components still live in the inline small-vector. */
+    bool usesInlineStorage() const { return heap_ == nullptr; }
+
+    /**
+     * Reset every component to zero. Keeps the stored size and the
+     * (possibly heap) capacity, so recycled clocks re-inflate without
+     * reallocating.
+     */
+    void clear() { std::fill_n(data(), size_, ClockValue{0}); }
+
+    /**
+     * Drop back to an empty clock while retaining capacity. A reset
+     * clock is observably identical to a fresh one, which is what
+     * pooled recycling hands back to the detector.
+     */
+    void reset() { size_ = 0; }
 
     bool operator==(const VectorClock &other) const;
 
     friend std::ostream &operator<<(std::ostream &os,
                                     const VectorClock &vc);
 
+    /** Flat component storage (SIMD kernels, tests). */
+    const ClockValue *data() const
+    {
+        // Invariant hint: components past kInlineSlots always live on
+        // the heap (grow() promotes before size_ can exceed it).
+        // Without this, GCC's range propagation follows the inline
+        // branch for size_ > kInlineSlots accesses and reports
+        // out-of-bounds writes that cannot happen.
+        if (heap_ == nullptr && size_ > kInlineSlots)
+            __builtin_unreachable();
+        return heap_ != nullptr ? heap_ : inline_;
+    }
+
   private:
-    std::vector<ClockValue> clocks_;
+    ClockValue *data()
+    {
+        if (heap_ == nullptr && size_ > kInlineSlots)
+            __builtin_unreachable();
+        return heap_ != nullptr ? heap_ : inline_;
+    }
+
+    /** Ensure capacity >= @p n without touching size or contents. */
+    void reserve(std::uint32_t n)
+    {
+        if (n > cap_)
+            promote(n);
+    }
+
+    /** Grow the stored size to @p n, zero-filling the new tail. */
+    void grow(std::uint32_t n)
+    {
+        if (n > cap_)
+            promote(n);
+        std::fill(data() + size_, data() + n, ClockValue{0});
+        size_ = n;
+    }
+
+    /** Dense promotion: move components to a bigger heap array. */
+    void promote(std::uint32_t n);
+
+    void stealFrom(VectorClock &other) noexcept
+    {
+        size_ = other.size_;
+        cap_ = other.cap_;
+        heap_ = other.heap_;
+        if (heap_ == nullptr)
+            std::copy_n(other.inline_, size_, inline_);
+        other.heap_ = nullptr;
+        other.size_ = 0;
+        other.cap_ = kInlineSlots;
+    }
+
+    std::uint32_t size_ = 0;
+    std::uint32_t cap_ = kInlineSlots;
+
+    /** Dense heap array once promoted; null while inline. */
+    ClockValue *heap_ = nullptr;
+
+    ClockValue inline_[kInlineSlots];
 };
 
 } // namespace hdrd::detect

@@ -75,6 +75,23 @@ class PrivateCaches
         return l2_[core].probe(line_addr);
     }
 
+    /** Hint the host to pull @p core's L2 tag set for @p line_addr. */
+    void prefetchL2Set(CoreId core, Addr line_addr) const
+    {
+        l2_[core].prefetchSet(line_addr);
+    }
+
+    /**
+     * Hint the host to pull both of @p core's private tag sets for
+     * @p line_addr. Used by the simulator's cross-op prefetch, which
+     * knows an access is coming well before the probes run.
+     */
+    void prefetchSets(CoreId core, Addr line_addr) const
+    {
+        l1_[core].prefetchSet(line_addr);
+        l2_[core].prefetchSet(line_addr);
+    }
+
     /** LRU-touch already-probed lines in both levels (L1 hit). */
     void touchLines(CoreId core, CacheLine *l1_line, CacheLine *l2_line)
     {

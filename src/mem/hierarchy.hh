@@ -121,6 +121,16 @@ class Hierarchy
      * @param write true for a store, false for a load
      * @return what happened (service point, HITM, latency, ...)
      */
+    /**
+     * Pure host-side hint: start pulling the private tag sets
+     * @p core will scan when it next accesses @p addr. No simulated
+     * state changes; safe to call speculatively.
+     */
+    void prefetchAccess(CoreId core, Addr addr) const
+    {
+        privates_.prefetchSets(core, l3_.lineAddr(addr));
+    }
+
     AccessResult access(CoreId core, Addr addr, bool write)
     {
         hdrdAssert(core < config_.ncores,
@@ -138,6 +148,10 @@ class Hierarchy
         // order is invisible — probes have no side effects, and
         // inclusion means an L1 hit implies the L2 copy the old
         // L2-first probe would have found.
+        // Pull the L2 tag set while the L1 probe runs: the workloads'
+        // L1 miss rates make the L2 scan the common next step, and on
+        // an L1 hit the slot link lands in the same set anyway.
+        privates_.prefetchL2Set(core, line);
         CacheLine *l1_line = privates_.probeL1(core, line);
         CacheLine *l2_line = l1_line != nullptr
             ? privates_.l2LineOf(core, l1_line)

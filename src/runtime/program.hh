@@ -35,6 +35,16 @@ class ThreadBody
      * @return false when the thread has finished (op untouched).
      */
     virtual bool next(Op &op) = 0;
+
+    /**
+     * True when next() has no globally ordered side effects, i.e.
+     * calling it early (before the scheduler would naturally reach
+     * this thread again) is observationally equivalent. Bodies whose
+     * next() appends to a shared, call-order-sensitive stream (trace
+     * recording) must return false so the simulator skips its
+     * fetch-ahead prefetch path for them.
+     */
+    virtual bool nextIsPure() const { return true; }
 };
 
 /**

@@ -111,8 +111,11 @@ Simulator::runImpl(Program &program)
         detector = std::make_unique<detect::LocksetDetector>(
             result.reports, granule_shift);
     } else {
+        // Borrow the engine's persistent shadow: the ctor retires any
+        // previous run's state in O(1) and recycles its chunk pages
+        // and pooled read clocks for this run.
         detector = std::make_unique<detect::FastTrackDetector>(
-            clocks, result.reports, granule_shift);
+            clocks, result.reports, ft_shadow_, granule_shift);
     }
     // Devirtualized fast path: FastTrackDetector is final, so calls
     // through this pointer bind directly (no vtable dispatch on the
@@ -420,8 +423,12 @@ Simulator::runImpl(Program &program)
                 charge += cost.gate_check;
             if (analyze) {
                 charge += cost.analysisCost(write);
+                // Continuous mode discards the outcome (only demand
+                // gating consumes it), so the typed entry statically
+                // skips the sharing classification there.
                 const auto outcome = ft != nullptr
-                    ? ft->onAccess(tid, op.addr, write, op.site)
+                    ? ft->onAccessTyped<demand_mode>(tid, op.addr,
+                                                     write, op.site)
                     : detector->onAccess(tid, op.addr, write,
                                          op.site);
                 ++result.analyzed_accesses;
@@ -717,6 +724,25 @@ Simulator::runImpl(Program &program)
             }
             break;
           }
+        }
+
+        // Cross-op prefetch: per-thread op streams are thread-local,
+        // so this thread's *next* op can be generated now — several
+        // scheduler picks before it executes — and its shadow word
+        // and private tag sets started toward host cache while other
+        // threads' ops run in between. fetch() is idempotent and all
+        // stock bodies tolerate early calls; bodies with call-order-
+        // sensitive side effects opt out via nextIsPure(). Pure host
+        // hints — no simulated state moves.
+        if (tc.fetchAhead()) {
+            const Op &nx = tc.current();
+            if (nx.type == OpType::kRead
+                || nx.type == OpType::kWrite
+                || nx.type == OpType::kAtomicRmw) {
+                if (tool && ft != nullptr)
+                    ft->shadow().prefetch(nx.addr);
+                hier.prefetchAccess(core, nx.addr);
+            }
         }
     }
 

@@ -25,6 +25,7 @@
 #include "demand/controller.hh"
 #include "demand/strategy.hh"
 #include "detect/report.hh"
+#include "detect/shadow.hh"
 #include "instr/cost_model.hh"
 #include "mem/hierarchy.hh"
 #include "pmu/event.hh"
@@ -197,8 +198,12 @@ struct RunResult
 };
 
 /**
- * Executes Programs under a fixed SimConfig. Stateless between runs:
- * every run() builds a fresh platform.
+ * Executes Programs under a fixed SimConfig. Logically stateless
+ * between runs: every run() builds a fresh platform. The FastTrack
+ * shadow memory is the one piece of *storage* that persists — each
+ * run borrows it after a recycling reset, so a long-lived engine
+ * (one per service worker) reuses chunk pages and pooled clocks
+ * across jobs instead of rebuilding them from the allocator.
  */
 class Simulator
 {
@@ -237,6 +242,9 @@ class Simulator
     RunResult runImpl(Program &program);
 
     SimConfig config_;
+
+    /** Persistent FastTrack shadow scratch, recycled per run. */
+    detect::ShadowMemory ft_shadow_;
 };
 
 } // namespace hdrd::runtime

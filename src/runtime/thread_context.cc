@@ -12,6 +12,7 @@ ThreadContext::ThreadContext(ThreadId tid, CoreId core,
       state_(initial_state)
 {
     hdrdAssert(body_ != nullptr, "ThreadContext needs a body");
+    next_is_pure_ = body_->nextIsPure();
 }
 
 } // namespace hdrd::runtime

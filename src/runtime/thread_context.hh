@@ -69,6 +69,19 @@ class ThreadContext
         return true;
     }
 
+    /**
+     * fetch(), but only when the body declared next() pure: used by
+     * the simulator's cross-op prefetch to pull the next op early
+     * without perturbing call-order-sensitive bodies (trace
+     * recording). fetch() is idempotent, so the later mandatory
+     * fetch() just sees the op already staged.
+     * @return true when an op is staged for inspection.
+     */
+    bool fetchAhead()
+    {
+        return next_is_pure_ && fetch();
+    }
+
     /** Mark the current op executed; the next fetch() advances. */
     void consume()
     {
@@ -91,6 +104,7 @@ class ThreadContext
     ThreadId tid_;
     CoreId core_;
     std::unique_ptr<ThreadBody> body_;
+    bool next_is_pure_ = true;
     ThreadState state_;
     Op current_{};
     bool has_op_ = false;

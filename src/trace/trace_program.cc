@@ -51,6 +51,12 @@ class RecordingBody : public runtime::ThreadBody
         return true;
     }
 
+    /**
+     * The writer appends to one global stream in next()-call order,
+     * so fetching ahead would reorder the recorded trace.
+     */
+    bool nextIsPure() const override { return false; }
+
   private:
     ThreadId tid_;
     std::unique_ptr<runtime::ThreadBody> inner_;

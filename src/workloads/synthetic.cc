@@ -71,9 +71,14 @@ SyntheticThread::pickAddr(const Segment &segment)
         word = rng_.nextBounded(region.words());
         return region.base + word * 8;
     }
-    const std::uint64_t offset =
-        (iter_ * std::max<std::uint64_t>(segment.stride, 1))
-        % region.bytes;
+    const std::uint64_t step =
+        iter_ * std::max<std::uint64_t>(segment.stride, 1);
+    // Region sizes are usually powers of two; the wrap is then a
+    // mask instead of a 64-bit division on every generated access.
+    const std::uint64_t bytes = region.bytes;
+    const std::uint64_t offset = (bytes & (bytes - 1)) == 0
+        ? step & (bytes - 1)
+        : step % bytes;
     return region.base + (offset & ~std::uint64_t{7});
 }
 

@@ -266,3 +266,79 @@ TEST(FastTrack, NameIsStable)
     Fixture f;
     EXPECT_STREQ(f.detector.name(), "fasttrack");
 }
+
+TEST(FastTrack, InflationRecyclesPooledClocks)
+{
+    Fixture f;
+    ClockPool &pool = f.detector.shadow().readClocks();
+    const std::array<ThreadId, 4> all{0, 1, 2, 3};
+
+    // First inflation: concurrent readers force a pooled clock out.
+    f.detector.onAccess(0, kX, false, 1);
+    f.detector.onAccess(1, kX, false, 2);
+    EXPECT_EQ(pool.created(), 1u);
+    EXPECT_EQ(pool.reused(), 0u);
+
+    // Collapse parks it; the next inflation must reuse, not allocate.
+    f.clocks.barrier(all);
+    f.detector.onAccess(2, kX, true, 3);
+    EXPECT_EQ(pool.freeCount(), 1u);
+    f.clocks.barrier(all);
+    f.detector.onAccess(0, kX, false, 4);
+    f.detector.onAccess(1, kX, false, 5);
+    EXPECT_EQ(pool.created(), 1u);
+    EXPECT_EQ(pool.reused(), 1u);
+
+    // The recycled clock carries no stale components.
+    const VarState *st = f.detector.shadow().peek(kX);
+    ASSERT_NE(st, nullptr);
+    ASSERT_NE(st->rvc, nullptr);
+    EXPECT_FALSE(st->rvc->soleNonzero(0));  // both readers present
+    EXPECT_EQ(st->rvc->get(2), 0u);  // thread 2 never read here
+}
+
+TEST(FastTrack, ClearShadowReclaimsOutstandingClocks)
+{
+    Fixture f;
+    ClockPool &pool = f.detector.shadow().readClocks();
+    // Three read-shared variables, three live pooled clocks.
+    for (Addr a : {kX, kX + 8, kX + 16}) {
+        f.detector.onAccess(0, a, false, 1);
+        f.detector.onAccess(1, a, false, 2);
+    }
+    EXPECT_EQ(pool.created(), 3u);
+    EXPECT_EQ(pool.freeCount(), 0u);
+    f.detector.clearShadow();
+    // Bulk reclaim: everything is back on the free list, and the
+    // chunk storage is parked for recycling.
+    EXPECT_EQ(pool.freeCount(), 3u);
+    EXPECT_EQ(f.detector.shadow().chunks(), 0u);
+    EXPECT_EQ(f.detector.shadow().allocatedChunks(), 1u);
+    // Re-running the pattern allocates no new clocks.
+    for (Addr a : {kX, kX + 8, kX + 16}) {
+        f.detector.onAccess(0, a, false, 1);
+        f.detector.onAccess(1, a, false, 2);
+    }
+    EXPECT_EQ(pool.created(), 3u);
+    EXPECT_EQ(pool.reused(), 3u);
+    EXPECT_EQ(f.detector.shadow().recycledChunks(), 1u);
+}
+
+TEST(FastTrack, BorrowedShadowIsPreparedAndShared)
+{
+    ShadowMemory shared(3);
+    shared.state(kX).w = Epoch(7, 7);  // stale junk from a "prior job"
+    SyncClocks clocks(4);
+    ReportSink sink;
+    FastTrackDetector det(clocks, sink, shared, 3);
+    // Construction prepared the borrowed shadow: stale state retired.
+    EXPECT_EQ(shared.chunks(), 0u);
+    EXPECT_EQ(det.shadow().peek(kX), nullptr);
+    det.onAccess(0, kX, true, 1);
+    // The detector writes through to the caller's shadow.
+    ASSERT_NE(shared.peek(kX), nullptr);
+    EXPECT_EQ(shared.peek(kX)->w, Epoch(0, 1));
+    // And the prior job's chunk was revived in place.
+    EXPECT_EQ(shared.allocatedChunks(), 1u);
+    EXPECT_EQ(shared.recycledChunks(), 1u);
+}

@@ -361,10 +361,12 @@ TEST_P(ClockAlgebra, LeqIsAPartialOrder)
         const auto b = draw();
         const auto c = draw();
         EXPECT_TRUE(a.leq(a));  // reflexive
-        if (a.leq(b) && b.leq(a))
+        if (a.leq(b) && b.leq(a)) {
             EXPECT_EQ(a, b);  // antisymmetric
-        if (a.leq(b) && b.leq(c))
+        }
+        if (a.leq(b) && b.leq(c)) {
             EXPECT_TRUE(a.leq(c));  // transitive
+        }
     }
 }
 

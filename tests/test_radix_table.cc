@@ -164,3 +164,82 @@ TEST(RadixTable, DefaultGeometryHandlesShadowLikeKeys)
     EXPECT_EQ(t.get(0xFFFF'FFFF'FFFF'FFF8ULL >> 3), 3u);
     EXPECT_EQ(t.pages(), 3u);
 }
+
+TEST(RadixTable, ResetLogicallyEmptiesInPlace)
+{
+    SmallTable t;
+    t.get(1) = 7;
+    t.get(SmallTable::kPageSize * 2) = 9;
+    EXPECT_EQ(t.pages(), 2u);
+    t.reset();
+    // Observable state matches a cleared table...
+    EXPECT_EQ(t.pages(), 0u);
+    EXPECT_EQ(t.peek(1), nullptr);
+    EXPECT_EQ(t.peek(SmallTable::kPageSize * 2), nullptr);
+    // ...but the storage is parked, not freed.
+    EXPECT_EQ(t.allocatedPages(), 2u);
+}
+
+TEST(RadixTable, ResetRecyclesPagesOnNextTouch)
+{
+    SmallTable t;
+    t.get(3) = 42;
+    t.reset();
+    // Reviving re-value-initializes the slots in place.
+    EXPECT_EQ(t.get(3), 0u);
+    EXPECT_EQ(t.pages(), 1u);
+    EXPECT_EQ(t.allocatedPages(), 1u);
+    EXPECT_EQ(t.recycledPages(), 1u);
+    // A page never touched since allocation is not "recycled".
+    t.get(SmallTable::kPageSize * 5) = 1;
+    EXPECT_EQ(t.recycledPages(), 1u);
+}
+
+TEST(RadixTable, ResetCyclesPreserveSemanticsAcrossGenerations)
+{
+    SmallTable t;
+    for (int cycle = 0; cycle < 5; ++cycle) {
+        for (std::uint64_t k = 0; k < 8; ++k) {
+            EXPECT_EQ(t.get(k), 0u) << "cycle " << cycle;
+            t.get(k) = k + 100 * static_cast<std::uint64_t>(cycle);
+        }
+        t.reset();
+    }
+    // Five cycles over one page: allocated once, recycled each revive.
+    EXPECT_EQ(t.allocatedPages(), 1u);
+    EXPECT_EQ(t.recycledPages(), 4u);
+}
+
+TEST(RadixTable, ResetInvalidatesMemoizedPage)
+{
+    SmallTable t;
+    t.get(1) = 5;  // memoizes page 0
+    t.reset();
+    // The memoized page must not leak the stale value through peek
+    // or get after reset.
+    EXPECT_EQ(t.peek(1), nullptr);
+    EXPECT_EQ(t.get(1), 0u);
+}
+
+TEST(RadixTable, ClearAfterResetStillFreesStorage)
+{
+    SmallTable t;
+    t.get(1) = 1;
+    t.reset();
+    t.get(1) = 2;
+    t.clear();
+    EXPECT_EQ(t.pages(), 0u);
+    EXPECT_EQ(t.allocatedPages(), 0u);
+    EXPECT_EQ(t.get(1), 0u);
+}
+
+TEST(RadixTable, ResetAppliesToOverflowPagesToo)
+{
+    SmallTable t;
+    const std::uint64_t huge = ~std::uint64_t{0};
+    t.get(huge) = 11;
+    t.reset();
+    EXPECT_EQ(t.peek(huge), nullptr);
+    EXPECT_EQ(t.get(huge), 0u);
+    EXPECT_EQ(t.recycledPages(), 1u);
+}

@@ -156,7 +156,8 @@ TEST(Shadow, UntouchedConsidersAllFields)
     st.r = Epoch(0, 1);
     EXPECT_FALSE(st.untouched());
     VarState st2;
-    st2.rvc = std::make_unique<VectorClock>();
+    VectorClock rvc;
+    st2.rvc = &rvc;
     EXPECT_FALSE(st2.untouched());
 }
 

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "instr/cost_model.hh"
 #include "runtime/simulator.hh"
 #include "workloads/synthetic.hh"
@@ -415,4 +418,32 @@ TEST(Simulator, DeterministicAcrossRuns)
     EXPECT_EQ(a.analyzed_accesses, b.analyzed_accesses);
     EXPECT_EQ(a.reports.uniqueCount(), b.reports.uniqueCount());
     EXPECT_EQ(a.enables, b.enables);
+}
+
+TEST(Simulator, ReusedEngineMatchesFreshInstance)
+{
+    // The engine keeps its FastTrack shadow memory across run() calls
+    // and recycles its pages and pooled read clocks.  That reuse must
+    // be invisible: every measurement a reused engine dumps has to be
+    // byte-identical to a fresh engine's, racy and clean alike.
+    const auto dumpOf = [](const RunResult &r) {
+        std::ostringstream os;
+        r.dump(os);
+        return os.str();
+    };
+
+    Simulator engine(demandConfig());
+    const std::string racy_reused = dumpOf(engine.run(*racyProgram()));
+    const std::string clean_reused =
+        dumpOf(engine.run(*cleanProgram()));
+    const std::string racy_again = dumpOf(engine.run(*racyProgram()));
+
+    EXPECT_EQ(racy_reused,
+              dumpOf(Simulator::runWith(*racyProgram(),
+                                        demandConfig())));
+    EXPECT_EQ(clean_reused,
+              dumpOf(Simulator::runWith(*cleanProgram(),
+                                        demandConfig())));
+    // A recycled shadow must not leak state between jobs.
+    EXPECT_EQ(racy_reused, racy_again);
 }

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Global operator new/delete interposer feeding the thread-local
+ * allocation counters declared in common/alloc_stats.hh.
+ *
+ * Linked directly (as a source file) only into binaries that want
+ * allocation accounting — hdrd_bench — where its strong definitions
+ * replace the library's weak no-op fallbacks. Counting is per-thread
+ * with no atomics, so the interposer adds a couple of increments per
+ * allocation and nothing per free.
+ */
+
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc_stats.hh"
+
+namespace
+{
+
+thread_local hdrd::AllocCounters tls_counters;
+
+void *
+countedAlloc(std::size_t size)
+{
+    ++tls_counters.count;
+    tls_counters.bytes += size;
+    // Never return null for zero-size requests, per the standard.
+    void *p = std::malloc(size != 0 ? size : 1);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::align_val_t al)
+{
+    ++tls_counters.count;
+    tls_counters.bytes += size;
+    const std::size_t align = static_cast<std::size_t>(al);
+    // aligned_alloc requires size to be a multiple of the alignment.
+    const std::size_t rounded = (size + align - 1) / align * align;
+    void *p = std::aligned_alloc(align, rounded != 0 ? rounded : align);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+namespace hdrd
+{
+
+AllocCounters
+threadAllocCounters()
+{
+    return tls_counters;
+}
+
+bool
+allocTrackingActive()
+{
+    return true;
+}
+
+} // namespace hdrd
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t al)
+{
+    return countedAlignedAlloc(size, al);
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t al)
+{
+    return countedAlignedAlloc(size, al);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}

@@ -5,13 +5,21 @@
  * Fans the registered workloads x {native, continuous, demand-hitm}
  * across a worker pool of host threads (simulations are independent),
  * times each cell, and writes the aggregate host-side throughput to a
- * BENCH_engine.json (schema hdrd-bench-v1, see docs/PERF.md). This is
+ * BENCH_engine.json (schema hdrd-bench-v2, see docs/PERF.md). This is
  * the number that gates engine perf work: the continuous-FastTrack
  * aggregate is the headline "how fast does the simulator go" figure.
+ *
+ * Each cell reuses one Simulator engine across its repetitions — the
+ * same per-job reuse hdrd_served does — so the repeat loop exercises
+ * (and --check validates) the shadow-recycling path, and the v2
+ * allocator columns report its steady state. Allocation counting
+ * comes from alloc_interpose.cc, linked into this binary only.
  *
  *   hdrd_bench                          # full sweep, BENCH_engine.json
  *   hdrd_bench --smoke --check          # CI: subset + determinism check
  *   hdrd_bench --workers=8 --repeat=3   # quieter timing on a busy host
+ *   hdrd_bench --hashes=FILE            # dump-hash manifest (CI diffs
+ *                                       # scalar vs SIMD builds)
  */
 
 #include <chrono>
@@ -23,9 +31,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/alloc_stats.hh"
 #include "common/bench_json.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "detect/clock_simd.hh"
 #include "instr/cost_model.hh"
 #include "pmu/faults.hh"
 #include "runtime/simulator.hh"
@@ -52,6 +62,7 @@ struct Options
     std::string modes = "native,continuous,demand-hitm";
     std::string out = "BENCH_engine.json";
     std::string metrics_dump;
+    std::string hashes_out;
     double baseline_ops = 0.0;
 
     /** Degraded-signal sweep: resolved --faults= spec. */
@@ -81,6 +92,9 @@ usage()
         "                   (name, file, or key=value list); cells\n"
         "                   stay deterministic, so --check still "
         "gates\n"
+        "  --hashes=FILE    write 'workload mode hash' lines (FNV-1a\n"
+        "                   of each cell's dump) for cross-build "
+        "diffing\n"
         "  --out=FILE       JSON output (default BENCH_engine.json)\n"
         "  --metrics-dump=FILE  write the pool's hdrd-metrics-v1\n"
         "                   snapshot (same schema hdrd_served "
@@ -134,6 +148,8 @@ parse(int argc, char **argv)
             std::string err;
             if (!pmu::resolveFaultSpec(value, opt.faults, err))
                 fatal("--faults: ", err);
+        } else if (eat(arg, "--hashes=", value)) {
+            opt.hashes_out = value;
         } else if (eat(arg, "--out=", value)) {
             opt.out = value;
         } else if (eat(arg, "--metrics-dump=", value)) {
@@ -161,7 +177,22 @@ struct Cell
     instr::ToolMode mode = instr::ToolMode::kNative;
     const char *mode_name = "";
     benchjson::BenchCell result;
+
+    /** FNV-1a of the first repetition's dump (for --hashes). */
+    std::uint64_t dump_hash = 0;
 };
+
+/** FNV-1a 64-bit, the manifest hash for cross-build dump diffing. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
 
 runtime::SimConfig
 cellConfig(const Options &opt, instr::ToolMode mode)
@@ -188,17 +219,26 @@ runCell(Cell &cell, const Options &opt)
     double best_seconds = 0.0;
     std::string dump;
     runtime::RunResult result;
+    // One engine reused across repetitions, like a service worker
+    // serving back-to-back jobs: repeats after the first run against
+    // recycled shadow storage, so --check also gates the recycling
+    // path, and the final rep's allocator delta is its steady state.
+    runtime::Simulator engine(config);
+    AllocCounters alloc_last;
     for (std::uint32_t rep = 0; rep < opt.repeat + (opt.check ? 1u : 0u);
          ++rep) {
         auto program = cell.info->factory(params);
+        const AllocCounters alloc0 = threadAllocCounters();
         const auto t0 = std::chrono::steady_clock::now();
-        runtime::RunResult r =
-            runtime::Simulator::runWith(*program, config);
+        runtime::RunResult r = engine.run(*program);
         const auto t1 = std::chrono::steady_clock::now();
+        const AllocCounters alloc1 = threadAllocCounters();
         const double seconds =
             std::chrono::duration<double>(t1 - t0).count();
         if (rep == 0 || seconds < best_seconds)
             best_seconds = seconds;
+        alloc_last = AllocCounters{alloc1.count - alloc0.count,
+                                   alloc1.bytes - alloc0.bytes};
 
         std::ostringstream os;
         r.dump(os);
@@ -209,6 +249,7 @@ runCell(Cell &cell, const Options &opt)
             cell.result.deterministic = false;
         }
     }
+    cell.dump_hash = fnv1a(dump);
 
     benchjson::BenchCell &out = cell.result;
     out.workload = cell.info->name;
@@ -225,6 +266,8 @@ runCell(Cell &cell, const Options &opt)
     out.host_ops_per_sec = best_seconds > 0.0
         ? static_cast<double>(result.total_ops) / best_seconds
         : 0.0;
+    out.alloc_count = alloc_last.count;
+    out.alloc_bytes = alloc_last.bytes;
     out.checked = opt.check || opt.repeat > 1;
 }
 
@@ -317,11 +360,16 @@ main(int argc, char **argv)
     bool all_deterministic = true;
     std::vector<benchjson::BenchCell> results;
     results.reserve(cells.size());
+    const bool alloc_tracked = allocTrackingActive();
     for (const Cell &cell : cells) {
         const benchjson::BenchCell &r = cell.result;
-        std::printf("%-28s %-11s %9.3f ms  %12.0f ops/s%s\n",
+        std::printf("%-28s %-11s %9.3f ms  %12.0f ops/s",
                     r.workload.c_str(), r.mode.c_str(),
-                    r.wall_seconds * 1e3, r.host_ops_per_sec,
+                    r.wall_seconds * 1e3, r.host_ops_per_sec);
+        if (alloc_tracked)
+            std::printf("  %8llu allocs",
+                        static_cast<unsigned long long>(r.alloc_count));
+        std::printf("%s\n",
                     r.deterministic ? "" : "  NONDETERMINISTIC");
         all_deterministic = all_deterministic && r.deterministic;
         results.push_back(r);
@@ -337,6 +385,9 @@ main(int argc, char **argv)
     meta.repeat = opt.repeat;
     meta.smoke = opt.smoke;
     meta.baseline_continuous_ft_ops = opt.baseline_ops;
+    meta.peak_rss_kb = peakRssKb();
+    meta.alloc_tracked = alloc_tracked;
+    meta.simd_level = detect::simd::activeLevel();
 
     std::ofstream out(opt.out);
     if (!out)
@@ -347,6 +398,23 @@ main(int argc, char **argv)
         && !metrics.dumpToFile(opt.metrics_dump))
         fatal("cannot write metrics to ", opt.metrics_dump);
 
+    if (!opt.hashes_out.empty()) {
+        // Timing-free manifest: one line per cell, stable across
+        // worker counts, repeats, and (by design) SIMD levels. CI
+        // diffs these files between scalar and SIMD builds.
+        std::ofstream hf(opt.hashes_out);
+        if (!hf)
+            fatal("cannot open ", opt.hashes_out, " for writing");
+        for (const Cell &cell : cells) {
+            char buf[17];
+            std::snprintf(buf, sizeof buf, "%016llx",
+                          static_cast<unsigned long long>(
+                              cell.dump_hash));
+            hf << cell.result.workload << ' ' << cell.result.mode
+               << ' ' << buf << '\n';
+        }
+    }
+
     if (opt.faults.any())
         std::printf("\nfault profile: %s\n",
                     pmu::faultSpec(opt.faults).c_str());
@@ -356,6 +424,10 @@ main(int argc, char **argv)
                 std::chrono::duration<double>(sweep_t1 - sweep_t0)
                     .count(),
                 nworkers, opt.out.c_str());
+    std::printf("clock kernels: %s, peak rss: %llu KiB%s\n",
+                meta.simd_level.c_str(),
+                static_cast<unsigned long long>(meta.peak_rss_kb),
+                alloc_tracked ? "" : ", allocs untracked");
     if (cont_ft > 0.0) {
         std::printf("continuous-fasttrack aggregate: %.0f ops/s",
                     cont_ft);

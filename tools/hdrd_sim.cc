@@ -20,9 +20,11 @@
 #include <cstring>
 #include <string>
 
+#include "common/alloc_stats.hh"
 #include "common/bench_json.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "detect/clock_simd.hh"
 #include "instr/cost_model.hh"
 #include "pmu/faults.hh"
 #include "runtime/simulator.hh"
@@ -361,8 +363,10 @@ main(int argc, char **argv)
     const auto run_t1 = std::chrono::steady_clock::now();
 
     if (!opt.bench_json.empty()) {
-        // One-cell hdrd-bench-v1 file: same schema as hdrd_bench so
-        // single runs slot into the cross-PR perf series.
+        // One-cell hdrd-bench-v2 file: same schema as hdrd_bench so
+        // single runs slot into the cross-PR perf series. The alloc
+        // columns stay zero here — only hdrd_bench links the
+        // interposer — and meta.alloc_tracked says so.
         const double seconds =
             std::chrono::duration<double>(run_t1 - run_t0).count();
         benchjson::BenchCell cell;
@@ -402,6 +406,9 @@ main(int argc, char **argv)
         meta.seed = opt.seed;
         meta.threads = opt.threads;
         meta.cores = opt.cores;
+        meta.peak_rss_kb = peakRssKb();
+        meta.alloc_tracked = allocTrackingActive();
+        meta.simd_level = detect::simd::activeLevel();
 
         std::ofstream os(opt.bench_json);
         if (!os)
