@@ -36,11 +36,33 @@ struct AllocCounters
  */
 AllocCounters threadAllocCounters();
 
+/**
+ * Exact process-wide allocation totals: the sum over every thread
+ * that ever allocated, live or exited. Each thread counts into its
+ * own cache line with no atomics; exited threads fold their totals
+ * into a retired accumulator on the way out. The sum is exact
+ * whenever allocating threads are quiescent (joined, or between ops
+ * in a single-worker bench), which is the only time the bench reads
+ * it. All-zero unless allocTrackingActive().
+ */
+AllocCounters processAllocCounters();
+
 /** True when the interposer TU is linked in and counting. */
 bool allocTrackingActive();
 
-/** Process peak resident set size in KiB (getrusage), 0 if unknown. */
+/**
+ * Process peak resident set size in KiB: VmHWM from
+ * /proc/self/status when available (resettable), getrusage
+ * otherwise, 0 if unknown.
+ */
 std::uint64_t peakRssKb();
+
+/**
+ * Reset the kernel's peak-RSS watermark (write "5" to
+ * /proc/self/clear_refs) so peakRssKb() measures the high-water mark
+ * of just the work that follows. @return false when unsupported.
+ */
+bool resetPeakRss();
 
 } // namespace hdrd
 

@@ -61,6 +61,9 @@ writeBenchJson(std::ostream &os, const BenchMeta &meta,
        << "    \"workers\": " << meta.workers << ",\n"
        << "    \"repeat\": " << meta.repeat << ",\n"
        << "    \"smoke\": " << (meta.smoke ? "true" : "false") << ",\n"
+       << "    \"tier\": \"" << escape(meta.tier) << "\",\n"
+       << "    \"host\": \"" << escape(meta.host) << "\",\n"
+       << "    \"build\": \"" << escape(meta.build) << "\",\n"
        << "    \"simd_level\": \"" << escape(meta.simd_level)
        << "\",\n"
        << "    \"alloc_tracked\": "
@@ -89,6 +92,8 @@ writeBenchJson(std::ostream &os, const BenchMeta &meta,
            << ", \"host_ops_per_sec\": " << c.host_ops_per_sec
            << ", \"alloc_count\": " << c.alloc_count
            << ", \"alloc_bytes\": " << c.alloc_bytes
+           << ", \"scale\": " << c.scale
+           << ", \"peak_rss_kb\": " << c.peak_rss_kb
            << ", \"checked\": " << (c.checked ? "true" : "false")
            << ", \"deterministic\": "
            << (c.deterministic ? "true" : "false") << "}"

@@ -63,6 +63,18 @@ struct BenchCell
      */
     std::uint64_t alloc_count = 0;
     std::uint64_t alloc_bytes = 0;
+
+    /** v2: workload scale this cell ran at (large-tier sweeps mix
+     *  scales in one file; 0 = the sweep default in meta). */
+    double scale = 0.0;
+
+    /**
+     * v2: peak RSS attributed to this cell in KiB, measured by
+     * resetting the kernel watermark before the timed repeats and
+     * reading VmHWM after. Meaningful only with workers == 1 (the
+     * large tier forces that); 0 = not measured.
+     */
+    std::uint64_t peak_rss_kb = 0;
 };
 
 /** Sweep-level configuration recorded alongside the cells. */
@@ -93,6 +105,16 @@ struct BenchMeta
 
     /** v2: active clock-kernel flavour ("scalar"|"sse42"|"avx2"). */
     std::string simd_level;
+
+    /** v2: bench tier that produced the cells ("default"|"large"). */
+    std::string tier = "default";
+
+    /** v2: host stamp (uname node/machine), for trajectory hygiene —
+     *  cells from different hosts must not be compared silently. */
+    std::string host;
+
+    /** v2: build stamp (compiler + flags flavour), same reason. */
+    std::string build;
 };
 
 /**

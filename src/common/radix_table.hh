@@ -14,8 +14,12 @@
  * spill to a small overflow hash map so the table stays correct for
  * the full 64-bit key space without the directory ballooning.
  *
- * Pages are heap-allocated and never move or free until clear(), so
- * references returned by get() stay valid across later inserts.
+ * Pages are bump-allocated from contiguous arena chunks rather than
+ * individually heap-allocated: pages touched close in time land close
+ * in memory, so a working set of N pages spans ~N/16 allocator
+ * objects and far fewer TLB entries than N scattered mallocs. Pages
+ * never move or free until clear(), so references returned by get()
+ * stay valid across later inserts.
  *
  * Two reset flavours exist. clear() frees everything. reset() is the
  * recycling path for engine reuse across jobs: it bumps a generation
@@ -77,11 +81,11 @@ class RadixTable
         const Page *page = nullptr;
         if (p < kMaxDirPages) {
             if (p < dir_.size())
-                page = dir_[p].get();
+                page = dir_[p];
         } else {
             const auto it = overflow_.find(p);
             if (it != overflow_.end())
-                page = it->second.get();
+                page = it->second;
         }
         if (page == nullptr || page->gen != gen_)
             return nullptr;
@@ -102,6 +106,8 @@ class RadixTable
     {
         dir_.clear();
         overflow_.clear();
+        arena_.clear();
+        arena_used_ = kArenaChunkPages;
         npages_ = 0;
         allocated_ = 0;
         last_idx_ = kNoPage;
@@ -129,6 +135,9 @@ class RadixTable
         std::uint64_t gen = 0;
     };
 
+    /** Pages per arena chunk; chunks are contiguous Page[] blocks. */
+    static constexpr std::size_t kArenaChunkPages = 16;
+
     static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
 
     Page *revive(Page *page)
@@ -144,6 +153,20 @@ class RadixTable
         return page;
     }
 
+    /** Bump-allocate the next page from the arena. */
+    Page *newPage()
+    {
+        if (arena_used_ == kArenaChunkPages) {
+            arena_.push_back(
+                std::make_unique<Page[]>(kArenaChunkPages));
+            arena_used_ = 0;
+        }
+        Page *page = &arena_.back()[arena_used_++];
+        page->gen = kNeverUsed;
+        ++allocated_;
+        return page;
+    }
+
     Page *materialize(std::uint64_t p)
     {
         if (p < kMaxDirPages) {
@@ -153,33 +176,31 @@ class RadixTable
                     grown = static_cast<std::size_t>(p) + 1;
                 if (grown > kMaxDirPages)
                     grown = kMaxDirPages;
-                dir_.resize(grown);
+                dir_.resize(grown, nullptr);
             }
-            auto &slot = dir_[p];
-            if (!slot) {
-                slot = std::make_unique<Page>();
-                slot->gen = kNeverUsed;
-                ++allocated_;
-            }
-            return revive(slot.get());
+            Page *&slot = dir_[p];
+            if (slot == nullptr)
+                slot = newPage();
+            return revive(slot);
         }
-        auto &slot = overflow_[p];
-        if (!slot) {
-            slot = std::make_unique<Page>();
-            slot->gen = kNeverUsed;
-            ++allocated_;
-        }
-        return revive(slot.get());
+        Page *&slot = overflow_[p];
+        if (slot == nullptr)
+            slot = newPage();
+        return revive(slot);
     }
 
     /** Generation tag for a freshly allocated, not-yet-live page. */
     static constexpr std::uint64_t kNeverUsed = ~std::uint64_t{0};
 
-    /** Flat directory: page index -> page (null until touched). */
-    std::vector<std::unique_ptr<Page>> dir_;
+    /** Flat directory: page index -> arena page (null until touched). */
+    std::vector<Page *> dir_;
 
     /** Pages whose index exceeds the directory ceiling. */
-    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> overflow_;
+    std::unordered_map<std::uint64_t, Page *> overflow_;
+
+    /** Contiguous chunks all pages live in; dropped only by clear(). */
+    std::vector<std::unique_ptr<Page[]>> arena_;
+    std::size_t arena_used_ = kArenaChunkPages;
 
     std::size_t npages_ = 0;
     std::size_t allocated_ = 0;

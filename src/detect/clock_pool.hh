@@ -27,7 +27,15 @@
 namespace hdrd::detect
 {
 
-/** Arena allocator for VectorClock with free-list recycling. */
+/**
+ * Arena allocator for VectorClock with free-list recycling.
+ *
+ * Clocks are addressed by dense 32-bit slab indices rather than raw
+ * pointers: index i lives at slab i / kSlabSize, slot i % kSlabSize.
+ * That lets the shadow memory store a pooled clock in half a word
+ * (the packed VarState tagged union) instead of an 8-byte pointer,
+ * while at() stays one shift, one mask, and two dereferences.
+ */
 class ClockPool
 {
   public:
@@ -39,17 +47,17 @@ class ClockPool
     ClockPool &operator=(const ClockPool &) = delete;
 
     /**
-     * Hand out an empty clock (recycled when possible). The clock
-     * stays owned by the pool; give it back with release().
+     * Hand out the index of an empty clock (recycled when possible).
+     * The clock stays owned by the pool; give it back with release().
      */
-    VectorClock *acquire()
+    std::uint32_t acquire()
     {
         if (!free_.empty()) {
-            VectorClock *clock = free_.back();
+            const std::uint32_t index = free_.back();
             free_.pop_back();
-            clock->reset();
+            at(index).reset();
             ++reused_;
-            return clock;
+            return index;
         }
         if (slabs_.empty() || next_in_slab_ == kSlabSize) {
             slabs_.push_back(
@@ -57,19 +65,28 @@ class ClockPool
             next_in_slab_ = 0;
         }
         ++created_;
-        return &slabs_.back()[next_in_slab_++];
+        const std::uint32_t slab =
+            static_cast<std::uint32_t>(slabs_.size() - 1);
+        return slab * kSlabSize + next_in_slab_++;
     }
 
-    /** Return @p clock to the free list for the next acquire(). */
-    void release(VectorClock *clock)
+    /** The clock at @p index (valid between acquire and release). */
+    VectorClock &at(std::uint32_t index)
     {
-        if (clock != nullptr)
-            free_.push_back(clock);
+        return slabs_[index >> kSlabShift][index & (kSlabSize - 1)];
     }
+
+    const VectorClock &at(std::uint32_t index) const
+    {
+        return slabs_[index >> kSlabShift][index & (kSlabSize - 1)];
+    }
+
+    /** Return @p index to the free list for the next acquire(). */
+    void release(std::uint32_t index) { free_.push_back(index); }
 
     /**
      * Reclaim every outstanding clock at once. Valid only when the
-     * owner has dropped all acquired pointers (e.g. the shadow table
+     * owner has dropped all acquired indices (e.g. the shadow table
      * was cleared); cheaper than releasing one by one.
      */
     void reclaimAll()
@@ -78,8 +95,10 @@ class ClockPool
         for (std::size_t s = 0; s < slabs_.size(); ++s) {
             const std::uint32_t limit =
                 s + 1 == slabs_.size() ? next_in_slab_ : kSlabSize;
+            const std::uint32_t base =
+                static_cast<std::uint32_t>(s) * kSlabSize;
             for (std::uint32_t i = 0; i < limit; ++i)
-                free_.push_back(&slabs_[s][i]);
+                free_.push_back(base + i);
         }
     }
 
@@ -93,8 +112,11 @@ class ClockPool
     std::size_t freeCount() const { return free_.size(); }
 
   private:
+    static constexpr std::uint32_t kSlabShift = 6;
+    static_assert(kSlabSize == 1u << kSlabShift);
+
     std::vector<std::unique_ptr<VectorClock[]>> slabs_;
-    std::vector<VectorClock *> free_;
+    std::vector<std::uint32_t> free_;
     std::uint32_t next_in_slab_ = kSlabSize;
     std::uint64_t created_ = 0;
     std::uint64_t reused_ = 0;

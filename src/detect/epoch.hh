@@ -23,10 +23,18 @@ namespace hdrd::detect
  * Packed epoch: thread id in the top 16 bits, clock in the low 48.
  * The all-zero value is the distinguished "empty" epoch (no access
  * yet): thread 0's clocks start at 1, so 0@0 never arises naturally.
+ *
+ * The shadow memory stores epochs by their raw bits and claims the
+ * top bit as a "read-shared" tag (see detect/shadow.hh), which caps
+ * usable thread ids at kMaxTaggableTid; SyncClocks enforces the cap
+ * once at construction.
  */
 class Epoch
 {
   public:
+    /** Largest tid whose packed epoch keeps bit 63 clear. */
+    static constexpr ThreadId kMaxTaggableTid = 0x7FFF;
+
     /** The empty epoch (no prior access). */
     constexpr Epoch() : bits_(0) {}
 
@@ -36,6 +44,17 @@ class Epoch
                 | (clock & kClockMask))
     {
     }
+
+    /** Rebuild an epoch from bits() (shadow tagged-union storage). */
+    static constexpr Epoch fromBits(std::uint64_t bits)
+    {
+        Epoch e;
+        e.bits_ = bits;
+        return e;
+    }
+
+    /** The packed representation (shadow tagged-union storage). */
+    constexpr std::uint64_t bits() const { return bits_; }
 
     /** True when this is the empty epoch. */
     bool empty() const { return bits_ == 0; }

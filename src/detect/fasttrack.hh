@@ -30,6 +30,10 @@ namespace hdrd::detect
  * engine: a borrowed shadow is prepared (retired + re-aimed) on
  * construction, so repeated jobs recycle its chunk and clock storage
  * instead of rebuilding it.
+ *
+ * Hot/cold discipline: the per-access paths touch only the 16-byte
+ * packed VarState; the report-only static sites live in the shadow's
+ * cold SiteTable and are read exclusively on race reports.
  */
 class FastTrackDetector final : public Detector
 {
@@ -92,14 +96,20 @@ class FastTrackDetector final : public Detector
         const ClockValue my_clock = ct.get(tid);
         const Epoch et(tid, my_clock);
 
-        // Same-epoch fast paths.
-        if (!st.rvc && st.r == et)
+        // Same-epoch fast paths. A packed epoch never has the shared
+        // bit set, so one 64-bit compare covers "epoch read side and
+        // it is exactly mine".
+        if (st.r_bits == et.bits())
             return outcome;
-        if (st.rvc && st.rvc->get(tid) == my_clock)
+        ClockPool &pool = shadow_->readClocks();
+        if (st.readShared()
+            && pool.at(st.rvcIndex()).get(tid) == my_clock)
             return outcome;
 
         if constexpr (kNeedSharing)
             outcome.inter_thread = involvesOtherThread(st, tid);
+
+        const std::uint64_t g = shadow_->granule(addr);
 
         // Write-read conflict with the previous writer?
         if (!st.w.leq(ct)) {
@@ -108,26 +118,27 @@ class FastTrackDetector final : public Detector
                 .addr = addr,
                 .type = RaceType::kWriteRead,
                 .first_tid = st.w.tid(),
-                .first_site = st.w_site,
+                .first_site = shadow_->sites().writeSite(g),
                 .second_tid = tid,
                 .second_site = site,
             });
         }
 
         // Update the read side.
-        if (st.rvc) {
-            st.rvc->set(tid, my_clock);
-        } else if (st.r.empty() || st.r.leq(ct)) {
-            st.r = et;  // reads remain thread-ordered: stay an epoch
+        if (st.readShared()) {
+            pool.at(st.rvcIndex()).set(tid, my_clock);
+        } else if (const Epoch r = st.r(); r.empty() || r.leq(ct)) {
+            st.setRead(et);  // reads remain thread-ordered: stay an epoch
         } else {
             // Concurrent readers: inflate to a read vector clock,
             // recycled from the shadow's pool when one is parked.
-            st.rvc = shadow_->readClocks().acquire();
-            st.rvc->set(st.r.tid(), st.r.clock());
-            st.rvc->set(tid, my_clock);
-            st.r = Epoch();
+            const std::uint32_t index = pool.acquire();
+            VectorClock &rvc = pool.at(index);
+            rvc.set(r.tid(), r.clock());
+            rvc.set(tid, my_clock);
+            st.setReadShared(index);
         }
-        st.r_site = site;
+        shadow_->sites().setReadSite(g, site);
         return outcome;
     }
 
@@ -145,6 +156,8 @@ class FastTrackDetector final : public Detector
         if constexpr (kNeedSharing)
             outcome.inter_thread = involvesOtherThread(st, tid);
 
+        const std::uint64_t g = shadow_->granule(addr);
+
         // Write-write conflict with the previous writer?
         if (!st.w.leq(ct)) {
             outcome.race = true;
@@ -152,34 +165,37 @@ class FastTrackDetector final : public Detector
                 .addr = addr,
                 .type = RaceType::kWriteWrite,
                 .first_tid = st.w.tid(),
-                .first_site = st.w_site,
+                .first_site = shadow_->sites().writeSite(g),
                 .second_tid = tid,
                 .second_site = site,
             });
         }
 
         // Read-write conflict with any unordered reader?
-        if (st.rvc) {
-            if (!st.rvc->leq(ct)) {
+        ClockPool &pool = shadow_->readClocks();
+        if (st.readShared()) {
+            const VectorClock &rvc = pool.at(st.rvcIndex());
+            if (!rvc.leq(ct)) {
                 outcome.race = true;
                 const ThreadId reader =
-                    st.rvc->firstGreaterExcept(ct, tid);
+                    rvc.firstGreaterExcept(ct, tid);
                 sink_.report(RaceReport{
                     .addr = addr,
                     .type = RaceType::kReadWrite,
                     .first_tid = reader,
-                    .first_site = st.r_site,
+                    .first_site = shadow_->sites().readSite(g),
                     .second_tid = tid,
                     .second_site = site,
                 });
             }
-        } else if (!st.r.empty() && !st.r.leq(ct)) {
+        } else if (const Epoch r = st.r();
+                   !r.empty() && !r.leq(ct)) {
             outcome.race = true;
             sink_.report(RaceReport{
                 .addr = addr,
                 .type = RaceType::kReadWrite,
-                .first_tid = st.r.tid(),
-                .first_site = st.r_site,
+                .first_tid = r.tid(),
+                .first_site = shadow_->sites().readSite(g),
                 .second_tid = tid,
                 .second_site = site,
             });
@@ -188,25 +204,28 @@ class FastTrackDetector final : public Detector
         // FastTrack "write shared" collapses the read vector clock back
         // to the cheap representation; the clock parks in the pool for
         // the next inflation.
-        if (st.rvc) {
-            shadow_->readClocks().release(st.rvc);
-            st.rvc = nullptr;
-            st.r = Epoch();
-            st.r_site = kInvalidSite;
+        if (st.readShared()) {
+            pool.release(st.rvcIndex());
+            st.setRead(Epoch());
+            shadow_->sites().setReadSite(g, kInvalidSite);
         }
         st.w = et;
-        st.w_site = site;
+        shadow_->sites().setWriteSite(g, site);
         return outcome;
     }
 
     /** Did the prior state of @p st involve a thread other than tid? */
-    static bool involvesOtherThread(const VarState &st, ThreadId tid)
+    bool involvesOtherThread(const VarState &st, ThreadId tid) const
     {
         if (!st.w.empty() && st.w.tid() != tid)
             return true;
-        if (st.rvc)
-            return !st.rvc->soleNonzero(tid);
-        return !st.r.empty() && st.r.tid() != tid;
+        if (st.readShared()) {
+            const VectorClock &rvc =
+                shadow_->readClocks().at(st.rvcIndex());
+            return !rvc.soleNonzero(tid);
+        }
+        const Epoch r = st.r();
+        return !r.empty() && r.tid() != tid;
     }
 
     SyncClocks &clocks_;

@@ -11,16 +11,25 @@
  * lookup is one shift plus a directory index, and the last chunk is
  * memoized so streaming accesses skip even that.
  *
- * Read-shared variables point into a ClockPool owned by the shadow
- * rather than carrying a unique_ptr each: inflation and collapse
- * recycle pooled clocks instead of hitting the allocator, and clear()
- * retires chunks and clocks in O(1) for reuse by the next job.
+ * Hot/cold split: the per-granule VarState is packed to 16 bytes —
+ * the last-write epoch plus a tagged union of (last-read epoch |
+ * ClockPool index) — so the per-access hot loop touches half the
+ * shadow bytes of the old 32-byte layout and four granules share a
+ * host cache line. The report-only static sites live in a separate
+ * cold SiteTable, written on state transitions and read only when a
+ * race is reported.
+ *
+ * Read-shared variables reference their vector clock by pool index
+ * rather than pointer: inflation and collapse recycle pooled clocks
+ * instead of hitting the allocator, and clear() retires chunks and
+ * clocks in O(1) for reuse by the next job.
  */
 
 #ifndef HDRD_DETECT_SHADOW_HH
 #define HDRD_DETECT_SHADOW_HH
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "common/radix_table.hh"
 #include "common/types.hh"
@@ -32,38 +41,158 @@ namespace hdrd::detect
 {
 
 /**
- * FastTrack per-variable state.
+ * FastTrack per-variable state, packed to 16 bytes.
  *
  * The read side is adaptive: a single epoch while reads stay
- * thread-ordered, inflated to a full vector clock (rvc) once
- * concurrent readers appear.
+ * thread-ordered, inflated to a pooled vector clock once concurrent
+ * readers appear. Both representations share one 64-bit word: bit 63
+ * (never set in a packed epoch, since SyncClocks caps thread ids at
+ * Epoch::kMaxTaggableTid) tags the read-shared state, whose low 32
+ * bits index the enclosing ShadowMemory's ClockPool.
  */
 struct VarState
 {
+    /** Read-word tag: set = ClockPool index, clear = raw epoch. */
+    static constexpr std::uint64_t kSharedBit = std::uint64_t{1} << 63;
+
     /** Last write, as an epoch. */
     Epoch w;
 
-    /** Last read epoch; meaningless while rvc is non-null. */
-    Epoch r;
+    /** Tagged read word: epoch bits, or kSharedBit | pool index. */
+    std::uint64_t r_bits = 0;
 
-    /**
-     * Read vector clock; non-null means the variable is read-shared.
-     * Owned by the enclosing ShadowMemory's pool, not this struct —
-     * the detector releases it back on collapse.
-     */
-    VectorClock *rvc = nullptr;
+    /** True while the read side is an inflated vector clock. */
+    bool readShared() const { return (r_bits & kSharedBit) != 0; }
 
-    /** Static site of the last write (for reporting). */
-    SiteId w_site = kInvalidSite;
+    /** Last read epoch. Meaningless while readShared(). */
+    Epoch r() const { return Epoch::fromBits(r_bits); }
 
-    /** Static site of the most recent read (for reporting). */
-    SiteId r_site = kInvalidSite;
+    /** Collapse/update the read side to epoch @p e. */
+    void setRead(Epoch e) { r_bits = e.bits(); }
+
+    /** Pool index of the read vector clock. @pre readShared() */
+    std::uint32_t rvcIndex() const
+    {
+        return static_cast<std::uint32_t>(r_bits);
+    }
+
+    /** Inflate the read side to pooled clock @p index. */
+    void setReadShared(std::uint32_t index)
+    {
+        r_bits = kSharedBit | index;
+    }
 
     /** True when no access has ever been recorded. */
-    bool untouched() const
+    bool untouched() const { return w.empty() && r_bits == 0; }
+};
+
+static_assert(sizeof(VarState) == 16,
+              "VarState must stay a 16-byte hot record");
+
+/**
+ * Cold per-granule metadata: the static sites of the last write and
+ * last read, needed only to attribute race reports. Packed to two
+ * 16-bit slots per granule; the rare site id that does not fit (trace
+ * replays can carry arbitrary 32-bit sites) spills to an exact
+ * overflow map behind a sentinel.
+ */
+class SiteTable
+{
+  public:
+    /** Site for the last write to granule @p g (kInvalidSite if none). */
+    SiteId writeSite(std::uint64_t g) const
     {
-        return w.empty() && r.empty() && rvc == nullptr;
+        const Packed *p = table_.peek(g);
+        return p == nullptr ? kInvalidSite : unpack(p->w, big_w_, g);
     }
+
+    /** Site for the last read of granule @p g (kInvalidSite if none). */
+    SiteId readSite(std::uint64_t g) const
+    {
+        const Packed *p = table_.peek(g);
+        return p == nullptr ? kInvalidSite : unpack(p->r, big_r_, g);
+    }
+
+    void setWriteSite(std::uint64_t g, SiteId site)
+    {
+        pack(table_.get(g).w, big_w_, g, site);
+    }
+
+    void setReadSite(std::uint64_t g, SiteId site)
+    {
+        pack(table_.get(g).r, big_r_, g, site);
+    }
+
+    /** Retire every entry in O(1), keeping storage for recycling. */
+    void reset()
+    {
+        table_.reset();
+        if (!big_w_.empty())
+            big_w_.clear();
+        if (!big_r_.empty())
+            big_r_.clear();
+    }
+
+  private:
+    /** "no site recorded" (maps to kInvalidSite). */
+    static constexpr std::uint16_t kNone = 0xFFFF;
+
+    /** Sentinel: the exact value lives in the overflow map. */
+    static constexpr std::uint16_t kBig = 0xFFFE;
+
+    struct Packed
+    {
+        std::uint16_t w = kNone;
+        std::uint16_t r = kNone;
+    };
+
+    using Overflow = std::unordered_map<std::uint64_t, SiteId>;
+
+    static SiteId unpack(std::uint16_t slot, const Overflow &big,
+                         std::uint64_t g)
+    {
+        if (slot == kNone)
+            return kInvalidSite;
+        if (slot != kBig)
+            return slot;
+        const auto it = big.find(g);
+        return it == big.end() ? kInvalidSite : it->second;
+    }
+
+    static void pack(std::uint16_t &slot, Overflow &big,
+                     std::uint64_t g, SiteId site)
+    {
+        if (site < kBig) {
+            // Common case, store-avoiding: a sweep re-recording its
+            // own site must not dirty the cold line (the rewrite is
+            // ~every slow-path access; the dirty eviction is what
+            // costs at cache-spilling scale).
+            const auto want = static_cast<std::uint16_t>(site);
+            if (slot == want)
+                return;
+            if (slot == kBig)
+                big.erase(g);
+            slot = want;
+            return;
+        }
+        if (site == kInvalidSite) {
+            if (slot == kNone)
+                return;
+            if (slot == kBig)
+                big.erase(g);
+            slot = kNone;
+            return;
+        }
+        slot = kBig;
+        big[g] = site;
+    }
+
+    /** Same chunking as the hot table (see ShadowMemory::kChunkBits). */
+    RadixTable<Packed, 9> table_;
+
+    /** Exact values behind kBig sentinels, write/read separately. */
+    Overflow big_w_;
+    Overflow big_r_;
 };
 
 /**
@@ -107,6 +236,11 @@ class ShadowMemory
      */
     void prefetch(Addr addr) const
     {
+        // Only the hot word: pulling the cold site line here too was
+        // measured a net loss — site slots are written only on
+        // slow-path transitions, so prefetching them on every access
+        // doubles shadow DRAM traffic for a line that mostly goes
+        // unused.
         if (const VarState *st = table_.peek(addr >> granule_shift_))
             __builtin_prefetch(st, 1 /* expect write */);
     }
@@ -114,6 +248,21 @@ class ShadowMemory
     /** Pool backing the read-shared vector clocks. */
     ClockPool &readClocks() { return pool_; }
     const ClockPool &readClocks() const { return pool_; }
+
+    /** Cold side-table of report-only static sites. */
+    SiteTable &sites() { return sites_; }
+    const SiteTable &sites() const { return sites_; }
+
+    /** Cold-table site lookups by address (reporting, tests). */
+    SiteId writeSite(Addr addr) const
+    {
+        return sites_.writeSite(addr >> granule_shift_);
+    }
+
+    SiteId readSite(Addr addr) const
+    {
+        return sites_.readSite(addr >> granule_shift_);
+    }
 
     /** Number of live chunks. */
     std::size_t chunks() const { return table_.pages(); }
@@ -131,13 +280,14 @@ class ShadowMemory
     }
 
     /**
-     * Retire every chunk and reclaim every pooled clock. O(1) in the
+     * Retire every chunk, site entry, and pooled clock. O(1) in the
      * table size: chunk storage and clock capacity stay parked for
      * the next run instead of going back to the allocator.
      */
     void clear()
     {
         table_.reset();
+        sites_.reset();
         pool_.reclaimAll();
     }
 
@@ -154,6 +304,7 @@ class ShadowMemory
 
     std::uint32_t granule_shift_;
     RadixTable<VarState, kChunkBits> table_;
+    SiteTable sites_;
     ClockPool pool_;
 };
 

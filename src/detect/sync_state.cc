@@ -8,6 +8,10 @@ namespace hdrd::detect
 SyncClocks::SyncClocks(std::uint32_t nthreads)
 {
     hdrdAssert(nthreads > 0, "SyncClocks needs at least one thread");
+    // The shadow memory claims the top bit of a packed epoch as its
+    // read-shared tag, so every tid must keep that bit clear.
+    hdrdAssert(nthreads <= Epoch::kMaxTaggableTid + 1,
+               "thread id exceeds shadow-taggable range");
     thread_clocks_.resize(nthreads, VectorClock(nthreads));
     // FastTrack convention: each thread starts at clock 1 for itself,
     // which keeps the all-zero epoch free to mean "no access yet".

@@ -735,13 +735,32 @@ Simulator::runImpl(Program &program)
         // sensitive side effects opt out via nextIsPure(). Pure host
         // hints — no simulated state moves.
         if (tc.fetchAhead()) {
+            // Staged ops were already hinted with two ops of lead
+            // when fetchAhead2() generated them; re-hinting here
+            // doubles prefetch traffic per op for no extra lead.
             const Op &nx = tc.current();
-            if (nx.type == OpType::kRead
-                || nx.type == OpType::kWrite
-                || nx.type == OpType::kAtomicRmw) {
+            if (!tc.currentWasStaged()
+                && (nx.type == OpType::kRead
+                    || nx.type == OpType::kWrite
+                    || nx.type == OpType::kAtomicRmw)) {
                 if (tool && ft != nullptr)
                     ft->shadow().prefetch(nx.addr);
                 hier.prefetchAccess(core, nx.addr);
+            }
+            // Depth 2: with op n+1 staged, generate op n+2 as well.
+            // At --scale>=4 working sets a shadow miss costs more
+            // than a whole op executes, so one op of lead time is
+            // not enough to hide it; two is. Same purity rules and
+            // pure-host-hint guarantees as depth 1.
+            if (tc.fetchAhead2()) {
+                const Op &nx2 = tc.nextOp();
+                if (nx2.type == OpType::kRead
+                    || nx2.type == OpType::kWrite
+                    || nx2.type == OpType::kAtomicRmw) {
+                    if (tool && ft != nullptr)
+                        ft->shadow().prefetch(nx2.addr);
+                    hier.prefetchAccess(core, nx2.addr);
+                }
             }
         }
     }

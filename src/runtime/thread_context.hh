@@ -56,18 +56,35 @@ class ThreadContext
     bool hasOp() const { return has_op_; }
 
     /**
-     * Fetch the next op from the body if none is pending.
+     * Fetch the next op from the body if none is pending. Ops staged
+     * early by fetchAhead2() drain first, preserving stream order.
      * @return false when the body is exhausted (thread should finish).
      */
     bool fetch()
     {
         if (has_op_)
             return true;
+        if (has_next_) {
+            current_ = next_;
+            has_next_ = false;
+            has_op_ = true;
+            current_staged_ = true;
+            return true;
+        }
         if (!body_->next(current_))
             return false;
         has_op_ = true;
+        current_staged_ = false;
         return true;
     }
+
+    /**
+     * True when current() arrived via fetchAhead2() staging — its
+     * prefetch already went out with two ops of lead, so the depth-1
+     * rung must not re-issue it (double-hinting every op measurably
+     * costs more than the extra lead buys).
+     */
+    bool currentWasStaged() const { return current_staged_; }
 
     /**
      * fetch(), but only when the body declared next() pure: used by
@@ -80,6 +97,35 @@ class ThreadContext
     bool fetchAhead()
     {
         return next_is_pure_ && fetch();
+    }
+
+    /**
+     * Stage op n+2 while op n+1 sits fetched: the second rung of the
+     * simulator's cross-op prefetch ladder, so shadow/cache lines two
+     * ops out start their miss while op n executes. Pure-body only,
+     * like fetchAhead().
+     * @return true when a second op is staged (see nextOp()).
+     */
+    bool fetchAhead2()
+    {
+        if (has_next_)
+            return true;
+        if (!next_is_pure_ || !has_op_)
+            return false;
+        if (!body_->next(next_))
+            return false;
+        has_next_ = true;
+        return true;
+    }
+
+    /**
+     * The op staged by fetchAhead2(), one past current().
+     * @pre fetchAhead2() returned true
+     */
+    const Op &nextOp() const
+    {
+        hdrdAssert(has_next_, "nextOp() without a staged op");
+        return next_;
     }
 
     /** Mark the current op executed; the next fetch() advances. */
@@ -108,6 +154,9 @@ class ThreadContext
     ThreadState state_;
     Op current_{};
     bool has_op_ = false;
+    Op next_{};
+    bool has_next_ = false;
+    bool current_staged_ = false;
     Cycle resume_time_ = 0;
     std::uint64_t ops_executed_ = 0;
 };

@@ -3,6 +3,7 @@
 #include "workloads/micro.hh"
 #include "workloads/parsec.hh"
 #include "workloads/phoenix.hh"
+#include "workloads/stream.hh"
 
 namespace hdrd::workloads
 {
@@ -50,10 +51,25 @@ allWorkloads()
     return registry;
 }
 
+const std::vector<WorkloadInfo> &
+streamWorkloads()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"stream.scan", "stream", makeStreamScan},
+        {"stream.shared_mix", "stream", makeStreamSharedMix},
+        {"stream.hot_cold", "stream", makeStreamHotCold},
+    };
+    return registry;
+}
+
 const WorkloadInfo *
 findWorkload(const std::string &name)
 {
     for (const auto &info : allWorkloads()) {
+        if (info.name == name)
+            return &info;
+    }
+    for (const auto &info : streamWorkloads()) {
         if (info.name == name)
             return &info;
     }
@@ -65,6 +81,10 @@ suiteWorkloads(const std::string &suite)
 {
     std::vector<WorkloadInfo> out;
     for (const auto &info : allWorkloads()) {
+        if (info.suite == suite)
+            out.push_back(info);
+    }
+    for (const auto &info : streamWorkloads()) {
         if (info.suite == suite)
             out.push_back(info);
     }

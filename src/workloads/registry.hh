@@ -32,7 +32,14 @@ struct WorkloadInfo
 /** Every registered workload, in stable order. */
 const std::vector<WorkloadInfo> &allWorkloads();
 
-/** Entry by full name, or nullptr. */
+/**
+ * The long-stream large-tier workloads ("stream" suite). Kept out of
+ * allWorkloads() on purpose: the golden determinism suite enumerates
+ * that list and its 297 hashes are frozen.
+ */
+const std::vector<WorkloadInfo> &streamWorkloads();
+
+/** Entry by full name (either registry), or nullptr. */
 const WorkloadInfo *findWorkload(const std::string &name);
 
 /** All entries of one suite. */

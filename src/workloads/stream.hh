@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Long-stream workloads for the large bench tier.
+ *
+ * Unlike the phoenix/parsec/micro models, whose region sizes are
+ * fixed and only op counts scale, these scale their *data* with
+ * `WorkloadParams::scale` — at `--scale>=4` the simulated working set
+ * (and therefore the detector's shadow footprint) spills host cache,
+ * which is the regime the ROADMAP says to measure before optimizing
+ * the detector core again. Ops are generated lazily per thread
+ * (SyntheticThread::next()), so the driver stays O(1) memory no
+ * matter the stream length.
+ *
+ * These live in their own registry (streamWorkloads()) rather than
+ * allWorkloads(): the golden determinism suite enumerates the latter
+ * and its 297 hashes are frozen.
+ */
+
+#ifndef HDRD_WORKLOADS_STREAM_HH
+#define HDRD_WORKLOADS_STREAM_HH
+
+#include <memory>
+
+#include "runtime/program.hh"
+#include "workloads/params.hh"
+
+namespace hdrd::workloads
+{
+
+/**
+ * Threads stride-scan private slices of one giant region with a 30%
+ * write mix, two passes with a barrier between. Race-free and
+ * epoch-fast-pathed: pure shadow-footprint streaming.
+ */
+std::unique_ptr<runtime::Program>
+makeStreamScan(const WorkloadParams &params);
+
+/**
+ * Random read-mostly (2% writes) traffic over one big shared region:
+ * drives read-shared inflation and the pooled-clock path at scale.
+ */
+std::unique_ptr<runtime::Program>
+makeStreamSharedMix(const WorkloadParams &params);
+
+/**
+ * 90% of accesses hit a small fixed hot region, 10% random-walk a
+ * huge cold region (private slices): cache-resident hot path plus a
+ * long tail of cold shadow misses — the TLB/arena stress shape.
+ */
+std::unique_ptr<runtime::Program>
+makeStreamHotCold(const WorkloadParams &params);
+
+} // namespace hdrd::workloads
+
+#endif // HDRD_WORKLOADS_STREAM_HH

@@ -257,8 +257,8 @@ TEST(FastTrack, WriteCollapsesReadVectorClock)
     EXPECT_TRUE(f.detector.onAccess(2, kX, true, 3).race);
     const VarState *st = f.detector.shadow().peek(kX);
     ASSERT_NE(st, nullptr);
-    EXPECT_EQ(st->rvc, nullptr);
-    EXPECT_TRUE(st->r.empty());
+    EXPECT_FALSE(st->readShared());
+    EXPECT_TRUE(st->r().empty());
 }
 
 TEST(FastTrack, NameIsStable)
@@ -292,9 +292,10 @@ TEST(FastTrack, InflationRecyclesPooledClocks)
     // The recycled clock carries no stale components.
     const VarState *st = f.detector.shadow().peek(kX);
     ASSERT_NE(st, nullptr);
-    ASSERT_NE(st->rvc, nullptr);
-    EXPECT_FALSE(st->rvc->soleNonzero(0));  // both readers present
-    EXPECT_EQ(st->rvc->get(2), 0u);  // thread 2 never read here
+    ASSERT_TRUE(st->readShared());
+    const VectorClock &rvc = pool.at(st->rvcIndex());
+    EXPECT_FALSE(rvc.soleNonzero(0));  // both readers present
+    EXPECT_EQ(rvc.get(2), 0u);  // thread 2 never read here
 }
 
 TEST(FastTrack, ClearShadowReclaimsOutstandingClocks)
@@ -322,6 +323,69 @@ TEST(FastTrack, ClearShadowReclaimsOutstandingClocks)
     EXPECT_EQ(pool.created(), 3u);
     EXPECT_EQ(pool.reused(), 3u);
     EXPECT_EQ(f.detector.shadow().recycledChunks(), 1u);
+}
+
+TEST(FastTrack, ReportsCarrySitesFromColdTable)
+{
+    // After the hot/cold split the static sites live in the side
+    // table; every report kind must still attribute both endpoints
+    // exactly, including site ids beyond the packed 16-bit range.
+    const SiteId w_site = 0x00ABCDEF;  // forces the overflow path
+    const SiteId r_site = 0x00FEDCBA;
+    {
+        Fixture f;
+        f.detector.onAccess(0, kX, true, w_site);
+        const auto out = f.detector.onAccess(1, kX, true, 77);
+        EXPECT_TRUE(out.race);
+        ASSERT_EQ(f.sink.uniqueCount(), 1u);
+        EXPECT_EQ(f.sink.reports()[0].first_site, w_site);
+        EXPECT_EQ(f.sink.reports()[0].second_site, 77u);
+    }
+    {
+        Fixture f;
+        f.detector.onAccess(0, kX, true, w_site);
+        f.detector.onAccess(1, kX, false, 78);
+        ASSERT_EQ(f.sink.uniqueCount(), 1u);
+        EXPECT_EQ(f.sink.reports()[0].type, RaceType::kWriteRead);
+        EXPECT_EQ(f.sink.reports()[0].first_site, w_site);
+    }
+    {
+        Fixture f;
+        f.detector.onAccess(0, kX, false, r_site);
+        f.detector.onAccess(1, kX, true, 79);
+        ASSERT_EQ(f.sink.uniqueCount(), 1u);
+        EXPECT_EQ(f.sink.reports()[0].type, RaceType::kReadWrite);
+        EXPECT_EQ(f.sink.reports()[0].first_site, r_site);
+    }
+    {
+        // Read-shared variant: the racing reader's site comes from
+        // the cold table's read slot even after inflation.
+        Fixture f;
+        f.detector.onAccess(0, kX, false, 5);
+        f.detector.onAccess(1, kX, false, r_site);
+        f.clocks.release(0, 10);
+        f.clocks.acquire(2, 10);
+        const auto out = f.detector.onAccess(2, kX, true, 80);
+        EXPECT_TRUE(out.race);
+        ASSERT_EQ(f.sink.uniqueCount(), 1u);
+        EXPECT_EQ(f.sink.reports()[0].first_tid, 1u);
+        EXPECT_EQ(f.sink.reports()[0].first_site, r_site);
+    }
+}
+
+TEST(FastTrack, CollapseClearsColdReadSite)
+{
+    Fixture f;
+    f.detector.onAccess(0, kX, false, 11);
+    f.detector.onAccess(1, kX, false, 12);
+    EXPECT_EQ(f.detector.shadow().readSite(kX), 12u);
+    // Ordered write collapses the shared read side and retires the
+    // read site, exactly like the old inline r_site reset.
+    const std::array<ThreadId, 4> all{0, 1, 2, 3};
+    f.clocks.barrier(all);
+    f.detector.onAccess(2, kX, true, 13);
+    EXPECT_EQ(f.detector.shadow().readSite(kX), kInvalidSite);
+    EXPECT_EQ(f.detector.shadow().writeSite(kX), 13u);
 }
 
 TEST(FastTrack, BorrowedShadowIsPreparedAndShared)

@@ -54,11 +54,11 @@ TEST(Shadow, WritesPersist)
 {
     ShadowMemory shadow;
     shadow.state(0x2000).w = Epoch(3, 9);
-    shadow.state(0x2000).w_site = 42;
+    shadow.sites().setWriteSite(shadow.granule(0x2000), 42);
     const VarState *st = shadow.peek(0x2000);
     ASSERT_NE(st, nullptr);
     EXPECT_EQ(st->w, Epoch(3, 9));
-    EXPECT_EQ(st->w_site, 42u);
+    EXPECT_EQ(shadow.writeSite(0x2000), 42u);
     EXPECT_FALSE(st->untouched());
 }
 
@@ -153,12 +153,129 @@ TEST(Shadow, UntouchedConsidersAllFields)
 {
     VarState st;
     EXPECT_TRUE(st.untouched());
-    st.r = Epoch(0, 1);
+    st.setRead(Epoch(0, 1));
     EXPECT_FALSE(st.untouched());
     VarState st2;
-    VectorClock rvc;
-    st2.rvc = &rvc;
+    st2.setReadShared(0);
     EXPECT_FALSE(st2.untouched());
+}
+
+TEST(Shadow, VarStateIsSixteenBytes)
+{
+    // The tentpole invariant: the hot per-granule record is half the
+    // old 32-byte layout, so four granules share a host cache line.
+    EXPECT_EQ(sizeof(VarState), 16u);
+    static_assert(sizeof(VarState) == 16);
+}
+
+TEST(Shadow, VarStateEpochBitsRoundTrip)
+{
+    // Property: for every taggable (tid, clock), storing the epoch in
+    // the tagged read word and reading it back is the identity, and
+    // the record never looks read-shared — exactly the observable
+    // behaviour of the old {Epoch r; VectorClock *rvc=nullptr} pair.
+    const ThreadId tids[] = {0, 1, 7, 255, 4096,
+                             Epoch::kMaxTaggableTid};
+    const ClockValue clocks[] = {1, 2, 0xFFFF, 0xFFFFFFFFull,
+                                 (ClockValue{1} << 48) - 1};
+    for (ThreadId t : tids) {
+        for (ClockValue c : clocks) {
+            const Epoch e(t, c);
+            VarState st;
+            st.setRead(e);
+            EXPECT_FALSE(st.readShared());
+            EXPECT_EQ(st.r(), e);
+            EXPECT_EQ(st.r().tid(), e.tid());
+            EXPECT_EQ(st.r().clock(), e.clock());
+            // bits() round-trips through fromBits unchanged.
+            EXPECT_EQ(Epoch::fromBits(e.bits()), e);
+            // A packed taggable epoch never collides with the tag.
+            EXPECT_EQ(e.bits() & VarState::kSharedBit, 0u);
+        }
+    }
+}
+
+TEST(Shadow, VarStatePromoteCollapseRoundTrip)
+{
+    // Property: epoch -> shared(index) -> epoch round-trips behave
+    // like the old pointer representation: promotion preserves the
+    // pool index exactly, collapse restores a plain epoch read side.
+    for (std::uint32_t index : {0u, 1u, 63u, 64u, 0xFFFFu,
+                                0xFFFFFFFFu}) {
+        VarState st;
+        st.setRead(Epoch(3, 17));
+        st.setReadShared(index);
+        EXPECT_TRUE(st.readShared());
+        EXPECT_EQ(st.rvcIndex(), index);
+        EXPECT_FALSE(st.untouched());
+        st.setRead(Epoch(5, 9));  // write-collapse
+        EXPECT_FALSE(st.readShared());
+        EXPECT_EQ(st.r(), Epoch(5, 9));
+    }
+}
+
+TEST(Shadow, SharedIndexNeverLooksLikeMyEpoch)
+{
+    // The onRead fast path is a single compare of r_bits against the
+    // accessor's packed epoch; a shared record must never match it.
+    VarState st;
+    for (std::uint32_t index : {0u, 1u, 0xFFFFFFFFu}) {
+        st.setReadShared(index);
+        for (ThreadId t : {ThreadId{0}, ThreadId{1},
+                           Epoch::kMaxTaggableTid}) {
+            EXPECT_NE(st.r_bits, Epoch(t, 1).bits());
+            EXPECT_NE(st.r_bits, Epoch(t, index).bits());
+        }
+    }
+}
+
+TEST(Shadow, SiteTableStoresAndClearsSites)
+{
+    SiteTable sites;
+    EXPECT_EQ(sites.writeSite(7), kInvalidSite);
+    EXPECT_EQ(sites.readSite(7), kInvalidSite);
+    sites.setWriteSite(7, 11);
+    sites.setReadSite(7, 22);
+    EXPECT_EQ(sites.writeSite(7), 11u);
+    EXPECT_EQ(sites.readSite(7), 22u);
+    // Write and read slots are independent.
+    sites.setReadSite(7, kInvalidSite);
+    EXPECT_EQ(sites.writeSite(7), 11u);
+    EXPECT_EQ(sites.readSite(7), kInvalidSite);
+    sites.reset();
+    EXPECT_EQ(sites.writeSite(7), kInvalidSite);
+}
+
+TEST(Shadow, SiteTableOverflowSitesExact)
+{
+    // Site ids beyond the packed 16-bit range (trace replays carry
+    // arbitrary 32-bit sites) must come back exact, not truncated.
+    SiteTable sites;
+    const SiteId big_w = 0x12345678u;
+    const SiteId big_r = 0xFFFFFFF0u;
+    sites.setWriteSite(3, big_w);
+    sites.setReadSite(3, big_r);
+    EXPECT_EQ(sites.writeSite(3), big_w);
+    EXPECT_EQ(sites.readSite(3), big_r);
+    // The packed sentinels themselves round-trip through overflow.
+    sites.setWriteSite(4, 0xFFFE);
+    EXPECT_EQ(sites.writeSite(4), 0xFFFEu);
+    // Overwriting a big site with a small one drops the spill.
+    sites.setWriteSite(3, 5);
+    EXPECT_EQ(sites.writeSite(3), 5u);
+    // Distinct granules with the same key parity stay separate.
+    sites.setWriteSite(0x8000000000000001ull, big_w);
+    sites.setReadSite(0x8000000000000001ull, big_r);
+    EXPECT_EQ(sites.writeSite(0x8000000000000001ull), big_w);
+    EXPECT_EQ(sites.readSite(0x8000000000000001ull), big_r);
+}
+
+TEST(Shadow, ClearDropsSites)
+{
+    ShadowMemory shadow;
+    shadow.sites().setWriteSite(shadow.granule(0x3000), 9);
+    shadow.clear();
+    EXPECT_EQ(shadow.writeSite(0x3000), kInvalidSite);
 }
 
 TEST(ShadowDeath, HugeGranuleShiftPanics)

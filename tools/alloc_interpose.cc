@@ -10,19 +10,77 @@
  * allocation and nothing per free.
  */
 
+#include <algorithm>
 #include <cstdlib>
+#include <mutex>
 #include <new>
+#include <vector>
 
 #include "common/alloc_stats.hh"
 
 namespace
 {
 
+// POD thread-local: no dynamic initialization, so the very first
+// allocation on a thread can count into it without ordering hazards.
 thread_local hdrd::AllocCounters tls_counters;
+
+/**
+ * Process accumulation. Every thread that allocates registers its
+ * counter block once; a thread folds its totals into `retired` when
+ * it exits. processAllocCounters() = retired + sum(live), which is
+ * exact whenever allocating threads are quiescent — no per-allocation
+ * atomics anywhere.
+ */
+struct Registry
+{
+    std::mutex mu;
+    std::vector<const hdrd::AllocCounters *> live;
+    hdrd::AllocCounters retired;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** Folds the owning thread's totals into `retired` on thread exit. */
+struct Dereg
+{
+    ~Dereg()
+    {
+        Registry &r = registry();
+        const std::lock_guard<std::mutex> lock(r.mu);
+        r.retired.count += tls_counters.count;
+        r.retired.bytes += tls_counters.bytes;
+        std::erase(r.live, &tls_counters);
+    }
+};
+
+thread_local bool tls_registered = false;
+thread_local Dereg tls_dereg;
+
+void
+registerThread()
+{
+    // Flag first: the push_back below allocates, and that recursive
+    // countedAlloc must see the thread as already registered.
+    tls_registered = true;
+    // Construct the registry before arming the deregistration guard,
+    // so the main thread's guard never outlives it at process exit.
+    Registry &r = registry();
+    (void)&tls_dereg;
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.live.push_back(&tls_counters);
+}
 
 void *
 countedAlloc(std::size_t size)
 {
+    if (!tls_registered)
+        registerThread();
     ++tls_counters.count;
     tls_counters.bytes += size;
     // Never return null for zero-size requests, per the standard.
@@ -35,6 +93,8 @@ countedAlloc(std::size_t size)
 void *
 countedAlignedAlloc(std::size_t size, std::align_val_t al)
 {
+    if (!tls_registered)
+        registerThread();
     ++tls_counters.count;
     tls_counters.bytes += size;
     const std::size_t align = static_cast<std::size_t>(al);
@@ -55,6 +115,19 @@ AllocCounters
 threadAllocCounters()
 {
     return tls_counters;
+}
+
+AllocCounters
+processAllocCounters()
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    AllocCounters total = r.retired;
+    for (const AllocCounters *c : r.live) {
+        total.count += c->count;
+        total.bytes += c->bytes;
+    }
+    return total;
 }
 
 bool

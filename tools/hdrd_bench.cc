@@ -9,6 +9,16 @@
  * the number that gates engine perf work: the continuous-FastTrack
  * aggregate is the headline "how fast does the simulator go" figure.
  *
+ * Two tiers. The default tier sweeps the frozen workload registry at
+ * --scale (0.5 by default), where simulated working sets fit host
+ * cache — good for instruction-path regressions, blind to memory
+ * ones. --tier=large sweeps the long-stream workloads over a
+ * scale x detector x mode grid (the ABL-11 working-set sweep): data
+ * regions scale with --scales so the detector's shadow spills host
+ * cache, cells run on one worker with a per-cell peak-RSS watermark
+ * (VmHWM reset between cells), and footprint becomes a first-class,
+ * gateable axis (--max-rss-kb).
+ *
  * Each cell reuses one Simulator engine across its repetitions — the
  * same per-job reuse hdrd_served does — so the repeat loop exercises
  * (and --check validates) the shadow-recycling path, and the v2
@@ -17,6 +27,8 @@
  *
  *   hdrd_bench                          # full sweep, BENCH_engine.json
  *   hdrd_bench --smoke --check          # CI: subset + determinism check
+ *   hdrd_bench --tier=large             # ABL-11 long-stream sweep
+ *   hdrd_bench --tier=large --append    # add large cells to the file
  *   hdrd_bench --workers=8 --repeat=3   # quieter timing on a busy host
  *   hdrd_bench --hashes=FILE            # dump-hash manifest (CI diffs
  *                                       # scalar vs SIMD builds)
@@ -30,6 +42,11 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/utsname.h>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "common/alloc_stats.hh"
 #include "common/bench_json.hh"
@@ -58,12 +75,18 @@ struct Options
     std::uint32_t repeat = 1;
     bool smoke = false;
     bool check = false;
+    bool large = false;        ///< --tier=large
+    bool append = false;       ///< merge cells into an existing file
+    bool cell_rss = false;     ///< resolved in main: per-cell VmHWM
     std::string suite;
     std::string modes = "native,continuous,demand-hitm";
+    std::string detectors = "fasttrack";
+    std::string scales;        ///< large tier: comma list of scales
     std::string out = "BENCH_engine.json";
     std::string metrics_dump;
     std::string hashes_out;
     double baseline_ops = 0.0;
+    std::uint64_t max_rss_kb = 0;  ///< 0 = no gate
 
     /** Degraded-signal sweep: resolved --faults= spec. */
     pmu::FaultConfig faults;
@@ -75,10 +98,25 @@ usage()
     std::puts(
         "hdrd_bench — engine self-benchmark (workloads x modes)\n"
         "\n"
-        "  --smoke          micro suite at scale 0.1 (fast CI subset)\n"
+        "  --smoke          micro suite at scale 0.1 (fast CI subset);\n"
+        "                   with --tier=large: stream suite at scale 1\n"
         "  --check          run every cell twice; exit 3 if any dump\n"
         "                   differs between runs (nondeterminism)\n"
-        "  --workers=N      host worker threads (default: all cores)\n"
+        "  --tier=NAME      'default' (registry sweep at --scale) or\n"
+        "                   'large' (ABL-11 long-stream sweep: stream\n"
+        "                   suite x --scales x --detectors x --modes,\n"
+        "                   one worker, per-cell peak-RSS watermark)\n"
+        "  --scales=LIST    large tier: comma list of workload scales\n"
+        "                   (default 4,8; data regions scale with it)\n"
+        "  --detectors=LIST large tier: comma list of fasttrack,"
+        "lockset\n"
+        "  --append         merge this run's cells into --out instead\n"
+        "                   of overwriting; refuses files whose schema\n"
+        "                   or host/build stamps mismatch\n"
+        "  --max-rss-kb=N   exit 4 if any cell's peak_rss_kb exceeds N\n"
+        "                   (CI footprint gate; large tier only)\n"
+        "  --workers=N      host worker threads (default: all cores;\n"
+        "                   forced to 1 by --tier=large)\n"
         "  --repeat=N       timing repetitions per cell, best kept\n"
         "  --scale=F        workload size multiplier (default 0.5)\n"
         "  --suite=NAME     restrict to one workload suite\n"
@@ -94,7 +132,9 @@ usage()
         "gates\n"
         "  --hashes=FILE    write 'workload mode hash' lines (FNV-1a\n"
         "                   of each cell's dump) for cross-build "
-        "diffing\n"
+        "diffing;\n"
+        "                   large tier lines are 'workload@scale mode "
+        "hash'\n"
         "  --out=FILE       JSON output (default BENCH_engine.json)\n"
         "  --metrics-dump=FILE  write the pool's hdrd-metrics-v1\n"
         "                   snapshot (same schema hdrd_served "
@@ -125,6 +165,20 @@ parse(int argc, char **argv)
             opt.smoke = true;
         } else if (std::strcmp(arg, "--check") == 0) {
             opt.check = true;
+        } else if (std::strcmp(arg, "--append") == 0) {
+            opt.append = true;
+        } else if (eat(arg, "--tier=", value)) {
+            if (value == "large")
+                opt.large = true;
+            else if (value != "default")
+                fatal("unknown tier '", value,
+                      "' (expected 'default' or 'large')");
+        } else if (eat(arg, "--scales=", value)) {
+            opt.scales = value;
+        } else if (eat(arg, "--detectors=", value)) {
+            opt.detectors = value;
+        } else if (eat(arg, "--max-rss-kb=", value)) {
+            opt.max_rss_kb = cli::parseU64("max-rss-kb", value);
         } else if (eat(arg, "--workers=", value)) {
             opt.workers = cli::parseU32("workers", value, 0, 4096);
         } else if (eat(arg, "--repeat=", value)) {
@@ -161,11 +215,20 @@ parse(int argc, char **argv)
     }
     if (opt.repeat == 0)
         opt.repeat = 1;
-    if (opt.smoke) {
-        // CI subset: every mode, micro suite only, small scale.
-        if (opt.suite.empty())
-            opt.suite = "micro";
-        opt.scale = 0.1;
+    if (opt.large) {
+        if (opt.scales.empty())
+            opt.scales = opt.smoke ? "1" : "4,8";
+        if (opt.smoke)
+            opt.detectors = "fasttrack";
+    } else {
+        if (!opt.scales.empty())
+            fatal("--scales requires --tier=large");
+        if (opt.smoke) {
+            // CI subset: every mode, micro suite only, small scale.
+            if (opt.suite.empty())
+                opt.suite = "micro";
+            opt.scale = 0.1;
+        }
     }
     return opt;
 }
@@ -176,6 +239,10 @@ struct Cell
     const workloads::WorkloadInfo *info = nullptr;
     instr::ToolMode mode = instr::ToolMode::kNative;
     const char *mode_name = "";
+    runtime::DetectorKind detector =
+        runtime::DetectorKind::kFastTrack;
+    const char *detector_name = "fasttrack";
+    double scale = 0.0;  ///< 0 = Options::scale
     benchjson::BenchCell result;
 
     /** FNV-1a of the first repetition's dump (for --hashes). */
@@ -195,11 +262,11 @@ fnv1a(const std::string &s)
 }
 
 runtime::SimConfig
-cellConfig(const Options &opt, instr::ToolMode mode)
+cellConfig(const Options &opt, const Cell &cell)
 {
     runtime::SimConfig config;
-    config.mode = mode;
-    config.detector = runtime::DetectorKind::kFastTrack;
+    config.mode = cell.mode;
+    config.detector = cell.detector;
     config.gating.strategy = demand::Strategy::kDemandHitm;
     config.mem.ncores = opt.cores;
     config.seed = opt.seed;
@@ -210,11 +277,23 @@ cellConfig(const Options &opt, instr::ToolMode mode)
 void
 runCell(Cell &cell, const Options &opt)
 {
-    const runtime::SimConfig config = cellConfig(opt, cell.mode);
+    const runtime::SimConfig config = cellConfig(opt, cell);
     workloads::WorkloadParams params;
     params.nthreads = opt.threads;
-    params.scale = opt.scale;
+    params.scale = cell.scale > 0.0 ? cell.scale : opt.scale;
     params.seed = opt.seed + 41;  // matches hdrd_sim's program seed
+
+    // Attribute the peak-RSS watermark to this cell alone (single
+    // worker: nothing else is resident-growing concurrently). The
+    // allocator must first hand freed arena pages back to the OS:
+    // without the trim, residual RSS from a bigger earlier cell
+    // floors every later cell's "peak".
+    if (opt.cell_rss) {
+#if defined(__GLIBC__)
+        malloc_trim(0);
+#endif
+        resetPeakRss();
+    }
 
     double best_seconds = 0.0;
     std::string dump;
@@ -257,7 +336,7 @@ runCell(Cell &cell, const Options &opt)
     out.mode = cell.mode_name;
     out.detector = cell.mode == instr::ToolMode::kNative
         ? "none"
-        : "fasttrack";
+        : cell.detector_name;
     out.wall_seconds = best_seconds;
     out.sim_ops = result.total_ops;
     out.sim_mem_accesses = result.mem_accesses;
@@ -268,7 +347,134 @@ runCell(Cell &cell, const Options &opt)
         : 0.0;
     out.alloc_count = alloc_last.count;
     out.alloc_bytes = alloc_last.bytes;
+    out.scale = params.scale;
+    out.peak_rss_kb = opt.cell_rss ? peakRssKb() : 0;
     out.checked = opt.check || opt.repeat > 1;
+}
+
+/** uname-based host stamp: trajectory files must not silently mix
+ *  numbers from different machines. */
+std::string
+hostStamp()
+{
+    struct utsname u{};
+    if (uname(&u) != 0)
+        return "unknown";
+    return std::string(u.nodename) + "/" + u.machine;
+}
+
+/** Compiler stamp, same hygiene reason as hostStamp(). */
+std::string
+buildStamp()
+{
+#if defined(__clang__)
+    return std::string("clang-") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc-") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+/** Extract `"key": <value>` from a one-line JSON cell. */
+bool
+jsonField(const std::string &line, const char *key, std::string &out)
+{
+    const std::string needle = std::string{"\""} + key + "\": ";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    std::size_t begin = at + needle.size();
+    std::size_t end;
+    if (line[begin] == '"') {
+        ++begin;
+        end = line.find('"', begin);
+    } else {
+        end = line.find_first_of(",}", begin);
+    }
+    if (end == std::string::npos)
+        return false;
+    out = line.substr(begin, end - begin);
+    return true;
+}
+
+/**
+ * Load the cells of an existing hdrd-bench-v2 file for --append.
+ * Refuses (fatal) on schema, host, or build mismatch, and on any
+ * cell missing the v2 columns — appending would silently mix
+ * incomparable numbers into one trajectory file.
+ */
+std::vector<benchjson::BenchCell>
+loadCellsForAppend(const std::string &path,
+                   const benchjson::BenchMeta &meta)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("--append: cannot read ", path);
+    std::vector<benchjson::BenchCell> cells;
+    std::string line;
+    bool schema_ok = false;
+    while (std::getline(in, line)) {
+        std::string v;
+        if (line.find("\"schema\": ") != std::string::npos) {
+            if (!jsonField(line, "schema", v)
+                || v != "hdrd-bench-v2")
+                fatal("--append: ", path, " has schema '", v,
+                      "', want hdrd-bench-v2; regenerate it instead "
+                      "of mixing schemas");
+            schema_ok = true;
+        } else if (line.find("    \"host\": ") == 0) {
+            if (jsonField(line, "host", v) && v != meta.host)
+                fatal("--append: ", path, " was recorded on host '",
+                      v, "', this run is '", meta.host,
+                      "'; cross-host cells are not comparable");
+        } else if (line.find("    \"build\": ") == 0) {
+            if (jsonField(line, "build", v) && v != meta.build)
+                fatal("--append: ", path, " was built with '", v,
+                      "', this run is '", meta.build,
+                      "'; cross-build cells are not comparable");
+        } else if (line.find("{\"workload\": ") != std::string::npos) {
+            benchjson::BenchCell c;
+            std::string f;
+            // All v2 columns must be present; a v1-era cell missing
+            // the memory columns is a schema mismatch, not a zero.
+            if (!jsonField(line, "workload", c.workload)
+                || !jsonField(line, "suite", c.suite)
+                || !jsonField(line, "mode", c.mode)
+                || !jsonField(line, "detector", c.detector)
+                || !jsonField(line, "wall_seconds", f)
+                || (c.wall_seconds = std::stod(f), false)
+                || !jsonField(line, "sim_ops", f)
+                || (c.sim_ops = std::stoull(f), false)
+                || !jsonField(line, "sim_mem_accesses", f)
+                || (c.sim_mem_accesses = std::stoull(f), false)
+                || !jsonField(line, "sim_wall_cycles", f)
+                || (c.sim_wall_cycles = std::stoull(f), false)
+                || !jsonField(line, "races_unique", f)
+                || (c.races_unique = std::stoull(f), false)
+                || !jsonField(line, "host_ops_per_sec", f)
+                || (c.host_ops_per_sec = std::stod(f), false)
+                || !jsonField(line, "alloc_count", f)
+                || (c.alloc_count = std::stoull(f), false)
+                || !jsonField(line, "alloc_bytes", f)
+                || (c.alloc_bytes = std::stoull(f), false)
+                || !jsonField(line, "scale", f)
+                || (c.scale = std::stod(f), false)
+                || !jsonField(line, "peak_rss_kb", f)
+                || (c.peak_rss_kb = std::stoull(f), false)
+                || !jsonField(line, "checked", f)
+                || (c.checked = f == "true", false)
+                || !jsonField(line, "deterministic", f)
+                || (c.deterministic = f == "true", false))
+                fatal("--append: cell in ", path,
+                      " is missing hdrd-bench-v2 columns; refusing "
+                      "to mix schemas (regenerate the file)");
+            cells.push_back(std::move(c));
+        }
+    }
+    if (!schema_ok)
+        fatal("--append: ", path, " has no schema stamp");
+    return cells;
 }
 
 } // namespace
@@ -276,7 +482,7 @@ runCell(Cell &cell, const Options &opt)
 int
 main(int argc, char **argv)
 {
-    const Options opt = parse(argc, argv);
+    Options opt = parse(argc, argv);
 
     struct ModeSpec
     {
@@ -308,16 +514,74 @@ main(int argc, char **argv)
     if (modes.empty())
         fatal("--modes selected nothing");
 
+    struct DetectorSpec
+    {
+        const char *name;
+        runtime::DetectorKind kind;
+    };
+    static const DetectorSpec kAllDetectors[] = {
+        {"fasttrack", runtime::DetectorKind::kFastTrack},
+        {"lockset", runtime::DetectorKind::kLockset},
+    };
+    std::vector<DetectorSpec> detectors;
+    {
+        std::stringstream ss(opt.detectors);
+        std::string token;
+        while (std::getline(ss, token, ',')) {
+            bool found = false;
+            for (const DetectorSpec &spec : kAllDetectors) {
+                if (token == spec.name) {
+                    detectors.push_back(spec);
+                    found = true;
+                }
+            }
+            if (!found)
+                fatal("unknown detector '", token,
+                      "' in --detectors (fasttrack, lockset)");
+        }
+    }
+    if (detectors.empty())
+        fatal("--detectors selected nothing");
+
+    std::vector<double> scales;
+    if (opt.large) {
+        std::stringstream ss(opt.scales);
+        std::string token;
+        while (std::getline(ss, token, ','))
+            scales.push_back(
+                cli::parseDouble("scales", token, 1e-6, 1e6));
+        if (scales.empty())
+            fatal("--scales selected nothing");
+    } else {
+        scales.push_back(0.0);  // use opt.scale
+    }
+
+    // The cell grid. Default tier: registry x modes (FastTrack).
+    // Large tier (ABL-11): stream suite x scales x detectors x
+    // modes, native emitted once per (workload, scale) since it runs
+    // no detector.
     std::vector<Cell> cells;
-    for (const auto &info : workloads::allWorkloads()) {
-        if (!opt.suite.empty() && info.suite != opt.suite)
-            continue;
-        for (const ModeSpec &spec : modes) {
-            Cell cell;
-            cell.info = &info;
-            cell.mode = spec.mode;
-            cell.mode_name = spec.name;
-            cells.push_back(std::move(cell));
+    const auto &registry = opt.large ? workloads::streamWorkloads()
+                                     : workloads::allWorkloads();
+    for (const double scale : scales) {
+        for (const auto &info : registry) {
+            if (!opt.suite.empty() && info.suite != opt.suite)
+                continue;
+            for (const ModeSpec &spec : modes) {
+                const bool native =
+                    spec.mode == instr::ToolMode::kNative;
+                for (std::size_t d = 0;
+                     d < (native ? 1u : detectors.size()); ++d) {
+                    Cell cell;
+                    cell.info = &info;
+                    cell.mode = spec.mode;
+                    cell.mode_name = spec.name;
+                    cell.detector = detectors[d].kind;
+                    cell.detector_name = detectors[d].name;
+                    cell.scale = scale;
+                    cells.push_back(std::move(cell));
+                }
+            }
         }
     }
     if (cells.empty())
@@ -328,6 +592,12 @@ main(int argc, char **argv)
         : std::max(1u, std::thread::hardware_concurrency());
     nworkers = std::min<std::uint32_t>(
         nworkers, static_cast<std::uint32_t>(cells.size()));
+    if (opt.large) {
+        // Sequential cells: the per-cell RSS watermark is process-
+        // wide, and cache-spilling cells would throttle each other.
+        nworkers = 1;
+        opt.cell_rss = true;
+    }
 
     // Fan the cells across the shared service::WorkerPool. Capacity
     // covers the whole sweep, so the blocking submit never rejects;
@@ -363,9 +633,18 @@ main(int argc, char **argv)
     const bool alloc_tracked = allocTrackingActive();
     for (const Cell &cell : cells) {
         const benchjson::BenchCell &r = cell.result;
-        std::printf("%-28s %-11s %9.3f ms  %12.0f ops/s",
-                    r.workload.c_str(), r.mode.c_str(),
-                    r.wall_seconds * 1e3, r.host_ops_per_sec);
+        if (opt.large)
+            std::printf("%-22s s%-4.3g %-10s %-11s %9.3f ms  "
+                        "%12.0f ops/s  %9llu KiB",
+                        r.workload.c_str(), r.scale,
+                        r.detector.c_str(), r.mode.c_str(),
+                        r.wall_seconds * 1e3, r.host_ops_per_sec,
+                        static_cast<unsigned long long>(
+                            r.peak_rss_kb));
+        else
+            std::printf("%-28s %-11s %9.3f ms  %12.0f ops/s",
+                        r.workload.c_str(), r.mode.c_str(),
+                        r.wall_seconds * 1e3, r.host_ops_per_sec);
         if (alloc_tracked)
             std::printf("  %8llu allocs",
                         static_cast<unsigned long long>(r.alloc_count));
@@ -386,8 +665,22 @@ main(int argc, char **argv)
     meta.smoke = opt.smoke;
     meta.baseline_continuous_ft_ops = opt.baseline_ops;
     meta.peak_rss_kb = peakRssKb();
+    // Per-cell watermark resets clobber the process-lifetime peak;
+    // recover it as the max any cell (or the tail) observed.
+    for (const benchjson::BenchCell &r : results)
+        meta.peak_rss_kb = std::max(meta.peak_rss_kb, r.peak_rss_kb);
     meta.alloc_tracked = alloc_tracked;
     meta.simd_level = detect::simd::activeLevel();
+    meta.tier = opt.large ? "large" : "default";
+    meta.host = hostStamp();
+    meta.build = buildStamp();
+
+    if (opt.append) {
+        std::vector<benchjson::BenchCell> merged =
+            loadCellsForAppend(opt.out, meta);
+        merged.insert(merged.end(), results.begin(), results.end());
+        results = std::move(merged);
+    }
 
     std::ofstream out(opt.out);
     if (!out)
@@ -401,7 +694,8 @@ main(int argc, char **argv)
     if (!opt.hashes_out.empty()) {
         // Timing-free manifest: one line per cell, stable across
         // worker counts, repeats, and (by design) SIMD levels. CI
-        // diffs these files between scalar and SIMD builds.
+        // diffs these files between scalar and SIMD builds. Large-
+        // tier sweeps mix scales, so the workload column carries it.
         std::ofstream hf(opt.hashes_out);
         if (!hf)
             fatal("cannot open ", opt.hashes_out, " for writing");
@@ -410,8 +704,12 @@ main(int argc, char **argv)
             std::snprintf(buf, sizeof buf, "%016llx",
                           static_cast<unsigned long long>(
                               cell.dump_hash));
-            hf << cell.result.workload << ' ' << cell.result.mode
-               << ' ' << buf << '\n';
+            hf << cell.result.workload;
+            if (opt.large)
+                hf << '@' << cell.result.scale;
+            if (opt.large && cell.mode != instr::ToolMode::kNative)
+                hf << '/' << cell.result.detector;
+            hf << ' ' << cell.result.mode << ' ' << buf << '\n';
         }
     }
 
@@ -435,6 +733,23 @@ main(int argc, char **argv)
             std::printf("  (%.2fx vs baseline %.0f)",
                         cont_ft / opt.baseline_ops, opt.baseline_ops);
         std::printf("\n");
+    }
+    if (opt.max_rss_kb > 0) {
+        for (const Cell &cell : cells) {
+            if (cell.result.peak_rss_kb > opt.max_rss_kb) {
+                std::fprintf(
+                    stderr,
+                    "hdrd_bench: cell %s (%s, %s) peak rss %llu KiB "
+                    "exceeds --max-rss-kb=%llu\n",
+                    cell.result.workload.c_str(),
+                    cell.result.detector.c_str(),
+                    cell.result.mode.c_str(),
+                    static_cast<unsigned long long>(
+                        cell.result.peak_rss_kb),
+                    static_cast<unsigned long long>(opt.max_rss_kb));
+                return 4;
+            }
+        }
     }
     if (!all_deterministic) {
         std::fprintf(stderr,
