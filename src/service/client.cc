@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -49,6 +50,7 @@ bool
 Client::connectUnix(const std::string &path, std::string &err)
 {
     close();
+    last_errno_ = 0;
     sockaddr_un addr{};
     if (path.size() >= sizeof(addr.sun_path)) {
         err = "socket path too long: " + path;
@@ -56,6 +58,7 @@ Client::connectUnix(const std::string &path, std::string &err)
     }
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd_ < 0) {
+        last_errno_ = errno;
         err = std::string("socket: ") + std::strerror(errno);
         return false;
     }
@@ -64,6 +67,7 @@ Client::connectUnix(const std::string &path, std::string &err)
                  sizeof(addr.sun_path) - 1);
     if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
+        last_errno_ = errno;
         err = "cannot connect to " + path + ": "
             + std::strerror(errno);
         close();
@@ -75,24 +79,54 @@ Client::connectUnix(const std::string &path, std::string &err)
 bool
 Client::connectTcp(std::uint16_t port, std::string &err)
 {
+    return connectTcp("127.0.0.1", port, err);
+}
+
+bool
+Client::connectTcp(const std::string &host, std::uint16_t port,
+                   std::string &err)
+{
     close();
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) {
-        err = std::string("socket: ") + std::strerror(errno);
-        return false;
-    }
+    last_errno_ = 0;
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    const std::string numeric =
+        host == "localhost" ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+        err = "not a numeric IPv4 host: " + host;
+        return false;
+    }
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        last_errno_ = errno;
+        err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
     if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
-        err = "cannot connect to 127.0.0.1:"
+        last_errno_ = errno;
+        err = "cannot connect to " + numeric + ":"
             + std::to_string(port) + ": " + std::strerror(errno);
         close();
         return false;
     }
     return true;
+}
+
+bool
+Client::setTimeouts(std::uint64_t timeout_ms)
+{
+    if (fd_ < 0)
+        return false;
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+    return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                        sizeof(tv)) == 0
+        && ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                        sizeof(tv)) == 0;
 }
 
 Response
@@ -101,15 +135,22 @@ Client::roundTrip(FrameType type, const std::string &payload)
     Response response;
     if (fd_ < 0)
         return response;
-    if (!writeFrame(fd_, type, payload))
+    errno = 0;
+    if (!writeFrame(fd_, type, payload)) {
+        last_errno_ = response.transport_errno = errno;
         return response;
+    }
 
     FrameHeader header;
     std::string err;
-    if (!readFrameHeader(fd_, header, err))
+    if (!readFrameHeader(fd_, header, err)) {
+        last_errno_ = response.transport_errno = errno;
         return response;
-    if (!readPayload(fd_, header.length, response.payload))
+    }
+    if (!readPayload(fd_, header.length, response.payload)) {
+        last_errno_ = response.transport_errno = errno;
         return response;
+    }
     response.transport_ok = true;
     response.type = static_cast<FrameType>(header.type);
     if (response.isBusy())
@@ -185,11 +226,16 @@ Client::readJobResponse(std::uint64_t &job_id, Response &response)
 {
     FrameHeader header;
     std::string err;
-    if (!readFrameHeader(fd_, header, err))
+    errno = 0;
+    if (!readFrameHeader(fd_, header, err)) {
+        last_errno_ = response.transport_errno = errno;
         return false;
+    }
     std::string payload;
-    if (!readPayload(fd_, header.length, payload))
+    if (!readPayload(fd_, header.length, payload)) {
+        last_errno_ = response.transport_errno = errno;
         return false;
+    }
     const auto type = static_cast<FrameType>(header.type);
     if (!isJobKeyed(type)) {
         // A sequential-type response mid-pipeline is a protocol
@@ -225,10 +271,12 @@ Client::submitPipelined(const std::vector<PipelineSubmission> &jobs,
         // Fill the window, then trade one response per new frame.
         while (next_send < jobs.size() && outstanding < window) {
             const PipelineSubmission &job = jobs[next_send];
+            errno = 0;
             if (!sendJob(next_send, job.options,
                          job.trace_bytes
                              ? *job.trace_bytes
                              : std::string())) {
+                last_errno_ = errno;
                 close();
                 return responses;
             }

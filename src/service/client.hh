@@ -34,6 +34,13 @@ struct Response
     /** Parsed retry hint from a BUSY reply (0 otherwise). */
     std::uint64_t retry_after_ms = 0;
 
+    /**
+     * errno captured at the failing syscall when transport_ok is
+     * false (0 when unknown — e.g. the response never started).
+     * EOF mid-frame reports as ECONNRESET.
+     */
+    int transport_errno = 0;
+
     bool isReport() const
     {
         return transport_ok
@@ -82,7 +89,29 @@ class Client
     /** Connect over TCP to 127.0.0.1:@p port. */
     bool connectTcp(std::uint16_t port, std::string &err);
 
+    /**
+     * Connect over TCP to @p host:@p port. @p host must be a numeric
+     * IPv4 address or "localhost" (fleet daemons are addressed
+     * explicitly; no resolver dependency on the submission path).
+     */
+    bool connectTcp(const std::string &host, std::uint16_t port,
+                    std::string &err);
+
     bool connected() const { return fd_ >= 0; }
+
+    /**
+     * errno of the last failed connect or exchange (0 = none).
+     * ECONNREFUSED here is how a dead fleet daemon announces itself.
+     */
+    int lastErrno() const { return last_errno_; }
+
+    /**
+     * Bound every subsequent send/recv on this connection to
+     * @p timeout_ms (SO_RCVTIMEO/SO_SNDTIMEO). A hung daemon then
+     * surfaces as a transport failure (EAGAIN) instead of a stalled
+     * client. Call after connect; 0 restores blocking I/O.
+     */
+    bool setTimeouts(std::uint64_t timeout_ms);
 
     void close();
 
@@ -144,6 +173,7 @@ class Client
     bool readJobResponse(std::uint64_t &job_id, Response &response);
 
     int fd_ = -1;
+    int last_errno_ = 0;
 };
 
 } // namespace hdrd::service

@@ -92,8 +92,14 @@ readAllFd(int fd, void *buf, std::size_t n)
                 continue;
             return false;
         }
-        if (got == 0)
+        if (got == 0) {
+            // A peer close mid-exchange is a connection loss to the
+            // caller; surface it as ECONNRESET so transport errors
+            // classify uniformly (a clean read(2) EOF leaves errno
+            // untouched, which would report whatever was stale).
+            errno = ECONNRESET;
             return false;
+        }
         have += static_cast<std::size_t>(got);
     }
     return true;

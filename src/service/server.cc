@@ -341,6 +341,12 @@ Server::start(std::string &err)
         .set(config_.max_connections);
     metrics_.gauge("server.io_shards").set(nshards);
     metrics_.gauge("server.max_pipeline").set(config_.max_pipeline);
+    // STATS doubles as the fleet health/load probe: routers read
+    // pool.queue_depth / pool.active_workers / pool.workers for
+    // least-loaded placement and skip daemons whose server.draining
+    // gauge flipped (a SIGTERMed daemon sheds load before its
+    // listeners disappear).
+    metrics_.gauge("server.draining").set(0);
 
     accept_thread_ = std::thread([this] { acceptLoop(); });
     if (!config_.metrics_dump.empty())
@@ -373,6 +379,7 @@ Server::stop()
         return;
     stopped_ = true;
     stopping_.store(true, std::memory_order_release);
+    metrics_.gauge("server.draining").set(1);
     requestStop();
     stop_cv_.notify_all();
 
@@ -633,16 +640,25 @@ Server::metricsLoop()
 }
 
 std::uint64_t
+Server::retryAfterHintMs(double mean_exec_ms,
+                         std::size_t queue_depth)
+{
+    const double mean_ms =
+        mean_exec_ms > 0.0 ? mean_exec_ms : 50.0;
+    const double hint =
+        mean_ms * static_cast<double>(queue_depth + 1);
+    return static_cast<std::uint64_t>(
+        std::clamp(hint, 10.0, 5000.0));
+}
+
+std::uint64_t
 Server::retryAfterMs()
 {
     const Log2Histogram exec =
         metrics_.histogram("job.exec_us").snapshot();
-    const double mean_ms =
-        exec.count() > 0 ? exec.mean() / 1000.0 : 50.0;
-    const double hint = mean_ms
-        * static_cast<double>(pool_ ? pool_->queueDepth() + 1 : 1);
-    return static_cast<std::uint64_t>(
-        std::clamp(hint, 10.0, 5000.0));
+    return retryAfterHintMs(
+        exec.count() > 0 ? exec.mean() / 1000.0 : 0.0,
+        pool_ ? pool_->queueDepth() : 0);
 }
 
 } // namespace hdrd::service

@@ -156,6 +156,18 @@ class Server : public ConnectionHost
         return static_cast<std::uint32_t>(shards_.size());
     }
 
+    /**
+     * The BUSY retry hint as a pure function of observed load:
+     * mean service time times (queue depth + 1), clamped to
+     * [10 ms, 5 s]. Monotone nondecreasing in both arguments, so a
+     * deepening queue never tells clients to come back *sooner* —
+     * the property the fleet router's backoff leans on.
+     * @param mean_exec_ms observed mean job service time (<= 0 uses
+     *        a 50 ms prior, i.e. before any job completed)
+     */
+    static std::uint64_t retryAfterHintMs(double mean_exec_ms,
+                                          std::size_t queue_depth);
+
     // --- ConnectionHost (shard threads call these) ---
     DispatchOutcome dispatchJob(
         Connection &conn, bool keyed, std::uint64_t job_id,

@@ -463,3 +463,76 @@ TEST(ServiceFuzz, MangledPipelinedFramesKeepKeyedResponsesSane)
     }
     fixture.expectAlive();
 }
+
+TEST(ServiceFuzz, MidHelloDisconnectLeavesServerServing)
+{
+    FuzzServer fixture("hello_cut");
+
+    // Cut the connection at every interesting point inside a HELLO
+    // exchange: mid-header, after the header with the payload
+    // promised but never sent, and mid-payload.
+    const std::string whole = frameBytes(
+        static_cast<std::uint32_t>(FrameType::kHello),
+        std::string(4, '\x01'));
+    const std::size_t cuts[] = {1, sizeof(FrameHeader) - 3,
+                                sizeof(FrameHeader),
+                                sizeof(FrameHeader) + 2};
+    for (const std::size_t cut : cuts) {
+        const int fd = rawConnect(fixture.path);
+        ASSERT_GE(fd, 0);
+        ASSERT_TRUE(writeAllFd(fd, whole.data(), cut));
+        ::close(fd);
+        fixture.expectAlive();
+    }
+}
+
+TEST(ServiceFuzz, HelloVersionSkewIsAnsweredNotFatal)
+{
+    FuzzServer fixture("hello_skew");
+
+    // The minor version is informational (every 1.x client speaks a
+    // subset), so a from-the-future minor, an empty payload, a short
+    // payload, and an oversized one must all get a HELLO_REPLY on a
+    // connection that keeps serving.
+    std::vector<std::string> payloads;
+    payloads.push_back([] {
+        std::string p(4, '\0');
+        const std::uint32_t minor = 0xffffffffu;
+        std::memcpy(p.data(), &minor, sizeof(minor));
+        return p;
+    }());
+    payloads.push_back("");                    // no minor at all
+    payloads.push_back(std::string(2, '\x07'));  // truncated minor
+    payloads.push_back(std::string(64, '\x5a')); // trailing junk
+
+    for (const std::string &payload : payloads) {
+        const int fd = rawConnect(fixture.path);
+        ASSERT_GE(fd, 0);
+        const std::string frame = frameBytes(
+            static_cast<std::uint32_t>(FrameType::kHello), payload);
+        ASSERT_TRUE(writeAllFd(fd, frame.data(), frame.size()));
+
+        FrameType type = FrameType::kError;
+        std::string body;
+        ASSERT_EQ(readResponse(fd, type, body), "");
+        EXPECT_EQ(type, FrameType::kHelloReply);
+        EXPECT_NE(body.find("\"protocol\": \"HDS1.1\""),
+                  std::string::npos)
+            << body;
+
+        // Still a working connection: pipelined submits go through.
+        const std::uint64_t job_id = 99;
+        ASSERT_TRUE(writeFrame(
+            fd, FrameType::kSubmitJob,
+            jobPayload(job_id,
+                       submitPayload(quietOptions(), tinyImage()))));
+        ASSERT_EQ(readResponse(fd, type, body), "");
+        ASSERT_EQ(type, FrameType::kJobReport);
+        std::uint64_t echoed = 0;
+        std::string json;
+        ASSERT_TRUE(splitJobPayload(body, echoed, json));
+        EXPECT_EQ(echoed, job_id);
+        ::close(fd);
+    }
+    fixture.expectAlive();
+}
