@@ -50,23 +50,23 @@ Simulator::reconfigure(const SimConfig &config)
 }
 
 RunResult
-Simulator::run(Program &program)
+Simulator::run(Program &program, RunObserver *observer)
 {
     using instr::ToolMode;
     switch (config_.mode) {
       case ToolMode::kNative:
-        return runImpl<ToolMode::kNative>(program);
+        return runImpl<ToolMode::kNative>(program, observer);
       case ToolMode::kContinuous:
-        return runImpl<ToolMode::kContinuous>(program);
+        return runImpl<ToolMode::kContinuous>(program, observer);
       case ToolMode::kDemand:
-        return runImpl<ToolMode::kDemand>(program);
+        return runImpl<ToolMode::kDemand>(program, observer);
     }
     fatal("unknown tool mode ", static_cast<int>(config_.mode));
 }
 
 template <instr::ToolMode kMode>
 RunResult
-Simulator::runImpl(Program &program)
+Simulator::runImpl(Program &program, RunObserver *observer)
 {
     using instr::ToolMode;
     using demand::Strategy;
@@ -246,8 +246,57 @@ Simulator::runImpl(Program &program)
     std::vector<ThreadId> barrier_participants;
     barrier_participants.reserve(nthreads);
 
+    // Finalization, shared by the end-of-run result and every
+    // observer partial snapshot: assignments only, so applying it to
+    // a mid-run copy yields a prefix-consistent view and applying it
+    // again later stays correct. Reads engine state, mutates nothing.
+    const auto finalize_into = [&](RunResult &r) {
+        r.total_ops = 0;
+        for (const ThreadContext &tc : ctxs)
+            r.total_ops += tc.opsExecuted();
+        r.wall_cycles =
+            *std::max_element(core_cycles.begin(), core_cycles.end());
+        r.enables = controller.enables();
+        r.disables = controller.disables();
+        r.transitions = controller.transitions();
+        r.hitm_loads = hier.stats().counter("hitm_loads");
+        r.hitm_transfers = hier.stats().counter("hitm_transfers");
+        r.private_writebacks =
+            hier.stats().counter("private_writebacks");
+        r.mem_latency = hier.latencyHistogram();
+        for (std::size_t e = 0; e < pmu::kNumEventTypes; ++e) {
+            r.pmu_totals[e] =
+                pmu.totalCount(static_cast<pmu::EventType>(e));
+        }
+        if (faults.enabled()) {
+            r.faults_active = true;
+            r.faults = faults.stats();
+            r.interrupts_suppressed = pmu.interruptsSuppressed();
+        }
+        if (demand_mode
+            && (config_.gating.failsafe.any()
+                || config_.gating.pebs_staleness > 0)) {
+            r.failsafe_active = true;
+            r.failsafe_mode = controller.failsafeMode();
+            r.escalations = controller.escalations();
+            r.deescalations = controller.deescalations();
+            r.ignored_interrupts = controller.ignoredInterrupts();
+        }
+    };
+
+    // Observer partial cadence: counts executed ops, so the trigger
+    // points are a pure function of (program, config) and partial N
+    // is byte-stable across runs.
+    std::uint64_t partial_countdown =
+        observer != nullptr ? observer->interval_ops : 0;
+
     // Main loop: one operation per iteration, earliest core first.
     for (;;) {
+        if (observer != nullptr && observer->cancel != nullptr
+            && observer->cancel->load(std::memory_order_relaxed)) {
+            observer->cancelled = true;
+            break;
+        }
         const ThreadId tid = sched.pick(ctxs, core_cycles);
         if (tid == kInvalidThread) {
             const bool all_done = std::all_of(
@@ -256,6 +305,13 @@ Simulator::runImpl(Program &program)
                 });
             if (all_done)
                 break;
+            if (observer != nullptr && observer->cancel != nullptr
+                && observer->cancel->load()) {
+                // A cancelled program's blocked threads will never be
+                // woken (their feeder is gone); unwind, don't panic.
+                observer->cancelled = true;
+                break;
+            }
             panic("deadlock: no runnable thread in '", program.name(),
                   "' but not all threads finished");
         }
@@ -763,39 +819,18 @@ Simulator::runImpl(Program &program)
                 }
             }
         }
+
+        if (partial_countdown != 0 && --partial_countdown == 0) {
+            partial_countdown = observer->interval_ops;
+            if (observer->on_partial) {
+                RunResult snapshot = result;
+                finalize_into(snapshot);
+                observer->on_partial(snapshot);
+            }
+        }
     }
 
-    // Finalize.
-    for (const ThreadContext &tc : ctxs)
-        result.total_ops += tc.opsExecuted();
-    result.wall_cycles =
-        *std::max_element(core_cycles.begin(), core_cycles.end());
-    result.enables = controller.enables();
-    result.disables = controller.disables();
-    result.transitions = controller.transitions();
-    result.hitm_loads = hier.stats().counter("hitm_loads");
-    result.hitm_transfers = hier.stats().counter("hitm_transfers");
-    result.private_writebacks =
-        hier.stats().counter("private_writebacks");
-    result.mem_latency = hier.latencyHistogram();
-    for (std::size_t e = 0; e < pmu::kNumEventTypes; ++e) {
-        result.pmu_totals[e] =
-            pmu.totalCount(static_cast<pmu::EventType>(e));
-    }
-    if (faults.enabled()) {
-        result.faults_active = true;
-        result.faults = faults.stats();
-        result.interrupts_suppressed = pmu.interruptsSuppressed();
-    }
-    if (demand_mode
-        && (config_.gating.failsafe.any()
-            || config_.gating.pebs_staleness > 0)) {
-        result.failsafe_active = true;
-        result.failsafe_mode = controller.failsafeMode();
-        result.escalations = controller.escalations();
-        result.deescalations = controller.deescalations();
-        result.ignored_interrupts = controller.ignoredInterrupts();
-    }
+    finalize_into(result);
     return result;
 }
 

@@ -16,7 +16,9 @@
 #define HDRD_RUNTIME_SIMULATOR_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <vector>
 
@@ -198,6 +200,39 @@ struct RunResult
 };
 
 /**
+ * Optional observation hooks for a run in flight (streaming jobs).
+ *
+ * Partials: every @p interval_ops executed operations the simulator
+ * snapshots the accumulated RunResult, finalizes the copy exactly
+ * like the end-of-run result, and hands it to @p on_partial. The
+ * trigger counts executed ops — a pure function of (program, config)
+ * — so partial N of a given job is byte-stable across runs, and each
+ * snapshot is a prefix-consistent view of the final result (race
+ * reports appear in discovery order; a partial's list is a prefix of
+ * the final list).
+ *
+ * Cancellation: @p cancel is polled each iteration, and also breaks
+ * the no-runnable-thread deadlock panic — a cancelled program whose
+ * blocked threads will never be woken (a streaming session aborted
+ * mid-upload) unwinds cleanly instead of killing the process. After
+ * a cancelled run @p cancelled is set and the result is meaningless.
+ */
+struct RunObserver
+{
+    /** Emit a partial snapshot every N executed ops (0 = never). */
+    std::uint64_t interval_ops = 0;
+
+    /** Called with each finalized partial snapshot. */
+    std::function<void(const RunResult &)> on_partial;
+
+    /** When set and true, the run unwinds at the next check. */
+    const std::atomic<bool> *cancel = nullptr;
+
+    /** Out: the run ended through cancellation, not completion. */
+    bool cancelled = false;
+};
+
+/**
  * Executes Programs under a fixed SimConfig. Logically stateless
  * between runs: every run() builds a fresh platform. The FastTrack
  * shadow memory is the one piece of *storage* that persists — each
@@ -214,8 +249,10 @@ class Simulator
      * Execute @p program to completion and report. Internally
      * dispatches to a per-ToolMode specialization of the main loop
      * so regime checks constant-fold out of the access path.
+     * @param observer optional partial-report/cancel hooks; null
+     *        keeps the loop on its unobserved fast path.
      */
-    RunResult run(Program &program);
+    RunResult run(Program &program, RunObserver *observer = nullptr);
 
     /** Configuration in force. */
     const SimConfig &config() const { return config_; }
@@ -239,7 +276,7 @@ class Simulator
   private:
     /** The main loop, specialized per analysis regime. */
     template <instr::ToolMode kMode>
-    RunResult runImpl(Program &program);
+    RunResult runImpl(Program &program, RunObserver *observer);
 
     SimConfig config_;
 

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -31,6 +34,18 @@ parseRetryAfter(const std::string &json)
 }
 
 } // namespace
+
+std::string
+serverStateLine(const std::string &stats_json)
+{
+    const std::string key = "\"server.draining\": ";
+    const std::size_t at = stats_json.find(key);
+    if (at == std::string::npos)
+        return "";
+    const long long value = std::strtoll(
+        stats_json.c_str() + at + key.size(), nullptr, 10);
+    return value != 0 ? "state: DRAINING\n" : "state: RUNNING\n";
+}
 
 Client::~Client()
 {
@@ -253,6 +268,302 @@ Client::readJobResponse(std::uint64_t &job_id, Response &response)
     if (response.isBusy())
         response.retry_after_ms = parseRetryAfter(response.payload);
     return true;
+}
+
+bool
+Client::setNonBlocking(bool on)
+{
+    if (fd_ < 0)
+        return false;
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    const int want = on ? (flags | O_NONBLOCK)
+                        : (flags & ~O_NONBLOCK);
+    return ::fcntl(fd_, F_SETFL, want) == 0;
+}
+
+Response
+Client::submitStream(const JobOptions &options,
+                     const std::string &name,
+                     const StreamSource &source,
+                     const StreamHandlers &handlers)
+{
+    Response response;
+    if (fd_ < 0 || !source)
+        return response;
+    // One stream per exchange; the wire id only has to be unique on
+    // this connection.
+    const std::uint64_t job_id = 1;
+
+    errno = 0;
+    if (!writeFrame(fd_, FrameType::kSubmitStream,
+                    streamOpenPayload(job_id, name, options))) {
+        last_errno_ = response.transport_errno = errno;
+        return response;
+    }
+    if (!setNonBlocking(true)) {
+        last_errno_ = response.transport_errno = errno;
+        close();
+        return response;
+    }
+
+    // From here both directions are non-blocking: the server may
+    // stall its reads (credit spent, a partial still unflushed to
+    // us) at any moment, so the client must keep consuming frames
+    // while it has data queued — a blocking write here is how the
+    // classic two-sided pipe deadlock happens.
+    constexpr std::size_t kChunk = 64 * 1024;
+    std::string rx;
+    std::size_t rx_pos = 0;
+    std::string tx;
+    std::size_t tx_pos = 0;
+    std::uint64_t granted = 0;
+    std::uint64_t sent = 0;
+    bool eof = false;
+    bool done = false;
+    bool failed = false;
+    std::vector<char> chunk(kChunk);
+
+    const auto fail = [&](int err) {
+        last_errno_ = response.transport_errno = err;
+        failed = done = true;
+    };
+    const auto appendFrame = [&tx](FrameType type,
+                                   std::uint64_t id,
+                                   const char *data,
+                                   std::size_t n) {
+        FrameHeader header;
+        header.type = static_cast<std::uint32_t>(type);
+        header.length = sizeof(id) + n;
+        tx.append(reinterpret_cast<const char *>(&header),
+                  sizeof(header));
+        tx.append(reinterpret_cast<const char *>(&id), sizeof(id));
+        if (n > 0)
+            tx.append(data, n);
+    };
+    const auto handleFrame = [&](FrameType type,
+                                 std::string payload) {
+        std::uint64_t id = 0;
+        std::string body;
+        if (isJobKeyed(type)
+            && !splitJobPayload(payload, id, body)) {
+            fail(EPROTO);
+            return;
+        }
+        switch (type) {
+        case FrameType::kCredit: {
+            std::uint64_t grant = 0;
+            if (!parseCreditBody(body, grant)) {
+                fail(EPROTO);
+                return;
+            }
+            granted = std::max(granted, grant);
+            if (handlers.on_credit)
+                handlers.on_credit(granted);
+            return;
+        }
+        case FrameType::kJobPartial:
+            if (handlers.on_partial)
+                handlers.on_partial(body);
+            return;
+        case FrameType::kJobReport:
+        case FrameType::kJobBusy:
+        case FrameType::kJobError:
+            response.transport_ok = true;
+            response.type = type;
+            response.payload = std::move(body);
+            if (response.isBusy())
+                response.retry_after_ms =
+                    parseRetryAfter(response.payload);
+            done = true;
+            return;
+        case FrameType::kError:
+            // Unkeyed protocol error (or an HDS1.0/1.1 server that
+            // does not speak SUBMIT_STREAM at all).
+            response.transport_ok = true;
+            response.type = type;
+            response.payload = std::move(payload);
+            done = true;
+            return;
+        default:
+            fail(EPROTO);
+        }
+    };
+
+    while (!done) {
+        // Top up the outbound buffer within the credit window.
+        if (tx_pos == tx.size() && !eof) {
+            tx.clear();
+            tx_pos = 0;
+            if (sent < granted) {
+                const std::size_t want = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(kChunk,
+                                            granted - sent));
+                const std::size_t got =
+                    source(chunk.data(), want);
+                if (got == 0) {
+                    eof = true;
+                    appendFrame(FrameType::kSubmitEnd, job_id,
+                                nullptr, 0);
+                } else {
+                    sent += got;
+                    appendFrame(FrameType::kSubmitData, job_id,
+                                chunk.data(), got);
+                }
+            }
+        }
+
+        pollfd pfd{fd_, POLLIN, 0};
+        if (tx_pos < tx.size())
+            pfd.events |= POLLOUT;
+        const int rc = ::poll(&pfd, 1, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            fail(errno);
+            break;
+        }
+        if (pfd.revents & (POLLERR | POLLNVAL)) {
+            fail(ECONNRESET);
+            break;
+        }
+
+        if ((pfd.revents & POLLOUT) && tx_pos < tx.size()) {
+            const ssize_t n = ::send(fd_, tx.data() + tx_pos,
+                                     tx.size() - tx_pos,
+                                     MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno != EAGAIN && errno != EWOULDBLOCK
+                    && errno != EINTR) {
+                    fail(errno);
+                    break;
+                }
+            } else {
+                tx_pos += static_cast<std::size_t>(n);
+            }
+        }
+
+        if (pfd.revents & (POLLIN | POLLHUP)) {
+            char buf[64 * 1024];
+            const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+            if (n == 0) {
+                fail(ECONNRESET);
+                break;
+            }
+            if (n < 0) {
+                if (errno != EAGAIN && errno != EWOULDBLOCK
+                    && errno != EINTR) {
+                    fail(errno);
+                    break;
+                }
+            } else {
+                rx.append(buf, static_cast<std::size_t>(n));
+            }
+
+            // Parse every complete frame buffered so far.
+            while (!done
+                   && rx.size() - rx_pos >= sizeof(FrameHeader)) {
+                FrameHeader header;
+                std::memcpy(&header, rx.data() + rx_pos,
+                            sizeof(header));
+                if (header.magic != kFrameMagic
+                    || !validFrameType(header.type)
+                    || header.length > kMaxFrameLength) {
+                    fail(EPROTO);
+                    break;
+                }
+                if (rx.size() - rx_pos
+                    < sizeof(header) + header.length)
+                    break;
+                std::string payload(
+                    rx.data() + rx_pos + sizeof(header),
+                    static_cast<std::size_t>(header.length));
+                rx_pos += sizeof(header)
+                    + static_cast<std::size_t>(header.length);
+                handleFrame(static_cast<FrameType>(header.type),
+                            std::move(payload));
+            }
+            if (rx_pos > 0 && rx_pos == rx.size()) {
+                rx.clear();
+                rx_pos = 0;
+            }
+        }
+    }
+
+    setNonBlocking(false);
+    if (failed || !response.transport_ok)
+        close();
+    return response;
+}
+
+Response
+Client::follow(const std::string &name,
+               const StreamHandlers &handlers)
+{
+    Response response;
+    if (fd_ < 0)
+        return response;
+    const std::uint64_t follow_id = 1;
+
+    errno = 0;
+    if (!writeFrame(fd_, FrameType::kAttach,
+                    attachPayload(follow_id, name))) {
+        last_errno_ = response.transport_errno = errno;
+        return response;
+    }
+
+    // Attach-side is read-only, so plain blocking reads suffice.
+    for (;;) {
+        FrameHeader header;
+        std::string err;
+        errno = 0;
+        if (!readFrameHeader(fd_, header, err)) {
+            last_errno_ = response.transport_errno = errno;
+            return response;
+        }
+        std::string payload;
+        if (!readPayload(fd_, header.length, payload)) {
+            last_errno_ = response.transport_errno = errno;
+            return response;
+        }
+        const auto type = static_cast<FrameType>(header.type);
+        if (!isJobKeyed(type)) {
+            // An HDS1.0/1.1 server answers ATTACH with a plain
+            // ERROR frame; surface it verbatim.
+            response.transport_ok = true;
+            response.type = type;
+            response.payload = std::move(payload);
+            return response;
+        }
+        std::uint64_t id = 0;
+        std::string body;
+        if (!splitJobPayload(payload, id, body))
+            return response;
+        switch (type) {
+        case FrameType::kAttachReply:
+            if (body.find("\"status\": \"ok\"")
+                == std::string::npos) {
+                response.transport_ok = true;
+                response.type = type;
+                response.payload = std::move(body);
+                return response;
+            }
+            break;
+        case FrameType::kJobPartial:
+            if (handlers.on_partial)
+                handlers.on_partial(body);
+            break;
+        default:
+            response.transport_ok = true;
+            response.type = type;
+            response.payload = std::move(body);
+            if (response.isBusy())
+                response.retry_after_ms =
+                    parseRetryAfter(response.payload);
+            return response;
+        }
+    }
 }
 
 std::vector<Response>

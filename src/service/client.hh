@@ -11,6 +11,7 @@
 #define HDRD_SERVICE_CLIENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,11 +57,41 @@ struct Response
     }
 };
 
+/**
+ * Render a daemon's lifecycle state from its hdrd-metrics-v1 STATS
+ * snapshot: "state: DRAINING\n" when the server.draining gauge is
+ * up, "state: RUNNING\n" when it is present and down, "" when the
+ * snapshot has no such gauge (older daemons, merged documents).
+ * hdrd_client --stats prints this to stderr ahead of the raw
+ * snapshot so a draining daemon is explicit instead of a buried
+ * gauge (stderr so piped JSON stays machine-parseable).
+ */
+std::string serverStateLine(const std::string &stats_json);
+
 /** One pipelined submission (trace bytes are borrowed, not copied). */
 struct PipelineSubmission
 {
     JobOptions options;
     const std::string *trace_bytes = nullptr;
+};
+
+/**
+ * Pull-based byte source for a streaming submission: fill up to
+ * @p max bytes into @p dst, return the count, 0 at end of input.
+ * Called only when the credit window has room, so a pipe or stdin
+ * source is read no faster than the server can analyze.
+ */
+using StreamSource =
+    std::function<std::size_t(char *dst, std::size_t max)>;
+
+/** Live-event callbacks for submitStream()/follow(). */
+struct StreamHandlers
+{
+    /** Each JOB_PARTIAL's hdrd-report-partial-v1 JSON, in order. */
+    std::function<void(const std::string &json)> on_partial;
+
+    /** Each cumulative CREDIT grant (submitStream only). */
+    std::function<void(std::uint64_t granted_bytes)> on_credit;
 };
 
 /**
@@ -159,6 +190,36 @@ class Client
         const std::vector<PipelineSubmission> &jobs,
         std::size_t window);
 
+    /**
+     * Stream a trace to an HDS1.2 server (SUBMIT_STREAM +
+     * SUBMIT_DATA/SUBMIT_END) while concurrently consuming CREDIT
+     * grants, JOB_PARTIAL reports, and the final response. The
+     * socket runs non-blocking with poll() on both directions for
+     * the duration, so a server that pauses reading (credit
+     * exhausted, partial unread) can never deadlock against a
+     * client blocked writing. Uploads never outrun the cumulative
+     * credit and go out in chunks of at most 64 KiB.
+     *
+     * @param name    session name other clients can ATTACH to
+     * @param source  trace bytes, pulled as credit permits
+     * @return the final JOB_REPORT/JOB_ERROR/JOB_BUSY response (the
+     *         report is byte-identical to a buffered submit of the
+     *         same bytes and options).
+     */
+    Response submitStream(const JobOptions &options,
+                          const std::string &name,
+                          const StreamSource &source,
+                          const StreamHandlers &handlers = {});
+
+    /**
+     * Follow a live streaming session by name (ATTACH): tail its
+     * JOB_PARTIAL reports through @p handlers until the final
+     * response, which is returned. An attach refusal returns a
+     * Response with type kAttachReply carrying the status JSON.
+     */
+    Response follow(const std::string &name,
+                    const StreamHandlers &handlers = {});
+
   private:
     Response roundTrip(FrameType type, const std::string &payload);
 
@@ -171,6 +232,9 @@ class Client
      * @return false on transport/protocol failure.
      */
     bool readJobResponse(std::uint64_t &job_id, Response &response);
+
+    /** Toggle O_NONBLOCK on the connection socket. */
+    bool setNonBlocking(bool on);
 
     int fd_ = -1;
     int last_errno_ = 0;

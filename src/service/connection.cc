@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "service/metrics.hh"
+#include "stream/stream_session.hh"
 #include "trace/trace_format.hh"
 
 namespace hdrd::service
@@ -67,6 +68,11 @@ Connection::Connection(int fd, std::uint64_t id,
 Connection::~Connection()
 {
     token_->store(false, std::memory_order_release);
+    // Streaming uploads die with their uploader: the engine unwinds
+    // through the simulator's cancellation path and the session's
+    // buffered bytes are released.
+    for (auto &entry : streams_)
+        entry.second->abort();
     if (fd_ >= 0)
         ::close(fd_);
 }
@@ -141,16 +147,24 @@ Connection::onWritable()
 }
 
 bool
-Connection::deliver(bool keyed, std::uint64_t job_id, FrameType base,
-                    std::string body)
+Connection::deliver(bool counted, bool keyed, std::uint64_t job_id,
+                    FrameType base, std::string body)
 {
-    if (in_flight_ > 0)
+    if (counted && in_flight_ > 0)
         --in_flight_;
     if (keyed) {
-        const FrameType type = base == FrameType::kReport
-            ? FrameType::kJobReport
-            : FrameType::kJobError;
+        FrameType type = base;
+        if (base == FrameType::kReport)
+            type = FrameType::kJobReport;
+        else if (base == FrameType::kError)
+            type = FrameType::kJobError;
         queueFrame(type, jobPayload(job_id, body));
+        if (!counted
+            && (base == FrameType::kReport
+                || base == FrameType::kError)) {
+            // A streaming session's final answer retires its id.
+            streams_.erase(job_id);
+        }
     } else {
         sequential_wait_ = false;
         queueFrame(base, body);
@@ -183,6 +197,9 @@ Connection::pump()
             break;
           case RxState::kTrace:
             step = handleTrace();
+            break;
+          case RxState::kStreamData:
+            step = handleStreamData();
             break;
           case RxState::kDrain:
             step = handleDrain();
@@ -248,6 +265,42 @@ Connection::handleFrameHeader()
         state_ = RxState::kJobPrefix;
         return Step::kMore;
 
+      case FrameType::kSubmitStream:
+      case FrameType::kAttach: {
+        // Small fixed-shape control frames; the trace itself arrives
+        // later as SUBMIT_DATA, so an oversized payload here is a
+        // protocol violation, not a big upload.
+        constexpr std::uint64_t cap = sizeof(std::uint64_t)
+            + sizeof(std::uint32_t) + kMaxSessionName
+            + sizeof(JobOptions);
+        if (header_.length > cap) {
+            protocolError("oversized stream control frame");
+            return Step::kMore;
+        }
+        control_need_ = static_cast<std::size_t>(header_.length);
+        state_ = RxState::kControl;
+        return Step::kMore;
+      }
+
+      case FrameType::kSubmitEnd:
+        if (header_.length < sizeof(std::uint64_t)) {
+            protocolError("short SUBMIT_END frame");
+            return Step::kMore;
+        }
+        control_need_ = sizeof(std::uint64_t);
+        state_ = RxState::kControl;
+        return Step::kMore;
+
+      case FrameType::kSubmitData:
+        if (header_.length < sizeof(std::uint64_t)) {
+            protocolError("short SUBMIT_DATA frame");
+            return Step::kMore;
+        }
+        stream_data_left_ = header_.length;
+        stream_id_parsed_ = false;
+        state_ = RxState::kStreamData;
+        return Step::kMore;
+
       default:
         // A response frame type from a client is a protocol
         // violation; drop the connection once the error flushes.
@@ -262,6 +315,10 @@ Connection::handleControl()
     if (rxAvailable() < control_need_)
         return Step::kBlocked;
     const auto type = static_cast<FrameType>(header_.type);
+    if (type == FrameType::kSubmitStream
+        || type == FrameType::kSubmitEnd
+        || type == FrameType::kAttach)
+        return handleStreamControl();
     if (type == FrameType::kHello && control_need_ >= 4) {
         std::uint32_t client_minor = 0;
         std::memcpy(&client_minor, rxData(), sizeof(client_minor));
@@ -440,6 +497,140 @@ Connection::finishTrace()
 }
 
 Connection::Step
+Connection::handleStreamControl()
+{
+    std::string payload(rxData(), control_need_);
+    rxConsume(control_need_);
+    const std::uint64_t leftover = header_.length - control_need_;
+    const auto type = static_cast<FrameType>(header_.type);
+
+    switch (type) {
+      case FrameType::kSubmitStream: {
+        std::uint64_t job_id = 0;
+        std::string name;
+        JobOptions options;
+        std::string err;
+        if (!parseStreamOpen(payload, job_id, name, options, err)) {
+            protocolError(err);
+            return Step::kMore;
+        }
+        if (!validateJobOptions(options, err)) {
+            host_.hostMetrics().counter("server.jobs_invalid").add();
+            queueFrame(FrameType::kJobError,
+                       jobPayload(job_id, jsonError(err)));
+        } else if (streams_.count(job_id) != 0) {
+            queueFrame(FrameType::kJobError,
+                       jobPayload(job_id,
+                                  jsonError("stream job id already "
+                                            "active on this "
+                                            "connection")));
+        } else {
+            StreamOpenOutcome outcome =
+                host_.streamOpen(*this, job_id, name, options);
+            if (outcome.session == nullptr)
+                queueFrame(outcome.busy ? FrameType::kJobBusy
+                                        : FrameType::kJobError,
+                           jobPayload(job_id, outcome.refusal_json));
+            else
+                streams_.emplace(job_id,
+                                 std::move(outcome.session));
+        }
+        break;
+      }
+
+      case FrameType::kSubmitEnd: {
+        std::uint64_t job_id = 0;
+        std::memcpy(&job_id, payload.data(), sizeof(job_id));
+        const auto it = streams_.find(job_id);
+        // An unknown id is tolerated: the session may already have
+        // answered (a rejected trace) and retired while the END was
+        // in flight.
+        if (it != streams_.end())
+            it->second->end();
+        break;
+      }
+
+      case FrameType::kAttach: {
+        std::uint64_t follow_id = 0;
+        std::string name;
+        std::string err;
+        if (!parseAttach(payload, follow_id, name, err)) {
+            protocolError(err);
+            return Step::kMore;
+        }
+        queueFrame(FrameType::kAttachReply,
+                   jobPayload(follow_id,
+                              host_.streamAttach(*this, follow_id,
+                                                 name)));
+        break;
+      }
+
+      default:
+        break;
+    }
+
+    if (dead_)
+        return Step::kFatal;
+    if (leftover > kDrainCap) {
+        closing_ = true;
+        return Step::kMore;
+    }
+    drain_left_ = leftover;
+    state_ = leftover > 0 ? RxState::kDrain : RxState::kFrameHeader;
+    if (leftover == 0)
+        resetFrame();
+    return Step::kMore;
+}
+
+Connection::Step
+Connection::handleStreamData()
+{
+    if (!stream_id_parsed_) {
+        if (rxAvailable() < sizeof(std::uint64_t))
+            return Step::kBlocked;
+        std::uint64_t job_id = 0;
+        std::memcpy(&job_id, rxData(), sizeof(job_id));
+        rxConsume(sizeof(job_id));
+        stream_data_left_ -= sizeof(job_id);
+        stream_id_parsed_ = true;
+        const auto it = streams_.find(job_id);
+        if (it == streams_.end()) {
+            // The session already answered and retired (e.g. a
+            // rejected trace) while the client kept uploading within
+            // its credit; discard the remainder to keep framing.
+            drain_left_ = stream_data_left_;
+            stream_data_left_ = 0;
+            state_ = drain_left_ > 0 ? RxState::kDrain
+                                     : RxState::kFrameHeader;
+            if (drain_left_ == 0)
+                resetFrame();
+            return Step::kMore;
+        }
+        data_stream_ = it->second;
+    }
+
+    while (stream_data_left_ > 0) {
+        const std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(rxAvailable(),
+                                    stream_data_left_));
+        if (take == 0)
+            return Step::kBlocked;
+        std::string err;
+        if (!data_stream_->feed(rxData(), take, err)) {
+            protocolError(err);
+            return Step::kMore;
+        }
+        host_.hostMetrics().counter("stream.bytes_received")
+            .add(take);
+        rxConsume(take);
+        stream_data_left_ -= take;
+    }
+    resetFrame();
+    state_ = RxState::kFrameHeader;
+    return Step::kMore;
+}
+
+Connection::Step
 Connection::handleDrain()
 {
     const std::size_t take = static_cast<std::size_t>(
@@ -541,6 +732,9 @@ Connection::resetFrame()
     source_.reset();
     building_.clear();
     drain_left_ = 0;
+    data_stream_.reset();
+    stream_data_left_ = 0;
+    stream_id_parsed_ = false;
 }
 
 } // namespace hdrd::service

@@ -35,6 +35,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -43,6 +44,11 @@
 #include "pmu/faults.hh"
 #include "service/protocol.hh"
 #include "trace/trace_io.hh"
+
+namespace hdrd::stream
+{
+class StreamSession;
+}
 
 namespace hdrd::service
 {
@@ -58,6 +64,19 @@ struct DispatchOutcome
 
     /** BUSY reply payload when refused (queue full / stopping). */
     std::string busy_json;
+};
+
+/** Verdict of a streaming-submission open (HDS1.2). */
+struct StreamOpenOutcome
+{
+    /** The live session to feed; null when refused. */
+    std::shared_ptr<stream::StreamSession> session;
+
+    /** Refused for capacity (JOB_BUSY) rather than error. */
+    bool busy = false;
+
+    /** Refusal payload (busy or error JSON) when session is null. */
+    std::string refusal_json;
 };
 
 /**
@@ -78,6 +97,26 @@ class ConnectionHost
         const JobOptions &options,
         std::shared_ptr<trace::TraceData> data,
         const pmu::FaultConfig &faults) = 0;
+
+    /**
+     * Open a streaming submission (HDS1.2 SUBMIT_STREAM). On
+     * success the returned session is already started (its initial
+     * CREDIT is on its way as a completion) and the connection feeds
+     * it SUBMIT_DATA bytes directly.
+     */
+    virtual StreamOpenOutcome streamOpen(
+        Connection &conn, std::uint64_t job_id,
+        const std::string &name, const JobOptions &options) = 0;
+
+    /**
+     * Follow a live streaming session by name (HDS1.2 ATTACH).
+     * @return the ATTACH_REPLY status JSON; on success the host
+     *         mirrors the session's subsequent partials and final to
+     *         this connection keyed by @p follow_id.
+     */
+    virtual std::string streamAttach(Connection &conn,
+                                     std::uint64_t follow_id,
+                                     const std::string &name) = 0;
 
     /** The STATS reply payload. */
     virtual std::string statsJson() = 0;
@@ -127,12 +166,18 @@ class Connection
      * Deliver a completed job's response (shard thread, from the
      * completion inbox). Unpauses sequential/pipelined reading and
      * resumes parsing any already-buffered frames.
-     * @param base kReport or kError; mapped to the job-keyed type
-     *        when the submit was pipelined
+     * @param counted true for worker-pool jobs occupying an
+     *        in-flight slot; false for streaming-session events
+     *        (CREDIT, JOB_PARTIAL, and stream finals), which never
+     *        counted against the pipeline cap
+     * @param base kReport or kError (mapped to the job-keyed type
+     *        when the submit was pipelined), or an already-keyed
+     *        HDS1.2 type (kCredit/kJobPartial/kAttachReply) passed
+     *        through verbatim
      * @return false when the connection must be dropped.
      */
-    bool deliver(bool keyed, std::uint64_t job_id, FrameType base,
-                 std::string body);
+    bool deliver(bool counted, bool keyed, std::uint64_t job_id,
+                 FrameType base, std::string body);
 
     /** Current epoll interest mask (EPOLLIN/EPOLLOUT bits). */
     std::uint32_t interest() const;
@@ -171,6 +216,7 @@ class Connection
         kControl,       ///< PING/STATS/HELLO payload prefix
         kJobPrefix,     ///< job id (keyed) + JobOptions
         kTrace,         ///< streaming the TRC2 body into the reader
+        kStreamData,    ///< forwarding SUBMIT_DATA into a session
         kDrain,         ///< discarding a rejected payload remainder
     };
 
@@ -214,7 +260,11 @@ class Connection
     Step handleControl();
     Step handleJobPrefix();
     Step handleTrace();
+    Step handleStreamData();
     Step handleDrain();
+
+    /** SUBMIT_STREAM / SUBMIT_END / ATTACH (small control frames). */
+    Step handleStreamControl();
 
     /** Completed trace: resolve faults and dispatch the job. */
     Step finishTrace();
@@ -269,6 +319,20 @@ class Connection
 
     /** Drain fields. */
     std::uint64_t drain_left_ = 0;
+
+    /**
+     * Live streaming sessions this connection is uploading, keyed by
+     * wire job id; entries retire when the final response delivers.
+     * The destructor aborts whatever is still running, so a client
+     * that hangs up mid-stream reclaims its session promptly.
+     */
+    std::map<std::uint64_t,
+             std::shared_ptr<stream::StreamSession>> streams_;
+
+    /** Target of the SUBMIT_DATA frame currently being forwarded. */
+    std::shared_ptr<stream::StreamSession> data_stream_;
+    std::uint64_t stream_data_left_ = 0;
+    bool stream_id_parsed_ = false;
 
     /** Sequential SUBMIT awaiting its response. */
     bool sequential_wait_ = false;

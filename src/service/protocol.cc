@@ -20,6 +20,10 @@ validFrameType(std::uint32_t type)
       case FrameType::kPing:
       case FrameType::kSubmitJob:
       case FrameType::kHello:
+      case FrameType::kSubmitStream:
+      case FrameType::kSubmitData:
+      case FrameType::kSubmitEnd:
+      case FrameType::kAttach:
       case FrameType::kReport:
       case FrameType::kBusy:
       case FrameType::kError:
@@ -29,6 +33,9 @@ validFrameType(std::uint32_t type)
       case FrameType::kJobReport:
       case FrameType::kJobBusy:
       case FrameType::kJobError:
+      case FrameType::kCredit:
+      case FrameType::kJobPartial:
+      case FrameType::kAttachReply:
         return true;
     }
     return false;
@@ -201,6 +208,106 @@ jobPayload(std::uint64_t job_id, const std::string &body)
                sizeof(job_id));
     out.append(body);
     return out;
+}
+
+namespace
+{
+
+/** Shared body of the id + name payloads (SUBMIT_STREAM, ATTACH). */
+std::string
+idNamePayload(std::uint64_t id, const std::string &name)
+{
+    std::string out;
+    const auto len = static_cast<std::uint32_t>(name.size());
+    out.reserve(sizeof(id) + sizeof(len) + name.size());
+    out.append(reinterpret_cast<const char *>(&id), sizeof(id));
+    out.append(reinterpret_cast<const char *>(&len), sizeof(len));
+    out.append(name);
+    return out;
+}
+
+/**
+ * Parse the id + name prefix; @p tail_len bytes must remain after
+ * the name (the JobOptions for SUBMIT_STREAM, nothing for ATTACH).
+ * @return offset of the tail, or 0 with @p err set.
+ */
+std::size_t
+parseIdName(const std::string &payload, std::size_t tail_len,
+            std::uint64_t &id, std::string &name, std::string &err)
+{
+    std::uint32_t len = 0;
+    if (payload.size() < sizeof(id) + sizeof(len)) {
+        err = "short stream payload";
+        return 0;
+    }
+    std::memcpy(&id, payload.data(), sizeof(id));
+    std::memcpy(&len, payload.data() + sizeof(id), sizeof(len));
+    if (len == 0 || len > kMaxSessionName) {
+        err = "bad session name length " + std::to_string(len);
+        return 0;
+    }
+    const std::size_t tail = sizeof(id) + sizeof(len) + len;
+    if (payload.size() != tail + tail_len) {
+        err = "stream payload size mismatch";
+        return 0;
+    }
+    name.assign(payload, sizeof(id) + sizeof(len), len);
+    return tail;
+}
+
+} // namespace
+
+std::string
+streamOpenPayload(std::uint64_t job_id, const std::string &name,
+                  const JobOptions &options)
+{
+    std::string out = idNamePayload(job_id, name);
+    out.append(reinterpret_cast<const char *>(&options),
+               sizeof(options));
+    return out;
+}
+
+bool
+parseStreamOpen(const std::string &payload, std::uint64_t &job_id,
+                std::string &name, JobOptions &options,
+                std::string &err)
+{
+    const std::size_t tail = parseIdName(payload, sizeof(options),
+                                         job_id, name, err);
+    if (tail == 0)
+        return false;
+    std::memcpy(&options, payload.data() + tail, sizeof(options));
+    return true;
+}
+
+std::string
+attachPayload(std::uint64_t follow_id, const std::string &name)
+{
+    return idNamePayload(follow_id, name);
+}
+
+bool
+parseAttach(const std::string &payload, std::uint64_t &follow_id,
+            std::string &name, std::string &err)
+{
+    return parseIdName(payload, 0, follow_id, name, err) != 0;
+}
+
+std::string
+creditBody(std::uint64_t granted_bytes)
+{
+    return std::string(
+        reinterpret_cast<const char *>(&granted_bytes),
+        sizeof(granted_bytes));
+}
+
+bool
+parseCreditBody(const std::string &body, std::uint64_t &granted_bytes)
+{
+    if (body.size() != sizeof(granted_bytes))
+        return false;
+    std::memcpy(&granted_bytes, body.data(), sizeof(granted_bytes));
+    return true;
 }
 
 std::string

@@ -28,6 +28,27 @@
  *   HELLO       (HDS1.1) payload = u32 client minor version;
  *               answered with HELLO_REPLY describing the server's
  *               protocol level and pipelining limits.
+ *   SUBMIT_STREAM (HDS1.2) payload = u64 job id + u32 session-name
+ *               length + name bytes + JobOptions. Opens a streaming
+ *               submission: the trace image follows as SUBMIT_DATA
+ *               chunks instead of riding in one frame. Answered
+ *               immediately with CREDIT granting the initial upload
+ *               window; analysis runs concurrently with ingestion
+ *               and emits JOB_PARTIAL reports, then the final
+ *               JOB_REPORT (byte-identical to the buffered path).
+ *   SUBMIT_DATA (HDS1.2) payload = u64 job id + raw trace bytes.
+ *               A client must not exceed its granted credit; chunk
+ *               boundaries are arbitrary (they may split the trace
+ *               header or a record anywhere).
+ *   SUBMIT_END  (HDS1.2) payload = u64 job id. No further data; the
+ *               final JOB_REPORT (or JOB_ERROR) follows once the
+ *               engine drains the session.
+ *   ATTACH      (HDS1.2) payload = u64 follow id + u32 session-name
+ *               length + name bytes. Follows a live streaming
+ *               session read-only: answered with ATTACH_REPLY, then
+ *               every subsequent JOB_PARTIAL and the final
+ *               JOB_REPORT are mirrored to this connection keyed by
+ *               the follow id.
  *
  * Responses (payloads are UTF-8 JSON):
  *   REPORT       the deterministic race report (hdrd-report-v1).
@@ -39,13 +60,24 @@
  *   HELLO_REPLY  {"status":"ok","protocol":"HDS1.1",...}.
  *   JOB_REPORT / JOB_BUSY / JOB_ERROR
  *                (HDS1.1) u64 job id + the corresponding JSON;
- *                answers to SUBMIT_JOB.
+ *                answers to SUBMIT_JOB (and, 1.2, the final answer
+ *                to a streaming submission or followed session).
+ *   CREDIT       (HDS1.2) u64 job id + u64 granted bytes. Flow
+ *                control for SUBMIT_DATA: grants are cumulative and
+ *                sized so a session's buffered-but-unanalyzed bytes
+ *                stay under the server's per-session cap — the
+ *                streaming replacement for BUSY-rejecting a whole
+ *                job on memory pressure.
+ *   JOB_PARTIAL  (HDS1.2) u64 id + hdrd-report-partial-v1 JSON: a
+ *                byte-stable prefix-consistent snapshot of the
+ *                final report, emitted every partial-interval ops.
+ *   ATTACH_REPLY (HDS1.2) u64 follow id + status JSON.
  *
  * All integers little-endian, matching the TRC2 trace format. The
- * magic stays "HDS1" for both minor versions: every HDS1.0 frame is
- * a valid HDS1.1 frame with identical semantics, and a 1.1 server
- * serves 1.0 clients unchanged. HELLO lets a client discover whether
- * the minor-version frames are available before using them.
+ * magic stays "HDS1" across minor versions: every HDS1.0 frame is a
+ * valid HDS1.2 frame with identical semantics, and a 1.2 server
+ * serves 1.0/1.1 clients unchanged. HELLO lets a client discover
+ * whether the minor-version frames are available before using them.
  */
 
 #ifndef HDRD_SERVICE_PROTOCOL_HH
@@ -64,9 +96,11 @@ constexpr std::array<char, 4> kFrameMagic = {'H', 'D', 'S', '1'};
 /**
  * Protocol minor version. 0 = the original sequential
  * request/response protocol; 1 adds HELLO negotiation and pipelined
- * SUBMIT_JOB frames with job-id-correlated responses.
+ * SUBMIT_JOB frames with job-id-correlated responses; 2 adds
+ * streaming submissions (SUBMIT_STREAM/SUBMIT_DATA/SUBMIT_END with
+ * CREDIT flow control and JOB_PARTIAL reports) and ATTACH follows.
  */
-constexpr std::uint32_t kProtocolMinor = 1;
+constexpr std::uint32_t kProtocolMinor = 2;
 
 /** Frame types. Requests below 100, responses at or above. */
 enum class FrameType : std::uint32_t
@@ -76,6 +110,10 @@ enum class FrameType : std::uint32_t
     kPing = 3,
     kSubmitJob = 4,  ///< HDS1.1: u64 job id + JobOptions + trace
     kHello = 5,      ///< HDS1.1: u32 client minor version
+    kSubmitStream = 6,  ///< HDS1.2: u64 id + name + JobOptions
+    kSubmitData = 7,    ///< HDS1.2: u64 id + raw trace bytes
+    kSubmitEnd = 8,     ///< HDS1.2: u64 id
+    kAttach = 9,        ///< HDS1.2: u64 follow id + session name
 
     kReport = 100,
     kBusy = 101,
@@ -86,6 +124,9 @@ enum class FrameType : std::uint32_t
     kJobReport = 106,  ///< HDS1.1: u64 job id + hdrd-report-v1
     kJobBusy = 107,    ///< HDS1.1: u64 job id + busy JSON
     kJobError = 108,   ///< HDS1.1: u64 job id + error JSON
+    kCredit = 109,      ///< HDS1.2: u64 id + u64 granted bytes
+    kJobPartial = 110,  ///< HDS1.2: u64 id + partial-report JSON
+    kAttachReply = 111, ///< HDS1.2: u64 follow id + status JSON
 };
 
 /** True for frame type values this protocol version defines. */
@@ -188,14 +229,55 @@ bool writeFrame(int fd, FrameType type, const std::string &payload);
  */
 bool readPayload(int fd, std::uint64_t length, std::string &out);
 
-/** True for the HDS1.1 job-keyed response types. */
+/** True for the HDS1.1+ job-keyed response types. */
 inline bool
 isJobKeyed(FrameType type)
 {
     return type == FrameType::kJobReport
         || type == FrameType::kJobBusy
-        || type == FrameType::kJobError;
+        || type == FrameType::kJobError
+        || type == FrameType::kCredit
+        || type == FrameType::kJobPartial
+        || type == FrameType::kAttachReply;
 }
+
+/** Longest session name SUBMIT_STREAM/ATTACH accepts. */
+constexpr std::uint32_t kMaxSessionName = 256;
+
+/**
+ * Serialize a SUBMIT_STREAM payload: u64 job id, u32 name length,
+ * name bytes, JobOptions.
+ */
+std::string streamOpenPayload(std::uint64_t job_id,
+                              const std::string &name,
+                              const JobOptions &options);
+
+/**
+ * Parse a SUBMIT_STREAM payload.
+ * @return false with @p err set on a malformed payload (short, bad
+ *         name length, name over kMaxSessionName).
+ */
+bool parseStreamOpen(const std::string &payload, std::uint64_t &job_id,
+                     std::string &name, JobOptions &options,
+                     std::string &err);
+
+/** Serialize an ATTACH payload: u64 follow id + u32 len + name. */
+std::string attachPayload(std::uint64_t follow_id,
+                          const std::string &name);
+
+/** Parse an ATTACH payload (same validation as parseStreamOpen). */
+bool parseAttach(const std::string &payload, std::uint64_t &follow_id,
+                 std::string &name, std::string &err);
+
+/** Serialize a CREDIT body (the u64 grant after the job id). */
+std::string creditBody(std::uint64_t granted_bytes);
+
+/**
+ * Parse a CREDIT body (payload after splitJobPayload).
+ * @return false when the body is not exactly a u64.
+ */
+bool parseCreditBody(const std::string &body,
+                     std::uint64_t &granted_bytes);
 
 /**
  * Write one job-keyed frame: u64 LE job id, then @p payload.

@@ -50,8 +50,14 @@ writeJobReport(std::ostream &os, const JobReport &report)
                "job report needs a run result");
     const runtime::RunResult &r = *report.result;
 
-    os << "{\n  \"schema\": \"hdrd-report-v1\",\n"
-       << "  \"trace\": \"" << report.trace << "\",\n"
+    if (report.partial_seq == 0) {
+        os << "{\n  \"schema\": \"hdrd-report-v1\",\n";
+    } else {
+        os << "{\n  \"schema\": \"hdrd-report-partial-v1\",\n"
+           << "  \"partial\": {\"seq\": " << report.partial_seq
+           << ", \"ops\": " << r.total_ops << "},\n";
+    }
+    os << "  \"trace\": \"" << report.trace << "\",\n"
        << "  \"nthreads\": " << report.nthreads << ",\n";
 
     const JobOptions &o = report.options;

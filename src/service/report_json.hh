@@ -44,6 +44,16 @@ struct JobReport
     /** Append the nondeterministic "host" timing block. */
     bool include_host_timing = false;
     double host_ms = 0.0;
+
+    /**
+     * Partial-snapshot sequence number; 0 serializes the final
+     * hdrd-report-v1 form. When nonzero the schema string becomes
+     * hdrd-report-partial-v1 and a "partial" block records the
+     * sequence number — every other field keeps the final report's
+     * layout, so partial N is a prefix-consistent preview a reader
+     * can diff structurally against the final report.
+     */
+    std::uint64_t partial_seq = 0;
 };
 
 /** Serialize @p report (2-space indented, stable key order). */

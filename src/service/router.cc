@@ -125,6 +125,7 @@ Router::Router(std::vector<Endpoint> endpoints, RouterConfig config)
                   return a.hash != b.hash ? a.hash < b.hash
                                           : a.index < b.index;
               });
+    live_ring_ = ring_;
 }
 
 bool
@@ -174,27 +175,30 @@ bool
 Router::eligibleLocked(std::size_t index, Clock::time_point now)
 {
     const Health &h = health_[index];
+    if (h.evicted)
+        return false;
     return h.alive || now >= h.retry_at;
 }
 
 int
 Router::placeFrom(const std::string &key, int exclude)
 {
-    if (ring_.empty())
-        return -1;
     const std::uint64_t hash = mix64(fnv1a(key));
+    const auto now = Clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (live_ring_.empty())
+        return -1;
     auto it = std::lower_bound(
-        ring_.begin(), ring_.end(), hash,
+        live_ring_.begin(), live_ring_.end(), hash,
         [](const RingNode &node, std::uint64_t h) {
             return node.hash < h;
         });
-    const auto now = Clock::now();
-    std::lock_guard<std::mutex> lock(mutex_);
     // Walk the ring once; virtual nodes repeat endpoints, so the
     // walk visits every endpoint within |ring| steps.
-    for (std::size_t step = 0; step < ring_.size(); ++step, ++it) {
-        if (it == ring_.end())
-            it = ring_.begin();
+    for (std::size_t step = 0; step < live_ring_.size();
+         ++step, ++it) {
+        if (it == live_ring_.end())
+            it = live_ring_.begin();
         const auto index = static_cast<int>(it->index);
         if (index == exclude)
             continue;
@@ -217,6 +221,13 @@ Router::alive(std::size_t index)
     return health_[index].alive;
 }
 
+bool
+Router::evicted(std::size_t index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return health_[index].evicted;
+}
+
 std::uint64_t
 Router::reroutedJobs() const
 {
@@ -234,6 +245,17 @@ Router::jittered(std::uint64_t ms)
 }
 
 void
+Router::rebuildLiveRingLocked()
+{
+    live_ring_.clear();
+    live_ring_.reserve(ring_.size());
+    for (const RingNode &node : ring_) {
+        if (!health_[node.index].evicted)
+            live_ring_.push_back(node);
+    }
+}
+
+void
 Router::markDead(std::size_t index)
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -242,11 +264,26 @@ Router::markDead(std::size_t index)
     h.failures = std::min<std::uint32_t>(h.failures + 1, 16);
     std::uint64_t backoff = config_.dead_retry_ms
         << std::min<std::uint32_t>(h.failures - 1, 6);
-    backoff = std::min(backoff, config_.backoff_cap_ms);
+    backoff = std::min(backoff, config_.dead_retry_cap_ms);
     if (backoff > 1)
         backoff = backoff / 2 + xorshift64(rng_state_) % (backoff / 2 + 1);
     h.retry_at =
         Clock::now() + std::chrono::milliseconds(backoff);
+
+    if (config_.evict_after > 0 && !h.evicted
+        && h.failures >= config_.evict_after) {
+        // Never evict the last live endpoint: a fully evicted ring
+        // would turn a transient full-fleet outage permanent.
+        std::size_t survivors = 0;
+        for (std::size_t i = 0; i < health_.size(); ++i) {
+            if (i != index && !health_[i].evicted)
+                ++survivors;
+        }
+        if (survivors > 0) {
+            h.evicted = true;
+            rebuildLiveRingLocked();
+        }
+    }
 }
 
 void
@@ -256,6 +293,10 @@ Router::markAlive(std::size_t index)
     Health &h = health_[index];
     h.alive = true;
     h.failures = 0;
+    if (h.evicted) {
+        h.evicted = false;
+        rebuildLiveRingLocked();
+    }
 }
 
 bool

@@ -105,6 +105,24 @@ struct RouterConfig
 
     /** First dead-daemon re-probe delay; doubles up to the cap. */
     std::uint64_t dead_retry_ms = 100;
+
+    /**
+     * Ceiling on the dead-daemon re-probe backoff. Without its own
+     * cap the re-probe schedule kept borrowing the (shorter) retry
+     * cap, so every dead daemon was re-probed — a fresh connect each
+     * time — every couple of seconds forever.
+     */
+    std::uint64_t dead_retry_cap_ms = 10000;
+
+    /**
+     * Evict an endpoint from the placement ring after this many
+     * consecutive failures (0 = never). An evicted daemon's virtual
+     * nodes leave the live ring, so its keys rebalance to the
+     * survivors and it is no longer re-probed on the submission
+     * path; an explicit probe() that succeeds re-admits it. The
+     * last live endpoint is never evicted.
+     */
+    std::uint32_t evict_after = 0;
 };
 
 /** Final disposition of one routed job. */
@@ -216,6 +234,9 @@ class Router
     /** True when the health table currently believes @p i is alive. */
     bool alive(std::size_t index);
 
+    /** True when @p index has been evicted from the live ring. */
+    bool evicted(std::size_t index);
+
     /** Jobs that completed away from their static placement. */
     std::uint64_t reroutedJobs() const;
 
@@ -245,6 +266,9 @@ class Router
         bool alive = true;
         std::uint32_t failures = 0;
         Clock::time_point retry_at{};  ///< dead: next probe time
+
+        /** Off the live ring until an explicit probe revives it. */
+        bool evicted = false;
     };
 
     /** One ring slot: (hash, endpoint index), sorted by hash. */
@@ -263,6 +287,9 @@ class Router
     void markDead(std::size_t index);
     void markAlive(std::size_t index);
 
+    /** Recompute live_ring_ from the eviction flags (mutex_ held). */
+    void rebuildLiveRingLocked();
+
     /** Eligible = alive, or dead with the re-probe backoff expired. */
     bool eligibleLocked(std::size_t index, Clock::time_point now);
 
@@ -277,7 +304,12 @@ class Router
 
     std::vector<Endpoint> endpoints_;
     RouterConfig config_;
+
+    /** The full static ring (placeStatic; never changes). */
     std::vector<RingNode> ring_;
+
+    /** ring_ minus evicted endpoints (guarded by mutex_). */
+    std::vector<RingNode> live_ring_;
 
     mutable std::mutex mutex_;
     std::vector<Health> health_;

@@ -18,6 +18,7 @@
 #include "pmu/faults.hh"
 #include "service/protocol.hh"
 #include "service/report_json.hh"
+#include "stream/stream_session.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_program.hh"
 
@@ -160,8 +161,8 @@ class Server::IoShard
                     continue;
                 }
                 if (!it->second->deliver(
-                        completion.keyed, completion.job_id,
-                        completion.base,
+                        completion.counted, completion.keyed,
+                        completion.job_id, completion.base,
                         std::move(completion.body)))
                     closeConnection(it);
                 else
@@ -221,9 +222,10 @@ class Server::IoShard
         std::map<std::uint64_t,
                  std::unique_ptr<Connection>>::iterator it)
     {
+        const std::uint64_t conn_id = it->first;
         loop_.del(it->second->fd());
         conns_.erase(it);
-        server_.connectionClosed();
+        server_.connectionClosed(conn_id);
     }
 
     Server &server_;
@@ -347,6 +349,12 @@ Server::start(std::string &err)
     // gauge flipped (a SIGTERMed daemon sheds load before its
     // listeners disappear).
     metrics_.gauge("server.draining").set(0);
+    metrics_.gauge("server.max_streams").set(config_.max_streams);
+    // Pre-register the streaming gauges so a metrics snapshot shows
+    // them at 0 before (and after) any session runs — the CI
+    // kill-recovery gate greps for exactly that.
+    metrics_.gauge("stream.active_sessions").set(0);
+    metrics_.gauge("stream.buffered_bytes").set(0);
 
     accept_thread_ = std::thread([this] { acceptLoop(); });
     if (!config_.metrics_dump.empty())
@@ -386,6 +394,18 @@ Server::stop()
     if (accept_thread_.joinable())
         accept_thread_.join();
 
+    // Abort live streaming sessions; each engine unwinds through the
+    // simulator's cancellation path and posts an error final to its
+    // shard (still running below).
+    std::vector<std::shared_ptr<stream::StreamSession>> sessions;
+    {
+        std::lock_guard<std::mutex> lock(streams_mutex_);
+        for (auto &entry : streams_)
+            sessions.push_back(entry.second.session);
+    }
+    for (auto &session : sessions)
+        session->abort();
+
     // Drain: shards close idle connections immediately but keep the
     // ones with jobs in flight so their replies can be delivered.
     for (auto &shard : shards_)
@@ -395,6 +415,16 @@ Server::stop()
     // shard) and stop the workers.
     if (pool_)
         pool_->shutdown();
+
+    // Park every stream engine before the shards go away — a late
+    // completion must never target a destroyed shard.
+    for (auto &session : sessions)
+        session->joinEngine();
+    reapStreamZombies();
+    {
+        std::lock_guard<std::mutex> lock(streams_mutex_);
+        streams_.clear();
+    }
 
     // Shard threads exit once every connection flushed and closed
     // (bounded by drain_linger_ms against stuck clients).
@@ -484,10 +514,175 @@ Server::acceptLoop()
 }
 
 void
-Server::connectionClosed()
+Server::connectionClosed(std::uint64_t conn_id)
 {
     active_connections_.fetch_sub(1, std::memory_order_relaxed);
     metrics_.gauge("server.active_connections").sub();
+    if (conn_id == 0)
+        return;  // refused at accept; never owned state
+
+    // The Connection's destructor aborts sessions it was uploading;
+    // here we forget the closed connection's ATTACH subscriptions so
+    // fan-out stops posting into the void.
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    for (auto &entry : streams_) {
+        auto &followers = entry.second.followers;
+        followers.erase(
+            std::remove_if(followers.begin(), followers.end(),
+                           [conn_id](const auto &f) {
+                               return f.first == conn_id;
+                           }),
+            followers.end());
+    }
+}
+
+StreamOpenOutcome
+Server::streamOpen(Connection &conn, std::uint64_t job_id,
+                   const std::string &name,
+                   const JobOptions &options)
+{
+    reapStreamZombies();
+
+    StreamOpenOutcome outcome;
+    const std::string key = name;
+    {
+        std::lock_guard<std::mutex> lock(streams_mutex_);
+        if (stopping_.load(std::memory_order_acquire)) {
+            outcome.refusal_json = jsonError("server is draining");
+            return outcome;
+        }
+        if (streams_.size() >= config_.max_streams) {
+            metrics_.counter("stream.sessions_rejected").add();
+            outcome.busy = true;
+            outcome.refusal_json =
+                "{\"status\": \"busy\", \"retry_after_ms\": "
+                + std::to_string(retryAfterMs())
+                + ", \"reason\": \"stream limit\", "
+                  "\"max_streams\": "
+                + std::to_string(config_.max_streams) + "}\n";
+            return outcome;
+        }
+        if (streams_.count(key) != 0) {
+            outcome.refusal_json = jsonError(
+                "streaming session name already in use: " + key);
+            return outcome;
+        }
+
+        stream::StreamConfig stream_config;
+        stream_config.job_id = job_id;
+        stream_config.name = key;
+        stream_config.options = options;
+        stream_config.base = config_.base;
+        stream_config.buffer_cap = config_.stream_buffer;
+        stream_config.partial_interval =
+            config_.partial_interval_ops;
+        stream_config.metrics = &metrics_;
+
+        const std::uint64_t conn_id = conn.id();
+        stream::StreamCallbacks callbacks;
+        callbacks.on_credit = [this, conn_id,
+                               job_id](std::uint64_t granted) {
+            Completion completion;
+            completion.conn_id = conn_id;
+            completion.counted = false;
+            completion.keyed = true;
+            completion.job_id = job_id;
+            completion.base = FrameType::kCredit;
+            completion.body = creditBody(granted);
+            postCompletion(std::move(completion));
+        };
+        callbacks.on_partial = [this, key](std::uint64_t,
+                                           const std::string &json) {
+            streamFanout(key, FrameType::kJobPartial, json);
+        };
+        callbacks.on_done = [this, key](bool ok,
+                                        const std::string &json) {
+            streamFanout(key,
+                         ok ? FrameType::kReport : FrameType::kError,
+                         json);
+            streamFinished(key);
+        };
+
+        StreamEntry entry;
+        entry.session = std::make_shared<stream::StreamSession>(
+            std::move(stream_config), std::move(callbacks));
+        entry.owner_conn = conn_id;
+        entry.owner_job = job_id;
+        outcome.session = entry.session;
+        streams_.emplace(key, std::move(entry));
+    }
+    // start() outside the registry lock: it issues the initial
+    // credit and spawns the engine thread.
+    outcome.session->start();
+    metrics_.counter("server.jobs_accepted").add();
+    return outcome;
+}
+
+std::string
+Server::streamAttach(Connection &conn, std::uint64_t follow_id,
+                     const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    const auto it = streams_.find(name);
+    if (it == streams_.end())
+        return jsonError("no live streaming session named " + name);
+    it->second.followers.emplace_back(conn.id(), follow_id);
+    metrics_.counter("stream.attaches").add();
+    return "{\"status\": \"ok\", \"session\": \"" + name
+        + "\", \"job_id\": "
+        + std::to_string(it->second.owner_job) + "}\n";
+}
+
+void
+Server::streamFanout(const std::string &name, FrameType base,
+                     const std::string &json)
+{
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    const auto it = streams_.find(name);
+    if (it == streams_.end())
+        return;
+    const StreamEntry &entry = it->second;
+
+    Completion completion;
+    completion.counted = false;
+    completion.keyed = true;
+    completion.base = base;
+    completion.body = json;
+
+    completion.conn_id = entry.owner_conn;
+    completion.job_id = entry.owner_job;
+    postCompletion(completion);
+
+    for (const auto &[conn_id, follow_id] : entry.followers) {
+        completion.conn_id = conn_id;
+        completion.job_id = follow_id;
+        postCompletion(completion);
+    }
+}
+
+void
+Server::streamFinished(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    const auto it = streams_.find(name);
+    if (it == streams_.end())
+        return;
+    // Runs on the session's own engine thread, so the join happens
+    // later (reapStreamZombies) from a shard thread or stop().
+    stream_zombies_.push_back(std::move(it->second.session));
+    streams_.erase(it);
+}
+
+void
+Server::reapStreamZombies()
+{
+    std::vector<std::shared_ptr<stream::StreamSession>> zombies;
+    {
+        std::lock_guard<std::mutex> lock(streams_mutex_);
+        zombies.swap(stream_zombies_);
+    }
+    for (auto &session : zombies)
+        session->joinEngine();
 }
 
 void
@@ -622,7 +817,12 @@ Server::helloJson()
         + std::to_string(config_.max_trace_bytes)
         + ", \"workers\": " + std::to_string(pool_->workers())
         + ", \"io_shards\": " + std::to_string(shards_.size())
-        + "}\n";
+        + ", \"max_streams\": "
+        + std::to_string(config_.max_streams)
+        + ", \"stream_buffer\": "
+        + std::to_string(config_.stream_buffer)
+        + ", \"partial_interval\": "
+        + std::to_string(config_.partial_interval_ops) + "}\n";
 }
 
 void

@@ -34,10 +34,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "runtime/simulator.hh"
@@ -45,6 +47,11 @@
 #include "service/event_loop.hh"
 #include "service/metrics.hh"
 #include "service/worker_pool.hh"
+
+namespace hdrd::stream
+{
+class StreamSession;
+}
 
 namespace hdrd::service
 {
@@ -103,6 +110,19 @@ struct ServerConfig
     /** Periodic metrics snapshot file ("" = disabled). */
     std::string metrics_dump;
     std::uint64_t metrics_interval_ms = 1000;
+
+    /** Concurrent streaming sessions before refusing with BUSY. */
+    std::uint32_t max_streams = 8;
+
+    /**
+     * Per-session cap on buffered-but-unanalyzed stream bytes; the
+     * CREDIT window keeps uploads near this instead of BUSY-
+     * rejecting whole jobs on memory pressure.
+     */
+    std::uint64_t stream_buffer = 4ull << 20;
+
+    /** Executed ops between JOB_PARTIAL reports (0 = none). */
+    std::uint64_t partial_interval_ops = 1ull << 20;
 
     /** Baseline platform/cost config jobs start from. */
     runtime::SimConfig base;
@@ -174,6 +194,12 @@ class Server : public ConnectionHost
         const JobOptions &options,
         std::shared_ptr<trace::TraceData> data,
         const pmu::FaultConfig &faults) override;
+    StreamOpenOutcome streamOpen(
+        Connection &conn, std::uint64_t job_id,
+        const std::string &name, const JobOptions &options) override;
+    std::string streamAttach(Connection &conn,
+                             std::uint64_t follow_id,
+                             const std::string &name) override;
     std::string statsJson() override;
     std::string helloJson() override;
     Metrics &hostMetrics() override { return metrics_; }
@@ -194,13 +220,30 @@ class Server : public ConnectionHost
     struct Completion
     {
         std::uint64_t conn_id = 0;
+
+        /** Occupies an in-flight pipeline slot (worker-pool jobs). */
+        bool counted = true;
+
         bool keyed = false;
         std::uint64_t job_id = 0;
 
-        /** kReport or kError (shards map keyed variants). */
+        /** kReport or kError (shards map keyed variants), or an
+         *  already-keyed HDS1.2 type passed through verbatim. */
         FrameType base = FrameType::kError;
 
         std::string body;
+    };
+
+    /** One live streaming session and its subscribers. */
+    struct StreamEntry
+    {
+        std::shared_ptr<stream::StreamSession> session;
+        std::uint64_t owner_conn = 0;
+        std::uint64_t owner_job = 0;
+
+        /** (conn_id, follow_id) ATTACH subscribers. */
+        std::vector<std::pair<std::uint64_t, std::uint64_t>>
+            followers;
     };
 
     void acceptLoop();
@@ -210,7 +253,20 @@ class Server : public ConnectionHost
     void postCompletion(Completion completion);
 
     /** Shard bookkeeping when a connection goes away. */
-    void connectionClosed();
+    void connectionClosed(std::uint64_t conn_id = 0);
+
+    /**
+     * Mirror a session event to its uploader and every follower.
+     * @param base kJobPartial, or kReport/kError for the final
+     */
+    void streamFanout(const std::string &name, FrameType base,
+                      const std::string &json);
+
+    /** Retire a completed session into the zombie list. */
+    void streamFinished(const std::string &name);
+
+    /** Join and free engine threads of completed sessions. */
+    void reapStreamZombies();
 
     /** Suggested client retry delay from current load. */
     std::uint64_t retryAfterMs();
@@ -239,6 +295,14 @@ class Server : public ConnectionHost
     std::condition_variable metrics_cv_;
 
     std::atomic<std::uint32_t> active_connections_{0};
+
+    /** Live streaming sessions by name, plus finished ones whose
+     *  engine threads await joining. Guarded by streams_mutex_;
+     *  never held while aborting or joining a session. */
+    std::mutex streams_mutex_;
+    std::map<std::string, StreamEntry> streams_;
+    std::vector<std::shared_ptr<stream::StreamSession>>
+        stream_zombies_;
 
     bool started_ = false;
     bool stopped_ = false;

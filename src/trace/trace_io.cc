@@ -79,7 +79,8 @@ TraceData::threadOps(ThreadId tid) const
 
 TraceReader::TraceReader(ByteSource &source,
                          std::uint64_t total_bytes)
-    : source_(source), total_bytes_(total_bytes)
+    : source_(source), total_bytes_(total_bytes),
+      streaming_(total_bytes == kUnknownSize)
 {
 }
 
@@ -97,11 +98,25 @@ TraceReader::readExact(char *dst, std::size_t n)
 }
 
 bool
+TraceReader::fillStash(std::size_t n)
+{
+    hdrdAssert(n <= stash_.size(), "stash overflow");
+    while (stash_len_ < n) {
+        const std::size_t got = source_.read(
+            stash_.data() + stash_len_, n - stash_len_);
+        if (got == 0)
+            return false;
+        stash_len_ += got;
+    }
+    return true;
+}
+
+bool
 TraceReader::readHeader()
 {
     if (header_ok_ || !error_.empty())
         return header_ok_;
-    if (total_bytes_ < sizeof(TraceHeaderV1)) {
+    if (!streaming_ && total_bytes_ < sizeof(TraceHeaderV1)) {
         error_ = "truncated header ("
             + std::to_string(total_bytes_) + " bytes, need "
             + std::to_string(sizeof(TraceHeaderV1)) + ")";
@@ -109,52 +124,68 @@ TraceReader::readHeader()
     }
 
     // Both header versions share the v1 prefix; the magic decides
-    // whether the v2 metadata tail follows.
-    TraceHeader header;
-    if (!readExact(reinterpret_cast<char *>(&header),
-                   sizeof(TraceHeaderV1))) {
+    // whether the v2 metadata tail follows. The stash carries a
+    // partial header across streaming stalls, so a chunk boundary
+    // anywhere inside it — including the first byte — resumes.
+    if (!fillStash(sizeof(TraceHeaderV1))) {
+        if (streaming_ && !ended_)
+            return false; // stalled: retry after more bytes arrive
         error_ = "truncated header";
         return false;
     }
-    std::uint64_t header_size = sizeof(TraceHeaderV1);
+    TraceHeader header;
+    std::memcpy(reinterpret_cast<char *>(&header), stash_.data(),
+                sizeof(TraceHeaderV1));
     if (header.magic == kMagic) {
-        header_size = sizeof(TraceHeader);
-        if (total_bytes_ < header_size) {
+        if (!streaming_ && total_bytes_ < sizeof(TraceHeader)) {
             error_ = "truncated v2 header ("
                 + std::to_string(total_bytes_) + " bytes, need "
-                + std::to_string(header_size) + ")";
+                + std::to_string(sizeof(TraceHeader)) + ")";
             return false;
         }
-        if (!readExact(header.fault_spec.data(),
-                       header.fault_spec.size())) {
+        if (!fillStash(sizeof(TraceHeader))) {
+            if (streaming_ && !ended_)
+                return false;
             error_ = "truncated v2 header";
             return false;
         }
+        std::memcpy(header.fault_spec.data(),
+                    stash_.data() + sizeof(TraceHeaderV1),
+                    header.fault_spec.size());
     } else if (header.magic != kMagicV1) {
         error_ = "bad magic (not an hdrd trace?)";
         return false;
     }
+    const std::uint64_t header_size = header.magic == kMagic
+        ? sizeof(TraceHeader) : sizeof(TraceHeaderV1);
+    stash_len_ = 0;
     if (header.nthreads == 0 || header.nthreads > 4096) {
         error_ = "implausible thread count "
             + std::to_string(header.nthreads);
         return false;
     }
 
-    const std::uint64_t payload = total_bytes_ - header_size;
-    const std::uint64_t expected =
-        header.record_count * sizeof(TraceRecord);
-    if (header.record_count > payload / sizeof(TraceRecord)) {
-        error_ = "truncated: header claims "
-            + std::to_string(header.record_count)
-            + " records but the file only holds "
-            + std::to_string(payload / sizeof(TraceRecord));
-        return false;
-    }
-    if (payload != expected) {
-        error_ = std::to_string(payload - expected)
-            + " bytes of trailing garbage after "
-            + std::to_string(header.record_count) + " records";
-        return false;
+    // The size-consistency checks need the total up front; in
+    // streaming mode a short stream surfaces as truncation at the
+    // missing record instead, and trailing bytes are the feeding
+    // layer's to reject.
+    if (!streaming_) {
+        const std::uint64_t payload = total_bytes_ - header_size;
+        const std::uint64_t expected =
+            header.record_count * sizeof(TraceRecord);
+        if (header.record_count > payload / sizeof(TraceRecord)) {
+            error_ = "truncated: header claims "
+                + std::to_string(header.record_count)
+                + " records but the file only holds "
+                + std::to_string(payload / sizeof(TraceRecord));
+            return false;
+        }
+        if (payload != expected) {
+            error_ = std::to_string(payload - expected)
+                + " bytes of trailing garbage after "
+                + std::to_string(header.record_count) + " records";
+            return false;
+        }
     }
 
     name_.assign(header.name.data(),
@@ -184,8 +215,19 @@ TraceReader::next(TraceRecord *out, std::size_t max)
     std::size_t produced = 0;
     for (; produced < want; ++produced) {
         TraceRecord &record = out[produced];
-        if (!readExact(reinterpret_cast<char *>(&record),
-                       sizeof(record))) {
+        if (streaming_) {
+            if (!fillStash(sizeof(record))) {
+                if (!ended_)
+                    return produced; // stalled mid-record: resume
+                error_ = "truncated at record "
+                    + std::to_string(consumed_) + " of "
+                    + std::to_string(record_count_);
+                return produced;
+            }
+            std::memcpy(&record, stash_.data(), sizeof(record));
+            stash_len_ = 0;
+        } else if (!readExact(reinterpret_cast<char *>(&record),
+                              sizeof(record))) {
             error_ = "truncated at record "
                 + std::to_string(consumed_) + " of "
                 + std::to_string(record_count_);
@@ -195,13 +237,13 @@ TraceReader::next(TraceRecord *out, std::size_t max)
             error_ = "record " + std::to_string(consumed_)
                 + " names unknown thread "
                 + std::to_string(record.tid);
-            return 0;
+            return streaming_ ? produced : 0;
         }
         if (record.type > kMaxOpType) {
             error_ = "record " + std::to_string(consumed_)
                 + " has invalid op type "
                 + std::to_string(record.type);
-            return 0;
+            return streaming_ ? produced : 0;
         }
         ++consumed_;
     }

@@ -118,6 +118,20 @@ class IstreamSource : public ByteSource
  * header, mid-stream truncation, invalid record) poisons the reader
  * with a precise error(); a poisoned reader never yields records.
  *
+ * **Streaming mode** (total size unknown up front — chunked network
+ * ingestion): construct with kUnknownSize. The source returning 0
+ * then means "no bytes available right now", not truncation: the
+ * reader stashes any partial header/record — including a chunk
+ * boundary that splits a record at its very first byte — and
+ * readHeader()/next() return false/0 with an *empty* error(), to be
+ * retried once the caller has fed the source more bytes. Call
+ * endOfStream() when the producer is done; after that a short read is
+ * a truncation error again, and done() requires every declared record
+ * to have arrived. Size-vs-header consistency checks that need the
+ * total up front are deferred: a short stream surfaces as truncation
+ * at the missing record, trailing garbage is the caller's to detect
+ * (bytes left in its buffer after done()).
+ *
  * TraceData::load() is a thin wrapper; hdrd_served uses the reader
  * directly so a bad trace is rejected from its header without
  * buffering the (possibly huge) body.
@@ -125,30 +139,54 @@ class IstreamSource : public ByteSource
 class TraceReader
 {
   public:
+    /** total_bytes sentinel selecting streaming mode. */
+    static constexpr std::uint64_t kUnknownSize = ~0ull;
+
     /**
      * @param source byte stream positioned at the first header byte
-     * @param total_bytes declared total size of the trace in bytes
+     * @param total_bytes declared total size of the trace in bytes,
+     *        or kUnknownSize for resumable streaming mode
      */
     TraceReader(ByteSource &source, std::uint64_t total_bytes);
 
     /**
      * Parse and validate the header.
-     * @return false when the header is invalid (see error()).
+     * @return false when the header is invalid (see error()), or —
+     *         streaming mode only — when it is still incomplete
+     *         (error() empty: retry after feeding the source).
      */
     bool readHeader();
 
     /**
      * Read and validate up to @p max records into @p out.
      * @return records produced; 0 when the stream is exhausted or
-     *         the reader is poisoned (check error()/done()).
+     *         the reader is poisoned (check error()/done()), or —
+     *         streaming mode only — when the next record is still
+     *         incomplete (error() empty, not done(): feed and retry).
      */
     std::size_t next(TraceRecord *out, std::size_t max);
+
+    /**
+     * Streaming mode: declare that no further bytes will arrive.
+     * An incomplete header or record after this poisons the reader
+     * with a truncation error on the next readHeader()/next() call.
+     */
+    void endOfStream() { ended_ = true; }
 
     /** True when every declared record was consumed successfully. */
     bool done() const
     {
         return header_ok_ && error_.empty()
             && consumed_ == record_count_;
+    }
+
+    /**
+     * Streaming mode: true while the reader is healthy but blocked
+     * on more input (the retry condition described above).
+     */
+    bool starved() const
+    {
+        return streaming_ && error_.empty() && !done() && !ended_;
     }
 
     /** Why parsing failed (empty while healthy). */
@@ -167,6 +205,13 @@ class TraceReader
     /** Read exactly @p n bytes; false on short read. */
     bool readExact(char *dst, std::size_t n);
 
+    /**
+     * Streaming mode: accumulate until the stash holds @p n bytes.
+     * @return true when the stash is full; false when the source ran
+     *         dry first (a resumable stall, unless endOfStream()).
+     */
+    bool fillStash(std::size_t n);
+
     ByteSource &source_;
     std::uint64_t total_bytes_;
     std::string error_;
@@ -176,6 +221,11 @@ class TraceReader
     std::uint64_t record_count_ = 0;
     std::uint64_t consumed_ = 0;
     bool header_ok_ = false;
+    bool streaming_ = false;
+    bool ended_ = false;
+    /** Partial header/record carried across streaming stalls. */
+    std::array<char, sizeof(TraceHeader)> stash_{};
+    std::size_t stash_len_ = 0;
 };
 
 /**

@@ -2,9 +2,10 @@
 # Determinism across shard counts, submission orders, and submission
 # styles: the same three traces submitted to a 1-worker daemon, a
 # 16-worker daemon, in different orders, and both one-shot and
-# pipelined over a single kept-alive connection (HDS1.1) must produce
-# byte-identical aggregate reports, each matching the one-shot CLI
-# golden.
+# pipelined over a single kept-alive connection (HDS1.1), and
+# streamed chunk-wise with --stream (HDS1.2, file and stdin sources)
+# must produce byte-identical reports, each matching the one-shot
+# CLI golden.
 #
 # usage: service_determinism.sh HDRD_SIM HDRD_SERVED HDRD_CLIENT
 set -e
@@ -22,7 +23,9 @@ for w in ping_pong racy_counter locked_counter; do
 done
 
 serve() {
-    "$SERVED" --socket=svc_det.sock --workers="$1" --queue=32 &
+    w=$1
+    shift
+    "$SERVED" --socket=svc_det.sock --workers="$w" --queue=32 "$@" &
     pid=$!
     i=0
     while [ ! -S svc_det.sock ]; do
@@ -68,6 +71,27 @@ serve 16
     svc_det/racy_counter.trc
 kill -TERM "$pid"
 wait "$pid"
+
+# Streamed submissions (HDS1.2): the same traces uploaded chunk-wise
+# with --stream — from a file and from stdin — against 1- and
+# 16-worker daemons. A small credit window forces many CREDIT round
+# trips and a low partial interval forces live partial reports; the
+# final report must still be byte-identical to the buffered golden.
+for workers in 1 16; do
+    serve "$workers" --stream-buffer=65536 --partial-interval=1000
+    for w in ping_pong racy_counter locked_counter; do
+        "$CLIENT" --socket=svc_det.sock --omit-timing \
+            --stream svc_det/$w.trc \
+            > svc_det/$w.stream$workers.json
+        cmp svc_det/$w.golden.json svc_det/$w.stream$workers.json
+        "$CLIENT" --socket=svc_det.sock --omit-timing --session=$w \
+            --stream - < svc_det/$w.trc \
+            > svc_det/$w.stdin$workers.json
+        cmp svc_det/$w.golden.json svc_det/$w.stdin$workers.json
+    done
+    kill -TERM "$pid"
+    wait "$pid"
+done
 
 cmp svc_det/agg_a.json svc_det/agg_b.json
 cmp svc_det/agg_a.json svc_det/agg_c.json

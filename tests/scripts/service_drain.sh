@@ -24,6 +24,14 @@ while [ ! -S svc_dr.sock ]; do
     sleep 0.1
 done
 
+# Before the drain, --stats renders an explicit state line on stderr
+# (stderr so the JSON on stdout stays pipeable; a draining daemon
+# refuses fresh connections, so DRAINING rendering is covered by the
+# serverStateLine unit in test_service).
+"$CLIENT" --socket=svc_dr.sock --stats \
+    > /dev/null 2> svc_dr/state_running.txt
+grep -q '^state: RUNNING$' svc_dr/state_running.txt
+
 "$CLIENT" --socket=svc_dr.sock --omit-timing --summary \
           svc_dr/ping.trc > svc_dr/client.txt &
 cpid=$!

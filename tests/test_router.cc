@@ -175,6 +175,99 @@ TEST(Router, PlaceSkipsDeadEndpoints)
 }
 
 // ---------------------------------------------------------------------
+// Eviction: the re-probe leak fix
+// ---------------------------------------------------------------------
+
+TEST(Router, EvictionAfterConsecutiveFailures)
+{
+    RouterConfig config;
+    config.dead_retry_ms = 1;  // every probe really dials
+    config.evict_after = 3;
+    Router router({ep("/tmp/hdrd_rt_evict_a.sock"),
+                   ep("/tmp/hdrd_rt_evict_b.sock")},
+                  config);
+
+    // Two failures: dead but still in the live ring.
+    EXPECT_FALSE(router.probe(0));
+    EXPECT_FALSE(router.probe(0));
+    EXPECT_FALSE(router.evicted(0));
+
+    // The third consecutive failure evicts its vnodes.
+    EXPECT_FALSE(router.probe(0));
+    EXPECT_TRUE(router.evicted(0));
+    EXPECT_FALSE(router.evicted(1));
+
+    // Every key now lands on the survivor via the live ring.
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(router.place("k" + std::to_string(i)), 1);
+
+    // placeStatic still answers from the full static ring: eviction
+    // must not disturb the cross-run stable placement contract.
+    Router fresh({ep("/tmp/hdrd_rt_evict_a.sock"),
+                  ep("/tmp/hdrd_rt_evict_b.sock")},
+                 RouterConfig{});
+    for (int i = 0; i < 50; ++i) {
+        const std::string key = "k" + std::to_string(i);
+        EXPECT_EQ(router.placeStatic(key), fresh.placeStatic(key));
+    }
+}
+
+TEST(Router, LastSurvivorIsNeverEvicted)
+{
+    RouterConfig config;
+    config.dead_retry_ms = 1;
+    config.evict_after = 2;
+    Router router({ep("/tmp/hdrd_rt_last_a.sock"),
+                   ep("/tmp/hdrd_rt_last_b.sock")},
+                  config);
+
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(router.probe(0));
+    EXPECT_TRUE(router.evicted(0));
+
+    // Endpoint 1 keeps failing too, but as the last live endpoint it
+    // must stay in the ring — an all-evicted fleet could never heal.
+    for (int i = 0; i < 6; ++i)
+        EXPECT_FALSE(router.probe(1));
+    EXPECT_FALSE(router.evicted(1));
+}
+
+TEST(Router, ProbeSuccessReadmitsEvictedEndpoint)
+{
+    const std::string dir(::testing::TempDir());
+    const std::string sock = dir + "hdrd_rt_revive.sock";
+
+    RouterConfig config;
+    config.dead_retry_ms = 1;
+    config.evict_after = 1;
+    Router router({ep(sock), ep(dir + "hdrd_rt_revive_b.sock")},
+                  config);
+
+    // Daemon not up yet: first failure evicts immediately.
+    EXPECT_FALSE(router.probe(0));
+    EXPECT_TRUE(router.evicted(0));
+
+    // Bring the daemon up; an explicit probe re-admits its vnodes.
+    ServerConfig server_config;
+    server_config.unix_path = sock;
+    server_config.workers = 1;
+    Server server(std::move(server_config));
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    EXPECT_TRUE(router.probe(0));
+    EXPECT_FALSE(router.evicted(0));
+
+    // Placement spreads across both endpoints again (endpoint 1 is
+    // still unprobed/alive-by-default, so both are eligible).
+    bool saw_zero = false;
+    for (int i = 0; i < 100 && !saw_zero; ++i)
+        saw_zero = router.place("k" + std::to_string(i)) == 0;
+    EXPECT_TRUE(saw_zero);
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
 // STATS load scoring
 // ---------------------------------------------------------------------
 

@@ -314,6 +314,80 @@ TEST(Protocol, JobOptionsValidation)
     EXPECT_TRUE(validateJobOptions(faulty, err)) << err;
 }
 
+TEST(Protocol, StreamOpenRoundTrips)
+{
+    JobOptions options;
+    options.detector = 2;
+    options.seed = 99;
+    const std::string payload =
+        streamOpenPayload(42, "session-a", options);
+
+    std::uint64_t job_id = 0;
+    std::string name, err;
+    JobOptions got;
+    ASSERT_TRUE(parseStreamOpen(payload, job_id, name, got, err))
+        << err;
+    EXPECT_EQ(job_id, 42u);
+    EXPECT_EQ(name, "session-a");
+    EXPECT_EQ(got.detector, 2u);
+    EXPECT_EQ(got.seed, 99u);
+
+    // Malformed: short, oversized name, truncated options.
+    EXPECT_FALSE(parseStreamOpen("abc", job_id, name, got, err));
+    const std::string huge(kMaxSessionName + 1, 'x');
+    EXPECT_FALSE(parseStreamOpen(
+        streamOpenPayload(1, huge, options), job_id, name, got,
+        err));
+    EXPECT_FALSE(parseStreamOpen(
+        payload.substr(0, payload.size() - 4), job_id, name, got,
+        err));
+}
+
+TEST(Protocol, AttachAndCreditRoundTrip)
+{
+    const std::string payload = attachPayload(7, "live");
+    std::uint64_t follow_id = 0;
+    std::string name, err;
+    ASSERT_TRUE(parseAttach(payload, follow_id, name, err)) << err;
+    EXPECT_EQ(follow_id, 7u);
+    EXPECT_EQ(name, "live");
+    EXPECT_FALSE(parseAttach("x", follow_id, name, err));
+
+    std::uint64_t grant = 0;
+    ASSERT_TRUE(parseCreditBody(creditBody(1u << 20), grant));
+    EXPECT_EQ(grant, 1u << 20);
+    EXPECT_FALSE(parseCreditBody("sevenbyte", grant));
+}
+
+TEST(Protocol, JobPayloadSplitRoundTrips)
+{
+    const std::string payload = jobPayload(11, "{\"a\": 1}");
+    std::uint64_t job_id = 0;
+    std::string body;
+    ASSERT_TRUE(splitJobPayload(payload, job_id, body));
+    EXPECT_EQ(job_id, 11u);
+    EXPECT_EQ(body, "{\"a\": 1}");
+    EXPECT_FALSE(splitJobPayload("1234567", job_id, body));
+}
+
+// ---------------------------------------------------------------------
+// Client helpers
+// ---------------------------------------------------------------------
+
+TEST(Client, ServerStateLineRendersDraining)
+{
+    const std::string draining =
+        "{\n  \"gauges\": {\n    \"server.draining\": 1\n  }\n}\n";
+    EXPECT_EQ(serverStateLine(draining), "state: DRAINING\n");
+
+    const std::string running =
+        "{\n  \"gauges\": {\n    \"server.draining\": 0\n  }\n}\n";
+    EXPECT_EQ(serverStateLine(running), "state: RUNNING\n");
+
+    // Older daemons (no such gauge) print nothing extra.
+    EXPECT_EQ(serverStateLine("{\"gauges\": {}}"), "");
+}
+
 // ---------------------------------------------------------------------
 // Report JSON
 // ---------------------------------------------------------------------

@@ -516,7 +516,7 @@ TEST(ServiceFuzz, HelloVersionSkewIsAnsweredNotFatal)
         std::string body;
         ASSERT_EQ(readResponse(fd, type, body), "");
         EXPECT_EQ(type, FrameType::kHelloReply);
-        EXPECT_NE(body.find("\"protocol\": \"HDS1.1\""),
+        EXPECT_NE(body.find("\"protocol\": \"HDS1.2\""),
                   std::string::npos)
             << body;
 

@@ -547,6 +547,107 @@ TEST(TraceReader, MidStreamTruncationPoisonsWithoutPartialLoad)
     std::remove(path.c_str());
 }
 
+namespace
+{
+
+/**
+ * ByteSource with a movable stall point: serves bytes of an image up
+ * to a limit, then reports 0 (starved) until the limit is raised —
+ * a socket that has delivered only part of the stream so far.
+ */
+class StallSource : public trace::ByteSource
+{
+  public:
+    explicit StallSource(const std::string &bytes) : bytes_(bytes) {}
+
+    std::size_t read(char *dst, std::size_t n) override
+    {
+        const std::size_t avail = limit_ - pos_;
+        n = std::min(n, avail);
+        std::memcpy(dst, bytes_.data() + pos_, n);
+        pos_ += n;
+        return n;
+    }
+
+    void allow(std::size_t limit) { limit_ = limit; }
+
+  private:
+    const std::string &bytes_;
+    std::size_t limit_ = 0;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+TEST(TraceReader, ResumesAcrossEveryChunkBoundary)
+{
+    // Streaming mode must survive a chunk boundary at EVERY byte
+    // offset — in particular one splitting a record exactly at its
+    // first (prefix) byte, where a resume path that forgot its
+    // stashed partial bytes would misparse the rest of the stream.
+    const auto path = goldenTrace("boundary");
+    const std::string image = slurp(path);
+
+    for (std::size_t cut = 1; cut < image.size(); ++cut) {
+        StallSource source(image);
+        TraceReader reader(source,
+                           trace::TraceReader::kUnknownSize);
+        source.allow(cut);
+
+        // Phase 1: pull until starved at the boundary.
+        std::vector<TraceRecord> records;
+        if (reader.readHeader()) {
+            TraceRecord record;
+            while (reader.next(&record, 1) == 1)
+                records.push_back(record);
+        }
+        ASSERT_TRUE(reader.error().empty())
+            << "cut=" << cut << ": " << reader.error();
+        ASSERT_TRUE(reader.starved()) << "cut=" << cut;
+
+        // Phase 2: the rest arrives; parsing must complete cleanly.
+        source.allow(image.size());
+        ASSERT_TRUE(reader.readHeader())
+            << "cut=" << cut << ": " << reader.error();
+        TraceRecord record;
+        while (reader.next(&record, 1) == 1)
+            records.push_back(record);
+        ASSERT_TRUE(reader.done())
+            << "cut=" << cut << ": " << reader.error();
+        ASSERT_EQ(records.size(), 3u) << "cut=" << cut;
+        EXPECT_EQ(records[0].toOp().addr, 0x10u) << "cut=" << cut;
+        EXPECT_EQ(records[1].toOp().addr, 0x18u) << "cut=" << cut;
+        EXPECT_EQ(records[2].toOp().type,
+                  runtime::OpType::kWork)
+            << "cut=" << cut;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceReader, StreamingEndMidRecordPoisons)
+{
+    // endOfStream() with a record split at its first byte must
+    // surface truncation, never a short success.
+    const auto path = goldenTrace("endsplit");
+    const std::string image = slurp(path);
+    const std::size_t cut = sizeof(trace::TraceHeader) + 32 + 1;
+
+    StallSource source(image);
+    TraceReader reader(source, trace::TraceReader::kUnknownSize);
+    source.allow(cut);
+    ASSERT_TRUE(reader.readHeader()) << reader.error();
+    TraceRecord record;
+    EXPECT_EQ(reader.next(&record, 1), 1u);
+    EXPECT_EQ(reader.next(&record, 1), 0u);
+    EXPECT_TRUE(reader.starved());
+
+    reader.endOfStream();
+    EXPECT_EQ(reader.next(&record, 1), 0u);
+    EXPECT_FALSE(reader.done());
+    EXPECT_EQ(reader.error(), "truncated at record 1 of 3");
+    std::remove(path.c_str());
+}
+
 TEST(TraceReader, TruncatedHeaderStreamRejected)
 {
     const auto path = goldenTrace("cuthdr");

@@ -40,6 +40,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -71,6 +72,10 @@ struct Options
     bool summary = false;
     bool merge = false;          ///< offline agg-file merge
     bool merge_metrics = false;  ///< offline metrics merge
+    bool stream = false;         ///< HDS1.2 chunked upload
+    bool partials = false;       ///< print streamed partial reports
+    std::string session;         ///< --stream session name
+    std::string follow;          ///< attach to this live session
     std::uint32_t parallel = 1;
     std::uint32_t repeat = 1;
     std::uint32_t retries = 0;
@@ -79,6 +84,7 @@ struct Options
     std::uint64_t retry_seed = 1;
     std::uint32_t max_attempts = 8;
     std::uint64_t deadline_ms = 30000;
+    std::uint32_t evict_after = 0;
 
     service::JobOptions job;
 };
@@ -99,6 +105,9 @@ usage()
         "                    (default 1: reproducible schedules)\n"
         "  --max-attempts=N  failover attempts per job (default 8)\n"
         "  --deadline-ms=N   per-job failover deadline (0 = none)\n"
+        "  --evict-after=N   drop a daemon from the placement ring\n"
+        "                    after N consecutive failures (its keys\n"
+        "                    rebalance; 0 = keep re-probing forever)\n"
         "  --stats           request the metrics snapshot and print\n"
         "                    it (fleet: merged cluster snapshot)\n"
         "  --ping            liveness probe (fleet: probe every "
@@ -119,6 +128,16 @@ usage()
         "  --pipeline=N      keep up to N jobs in flight per "
         "connection\n"
         "                    (HDS1.1 SUBMIT_JOB; default sequential)\n"
+        "  --stream          upload the (single) trace as HDS1.2\n"
+        "                    SUBMIT_DATA chunks under server credit;\n"
+        "                    '-' streams the trace from stdin\n"
+        "  --session=NAME    streaming session name others can "
+        "--follow\n"
+        "                    (default: the trace basename)\n"
+        "  --follow=NAME     attach to a live streaming session and\n"
+        "                    tail its partial reports to stdout\n"
+        "  --partials        with --stream: also print each partial\n"
+        "                    report as it arrives\n"
         "  --repeat=M        submit the trace list M times per "
         "connection\n"
         "  --retry=N         retry BUSY replies up to N times, "
@@ -172,6 +191,17 @@ parse(int argc, char **argv)
             opt.merge = true;
         } else if (std::strcmp(arg, "--merge-metrics") == 0) {
             opt.merge_metrics = true;
+        } else if (std::strcmp(arg, "--stream") == 0) {
+            opt.stream = true;
+        } else if (std::strcmp(arg, "--partials") == 0) {
+            opt.partials = true;
+        } else if (eat(arg, "--session=", value)) {
+            opt.session = value;
+        } else if (eat(arg, "--follow=", value)) {
+            opt.follow = value;
+        } else if (eat(arg, "--evict-after=", value)) {
+            opt.evict_after =
+                cli::parseU32("evict-after", value, 0, 1000);
         } else if (std::strcmp(arg, "--no-trace-faults") == 0) {
             opt.job.flags |= service::kJobIgnoreTraceFaults;
         } else if (eat(arg, "--socket=", value)) {
@@ -232,10 +262,11 @@ parse(int argc, char **argv)
                 fatal("--faults: spec too long");
             std::memcpy(opt.job.fault_spec.data(), value.data(),
                         value.size());
-        } else if (arg[0] == '-') {
+        } else if (arg[0] == '-' && arg[1] != '\0') {
             usage();
             fatal("unknown option '", arg, "'");
         } else {
+            // A bare "-" is the stdin trace for --stream.
             opt.traces.push_back(arg);
         }
     }
@@ -438,6 +469,7 @@ makeRouter(const Options &opt)
     config.retry_seed = opt.retry_seed;
     config.max_attempts = opt.max_attempts;
     config.job_deadline_ms = opt.deadline_ms;
+    config.evict_after = opt.evict_after;
     return service::Router(parseDaemons(opt.daemons), config);
 }
 
@@ -577,6 +609,115 @@ finish(const Options &opt, const std::vector<Result> &results,
     return n_busy > 0 ? 2 : 0;
 }
 
+void
+printTransport(const std::string &what, const std::string &detail,
+               int err)
+{
+    std::fprintf(stderr,
+                 "hdrd_client: transport: %s: %s (errno %d)\n",
+                 what.c_str(),
+                 detail.empty() ? "connection lost" : detail.c_str(),
+                 err);
+}
+
+/** --follow=NAME: attach to a live session and tail its partials. */
+int
+runFollow(const Options &opt)
+{
+    service::Client client;
+    std::string err;
+    if (!connectTo(opt, client, err)) {
+        printTransport(opt.follow, err, client.lastErrno());
+        return 3;
+    }
+    service::StreamHandlers handlers;
+    handlers.on_partial = [](const std::string &json) {
+        std::fputs(json.c_str(), stdout);
+        std::fflush(stdout);
+    };
+    const service::Response response =
+        client.follow(opt.follow, handlers);
+    if (!response.transport_ok) {
+        printTransport(opt.follow, response.payload,
+                       response.transport_errno);
+        return 3;
+    }
+    if (!response.isReport()
+        && response.type != service::FrameType::kJobError) {
+        // Attach refused (no such session) or a pre-1.2 server.
+        std::fprintf(stderr, "hdrd_client: protocol: %s: %s\n",
+                     opt.follow.c_str(), response.payload.c_str());
+        return 1;
+    }
+    std::fputs(response.payload.c_str(), stdout);
+    return response.isReport() ? 0 : 1;
+}
+
+/** --stream: chunked HDS1.2 upload from a file or stdin. */
+int
+runStream(const Options &opt)
+{
+    if (opt.traces.size() != 1)
+        fatal("--stream takes exactly one trace (a file or '-')");
+    const std::string &path = opt.traces[0];
+    const bool from_stdin = path == "-";
+
+    std::ifstream file;
+    if (!from_stdin) {
+        file.open(path, std::ios::binary);
+        if (!file)
+            fatal("cannot open ", path);
+    }
+    std::istream &in = from_stdin ? std::cin : file;
+
+    service::Client client;
+    std::string err;
+    if (!connectTo(opt, client, err)) {
+        printTransport(path, err, client.lastErrno());
+        return 3;
+    }
+
+    const service::Response hello = client.hello();
+    if (!hello.transport_ok) {
+        printTransport(path, hello.payload,
+                       hello.transport_errno);
+        return 3;
+    }
+    std::int64_t minor = 0;
+    if (hello.type != service::FrameType::kHelloReply
+        || !service::Router::metricValue(hello.payload, "minor",
+                                         minor)
+        || minor < 2) {
+        std::fprintf(stderr,
+                     "hdrd_client: protocol: server does not speak "
+                     "HDS1.2 streaming\n");
+        return 1;
+    }
+
+    const std::string name = !opt.session.empty()
+        ? opt.session
+        : (from_stdin ? std::string("stdin") : basenameOf(path));
+
+    service::StreamHandlers handlers;
+    if (opt.partials) {
+        handlers.on_partial = [](const std::string &json) {
+            std::fputs(json.c_str(), stdout);
+            std::fflush(stdout);
+        };
+    }
+    const service::StreamSource source =
+        [&in](char *dst, std::size_t max) {
+            in.read(dst, static_cast<std::streamsize>(max));
+            return static_cast<std::size_t>(in.gcount());
+        };
+
+    std::vector<Result> results;
+    results.push_back(fromResponse(
+        from_stdin ? name : path,
+        client.submitStream(opt.job, name, source, handlers)));
+    return finish(opt, results, 0);
+}
+
 /** Fleet submission: router placement, per-daemon pipelining. */
 int
 runFleet(const Options &opt)
@@ -633,6 +774,12 @@ main(int argc, char **argv)
     if (opt.merge || opt.merge_metrics)
         return runMerge(opt);
 
+    if (!opt.follow.empty()) {
+        if (!opt.daemons.empty())
+            fatal("--follow needs --socket/--tcp, not --daemons");
+        return runFollow(opt);
+    }
+
     if (!opt.daemons.empty() && (opt.stats || opt.ping))
         return runFleetControl(opt);
 
@@ -655,12 +802,24 @@ main(int argc, char **argv)
                 response.transport_errno);
             return 3;
         }
+        // The lifecycle state goes to stderr: explicit for a human
+        // watching a drain, invisible to scripts piping the JSON.
+        if (opt.stats)
+            std::fputs(
+                service::serverStateLine(response.payload).c_str(),
+                stderr);
         std::fputs(response.payload.c_str(), stdout);
         return 0;
     }
     if (opt.traces.empty()) {
         usage();
         fatal("no traces to submit");
+    }
+
+    if (opt.stream) {
+        if (!opt.daemons.empty())
+            fatal("--stream needs --socket/--tcp, not --daemons");
+        return runStream(opt);
     }
 
     if (!opt.daemons.empty())

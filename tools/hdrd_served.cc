@@ -64,6 +64,14 @@ usage()
         "  --metrics-dump=FILE  periodic hdrd-metrics-v1 snapshot\n"
         "  --metrics-interval-ms=N  snapshot period (default 1000)\n"
         "  --min-job-ms=N       debug: floor per-job service time\n"
+        "  --max-streams=N      concurrent HDS1.2 streaming "
+        "sessions\n"
+        "                       (default 8)\n"
+        "  --stream-buffer=BYTES  per-session cap on buffered but\n"
+        "                       unanalyzed stream bytes (default 4m;\n"
+        "                       the CREDIT window)\n"
+        "  --partial-interval=N executed ops between JOB_PARTIAL\n"
+        "                       reports (default 1048576; 0 = none)\n"
         "\n"
         "Per-job analysis config (mode, detector, seed, granule,\n"
         "cores, sav, faults) arrives with each SUBMIT; see\n"
@@ -128,6 +136,15 @@ main(int argc, char **argv)
         } else if (eat(arg, "--min-job-ms=", value)) {
             config.min_job_ms =
                 cli::parseU64("min-job-ms", value, 0, 60000);
+        } else if (eat(arg, "--max-streams=", value)) {
+            config.max_streams =
+                cli::parseU32("max-streams", value, 1, 4096);
+        } else if (eat(arg, "--stream-buffer=", value)) {
+            config.stream_buffer = cli::parseU64(
+                "stream-buffer", value, 4096, UINT64_MAX);
+        } else if (eat(arg, "--partial-interval=", value)) {
+            config.partial_interval_ops = cli::parseU64(
+                "partial-interval", value, 0, UINT64_MAX);
         } else {
             usage();
             fatal("unknown option '", arg, "'");
